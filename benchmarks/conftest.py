@@ -1,0 +1,67 @@
+"""Shared benchmark fixtures and reporting.
+
+Every benchmark regenerates one of the paper's tables/figures (or an
+ablation/extension) and both prints the rows and writes them to
+``benchmarks/results/<name>.txt`` so runs can be diffed.
+
+The laboratory machine and the TPC-H database are shared session-wide;
+experiment scale matches the paper's regime (database larger than any
+VM's buffer pool, see DESIGN.md).
+"""
+
+from __future__ import annotations
+
+import pathlib
+import sys
+
+import pytest
+
+from repro.calibration import CalibrationCache, CalibrationRunner
+from repro.core.cost_model import MeasuredCostModel, OptimizerCostModel
+from repro.virt.machine import laboratory_machine
+from repro.workloads import build_tpch_database
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+#: The paper's allocation levels: "ranging from 25% to 75%".
+SHARE_LEVELS = (0.25, 0.5, 0.75)
+#: Scale factor for the benchmark TPC-H database.
+BENCH_SCALE_FACTOR = 0.01
+
+
+@pytest.fixture(scope="session")
+def machine():
+    return laboratory_machine()
+
+
+@pytest.fixture(scope="session")
+def tpch(machine):
+    return build_tpch_database(
+        scale_factor=BENCH_SCALE_FACTOR,
+        tables=["customer", "orders", "lineitem"],
+        name="tpch-bench",
+    )
+
+
+@pytest.fixture(scope="session")
+def calibration(machine):
+    return CalibrationCache(CalibrationRunner(machine))
+
+
+@pytest.fixture(scope="session")
+def estimated_model(calibration):
+    return OptimizerCostModel(calibration)
+
+
+@pytest.fixture(scope="session")
+def measured_model(machine, calibration):
+    return MeasuredCostModel(machine, calibration=calibration)
+
+
+def report(name: str, text: str) -> None:
+    """Print a result table and persist it under benchmarks/results."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+    # Bypass pytest's capture so the tables appear in tee'd output.
+    sys.__stdout__.write("\n" + text + "\n")
+    sys.__stdout__.flush()

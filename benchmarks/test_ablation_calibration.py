@@ -1,0 +1,128 @@
+"""Ablation A2 — reducing the cost of calibration.
+
+The paper (Section 7): "This cost modeling can be refined by developing
+techniques to reduce the number of calibration experiments required,
+since cost model calibration is a fairly lengthy process."
+
+Two refinements are evaluated against exact per-allocation calibration:
+
+* *Interpolation*: calibrate only the corners of the share grid and
+  answer interior allocations by multilinear interpolation.
+* *Protocol*: the closed-form sequential protocol vs the joint
+  least-squares fit over the full measurement suite.
+
+Quality metric: relative error of the interpolated/alternative
+``cpu_tuple_cost`` and ``seconds_per_seq_page`` against exact
+calibration at the probe allocation, plus whether the Figure-5 design
+decision survives.
+"""
+
+import pytest
+
+from repro.calibration import CalibrationCache, CalibrationRunner
+from repro.core.cost_model import OptimizerCostModel
+from repro.core.problem import WorkloadSpec
+from repro.util.tables import format_table
+from repro.virt.resources import ResourceVector
+from repro.workloads import tpch_query
+from repro.workloads.workload import Workload
+
+from conftest import report
+
+
+def alloc(cpu, memory=0.5):
+    return ResourceVector.of(cpu=cpu, memory=memory, io=0.5)
+
+
+def test_ablation_calibration_interpolation(benchmark, machine, tpch):
+    probes = [alloc(0.5, 0.5), alloc(0.375, 0.625), alloc(0.625, 0.375)]
+
+    def run():
+        runner = CalibrationRunner(machine)
+        exact_cache = CalibrationCache(runner, interpolate=False)
+        interp_cache = CalibrationCache(runner, interpolate=True)
+        # Only the 4 corners are calibrated for the interpolating cache.
+        interp_cache.calibrate_grid([0.25, 0.75], [0.25, 0.75], [0.5])
+
+        rows = []
+        for probe in probes:
+            exact = exact_cache.params_for(probe)
+            approx = interp_cache.params_for(probe)
+            rows.append((
+                f"cpu={probe.cpu:.3f} mem={probe.memory:.3f}",
+                exact.cpu_tuple_cost, approx.cpu_tuple_cost,
+                abs(approx.cpu_tuple_cost / exact.cpu_tuple_cost - 1),
+                abs(approx.seconds_per_seq_page / exact.seconds_per_seq_page - 1),
+            ))
+        calibrations_saved = exact_cache.n_calibrations  # one per probe
+        return rows, interp_cache.n_calibrations, calibrations_saved
+
+    rows, corner_count, probe_count = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    table = format_table(
+        ["probe allocation", "exact cpu_tuple_cost", "interpolated",
+         "rel. error", "T_seq rel. error"],
+        rows,
+        title="Ablation A2a: interpolated vs exact calibration",
+    )
+    table += (
+        f"\n\nCalibration experiments: {corner_count} (corner grid, reused for "
+        f"any interior allocation) vs {probe_count} exact probes "
+        f"(one per allocation, growing with every new design problem)"
+    )
+    report("ablation_calibration_interpolation", table)
+
+    # Interpolation must stay in the right ballpark. The residual error
+    # is the curvature of the ~1/share parameter surfaces between grid
+    # points (largest at the grid center); T_seq itself interpolates
+    # well. A denser grid shrinks both — that is the trade-off this
+    # ablation quantifies.
+    for _probe, _exact, _approx, tuple_err, seq_err in rows:
+        assert tuple_err < 1.0
+        assert seq_err < 0.3
+
+
+def test_ablation_calibration_protocols(benchmark, machine, tpch):
+    allocations = [alloc(c) for c in (0.25, 0.5, 0.75)]
+
+    def run():
+        sequential = CalibrationRunner(machine, method="sequential")
+        lstsq = CalibrationRunner(machine, method="lstsq")
+        spec = WorkloadSpec(Workload("q13", [tpch_query("Q13")]), tpch)
+        rows = []
+        rankings = {}
+        for method, runner in (("sequential", sequential), ("lstsq", lstsq)):
+            cache = CalibrationCache(runner)
+            model = OptimizerCostModel(cache)
+            costs = [model.cost(spec, a) for a in allocations]
+            rankings[method] = sorted(range(3), key=lambda i: costs[i])
+            for a, cost in zip(allocations, costs):
+                params = cache.params_for(a)
+                rows.append((method, f"{a.cpu:.0%}", params.cpu_tuple_cost,
+                             params.random_page_cost, cost))
+        return rows, rankings
+
+    rows, rankings = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    table = format_table(
+        ["protocol", "cpu share", "cpu_tuple_cost", "random_page_cost",
+         "est. Q13 cost (s)"],
+        rows,
+        title="Ablation A2b: sequential vs least-squares calibration",
+    )
+    sequential_ok = rankings["sequential"] == [2, 1, 0]
+    lstsq_ok = rankings["lstsq"] == [2, 1, 0]
+    table += (
+        f"\n\nCPU-allocation ranking for Q13 (best to worst CPU share):"
+        f" sequential {'correct' if sequential_ok else 'WRONG'},"
+        f" least-squares {'correct' if lstsq_ok else 'WRONG'}."
+        f"\nFinding: the joint fit mixes cache regimes (thrashing index"
+        f" scans vs cached loops) into one system and is not rank-safe;"
+        f" the closed-form sequential protocol is the library default."
+    )
+    report("ablation_calibration_protocols", table)
+
+    # The default protocol must rank CPU allocations correctly for a
+    # CPU-bound query (more CPU -> cheaper); the joint fit's failure to
+    # do so reliably is this ablation's documented finding.
+    assert rankings["sequential"] == [2, 1, 0]

@@ -1,0 +1,119 @@
+"""Extension E5 — capped vs work-conserving scheduling under co-location.
+
+The paper's formulation prices an allocation as if each VM always held
+exactly its share (Xen's *cap* mode) — which also makes workloads
+measurable in isolation. Xen equally supports *work-conserving* weights
+where idle capacity flows to whoever can use it. This benchmark re-runs
+the Figure-5 scenario with both tenants executing concurrently and asks
+how much of the designed allocation's benefit the scheduler mode
+changes.
+
+Expected shape: under caps the 25/75 design clearly beats 50/50 (the
+paper's result); under work-conserving weights the default narrows the
+gap on its own, because the I/O-bound tenant's unused CPU flows to the
+CPU-bound tenant regardless of the configured split.
+"""
+
+import pytest
+
+from repro.core.measure import WorkloadRunner
+from repro.util.tables import format_table
+from repro.virt.colocation import ColocationSimulator, timeline_from_runs
+from repro.virt.resources import ResourceVector
+from repro.workloads import tpch_query
+from repro.workloads.workload import Workload
+
+from conftest import report
+
+
+def test_ext_colocation_scheduling_modes(benchmark, machine, tpch, calibration):
+    w_q4 = Workload.repeat("w-q4", tpch_query("Q4"), 3)
+    w_q13 = Workload.repeat("w-q13", tpch_query("Q13"), 9)
+
+    def run():
+        # Collect each tenant's statement traces once (memory fixed at
+        # 50%, so traces do not depend on the CPU split under test).
+        runner = WorkloadRunner(machine)
+        base = ResourceVector.of(cpu=0.5, memory=0.5, io=0.5)
+        params = calibration.params_for(base)
+        q4_traces = runner.run(w_q4, tpch, base,
+                               planning_params=params).statement_traces
+        q13_traces = runner.run(w_q13, tpch, base,
+                                planning_params=params).statement_traces
+
+        simulator = ColocationSimulator(machine, step_seconds=0.002)
+        scenarios = {}
+        for split_label, q4_cpu, q13_cpu in (("default 50/50", 0.5, 0.5),
+                                             ("designed 25/75", 0.25, 0.75)):
+            for mode_label, conserving in (("capped", False),
+                                           ("work-conserving", True)):
+                timelines = [
+                    timeline_from_runs(
+                        "w-q4",
+                        ResourceVector.of(cpu=q4_cpu, memory=0.5, io=0.5),
+                        q4_traces, machine,
+                    ),
+                    timeline_from_runs(
+                        "w-q13",
+                        ResourceVector.of(cpu=q13_cpu, memory=0.5, io=0.5),
+                        q13_traces, machine,
+                    ),
+                ]
+                result = simulator.run(timelines, work_conserving=conserving)
+                scenarios[(split_label, mode_label)] = result
+        return scenarios
+
+    scenarios = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    rows = []
+    for (split, mode), result in sorted(scenarios.items()):
+        rows.append([
+            split, mode,
+            result.completion_seconds["w-q4"],
+            result.completion_seconds["w-q13"],
+            result.makespan_seconds,
+        ])
+    table = format_table(
+        ["allocation", "scheduler mode", "w-q4 done (s)", "w-q13 done (s)",
+         "makespan (s)"],
+        rows,
+        title="Extension E5: concurrent co-location, capped vs "
+              "work-conserving scheduling",
+    )
+
+    capped_gap = (
+        scenarios[("default 50/50", "capped")].completion_seconds["w-q13"]
+        / scenarios[("designed 25/75", "capped")].completion_seconds["w-q13"]
+    )
+    conserving_gap = (
+        scenarios[("default 50/50", "work-conserving")]
+        .completion_seconds["w-q13"]
+        / scenarios[("designed 25/75", "work-conserving")]
+        .completion_seconds["w-q13"]
+    )
+    table += (
+        f"\n\nQ13 speedup from the 25/75 design: {capped_gap:.2f}x under caps "
+        f"vs {conserving_gap:.2f}x work-conserving.\nWork-conserving weights "
+        f"recover part of the design's benefit automatically; caps make the "
+        f"design decision essential — and caps are what make per-VM "
+        f"performance predictable enough to design for."
+    )
+    report("ext_colocation", table)
+
+    # Under caps the design must help Q13 substantially.
+    assert capped_gap > 1.15
+    # Work-conserving narrows (but need not erase) the design's edge.
+    assert conserving_gap < capped_gap
+    # Work-conserving mode never slows any tenant relative to caps at
+    # the same configured shares.
+    for split in ("default 50/50", "designed 25/75"):
+        for name in ("w-q4", "w-q13"):
+            assert scenarios[(split, "work-conserving")] \
+                .completion_seconds[name] <= \
+                scenarios[(split, "capped")].completion_seconds[name] + 1e-6
+    # No overlap is modeled inside a VM here, so Q4's slowdown at 25%
+    # CPU is an upper bound on what the isolated measurement (Figure 5)
+    # shows; it must still finish within a sane envelope.
+    assert scenarios[("designed 25/75", "capped")] \
+        .completion_seconds["w-q4"] <= \
+        scenarios[("default 50/50", "capped")].completion_seconds["w-q4"] * 1.5

@@ -1,0 +1,86 @@
+"""Extension E2 — service-level objectives (paper, Section 7).
+
+"Adding different service-level objectives to the different workloads
+is also an interesting direction for future work." Two identical
+CPU-bound tenants compete; an SLO policy (a) weights the gold tenant's
+seconds 5x, and (b) alternatively bounds the batch tenant's degradation
+at 10% — showing both how SLOs steer the design and how constraints
+temper it.
+"""
+
+import pytest
+
+from repro.core.designer import VirtualizationDesigner
+from repro.core.problem import VirtualizationDesignProblem, WorkloadSpec
+from repro.core.slo import ServiceLevelObjective, SloPolicy
+from repro.util.tables import format_table
+from repro.virt.resources import ResourceKind
+from repro.workloads import tpch_query
+from repro.workloads.workload import Workload
+
+from conftest import report
+
+
+@pytest.fixture(scope="module")
+def problem(tpch, machine):
+    q13 = tpch_query("Q13")
+    specs = [
+        WorkloadSpec(Workload.repeat("gold", q13, 4), tpch),
+        WorkloadSpec(Workload.repeat("batch", q13, 4), tpch),
+    ]
+    return VirtualizationDesignProblem(
+        machine=machine, specs=specs,
+        controlled_resources=(ResourceKind.CPU,),
+    )
+
+
+def test_ext_slo_policies(benchmark, problem, estimated_model):
+    def run():
+        rows = []
+        designs = {}
+        policies = {
+            "no SLO": None,
+            "gold weight 5x": SloPolicy({
+                "gold": ServiceLevelObjective(weight=5.0),
+            }),
+            "gold 5x + batch <=10% degradation": SloPolicy({
+                "gold": ServiceLevelObjective(weight=5.0),
+                "batch": ServiceLevelObjective(max_degradation=0.10),
+            }),
+        }
+        for label, policy in policies.items():
+            designer = VirtualizationDesigner(problem, estimated_model,
+                                              slo=policy)
+            design = designer.design("exhaustive", grid=8)
+            designs[label] = design
+            rows.append([
+                label,
+                design.allocation.vector_for("gold").cpu,
+                design.allocation.vector_for("batch").cpu,
+                design.predicted_costs["gold"],
+                design.predicted_costs["batch"],
+            ])
+        return rows, designs
+
+    rows, designs = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    report("ext_slo", format_table(
+        ["policy", "gold CPU", "batch CPU", "gold est. (s)", "batch est. (s)"],
+        rows,
+        title="Extension E2: service-level objectives steer the design",
+    ))
+
+    neutral = designs["no SLO"]
+    weighted = designs["gold weight 5x"]
+    bounded = designs["gold 5x + batch <=10% degradation"]
+
+    # Identical tenants split evenly without SLOs.
+    assert neutral.allocation.vector_for("gold").cpu == pytest.approx(0.5)
+    # Weighting pulls CPU toward gold.
+    assert weighted.allocation.vector_for("gold").cpu > 0.5
+    # The degradation bound keeps batch within 10% of its baseline.
+    baseline_batch = neutral.default_costs["batch"]
+    assert bounded.predicted_costs["batch"] <= baseline_batch * 1.10 + 1e-9
+    # And therefore gold gets no more CPU than the unconstrained case.
+    assert bounded.allocation.vector_for("gold").cpu <= \
+        weighted.allocation.vector_for("gold").cpu

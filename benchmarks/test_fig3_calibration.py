@@ -1,0 +1,52 @@
+"""Figure 3 — the calibrated ``cpu_tuple_cost`` parameter.
+
+Paper: "Figure 3 shows the result of using our calibration process to
+compute cpu_tuple_cost for different CPU and memory allocations,
+ranging from 25% to 75% of the available CPU or memory. The figure
+shows that the cpu_tuple_cost parameter is sensitive to changes in
+resource allocation, and that our calibration process can detect this
+sensitivity."
+
+Reproduced shape: cpu_tuple_cost *falls* as the CPU share grows (per
+tuple CPU time shrinks relative to a page fetch) and *rises* as the
+memory share grows (page fetches get cheaper with caching).
+"""
+
+from repro.virt.resources import ResourceVector
+from repro.util.tables import format_table
+
+from conftest import SHARE_LEVELS, report
+
+
+def test_fig3_cpu_tuple_cost_surface(benchmark, calibration):
+    def run():
+        surface = {}
+        for cpu in SHARE_LEVELS:
+            for memory in SHARE_LEVELS:
+                params = calibration.params_for(
+                    ResourceVector.of(cpu=cpu, memory=memory, io=0.5)
+                )
+                surface[(cpu, memory)] = params.cpu_tuple_cost
+        return surface
+
+    surface = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    headers = ["cpu share \\ mem share"] + [f"{m:.0%}" for m in SHARE_LEVELS]
+    rows = [
+        [f"{cpu:.0%}"] + [surface[(cpu, memory)] for memory in SHARE_LEVELS]
+        for cpu in SHARE_LEVELS
+    ]
+    report("fig3_cpu_tuple_cost", format_table(
+        headers, rows,
+        title="Figure 3: calibrated cpu_tuple_cost vs CPU and memory shares",
+    ))
+
+    # The paper's claim: the parameter is sensitive to the allocation.
+    for memory in SHARE_LEVELS:
+        column = [surface[(cpu, memory)] for cpu in SHARE_LEVELS]
+        assert column[0] > column[1] > column[2], \
+            f"cpu_tuple_cost must fall with CPU share (mem={memory})"
+    for cpu in SHARE_LEVELS:
+        row = [surface[(cpu, memory)] for memory in SHARE_LEVELS]
+        assert row[-1] > row[0], \
+            f"cpu_tuple_cost must rise with memory share (cpu={cpu})"

@@ -1,0 +1,69 @@
+"""Figure 4 — sensitivity of Q4 and Q13 to the CPU share.
+
+Paper: "The estimated and actual execution times in the figure both
+show that Q4 is not sensitive to changing the CPU allocation. ... On
+the other hand, Q13 is very sensitive to changing the CPU allocation."
+Memory is fixed at 50%; times are normalized to the default 50% CPU
+allocation.
+"""
+
+import pytest
+
+from repro.core.problem import WorkloadSpec
+from repro.util.tables import format_table
+from repro.virt.resources import ResourceVector
+from repro.workloads import tpch_query
+from repro.workloads.workload import Workload
+
+from conftest import SHARE_LEVELS, report
+
+
+def alloc(cpu):
+    return ResourceVector.of(cpu=cpu, memory=0.5, io=0.5)
+
+
+@pytest.fixture(scope="module")
+def specs(tpch):
+    return {
+        "Q4": WorkloadSpec(Workload("q4", [tpch_query("Q4")]), tpch),
+        "Q13": WorkloadSpec(Workload("q13", [tpch_query("Q13")]), tpch),
+    }
+
+
+def test_fig4_cpu_sensitivity(benchmark, specs, estimated_model, measured_model):
+    def run():
+        series = {}
+        for name, spec in specs.items():
+            est = [estimated_model.cost(spec, alloc(c)) for c in SHARE_LEVELS]
+            act = [measured_model.cost(spec, alloc(c)) for c in SHARE_LEVELS]
+            series[name] = {
+                "est": [v / est[1] for v in est],
+                "act": [v / act[1] for v in act],
+                "act_abs": act,
+            }
+        return series
+
+    series = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    headers = ["query", "series"] + [f"cpu {c:.0%}" for c in SHARE_LEVELS]
+    rows = []
+    for name in ("Q4", "Q13"):
+        rows.append([name, "estimated (norm.)"] + series[name]["est"])
+        rows.append([name, "actual (norm.)"] + series[name]["act"])
+        rows.append([name, "actual (seconds)"] + series[name]["act_abs"])
+    report("fig4_sensitivity", format_table(
+        headers, rows,
+        title="Figure 4: estimated vs actual execution time, normalized "
+              "to the 50% CPU allocation (memory fixed at 50%)",
+    ))
+
+    q4 = series["Q4"]["act"]
+    q13 = series["Q13"]["act"]
+    # Q4 is insensitive; Q13 is very sensitive.
+    assert q4[0] / q4[2] < 1.35
+    assert q13[0] / q13[2] > 1.5
+    # Estimates rank allocations exactly as measurements do.
+    for name in ("Q4", "Q13"):
+        est, act = series[name]["est"], series[name]["act"]
+        assert sorted(range(3), key=lambda i: est[i]) == \
+            sorted(range(3), key=lambda i: act[i])

@@ -1,0 +1,100 @@
+"""Figure 5 — effect of the designed allocation on total execution time.
+
+Paper: two workloads, one of 3 copies of Q4 and one of 9 copies of Q13
+(copies chosen so the workloads take similar time at equal shares).
+"The figure shows that the latter allocation [75% of the CPU to Q13]
+improves the performance of Q13 by 30% without hurting the performance
+of Q4."
+
+This benchmark also closes the loop the paper describes: the 25/75
+decision is *made by the virtualization designer from optimizer
+estimates*, then validated by measurement.
+"""
+
+import pytest
+
+from repro.core.designer import VirtualizationDesigner
+from repro.core.problem import VirtualizationDesignProblem, WorkloadSpec
+from repro.util.tables import format_table
+from repro.virt.resources import ResourceKind, ResourceVector
+from repro.workloads import tpch_query
+from repro.workloads.workload import Workload
+
+from conftest import report
+
+
+def alloc(cpu):
+    return ResourceVector.of(cpu=cpu, memory=0.5, io=0.5)
+
+
+@pytest.fixture(scope="module")
+def workload_specs(tpch):
+    return [
+        WorkloadSpec(Workload.repeat("w-q4", tpch_query("Q4"), 3), tpch),
+        WorkloadSpec(Workload.repeat("w-q13", tpch_query("Q13"), 9), tpch),
+    ]
+
+
+def test_fig5_designed_allocation(benchmark, workload_specs, machine,
+                                  estimated_model, measured_model):
+    def run():
+        # The designer makes the decision from estimates alone.
+        problem = VirtualizationDesignProblem(
+            machine=machine, specs=workload_specs,
+            controlled_resources=(ResourceKind.CPU,),
+        )
+        designer = VirtualizationDesigner(problem, estimated_model)
+        design = designer.design("exhaustive", grid=4)
+
+        q4_spec, q13_spec = workload_specs
+        chosen_q4 = design.allocation.vector_for("w-q4").cpu
+        chosen_q13 = design.allocation.vector_for("w-q13").cpu
+        measured = {
+            "default": {
+                "w-q4": measured_model.cost(q4_spec, alloc(0.5)),
+                "w-q13": measured_model.cost(q13_spec, alloc(0.5)),
+            },
+            "designed": {
+                "w-q4": measured_model.cost(q4_spec, alloc(chosen_q4)),
+                "w-q13": measured_model.cost(q13_spec, alloc(chosen_q13)),
+            },
+        }
+        return design, measured
+
+    design, measured = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    chosen_q4 = design.allocation.vector_for("w-q4").cpu
+    chosen_q13 = design.allocation.vector_for("w-q13").cpu
+    q13_improvement = 1 - measured["designed"]["w-q13"] / measured["default"]["w-q13"]
+    q4_degradation = measured["designed"]["w-q4"] / measured["default"]["w-q4"] - 1
+
+    headers = ["allocation", "w-q4 (3 x Q4) seconds", "w-q13 (9 x Q13) seconds",
+               "total seconds"]
+    rows = [
+        ["default 50%/50%",
+         measured["default"]["w-q4"], measured["default"]["w-q13"],
+         measured["default"]["w-q4"] + measured["default"]["w-q13"]],
+        [f"designed {chosen_q4:.0%}/{chosen_q13:.0%}",
+         measured["designed"]["w-q4"], measured["designed"]["w-q13"],
+         measured["designed"]["w-q4"] + measured["designed"]["w-q13"]],
+    ]
+    table = format_table(headers, rows,
+                         title="Figure 5: total execution time per workload")
+    table += (
+        f"\n\nDesigner decision (from estimates): CPU {chosen_q4:.0%} to w-q4, "
+        f"{chosen_q13:.0%} to w-q13"
+        f"\nMeasured: w-q13 improves {q13_improvement:.1%} "
+        f"(paper: ~30%), w-q4 changes {q4_degradation:+.1%} "
+        f"(paper: not hurt)"
+    )
+    report("fig5_workload", table)
+
+    # The paper's decision: take CPU away from Q4, give it to Q13.
+    assert chosen_q13 > chosen_q4
+    # The paper's outcome: Q13 improves substantially, Q4 barely moves,
+    # and the total is better than the default.
+    assert q13_improvement > 0.15
+    assert q4_degradation < 0.25
+    default_total = sum(measured["default"].values())
+    designed_total = sum(measured["designed"].values())
+    assert designed_total < default_total

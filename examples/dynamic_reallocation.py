@@ -1,0 +1,83 @@
+"""Dynamic reallocation: reconfigure VMs as the workload shifts.
+
+The paper's Section 7 next step, demonstrated: two tenants swap roles
+between day (tenant A audits orders, tenant B crunches customer
+reports) and night (batch roles reverse). A controller that re-solves
+the design problem at each phase boundary is compared with keeping the
+first design and with never designing at all.
+
+Run with:  python examples/dynamic_reallocation.py
+"""
+
+from repro import (
+    CalibrationCache,
+    CalibrationRunner,
+    DynamicReallocator,
+    OptimizerCostModel,
+    Workload,
+    WorkloadPhase,
+    WorkloadSpec,
+    build_tpch_database,
+    laboratory_machine,
+    tpch_query,
+)
+
+
+def main() -> None:
+    machine = laboratory_machine()
+    print("Loading the shared TPC-H database ...")
+    db = build_tpch_database(scale_factor=0.01,
+                             tables=["customer", "orders", "lineitem"])
+
+    q4, q13 = tpch_query("Q4"), tpch_query("Q13")
+
+    def spec(name: str, sql: str, copies: int) -> WorkloadSpec:
+        return WorkloadSpec(Workload.repeat(name, sql, copies), db)
+
+    phases = [
+        WorkloadPhase("day", [spec("tenant-a", q4, 2), spec("tenant-b", q13, 6)]),
+        WorkloadPhase("night", [spec("tenant-a", q13, 6), spec("tenant-b", q4, 2)]),
+        WorkloadPhase("day-2", [spec("tenant-a", q4, 2), spec("tenant-b", q13, 6)]),
+        WorkloadPhase("night-2", [spec("tenant-a", q13, 6), spec("tenant-b", q4, 2)]),
+    ]
+
+    calibration = CalibrationCache(CalibrationRunner(machine))
+    reallocator = DynamicReallocator(
+        machine, OptimizerCostModel(calibration),
+        algorithm="exhaustive", grid=4,
+        reconfiguration_seconds=0.05,  # Xen share changes are cheap
+    )
+    print("Evaluating strategies over "
+          f"{len(phases)} phases ({' -> '.join(p.name for p in phases)}) ...\n")
+    reports = reallocator.run(phases)
+
+    for strategy in ("static-default", "static-designed", "dynamic",
+                     "triggered"):
+        report = reports[strategy]
+        per_phase = ", ".join(
+            f"{outcome.phase_name}={outcome.total_cost:.2f}s"
+            for outcome in report.outcomes
+        )
+        print(f"{strategy:16s} total {report.total_cost:6.2f}s "
+              f"({report.reconfigurations} reconfigurations)  [{per_phase}]")
+
+    dynamic = reports["dynamic"]
+    static = reports["static-designed"]
+    print(f"\nDynamic reallocation saves "
+          f"{(1 - dynamic.total_cost / static.total_cost):.1%} over keeping "
+          f"the day-phase design, despite paying for reconfigurations.")
+    print("('triggered' is the realistic variant: it only re-designs after "
+          "observing drift,\n so on this alternating schedule it lags each "
+          "swap by one phase.)")
+    print("Allocations chosen by the controller:")
+    for outcome in dynamic.outcomes:
+        shares = ", ".join(
+            f"{name}: cpu={vec.cpu:.0%}"
+            for name, vec in sorted(outcome.allocation.items())
+        )
+        marker = " (reconfigured)" if outcome.reconfigured else ""
+        print(f"  {outcome.phase_name:8s} {shares}{marker}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,70 @@
+"""Quickstart: solve one virtualization design problem end to end.
+
+Two database workloads — an I/O-bound order-auditing mix (TPC-H Q4) and
+a CPU-bound customer-reporting mix (TPC-H Q13) — are to be consolidated
+onto one physical machine, each in its own virtual machine. The
+designer calibrates the optimizer per candidate allocation, estimates
+workload costs in the virtualization-aware what-if mode, searches the
+allocation space, and recommends CPU shares; the recommendation is then
+validated by actually running the workloads in simulated VMs.
+
+Run with:  python examples/quickstart.py
+"""
+
+from repro import (
+    CalibrationCache,
+    CalibrationRunner,
+    MeasuredCostModel,
+    OptimizerCostModel,
+    ResourceKind,
+    VirtualizationDesignProblem,
+    VirtualizationDesigner,
+    Workload,
+    WorkloadSpec,
+    build_tpch_database,
+    laboratory_machine,
+    tpch_query,
+)
+
+
+def main() -> None:
+    machine = laboratory_machine()
+    print(f"Physical machine: {machine.name} "
+          f"({machine.memory_mib:.0f} MiB RAM, "
+          f"{machine.cpu_units_per_second / 1e6:.0f}M CPU units/s)")
+
+    print("Loading the TPC-H database (this is the workloads' data) ...")
+    db = build_tpch_database(scale_factor=0.01,
+                             tables=["customer", "orders", "lineitem"])
+
+    specs = [
+        WorkloadSpec(Workload.repeat("order-audit", tpch_query("Q4"), 3), db),
+        WorkloadSpec(Workload.repeat("cust-report", tpch_query("Q13"), 9), db),
+    ]
+
+    print("Calibrating the optimizer per candidate allocation "
+          "(cached; done once per machine) ...")
+    calibration = CalibrationCache(CalibrationRunner(machine))
+    problem = VirtualizationDesignProblem(
+        machine=machine, specs=specs,
+        controlled_resources=(ResourceKind.CPU,),  # memory/I/O split evenly
+    )
+    designer = VirtualizationDesigner(problem, OptimizerCostModel(calibration))
+
+    design = designer.design("exhaustive", grid=4)
+    print()
+    print(design.summary())
+
+    print("\nValidating the design with measured execution ...")
+    measured = MeasuredCostModel(machine, calibration=calibration)
+    for name in design.allocation.workload_names():
+        spec = problem.spec(name)
+        designed = measured.cost(spec, design.allocation.vector_for(name))
+        default = measured.cost(spec, design.default_allocation.vector_for(name))
+        print(f"  {name}: measured {designed:.3f}s under the design "
+              f"vs {default:.3f}s under equal shares "
+              f"({(1 - designed / default):+.1%})")
+
+
+if __name__ == "__main__":
+    main()

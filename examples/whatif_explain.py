@@ -1,0 +1,85 @@
+"""A tour of the virtualization-aware what-if optimizer mode.
+
+The paper's core instrument, shown directly: the same query is costed
+under parameter sets calibrated for different resource allocations —
+without executing anything — and the estimates (and sometimes the plans
+themselves) change with the allocation. Ends with a case where the
+allocation flips the optimizer's access-path choice.
+
+Run with:  python examples/whatif_explain.py
+"""
+
+from repro import (
+    CalibrationCache,
+    CalibrationRunner,
+    ResourceVector,
+    WhatIfOptimizer,
+    build_tpch_database,
+    laboratory_machine,
+    tpch_query,
+)
+
+
+def main() -> None:
+    machine = laboratory_machine()
+    print("Loading TPC-H and calibrating three CPU allocations ...")
+    db = build_tpch_database(scale_factor=0.01,
+                             tables=["customer", "orders", "lineitem"])
+    calibration = CalibrationCache(CalibrationRunner(machine))
+    whatif = WhatIfOptimizer(db.catalog)
+
+    allocations = {
+        f"cpu {cpu:.0%} / mem 50%": ResourceVector.of(cpu=cpu, memory=0.5, io=0.5)
+        for cpu in (0.25, 0.5, 0.75)
+    }
+
+    print("\n=== Estimated execution times per allocation (nothing runs) ===")
+    for query_name in ("Q4", "Q13"):
+        print(f"\n{query_name}:")
+        for label, allocation in allocations.items():
+            params = calibration.params_for(allocation)
+            estimate = whatif.with_params(params).estimate_query(
+                tpch_query(query_name)
+            )
+            print(f"  {label}: {estimate.estimated_seconds:7.3f}s estimated "
+                  f"(cpu_tuple_cost={params.cpu_tuple_cost:.4f})")
+
+    print("\n=== The calibrated plan for Q4 at the default allocation ===")
+    params = calibration.params_for(ResourceVector.of(cpu=0.5, memory=0.5, io=0.5))
+    print(whatif.with_params(params).explain(tpch_query("Q4")))
+
+    print("\n=== Why calibration matters: a plan flip ===")
+    sql = ("select o_orderpriority from orders "
+           "where o_orderdate >= date '1995-01-01' "
+           "and o_orderdate < date '1995-01-08'")
+    default_estimate = whatif.estimate_query(sql)  # PostgreSQL defaults
+    calibrated = whatif.with_params(
+        calibration.params_for(ResourceVector.of(cpu=0.5, memory=0.5, io=0.5))
+    ).estimate_query(sql)
+
+    def access_path(estimate):
+        for line in estimate.plan.explain().splitlines():
+            if "Scan" in line:
+                return line.strip().split("(")[0].strip()
+        return "?"
+
+    print(f"  uncalibrated defaults (random_page_cost=4):"
+          f" {access_path(default_estimate)}")
+    print(f"  calibrated for this VM (random_page_cost="
+          f"{calibrated.plan and calibration.params_for(ResourceVector.of(cpu=0.5, memory=0.5, io=0.5)).random_page_cost:.0f}):"
+          f" {access_path(calibrated)}")
+    print("\n(The simulated disk serves random reads two orders of magnitude "
+          "slower than\n sequential ones; only the calibrated optimizer "
+          "knows that and avoids the index.)")
+
+    print("\n=== EXPLAIN ANALYZE: estimates against reality ===")
+    print(db.explain_analyze(
+        "select o_orderpriority, count(*) as n from orders "
+        "where o_orderdate >= date '1994-01-01' "
+        "and o_orderdate < date '1994-04-01' "
+        "group by o_orderpriority"
+    ))
+
+
+if __name__ == "__main__":
+    main()

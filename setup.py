@@ -1,0 +1,7 @@
+"""Thin setup.py shim: enables legacy `pip install -e .` in offline
+environments where the PEP 660 editable path (which needs the `wheel`
+package) is unavailable."""
+
+from setuptools import setup
+
+setup()

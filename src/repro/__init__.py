@@ -1,0 +1,127 @@
+"""repro: reproduction of "Database Virtualization: A New Frontier for
+Database Tuning and Physical Design" (Soror, Aboulnaga, Salem; ICDE 2007).
+
+The package implements the paper's full stack on a simulated substrate:
+
+* :mod:`repro.virt` — a machine-virtualization layer (physical machine,
+  VMs with CPU/memory/I/O shares, credit scheduler, VMM, performance
+  model) standing in for the paper's Xen testbed.
+* :mod:`repro.engine` — a PostgreSQL-class relational engine (paged
+  heap storage, clock-sweep buffer pool, B+-trees, statistics, iterator
+  executor, SQL front end) whose execution produces exact work traces.
+* :mod:`repro.optimizer` — a cost-based optimizer with the paper's
+  virtualization-aware what-if mode.
+* :mod:`repro.calibration` — offline calibration of the optimizer
+  parameters ``P`` per resource allocation ``R`` (Section 5).
+* :mod:`repro.workloads` — a deterministic TPC-H-like benchmark kit.
+* :mod:`repro.core` — the virtualization design problem, cost models,
+  and combinatorial searches (Sections 3–4), plus the Section 7
+  extensions (SLOs, dynamic reallocation).
+
+Quickstart::
+
+    from repro import (
+        CalibrationCache, CalibrationRunner, OptimizerCostModel,
+        VirtualizationDesignProblem, VirtualizationDesigner,
+        Workload, WorkloadSpec, build_tpch_database, laboratory_machine,
+        tpch_query,
+    )
+
+    machine = laboratory_machine()
+    db = build_tpch_database(scale_factor=0.01)
+    specs = [
+        WorkloadSpec(Workload.repeat("oltp", tpch_query("Q4"), 3), db),
+        WorkloadSpec(Workload.repeat("reporting", tpch_query("Q13"), 9), db),
+    ]
+    cache = CalibrationCache(CalibrationRunner(machine))
+    designer = VirtualizationDesigner(
+        VirtualizationDesignProblem(machine=machine, specs=specs),
+        OptimizerCostModel(cache),
+    )
+    print(designer.design("exhaustive", grid=4).summary())
+"""
+
+from repro.calibration import (
+    CalibrationCache,
+    CalibrationRunner,
+    CalibrationWorkbench,
+)
+from repro.core import (
+    AllocationMatrix,
+    Design,
+    DriftReport,
+    PlacementDesigner,
+    PlacementResult,
+    WorkloadMonitor,
+    DynamicProgrammingSearch,
+    DynamicReallocator,
+    ExhaustiveSearch,
+    GreedySearch,
+    MeasuredCostModel,
+    OptimizerCostModel,
+    ServiceLevelObjective,
+    SloPolicy,
+    VirtualizationDesignProblem,
+    VirtualizationDesigner,
+    WorkloadPhase,
+    WorkloadRunner,
+    WorkloadSpec,
+)
+from repro.engine import Database
+from repro.optimizer import OptimizerParameters, Planner, WhatIfOptimizer
+from repro.virt import (
+    ColocationSimulator,
+    PhysicalMachine,
+    ResourceKind,
+    ResourceVector,
+    VirtualMachine,
+    VirtualMachineMonitor,
+    VMPerfModel,
+    equal_share,
+)
+from repro.virt.machine import laboratory_machine
+from repro.workloads import Workload, build_tpch_database, tpch_query
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "CalibrationCache",
+    "CalibrationRunner",
+    "CalibrationWorkbench",
+    "AllocationMatrix",
+    "Design",
+    "DriftReport",
+    "PlacementDesigner",
+    "PlacementResult",
+    "WorkloadMonitor",
+    "DynamicProgrammingSearch",
+    "DynamicReallocator",
+    "ExhaustiveSearch",
+    "GreedySearch",
+    "MeasuredCostModel",
+    "OptimizerCostModel",
+    "ServiceLevelObjective",
+    "SloPolicy",
+    "VirtualizationDesignProblem",
+    "VirtualizationDesigner",
+    "WorkloadPhase",
+    "WorkloadRunner",
+    "WorkloadSpec",
+    "Database",
+    "OptimizerParameters",
+    "Planner",
+    "WhatIfOptimizer",
+    "ColocationSimulator",
+    "PhysicalMachine",
+    "ResourceKind",
+    "ResourceVector",
+    "VirtualMachine",
+    "VirtualMachineMonitor",
+    "VMPerfModel",
+    "equal_share",
+    "laboratory_machine",
+    "Workload",
+    "build_tpch_database",
+    "tpch_query",
+    "__version__",
+]

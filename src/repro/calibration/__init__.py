@@ -1,0 +1,22 @@
+"""Offline calibration of optimizer parameters per resource allocation.
+
+Implements Section 5 of the paper: create a VM with allocation ``R``,
+run carefully designed synthetic queries on a synthetic database inside
+it, measure their execution times, and solve the resulting system of
+equations for the optimizer parameters ``P``. ``P(R)`` depends only on
+the machine and allocation — never on the user database or workload —
+so calibrations are cached and reused across design problems.
+"""
+
+from repro.calibration.synthetic import CalibrationWorkbench
+from repro.calibration.runner import CalibrationRunner, CalibrationMeasurement
+from repro.calibration.solver import solve_parameters
+from repro.calibration.cache import CalibrationCache
+
+__all__ = [
+    "CalibrationWorkbench",
+    "CalibrationRunner",
+    "CalibrationMeasurement",
+    "solve_parameters",
+    "CalibrationCache",
+]

@@ -1,0 +1,206 @@
+"""Caching, persisting, and interpolating calibrated parameters.
+
+Calibration is "a fairly lengthy process" (paper, Section 7), so each
+allocation is calibrated at most once per machine. The cache also
+implements the paper's suggested refinement for reducing the number of
+calibration experiments: calibrate a coarse grid of allocations and
+*interpolate* parameters for allocations in between (multilinear over
+the CPU/memory/I/O share axes). The interpolation ablation benchmark
+quantifies what this costs in accuracy.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.calibration.runner import CalibrationRunner
+from repro.optimizer.params import OptimizerParameters
+from repro.util.errors import CalibrationError
+from repro.virt.resources import ResourceKind, ResourceVector
+
+#: Shares are quantized to this many decimals for cache keys.
+_KEY_DECIMALS = 4
+
+
+def _key(allocation: ResourceVector) -> Tuple[float, float, float]:
+    return tuple(round(s, _KEY_DECIMALS) for s in allocation.as_tuple())
+
+
+class CalibrationCache:
+    """Memoized ``R -> P`` with optional multilinear interpolation."""
+
+    def __init__(self, runner: CalibrationRunner, interpolate: bool = False):
+        self._runner = runner
+        self._interpolate = interpolate
+        self._cache: Dict[Tuple[float, float, float], OptimizerParameters] = {}
+
+    @property
+    def calibrated_points(self) -> List[Tuple[float, float, float]]:
+        return sorted(self._cache)
+
+    @property
+    def n_calibrations(self) -> int:
+        return len(self._cache)
+
+    # -- population -------------------------------------------------------
+
+    def calibrate_grid(self, cpu_shares: Sequence[float],
+                       memory_shares: Sequence[float],
+                       io_shares: Sequence[float] = (1.0,)) -> int:
+        """Calibrate the cross product of share levels; returns count."""
+        count = 0
+        for cpu, mem, io in itertools.product(cpu_shares, memory_shares, io_shares):
+            self.params_for(ResourceVector.of(cpu=cpu, memory=mem, io=io),
+                            exact=True)
+            count += 1
+        return count
+
+    # -- lookup -----------------------------------------------------------------
+
+    def params_for(self, allocation: ResourceVector,
+                   exact: bool = False) -> OptimizerParameters:
+        """Parameters for *allocation*.
+
+        With interpolation enabled (and *exact* false), an uncalibrated
+        allocation is answered from the surrounding calibrated grid
+        points when possible; otherwise a fresh calibration runs.
+        """
+        key = _key(allocation)
+        cached = self._cache.get(key)
+        if cached is not None:
+            return cached
+        if self._interpolate and not exact:
+            interpolated = self._try_interpolate(allocation)
+            if interpolated is not None:
+                return interpolated
+        params = self._runner.parameters_for(allocation)
+        self._cache[key] = params
+        return params
+
+    # -- persistence -----------------------------------------------------------------
+
+    def save(self, path) -> int:
+        """Write all calibrated points to a JSON file; returns the count.
+
+        Calibration depends only on the machine and allocation, so a
+        saved cache is valid for any database and workload on the same
+        machine — persisting it amortizes the "fairly lengthy"
+        calibration process across sessions.
+        """
+        import json
+
+        payload = {
+            "format": "repro-calibration-cache/1",
+            "points": [
+                {"allocation": list(key), "parameters": params.as_dict()}
+                for key, params in sorted(self._cache.items())
+            ],
+        }
+        with open(path, "w") as handle:
+            json.dump(payload, handle, indent=2)
+        return len(self._cache)
+
+    def load(self, path) -> int:
+        """Merge calibrated points from a JSON file; returns the count added."""
+        import json
+
+        from repro.optimizer.params import OptimizerParameters as _Params
+
+        with open(path) as handle:
+            payload = json.load(handle)
+        if payload.get("format") != "repro-calibration-cache/1":
+            raise CalibrationError(
+                f"unrecognized calibration cache format in {path}"
+            )
+        added = 0
+        for point in payload["points"]:
+            key = tuple(float(v) for v in point["allocation"])
+            if len(key) != 3:
+                raise CalibrationError("allocation keys must have 3 shares")
+            if key not in self._cache:
+                self._cache[key] = _Params.from_dict(point["parameters"])
+                added += 1
+        return added
+
+    # -- interpolation ---------------------------------------------------------------
+
+    def _axis_values(self, axis: int) -> List[float]:
+        return sorted({point[axis] for point in self._cache})
+
+    @staticmethod
+    def _bracket(values: List[float], target: float) -> Optional[Tuple[float, float]]:
+        """The two grid values surrounding *target* (may coincide)."""
+        if not values:
+            return None
+        below = [v for v in values if v <= target + 1e-12]
+        above = [v for v in values if v >= target - 1e-12]
+        if not below or not above:
+            return None  # extrapolation is worse than calibrating
+        return max(below), min(above)
+
+    def _try_interpolate(self, allocation: ResourceVector) -> Optional[OptimizerParameters]:
+        target = _key(allocation)
+        brackets = []
+        for axis in range(3):
+            bracket = self._bracket(self._axis_values(axis), target[axis])
+            if bracket is None:
+                return None
+            brackets.append(bracket)
+
+        corners: List[Tuple[Tuple[float, float, float], float]] = []
+        for corner in itertools.product(*brackets):
+            weight = 1.0
+            for axis in range(3):
+                lo, hi = brackets[axis]
+                if hi == lo:
+                    fraction = 0.0
+                else:
+                    fraction = (target[axis] - lo) / (hi - lo)
+                weight *= (1.0 - fraction) if corner[axis] == lo else fraction
+            if weight > 0 and corner not in self._cache:
+                return None  # a needed corner was never calibrated
+            if weight > 0:
+                corners.append((corner, weight))
+        if not corners:
+            return None
+        total = sum(w for _c, w in corners)
+        if total <= 0:
+            return None
+
+        # Blend in the *time* domain: the ratio parameters are per-unit
+        # times divided by T_seq, and both numerator and denominator
+        # vary with the allocation. Interpolating the ratios directly
+        # compounds their curvatures; interpolating the underlying unit
+        # times and re-normalizing is markedly more accurate.
+        ratio_names = ("random_page_cost", "cpu_tuple_cost",
+                       "cpu_index_tuple_cost", "cpu_operator_cost",
+                       "cpu_like_byte_cost")
+        blended_times: Dict[str, float] = {name: 0.0 for name in ratio_names}
+        blended_t_seq = 0.0
+        blended_cache = 0.0
+        blended_sort = 0.0
+        for corner, weight in corners:
+            params = self._cache[corner]
+            share = weight / total
+            blended_t_seq += params.seconds_per_seq_page * share
+            blended_cache += params.effective_cache_size * share
+            blended_sort += params.sort_mem_pages * share
+            values = params.as_dict()
+            for name in ratio_names:
+                blended_times[name] += (
+                    values[name] * params.seconds_per_seq_page * share
+                )
+        return OptimizerParameters(
+            seq_page_cost=1.0,
+            random_page_cost=blended_times["random_page_cost"] / blended_t_seq,
+            cpu_tuple_cost=blended_times["cpu_tuple_cost"] / blended_t_seq,
+            cpu_index_tuple_cost=(
+                blended_times["cpu_index_tuple_cost"] / blended_t_seq
+            ),
+            cpu_operator_cost=blended_times["cpu_operator_cost"] / blended_t_seq,
+            cpu_like_byte_cost=blended_times["cpu_like_byte_cost"] / blended_t_seq,
+            effective_cache_size=int(blended_cache),
+            sort_mem_pages=int(blended_sort),
+            seconds_per_seq_page=blended_t_seq,
+        )

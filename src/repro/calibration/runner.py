@@ -1,0 +1,300 @@
+"""Running the calibration experiments.
+
+For an allocation ``R``, the runner boots a virtual machine with those
+shares on the target physical machine, installs the synthetic database,
+executes designed queries, measures their simulated execution times
+through the VM performance model, and deduces the optimizer parameters
+``P`` — Section 5 of the paper.
+
+Two protocols are provided:
+
+* ``sequential`` (default): the classical optimizer-calibration scheme.
+  CPU-priced parameters are isolated on the always-cached small table
+  (pairs of queries differing in exactly one work category), then the
+  page-fetch times are derived from steady-state big-table runs with
+  the CPU terms subtracted. Every parameter has a closed-form estimate.
+* ``lstsq``: all suite measurements are fitted jointly by regularized
+  least squares (:mod:`repro.calibration.solver`). Used by the
+  calibration ablation as the comparison point.
+
+Measured repetitions run against a cache primed by one unmeasured
+execution, so times reflect the steady-state behaviour the optimizer's
+cost formulas model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.calibration.solver import CalibrationSolution, solve_parameters
+from repro.calibration.synthetic import CalibrationWorkbench
+from repro.engine.database import Database
+from repro.engine.plans import IndexScan, PlanNode, walk
+from repro.engine.trace import WorkTrace
+from repro.optimizer.params import OptimizerParameters
+from repro.util.errors import CalibrationError
+from repro.util.rng import DeterministicRng
+from repro.virt.machine import PhysicalMachine
+from repro.virt.perf import VMPerfModel
+from repro.virt.resources import ResourceVector
+from repro.virt.vm import VirtualMachine, VMConfig
+
+#: Floor for derived per-unit times (seconds); avoids zero/negative
+#: parameters when a subtraction is dominated by model error.
+MIN_UNIT_SECONDS = 1e-9
+
+
+@dataclass
+class CalibrationMeasurement:
+    """One calibration query's measurement."""
+
+    query_name: str
+    design_row: List[float]
+    measured_seconds: float
+    trace: WorkTrace
+
+
+@dataclass
+class CalibrationReport:
+    """Everything one calibration run produced."""
+
+    allocation: ResourceVector
+    method: str = "sequential"
+    measurements: List[CalibrationMeasurement] = field(default_factory=list)
+    solution: Optional[CalibrationSolution] = None
+    parameters: Optional[OptimizerParameters] = None
+
+
+class CalibrationRunner:
+    """Calibrates ``P(R)`` on one physical machine."""
+
+    def __init__(self, machine: PhysicalMachine,
+                 workbench: Optional[CalibrationWorkbench] = None,
+                 method: str = "sequential",
+                 noise_sigma: float = 0.0, seed: int = 1234):
+        if method not in ("sequential", "lstsq"):
+            raise CalibrationError(f"unknown calibration method {method!r}")
+        self._machine = machine
+        self._workbench = workbench or CalibrationWorkbench()
+        self._method = method
+        self._noise_sigma = noise_sigma
+        self._rng = DeterministicRng(seed).fork("calibration-runner")
+        # The synthetic database is allocation-independent; build once
+        # and re-home it per calibration.
+        self._database = self._workbench.build_database()
+
+    @property
+    def machine(self) -> PhysicalMachine:
+        return self._machine
+
+    @property
+    def method(self) -> str:
+        return self._method
+
+    # -- measurement plumbing ------------------------------------------------
+
+    def _boot(self, allocation: ResourceVector) -> VMPerfModel:
+        vm = VirtualMachine(
+            self._machine,
+            VMConfig(name=f"calibration-{allocation.as_tuple()}", shares=allocation),
+        )
+        vm.attach_guest(self._database)
+        vm.start()
+        return VMPerfModel(
+            vm, noise_rng=self._rng if self._noise_sigma > 0 else None,
+            noise_sigma=self._noise_sigma,
+        )
+
+    def _measure(self, perf: VMPerfModel, name: str, build_plan,
+                 report: CalibrationReport,
+                 repetitions: int = 1) -> CalibrationMeasurement:
+        """Prime the cache, then measure; returns the last repetition."""
+        db = self._database
+        db.cold_restart()
+        db.run_plan(build_plan(db))  # unmeasured priming execution
+        measurement: Optional[CalibrationMeasurement] = None
+        for repetition in range(repetitions):
+            plan = build_plan(db)
+            result = db.run_plan(plan)
+            seconds = perf.elapsed(result.trace)
+            measurement = CalibrationMeasurement(
+                query_name=f"{name}#{repetition}",
+                design_row=self._design_row(plan, result.trace, db),
+                measured_seconds=seconds,
+                trace=result.trace,
+            )
+            report.measurements.append(measurement)
+        assert measurement is not None
+        return measurement
+
+    def _design_row(self, plan: PlanNode, trace: WorkTrace,
+                    db: Database) -> List[float]:
+        """Map a query's work counts to optimizer-charged quantities.
+
+        The calibration target is that the optimizer's *formulas*
+        reproduce measured times, so each row contains the quantities
+        the formulas multiply the parameters by: every scanned page is
+        charged (hit or miss) and random fetches are split by the same
+        cache-discount rule :func:`repro.optimizer.cost.cache_discount`
+        applies.
+        """
+        from repro.optimizer.cost import cache_discount
+
+        seq_pages = float(trace.seq_page_requests)
+        rand_pages = float(trace.random_page_requests)
+        discounted_rand = 0.0
+        discounted_to_seq = 0.0
+        if rand_pages > 0:
+            relation_pages = 0
+            for node in walk(plan):
+                if isinstance(node, IndexScan):
+                    relation_pages = max(
+                        relation_pages,
+                        db.catalog.table(node.table_name).heap.n_pages,
+                    )
+            probe = OptimizerParameters(
+                effective_cache_size=db.buffer_pool.capacity
+            )
+            discount = cache_discount(probe, relation_pages)
+            discounted_rand = rand_pages * (1.0 - discount)
+            discounted_to_seq = rand_pages * discount
+        return [
+            seq_pages + discounted_to_seq,
+            discounted_rand,
+            float(trace.tuples_processed),
+            float(trace.index_tuples),
+            float(trace.predicate_ops),
+            float(trace.like_bytes),
+        ]
+
+    # -- protocols ---------------------------------------------------------------
+
+    def calibrate(self, allocation: ResourceVector) -> CalibrationReport:
+        """Measure and solve ``P`` for one allocation."""
+        report = CalibrationReport(allocation=allocation, method=self._method)
+        perf = self._boot(allocation)
+        if self._method == "sequential":
+            self._calibrate_sequential(perf, report)
+        else:
+            self._calibrate_lstsq(perf, report)
+        return report
+
+    def _calibrate_sequential(self, perf: VMPerfModel,
+                              report: CalibrationReport) -> None:
+        bench = self._workbench
+        db = self._database
+
+        # Step 1: CPU-priced parameters from the always-cached small table.
+        base = self._measure(perf, "small_count", bench.plan_small_count, report)
+        pred = self._measure(perf, "small_pred", bench.plan_small_pred, report)
+        like = self._measure(perf, "small_like", bench.plan_small_like, report)
+
+        n_tuples = base.trace.tuples_processed
+        if n_tuples <= 0:
+            raise CalibrationError("small-table scan processed no tuples")
+        t_tuple = max(MIN_UNIT_SECONDS, base.measured_seconds / n_tuples)
+
+        delta_ops = pred.trace.predicate_ops - base.trace.predicate_ops
+        if delta_ops <= 0:
+            raise CalibrationError("predicate query added no operator work")
+        t_op = max(
+            MIN_UNIT_SECONDS,
+            (pred.measured_seconds - base.measured_seconds) / delta_ops,
+        )
+
+        delta_bytes = like.trace.like_bytes - base.trace.like_bytes
+        if delta_bytes <= 0:
+            raise CalibrationError("LIKE query matched no bytes")
+        like_cpu = (like.measured_seconds - base.measured_seconds
+                    - (like.trace.predicate_ops - base.trace.predicate_ops) * t_op)
+        t_like = max(MIN_UNIT_SECONDS, like_cpu / delta_bytes)
+
+        # Step 2: index-tuple cost from the always-cached small index scan.
+        sidx = self._measure(perf, "small_index", bench.plan_small_index, report)
+        fetched = sidx.trace.index_tuples
+        if fetched <= 0:
+            raise CalibrationError("small index scan fetched no tuples")
+        t_itup = max(
+            MIN_UNIT_SECONDS,
+            sidx.measured_seconds / fetched - t_tuple,
+        )
+
+        # Step 3: sequential page time from the steady-state scan ladder.
+        # Blending tables that do and do not fit in this allocation's
+        # buffer pool makes T_seq an *effective* (cache-weighted) page
+        # time that varies smoothly with the memory share.
+        total_io_seconds = 0.0
+        total_pages = 0
+        for table in bench.scan_ladder():
+            scan = self._measure(perf, f"scan_{table}",
+                                 bench.plan_ladder_scan(table), report)
+            total_pages += scan.trace.seq_page_requests
+            total_io_seconds += (
+                scan.measured_seconds - scan.trace.tuples_processed * t_tuple
+            )
+        if total_pages <= 0:
+            raise CalibrationError("ladder scans requested no pages")
+        # A fully cached page fetch still costs roughly a tuple's worth
+        # of CPU, which floors the effective sequential page time.
+        t_seq = max(1.2 * t_tuple, total_io_seconds / total_pages)
+
+        # Step 4: random page time from the steady-state huge index scan,
+        # inverted through the same cache discount the cost model uses.
+        bidx = self._measure(perf, "huge_index", bench.plan_huge_index, report)
+        row = bidx.design_row
+        priced_rand = row[1]
+        cpu_part = (
+            bidx.trace.tuples_processed * t_tuple
+            + bidx.trace.index_tuples * t_itup
+            + bidx.trace.predicate_ops * t_op
+        )
+        io_part = bidx.measured_seconds - cpu_part - row[0] * t_seq
+        if priced_rand > 0:
+            t_rand = max(t_seq, io_part / priced_rand)
+        else:
+            t_rand = 4.0 * t_seq  # nothing to measure: PostgreSQL default ratio
+
+        unit_seconds = {
+            "seq_pages": t_seq,
+            "rand_pages": t_rand,
+            "tuples": t_tuple,
+            "index_tuples": t_itup,
+            "ops": t_op,
+            "like_bytes": t_like,
+        }
+        predicted = [
+            sum(m.design_row[i] * u for i, u in enumerate(unit_seconds.values()))
+            for m in report.measurements
+        ]
+        residuals = [
+            p - m.measured_seconds for p, m in zip(predicted, report.measurements)
+        ]
+        rms = (sum(r * r for r in residuals) / len(residuals)) ** 0.5
+        report.solution = CalibrationSolution(unit_seconds=unit_seconds,
+                                              residual_rms=rms)
+        report.parameters = report.solution.to_parameters(
+            effective_cache_size=db.buffer_pool.capacity,
+            sort_mem_pages=db.sort_mem_pages,
+        )
+
+    def _calibrate_lstsq(self, perf: VMPerfModel,
+                         report: CalibrationReport) -> None:
+        db = self._database
+        for query in self._workbench.suite():
+            self._measure(perf, query.name, query.build_plan, report,
+                          repetitions=query.repetitions)
+        report.solution = solve_parameters(
+            [m.design_row for m in report.measurements],
+            [m.measured_seconds for m in report.measurements],
+        )
+        report.parameters = report.solution.to_parameters(
+            effective_cache_size=db.buffer_pool.capacity,
+            sort_mem_pages=db.sort_mem_pages,
+        )
+
+    def parameters_for(self, allocation: ResourceVector) -> OptimizerParameters:
+        """Calibrated parameters for one allocation (no caching here)."""
+        report = self.calibrate(allocation)
+        assert report.parameters is not None
+        return report.parameters

@@ -1,0 +1,136 @@
+"""Solving the calibration equations for ``P``.
+
+Each measured calibration query contributes one equation
+
+    t_i  =  seq_i * T_seq + rand_i * T_rand + tup_i * T_tup
+          + itup_i * T_itup + ops_i * T_op + like_i * T_like
+
+where the coefficients are the query's known work counts and the
+unknowns are the per-unit times. The system is solved by ridge-
+regularized non-negative least squares: the regularizer anchors weakly
+identified parameters (index-tuple cost is nearly collinear with random
+pages) to PostgreSQL's default *ratios* scaled by the measured
+sequential-page time, which is what a practitioner would do when a
+calibration experiment cannot separate two parameters.
+
+The recovered times are then normalized by ``T_seq`` to produce the
+optimizer parameter set, matching the paper's definition of
+``cpu_tuple_cost`` as a fraction of a sequential page fetch.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+import numpy as np
+
+from repro.optimizer.params import OptimizerParameters
+from repro.util.errors import CalibrationError
+
+#: Column order of the design matrix.
+CATEGORIES = ("seq_pages", "rand_pages", "tuples", "index_tuples", "ops",
+              "like_bytes")
+
+#: Ridge strength relative to the data scale.
+RIDGE_LAMBDA = 1e-3
+
+#: PostgreSQL default ratios used as the regularization anchor.
+_ANCHOR_RATIOS = {
+    "seq_pages": 1.0,
+    "rand_pages": 4.0,
+    "tuples": 0.01,
+    "index_tuples": 0.005,
+    "ops": 0.0025,
+    "like_bytes": 0.0002,
+}
+
+
+@dataclass
+class CalibrationSolution:
+    """Per-unit times recovered by the solver (seconds per unit)."""
+
+    unit_seconds: dict
+    residual_rms: float
+
+    def to_parameters(self, effective_cache_size: int,
+                      sort_mem_pages: int) -> OptimizerParameters:
+        t_seq = self.unit_seconds["seq_pages"]
+        if t_seq <= 0:
+            raise CalibrationError("calibration produced non-positive T_seq")
+        return OptimizerParameters(
+            seq_page_cost=1.0,
+            random_page_cost=self.unit_seconds["rand_pages"] / t_seq,
+            cpu_tuple_cost=self.unit_seconds["tuples"] / t_seq,
+            cpu_index_tuple_cost=self.unit_seconds["index_tuples"] / t_seq,
+            cpu_operator_cost=self.unit_seconds["ops"] / t_seq,
+            cpu_like_byte_cost=self.unit_seconds["like_bytes"] / t_seq,
+            effective_cache_size=effective_cache_size,
+            sort_mem_pages=sort_mem_pages,
+            seconds_per_seq_page=t_seq,
+        )
+
+
+def solve_parameters(design_rows: Sequence[Sequence[float]],
+                     measured_seconds: Sequence[float]) -> CalibrationSolution:
+    """Solve the calibration system; rows follow :data:`CATEGORIES`."""
+    if len(design_rows) != len(measured_seconds):
+        raise CalibrationError("design matrix and measurements disagree in length")
+    if len(design_rows) < len(CATEGORIES):
+        raise CalibrationError(
+            f"need at least {len(CATEGORIES)} measurements, "
+            f"got {len(design_rows)}"
+        )
+    A = np.asarray(design_rows, dtype=float)
+    t = np.asarray(measured_seconds, dtype=float)
+    if A.shape[1] != len(CATEGORIES):
+        raise CalibrationError(
+            f"design rows must have {len(CATEGORIES)} columns, "
+            f"got {A.shape[1]}"
+        )
+    if np.any(t < 0):
+        raise CalibrationError("negative measured times")
+
+    # Rough T_seq from the most sequential-page-dominated row (among
+    # rows without random I/O), used to scale the regularization anchor
+    # into seconds.
+    seq_col = A[:, 0].copy()
+    seq_col[A[:, 1] > 0] = 0.0  # ignore rows with random fetches
+    if seq_col.max() <= 0:
+        seq_col = A[:, 0]
+    if seq_col.max() <= 0:
+        raise CalibrationError("no calibration query touched sequential pages")
+    best_row = int(np.argmax(seq_col))
+    t_seq_guess = max(1e-9, float(t[best_row] / seq_col[best_row]))
+    anchor = np.array(
+        [_ANCHOR_RATIOS[c] * t_seq_guess for c in CATEGORIES]
+    )
+
+    # Weight rows by 1/t: the suite mixes sub-millisecond cached scans
+    # with multi-second index scans, and unweighted least squares would
+    # fit only the big rows. Relative-error weighting treats every
+    # designed query as equally informative.
+    row_weight = 1.0 / np.maximum(t, max(t.max(), 1e-12) * 1e-4)
+    A_weighted = A * row_weight[:, None]
+    t_weighted = t * row_weight
+
+    # Column scaling for conditioning.
+    col_scale = np.maximum(A_weighted.max(axis=0), 1e-12)
+    A_scaled = A_weighted / col_scale
+    anchor_scaled = anchor * col_scale
+
+    lam = RIDGE_LAMBDA * np.linalg.norm(A_scaled, ord="fro") / len(CATEGORIES)
+    augmented_A = np.vstack([A_scaled, lam * np.eye(len(CATEGORIES))])
+    augmented_t = np.concatenate([t_weighted, lam * anchor_scaled])
+
+    solution, *_ = np.linalg.lstsq(augmented_A, augmented_t, rcond=None)
+    unit_seconds = solution / col_scale
+    # Parameters are times: clamp tiny negatives from noise to the anchor.
+    unit_seconds = np.where(unit_seconds <= 0, anchor, unit_seconds)
+
+    residual = A @ unit_seconds - t
+    rms = float(np.sqrt(np.mean(residual ** 2))) if len(t) else 0.0
+    return CalibrationSolution(
+        unit_seconds=dict(zip(CATEGORIES, unit_seconds.tolist())),
+        residual_rms=rms,
+    )

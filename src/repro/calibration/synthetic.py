@@ -1,0 +1,193 @@
+"""The synthetic calibration database and query suite.
+
+The queries are *designed*, in the paper's sense: each one exercises a
+known mix of the work categories the optimizer parameters price
+(sequential pages, random pages, tuples, index tuples, predicate
+operators, LIKE bytes), so measuring their execution times yields a
+solvable system. Plans are built by hand rather than through the
+planner, guaranteeing the intended access paths (the paper achieves the
+same by constructing queries "so that the optimizer chooses specific
+plans").
+
+Layout of the synthetic database:
+
+* ``cal_small`` — a tiny table that is always cached; pairs of queries
+  over it isolate the CPU-priced parameters.
+* ``cal_scan_a`` < ``cal_scan_b`` < ``cal_scan_c`` — a *ladder* of scan
+  tables sized to cross the buffer-pool capacity at different memory
+  shares, so the effective sequential-page time (a blend of cached and
+  uncached fetches) varies smoothly with the memory allocation instead
+  of stepping.
+* ``cal_huge`` — larger than any pool; its scans always hit the disk
+  and its secondary index produces random fetches whose hit ratio is
+  graded by memory share.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional
+
+from repro.engine.database import Database
+from repro.engine.expr import BinaryOp, ColumnRef, Expr, LikeExpr, Literal, RowLayout
+from repro.engine.plans import Aggregate, AggFunc, AggSpec, IndexScan, PlanNode, SeqScan
+from repro.engine.schema import Column, ColumnType, TableSchema
+from repro.util.rng import DeterministicRng
+
+#: The always-cached CPU-measurement table.
+SMALL_TABLE = "cal_small"
+#: The scan ladder (ascending size).
+SCAN_TABLES = ("cal_scan_a", "cal_scan_b", "cal_scan_c")
+#: The never-cached table carrying the random-I/O index.
+HUGE_TABLE = "cal_huge"
+#: Width of the text payload column, in characters.
+TEXT_WIDTH = 48
+
+#: Default row counts. At ~92 rows/page these give roughly 250, 550,
+#: and 950 pages for the ladder and 1400 pages for the huge table —
+#: chosen against the laboratory machine's buffer pools at memory
+#: shares 25/50/75% (384/768/1152 pages).
+DEFAULT_ROWS = {
+    SMALL_TABLE: 2_000,
+    "cal_scan_a": 23_000,
+    "cal_scan_b": 50_000,
+    "cal_scan_c": 87_000,
+    HUGE_TABLE: 128_000,
+}
+
+
+@dataclass
+class CalibrationQuery:
+    """One designed query: a label and a physical-plan factory."""
+
+    name: str
+    build_plan: Callable[[Database], PlanNode]
+    #: Executions per measurement (repeats expose caching effects).
+    repetitions: int = 1
+
+
+def _count_star(scan: PlanNode) -> PlanNode:
+    return Aggregate(input=scan, group_keys=[],
+                     aggregates=[AggSpec(AggFunc.COUNT_STAR, None, "n")])
+
+
+def _scan(db: Database, table: str, filter_expr: Optional[Expr] = None) -> SeqScan:
+    schema = db.catalog.table(table).schema
+    scan = SeqScan(table_name=table, alias=table, filter_expr=filter_expr)
+    scan.layout = RowLayout([(table, col) for col in schema.column_names()])
+    return scan
+
+
+def _index_scan(db: Database, table: str, index_name: str,
+                low, high) -> IndexScan:
+    schema = db.catalog.table(table).schema
+    scan = IndexScan(table_name=table, alias=table, index_name=index_name,
+                     low=low, high=high)
+    scan.layout = RowLayout([(table, col) for col in schema.column_names()])
+    return scan
+
+
+class CalibrationWorkbench:
+    """Builds the synthetic database and the designed query suite."""
+
+    def __init__(self, rows: Optional[Dict[str, int]] = None, seed: int = 7):
+        self.rows = dict(DEFAULT_ROWS)
+        if rows:
+            self.rows.update(rows)
+        self.seed = seed
+
+    # -- database ---------------------------------------------------------
+
+    def _table_schema(self, name: str) -> TableSchema:
+        return TableSchema(name, [
+            Column("a", ColumnType.INT),          # sequential key
+            Column("b", ColumnType.INT),          # random permutation
+            Column("c", ColumnType.TEXT, avg_width=TEXT_WIDTH),
+        ])
+
+    def _table_rows(self, n: int, rng: DeterministicRng):
+        permutation = list(range(n))
+        rng.shuffle(permutation)
+        payload = "x" * (TEXT_WIDTH - 1) + "q"  # LIKE '%zz%' never matches
+        for i in range(n):
+            yield (i, permutation[i], payload)
+
+    def build_database(self, memory_pages: int = 4096) -> Database:
+        """Create and populate the calibration database."""
+        rng = DeterministicRng(self.seed).fork("calibration")
+        db = Database("calibration", memory_pages=memory_pages)
+        for table, n_rows in self.rows.items():
+            db.create_table(self._table_schema(table))
+            db.load_rows(table, self._table_rows(n_rows, rng.fork(table)))
+        db.create_index("cal_huge_b_idx", HUGE_TABLE, "b")
+        db.create_index("cal_small_b_idx", SMALL_TABLE, "b")
+        db.analyze()
+        return db
+
+    # -- designed predicates --------------------------------------------------
+
+    def always_true_predicate(self, n_clauses: int, table: str) -> Expr:
+        """A predicate true for every row with a known operator count.
+
+        ``a`` is non-negative in every calibration table, so each clause
+        evaluates (no short-circuiting) and passes.
+        """
+        expr: Expr = BinaryOp(">=", ColumnRef(table, "a"), Literal(-1))
+        for _ in range(n_clauses - 1):
+            expr = BinaryOp(
+                "and", expr, BinaryOp(">=", ColumnRef(table, "b"), Literal(-1))
+            )
+        return expr
+
+    # -- named plan builders (sequential protocol) ----------------------------
+
+    def plan_small_count(self, db: Database) -> PlanNode:
+        return _count_star(_scan(db, SMALL_TABLE))
+
+    def plan_small_pred(self, db: Database) -> PlanNode:
+        return _count_star(
+            _scan(db, SMALL_TABLE, self.always_true_predicate(4, SMALL_TABLE))
+        )
+
+    def plan_small_like(self, db: Database) -> PlanNode:
+        return _count_star(
+            _scan(db, SMALL_TABLE, LikeExpr(ColumnRef(SMALL_TABLE, "c"), "%zz%"))
+        )
+
+    def plan_small_index(self, db: Database) -> PlanNode:
+        return _count_star(_index_scan(
+            db, SMALL_TABLE, "cal_small_b_idx",
+            0, max(1, self.rows[SMALL_TABLE] // 4),
+        ))
+
+    def scan_ladder(self) -> List[str]:
+        """Tables whose steady-state scans blend into the T_seq estimate."""
+        return list(SCAN_TABLES) + [HUGE_TABLE]
+
+    def plan_ladder_scan(self, table: str):
+        def build(db: Database) -> PlanNode:
+            return _count_star(_scan(db, table))
+        return build
+
+    def plan_huge_index(self, db: Database) -> PlanNode:
+        return _count_star(_index_scan(
+            db, HUGE_TABLE, "cal_huge_b_idx",
+            0, max(1, self.rows[HUGE_TABLE] // 12),
+        ))
+
+    # -- the full suite (least-squares protocol) -----------------------------------
+
+    def suite(self) -> List[CalibrationQuery]:
+        """Every designed query, for the joint least-squares protocol."""
+        queries: List[CalibrationQuery] = [
+            CalibrationQuery("small_count", self.plan_small_count, repetitions=2),
+            CalibrationQuery("small_pred", self.plan_small_pred, repetitions=2),
+            CalibrationQuery("small_like", self.plan_small_like, repetitions=2),
+            CalibrationQuery("small_index", self.plan_small_index, repetitions=2),
+        ]
+        queries.extend(
+            CalibrationQuery(f"scan_{table}", self.plan_ladder_scan(table))
+            for table in self.scan_ladder()
+        )
+        queries.append(CalibrationQuery("huge_index", self.plan_huge_index))
+        return queries

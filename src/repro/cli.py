@@ -1,0 +1,233 @@
+"""Command-line interface.
+
+Exposes the library's main flows without writing Python::
+
+    python -m repro calibrate --cpu 0.5 --memory 0.5 --io 0.5 [--save P.json]
+    python -m repro design --scale 0.01 --grid 4 --algorithm exhaustive
+    python -m repro explain --query Q4 --cpu 0.5
+    python -m repro experiment fig3|fig4|fig5
+
+Everything runs on the simulated laboratory machine; see DESIGN.md for
+how that machine relates to the paper's testbed.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.calibration import CalibrationCache, CalibrationRunner
+from repro.core import (
+    MeasuredCostModel,
+    OptimizerCostModel,
+    VirtualizationDesignProblem,
+    VirtualizationDesigner,
+    WorkloadSpec,
+)
+from repro.optimizer.whatif import WhatIfOptimizer
+from repro.util.tables import format_table
+from repro.virt.machine import laboratory_machine
+from repro.virt.resources import ResourceKind, ResourceVector
+from repro.workloads import build_tpch_database, tpch_query
+from repro.workloads.workload import Workload
+
+SHARE_LEVELS = (0.25, 0.5, 0.75)
+
+
+def _allocation(args) -> ResourceVector:
+    return ResourceVector.of(cpu=args.cpu, memory=args.memory, io=args.io)
+
+
+def _add_share_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--cpu", type=float, default=0.5,
+                        help="CPU share in [0, 1] (default 0.5)")
+    parser.add_argument("--memory", type=float, default=0.5,
+                        help="memory share in [0, 1] (default 0.5)")
+    parser.add_argument("--io", type=float, default=0.5,
+                        help="I/O share in [0, 1] (default 0.5)")
+
+
+def _cache(args) -> CalibrationCache:
+    cache = CalibrationCache(CalibrationRunner(laboratory_machine()))
+    if getattr(args, "load", None):
+        cache.load(args.load)
+    return cache
+
+
+def cmd_calibrate(args) -> int:
+    cache = _cache(args)
+    params = cache.params_for(_allocation(args))
+    rows = sorted(params.as_dict().items())
+    print(format_table(["parameter", "value"], rows,
+                       title=f"Calibrated P for cpu={args.cpu} "
+                             f"memory={args.memory} io={args.io}"))
+    if args.save:
+        count = cache.save(args.save)
+        print(f"\nSaved {count} calibrated point(s) to {args.save}")
+    return 0
+
+
+def cmd_design(args) -> int:
+    machine = laboratory_machine()
+    print(f"Loading TPC-H (scale factor {args.scale}) ...", file=sys.stderr)
+    db = build_tpch_database(scale_factor=args.scale,
+                             tables=["customer", "orders", "lineitem"])
+    specs = [
+        WorkloadSpec(Workload.repeat("order-audit", tpch_query("Q4"), 3), db),
+        WorkloadSpec(Workload.repeat("cust-report", tpch_query("Q13"), 9), db),
+    ]
+    cache = _cache(args)
+    resources = tuple(
+        ResourceKind(token) for token in args.resources.split(",")
+    )
+    problem = VirtualizationDesignProblem(
+        machine=machine, specs=specs, controlled_resources=resources,
+    )
+    designer = VirtualizationDesigner(problem, OptimizerCostModel(cache))
+    design = designer.design(args.algorithm, grid=args.grid)
+    print(design.summary())
+    if args.validate:
+        measured = MeasuredCostModel(machine, calibration=cache)
+        rows = []
+        for name in design.allocation.workload_names():
+            spec = problem.spec(name)
+            designed = measured.cost(spec, design.allocation.vector_for(name))
+            default = measured.cost(
+                spec, design.default_allocation.vector_for(name)
+            )
+            rows.append([name, designed, default, 1 - designed / default])
+        print()
+        print(format_table(
+            ["workload", "measured designed (s)", "measured default (s)",
+             "improvement"],
+            rows, title="Measured validation",
+        ))
+    return 0
+
+
+def cmd_explain(args) -> int:
+    db = build_tpch_database(scale_factor=args.scale,
+                             tables=["customer", "orders", "lineitem"])
+    cache = _cache(args)
+    params = cache.params_for(_allocation(args))
+    whatif = WhatIfOptimizer(db.catalog, params)
+    print(whatif.explain(tpch_query(args.query)))
+    return 0
+
+
+def cmd_experiment(args) -> int:
+    machine = laboratory_machine()
+    cache = _cache(args)
+    if args.name == "fig3":
+        rows = []
+        for cpu in SHARE_LEVELS:
+            row = [f"cpu {cpu:.0%}"]
+            for memory in SHARE_LEVELS:
+                params = cache.params_for(
+                    ResourceVector.of(cpu=cpu, memory=memory, io=0.5)
+                )
+                row.append(params.cpu_tuple_cost)
+            rows.append(row)
+        print(format_table(
+            ["", *[f"mem {m:.0%}" for m in SHARE_LEVELS]], rows,
+            title="Figure 3: calibrated cpu_tuple_cost",
+        ))
+        return 0
+
+    db = build_tpch_database(scale_factor=0.01,
+                             tables=["customer", "orders", "lineitem"])
+    estimated = OptimizerCostModel(cache)
+    measured = MeasuredCostModel(machine, calibration=cache)
+
+    if args.name == "fig4":
+        rows = []
+        for query in ("Q4", "Q13"):
+            spec = WorkloadSpec(Workload(query.lower(), [tpch_query(query)]), db)
+            est = [estimated.cost(
+                spec, ResourceVector.of(cpu=c, memory=0.5, io=0.5)
+            ) for c in SHARE_LEVELS]
+            act = [measured.cost(
+                spec, ResourceVector.of(cpu=c, memory=0.5, io=0.5)
+            ) for c in SHARE_LEVELS]
+            rows.append([query, "estimated", *[v / est[1] for v in est]])
+            rows.append([query, "actual", *[v / act[1] for v in act]])
+        print(format_table(
+            ["query", "series", *[f"cpu {c:.0%}" for c in SHARE_LEVELS]],
+            rows, title="Figure 4: normalized execution time vs CPU share",
+        ))
+        return 0
+
+    if args.name == "fig5":
+        q4 = WorkloadSpec(Workload.repeat("w-q4", tpch_query("Q4"), 3), db)
+        q13 = WorkloadSpec(Workload.repeat("w-q13", tpch_query("Q13"), 9), db)
+        rows = []
+        for label, c4, c13 in (("default 50/50", 0.5, 0.5),
+                               ("designed 25/75", 0.25, 0.75)):
+            t4 = measured.cost(q4, ResourceVector.of(cpu=c4, memory=0.5, io=0.5))
+            t13 = measured.cost(q13, ResourceVector.of(cpu=c13, memory=0.5, io=0.5))
+            rows.append([label, t4, t13, t4 + t13])
+        print(format_table(
+            ["allocation", "w-q4 (s)", "w-q13 (s)", "total (s)"], rows,
+            title="Figure 5: workload execution time by allocation",
+        ))
+        return 0
+    raise AssertionError(f"unhandled experiment {args.name}")
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduction of 'Database Virtualization: A New "
+                    "Frontier for Database Tuning and Physical Design' "
+                    "(ICDE 2007)",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    calibrate = subparsers.add_parser(
+        "calibrate", help="calibrate optimizer parameters for an allocation")
+    _add_share_arguments(calibrate)
+    calibrate.add_argument("--save", help="write the calibration cache to a JSON file")
+    calibrate.add_argument("--load", help="preload a saved calibration cache")
+    calibrate.set_defaults(func=cmd_calibrate)
+
+    design = subparsers.add_parser(
+        "design", help="solve the paper's two-workload design problem")
+    design.add_argument("--scale", type=float, default=0.01,
+                        help="TPC-H scale factor (default 0.01)")
+    design.add_argument("--grid", type=int, default=4,
+                        help="search discretization (default 4)")
+    design.add_argument("--algorithm", default="exhaustive",
+                        choices=["exhaustive", "greedy", "dynamic-programming"])
+    design.add_argument("--resources", default="cpu",
+                        help="comma list of controlled resources "
+                             "(cpu,memory,io; default cpu)")
+    design.add_argument("--validate", action="store_true",
+                        help="also measure the design vs the default")
+    design.add_argument("--load", help="preload a saved calibration cache")
+    design.set_defaults(func=cmd_design)
+
+    explain = subparsers.add_parser(
+        "explain", help="what-if EXPLAIN of a TPC-H query under an allocation")
+    explain.add_argument("--query", default="Q4", help="query name (e.g. Q13)")
+    explain.add_argument("--scale", type=float, default=0.01)
+    _add_share_arguments(explain)
+    explain.add_argument("--load", help="preload a saved calibration cache")
+    explain.set_defaults(func=cmd_explain)
+
+    experiment = subparsers.add_parser(
+        "experiment", help="regenerate one of the paper's figures")
+    experiment.add_argument("name", choices=["fig3", "fig4", "fig5"])
+    experiment.add_argument("--load", help="preload a saved calibration cache")
+    experiment.set_defaults(func=cmd_experiment)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

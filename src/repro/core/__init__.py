@@ -1,0 +1,65 @@
+"""The virtualization design problem and its solvers (the paper's core).
+
+Given ``N`` database workloads to run in ``N`` virtual machines on one
+physical machine, find the resource allocation matrix ``R`` minimizing
+the total workload cost, using the virtualization-aware what-if
+optimizer as the cost model.
+"""
+
+from repro.core.problem import (
+    AllocationMatrix,
+    VirtualizationDesignProblem,
+    WorkloadSpec,
+)
+from repro.core.cost_model import (
+    CostModel,
+    MeasuredCostModel,
+    OptimizerCostModel,
+)
+from repro.core.measure import MeasuredRun, WorkloadRunner
+from repro.core.search import (
+    DynamicProgrammingSearch,
+    ExhaustiveSearch,
+    GreedySearch,
+    SearchResult,
+)
+from repro.core.designer import Design, VirtualizationDesigner
+from repro.core.slo import ServiceLevelObjective, SloPolicy
+from repro.core.dynamic import DynamicReallocator, WorkloadPhase
+from repro.core.monitor_workload import DriftReport, WorkloadMonitor
+from repro.core.negotiation import (
+    MemoryNegotiator,
+    NegotiationResult,
+    working_set_pages,
+    working_set_report,
+)
+from repro.core.placement import PlacementDesigner, PlacementResult
+
+__all__ = [
+    "AllocationMatrix",
+    "VirtualizationDesignProblem",
+    "WorkloadSpec",
+    "CostModel",
+    "MeasuredCostModel",
+    "OptimizerCostModel",
+    "MeasuredRun",
+    "WorkloadRunner",
+    "DynamicProgrammingSearch",
+    "ExhaustiveSearch",
+    "GreedySearch",
+    "SearchResult",
+    "Design",
+    "VirtualizationDesigner",
+    "ServiceLevelObjective",
+    "SloPolicy",
+    "DynamicReallocator",
+    "WorkloadPhase",
+    "DriftReport",
+    "WorkloadMonitor",
+    "PlacementDesigner",
+    "PlacementResult",
+    "MemoryNegotiator",
+    "NegotiationResult",
+    "working_set_pages",
+    "working_set_report",
+]

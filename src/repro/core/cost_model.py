@@ -1,0 +1,101 @@
+"""Cost models for the virtualization design problem.
+
+``Cost(W_i, R_i)`` — the objective's inner term — comes in two flavours:
+
+* :class:`OptimizerCostModel` is the paper's proposal: ask the query
+  optimizer, running in its virtualization-aware what-if mode under the
+  parameters calibrated for ``R_i``, for the estimated total execution
+  time of the workload. Nothing is executed.
+* :class:`MeasuredCostModel` actually runs the workload in a VM at
+  ``R_i`` and reports simulated wall-clock time. It is the ground truth
+  the experiments validate against (and an upper bound on what any
+  search could use in practice — measuring every candidate is exactly
+  what the what-if mode avoids).
+
+Both memoize per (workload, allocation): the search algorithms probe
+the same allocations repeatedly.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Dict, Optional, Tuple
+
+from repro.calibration.cache import CalibrationCache
+from repro.core.measure import WorkloadRunner
+from repro.core.problem import WorkloadSpec
+from repro.optimizer.params import OptimizerParameters
+from repro.optimizer.whatif import WhatIfOptimizer
+from repro.virt.machine import PhysicalMachine
+from repro.virt.resources import ResourceVector
+
+
+def _allocation_key(allocation: ResourceVector) -> Tuple[float, float, float]:
+    return tuple(round(s, 6) for s in allocation.as_tuple())
+
+
+class CostModel(ABC):
+    """Interface: estimated cost (seconds) of a workload at an allocation."""
+
+    def __init__(self):
+        self._memo: Dict[Tuple[str, Tuple[float, float, float]], float] = {}
+        self.evaluations = 0
+
+    def cost(self, spec: WorkloadSpec, allocation: ResourceVector) -> float:
+        # The workload's statements are part of the key: the same named
+        # workload may change content across phases (dynamic case).
+        key = (spec.name, hash(spec.workload.statements),
+               _allocation_key(allocation))
+        cached = self._memo.get(key)
+        if cached is not None:
+            return cached
+        self.evaluations += 1
+        value = self._cost(spec, allocation)
+        self._memo[key] = value
+        return value
+
+    @abstractmethod
+    def _cost(self, spec: WorkloadSpec, allocation: ResourceVector) -> float:
+        """Compute the cost (uncached)."""
+
+
+class OptimizerCostModel(CostModel):
+    """The paper's what-if cost model over calibrated parameters."""
+
+    def __init__(self, calibration: CalibrationCache):
+        super().__init__()
+        self._calibration = calibration
+        self._whatif: Dict[str, WhatIfOptimizer] = {}
+
+    def parameters_for(self, allocation: ResourceVector) -> OptimizerParameters:
+        return self._calibration.params_for(allocation)
+
+    def _cost(self, spec: WorkloadSpec, allocation: ResourceVector) -> float:
+        params = self.parameters_for(allocation)
+        whatif = self._whatif.get(spec.name)
+        if whatif is None:
+            whatif = WhatIfOptimizer(spec.database.catalog, params)
+            self._whatif[spec.name] = whatif
+        return whatif.with_params(params).estimate_workload(spec.workload.statements)
+
+
+class MeasuredCostModel(CostModel):
+    """Ground truth: execute the workload at the allocation and time it."""
+
+    def __init__(self, machine: PhysicalMachine,
+                 calibration: Optional[CalibrationCache] = None,
+                 noise_sigma: float = 0.0):
+        super().__init__()
+        self._runner = WorkloadRunner(machine, noise_sigma=noise_sigma)
+        self._calibration = calibration
+
+    def _cost(self, spec: WorkloadSpec, allocation: ResourceVector) -> float:
+        planning_params = (
+            self._calibration.params_for(allocation)
+            if self._calibration is not None else None
+        )
+        run = self._runner.run(
+            spec.workload, spec.database, allocation,
+            planning_params=planning_params,
+        )
+        return run.total_seconds

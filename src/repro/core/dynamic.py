@@ -1,0 +1,188 @@
+"""Dynamic reallocation (paper, Section 7 future work).
+
+"An important next step ... is to consider the dynamic case and
+reconfigure the virtual machines on the fly in response to changes in
+the workload." This module implements the obvious controller: the
+workload arrives in *phases*; at each phase boundary the controller
+re-solves the (static) virtualization design problem for the upcoming
+phase and applies the new shares through the VMM, paying a
+reconfiguration penalty when the allocation actually changes.
+
+The report compares four strategies over the same phase sequence:
+
+* ``static-default`` — equal shares throughout,
+* ``static-designed`` — one design computed for the first phase and
+  kept,
+* ``dynamic`` — re-designed every phase (plus reconfiguration costs),
+* ``triggered`` — re-designed only when a :class:`WorkloadMonitor`
+  detects cost drift at the current allocation; the realistic
+  controller, since production systems observe the change one phase
+  after it happens rather than being told the schedule.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Union
+
+from repro.core.cost_model import CostModel
+from repro.core.designer import VirtualizationDesigner
+from repro.core.monitor_workload import WorkloadMonitor
+from repro.core.problem import (
+    AllocationMatrix,
+    VirtualizationDesignProblem,
+    WorkloadSpec,
+)
+from repro.core.search import SearchAlgorithm
+from repro.util.errors import AllocationError
+from repro.virt.machine import PhysicalMachine
+
+
+@dataclass
+class WorkloadPhase:
+    """One phase: the specs active until the next boundary."""
+
+    name: str
+    specs: List[WorkloadSpec]
+
+
+@dataclass
+class PhaseOutcome:
+    """Costs of one phase under one strategy."""
+
+    phase_name: str
+    allocation: AllocationMatrix
+    workload_costs: Dict[str, float]
+    reconfigured: bool = False
+
+    @property
+    def total_cost(self) -> float:
+        return sum(self.workload_costs.values())
+
+
+@dataclass
+class StrategyReport:
+    """A strategy's outcomes over the full phase sequence."""
+
+    strategy: str
+    outcomes: List[PhaseOutcome] = field(default_factory=list)
+    reconfiguration_seconds: float = 0.0
+
+    @property
+    def total_cost(self) -> float:
+        return sum(o.total_cost for o in self.outcomes) + self.reconfiguration_seconds
+
+    @property
+    def reconfigurations(self) -> int:
+        return sum(1 for o in self.outcomes if o.reconfigured)
+
+
+class DynamicReallocator:
+    """Compares static and dynamic allocation over a phase sequence."""
+
+    def __init__(self, machine: PhysicalMachine, cost_model: CostModel,
+                 algorithm: Union[str, SearchAlgorithm] = "exhaustive",
+                 grid: int = 4, reconfiguration_seconds: float = 1.0,
+                 drift_threshold: float = 0.25):
+        self._machine = machine
+        self._cost_model = cost_model
+        self._algorithm = algorithm
+        self._grid = grid
+        self._reconfiguration_seconds = reconfiguration_seconds
+        self._drift_threshold = drift_threshold
+
+    def _problem(self, phase: WorkloadPhase) -> VirtualizationDesignProblem:
+        return VirtualizationDesignProblem(machine=self._machine, specs=phase.specs)
+
+    def _phase_costs(self, phase: WorkloadPhase,
+                     allocation: AllocationMatrix) -> Dict[str, float]:
+        return {
+            spec.name: self._cost_model.cost(spec, allocation.vector_for(spec.name))
+            for spec in phase.specs
+        }
+
+    def run(self, phases: List[WorkloadPhase]) -> Dict[str, StrategyReport]:
+        """Evaluate all three strategies over *phases*."""
+        if not phases:
+            raise AllocationError("need at least one phase")
+        names = [spec.name for spec in phases[0].specs]
+        for phase in phases:
+            if [spec.name for spec in phase.specs] != names:
+                raise AllocationError(
+                    "all phases must contain the same workloads (their "
+                    "statements may differ)"
+                )
+
+        default = self._problem(phases[0]).default_allocation()
+        reports = {
+            "static-default": StrategyReport(strategy="static-default"),
+            "static-designed": StrategyReport(strategy="static-designed"),
+            "dynamic": StrategyReport(strategy="dynamic"),
+            "triggered": StrategyReport(strategy="triggered"),
+        }
+
+        # Static default: equal shares, never touched.
+        for phase in phases:
+            reports["static-default"].outcomes.append(PhaseOutcome(
+                phase_name=phase.name, allocation=default,
+                workload_costs=self._phase_costs(phase, default),
+            ))
+
+        # Static designed: solve once on the first phase.
+        first_designer = VirtualizationDesigner(
+            self._problem(phases[0]), self._cost_model
+        )
+        static_design = first_designer.design(self._algorithm, grid=self._grid)
+        for phase in phases:
+            reports["static-designed"].outcomes.append(PhaseOutcome(
+                phase_name=phase.name, allocation=static_design.allocation,
+                workload_costs=self._phase_costs(phase, static_design.allocation),
+            ))
+
+        # Dynamic: re-design at each phase boundary.
+        current: Optional[AllocationMatrix] = None
+        dynamic = reports["dynamic"]
+        for phase in phases:
+            designer = VirtualizationDesigner(
+                self._problem(phase), self._cost_model
+            )
+            design = designer.design(self._algorithm, grid=self._grid)
+            reconfigured = current is not None and design.allocation != current
+            if reconfigured:
+                dynamic.reconfiguration_seconds += self._reconfiguration_seconds
+            current = design.allocation
+            dynamic.outcomes.append(PhaseOutcome(
+                phase_name=phase.name, allocation=design.allocation,
+                workload_costs=self._phase_costs(phase, design.allocation),
+                reconfigured=reconfigured,
+            ))
+
+        # Triggered: run each phase at the standing allocation; if the
+        # monitor sees the costs drift, re-design for the *observed*
+        # phase and apply the new allocation going forward. A role swap
+        # therefore costs one badly-allocated phase before the
+        # controller adapts — the realistic lag.
+        triggered = reports["triggered"]
+        monitor = WorkloadMonitor(threshold=self._drift_threshold)
+        standing = static_design.allocation
+        monitor.reset(self._phase_costs(phases[0], standing))
+        for phase in phases:
+            costs = self._phase_costs(phase, standing)
+            drift = monitor.observe(costs)
+            reconfigured = False
+            if drift.drifted:
+                designer = VirtualizationDesigner(
+                    self._problem(phase), self._cost_model
+                )
+                new_design = designer.design(self._algorithm, grid=self._grid)
+                if new_design.allocation != standing:
+                    standing = new_design.allocation
+                    triggered.reconfiguration_seconds += \
+                        self._reconfiguration_seconds
+                    reconfigured = True
+                    monitor.reset(self._phase_costs(phase, standing))
+            triggered.outcomes.append(PhaseOutcome(
+                phase_name=phase.name, allocation=standing,
+                workload_costs=costs, reconfigured=reconfigured,
+            ))
+        return reports

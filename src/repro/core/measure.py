@@ -1,0 +1,85 @@
+"""Measuring actual workload execution times under an allocation.
+
+This is the simulation's stand-in for running the workloads on the Xen
+testbed and timing them: boot a VM with the allocation's shares, attach
+the workload's database (which resizes its buffer pool to the VM's
+memory), execute the statements with plans chosen under the provided
+optimizer parameters, and convert the work traces to seconds through
+the VM performance model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.engine.database import Database
+from repro.engine.trace import WorkTrace
+from repro.optimizer.params import OptimizerParameters
+from repro.optimizer.planner import Planner
+from repro.util.rng import DeterministicRng
+from repro.virt.machine import PhysicalMachine
+from repro.virt.perf import VMPerfModel
+from repro.virt.resources import ResourceVector
+from repro.virt.vm import VirtualMachine, VMConfig
+from repro.workloads.workload import Workload
+
+
+@dataclass
+class MeasuredRun:
+    """Result of running one workload at one allocation."""
+
+    workload_name: str
+    allocation: ResourceVector
+    statement_seconds: List[float] = field(default_factory=list)
+    statement_traces: List[WorkTrace] = field(default_factory=list)
+
+    @property
+    def total_seconds(self) -> float:
+        return sum(self.statement_seconds)
+
+
+class WorkloadRunner:
+    """Runs workloads inside simulated VMs and measures them."""
+
+    def __init__(self, machine: PhysicalMachine,
+                 noise_sigma: float = 0.0, seed: int = 99):
+        self._machine = machine
+        self._noise_sigma = noise_sigma
+        self._rng = DeterministicRng(seed).fork("workload-runner")
+
+    def run(self, workload: Workload, database: Database,
+            allocation: ResourceVector,
+            planning_params: Optional[OptimizerParameters] = None,
+            cold_start: bool = True) -> MeasuredRun:
+        """Execute *workload* in a VM configured with *allocation*.
+
+        *planning_params* selects the optimizer configuration used to
+        choose execution plans (a tuned deployment uses the parameters
+        calibrated for this allocation); defaults are used otherwise.
+        With *cold_start* the buffer pool begins empty, as after VM
+        deployment.
+        """
+        vm = VirtualMachine(
+            self._machine,
+            VMConfig(name=f"run-{workload.name}", shares=allocation),
+        )
+        vm.attach_guest(database)
+        vm.start()
+        perf = VMPerfModel(
+            vm,
+            noise_rng=self._rng if self._noise_sigma > 0 else None,
+            noise_sigma=self._noise_sigma,
+        )
+        if cold_start:
+            database.cold_restart()
+
+        params = planning_params or OptimizerParameters.defaults()
+        planner = Planner(database.catalog, params)
+        run = MeasuredRun(workload_name=workload.name, allocation=allocation)
+        for sql in workload.statements:
+            plan = planner.plan_sql(sql)
+            result = database.run_plan(plan)
+            run.statement_seconds.append(perf.elapsed(result.trace))
+            run.statement_traces.append(result.trace)
+        return run

@@ -1,0 +1,74 @@
+"""Workload drift detection for the dynamic case.
+
+The paper's dynamic extension needs a trigger: reconfiguring "in
+response to changes in the workload" presumes something notices the
+change. The :class:`WorkloadMonitor` watches per-workload costs (from
+measured runs or estimates) and reports drift when any workload's cost
+moves beyond a relative threshold from its baseline; the baseline then
+resets so a persistent shift fires exactly once.
+
+Used by :class:`repro.core.dynamic.DynamicReallocator`'s ``triggered``
+strategy: re-design only when the monitor fires, instead of on every
+phase boundary.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Mapping, Optional
+
+
+@dataclass
+class DriftReport:
+    """What the monitor saw in one observation."""
+
+    drifted: bool
+    per_workload_change: Dict[str, float] = field(default_factory=dict)
+
+    def worst_change(self) -> float:
+        if not self.per_workload_change:
+            return 0.0
+        return max(abs(change) for change in self.per_workload_change.values())
+
+
+class WorkloadMonitor:
+    """Detects relative cost drift against a rolling baseline."""
+
+    def __init__(self, threshold: float = 0.25):
+        if threshold <= 0:
+            raise ValueError("drift threshold must be positive")
+        self.threshold = threshold
+        self._baseline: Optional[Dict[str, float]] = None
+
+    @property
+    def baseline(self) -> Optional[Dict[str, float]]:
+        return dict(self._baseline) if self._baseline is not None else None
+
+    def observe(self, costs: Mapping[str, float]) -> DriftReport:
+        """Record one epoch's per-workload costs.
+
+        The first observation only establishes the baseline. Afterwards
+        drift is flagged when any workload's cost changed by more than
+        ``threshold`` relative to its baseline; on drift the baseline
+        resets to the new observation.
+        """
+        costs = dict(costs)
+        if self._baseline is None:
+            self._baseline = costs
+            return DriftReport(drifted=False)
+
+        changes: Dict[str, float] = {}
+        for name, cost in costs.items():
+            base = self._baseline.get(name)
+            if base is None or base <= 0:
+                changes[name] = float("inf") if cost > 0 else 0.0
+                continue
+            changes[name] = (cost - base) / base
+        drifted = any(abs(change) > self.threshold for change in changes.values())
+        if drifted:
+            self._baseline = costs
+        return DriftReport(drifted=drifted, per_workload_change=changes)
+
+    def reset(self, costs: Optional[Mapping[str, float]] = None) -> None:
+        """Re-anchor the baseline (e.g. after a deliberate reconfiguration)."""
+        self._baseline = dict(costs) if costs is not None else None

@@ -1,0 +1,164 @@
+"""DBMS <-> virtualization layer communication (paper, Section 7).
+
+"We foresee that making database systems virtualization-aware, and
+allowing them to communicate with the virtualization layer, would
+enable a better configuration for both the virtual machine and the
+database system. The mechanisms for communication ... are still open
+issues."
+
+This module implements the simplest useful instance of that channel:
+
+* each database *advises* the hypervisor of its working set (the pages
+  it would profit from caching, estimated from its catalog),
+* a :class:`MemoryNegotiator` redistributes the hosts' memory shares in
+  proportion to those advisories (with a floor so no guest starves) and
+  applies the result through the VMM.
+
+Unlike the full virtualization design, negotiation needs no calibration
+and no search — it is a cheap heuristic for one resource. The E4
+benchmark positions it between the equal-share default and the
+designed allocation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional
+
+from repro.engine.database import Database
+from repro.util.errors import AllocationError
+from repro.virt.monitor import VirtualMachineMonitor
+from repro.virt.resources import ResourceKind, ResourceVector
+from repro.virt.vm import MIN_GUEST_MEMORY_MIB
+
+#: No guest's memory share may fall below this fraction of the host.
+DEFAULT_MIN_SHARE = 0.10
+
+
+def working_set_report(database: Database) -> List[int]:
+    """The database's advisory: page counts of its cacheable units.
+
+    Each heap and each index is one unit — the raw information the
+    guest sends over the communication channel. Deciding which units
+    can actually profit from caching needs knowledge of the host's
+    total memory, so that judgement belongs to the hypervisor side
+    (:meth:`MemoryNegotiator.cacheable_pages`).
+    """
+    report: List[int] = []
+    for table_name in database.catalog.table_names():
+        info = database.catalog.table(table_name)
+        report.append(info.heap.n_pages)
+        for index_info in info.indexes.values():
+            report.append(index_info.index.n_pages)
+    return report
+
+
+def working_set_pages(database: Database) -> int:
+    """Total advised pages (uncapped sum of the report)."""
+    return sum(working_set_report(database))
+
+
+@dataclass
+class NegotiationResult:
+    """Outcome of one memory negotiation round."""
+
+    shares: Dict[str, float]            # vm name -> memory share
+    advisories: Dict[str, int]          # vm name -> advised pages
+
+    def summary(self) -> str:
+        lines = ["Memory negotiation"]
+        for name in sorted(self.shares):
+            lines.append(
+                f"  {name}: advised {self.advisories[name]} pages "
+                f"-> memory share {self.shares[name]:.0%}"
+            )
+        return "\n".join(lines)
+
+
+class MemoryNegotiator:
+    """Redistributes one host's memory using guest advisories."""
+
+    def __init__(self, min_share: float = DEFAULT_MIN_SHARE,
+                 safety_factor: float = 0.8):
+        if not 0.0 < min_share < 1.0:
+            raise AllocationError("min_share must be in (0, 1)")
+        if not 0.0 < safety_factor <= 1.0:
+            raise AllocationError("safety_factor must be in (0, 1]")
+        self._min_share = min_share
+        self._safety_factor = safety_factor
+
+    def cacheable_pages(self, report: List[int], machine_memory_mib: float,
+                        n_guests: int) -> int:
+        """The part of a guest's working set that caching can actually serve.
+
+        Units are admitted smallest-first while the cumulative size fits
+        (with a safety margin) inside the largest buffer pool this guest
+        could possibly receive. A relation beyond that bound is scanned
+        through the ring buffer no matter how memory is split — granting
+        memory for it is worse than useless, since a too-large scan
+        churns the pool and evicts the units that *do* fit.
+        """
+        from repro.engine.database import BUFFER_POOL_FRACTION
+        from repro.util.units import mib_to_pages
+        from repro.virt.vm import GUEST_OS_MEMORY_FRACTION
+
+        max_share = 1.0 - self._min_share * max(0, n_guests - 1)
+        max_pool = mib_to_pages(
+            machine_memory_mib * max_share * (1.0 - GUEST_OS_MEMORY_FRACTION)
+        ) * BUFFER_POOL_FRACTION
+        budget = max_pool * self._safety_factor
+        # Largest-first: the biggest relation that still fits dominates
+        # the caching benefit; smaller units fill the remainder.
+        admitted = 0
+        for pages in sorted(report, reverse=True):
+            if admitted + pages <= budget:
+                admitted += pages
+        return admitted
+
+    def propose(self, advisories: Mapping[str, int]) -> Dict[str, float]:
+        """Memory shares proportional to advisories, floored per guest."""
+        if not advisories:
+            raise AllocationError("nothing to negotiate")
+        names = sorted(advisories)
+        if self._min_share * len(names) > 1.0 + 1e-9:
+            raise AllocationError(
+                f"{len(names)} guests cannot all receive the "
+                f"{self._min_share:.0%} floor"
+            )
+        total_advised = sum(max(0, advisories[name]) for name in names)
+        if total_advised <= 0:
+            return {name: 1.0 / len(names) for name in names}
+        distributable = 1.0 - self._min_share * len(names)
+        return {
+            name: self._min_share
+            + distributable * max(0, advisories[name]) / total_advised
+            for name in names
+        }
+
+    def negotiate(self, vmm: VirtualMachineMonitor,
+                  machine_name: Optional[str] = None) -> NegotiationResult:
+        """Collect advisories from every database guest on a host and
+        apply the proportional memory shares through the VMM."""
+        if machine_name is None:
+            machine_name = next(iter(vmm.machines))
+        vms = vmm.vms_on(machine_name)
+        database_vms = [vm for vm in vms if isinstance(vm.guest, Database)]
+        if not database_vms:
+            raise AllocationError(
+                f"no database guests on {machine_name!r} to negotiate for"
+            )
+        machine = vmm.machines[machine_name]
+        advisories = {
+            vm.name: self.cacheable_pages(
+                working_set_report(vm.guest), machine.memory_mib,
+                n_guests=len(database_vms),
+            )
+            for vm in database_vms
+        }
+        shares = self.propose(advisories)
+        allocation = {
+            vm.name: vm.shares.with_share(ResourceKind.MEMORY, shares[vm.name])
+            for vm in database_vms
+        }
+        vmm.apply_allocation(allocation)
+        return NegotiationResult(shares=shares, advisories=advisories)

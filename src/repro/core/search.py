@@ -1,0 +1,330 @@
+"""Combinatorial search over resource allocations (paper, Section 3).
+
+The paper anticipates that "any standard combinatorial search algorithm
+such as greedy search or dynamic programming" applies once the cost
+model exists. This module provides three, all operating on a shared
+discretization (each controlled resource split into ``grid`` units,
+every workload receiving at least one unit):
+
+* :class:`ExhaustiveSearch` — enumerate every full allocation; the
+  oracle for solution quality.
+* :class:`GreedySearch` — start from equal shares and repeatedly move
+  the single unit whose transfer most reduces total cost. Fast, can
+  stop in a local minimum.
+* :class:`DynamicProgrammingSearch` — exact for this separable
+  objective: workloads are considered one at a time against the vector
+  of remaining units per resource.
+
+Because ``Cost(W_i, R_i)`` is separable, all three report both the
+chosen matrix and how many distinct cost-model evaluations they used —
+the currency that matters when each evaluation is an optimizer call (or
+worse, a measured run).
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+
+from repro.core.cost_model import CostModel
+from repro.core.problem import AllocationMatrix, VirtualizationDesignProblem
+from repro.util.errors import AllocationError
+from repro.virt.resources import ALL_RESOURCES, ResourceKind, ResourceVector
+from repro.virt.vm import MIN_GUEST_MEMORY_MIB
+
+
+@dataclass
+class SearchResult:
+    """Outcome of one search."""
+
+    algorithm: str
+    allocation: AllocationMatrix
+    total_cost: float
+    per_workload_costs: Dict[str, float] = field(default_factory=dict)
+    evaluations: int = 0
+
+
+def compositions(total: int, parts: int, minimum: int = 1) -> Iterator[Tuple[int, ...]]:
+    """All ways to split *total* units into *parts* parts, each >= minimum."""
+    if parts <= 0:
+        raise AllocationError("parts must be positive")
+    spare = total - parts * minimum
+    if spare < 0:
+        return
+    if parts == 1:
+        yield (total,)
+        return
+    for first in range(minimum, total - minimum * (parts - 1) + 1):
+        for rest in compositions(total - first, parts - 1, minimum):
+            yield (first,) + rest
+
+
+class SearchAlgorithm(ABC):
+    """Base class for allocation searches."""
+
+    name = "base"
+
+    def __init__(self, grid: int = 4):
+        if grid < 1:
+            raise AllocationError("grid must be at least 1")
+        self.grid = grid
+
+    @abstractmethod
+    def search(self, problem: VirtualizationDesignProblem,
+               cost_model: CostModel) -> SearchResult:
+        """Find a (locally) optimal allocation matrix."""
+
+    # -- shared helpers -----------------------------------------------------
+
+    def _min_units(self, problem: VirtualizationDesignProblem,
+                   kind: ResourceKind) -> int:
+        """Smallest grid allotment a workload may receive for *kind*.
+
+        One unit by default; for memory the floor is raised so every
+        candidate VM can actually boot (the hypervisor refuses guests
+        below :data:`MIN_GUEST_MEMORY_MIB`) — the search must never
+        probe allocations that are physically inadmissible.
+        """
+        if kind is ResourceKind.MEMORY:
+            min_share = MIN_GUEST_MEMORY_MIB / problem.machine.memory_mib
+            return max(1, math.ceil(min_share * self.grid - 1e-9))
+        return 1
+
+    def _vector(self, problem: VirtualizationDesignProblem, name: str,
+                units: Dict[ResourceKind, int]) -> ResourceVector:
+        """Share vector from controlled units plus fixed shares."""
+        shares = {}
+        for kind in ALL_RESOURCES:
+            if kind in problem.controlled_resources:
+                shares[kind] = units[kind] / self.grid
+            else:
+                shares[kind] = problem.fixed_share_for(kind, name)
+        return ResourceVector(shares)
+
+    def _matrix(self, problem: VirtualizationDesignProblem,
+                units_by_name: Dict[str, Dict[ResourceKind, int]]) -> AllocationMatrix:
+        return AllocationMatrix({
+            name: self._vector(problem, name, units)
+            for name, units in units_by_name.items()
+        })
+
+    def _evaluate(self, problem: VirtualizationDesignProblem,
+                  cost_model: CostModel,
+                  matrix: AllocationMatrix) -> Tuple[float, Dict[str, float]]:
+        per_workload = {}
+        for spec in problem.specs:
+            per_workload[spec.name] = cost_model.cost(
+                spec, matrix.vector_for(spec.name)
+            )
+        return sum(per_workload.values()), per_workload
+
+    def _equal_units(self, problem: VirtualizationDesignProblem
+                     ) -> Dict[str, Dict[ResourceKind, int]]:
+        """Start point: units split as evenly as the grid allows."""
+        n = problem.n_workloads
+        if self.grid < n:
+            raise AllocationError(
+                f"grid {self.grid} too coarse for {n} workloads "
+                f"(each needs at least one unit)"
+            )
+        base, remainder = divmod(self.grid, n)
+        units_by_name: Dict[str, Dict[ResourceKind, int]] = {}
+        for i, spec in enumerate(problem.specs):
+            per_kind = {}
+            for kind in problem.controlled_resources:
+                per_kind[kind] = base + (1 if i < remainder else 0)
+            units_by_name[spec.name] = per_kind
+        for kind in problem.controlled_resources:
+            needed = self._min_units(problem, kind) * n
+            if needed > self.grid:
+                raise AllocationError(
+                    f"grid {self.grid} cannot give {n} workloads the "
+                    f"minimum feasible {kind} allotment"
+                )
+        return units_by_name
+
+    def _finish(self, problem: VirtualizationDesignProblem,
+                cost_model: CostModel,
+                units_by_name: Dict[str, Dict[ResourceKind, int]],
+                evaluations: int) -> SearchResult:
+        matrix = self._matrix(problem, units_by_name)
+        total, per_workload = self._evaluate(problem, cost_model, matrix)
+        return SearchResult(
+            algorithm=self.name, allocation=matrix, total_cost=total,
+            per_workload_costs=per_workload, evaluations=evaluations,
+        )
+
+
+class ExhaustiveSearch(SearchAlgorithm):
+    """Enumerate every full allocation of the grid; the oracle."""
+
+    name = "exhaustive"
+
+    def search(self, problem: VirtualizationDesignProblem,
+               cost_model: CostModel) -> SearchResult:
+        names = problem.workload_names()
+        n = len(names)
+        resources = list(problem.controlled_resources)
+        before = cost_model.evaluations
+
+        best_units: Optional[Dict[str, Dict[ResourceKind, int]]] = None
+        best_cost = float("inf")
+        splits_per_resource = [
+            list(compositions(self.grid, n,
+                              minimum=self._min_units(problem, kind)))
+            for kind in resources
+        ]
+        for combo in itertools.product(*splits_per_resource):
+            units_by_name = {
+                name: {kind: combo[r][i] for r, kind in enumerate(resources)}
+                for i, name in enumerate(names)
+            }
+            matrix = self._matrix(problem, units_by_name)
+            total, _per = self._evaluate(problem, cost_model, matrix)
+            if total < best_cost:
+                best_cost = total
+                best_units = units_by_name
+        if best_units is None:
+            raise AllocationError("no feasible allocation for this grid")
+        result = self._finish(problem, cost_model, best_units,
+                              cost_model.evaluations - before)
+        return result
+
+
+class GreedySearch(SearchAlgorithm):
+    """Hill climbing by single-unit transfers, starting from equal shares."""
+
+    name = "greedy"
+
+    def search(self, problem: VirtualizationDesignProblem,
+               cost_model: CostModel) -> SearchResult:
+        names = problem.workload_names()
+        before = cost_model.evaluations
+        units_by_name = self._equal_units(problem)
+
+        matrix = self._matrix(problem, units_by_name)
+        current_cost, _ = self._evaluate(problem, cost_model, matrix)
+
+        improved = True
+        while improved:
+            improved = False
+            best_move = None
+            best_cost = current_cost
+            for kind in problem.controlled_resources:
+                min_units = self._min_units(problem, kind)
+                for donor in names:
+                    if units_by_name[donor][kind] <= min_units:
+                        continue
+                    for recipient in names:
+                        if recipient == donor:
+                            continue
+                        candidate = {
+                            name: dict(units) for name, units in units_by_name.items()
+                        }
+                        candidate[donor][kind] -= 1
+                        candidate[recipient][kind] += 1
+                        total, _ = self._evaluate(
+                            problem, cost_model, self._matrix(problem, candidate)
+                        )
+                        if total < best_cost - 1e-12:
+                            best_cost = total
+                            best_move = candidate
+            if best_move is not None:
+                units_by_name = best_move
+                current_cost = best_cost
+                improved = True
+
+        return self._finish(problem, cost_model, units_by_name,
+                            cost_model.evaluations - before)
+
+
+class DynamicProgrammingSearch(SearchAlgorithm):
+    """Exact DP over workloads with a remaining-units state vector."""
+
+    name = "dynamic-programming"
+
+    def search(self, problem: VirtualizationDesignProblem,
+               cost_model: CostModel) -> SearchResult:
+        names = problem.workload_names()
+        n = len(names)
+        resources = list(problem.controlled_resources)
+        before = cost_model.evaluations
+        memo: Dict[Tuple[int, Tuple[int, ...]], Tuple[float, Optional[tuple]]] = {}
+
+        min_units = [self._min_units(problem, kind) for kind in resources]
+
+        def options(i: int, remaining: Tuple[int, ...]) -> Iterable[Tuple[int, ...]]:
+            """Feasible unit choices for workload *i* given what's left."""
+            left_after = n - i - 1  # workloads still to serve
+            ranges = []
+            for r, rem in enumerate(remaining):
+                # Leave each downstream workload its feasible minimum.
+                high = rem - left_after * min_units[r]
+                if high < min_units[r]:
+                    return
+                if i == n - 1:
+                    ranges.append([rem])  # last workload takes the rest
+                else:
+                    ranges.append(list(range(min_units[r], high + 1)))
+            yield from itertools.product(*ranges)
+
+        def solve(i: int, remaining: Tuple[int, ...]) -> Tuple[float, Optional[tuple]]:
+            if i == n:
+                return (0.0, None) if all(r == 0 for r in remaining) else (float("inf"), None)
+            key = (i, remaining)
+            if key in memo:
+                return memo[key]
+            spec = problem.spec(names[i])
+            best = (float("inf"), None)
+            for choice in options(i, remaining):
+                units = {kind: choice[r] for r, kind in enumerate(resources)}
+                vector = self._vector(problem, names[i], units)
+                here = cost_model.cost(spec, vector)
+                rest, _ = solve(
+                    i + 1,
+                    tuple(rem - c for rem, c in zip(remaining, choice)),
+                )
+                total = here + rest
+                if total < best[0]:
+                    best = (total, choice)
+            memo[key] = best
+            return best
+
+        start = tuple(self.grid for _ in resources)
+        total_cost, _ = solve(0, start)
+        if total_cost == float("inf"):
+            raise AllocationError("no feasible allocation for this grid")
+
+        # Reconstruct the chosen allocation.
+        units_by_name: Dict[str, Dict[ResourceKind, int]] = {}
+        remaining = start
+        for i, name in enumerate(names):
+            _cost, choice = solve(i, remaining)
+            assert choice is not None
+            units_by_name[name] = {
+                kind: choice[r] for r, kind in enumerate(resources)
+            }
+            remaining = tuple(rem - c for rem, c in zip(remaining, choice))
+
+        return self._finish(problem, cost_model, units_by_name,
+                            cost_model.evaluations - before)
+
+
+ALGORITHMS = {
+    ExhaustiveSearch.name: ExhaustiveSearch,
+    GreedySearch.name: GreedySearch,
+    DynamicProgrammingSearch.name: DynamicProgrammingSearch,
+}
+
+
+def make_algorithm(name: str, grid: int) -> SearchAlgorithm:
+    """Instantiate a search algorithm by name."""
+    try:
+        return ALGORITHMS[name](grid=grid)
+    except KeyError:
+        raise AllocationError(
+            f"unknown search algorithm {name!r}; available: {sorted(ALGORITHMS)}"
+        ) from None

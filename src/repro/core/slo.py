@@ -1,0 +1,100 @@
+"""Service-level objectives (paper, Section 7 future work).
+
+"Adding different service-level objectives to the different workloads
+is also an interesting direction for future work." This module
+implements the natural formulation: per-workload *weights* (a gold
+workload's seconds count more than a batch workload's) and per-workload
+*bounds* — an absolute cost ceiling and/or a maximum degradation
+relative to the equal-share default.
+
+Bounds are enforced through a large additive penalty, which keeps every
+search algorithm unchanged: an allocation violating an SLO can never
+beat a feasible one, and among infeasible allocations less violation is
+still preferred (so searches descend toward feasibility).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from repro.core.cost_model import CostModel
+from repro.core.problem import WorkloadSpec
+from repro.virt.resources import ResourceVector
+
+#: Penalty per second of SLO violation; large enough to dominate any
+#: realistic workload cost.
+VIOLATION_PENALTY = 1e6
+
+
+@dataclass(frozen=True)
+class ServiceLevelObjective:
+    """The objective attached to one workload."""
+
+    #: Relative importance of this workload's seconds in the objective.
+    weight: float = 1.0
+    #: Absolute ceiling on the workload's cost (seconds), if any.
+    max_seconds: Optional[float] = None
+    #: Maximum allowed slowdown vs the equal-share default, e.g. 0.1
+    #: allows up to 10% degradation.
+    max_degradation: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.weight < 0:
+            raise ValueError("SLO weight must be non-negative")
+        if self.max_seconds is not None and self.max_seconds <= 0:
+            raise ValueError("max_seconds must be positive")
+        if self.max_degradation is not None and self.max_degradation < 0:
+            raise ValueError("max_degradation must be non-negative")
+
+    def ceiling(self, baseline_seconds: Optional[float]) -> Optional[float]:
+        """The effective cost ceiling given the workload's baseline."""
+        bounds = []
+        if self.max_seconds is not None:
+            bounds.append(self.max_seconds)
+        if self.max_degradation is not None and baseline_seconds is not None:
+            bounds.append(baseline_seconds * (1.0 + self.max_degradation))
+        return min(bounds) if bounds else None
+
+
+class SloPolicy:
+    """Per-workload objectives, defaulting to weight-1, unbounded."""
+
+    def __init__(self, objectives: Optional[Dict[str, ServiceLevelObjective]] = None):
+        self._objectives = dict(objectives or {})
+
+    def objective_for(self, workload_name: str) -> ServiceLevelObjective:
+        return self._objectives.get(workload_name, ServiceLevelObjective())
+
+    def set_objective(self, workload_name: str,
+                      objective: ServiceLevelObjective) -> None:
+        self._objectives[workload_name] = objective
+
+    def is_satisfied(self, workload_name: str, cost_seconds: float,
+                     baseline_seconds: Optional[float]) -> bool:
+        ceiling = self.objective_for(workload_name).ceiling(baseline_seconds)
+        return ceiling is None or cost_seconds <= ceiling
+
+
+class SloCostModel(CostModel):
+    """Wraps a cost model with SLO weights and violation penalties."""
+
+    def __init__(self, inner: CostModel, policy: SloPolicy,
+                 baseline_costs: Dict[str, float]):
+        super().__init__()
+        self._inner = inner
+        self._policy = policy
+        self._baseline_costs = dict(baseline_costs)
+
+    @property
+    def inner(self) -> CostModel:
+        return self._inner
+
+    def _cost(self, spec: WorkloadSpec, allocation: ResourceVector) -> float:
+        raw = self._inner.cost(spec, allocation)
+        objective = self._policy.objective_for(spec.name)
+        weighted = raw * objective.weight
+        ceiling = objective.ceiling(self._baseline_costs.get(spec.name))
+        if ceiling is not None and raw > ceiling:
+            weighted += VIOLATION_PENALTY * (raw - ceiling)
+        return weighted

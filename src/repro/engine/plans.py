@@ -1,0 +1,326 @@
+"""Physical query plans.
+
+These nodes are the contract between the optimizer (which builds and
+costs them) and the executor (which runs them). Each node carries its
+output :class:`RowLayout` plus the optimizer's row/cost estimates so a
+plan can be explained exactly as ``EXPLAIN`` would print it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import List, Optional, Sequence, Tuple
+
+from repro.engine.expr import Expr, RowLayout
+from repro.engine.types import Value
+
+
+class JoinType(str, Enum):
+    """Join semantics supported by the executor."""
+
+    INNER = "inner"
+    LEFT = "left"
+    SEMI = "semi"
+    ANTI = "anti"
+
+
+class AggFunc(str, Enum):
+    """Aggregate functions."""
+
+    COUNT = "count"        # count(expr): non-null inputs
+    COUNT_STAR = "count*"  # count(*): all rows
+    SUM = "sum"
+    AVG = "avg"
+    MIN = "min"
+    MAX = "max"
+
+
+@dataclass
+class AggSpec:
+    """One aggregate in an Aggregate node's output."""
+
+    func: AggFunc
+    arg: Optional[Expr]  # None only for COUNT_STAR
+    output_name: str
+    #: Deduplicate inputs before aggregating (COUNT/SUM/AVG DISTINCT).
+    distinct: bool = False
+
+
+@dataclass
+class SortKey:
+    """One ORDER BY / merge-join ordering key."""
+
+    expr: Expr
+    ascending: bool = True
+
+
+class PlanNode:
+    """Base class for physical plan nodes."""
+
+    #: Output row layout; set by the planner / builder.
+    layout: RowLayout
+
+    # Optimizer annotations (filled in by the cost model).
+    est_rows: float = 0.0
+    est_startup_cost: float = 0.0
+    est_total_cost: float = 0.0
+    #: Rows this node actually produced, recorded by the executor.
+    actual_rows: Optional[int] = None
+
+    def children(self) -> Sequence["PlanNode"]:
+        return ()
+
+    def node_label(self) -> str:
+        return type(self).__name__
+
+    def explain(self, indent: int = 0, analyze: bool = False) -> str:
+        """Render the plan tree like EXPLAIN (ANALYZE) output."""
+        pad = "  " * indent
+        line = (
+            f"{pad}{self.node_label()}  "
+            f"(cost={self.est_startup_cost:.2f}..{self.est_total_cost:.2f} "
+            f"rows={self.est_rows:.0f})"
+        )
+        if analyze and self.actual_rows is not None:
+            line += f" (actual rows={self.actual_rows})"
+        parts = [line]
+        parts.extend(
+            child.explain(indent + 1, analyze=analyze)
+            for child in self.children()
+        )
+        return "\n".join(parts)
+
+
+@dataclass
+class SeqScan(PlanNode):
+    """Full scan of a heap file, with an optional pushed-down filter."""
+
+    table_name: str
+    alias: str
+    filter_expr: Optional[Expr] = None
+
+    def __post_init__(self) -> None:
+        self.layout = RowLayout(())  # set by planner/builder
+
+    def node_label(self) -> str:
+        label = f"SeqScan {self.table_name} as {self.alias}"
+        if self.filter_expr is not None:
+            label += f" filter={self.filter_expr}"
+        return label
+
+
+@dataclass
+class IndexScan(PlanNode):
+    """B+-tree range scan plus heap fetches, with a residual filter."""
+
+    table_name: str
+    alias: str
+    index_name: str
+    low: Optional[Value] = None
+    high: Optional[Value] = None
+    low_inclusive: bool = True
+    high_inclusive: bool = True
+    filter_expr: Optional[Expr] = None
+
+    def __post_init__(self) -> None:
+        self.layout = RowLayout(())
+
+    def node_label(self) -> str:
+        lo = "" if self.low is None else f"{'>=' if self.low_inclusive else '>'}{self.low}"
+        hi = "" if self.high is None else f"{'<=' if self.high_inclusive else '<'}{self.high}"
+        bounds = " ".join(b for b in (lo, hi) if b)
+        label = f"IndexScan {self.index_name} on {self.table_name} as {self.alias}"
+        if bounds:
+            label += f" [{bounds}]"
+        if self.filter_expr is not None:
+            label += f" filter={self.filter_expr}"
+        return label
+
+
+@dataclass
+class NestedLoopJoin(PlanNode):
+    """Nested loops with a materialized inner side."""
+
+    outer: PlanNode
+    inner: PlanNode
+    join_type: JoinType = JoinType.INNER
+    predicate: Optional[Expr] = None
+
+    def __post_init__(self) -> None:
+        self.layout = _join_layout(self.outer, self.inner, self.join_type)
+
+    def children(self) -> Sequence[PlanNode]:
+        return (self.outer, self.inner)
+
+    def node_label(self) -> str:
+        pred = f" on {self.predicate}" if self.predicate is not None else ""
+        return f"NestedLoopJoin ({self.join_type.value}){pred}"
+
+
+@dataclass
+class HashJoin(PlanNode):
+    """Hash join: build on the inner (right) side, probe with the outer."""
+
+    outer: PlanNode
+    inner: PlanNode
+    outer_keys: List[Expr] = field(default_factory=list)
+    inner_keys: List[Expr] = field(default_factory=list)
+    join_type: JoinType = JoinType.INNER
+    residual: Optional[Expr] = None
+
+    def __post_init__(self) -> None:
+        self.layout = _join_layout(self.outer, self.inner, self.join_type)
+
+    def children(self) -> Sequence[PlanNode]:
+        return (self.outer, self.inner)
+
+    def node_label(self) -> str:
+        keys = ", ".join(
+            f"{o} = {i}" for o, i in zip(self.outer_keys, self.inner_keys)
+        )
+        label = f"HashJoin ({self.join_type.value}) on {keys}"
+        if self.residual is not None:
+            label += f" residual={self.residual}"
+        return label
+
+
+@dataclass
+class MergeJoin(PlanNode):
+    """Merge join of two inputs sorted on the join keys (inner only)."""
+
+    outer: PlanNode
+    inner: PlanNode
+    outer_key: Expr = None  # type: ignore[assignment]
+    inner_key: Expr = None  # type: ignore[assignment]
+
+    def __post_init__(self) -> None:
+        self.layout = _join_layout(self.outer, self.inner, JoinType.INNER)
+
+    def children(self) -> Sequence[PlanNode]:
+        return (self.outer, self.inner)
+
+    def node_label(self) -> str:
+        return f"MergeJoin on {self.outer_key} = {self.inner_key}"
+
+
+@dataclass
+class Sort(PlanNode):
+    """Sort the input; spills to simulated temp files when too large."""
+
+    input: PlanNode
+    keys: List[SortKey] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        self.layout = self.input.layout
+
+    def children(self) -> Sequence[PlanNode]:
+        return (self.input,)
+
+    def node_label(self) -> str:
+        keys = ", ".join(
+            f"{k.expr} {'asc' if k.ascending else 'desc'}" for k in self.keys
+        )
+        return f"Sort by {keys}"
+
+
+@dataclass
+class Aggregate(PlanNode):
+    """Hash aggregation with optional grouping and HAVING."""
+
+    input: PlanNode
+    group_keys: List[Expr] = field(default_factory=list)
+    aggregates: List[AggSpec] = field(default_factory=list)
+    having: Optional[Expr] = None
+    #: Output column names for the group keys.
+    group_names: List[str] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if not self.group_names:
+            self.group_names = [f"g{i}" for i in range(len(self.group_keys))]
+        slots = [("_agg", name) for name in self.group_names]
+        slots += [("_agg", spec.output_name) for spec in self.aggregates]
+        self.layout = RowLayout(slots)
+
+    def children(self) -> Sequence[PlanNode]:
+        return (self.input,)
+
+    def node_label(self) -> str:
+        groups = ", ".join(str(k) for k in self.group_keys) or "()"
+        aggs = ", ".join(
+            f"{s.func.value}({s.arg if s.arg is not None else '*'})"
+            for s in self.aggregates
+        )
+        label = f"Aggregate group by {groups} agg [{aggs}]"
+        if self.having is not None:
+            label += f" having {self.having}"
+        return label
+
+
+@dataclass
+class Filter(PlanNode):
+    """Apply a predicate to the input (used for non-pushable conjuncts)."""
+
+    input: PlanNode
+    predicate: Expr = None  # type: ignore[assignment]
+
+    def __post_init__(self) -> None:
+        self.layout = self.input.layout
+
+    def children(self) -> Sequence[PlanNode]:
+        return (self.input,)
+
+    def node_label(self) -> str:
+        return f"Filter {self.predicate}"
+
+
+@dataclass
+class Project(PlanNode):
+    """Compute output expressions."""
+
+    input: PlanNode
+    exprs: List[Expr] = field(default_factory=list)
+    names: List[str] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if not self.names:
+            self.names = [f"c{i}" for i in range(len(self.exprs))]
+        self.layout = RowLayout([("_out", name) for name in self.names])
+
+    def children(self) -> Sequence[PlanNode]:
+        return (self.input,)
+
+    def node_label(self) -> str:
+        cols = ", ".join(f"{e} as {n}" for e, n in zip(self.exprs, self.names))
+        return f"Project {cols}"
+
+
+@dataclass
+class Limit(PlanNode):
+    """Return at most *count* rows."""
+
+    input: PlanNode
+    count: int = 0
+
+    def __post_init__(self) -> None:
+        self.layout = self.input.layout
+
+    def children(self) -> Sequence[PlanNode]:
+        return (self.input,)
+
+    def node_label(self) -> str:
+        return f"Limit {self.count}"
+
+
+def _join_layout(outer: PlanNode, inner: PlanNode, join_type: JoinType) -> RowLayout:
+    """Joined row layout: semi/anti joins emit only the outer side."""
+    if join_type in (JoinType.SEMI, JoinType.ANTI):
+        return outer.layout
+    return outer.layout.concat(inner.layout)
+
+
+def walk(plan: PlanNode):
+    """Yield every node in the tree, pre-order."""
+    yield plan
+    for child in plan.children():
+        yield from walk(child)

@@ -1,0 +1,23 @@
+"""SQL front end: lexer, parser, and binder.
+
+Supports the SELECT dialect needed by the TPC-H workload kit: implicit
+and explicit joins (including LEFT OUTER JOIN), WHERE with the usual
+predicates (comparisons, BETWEEN, IN lists, LIKE, IS NULL), correlated
+EXISTS / NOT EXISTS and uncorrelated IN subqueries (decorrelated into
+semi/anti joins), derived tables in FROM, aggregates with GROUP BY /
+HAVING, expressions over aggregates, ORDER BY on output columns, LIMIT,
+and DATE/INTERVAL literal arithmetic.
+"""
+
+from repro.engine.sql.lexer import Lexer, Token, TokenType
+from repro.engine.sql.parser import parse_select
+from repro.engine.sql.binder import Binder, LogicalQuery
+
+__all__ = [
+    "Lexer",
+    "Token",
+    "TokenType",
+    "parse_select",
+    "Binder",
+    "LogicalQuery",
+]

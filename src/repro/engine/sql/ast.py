@@ -1,0 +1,209 @@
+"""Parse-tree nodes produced by the SQL parser.
+
+These are *unresolved*: identifiers are names, not slots; aggregate
+calls are ordinary function calls. The binder turns them into engine
+expressions and a logical query.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple, Union
+
+
+# -- expressions -----------------------------------------------------------
+
+
+class AstExpr:
+    """Base class for parsed expressions."""
+
+
+@dataclass(frozen=True)
+class Identifier(AstExpr):
+    """A possibly-qualified column name: ``alias.column`` or ``column``."""
+
+    qualifier: Optional[str]
+    name: str
+
+    def __str__(self) -> str:
+        return f"{self.qualifier}.{self.name}" if self.qualifier else self.name
+
+
+@dataclass(frozen=True)
+class NumberLit(AstExpr):
+    text: str
+
+    @property
+    def value(self) -> Union[int, float]:
+        return float(self.text) if "." in self.text else int(self.text)
+
+
+@dataclass(frozen=True)
+class StringLit(AstExpr):
+    value: str
+
+
+@dataclass(frozen=True)
+class DateLit(AstExpr):
+    """``DATE 'YYYY-MM-DD'``."""
+
+    text: str
+
+
+@dataclass(frozen=True)
+class IntervalLit(AstExpr):
+    """``INTERVAL 'n' DAY|MONTH|YEAR``."""
+
+    amount: int
+    unit: str  # day | month | year
+
+
+@dataclass(frozen=True)
+class NullLit(AstExpr):
+    pass
+
+
+@dataclass(frozen=True)
+class Binary(AstExpr):
+    op: str
+    left: AstExpr
+    right: AstExpr
+
+
+@dataclass(frozen=True)
+class Not(AstExpr):
+    operand: AstExpr
+
+
+@dataclass(frozen=True)
+class IsNull(AstExpr):
+    operand: AstExpr
+    negated: bool = False
+
+
+@dataclass(frozen=True)
+class Like(AstExpr):
+    operand: AstExpr
+    pattern: str
+    negated: bool = False
+
+
+@dataclass(frozen=True)
+class Between(AstExpr):
+    operand: AstExpr
+    low: AstExpr
+    high: AstExpr
+    negated: bool = False
+
+
+@dataclass(frozen=True)
+class InList(AstExpr):
+    operand: AstExpr
+    items: Tuple[AstExpr, ...]
+    negated: bool = False
+
+
+@dataclass(frozen=True)
+class InSubquery(AstExpr):
+    operand: AstExpr
+    subquery: "SelectStmt"
+    negated: bool = False
+
+
+@dataclass(frozen=True)
+class Exists(AstExpr):
+    subquery: "SelectStmt"
+    negated: bool = False
+
+
+@dataclass(frozen=True)
+class Extract(AstExpr):
+    """``EXTRACT(unit FROM expr)``."""
+
+    unit: str
+    operand: AstExpr
+
+
+@dataclass(frozen=True)
+class ScalarSubquery(AstExpr):
+    """An uncorrelated single-value subquery used as an expression."""
+
+    subquery: "SelectStmt"
+
+
+@dataclass(frozen=True)
+class FuncCall(AstExpr):
+    """A function call; ``star`` marks ``count(*)``."""
+
+    name: str
+    args: Tuple[AstExpr, ...]
+    star: bool = False
+    distinct: bool = False
+
+
+@dataclass(frozen=True)
+class Case(AstExpr):
+    branches: Tuple[Tuple[AstExpr, AstExpr], ...]
+    default: Optional[AstExpr] = None
+
+
+# -- query structure ----------------------------------------------------------
+
+
+@dataclass
+class SelectItem:
+    expr: AstExpr
+    alias: Optional[str] = None
+
+
+class FromItem:
+    """Base class for FROM clause items."""
+
+
+@dataclass
+class TableRef(FromItem):
+    table: str
+    alias: Optional[str] = None
+
+    @property
+    def effective_alias(self) -> str:
+        return self.alias or self.table
+
+
+@dataclass
+class SubqueryRef(FromItem):
+    """A derived table: ``(SELECT ...) AS alias (col, ...)``."""
+
+    subquery: "SelectStmt"
+    alias: str
+    column_names: Tuple[str, ...] = ()
+
+
+@dataclass
+class JoinClause(FromItem):
+    """``left [LEFT|INNER] JOIN right ON condition``."""
+
+    left: FromItem
+    right: FromItem
+    join_type: str  # "inner" | "left"
+    condition: Optional[AstExpr] = None
+
+
+@dataclass
+class OrderItem:
+    expr: AstExpr
+    ascending: bool = True
+
+
+@dataclass
+class SelectStmt:
+    """A parsed SELECT statement."""
+
+    items: List[SelectItem]
+    from_items: List[FromItem] = field(default_factory=list)
+    where: Optional[AstExpr] = None
+    group_by: List[AstExpr] = field(default_factory=list)
+    having: Optional[AstExpr] = None
+    order_by: List[OrderItem] = field(default_factory=list)
+    limit: Optional[int] = None
+    distinct: bool = False

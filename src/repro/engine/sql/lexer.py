@@ -1,0 +1,137 @@
+"""SQL tokenizer."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import List
+
+from repro.util.errors import SqlError
+
+KEYWORDS = {
+    "select", "from", "where", "group", "by", "having", "order", "limit",
+    "as", "and", "or", "not", "in", "like", "between", "is", "null",
+    "exists", "case", "when", "then", "else", "end", "join", "inner",
+    "left", "right", "outer", "on", "date", "interval", "asc", "desc",
+    "distinct", "day", "month", "year",
+}
+
+
+class TokenType(str, Enum):
+    KEYWORD = "keyword"
+    IDENT = "ident"
+    NUMBER = "number"
+    STRING = "string"
+    OPERATOR = "operator"
+    PUNCT = "punct"
+    EOF = "eof"
+
+
+@dataclass(frozen=True)
+class Token:
+    type: TokenType
+    value: str
+    position: int
+
+    def is_keyword(self, word: str) -> bool:
+        return self.type is TokenType.KEYWORD and self.value == word
+
+
+#: Multi-character operators, longest first.
+_OPERATORS = ("<>", "<=", ">=", "!=", "=", "<", ">", "+", "-", "*", "/")
+_PUNCT = "(),."
+
+
+class Lexer:
+    """Turns SQL text into a token list."""
+
+    def __init__(self, text: str):
+        self._text = text
+        self._pos = 0
+
+    def tokenize(self) -> List[Token]:
+        tokens: List[Token] = []
+        while True:
+            self._skip_whitespace_and_comments()
+            if self._pos >= len(self._text):
+                tokens.append(Token(TokenType.EOF, "", self._pos))
+                return tokens
+            tokens.append(self._next_token())
+
+    def _skip_whitespace_and_comments(self) -> None:
+        text = self._text
+        while self._pos < len(text):
+            ch = text[self._pos]
+            if ch.isspace():
+                self._pos += 1
+            elif text.startswith("--", self._pos):
+                end = text.find("\n", self._pos)
+                self._pos = len(text) if end < 0 else end + 1
+            else:
+                return
+
+    def _next_token(self) -> Token:
+        text = self._text
+        start = self._pos
+        ch = text[start]
+
+        if ch == "'":
+            return self._string(start)
+        if ch.isdigit() or (ch == "." and start + 1 < len(text) and text[start + 1].isdigit()):
+            return self._number(start)
+        if ch.isalpha() or ch == "_":
+            return self._word(start)
+        for op in _OPERATORS:
+            if text.startswith(op, start):
+                self._pos = start + len(op)
+                value = "<>" if op == "!=" else op
+                return Token(TokenType.OPERATOR, value, start)
+        if ch in _PUNCT:
+            self._pos = start + 1
+            return Token(TokenType.PUNCT, ch, start)
+        raise SqlError(f"unexpected character {ch!r} at position {start}")
+
+    def _string(self, start: int) -> Token:
+        text = self._text
+        pos = start + 1
+        out = []
+        while pos < len(text):
+            ch = text[pos]
+            if ch == "'":
+                if pos + 1 < len(text) and text[pos + 1] == "'":
+                    out.append("'")  # escaped quote
+                    pos += 2
+                    continue
+                self._pos = pos + 1
+                return Token(TokenType.STRING, "".join(out), start)
+            out.append(ch)
+            pos += 1
+        raise SqlError(f"unterminated string literal at position {start}")
+
+    def _number(self, start: int) -> Token:
+        text = self._text
+        pos = start
+        seen_dot = False
+        while pos < len(text):
+            ch = text[pos]
+            if ch.isdigit():
+                pos += 1
+            elif ch == "." and not seen_dot:
+                seen_dot = True
+                pos += 1
+            else:
+                break
+        self._pos = pos
+        return Token(TokenType.NUMBER, text[start:pos], start)
+
+    def _word(self, start: int) -> Token:
+        text = self._text
+        pos = start
+        while pos < len(text) and (text[pos].isalnum() or text[pos] == "_"):
+            pos += 1
+        self._pos = pos
+        word = text[start:pos]
+        lowered = word.lower()
+        if lowered in KEYWORDS:
+            return Token(TokenType.KEYWORD, lowered, start)
+        return Token(TokenType.IDENT, lowered, start)

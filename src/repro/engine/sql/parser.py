@@ -1,0 +1,407 @@
+"""Recursive-descent SQL parser for the supported SELECT dialect."""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from repro.engine.sql import ast
+from repro.engine.sql.lexer import Lexer, Token, TokenType
+from repro.util.errors import SqlError
+
+
+def parse_select(sql: str) -> ast.SelectStmt:
+    """Parse one SELECT statement (a trailing semicolon is allowed)."""
+    parser = _Parser(Lexer(sql).tokenize())
+    stmt = parser.select_statement()
+    parser.expect_end()
+    return stmt
+
+
+class _Parser:
+    def __init__(self, tokens: List[Token]):
+        self._tokens = tokens
+        self._pos = 0
+
+    # -- token plumbing ---------------------------------------------------
+
+    def _peek(self, offset: int = 0) -> Token:
+        pos = min(self._pos + offset, len(self._tokens) - 1)
+        return self._tokens[pos]
+
+    def _advance(self) -> Token:
+        token = self._tokens[self._pos]
+        if token.type is not TokenType.EOF:
+            self._pos += 1
+        return token
+
+    def _accept_keyword(self, word: str) -> bool:
+        if self._peek().is_keyword(word):
+            self._advance()
+            return True
+        return False
+
+    def _expect_keyword(self, word: str) -> None:
+        token = self._advance()
+        if not (token.type is TokenType.KEYWORD and token.value == word):
+            raise SqlError(f"expected {word.upper()!r}, got {token.value!r} "
+                           f"at position {token.position}")
+
+    def _accept_punct(self, symbol: str) -> bool:
+        token = self._peek()
+        if token.type is TokenType.PUNCT and token.value == symbol:
+            self._advance()
+            return True
+        return False
+
+    def _expect_punct(self, symbol: str) -> None:
+        token = self._advance()
+        if not (token.type is TokenType.PUNCT and token.value == symbol):
+            raise SqlError(f"expected {symbol!r}, got {token.value!r} "
+                           f"at position {token.position}")
+
+    def _accept_operator(self, *symbols: str) -> Optional[str]:
+        token = self._peek()
+        if token.type is TokenType.OPERATOR and token.value in symbols:
+            self._advance()
+            return token.value
+        return None
+
+    def expect_end(self) -> None:
+        token = self._peek()
+        if token.type is not TokenType.EOF:
+            raise SqlError(f"unexpected trailing input {token.value!r} "
+                           f"at position {token.position}")
+
+    # -- statement --------------------------------------------------------------
+
+    def select_statement(self) -> ast.SelectStmt:
+        self._expect_keyword("select")
+        distinct = self._accept_keyword("distinct")
+        items = [self._select_item()]
+        while self._accept_punct(","):
+            items.append(self._select_item())
+
+        from_items: List[ast.FromItem] = []
+        if self._accept_keyword("from"):
+            from_items.append(self._from_item())
+            while self._accept_punct(","):
+                from_items.append(self._from_item())
+
+        where = self.expression() if self._accept_keyword("where") else None
+
+        group_by: List[ast.AstExpr] = []
+        if self._accept_keyword("group"):
+            self._expect_keyword("by")
+            group_by.append(self.expression())
+            while self._accept_punct(","):
+                group_by.append(self.expression())
+
+        having = self.expression() if self._accept_keyword("having") else None
+
+        order_by: List[ast.OrderItem] = []
+        if self._accept_keyword("order"):
+            self._expect_keyword("by")
+            order_by.append(self._order_item())
+            while self._accept_punct(","):
+                order_by.append(self._order_item())
+
+        limit: Optional[int] = None
+        if self._accept_keyword("limit"):
+            token = self._advance()
+            if token.type is not TokenType.NUMBER or "." in token.value:
+                raise SqlError(f"LIMIT expects an integer, got {token.value!r}")
+            limit = int(token.value)
+
+        return ast.SelectStmt(
+            items=items, from_items=from_items, where=where,
+            group_by=group_by, having=having, order_by=order_by,
+            limit=limit, distinct=distinct,
+        )
+
+    def _select_item(self) -> ast.SelectItem:
+        expr = self.expression()
+        alias: Optional[str] = None
+        if self._accept_keyword("as"):
+            alias = self._identifier_name()
+        elif self._peek().type is TokenType.IDENT:
+            alias = self._identifier_name()
+        return ast.SelectItem(expr=expr, alias=alias)
+
+    def _order_item(self) -> ast.OrderItem:
+        expr = self.expression()
+        ascending = True
+        if self._accept_keyword("desc"):
+            ascending = False
+        else:
+            self._accept_keyword("asc")
+        return ast.OrderItem(expr=expr, ascending=ascending)
+
+    def _identifier_name(self) -> str:
+        token = self._advance()
+        if token.type is not TokenType.IDENT:
+            raise SqlError(f"expected identifier, got {token.value!r} "
+                           f"at position {token.position}")
+        return token.value
+
+    # -- FROM clause ------------------------------------------------------------
+
+    def _from_item(self) -> ast.FromItem:
+        item = self._table_primary()
+        while True:
+            join_type = self._peek_join_type()
+            if join_type is None:
+                return item
+            right = self._table_primary()
+            condition: Optional[ast.AstExpr] = None
+            if self._accept_keyword("on"):
+                condition = self.expression()
+            item = ast.JoinClause(left=item, right=right,
+                                  join_type=join_type, condition=condition)
+
+    def _peek_join_type(self) -> Optional[str]:
+        if self._accept_keyword("join") or (
+            self._peek().is_keyword("inner") and self._peek(1).is_keyword("join")
+        ):
+            if self._peek().is_keyword("join"):
+                self._advance()
+            return "inner"
+        if self._peek().is_keyword("left"):
+            self._advance()
+            self._accept_keyword("outer")
+            self._expect_keyword("join")
+            return "left"
+        if self._peek().is_keyword("right"):
+            raise SqlError("RIGHT JOIN is not supported; rewrite as LEFT JOIN")
+        return None
+
+    def _table_primary(self) -> ast.FromItem:
+        if self._accept_punct("("):
+            subquery = self.select_statement()
+            self._expect_punct(")")
+            self._accept_keyword("as")
+            alias = self._identifier_name()
+            column_names: Tuple[str, ...] = ()
+            if self._accept_punct("("):
+                names = [self._identifier_name()]
+                while self._accept_punct(","):
+                    names.append(self._identifier_name())
+                self._expect_punct(")")
+                column_names = tuple(names)
+            return ast.SubqueryRef(subquery=subquery, alias=alias,
+                                   column_names=column_names)
+        table = self._identifier_name()
+        alias: Optional[str] = None
+        if self._accept_keyword("as"):
+            alias = self._identifier_name()
+        elif self._peek().type is TokenType.IDENT:
+            alias = self._identifier_name()
+        return ast.TableRef(table=table, alias=alias)
+
+    # -- expressions --------------------------------------------------------------
+    # Precedence (loosest first): OR, AND, NOT, predicate, additive,
+    # multiplicative, unary, primary.
+
+    def expression(self) -> ast.AstExpr:
+        return self._or_expr()
+
+    def _or_expr(self) -> ast.AstExpr:
+        left = self._and_expr()
+        while self._accept_keyword("or"):
+            left = ast.Binary("or", left, self._and_expr())
+        return left
+
+    def _and_expr(self) -> ast.AstExpr:
+        left = self._not_expr()
+        while self._accept_keyword("and"):
+            left = ast.Binary("and", left, self._not_expr())
+        return left
+
+    def _not_expr(self) -> ast.AstExpr:
+        if self._peek().is_keyword("not") and self._peek(1).is_keyword("exists"):
+            self._advance()
+            self._advance()
+            self._expect_punct("(")
+            subquery = self.select_statement()
+            self._expect_punct(")")
+            return ast.Exists(subquery, negated=True)
+        if self._accept_keyword("not"):
+            return ast.Not(self._not_expr())
+        return self._predicate()
+
+    def _predicate(self) -> ast.AstExpr:
+        left = self._additive()
+        negated = False
+        if self._peek().is_keyword("not"):
+            # NOT LIKE / NOT IN / NOT BETWEEN
+            next_token = self._peek(1)
+            if next_token.is_keyword("like") or next_token.is_keyword("in") \
+                    or next_token.is_keyword("between"):
+                self._advance()
+                negated = True
+
+        if self._accept_keyword("like"):
+            token = self._advance()
+            if token.type is not TokenType.STRING:
+                raise SqlError("LIKE expects a string pattern")
+            return ast.Like(left, token.value, negated=negated)
+
+        if self._accept_keyword("between"):
+            low = self._additive()
+            self._expect_keyword("and")
+            high = self._additive()
+            return ast.Between(left, low, high, negated=negated)
+
+        if self._accept_keyword("in"):
+            self._expect_punct("(")
+            if self._peek().is_keyword("select"):
+                subquery = self.select_statement()
+                self._expect_punct(")")
+                return ast.InSubquery(left, subquery, negated=negated)
+            items = [self.expression()]
+            while self._accept_punct(","):
+                items.append(self.expression())
+            self._expect_punct(")")
+            return ast.InList(left, tuple(items), negated=negated)
+
+        if negated:
+            raise SqlError("dangling NOT before a non-predicate expression")
+
+        if self._accept_keyword("is"):
+            is_negated = self._accept_keyword("not")
+            self._expect_keyword("null")
+            return ast.IsNull(left, negated=is_negated)
+
+        op = self._accept_operator("=", "<>", "<", "<=", ">", ">=")
+        if op is not None:
+            right = self._additive()
+            return ast.Binary(op, left, right)
+        return left
+
+    def _additive(self) -> ast.AstExpr:
+        left = self._multiplicative()
+        while True:
+            op = self._accept_operator("+", "-")
+            if op is None:
+                return left
+            left = ast.Binary(op, left, self._multiplicative())
+
+    def _multiplicative(self) -> ast.AstExpr:
+        left = self._unary()
+        while True:
+            op = self._accept_operator("*", "/")
+            if op is None:
+                return left
+            left = ast.Binary(op, left, self._unary())
+
+    def _unary(self) -> ast.AstExpr:
+        if self._accept_operator("-"):
+            return ast.Binary("-", ast.NumberLit("0"), self._unary())
+        if self._accept_operator("+"):
+            return self._unary()
+        return self._primary()
+
+    def _primary(self) -> ast.AstExpr:
+        token = self._peek()
+
+        if token.type is TokenType.NUMBER:
+            self._advance()
+            return ast.NumberLit(token.value)
+        if token.type is TokenType.STRING:
+            self._advance()
+            return ast.StringLit(token.value)
+        if token.is_keyword("null"):
+            self._advance()
+            return ast.NullLit()
+        if token.is_keyword("date"):
+            self._advance()
+            lit = self._advance()
+            if lit.type is not TokenType.STRING:
+                raise SqlError("DATE expects a 'YYYY-MM-DD' string")
+            return ast.DateLit(lit.value)
+        if token.is_keyword("interval"):
+            self._advance()
+            amount_token = self._advance()
+            if amount_token.type is TokenType.STRING:
+                amount = int(amount_token.value)
+            elif amount_token.type is TokenType.NUMBER:
+                amount = int(amount_token.value)
+            else:
+                raise SqlError("INTERVAL expects a quoted or numeric amount")
+            unit_token = self._advance()
+            if unit_token.value not in ("day", "month", "year"):
+                raise SqlError(f"unsupported interval unit {unit_token.value!r}")
+            return ast.IntervalLit(amount=amount, unit=unit_token.value)
+        if token.is_keyword("exists"):
+            self._advance()
+            self._expect_punct("(")
+            subquery = self.select_statement()
+            self._expect_punct(")")
+            return ast.Exists(subquery)
+        if token.is_keyword("not") and self._peek(1).is_keyword("exists"):
+            self._advance()
+            self._advance()
+            self._expect_punct("(")
+            subquery = self.select_statement()
+            self._expect_punct(")")
+            return ast.Exists(subquery, negated=True)
+        if token.is_keyword("case"):
+            return self._case_expr()
+        if token.type is TokenType.PUNCT and token.value == "(":
+            self._advance()
+            if self._peek().is_keyword("select"):
+                subquery = self.select_statement()
+                self._expect_punct(")")
+                return ast.ScalarSubquery(subquery)
+            expr = self.expression()
+            self._expect_punct(")")
+            return expr
+        if token.type is TokenType.IDENT:
+            return self._identifier_or_call()
+        if token.type is TokenType.OPERATOR and token.value == "*":
+            # Bare * is only valid inside count(*), handled in the call path.
+            raise SqlError("unexpected '*' outside an aggregate call")
+        raise SqlError(f"unexpected token {token.value!r} at position {token.position}")
+
+    def _case_expr(self) -> ast.AstExpr:
+        self._expect_keyword("case")
+        branches = []
+        while self._accept_keyword("when"):
+            cond = self.expression()
+            self._expect_keyword("then")
+            value = self.expression()
+            branches.append((cond, value))
+        if not branches:
+            raise SqlError("CASE requires at least one WHEN branch")
+        default = self.expression() if self._accept_keyword("else") else None
+        self._expect_keyword("end")
+        return ast.Case(tuple(branches), default)
+
+    def _identifier_or_call(self) -> ast.AstExpr:
+        name = self._identifier_name()
+        if name == "extract" and self._accept_punct("("):
+            unit_token = self._advance()
+            if unit_token.value not in ("year", "month", "day"):
+                raise SqlError(
+                    f"unsupported EXTRACT unit {unit_token.value!r}"
+                )
+            self._expect_keyword("from")
+            operand = self.expression()
+            self._expect_punct(")")
+            return ast.Extract(unit=unit_token.value, operand=operand)
+        if self._accept_punct("("):
+            distinct = self._accept_keyword("distinct")
+            if self._peek().type is TokenType.OPERATOR and self._peek().value == "*":
+                self._advance()
+                self._expect_punct(")")
+                return ast.FuncCall(name=name, args=(), star=True)
+            if self._accept_punct(")"):
+                return ast.FuncCall(name=name, args=())
+            args = [self.expression()]
+            while self._accept_punct(","):
+                args.append(self.expression())
+            self._expect_punct(")")
+            return ast.FuncCall(name=name, args=tuple(args), distinct=distinct)
+        if self._accept_punct("."):
+            column = self._identifier_name()
+            return ast.Identifier(qualifier=name, name=column)
+        return ast.Identifier(qualifier=None, name=name)

@@ -1,0 +1,140 @@
+"""Paged heap storage.
+
+Tables live in heap files made of fixed-size pages (8 KiB). Rows are
+Python tuples; the page tracks an accounting byte budget so fan-out per
+page matches what a real slotted page of the schema's row width would
+hold. "Disk" is simply the heap file — whether touching a page costs a
+physical read or a buffer hit is decided by the buffer pool.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Iterable, Iterator, List, Sequence, Tuple
+
+from repro.engine.schema import TableSchema
+from repro.engine.types import Value
+from repro.util.errors import StorageError
+from repro.util.units import PAGE_SIZE
+
+#: Bytes per page reserved for the page header and slot directory.
+PAGE_HEADER_BYTES = 64
+
+_file_ids = itertools.count(1)
+
+
+@dataclass(frozen=True)
+class RecordId:
+    """Physical address of a tuple: (page number, slot in page)."""
+
+    page_no: int
+    slot: int
+
+    def __repr__(self) -> str:
+        return f"Rid({self.page_no}, {self.slot})"
+
+
+class Page:
+    """One heap page holding whole rows."""
+
+    __slots__ = ("page_no", "rows", "used_bytes")
+
+    def __init__(self, page_no: int):
+        self.page_no = page_no
+        self.rows: List[tuple] = []
+        self.used_bytes = PAGE_HEADER_BYTES
+
+    def fits(self, row_bytes: int) -> bool:
+        return self.used_bytes + row_bytes <= PAGE_SIZE
+
+    def append(self, row: tuple, row_bytes: int) -> int:
+        """Add *row*; returns its slot number."""
+        if not self.fits(row_bytes):
+            raise StorageError(f"page {self.page_no} cannot fit a {row_bytes}-byte row")
+        self.rows.append(row)
+        self.used_bytes += row_bytes
+        return len(self.rows) - 1
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+
+class HeapFile:
+    """An append-oriented heap file for one table."""
+
+    def __init__(self, schema: TableSchema):
+        self.schema = schema
+        self.file_id = next(_file_ids)
+        self._pages: List[Page] = []
+        self._n_rows = 0
+
+    # -- geometry ----------------------------------------------------------
+
+    @property
+    def n_pages(self) -> int:
+        return len(self._pages)
+
+    @property
+    def n_rows(self) -> int:
+        return self._n_rows
+
+    def rows_per_page(self) -> int:
+        """Nominal fan-out for this schema's average row width."""
+        return max(1, (PAGE_SIZE - PAGE_HEADER_BYTES) // self.schema.row_width)
+
+    # -- writes ----------------------------------------------------------------
+
+    def append(self, row: Sequence[Value]) -> RecordId:
+        """Validate and append one row; returns its record id."""
+        self.schema.validate_row(row)
+        row = tuple(row)
+        row_bytes = self.schema.row_width
+        if not self._pages or not self._pages[-1].fits(row_bytes):
+            self._pages.append(Page(len(self._pages)))
+        page = self._pages[-1]
+        slot = page.append(row, row_bytes)
+        self._n_rows += 1
+        return RecordId(page.page_no, slot)
+
+    def bulk_load(self, rows: Iterable[Sequence[Value]]) -> int:
+        """Append many rows; returns the number loaded."""
+        count = 0
+        for row in rows:
+            self.append(row)
+            count += 1
+        return count
+
+    # -- reads -----------------------------------------------------------------
+
+    def page(self, page_no: int) -> Page:
+        try:
+            return self._pages[page_no]
+        except IndexError:
+            raise StorageError(
+                f"heap file for {self.schema.name!r} has no page {page_no}"
+            ) from None
+
+    def pages(self) -> Iterator[Page]:
+        """Pages in physical order (a sequential scan's access pattern)."""
+        return iter(self._pages)
+
+    def fetch(self, rid: RecordId) -> tuple:
+        """The row at *rid*."""
+        page = self.page(rid.page_no)
+        try:
+            return page.rows[rid.slot]
+        except IndexError:
+            raise StorageError(f"no tuple at {rid!r} in {self.schema.name!r}") from None
+
+    def scan_rids(self) -> Iterator[Tuple[RecordId, tuple]]:
+        """All (rid, row) pairs in physical order."""
+        for page in self._pages:
+            for slot, row in enumerate(page.rows):
+                yield RecordId(page.page_no, slot), row
+
+    def __repr__(self) -> str:
+        return (
+            f"HeapFile({self.schema.name!r}, rows={self._n_rows}, "
+            f"pages={self.n_pages})"
+        )

@@ -1,0 +1,135 @@
+"""Value types used by the engine.
+
+Values flowing through the engine are plain Python objects: ``int``,
+``float``, ``str``, ``None`` (SQL NULL), and :class:`Date`. Dates are
+thin wrappers over proleptic-Gregorian day ordinals so comparisons and
+interval arithmetic are integer operations.
+"""
+
+from __future__ import annotations
+
+import datetime
+from functools import total_ordering
+from typing import Union
+
+
+@total_ordering
+class Date:
+    """A calendar date stored as a day ordinal.
+
+    Supports the arithmetic TPC-H queries need: adding or subtracting
+    day counts and whole months/years (used by ``INTERVAL`` handling in
+    the SQL layer).
+    """
+
+    __slots__ = ("_ordinal",)
+
+    def __init__(self, ordinal: int):
+        self._ordinal = int(ordinal)
+
+    @classmethod
+    def parse(cls, text: str) -> "Date":
+        """Parse ``YYYY-MM-DD``."""
+        d = datetime.date.fromisoformat(text)
+        return cls(d.toordinal())
+
+    @classmethod
+    def from_ymd(cls, year: int, month: int, day: int) -> "Date":
+        return cls(datetime.date(year, month, day).toordinal())
+
+    @property
+    def ordinal(self) -> int:
+        return self._ordinal
+
+    def to_date(self) -> datetime.date:
+        return datetime.date.fromordinal(self._ordinal)
+
+    def add_days(self, days: int) -> "Date":
+        return Date(self._ordinal + days)
+
+    def add_months(self, months: int) -> "Date":
+        """Add whole months, clamping the day to the target month's length."""
+        d = self.to_date()
+        month_index = d.year * 12 + (d.month - 1) + months
+        year, month = divmod(month_index, 12)
+        month += 1
+        day = d.day
+        while True:
+            try:
+                return Date(datetime.date(year, month, day).toordinal())
+            except ValueError:
+                day -= 1
+                if day < 1:  # pragma: no cover - defensive
+                    raise
+
+    def add_years(self, years: int) -> "Date":
+        return self.add_months(12 * years)
+
+    @property
+    def year(self) -> int:
+        return self.to_date().year
+
+    def __eq__(self, other) -> bool:
+        if isinstance(other, Date):
+            return self._ordinal == other._ordinal
+        return NotImplemented
+
+    def __lt__(self, other) -> bool:
+        if isinstance(other, Date):
+            return self._ordinal < other._ordinal
+        return NotImplemented
+
+    def __hash__(self) -> int:
+        return hash(("Date", self._ordinal))
+
+    def __sub__(self, other) -> int:
+        """Difference in days."""
+        if isinstance(other, Date):
+            return self._ordinal - other._ordinal
+        return NotImplemented
+
+    def __str__(self) -> str:
+        return self.to_date().isoformat()
+
+    def __repr__(self) -> str:
+        return f"Date({self.to_date().isoformat()!r})"
+
+
+#: A SQL value as represented inside the engine.
+Value = Union[int, float, str, None, Date]
+
+
+def value_byte_size(value: Value) -> int:
+    """Approximate on-disk size of a value, used for page packing."""
+    if value is None:
+        return 1
+    if isinstance(value, bool):
+        return 1
+    if isinstance(value, int):
+        return 8
+    if isinstance(value, float):
+        return 8
+    if isinstance(value, Date):
+        return 4
+    if isinstance(value, str):
+        return 4 + len(value)
+    raise TypeError(f"unsupported value type: {type(value)!r}")
+
+
+def compare_values(a: Value, b: Value) -> int:
+    """Three-way compare with SQL-ish NULL ordering (NULLs sort last).
+
+    Returns -1, 0, or 1. Mixed int/float compare numerically; other
+    mixed-type comparisons raise ``TypeError`` (a schema bug upstream).
+    """
+    if a is None and b is None:
+        return 0
+    if a is None:
+        return 1
+    if b is None:
+        return -1
+    if a < b:
+        return -1
+    if a > b:
+        return 1
+    return 0

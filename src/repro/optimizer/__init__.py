@@ -1,0 +1,22 @@
+"""Cost-based query optimizer with a virtualization-aware what-if mode.
+
+The optimizer chooses plans and estimates their costs from a set of
+environment parameters ``P`` (:class:`OptimizerParameters`) — the same
+knobs PostgreSQL exposes (``cpu_tuple_cost``, ``cpu_operator_cost``,
+``random_page_cost``, ...). The paper's central idea is that ``P``
+depends on the virtual machine's resource allocation ``R`` and can be
+calibrated per allocation; :class:`WhatIfOptimizer` re-optimizes and
+re-costs workloads under arbitrary ``P`` without executing anything.
+"""
+
+from repro.optimizer.params import OptimizerParameters
+from repro.optimizer.planner import Planner
+from repro.optimizer.selectivity import SelectivityEstimator
+from repro.optimizer.whatif import WhatIfOptimizer
+
+__all__ = [
+    "OptimizerParameters",
+    "Planner",
+    "SelectivityEstimator",
+    "WhatIfOptimizer",
+]

@@ -1,0 +1,97 @@
+"""Optimizer environment parameters (the paper's ``P``).
+
+All costs are expressed in units of one sequential page fetch
+(``seq_page_cost`` is pinned at 1.0), exactly as in PostgreSQL. The
+parameters the paper names — ``cpu_tuple_cost`` and
+``cpu_operator_cost`` — are the CPU cost of processing one tuple and
+one WHERE-clause item as fractions of a sequential page fetch; they are
+what the calibration process recovers for each resource allocation.
+
+``seconds_per_seq_page`` converts optimizer cost units into (simulated)
+seconds. The optimizer itself only needs ratios to *rank* plans and
+allocations (the discipline the paper prescribes); the conversion is
+kept so experiments can report comparable magnitudes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict
+
+
+@dataclass(frozen=True)
+class OptimizerParameters:
+    """The physical-environment parameter set ``P``."""
+
+    #: Cost of one sequential page fetch; the unit of all other costs.
+    seq_page_cost: float = 1.0
+    #: Cost of one non-sequential page fetch.
+    random_page_cost: float = 4.0
+    #: CPU cost of processing one tuple.
+    cpu_tuple_cost: float = 0.01
+    #: CPU cost of processing one index entry.
+    cpu_index_tuple_cost: float = 0.005
+    #: CPU cost of one operator/WHERE-clause item evaluation.
+    cpu_operator_cost: float = 0.0025
+    #: CPU cost of matching LIKE against one subject byte. An extension
+    #: to PostgreSQL's parameter set: pattern matching dominates some
+    #: TPC-H queries (Q13) and a per-clause charge cannot express that.
+    cpu_like_byte_cost: float = 0.0002
+    #: Pages of data expected to be cached (guides index-scan costing).
+    effective_cache_size: int = 16384
+    #: Pages one sort may use before spilling.
+    sort_mem_pages: int = 256
+    #: Seconds one sequential page fetch takes in the calibrated
+    #: environment; converts cost units to estimated seconds.
+    seconds_per_seq_page: float = 1.37e-4
+
+    @classmethod
+    def defaults(cls) -> "OptimizerParameters":
+        """PostgreSQL-flavoured default parameters (uncalibrated)."""
+        return cls()
+
+    def with_values(self, **kwargs) -> "OptimizerParameters":
+        """A copy with some parameters replaced."""
+        return replace(self, **kwargs)
+
+    def cost_to_seconds(self, cost: float) -> float:
+        """Convert a plan cost (in seq-page units) to estimated seconds."""
+        return cost * self.seconds_per_seq_page
+
+    def as_dict(self) -> Dict[str, float]:
+        return {
+            "seq_page_cost": self.seq_page_cost,
+            "random_page_cost": self.random_page_cost,
+            "cpu_tuple_cost": self.cpu_tuple_cost,
+            "cpu_index_tuple_cost": self.cpu_index_tuple_cost,
+            "cpu_operator_cost": self.cpu_operator_cost,
+            "cpu_like_byte_cost": self.cpu_like_byte_cost,
+            "effective_cache_size": float(self.effective_cache_size),
+            "sort_mem_pages": float(self.sort_mem_pages),
+            "seconds_per_seq_page": self.seconds_per_seq_page,
+        }
+
+    @classmethod
+    def from_dict(cls, values: Dict[str, float]) -> "OptimizerParameters":
+        """Inverse of :meth:`as_dict` (used by calibration persistence)."""
+        return cls(
+            seq_page_cost=float(values["seq_page_cost"]),
+            random_page_cost=float(values["random_page_cost"]),
+            cpu_tuple_cost=float(values["cpu_tuple_cost"]),
+            cpu_index_tuple_cost=float(values["cpu_index_tuple_cost"]),
+            cpu_operator_cost=float(values["cpu_operator_cost"]),
+            cpu_like_byte_cost=float(values["cpu_like_byte_cost"]),
+            effective_cache_size=int(values["effective_cache_size"]),
+            sort_mem_pages=int(values["sort_mem_pages"]),
+            seconds_per_seq_page=float(values["seconds_per_seq_page"]),
+        )
+
+    def validate(self) -> None:
+        """Raise ``ValueError`` on non-physical parameter values."""
+        for name, value in self.as_dict().items():
+            if value < 0:
+                raise ValueError(f"{name} must be non-negative, got {value}")
+        if self.seq_page_cost <= 0:
+            raise ValueError("seq_page_cost must be positive")
+        if self.seconds_per_seq_page <= 0:
+            raise ValueError("seconds_per_seq_page must be positive")

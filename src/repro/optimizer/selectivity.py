@@ -1,0 +1,233 @@
+"""Predicate selectivity estimation.
+
+Estimates the fraction of rows a predicate keeps, from the catalog's
+per-column statistics, with PostgreSQL's defaults when statistics do
+not apply. These estimates feed row-count estimation, which feeds the
+cost formulas — the chain that makes optimizer estimates *estimates*.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence
+
+from repro.engine.expr import (
+    BinaryOp,
+    ColumnRef,
+    Expr,
+    InListExpr,
+    IsNullExpr,
+    LikeExpr,
+    Literal,
+    NotExpr,
+)
+from repro.engine.statistics import ColumnStats, TableStats
+
+#: PostgreSQL-style defaults when statistics cannot answer.
+DEFAULT_EQ_SELECTIVITY = 0.005
+DEFAULT_RANGE_SELECTIVITY = 1.0 / 3.0
+DEFAULT_LIKE_SELECTIVITY = 0.005
+DEFAULT_ANCHORED_LIKE_SELECTIVITY = 0.02
+
+
+def _simple_range_bound(expr: Expr):
+    """Match ``column <ineq> constant``; returns ((alias, col), op, value)."""
+    if not isinstance(expr, BinaryOp) or expr.op not in ("<", "<=", ">", ">="):
+        return None
+    left, right = expr.left, expr.right
+    if isinstance(left, ColumnRef) and isinstance(right, Literal) \
+            and right.value is not None:
+        return (left.alias, left.column), expr.op, right.value
+    if isinstance(left, Literal) and isinstance(right, ColumnRef) \
+            and left.value is not None:
+        flipped = {"<": ">", "<=": ">=", ">": "<", ">=": "<="}[expr.op]
+        return (right.alias, right.column), flipped, left.value
+    return None
+
+
+def _tighten(entry: dict, op: str, value) -> None:
+    """Fold one inequality into an interval, keeping the tightest bounds."""
+    try:
+        if op in (">", ">="):
+            if entry["low"] is None or value > entry["low"]:
+                entry["low"], entry["low_inc"] = value, op == ">="
+            elif value == entry["low"] and op == ">":
+                entry["low_inc"] = False
+        else:
+            if entry["high"] is None or value < entry["high"]:
+                entry["high"], entry["high_inc"] = value, op == "<="
+            elif value == entry["high"] and op == "<":
+                entry["high_inc"] = False
+    except TypeError:
+        # Mixed-type bounds on one column: keep the existing bound.
+        pass
+
+
+class SelectivityEstimator:
+    """Estimates selectivities against a set of visible relations."""
+
+    def __init__(self, stats_by_alias: Dict[str, Optional[TableStats]]):
+        self._stats_by_alias = stats_by_alias
+
+    def column_stats(self, ref: ColumnRef) -> Optional[ColumnStats]:
+        table_stats = self._stats_by_alias.get(ref.alias)
+        if table_stats is None:
+            return None
+        return table_stats.column(ref.column)
+
+    def estimate(self, predicate: Optional[Expr]) -> float:
+        """Selectivity of *predicate* in [0, 1]; 1.0 for ``None``."""
+        if predicate is None:
+            return 1.0
+        return min(1.0, max(0.0, self._estimate(predicate)))
+
+    def estimate_conjuncts(self, predicates: Sequence[Expr]) -> float:
+        """Selectivity of ANDed conjuncts.
+
+        Mostly the independence-assumption product, with PostgreSQL's
+        range-pair refinement: several inequality conjuncts on the same
+        column (``date >= lo AND date < hi``) are combined into one
+        interval instead of multiplied — naive independence would square
+        the estimate for the common between-style pattern.
+        """
+        selectivity = 1.0
+        range_bounds: Dict[tuple, dict] = {}
+        for predicate in predicates:
+            bound = _simple_range_bound(predicate)
+            if bound is not None:
+                column_key, op, value = bound
+                entry = range_bounds.setdefault(
+                    column_key, {"low": None, "low_inc": True,
+                                 "high": None, "high_inc": True},
+                )
+                _tighten(entry, op, value)
+            else:
+                selectivity *= self.estimate(predicate)
+        for (alias, column), entry in range_bounds.items():
+            ref = ColumnRef(alias, column)
+            stats = self.column_stats(ref)
+            if stats is None:
+                if entry["low"] is not None:
+                    selectivity *= DEFAULT_RANGE_SELECTIVITY
+                if entry["high"] is not None:
+                    selectivity *= DEFAULT_RANGE_SELECTIVITY
+                continue
+            selectivity *= stats.selectivity_range(
+                entry["low"], entry["high"],
+                low_inclusive=entry["low_inc"],
+                high_inclusive=entry["high_inc"],
+            )
+        return min(1.0, max(0.0, selectivity))
+
+    # -- node dispatch ------------------------------------------------------
+
+    def _estimate(self, expr: Expr) -> float:
+        if isinstance(expr, BinaryOp):
+            return self._estimate_binary(expr)
+        if isinstance(expr, NotExpr):
+            return 1.0 - self._estimate(expr.operand)
+        if isinstance(expr, IsNullExpr):
+            return self._estimate_is_null(expr)
+        if isinstance(expr, LikeExpr):
+            return self._estimate_like(expr)
+        if isinstance(expr, InListExpr):
+            return self._estimate_in_list(expr)
+        if isinstance(expr, Literal):
+            if expr.value is True:
+                return 1.0
+            if expr.value is False:
+                return 0.0
+            return 0.5
+        return 0.5  # unknown expression shape
+
+    def _estimate_binary(self, expr: BinaryOp) -> float:
+        op = expr.op
+        if op == "and":
+            return self._estimate(expr.left) * self._estimate(expr.right)
+        if op == "or":
+            s1, s2 = self._estimate(expr.left), self._estimate(expr.right)
+            return s1 + s2 - s1 * s2
+        if op in ("=", "<>", "<", "<=", ">", ">="):
+            return self._estimate_comparison(expr)
+        return 0.5  # arithmetic in boolean position: no information
+
+    def _estimate_comparison(self, expr: BinaryOp) -> float:
+        left, right = expr.left, expr.right
+        # Normalize to column <op> constant where possible.
+        if isinstance(left, Literal) and isinstance(right, ColumnRef):
+            flipped = {"<": ">", "<=": ">=", ">": "<", ">=": "<="}.get(expr.op, expr.op)
+            return self._column_vs_constant(right, flipped, left.value)
+        if isinstance(left, ColumnRef) and isinstance(right, Literal):
+            return self._column_vs_constant(left, expr.op, right.value)
+        if isinstance(left, ColumnRef) and isinstance(right, ColumnRef):
+            return self._column_vs_column(left, expr.op, right)
+        # Expression comparisons (e.g. l_commitdate < l_receiptdate with
+        # arithmetic): fall back to defaults by operator class.
+        if expr.op == "=":
+            return DEFAULT_EQ_SELECTIVITY
+        if expr.op == "<>":
+            return 1.0 - DEFAULT_EQ_SELECTIVITY
+        return DEFAULT_RANGE_SELECTIVITY
+
+    def _column_vs_constant(self, ref: ColumnRef, op: str, value) -> float:
+        stats = self.column_stats(ref)
+        if stats is None:
+            if op == "=":
+                return DEFAULT_EQ_SELECTIVITY
+            if op == "<>":
+                return 1.0 - DEFAULT_EQ_SELECTIVITY
+            return DEFAULT_RANGE_SELECTIVITY
+        if op == "=":
+            return stats.selectivity_eq(value)
+        if op == "<>":
+            return max(0.0, 1.0 - stats.selectivity_eq(value) - stats.null_fraction)
+        if op == "<":
+            return stats.selectivity_range(None, value, high_inclusive=False)
+        if op == "<=":
+            return stats.selectivity_range(None, value, high_inclusive=True)
+        if op == ">":
+            return stats.selectivity_range(value, None, low_inclusive=False)
+        if op == ">=":
+            return stats.selectivity_range(value, None, low_inclusive=True)
+        return DEFAULT_RANGE_SELECTIVITY
+
+    def _column_vs_column(self, left: ColumnRef, op: str, right: ColumnRef) -> float:
+        if op != "=":
+            return DEFAULT_RANGE_SELECTIVITY
+        left_stats = self.column_stats(left)
+        right_stats = self.column_stats(right)
+        n_left = left_stats.n_distinct if left_stats is not None else 0
+        n_right = right_stats.n_distinct if right_stats is not None else 0
+        n_max = max(n_left, n_right)
+        if n_max <= 0:
+            return DEFAULT_EQ_SELECTIVITY
+        return 1.0 / n_max
+
+    def _estimate_is_null(self, expr: IsNullExpr) -> float:
+        base = 0.01
+        if isinstance(expr.operand, ColumnRef):
+            stats = self.column_stats(expr.operand)
+            if stats is not None:
+                base = stats.null_fraction
+        return (1.0 - base) if expr.negated else base
+
+    def _estimate_like(self, expr: LikeExpr) -> float:
+        pattern = expr.pattern
+        if pattern.startswith("%") or pattern.startswith("_"):
+            base = DEFAULT_LIKE_SELECTIVITY
+        else:
+            base = DEFAULT_ANCHORED_LIKE_SELECTIVITY
+        # Longer literal content is more selective; PostgreSQL applies a
+        # similar per-character discount.
+        literal_chars = sum(1 for ch in pattern if ch not in "%_")
+        base *= max(0.05, 0.9 ** max(0, literal_chars - 4))
+        return (1.0 - base) if expr.negated else base
+
+    def _estimate_in_list(self, expr: InListExpr) -> float:
+        if isinstance(expr.operand, ColumnRef):
+            stats = self.column_stats(expr.operand)
+            if stats is not None:
+                total = sum(stats.selectivity_eq(v) for v in expr.values)
+                total = min(1.0, total)
+                return (1.0 - total) if expr.negated else total
+        total = min(1.0, DEFAULT_EQ_SELECTIVITY * len(expr.values))
+        return (1.0 - total) if expr.negated else total

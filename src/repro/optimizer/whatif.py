@@ -1,0 +1,98 @@
+"""The virtualization-aware what-if optimizer mode.
+
+This is the paper's instrument: optimize a workload's queries under an
+arbitrary parameter set ``P`` — typically one calibrated for a resource
+allocation ``R`` — and report estimated execution times *without
+executing anything*. Access paths and database statistics are used
+unchanged; only ``P`` varies, exactly as Section 4 of the paper
+prescribes. Estimates are intended for *ranking* alternatives, not as
+absolute predictions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from repro.engine.catalog import Catalog
+from repro.engine.plans import PlanNode
+from repro.optimizer.params import OptimizerParameters
+from repro.optimizer.planner import Planner
+
+
+@dataclass
+class QueryEstimate:
+    """What-if estimate for one query."""
+
+    sql: str
+    plan: PlanNode
+    cost_units: float
+    estimated_seconds: float
+
+
+class WhatIfOptimizer:
+    """Optimizes and costs queries under a swappable parameter set."""
+
+    def __init__(self, catalog: Catalog, params: Optional[OptimizerParameters] = None):
+        self._catalog = catalog
+        self._params = params or OptimizerParameters.defaults()
+        self._plan_cache: Dict[tuple, QueryEstimate] = {}
+
+    @property
+    def params(self) -> OptimizerParameters:
+        return self._params
+
+    def with_params(self, params: OptimizerParameters) -> "WhatIfOptimizer":
+        """A what-if instance for a different environment ``P``.
+
+        The catalog (access paths, statistics) and the plan cache are
+        shared — changing ``P`` must never touch the database itself,
+        and estimates are keyed by (query, P) so alternating between
+        parameter sets stays cheap.
+        """
+        other = WhatIfOptimizer(self._catalog, params)
+        other._plan_cache = self._plan_cache
+        return other
+
+    # -- estimation ---------------------------------------------------------
+
+    def estimate_query(self, sql: str) -> QueryEstimate:
+        """Optimize *sql* under the current ``P`` and estimate its time."""
+        key = (sql, self._params)
+        cached = self._plan_cache.get(key)
+        if cached is not None:
+            return cached
+        planner = Planner(self._catalog, self._params)
+        plan = planner.plan_sql(sql)
+        estimate = QueryEstimate(
+            sql=sql,
+            plan=plan,
+            cost_units=plan.est_total_cost,
+            estimated_seconds=self._params.cost_to_seconds(plan.est_total_cost),
+        )
+        self._plan_cache[key] = estimate
+        return estimate
+
+    def estimate_workload(self, statements: Sequence[str]) -> float:
+        """Sum of estimated execution seconds over a workload.
+
+        This is the paper's ``Cost(W_i, R_i)``: the query optimizer's
+        estimated total resource consumption for the workload under the
+        parameters calibrated for allocation ``R_i``.
+        """
+        return sum(self.estimate_query(sql).estimated_seconds for sql in statements)
+
+    def explain(self, sql: str) -> str:
+        """EXPLAIN-style plan text under the current ``P``."""
+        estimate = self.estimate_query(sql)
+        header = (
+            f"What-if plan (cpu_tuple_cost={self._params.cpu_tuple_cost:.4g}, "
+            f"cpu_operator_cost={self._params.cpu_operator_cost:.4g}, "
+            f"random_page_cost={self._params.random_page_cost:.4g})"
+        )
+        return "\n".join([header, estimate.plan.explain()])
+
+    def compare(self, sql: str,
+                parameter_sets: Sequence[OptimizerParameters]) -> List[QueryEstimate]:
+        """Estimate the same query under several environments."""
+        return [self.with_params(p).estimate_query(sql) for p in parameter_sets]

@@ -1,0 +1,43 @@
+"""Shared utilities: deterministic RNG, units, formatting, errors."""
+
+from repro.util.errors import (
+    ReproError,
+    AdmissionError,
+    AllocationError,
+    CalibrationError,
+    CatalogError,
+    PlanningError,
+    SqlError,
+    StorageError,
+)
+from repro.util.rng import DeterministicRng
+from repro.util.units import (
+    KIB,
+    MIB,
+    GIB,
+    PAGE_SIZE,
+    bytes_to_pages,
+    mib_to_pages,
+    pages_to_mib,
+)
+from repro.util.tables import format_table
+
+__all__ = [
+    "ReproError",
+    "AdmissionError",
+    "AllocationError",
+    "CalibrationError",
+    "CatalogError",
+    "PlanningError",
+    "SqlError",
+    "StorageError",
+    "DeterministicRng",
+    "KIB",
+    "MIB",
+    "GIB",
+    "PAGE_SIZE",
+    "bytes_to_pages",
+    "mib_to_pages",
+    "pages_to_mib",
+    "format_table",
+]

@@ -1,0 +1,38 @@
+"""Exception hierarchy for the repro library.
+
+Every error raised by the library derives from :class:`ReproError`, so
+callers can catch one type at an API boundary. Subsystems raise the more
+specific subclasses below.
+"""
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class AllocationError(ReproError):
+    """An invalid resource allocation (negative share, oversubscription, ...)."""
+
+
+class AdmissionError(ReproError):
+    """The virtual machine monitor refused to admit or reconfigure a VM."""
+
+
+class StorageError(ReproError):
+    """Heap file / page level failure (bad record id, page overflow, ...)."""
+
+
+class CatalogError(ReproError):
+    """Unknown table, column, or index; duplicate definition."""
+
+
+class SqlError(ReproError):
+    """SQL lexing, parsing, or binding failure."""
+
+
+class PlanningError(ReproError):
+    """The optimizer could not produce a plan for a query."""
+
+
+class CalibrationError(ReproError):
+    """Calibration could not recover optimizer parameters."""

@@ -1,0 +1,36 @@
+"""Storage and capacity units used throughout the library.
+
+The engine stores tuples in fixed-size pages (8 KiB, PostgreSQL's
+default) and the virtualization layer sizes buffer pools in pages, so
+conversions live in one place.
+"""
+
+from __future__ import annotations
+
+KIB = 1024
+MIB = 1024 * KIB
+GIB = 1024 * MIB
+
+#: Size of one storage page in bytes (PostgreSQL default block size).
+PAGE_SIZE = 8 * KIB
+
+
+def bytes_to_pages(n_bytes: int) -> int:
+    """Number of whole pages needed to hold *n_bytes* (ceiling)."""
+    if n_bytes < 0:
+        raise ValueError("n_bytes must be non-negative")
+    return (n_bytes + PAGE_SIZE - 1) // PAGE_SIZE
+
+
+def mib_to_pages(mib: float) -> int:
+    """Number of whole pages that fit in *mib* mebibytes (floor)."""
+    if mib < 0:
+        raise ValueError("mib must be non-negative")
+    return int(mib * MIB) // PAGE_SIZE
+
+
+def pages_to_mib(pages: int) -> float:
+    """Mebibytes occupied by *pages* pages."""
+    if pages < 0:
+        raise ValueError("pages must be non-negative")
+    return pages * PAGE_SIZE / MIB

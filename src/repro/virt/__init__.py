@@ -1,0 +1,42 @@
+"""Virtualization substrate: a simulated machine-virtualization layer.
+
+This package stands in for the Xen testbed used in the paper. It models
+one physical machine whose CPU, memory, and I/O bandwidth are divided
+among virtual machines by a :class:`VirtualMachineMonitor`. A VM's
+resource shares determine how fast database work executes inside it via
+:class:`VMPerfModel`, which converts an executor work trace into
+simulated seconds.
+"""
+
+from repro.virt.resources import ResourceKind, ResourceVector, equal_share
+from repro.virt.machine import PhysicalMachine
+from repro.virt.scheduler import CreditScheduler
+from repro.virt.vm import VirtualMachine, VMConfig, VMImage, VMState
+from repro.virt.monitor import VirtualMachineMonitor
+from repro.virt.perf import VMPerfModel
+from repro.virt.colocation import (
+    ColocationResult,
+    ColocationSimulator,
+    StatementDemand,
+    TenantTimeline,
+    timeline_from_runs,
+)
+
+__all__ = [
+    "ResourceKind",
+    "ResourceVector",
+    "equal_share",
+    "PhysicalMachine",
+    "CreditScheduler",
+    "VirtualMachine",
+    "VMConfig",
+    "VMImage",
+    "VMState",
+    "VirtualMachineMonitor",
+    "VMPerfModel",
+    "ColocationResult",
+    "ColocationSimulator",
+    "StatementDemand",
+    "TenantTimeline",
+    "timeline_from_runs",
+]

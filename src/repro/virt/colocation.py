@@ -1,0 +1,187 @@
+"""Concurrent co-located execution of several VMs on one host.
+
+The paper measures each workload separately under *capped* shares: a VM
+gets exactly its fraction of each resource whether or not the other VMs
+are busy, which makes per-VM times independent of co-runners. Xen's
+credit scheduler also offers a *work-conserving* mode (weights without
+caps) where idle capacity is redistributed to whoever can use it.
+
+This module simulates both modes for CPU and the disk: each VM executes
+its statements serially, alternating between a CPU phase and an I/O
+phase per statement (as row engines do at this granularity), while
+phases of different VMs overlap and contend. Time advances in fixed
+steps; within a step, each contended resource is divided among the VMs
+demanding it — proportionally to their shares, either over all VMs
+(capped) or over the *demanding* VMs only (work-conserving).
+
+Used by the E5 benchmark to quantify how much of the virtualization
+design's benefit survives when the hypervisor is work-conserving.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence
+
+from repro.engine.trace import WorkTrace
+from repro.util.errors import AllocationError
+from repro.virt.machine import PhysicalMachine
+from repro.virt.resources import ResourceVector
+
+
+@dataclass
+class StatementDemand:
+    """One statement's resource demand, extracted from a work trace."""
+
+    cpu_units: float
+    io_seconds_at_full_speed: float
+
+    @classmethod
+    def from_trace(cls, trace: WorkTrace,
+                   machine: PhysicalMachine) -> "StatementDemand":
+        physical_reads = trace.seq_page_reads + trace.random_page_reads
+        cpu_units = trace.cpu_units \
+            + physical_reads * machine.hypervisor_page_overhead_units
+        io_seconds = (
+            trace.seq_page_reads * machine.seq_page_read_seconds
+            + trace.random_page_reads * machine.random_page_read_seconds
+            + trace.page_writes * machine.seq_page_read_seconds
+        )
+        return cls(cpu_units=cpu_units, io_seconds_at_full_speed=io_seconds)
+
+
+@dataclass
+class TenantTimeline:
+    """One VM's statements and shares for a co-location run."""
+
+    name: str
+    shares: ResourceVector
+    statements: List[StatementDemand]
+
+
+@dataclass
+class ColocationResult:
+    """Per-tenant completion times under one scheduling mode."""
+
+    mode: str
+    completion_seconds: Dict[str, float] = field(default_factory=dict)
+    makespan_seconds: float = 0.0
+
+
+class _TenantState:
+    __slots__ = ("timeline", "index", "cpu_left", "io_left", "finished_at")
+
+    def __init__(self, timeline: TenantTimeline):
+        self.timeline = timeline
+        self.index = 0
+        self.finished_at: Optional[float] = None
+        self._load_statement()
+
+    def _load_statement(self) -> None:
+        statements = self.timeline.statements
+        if self.index < len(statements):
+            demand = statements[self.index]
+            self.cpu_left = demand.cpu_units
+            self.io_left = demand.io_seconds_at_full_speed
+        else:
+            self.cpu_left = 0.0
+            self.io_left = 0.0
+
+    @property
+    def done(self) -> bool:
+        return self.index >= len(self.timeline.statements)
+
+    @property
+    def wants_cpu(self) -> bool:
+        return not self.done and self.cpu_left > 0
+
+    @property
+    def wants_io(self) -> bool:
+        return not self.done and self.cpu_left <= 0 and self.io_left > 0
+
+    def advance(self) -> None:
+        """Move to the next statement when the current one is finished."""
+        while not self.done and self.cpu_left <= 0 and self.io_left <= 0:
+            self.index += 1
+            self._load_statement()
+
+
+class ColocationSimulator:
+    """Runs several tenants' timelines concurrently on one machine."""
+
+    def __init__(self, machine: PhysicalMachine, step_seconds: float = 0.002,
+                 max_seconds: float = 3600.0):
+        if step_seconds <= 0:
+            raise AllocationError("step_seconds must be positive")
+        self._machine = machine
+        self._step = step_seconds
+        self._max_seconds = max_seconds
+
+    def run(self, timelines: Sequence[TenantTimeline],
+            work_conserving: bool = False) -> ColocationResult:
+        """Simulate all tenants to completion.
+
+        *work_conserving* selects Xen's weight mode: a resource is split
+        among the VMs currently demanding it, so idle shares are
+        redistributed. Otherwise shares act as hard caps.
+        """
+        if not timelines:
+            raise AllocationError("nothing to simulate")
+        states = {t.name: _TenantState(t) for t in timelines}
+        for state in states.values():
+            state.advance()
+        now = 0.0
+        mode = "work-conserving" if work_conserving else "capped"
+
+        while any(not s.done for s in states.values()):
+            if now > self._max_seconds:
+                raise AllocationError(
+                    f"co-location simulation exceeded {self._max_seconds}s"
+                )
+            cpu_demanders = [s for s in states.values() if s.wants_cpu]
+            io_demanders = [s for s in states.values() if s.wants_io]
+
+            for demanders, is_cpu in ((cpu_demanders, True),
+                                      (io_demanders, False)):
+                if not demanders:
+                    continue
+                share_of = {
+                    s.timeline.name: (
+                        s.timeline.shares.cpu if is_cpu else s.timeline.shares.io
+                    )
+                    for s in demanders
+                }
+                if work_conserving:
+                    total = sum(share_of.values())
+                    if total <= 0:
+                        raise AllocationError("demanding VMs have zero shares")
+                    share_of = {k: v / total for k, v in share_of.items()}
+                for state in demanders:
+                    fraction = share_of[state.timeline.name]
+                    if is_cpu:
+                        rate = self._machine.cpu_units_per_second * fraction
+                        state.cpu_left -= rate * self._step
+                    else:
+                        state.io_left -= fraction * self._step
+
+            now += self._step
+            for state in states.values():
+                state.advance()
+                if state.done and state.finished_at is None:
+                    state.finished_at = now
+
+        result = ColocationResult(mode=mode)
+        for name, state in states.items():
+            result.completion_seconds[name] = state.finished_at or 0.0
+        result.makespan_seconds = max(result.completion_seconds.values())
+        return result
+
+
+def timeline_from_runs(name: str, shares: ResourceVector,
+                       traces: Sequence[WorkTrace],
+                       machine: PhysicalMachine) -> TenantTimeline:
+    """Build a tenant timeline from measured statement traces."""
+    return TenantTimeline(
+        name=name, shares=shares,
+        statements=[StatementDemand.from_trace(t, machine) for t in traces],
+    )

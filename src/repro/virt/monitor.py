@@ -1,0 +1,208 @@
+"""The virtual machine monitor (hypervisor control plane).
+
+The :class:`VirtualMachineMonitor` owns the mapping from virtual to
+physical resources on one or more hosts: it admits VMs, enforces that
+the shares of each resource allocated on a host sum to at most 1,
+reconfigures shares at run time, and migrates VMs between hosts —
+the capabilities the paper lists for Xen/VMware-class virtualization
+layers.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Mapping, Optional
+
+from repro.util.errors import AdmissionError, AllocationError
+from repro.virt.machine import PhysicalMachine
+from repro.virt.resources import ALL_RESOURCES, ResourceKind, ResourceVector, SHARE_EPSILON
+from repro.virt.scheduler import CreditScheduler
+from repro.virt.vm import VMConfig, VMImage, VirtualMachine, VMState
+
+
+class VirtualMachineMonitor:
+    """Admission control and resource allocation over physical hosts."""
+
+    def __init__(self, machines: Iterable[PhysicalMachine]):
+        self._machines: Dict[str, PhysicalMachine] = {}
+        for machine in machines:
+            if machine.name in self._machines:
+                raise AllocationError(f"duplicate machine name {machine.name!r}")
+            self._machines[machine.name] = machine
+        if not self._machines:
+            raise AllocationError("a VMM needs at least one physical machine")
+        self._placements: Dict[str, str] = {}  # vm name -> machine name
+        self._vms: Dict[str, VirtualMachine] = {}
+        self._schedulers: Dict[str, CreditScheduler] = {
+            name: CreditScheduler(machine) for name, machine in self._machines.items()
+        }
+
+    @classmethod
+    def single_host(cls, machine: Optional[PhysicalMachine] = None) -> "VirtualMachineMonitor":
+        """A VMM managing one host (the paper's consolidation scenario)."""
+        return cls([machine or PhysicalMachine()])
+
+    # -- inventory -------------------------------------------------------
+
+    @property
+    def machines(self) -> Mapping[str, PhysicalMachine]:
+        return dict(self._machines)
+
+    @property
+    def vms(self) -> Mapping[str, VirtualMachine]:
+        return dict(self._vms)
+
+    def vms_on(self, machine_name: str) -> List[VirtualMachine]:
+        """VMs currently placed on *machine_name*."""
+        self._machine(machine_name)
+        return [
+            self._vms[vm] for vm, host in self._placements.items() if host == machine_name
+        ]
+
+    def _machine(self, name: str) -> PhysicalMachine:
+        try:
+            return self._machines[name]
+        except KeyError:
+            raise AllocationError(f"unknown machine {name!r}") from None
+
+    # -- admission control -------------------------------------------------
+
+    def allocated_shares(self, machine_name: str,
+                         excluding: Optional[str] = None) -> Dict[ResourceKind, float]:
+        """Total shares of each resource already granted on a host."""
+        totals = {kind: 0.0 for kind in ALL_RESOURCES}
+        for vm in self.vms_on(machine_name):
+            if excluding is not None and vm.name == excluding:
+                continue
+            for kind in ALL_RESOURCES:
+                totals[kind] += vm.shares.share(kind)
+        return totals
+
+    def _check_capacity(self, machine_name: str, shares: ResourceVector,
+                        excluding: Optional[str] = None) -> None:
+        allocated = self.allocated_shares(machine_name, excluding=excluding)
+        for kind in ALL_RESOURCES:
+            total = allocated[kind] + shares.share(kind)
+            if total > 1.0 + SHARE_EPSILON:
+                raise AdmissionError(
+                    f"{kind} oversubscribed on {machine_name}: "
+                    f"{total:.3f} > 1.0"
+                )
+
+    # -- lifecycle ------------------------------------------------------------
+
+    def create_vm(self, name: str, shares: ResourceVector,
+                  machine_name: Optional[str] = None) -> VirtualMachine:
+        """Create (but do not start) a VM with *shares* on a host."""
+        if name in self._vms:
+            raise AdmissionError(f"a VM named {name!r} already exists")
+        if machine_name is None:
+            machine_name = next(iter(self._machines))
+        machine = self._machine(machine_name)
+        self._check_capacity(machine_name, shares)
+        vm = VirtualMachine(machine, VMConfig(name=name, shares=shares),
+                            scheduler=self._schedulers[machine_name])
+        self._vms[name] = vm
+        self._placements[name] = machine_name
+        return vm
+
+    def deploy_image(self, image: VMImage, name: str,
+                     machine_name: Optional[str] = None,
+                     shares: Optional[ResourceVector] = None) -> VirtualMachine:
+        """Deploy a saved appliance image as a new VM and start it."""
+        if name in self._vms:
+            raise AdmissionError(f"a VM named {name!r} already exists")
+        if machine_name is None:
+            machine_name = next(iter(self._machines))
+        machine = self._machine(machine_name)
+        effective = shares or image.config.shares
+        self._check_capacity(machine_name, effective)
+        vm = VirtualMachine.from_image(machine, image, name=name,
+                                       scheduler=self._schedulers[machine_name])
+        if shares is not None:
+            vm.set_shares(shares)
+        self._vms[name] = vm
+        self._placements[name] = machine_name
+        vm.start()
+        return vm
+
+    def destroy_vm(self, name: str) -> None:
+        """Stop and remove a VM, releasing its shares."""
+        vm = self._vm(name)
+        vm.stop()
+        del self._vms[name]
+        del self._placements[name]
+
+    def _vm(self, name: str) -> VirtualMachine:
+        try:
+            return self._vms[name]
+        except KeyError:
+            raise AllocationError(f"unknown VM {name!r}") from None
+
+    # -- runtime reconfiguration -----------------------------------------------
+
+    def set_shares(self, name: str, shares: ResourceVector) -> None:
+        """Change a VM's resource shares, enforcing host capacity."""
+        vm = self._vm(name)
+        host = self._placements[name]
+        self._check_capacity(host, shares, excluding=name)
+        vm.set_shares(shares)
+
+    def apply_allocation(self, allocation: Mapping[str, ResourceVector]) -> None:
+        """Atomically apply a full allocation (VM name -> shares).
+
+        Validates the whole allocation against each host before touching
+        any VM, so a failed apply leaves the system unchanged.
+        """
+        for name in allocation:
+            self._vm(name)
+        # Validate per host.
+        for machine_name in self._machines:
+            totals = {kind: 0.0 for kind in ALL_RESOURCES}
+            for vm in self.vms_on(machine_name):
+                shares = allocation.get(vm.name, vm.shares)
+                for kind in ALL_RESOURCES:
+                    totals[kind] += shares.share(kind)
+            for kind, total in totals.items():
+                if total > 1.0 + SHARE_EPSILON:
+                    raise AdmissionError(
+                        f"{kind} oversubscribed on {machine_name}: {total:.3f} > 1.0"
+                    )
+        for name, shares in allocation.items():
+            self._vms[name].set_shares(shares)
+
+    # -- migration ----------------------------------------------------------------
+
+    def migrate(self, name: str, target_machine: str) -> float:
+        """Live-migrate a VM to another host; returns simulated downtime.
+
+        Downtime is modeled as the time to copy the VM's memory over the
+        target host's I/O channel once (pre-copy rounds hidden), which is
+        what matters to the dynamic reallocation extension.
+        """
+        vm = self._vm(name)
+        source = self._placements[name]
+        if target_machine == source:
+            return 0.0
+        target = self._machine(target_machine)
+        self._check_capacity_for_migration(vm, target_machine)
+        memory_mib = vm.memory_mib
+        transfer_seconds = memory_mib / target.io_seq_mib_per_second
+        # Re-home the VM: same shares, new host capacities.
+        was_running = vm.state == VMState.RUNNING
+        guest = vm.guest
+        self.destroy_vm(name)
+        new_vm = self.create_vm(name, vm.shares, machine_name=target_machine)
+        if guest is not None:
+            new_vm.attach_guest(guest)
+        if was_running:
+            new_vm.start()
+        return transfer_seconds
+
+    def _check_capacity_for_migration(self, vm: VirtualMachine, target: str) -> None:
+        self._check_capacity(target, vm.shares)
+
+    def __repr__(self) -> str:
+        return (
+            f"VirtualMachineMonitor(machines={sorted(self._machines)}, "
+            f"vms={sorted(self._vms)})"
+        )

@@ -1,0 +1,116 @@
+"""Credit-style CPU scheduler model.
+
+Xen's credit scheduler gives each VM a cap: a VM with CPU share ``s``
+receives ``s`` of the machine's CPU time, delivered in scheduling
+quanta. Two effects matter for the performance model:
+
+1. *Proportionality*: useful CPU rate scales with ``s``.
+2. *Scheduling overhead*: each time a VM is switched onto a CPU it pays
+   a fixed context-switch cost, so the overhead *fraction* grows as the
+   share shrinks (a small-share VM runs in short slices and pays the
+   switch cost more often relative to useful work).
+
+The scheduler also exposes a small discrete-time simulation used by the
+dynamic-reallocation extension to run several VMs' CPU demands to
+completion under proportional sharing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Mapping
+
+from repro.util.errors import AllocationError
+from repro.virt.machine import PhysicalMachine
+
+#: Minimum CPU share the scheduler will enforce; below this a VM would
+#: spend most of its slice on switch overhead.
+MIN_CPU_SHARE = 0.01
+
+
+@dataclass(frozen=True)
+class CreditScheduler:
+    """Maps a CPU share to an effective execution rate on a machine."""
+
+    machine: PhysicalMachine
+    #: Scheduling period in seconds: each VM receives its share of every
+    #: period (Xen's default 30 ms time slice over a 3-VM rotation).
+    period_seconds: float = 0.09
+    #: Fixed cost of switching a VM onto a CPU, in seconds.
+    switch_cost_seconds: float = 0.0003
+
+    def overhead_fraction(self, cpu_share: float) -> float:
+        """Fraction of a VM's CPU time lost to scheduling overhead."""
+        if cpu_share <= 0:
+            return 1.0
+        share = max(cpu_share, MIN_CPU_SHARE)
+        slice_seconds = share * self.period_seconds
+        return min(0.9, self.switch_cost_seconds / slice_seconds)
+
+    def effective_rate(self, cpu_share: float) -> float:
+        """Useful CPU work units per second delivered at *cpu_share*.
+
+        ``rate = capacity * share * (1 - overhead(share))``; zero share
+        delivers zero rate.
+        """
+        if cpu_share < 0:
+            raise AllocationError("cpu_share must be non-negative")
+        if cpu_share == 0:
+            return 0.0
+        share = min(1.0, cpu_share)
+        useful = 1.0 - self.overhead_fraction(share)
+        return self.machine.cpu_units_per_second * share * useful
+
+    def cpu_seconds(self, work_units: float, cpu_share: float) -> float:
+        """Wall-clock seconds to execute *work_units* at *cpu_share*."""
+        if work_units < 0:
+            raise AllocationError("work_units must be non-negative")
+        if work_units == 0:
+            return 0.0
+        rate = self.effective_rate(cpu_share)
+        if rate <= 0:
+            raise AllocationError("cannot run CPU work with a zero CPU share")
+        return work_units / rate
+
+    def simulate(self, demands: Mapping[str, float], shares: Mapping[str, float],
+                 step_seconds: float = 0.05) -> Dict[str, float]:
+        """Run VMs' CPU *demands* (work units) to completion concurrently.
+
+        Uses proportional sharing with work-conserving redistribution:
+        when a VM finishes, its share is redistributed among the rest
+        (as Xen's credit scheduler does without caps). Returns each
+        VM's completion time in seconds.
+        """
+        if set(demands) != set(shares):
+            raise AllocationError("demands and shares must cover the same VMs")
+        remaining = {vm: float(units) for vm, units in demands.items()}
+        for vm, share in shares.items():
+            if share < 0:
+                raise AllocationError(f"negative share for {vm}")
+        finish: Dict[str, float] = {}
+        now = 0.0
+        active = {vm for vm, units in remaining.items() if units > 0}
+        for vm in set(remaining) - active:
+            finish[vm] = 0.0
+        while active:
+            total_share = sum(shares[vm] for vm in active)
+            if total_share <= 0:
+                raise AllocationError("active VMs have zero total CPU share")
+            progressed = False
+            for vm in sorted(active):
+                # Work-conserving: active VMs split the machine in
+                # proportion to their configured shares.
+                share = shares[vm] / total_share
+                rate = self.effective_rate(share)
+                done = rate * step_seconds
+                if done > 0:
+                    progressed = True
+                remaining[vm] -= done
+            now += step_seconds
+            if not progressed:
+                raise AllocationError("scheduler simulation made no progress")
+            for vm in sorted(active):
+                if remaining[vm] <= 0:
+                    finish[vm] = now
+            active = {vm for vm in active if remaining[vm] > 0}
+        return finish

@@ -1,0 +1,220 @@
+"""Virtual machines and virtual machine images (appliances).
+
+A :class:`VirtualMachine` owns a :class:`ResourceVector` of shares on a
+:class:`PhysicalMachine` and exposes the *effective* resources a guest
+sees: a CPU execution rate (through the credit scheduler), an amount of
+guest memory, and scaled I/O service times. A guest object — in this
+library a :class:`repro.engine.database.Database` — can be attached to
+the VM; snapshotting the VM captures both configuration and guest
+state, reproducing the paper's "database appliance" deployment story.
+"""
+
+from __future__ import annotations
+
+import copy
+import itertools
+from dataclasses import dataclass, field, replace
+from enum import Enum
+from typing import Any, Optional
+
+from repro.util.errors import AdmissionError, AllocationError
+from repro.util.units import mib_to_pages
+from repro.virt.machine import PhysicalMachine
+from repro.virt.resources import ResourceKind, ResourceVector
+from repro.virt.scheduler import CreditScheduler
+
+#: Fraction of a VM's memory reserved for the guest OS and the database
+#: server's non-buffer memory; the rest backs the buffer pool.
+GUEST_OS_MEMORY_FRACTION = 0.20
+
+#: A VM cannot be configured with less guest memory than this (MiB).
+MIN_GUEST_MEMORY_MIB = 4.0
+
+_vm_ids = itertools.count(1)
+
+
+class VMState(str, Enum):
+    """Lifecycle state of a virtual machine."""
+
+    CREATED = "created"
+    RUNNING = "running"
+    PAUSED = "paused"
+    STOPPED = "stopped"
+
+
+@dataclass(frozen=True)
+class VMConfig:
+    """Static configuration of a virtual machine."""
+
+    name: str
+    shares: ResourceVector
+
+    def with_shares(self, shares: ResourceVector) -> "VMConfig":
+        return replace(self, shares=shares)
+
+
+@dataclass(frozen=True)
+class VMImage:
+    """A saved virtual machine image (a software appliance).
+
+    Holds a deep copy of the guest, so an image can be deployed many
+    times ("copy the virtual machine image and start the saved virtual
+    machine") without the instances sharing state.
+    """
+
+    config: VMConfig
+    guest_snapshot: Any = None
+
+    def instantiate_guest(self) -> Any:
+        """A fresh, independent copy of the saved guest state."""
+        return copy.deepcopy(self.guest_snapshot)
+
+
+class VirtualMachine:
+    """One virtual machine placed on a physical host."""
+
+    def __init__(self, machine: PhysicalMachine, config: VMConfig,
+                 scheduler: Optional[CreditScheduler] = None):
+        self._machine = machine
+        self._config = config
+        self._scheduler = scheduler or CreditScheduler(machine)
+        self._state = VMState.CREATED
+        self._guest: Any = None
+        self.vm_id = next(_vm_ids)
+        self._validate_shares(config.shares)
+
+    # -- configuration -------------------------------------------------
+
+    @staticmethod
+    def _validate_shares(shares: ResourceVector) -> None:
+        for kind in (ResourceKind.CPU, ResourceKind.MEMORY, ResourceKind.IO):
+            if shares.share(kind) < 0:
+                raise AllocationError(f"negative {kind} share")
+
+    @property
+    def machine(self) -> PhysicalMachine:
+        return self._machine
+
+    @property
+    def config(self) -> VMConfig:
+        return self._config
+
+    @property
+    def name(self) -> str:
+        return self._config.name
+
+    @property
+    def shares(self) -> ResourceVector:
+        return self._config.shares
+
+    @property
+    def state(self) -> VMState:
+        return self._state
+
+    @property
+    def scheduler(self) -> CreditScheduler:
+        return self._scheduler
+
+    def set_shares(self, shares: ResourceVector) -> None:
+        """Reconfigure resource shares at run time (Xen allows this)."""
+        self._validate_shares(shares)
+        self._config = self._config.with_shares(shares)
+        self._notify_guest_memory_changed()
+
+    # -- effective resources -------------------------------------------
+
+    @property
+    def memory_mib(self) -> float:
+        """Guest memory in MiB implied by the memory share."""
+        return self._machine.memory_for_share(self.shares.memory)
+
+    @property
+    def buffer_pool_pages(self) -> int:
+        """Pages of guest memory available to the database buffer pool."""
+        usable_mib = max(
+            0.0, self.memory_mib * (1.0 - GUEST_OS_MEMORY_FRACTION)
+        )
+        return mib_to_pages(usable_mib)
+
+    def cpu_rate(self) -> float:
+        """Useful CPU work units per second at the current CPU share."""
+        return self._scheduler.effective_rate(self.shares.cpu)
+
+    def seq_page_read_seconds(self) -> float:
+        """Seconds per sequential page read at the current I/O share."""
+        share = self.shares.io
+        if share <= 0:
+            raise AllocationError(f"VM {self.name} has no I/O share")
+        return self._machine.seq_page_read_seconds / share
+
+    def random_page_read_seconds(self) -> float:
+        """Seconds per random page read at the current I/O share."""
+        share = self.shares.io
+        if share <= 0:
+            raise AllocationError(f"VM {self.name} has no I/O share")
+        return self._machine.random_page_read_seconds / share
+
+    # -- lifecycle -------------------------------------------------------
+
+    def start(self) -> None:
+        if self._state == VMState.RUNNING:
+            return
+        if self.memory_mib < MIN_GUEST_MEMORY_MIB:
+            raise AdmissionError(
+                f"VM {self.name} has {self.memory_mib:.0f} MiB guest memory; "
+                f"at least {MIN_GUEST_MEMORY_MIB:.0f} MiB is required to boot"
+            )
+        self._state = VMState.RUNNING
+
+    def pause(self) -> None:
+        if self._state != VMState.RUNNING:
+            raise AdmissionError(f"cannot pause VM {self.name} in state {self._state}")
+        self._state = VMState.PAUSED
+
+    def resume(self) -> None:
+        if self._state != VMState.PAUSED:
+            raise AdmissionError(f"cannot resume VM {self.name} in state {self._state}")
+        self._state = VMState.RUNNING
+
+    def stop(self) -> None:
+        self._state = VMState.STOPPED
+
+    # -- guest -----------------------------------------------------------
+
+    def attach_guest(self, guest: Any) -> None:
+        """Attach a guest (e.g. a Database); sizes it to this VM's memory."""
+        self._guest = guest
+        self._notify_guest_memory_changed()
+
+    @property
+    def guest(self) -> Any:
+        return self._guest
+
+    def _notify_guest_memory_changed(self) -> None:
+        guest = self._guest
+        if guest is not None and hasattr(guest, "resize_memory"):
+            guest.resize_memory(self.buffer_pool_pages)
+
+    # -- images ------------------------------------------------------------
+
+    def snapshot(self) -> VMImage:
+        """Save this VM as a redeployable image (config + guest state)."""
+        return VMImage(config=self._config, guest_snapshot=copy.deepcopy(self._guest))
+
+    @classmethod
+    def from_image(cls, machine: PhysicalMachine, image: VMImage,
+                   name: Optional[str] = None,
+                   scheduler: Optional[CreditScheduler] = None) -> "VirtualMachine":
+        """Deploy an image onto *machine*, optionally renamed."""
+        config = image.config
+        if name is not None:
+            config = replace(config, name=name)
+        vm = cls(machine, config, scheduler=scheduler)
+        vm.attach_guest(image.instantiate_guest())
+        return vm
+
+    def __repr__(self) -> str:
+        return (
+            f"VirtualMachine(name={self.name!r}, state={self._state.value}, "
+            f"shares={self.shares!r})"
+        )

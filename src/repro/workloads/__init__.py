@@ -1,0 +1,29 @@
+"""TPC-H-like benchmark kit.
+
+A deterministic, scale-factor-parameterized generator for the TPC-H
+schema and data (dialect and index set modeled on the OSDB
+implementation the paper used), the query texts the experiments need,
+and the :class:`Workload` abstraction of the paper's ``W_i``.
+"""
+
+from repro.workloads.tpch_schema import (
+    TPCH_TABLES,
+    OSDB_INDEXES,
+    tpch_schema,
+)
+from repro.workloads.tpch_data import TpchDataGenerator, build_tpch_database
+from repro.workloads.tpch_queries import QUERIES, tpch_query
+from repro.workloads.workload import Workload, scan_heavy_workload, cpu_heavy_workload
+
+__all__ = [
+    "TPCH_TABLES",
+    "OSDB_INDEXES",
+    "tpch_schema",
+    "TpchDataGenerator",
+    "build_tpch_database",
+    "QUERIES",
+    "tpch_query",
+    "Workload",
+    "scan_heavy_workload",
+    "cpu_heavy_workload",
+]

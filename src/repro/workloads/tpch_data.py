@@ -1,0 +1,280 @@
+"""Deterministic TPC-H data generation.
+
+A pure-Python dbgen: same schema, same value distributions that matter
+to the reproduced experiments (order-date ranges for Q4, comment text
+for Q13's LIKE filter, commit/receipt date relationship for Q4's EXISTS
+predicate), deterministic from a single seed, scaled by the TPC-H scale
+factor.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional
+
+from repro.engine.database import Database
+from repro.engine.types import Date
+from repro.util.rng import DeterministicRng
+from repro.workloads.tpch_schema import OSDB_INDEXES, TPCH_TABLES, tpch_row_counts
+
+#: Inclusive order date range used by TPC-H dbgen.
+START_DATE = Date.from_ymd(1992, 1, 1)
+END_DATE = Date.from_ymd(1998, 8, 2)
+
+PRIORITIES = ("1-URGENT", "2-HIGH", "3-MEDIUM", "4-NOT SPECIFIED", "5-LOW")
+SEGMENTS = ("AUTOMOBILE", "BUILDING", "FURNITURE", "MACHINERY", "HOUSEHOLD")
+SHIP_MODES = ("REG AIR", "AIR", "RAIL", "SHIP", "TRUCK", "MAIL", "FOB")
+SHIP_INSTRUCTIONS = ("DELIVER IN PERSON", "COLLECT COD", "NONE", "TAKE BACK RETURN")
+NATIONS = (
+    "ALGERIA", "ARGENTINA", "BRAZIL", "CANADA", "EGYPT", "ETHIOPIA", "FRANCE",
+    "GERMANY", "INDIA", "INDONESIA", "IRAN", "IRAQ", "JAPAN", "JORDAN", "KENYA",
+    "MOROCCO", "MOZAMBIQUE", "PERU", "CHINA", "ROMANIA", "SAUDI ARABIA",
+    "VIETNAM", "RUSSIA", "UNITED KINGDOM", "UNITED STATES",
+)
+REGIONS = ("AFRICA", "AMERICA", "ASIA", "EUROPE", "MIDDLE EAST")
+#: nation key -> region key, following dbgen.
+NATION_REGION = (0, 1, 1, 1, 4, 0, 3, 3, 2, 2, 4, 4, 2, 4, 0,
+                 0, 0, 1, 2, 3, 4, 2, 3, 3, 1)
+
+_WORDS = (
+    "furiously", "slyly", "carefully", "quickly", "blithely", "express",
+    "regular", "final", "ironic", "pending", "bold", "even", "silent",
+    "unusual", "daring", "accounts", "deposits", "packages", "instructions",
+    "theodolites", "foxes", "pinto", "beans", "dependencies", "platelets",
+    "asymptotes", "courts", "ideas", "dolphins", "waters", "sauternes",
+)
+
+#: Colour vocabulary for part names, as in dbgen (Q9 greps '%green%',
+#: Q20 greps 'forest%').
+P_NAME_WORDS = (
+    "almond", "antique", "aquamarine", "azure", "beige", "black", "blue",
+    "blush", "brown", "chartreuse", "chocolate", "coral", "cream", "cyan",
+    "dark", "deep", "dim", "drab", "firebrick", "floral", "forest",
+    "frosted", "gainsboro", "ghost", "goldenrod", "green", "grey", "honeydew",
+    "hot", "indian", "ivory", "khaki", "lace", "lavender", "lemon", "light",
+    "lime", "linen", "magenta", "maroon", "medium", "metallic", "midnight",
+    "mint", "misty", "moccasin", "navajo", "navy", "olive", "orange",
+)
+
+P_TYPES_1 = ("STANDARD", "SMALL", "MEDIUM", "LARGE", "ECONOMY", "PROMO")
+P_TYPES_2 = ("ANODIZED", "BURNISHED", "PLATED", "POLISHED", "BRUSHED")
+P_TYPES_3 = ("TIN", "NICKEL", "BRASS", "STEEL", "COPPER")
+CONTAINERS = ("SM CASE", "SM BOX", "MED BAG", "MED BOX", "LG CASE",
+              "LG BOX", "JUMBO PACK", "WRAP CASE")
+
+#: Fraction of order comments mentioning special requests (Q13 filter).
+SPECIAL_REQUEST_FRACTION = 0.015
+
+
+class TpchDataGenerator:
+    """Generates the rows of each TPC-H table, deterministically."""
+
+    def __init__(self, scale_factor: float = 0.01, seed: int = 42):
+        self.scale_factor = scale_factor
+        self.seed = seed
+        self.counts: Dict[str, int] = tpch_row_counts(scale_factor)
+
+    def _rng(self, table: str) -> DeterministicRng:
+        return DeterministicRng(self.seed).fork(f"tpch/{table}")
+
+    def _comment(self, rng: DeterministicRng, n_words: int) -> str:
+        return " ".join(rng.choice(_WORDS) for _ in range(n_words))
+
+    # -- small tables ----------------------------------------------------
+
+    def region_rows(self) -> Iterator[tuple]:
+        rng = self._rng("region")
+        for key, name in enumerate(REGIONS):
+            yield (key, name, self._comment(rng, 6))
+
+    def nation_rows(self) -> Iterator[tuple]:
+        rng = self._rng("nation")
+        for key, name in enumerate(NATIONS):
+            yield (key, name, NATION_REGION[key], self._comment(rng, 6))
+
+    # -- dimension tables -----------------------------------------------------
+
+    def supplier_rows(self) -> Iterator[tuple]:
+        rng = self._rng("supplier")
+        for key in range(1, self.counts["supplier"] + 1):
+            yield (
+                key,
+                f"Supplier#{key:09d}",
+                self._comment(rng, 2),
+                rng.randint(0, 24),
+                f"{rng.randint(10, 34)}-{rng.randint(100, 999)}-"
+                f"{rng.randint(100, 999)}-{rng.randint(1000, 9999)}",
+                round(rng.uniform(-999.99, 9999.99), 2),
+                self._comment(rng, 7),
+            )
+
+    def customer_rows(self) -> Iterator[tuple]:
+        rng = self._rng("customer")
+        for key in range(1, self.counts["customer"] + 1):
+            yield (
+                key,
+                f"Customer#{key:09d}",
+                self._comment(rng, 2),
+                rng.randint(0, 24),
+                f"{rng.randint(10, 34)}-{rng.randint(100, 999)}-"
+                f"{rng.randint(100, 999)}-{rng.randint(1000, 9999)}",
+                round(rng.uniform(-999.99, 9999.99), 2),
+                rng.choice(SEGMENTS),
+                self._comment(rng, 8),
+            )
+
+    def part_rows(self) -> Iterator[tuple]:
+        rng = self._rng("part")
+        for key in range(1, self.counts["part"] + 1):
+            p_type = " ".join(
+                (rng.choice(P_TYPES_1), rng.choice(P_TYPES_2), rng.choice(P_TYPES_3))
+            )
+            p_name = " ".join(
+                rng.choice(P_NAME_WORDS) for _ in range(5)
+            )
+            yield (
+                key,
+                p_name,
+                f"Manufacturer#{rng.randint(1, 5)}",
+                f"Brand#{rng.randint(1, 5)}{rng.randint(1, 5)}",
+                p_type,
+                rng.randint(1, 50),
+                rng.choice(CONTAINERS),
+                round(900.0 + (key % 1000) + rng.uniform(0, 100), 2),
+                self._comment(rng, 2),
+            )
+
+    def partsupp_rows(self) -> Iterator[tuple]:
+        rng = self._rng("partsupp")
+        n_parts = self.counts["part"]
+        n_suppliers = self.counts["supplier"]
+        per_part = max(1, self.counts["partsupp"] // max(1, n_parts))
+        for part_key in range(1, n_parts + 1):
+            for i in range(per_part):
+                supp_key = 1 + (part_key + i * (n_suppliers // per_part or 1)) % n_suppliers
+                yield (
+                    part_key,
+                    supp_key,
+                    rng.randint(1, 9999),
+                    round(rng.uniform(1.0, 1000.0), 2),
+                    self._comment(rng, 10),
+                )
+
+    # -- fact tables ---------------------------------------------------------------
+
+    def order_comment(self, rng: DeterministicRng) -> str:
+        """An order comment; a small fraction mention special requests."""
+        words = [rng.choice(_WORDS) for _ in range(6)]
+        if rng.uniform(0, 1) < SPECIAL_REQUEST_FRACTION:
+            words[2] = "special"
+            words[4] = "requests"
+        return " ".join(words)
+
+    def orders_rows(self) -> Iterator[tuple]:
+        rng = self._rng("orders")
+        n_customers = self.counts["customer"]
+        date_span = END_DATE - START_DATE
+        for key in range(1, self.counts["orders"] + 1):
+            order_date = START_DATE.add_days(rng.randint(0, date_span))
+            # A third of customers never place orders (dbgen does this
+            # too); Q13 relies on customers with zero orders existing.
+            cust_key = rng.randint(1, max(1, (2 * n_customers) // 3))
+            yield (
+                key,
+                cust_key,
+                rng.choice("OFP"),
+                round(rng.uniform(850.0, 560000.0), 2),
+                order_date,
+                rng.choice(PRIORITIES),
+                f"Clerk#{rng.randint(1, 1000):09d}",
+                0,
+                self.order_comment(rng),
+            )
+
+    def lineitem_rows(self) -> Iterator[tuple]:
+        """Line items; the per-order fan-out reuses the orders stream."""
+        order_rng = self._rng("orders")
+        rng = self._rng("lineitem")
+        date_span = END_DATE - START_DATE
+        n_customers = self.counts["customer"]
+        n_parts = self.counts["part"]
+        n_suppliers = self.counts["supplier"]
+        target_lines = self.counts["lineitem"]
+        lines_emitted = 0
+        for order_key in range(1, self.counts["orders"] + 1):
+            # Re-derive this order's date exactly as orders_rows does.
+            order_date = START_DATE.add_days(order_rng.randint(0, date_span))
+            order_rng.randint(1, max(1, (2 * n_customers) // 3))
+            order_rng.choice("OFP")
+            order_rng.uniform(850.0, 560000.0)
+            order_rng.choice(PRIORITIES)
+            order_rng.randint(1, 1000)
+            self.order_comment(order_rng)
+
+            n_lines = rng.randint(1, 7)
+            for line_no in range(1, n_lines + 1):
+                if lines_emitted >= target_lines:
+                    return
+                lines_emitted += 1
+                quantity = float(rng.randint(1, 50))
+                price = round(quantity * rng.uniform(900.0, 2000.0) / 10.0, 2)
+                ship_date = order_date.add_days(rng.randint(1, 121))
+                commit_date = order_date.add_days(rng.randint(30, 90))
+                receipt_date = ship_date.add_days(rng.randint(1, 30))
+                return_flag = "R" if rng.uniform(0, 1) < 0.25 else (
+                    "A" if rng.uniform(0, 1) < 0.33 else "N"
+                )
+                yield (
+                    order_key,
+                    rng.randint(1, n_parts),
+                    rng.randint(1, n_suppliers),
+                    line_no,
+                    quantity,
+                    price,
+                    round(rng.randint(0, 10) / 100.0, 2),
+                    round(rng.randint(0, 8) / 100.0, 2),
+                    return_flag,
+                    "F" if ship_date < Date.from_ymd(1995, 6, 17) else "O",
+                    ship_date,
+                    commit_date,
+                    receipt_date,
+                    rng.choice(SHIP_INSTRUCTIONS),
+                    rng.choice(SHIP_MODES),
+                    self._comment(rng, 3),
+                )
+
+    def rows_for(self, table: str) -> Iterator[tuple]:
+        generators = {
+            "region": self.region_rows,
+            "nation": self.nation_rows,
+            "supplier": self.supplier_rows,
+            "customer": self.customer_rows,
+            "part": self.part_rows,
+            "partsupp": self.partsupp_rows,
+            "orders": self.orders_rows,
+            "lineitem": self.lineitem_rows,
+        }
+        return generators[table]()
+
+
+def build_tpch_database(scale_factor: float = 0.01, seed: int = 42,
+                        memory_pages: int = 8192,
+                        tables: Optional[List[str]] = None,
+                        with_indexes: bool = True,
+                        name: str = "tpch") -> Database:
+    """Create, load, index, and analyze a TPC-H database.
+
+    *tables* restricts loading to a subset (plus their indexes), which
+    keeps tests fast when only a couple of tables are needed.
+    """
+    generator = TpchDataGenerator(scale_factor=scale_factor, seed=seed)
+    db = Database(name, memory_pages=memory_pages)
+    wanted = list(tables) if tables is not None else list(TPCH_TABLES)
+    for table_name in wanted:
+        db.create_table(TPCH_TABLES[table_name])
+        db.load_rows(table_name, generator.rows_for(table_name))
+    if with_indexes:
+        for index_name, table_name, column, unique in OSDB_INDEXES:
+            if table_name in wanted:
+                db.create_index(index_name, table_name, column, unique=unique)
+    db.analyze()
+    return db

@@ -1,0 +1,147 @@
+"""TPC-H schema and OSDB-style index set.
+
+Column widths follow the TPC-H specification's average lengths so page
+counts (and therefore I/O costs) scale realistically with the scale
+factor. The index set mirrors the OSDB implementation the paper used,
+which builds indexes on primary and foreign keys plus the common date
+columns "to boost performance".
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.engine.schema import Column, ColumnType, TableSchema
+
+_INT = ColumnType.INT
+_FLOAT = ColumnType.FLOAT
+_TEXT = ColumnType.TEXT
+_DATE = ColumnType.DATE
+
+
+def _table(name: str, columns: List[Tuple[str, ColumnType, int]]) -> TableSchema:
+    return TableSchema(name, [Column(n, t, avg_width=w) for n, t, w in columns])
+
+
+#: All eight TPC-H tables.
+TPCH_TABLES: Dict[str, TableSchema] = {
+    "region": _table("region", [
+        ("r_regionkey", _INT, 8),
+        ("r_name", _TEXT, 12),
+        ("r_comment", _TEXT, 60),
+    ]),
+    "nation": _table("nation", [
+        ("n_nationkey", _INT, 8),
+        ("n_name", _TEXT, 12),
+        ("n_regionkey", _INT, 8),
+        ("n_comment", _TEXT, 60),
+    ]),
+    "supplier": _table("supplier", [
+        ("s_suppkey", _INT, 8),
+        ("s_name", _TEXT, 18),
+        ("s_address", _TEXT, 24),
+        ("s_nationkey", _INT, 8),
+        ("s_phone", _TEXT, 15),
+        ("s_acctbal", _FLOAT, 8),
+        ("s_comment", _TEXT, 62),
+    ]),
+    "customer": _table("customer", [
+        ("c_custkey", _INT, 8),
+        ("c_name", _TEXT, 18),
+        ("c_address", _TEXT, 24),
+        ("c_nationkey", _INT, 8),
+        ("c_phone", _TEXT, 15),
+        ("c_acctbal", _FLOAT, 8),
+        ("c_mktsegment", _TEXT, 10),
+        ("c_comment", _TEXT, 72),
+    ]),
+    "part": _table("part", [
+        ("p_partkey", _INT, 8),
+        ("p_name", _TEXT, 32),
+        ("p_mfgr", _TEXT, 14),
+        ("p_brand", _TEXT, 10),
+        ("p_type", _TEXT, 20),
+        ("p_size", _INT, 8),
+        ("p_container", _TEXT, 10),
+        ("p_retailprice", _FLOAT, 8),
+        ("p_comment", _TEXT, 14),
+    ]),
+    "partsupp": _table("partsupp", [
+        ("ps_partkey", _INT, 8),
+        ("ps_suppkey", _INT, 8),
+        ("ps_availqty", _INT, 8),
+        ("ps_supplycost", _FLOAT, 8),
+        ("ps_comment", _TEXT, 80),
+    ]),
+    "orders": _table("orders", [
+        ("o_orderkey", _INT, 8),
+        ("o_custkey", _INT, 8),
+        ("o_orderstatus", _TEXT, 1),
+        ("o_totalprice", _FLOAT, 8),
+        ("o_orderdate", _DATE, 4),
+        ("o_orderpriority", _TEXT, 15),
+        ("o_clerk", _TEXT, 15),
+        ("o_shippriority", _INT, 8),
+        ("o_comment", _TEXT, 48),
+    ]),
+    "lineitem": _table("lineitem", [
+        ("l_orderkey", _INT, 8),
+        ("l_partkey", _INT, 8),
+        ("l_suppkey", _INT, 8),
+        ("l_linenumber", _INT, 8),
+        ("l_quantity", _FLOAT, 8),
+        ("l_extendedprice", _FLOAT, 8),
+        ("l_discount", _FLOAT, 8),
+        ("l_tax", _FLOAT, 8),
+        ("l_returnflag", _TEXT, 1),
+        ("l_linestatus", _TEXT, 1),
+        ("l_shipdate", _DATE, 4),
+        ("l_commitdate", _DATE, 4),
+        ("l_receiptdate", _DATE, 4),
+        ("l_shipinstruct", _TEXT, 12),
+        ("l_shipmode", _TEXT, 7),
+        ("l_comment", _TEXT, 26),
+    ]),
+}
+
+#: OSDB-style indexes: (index name, table, column, unique).
+OSDB_INDEXES: List[Tuple[str, str, str, bool]] = [
+    ("region_pk", "region", "r_regionkey", True),
+    ("nation_pk", "nation", "n_nationkey", True),
+    ("nation_regionkey_idx", "nation", "n_regionkey", False),
+    ("supplier_pk", "supplier", "s_suppkey", True),
+    ("supplier_nationkey_idx", "supplier", "s_nationkey", False),
+    ("customer_pk", "customer", "c_custkey", True),
+    ("customer_nationkey_idx", "customer", "c_nationkey", False),
+    ("part_pk", "part", "p_partkey", True),
+    ("partsupp_partkey_idx", "partsupp", "ps_partkey", False),
+    ("partsupp_suppkey_idx", "partsupp", "ps_suppkey", False),
+    ("orders_pk", "orders", "o_orderkey", True),
+    ("orders_custkey_idx", "orders", "o_custkey", False),
+    ("orders_orderdate_idx", "orders", "o_orderdate", False),
+    ("lineitem_orderkey_idx", "lineitem", "l_orderkey", False),
+    ("lineitem_partkey_idx", "lineitem", "l_partkey", False),
+    ("lineitem_suppkey_idx", "lineitem", "l_suppkey", False),
+    ("lineitem_shipdate_idx", "lineitem", "l_shipdate", False),
+]
+
+
+def tpch_schema(table_name: str) -> TableSchema:
+    """The schema of one TPC-H table."""
+    return TPCH_TABLES[table_name]
+
+
+def tpch_row_counts(scale_factor: float) -> Dict[str, int]:
+    """Nominal row counts for a scale factor (lineitem is approximate)."""
+    if scale_factor <= 0:
+        raise ValueError("scale_factor must be positive")
+    return {
+        "region": 5,
+        "nation": 25,
+        "supplier": max(10, int(10_000 * scale_factor)),
+        "customer": max(30, int(150_000 * scale_factor)),
+        "part": max(40, int(200_000 * scale_factor)),
+        "partsupp": max(160, int(800_000 * scale_factor)),
+        "orders": max(300, int(1_500_000 * scale_factor)),
+        "lineitem": max(1200, int(6_000_000 * scale_factor)),
+    }

@@ -1,0 +1,95 @@
+"""The workload abstraction (the paper's ``W_i``).
+
+A workload is a named sequence of SQL statements against one database.
+The module also provides synthetic workload generators with contrasting
+resource profiles, used by the search ablations: the interesting
+virtualization-design instances are exactly those where workloads
+differ in how they use resources.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, List, Sequence
+
+from repro.util.rng import DeterministicRng
+from repro.workloads.tpch_queries import QUERIES, tpch_query
+
+
+@dataclass(frozen=True)
+class Workload:
+    """A named sequence of SQL statements."""
+
+    name: str
+    statements: tuple
+
+    def __init__(self, name: str, statements: Iterable[str]):
+        object.__setattr__(self, "name", name)
+        object.__setattr__(self, "statements", tuple(statements))
+        if not self.statements:
+            raise ValueError(f"workload {name!r} has no statements")
+
+    @classmethod
+    def repeat(cls, name: str, sql: str, copies: int) -> "Workload":
+        """A workload of *copies* identical statements.
+
+        The paper's Figure 5 workloads are built this way (3 copies of
+        Q4, 9 copies of Q13) "to reduce any effects of startup
+        overheads".
+        """
+        if copies <= 0:
+            raise ValueError("copies must be positive")
+        return cls(name, [sql] * copies)
+
+    @classmethod
+    def of_queries(cls, name: str, query_names: Sequence[str]) -> "Workload":
+        """A workload of named TPC-H queries."""
+        return cls(name, [tpch_query(q) for q in query_names])
+
+    def __len__(self) -> int:
+        return len(self.statements)
+
+    def __repr__(self) -> str:
+        return f"Workload({self.name!r}, {len(self.statements)} statements)"
+
+
+#: Queries that stress I/O (large scans, small CPU work per page).
+IO_HEAVY_QUERIES = ("Q4", "Q6")
+#: Queries that stress CPU (string matching, heavy aggregation).
+CPU_HEAVY_QUERIES = ("Q13", "Q1")
+
+
+def scan_heavy_workload(name: str = "io-heavy", copies: int = 2) -> Workload:
+    """A workload dominated by I/O-bound queries."""
+    statements: List[str] = []
+    for query in IO_HEAVY_QUERIES:
+        statements.extend([tpch_query(query)] * copies)
+    return Workload(name, statements)
+
+
+def cpu_heavy_workload(name: str = "cpu-heavy", copies: int = 2) -> Workload:
+    """A workload dominated by CPU-bound queries."""
+    statements: List[str] = []
+    for query in CPU_HEAVY_QUERIES:
+        statements.extend([tpch_query(query)] * copies)
+    return Workload(name, statements)
+
+
+def random_mixed_workload(name: str, n_statements: int, seed: int = 0,
+                          cpu_bias: float = 0.5) -> Workload:
+    """A random mix of TPC-H queries.
+
+    *cpu_bias* in [0, 1] skews the draw toward CPU-heavy queries; the
+    search ablations sweep it to create workload sets with varied
+    resource profiles.
+    """
+    if not 0.0 <= cpu_bias <= 1.0:
+        raise ValueError("cpu_bias must be in [0, 1]")
+    rng = DeterministicRng(seed).fork(f"workload/{name}")
+    statements = []
+    for _ in range(n_statements):
+        if rng.uniform(0, 1) < cpu_bias:
+            statements.append(tpch_query(rng.choice(CPU_HEAVY_QUERIES)))
+        else:
+            statements.append(tpch_query(rng.choice(IO_HEAVY_QUERIES)))
+    return Workload(name, statements)

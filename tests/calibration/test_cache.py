@@ -1,0 +1,136 @@
+"""Tests for the calibration cache and interpolation."""
+
+import pytest
+
+from repro.calibration import CalibrationCache, CalibrationRunner
+from repro.virt.resources import ResourceVector
+
+
+def alloc(cpu=0.5, memory=0.5, io=0.5):
+    return ResourceVector.of(cpu=cpu, memory=memory, io=io)
+
+
+class _CountingRunner:
+    """Wraps a real runner, counting actual calibrations."""
+
+    def __init__(self, real):
+        self._real = real
+        self.calls = 0
+
+    def parameters_for(self, allocation):
+        self.calls += 1
+        return self._real.parameters_for(allocation)
+
+
+@pytest.fixture
+def counting(calibration_runner):
+    return _CountingRunner(calibration_runner)
+
+
+class TestMemoization:
+    def test_second_lookup_is_free(self, counting):
+        cache = CalibrationCache(counting)
+        cache.params_for(alloc())
+        cache.params_for(alloc())
+        assert counting.calls == 1
+        assert cache.n_calibrations == 1
+
+    def test_distinct_allocations_calibrate_separately(self, counting):
+        cache = CalibrationCache(counting)
+        cache.params_for(alloc(cpu=0.25))
+        cache.params_for(alloc(cpu=0.75))
+        assert counting.calls == 2
+
+    def test_calibrate_grid_counts(self, counting):
+        cache = CalibrationCache(counting)
+        n = cache.calibrate_grid([0.25, 0.75], [0.5], [0.5])
+        assert n == 2
+        assert counting.calls == 2
+        assert len(cache.calibrated_points) == 2
+
+
+class TestPersistence:
+    def test_save_load_roundtrip(self, counting, tmp_path):
+        cache = CalibrationCache(counting)
+        original = cache.params_for(alloc())
+        path = tmp_path / "calibration.json"
+        assert cache.save(path) == 1
+
+        fresh = CalibrationCache(counting)
+        assert fresh.load(path) == 1
+        calls_before = counting.calls
+        restored = fresh.params_for(alloc())
+        assert counting.calls == calls_before  # served from the file
+        assert restored == original
+
+    def test_load_merges_without_overwriting(self, counting, tmp_path):
+        cache = CalibrationCache(counting)
+        cache.params_for(alloc(cpu=0.25))
+        path = tmp_path / "c.json"
+        cache.save(path)
+        cache.params_for(alloc(cpu=0.75))
+        assert cache.load(path) == 0  # already present
+        assert cache.n_calibrations == 2
+
+    def test_load_rejects_unknown_format(self, counting, tmp_path):
+        import json
+
+        from repro.util.errors import CalibrationError
+
+        path = tmp_path / "bad.json"
+        path.write_text(json.dumps({"format": "other", "points": []}))
+        with pytest.raises(CalibrationError):
+            CalibrationCache(counting).load(path)
+
+    def test_saved_parameters_validate(self, counting, tmp_path):
+        cache = CalibrationCache(counting)
+        cache.calibrate_grid([0.25, 0.75], [0.5], [0.5])
+        path = tmp_path / "grid.json"
+        cache.save(path)
+        fresh = CalibrationCache(counting)
+        fresh.load(path)
+        for point in fresh.calibrated_points:
+            fresh.params_for(alloc(*point)).validate()
+
+
+class TestInterpolation:
+    @pytest.fixture
+    def grid_cache(self, counting):
+        cache = CalibrationCache(counting, interpolate=True)
+        cache.calibrate_grid([0.25, 0.75], [0.25, 0.75], [0.5])
+        return cache
+
+    def test_interpolates_between_corners(self, grid_cache, counting):
+        calls_before = counting.calls
+        params = grid_cache.params_for(alloc(cpu=0.5, memory=0.5))
+        assert counting.calls == calls_before  # no new calibration
+        params.validate()
+
+    def test_interpolated_value_between_corners(self, grid_cache):
+        low = grid_cache.params_for(alloc(cpu=0.25, memory=0.25))
+        high = grid_cache.params_for(alloc(cpu=0.75, memory=0.25))
+        mid = grid_cache.params_for(alloc(cpu=0.5, memory=0.25))
+        lo, hi = sorted((low.cpu_tuple_cost, high.cpu_tuple_cost))
+        assert lo <= mid.cpu_tuple_cost <= hi
+
+    def test_grid_point_returned_exactly(self, grid_cache):
+        direct = grid_cache.params_for(alloc(cpu=0.25, memory=0.25))
+        again = grid_cache.params_for(alloc(cpu=0.25, memory=0.25))
+        assert direct == again
+
+    def test_outside_grid_falls_back_to_calibration(self, grid_cache, counting):
+        calls_before = counting.calls
+        grid_cache.params_for(alloc(cpu=0.9, memory=0.25))  # beyond the hull
+        assert counting.calls == calls_before + 1
+
+    def test_exact_flag_forces_calibration(self, grid_cache, counting):
+        calls_before = counting.calls
+        grid_cache.params_for(alloc(cpu=0.5, memory=0.5), exact=True)
+        assert counting.calls == calls_before + 1
+
+    def test_no_interpolation_without_flag(self, counting):
+        cache = CalibrationCache(counting, interpolate=False)
+        cache.calibrate_grid([0.25, 0.75], [0.5], [0.5])
+        calls_before = counting.calls
+        cache.params_for(alloc(cpu=0.5))
+        assert counting.calls == calls_before + 1

@@ -1,0 +1,116 @@
+"""Tests for the least-squares calibration solver."""
+
+import pytest
+
+from repro.calibration.solver import CATEGORIES, solve_parameters
+from repro.util.errors import CalibrationError
+
+#: A plausible ground-truth parameter vector (seconds per unit).
+TRUTH = {
+    "seq_pages": 2e-4,
+    "rand_pages": 8e-3,
+    "tuples": 2e-6,
+    "index_tuples": 1e-6,
+    "ops": 5e-8,
+    "like_bytes": 2e-8,
+}
+
+
+def synth_rows():
+    """Well-conditioned synthetic measurements from TRUTH."""
+    rows = [
+        [1000, 0, 90_000, 0, 0, 0],
+        [1000, 0, 90_000, 0, 450_000, 0],
+        [1000, 0, 90_000, 0, 90_000, 4_000_000],
+        [0, 500, 5_000, 5_000, 0, 0],
+        # A warm index scan: mostly cached, so few random pages per
+        # index tuple — this breaks the rand/index-tuple collinearity.
+        [0, 50, 5_000, 5_000, 0, 0],
+        [20, 0, 2_000, 0, 8_000, 0],
+        [20, 0, 2_000, 0, 2_000, 90_000],
+        [500, 200, 40_000, 2_000, 100_000, 0],
+    ]
+    times = [
+        sum(row[i] * TRUTH[c] for i, c in enumerate(CATEGORIES))
+        for row in rows
+    ]
+    return rows, times
+
+
+class TestRecovery:
+    def test_exact_system_recovers_truth(self):
+        rows, times = synth_rows()
+        solution = solve_parameters(rows, times)
+        for category in ("seq_pages", "tuples", "ops", "like_bytes"):
+            assert solution.unit_seconds[category] == pytest.approx(
+                TRUTH[category], rel=0.15
+            )
+
+    def test_residual_small_on_exact_system(self):
+        rows, times = synth_rows()
+        solution = solve_parameters(rows, times)
+        scale = max(times)
+        assert solution.residual_rms < 0.05 * scale
+
+    def test_noise_tolerated(self):
+        rows, times = synth_rows()
+        noisy = [t * (1.02 if i % 2 else 0.98) for i, t in enumerate(times)]
+        solution = solve_parameters(rows, noisy)
+        # ±2% alternating noise amplifies through the nearly collinear
+        # page columns; 30% parameter error is the realistic envelope.
+        assert solution.unit_seconds["seq_pages"] == pytest.approx(
+            TRUTH["seq_pages"], rel=0.3
+        )
+
+    def test_parameters_never_negative(self):
+        rows, times = synth_rows()
+        # Adversarial: zero out one time to push lstsq negative.
+        times[3] = 0.0
+        solution = solve_parameters(rows, times)
+        assert all(v > 0 for v in solution.unit_seconds.values())
+
+
+class TestConversionToParameters:
+    def test_ratios_normalized_by_seq_page(self):
+        rows, times = synth_rows()
+        solution = solve_parameters(rows, times)
+        params = solution.to_parameters(effective_cache_size=1000,
+                                        sort_mem_pages=128)
+        assert params.seq_page_cost == 1.0
+        assert params.cpu_tuple_cost == pytest.approx(
+            solution.unit_seconds["tuples"] / solution.unit_seconds["seq_pages"]
+        )
+        assert params.seconds_per_seq_page == solution.unit_seconds["seq_pages"]
+        assert params.effective_cache_size == 1000
+
+    def test_random_page_ratio(self):
+        rows, times = synth_rows()
+        params = solve_parameters(rows, times).to_parameters(1000, 128)
+        assert params.random_page_cost == pytest.approx(
+            TRUTH["rand_pages"] / TRUTH["seq_pages"], rel=0.3
+        )
+
+
+class TestValidation:
+    def test_length_mismatch(self):
+        with pytest.raises(CalibrationError):
+            solve_parameters([[1, 0, 0, 0, 0, 0]], [1.0, 2.0])
+
+    def test_too_few_measurements(self):
+        with pytest.raises(CalibrationError):
+            solve_parameters([[1, 0, 0, 0, 0, 0]] * 3, [1.0] * 3)
+
+    def test_wrong_column_count(self):
+        with pytest.raises(CalibrationError):
+            solve_parameters([[1, 2]] * 8, [1.0] * 8)
+
+    def test_negative_time_rejected(self):
+        rows, times = synth_rows()
+        times[0] = -1.0
+        with pytest.raises(CalibrationError):
+            solve_parameters(rows, times)
+
+    def test_no_sequential_pages_rejected(self):
+        rows = [[0, 1, 1, 1, 1, 1]] * 8
+        with pytest.raises(CalibrationError):
+            solve_parameters(rows, [1.0] * 8)

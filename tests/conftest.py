@@ -1,0 +1,59 @@
+"""Shared fixtures.
+
+Expensive artifacts (the TPC-H database, the calibration runner and its
+synthetic database) are session-scoped; tests that mutate state take
+care to restore it (or use cheap per-test copies).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.calibration import CalibrationCache, CalibrationRunner
+from repro.engine.database import Database
+from repro.engine.schema import Column, ColumnType, TableSchema
+from repro.virt.machine import PhysicalMachine, laboratory_machine
+from repro.workloads import build_tpch_database
+
+#: Tiny scale factor used by most engine/optimizer tests.
+TEST_SCALE_FACTOR = 0.002
+
+
+@pytest.fixture(scope="session")
+def lab_machine() -> PhysicalMachine:
+    return laboratory_machine()
+
+
+@pytest.fixture(scope="session")
+def tpch_db() -> Database:
+    """A small TPC-H database shared by read-only tests."""
+    return build_tpch_database(scale_factor=TEST_SCALE_FACTOR, memory_pages=4096)
+
+
+@pytest.fixture(scope="session")
+def calibration_runner(lab_machine) -> CalibrationRunner:
+    return CalibrationRunner(lab_machine)
+
+
+@pytest.fixture(scope="session")
+def calibration_cache(calibration_runner) -> CalibrationCache:
+    return CalibrationCache(calibration_runner)
+
+
+def simple_schema(name: str = "t") -> TableSchema:
+    return TableSchema(name, [
+        Column("a", ColumnType.INT),
+        Column("b", ColumnType.INT),
+        Column("c", ColumnType.TEXT, avg_width=20),
+    ])
+
+
+@pytest.fixture
+def simple_db() -> Database:
+    """A fresh three-column table with 1000 rows and an index on ``a``."""
+    db = Database("simple", memory_pages=2048)
+    db.create_table(simple_schema())
+    db.load_rows("t", [(i, i % 10, f"row {i}") for i in range(1000)])
+    db.create_index("t_a_idx", "t", "a")
+    db.analyze()
+    return db

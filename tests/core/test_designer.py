@@ -1,0 +1,78 @@
+"""Tests for the designer facade (search + cost model + deployment)."""
+
+import pytest
+
+from repro.core.designer import VirtualizationDesigner
+from repro.core.problem import VirtualizationDesignProblem, WorkloadSpec
+from repro.virt.machine import PhysicalMachine
+from repro.virt.monitor import VirtualMachineMonitor
+from repro.virt.resources import ResourceKind, ResourceVector
+from tests.core.test_search import SyntheticCostModel, make_problem
+
+WEIGHTS = {"cpu-hungry": (10.0, 1.0), "mem-hungry": (1.0, 10.0)}
+
+
+@pytest.fixture
+def designer():
+    problem, model = make_problem(WEIGHTS)
+    return VirtualizationDesigner(problem, model)
+
+
+class TestDesign:
+    def test_design_improves_on_default(self, designer):
+        design = designer.design("exhaustive", grid=6)
+        assert design.predicted_total_cost <= design.default_total_cost
+        assert design.predicted_improvement >= 0
+
+    def test_design_reports_per_workload(self, designer):
+        design = designer.design("greedy", grid=6)
+        assert set(design.predicted_costs) == set(WEIGHTS)
+        assert set(design.default_costs) == set(WEIGHTS)
+
+    def test_algorithm_instance_accepted(self, designer):
+        from repro.core.search import GreedySearch
+
+        design = designer.design(GreedySearch(grid=6))
+        assert design.algorithm == "greedy"
+
+    def test_summary_readable(self, designer):
+        text = designer.design("exhaustive", grid=4).summary()
+        assert "cpu-hungry" in text
+        assert "better" in text
+
+    def test_evaluate_uses_raw_costs(self, designer):
+        default = designer.problem.default_allocation()
+        costs = designer.evaluate(default)
+        assert all(value > 0 for value in costs.values())
+
+
+class TestApply:
+    def test_apply_creates_vms(self, designer):
+        design = designer.design("exhaustive", grid=4)
+        vmm = VirtualMachineMonitor.single_host(PhysicalMachine(memory_mib=4096))
+        designer.apply(vmm, design)
+        assert set(vmm.vms) == set(WEIGHTS)
+        for name in WEIGHTS:
+            vm = vmm.vms[name]
+            assert vm.shares == design.allocation.vector_for(name)
+            assert vm.state.value == "running"
+            assert vm.guest is designer.problem.spec(name).database
+
+    def test_apply_reconfigures_existing(self, designer):
+        design = designer.design("exhaustive", grid=4)
+        vmm = VirtualMachineMonitor.single_host(PhysicalMachine(memory_mib=4096))
+        designer.apply(vmm, design)
+        # Re-apply a different design: same VMs, new shares.
+        problem, model = make_problem(
+            {"cpu-hungry": (1.0, 10.0), "mem-hungry": (10.0, 1.0)}
+        )
+        designer2 = VirtualizationDesigner(designer.problem,
+                                           SyntheticCostModel(
+                                               {"cpu-hungry": (1.0, 10.0),
+                                                "mem-hungry": (10.0, 1.0)}))
+        flipped = designer2.design("exhaustive", grid=4)
+        designer2.apply(vmm, flipped)
+        assert len(vmm.vms) == 2
+        assert vmm.vms["mem-hungry"].shares == flipped.allocation.vector_for(
+            "mem-hungry"
+        )

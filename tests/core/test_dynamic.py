@@ -1,0 +1,113 @@
+"""Tests for the dynamic reallocation controller."""
+
+import pytest
+
+from repro.core.dynamic import DynamicReallocator, WorkloadPhase
+from repro.core.problem import WorkloadSpec
+from repro.engine.database import Database
+from repro.util.errors import AllocationError
+from repro.virt.machine import PhysicalMachine
+from repro.workloads.workload import Workload
+from tests.core.test_search import SyntheticCostModel
+
+
+class PhasedCostModel(SyntheticCostModel):
+    """Weights keyed by (workload name, statement tag)."""
+
+    def __init__(self, weights_by_tag):
+        super().__init__({})
+        self._by_tag = weights_by_tag
+
+    def _cost(self, spec, allocation):
+        tag = spec.workload.statements[0]
+        cpu_weight, mem_weight = self._by_tag[(spec.name, tag)]
+        return (cpu_weight / max(allocation.cpu, 1e-9)
+                + mem_weight / max(allocation.memory, 1e-9))
+
+
+def spec(name, tag):
+    return WorkloadSpec(Workload(name, [tag]), Database(name))
+
+
+@pytest.fixture
+def phases():
+    # Phase 1: w1 is CPU hungry. Phase 2: roles reverse.
+    return [
+        WorkloadPhase("day", [spec("w1", "heavy"), spec("w2", "light")]),
+        WorkloadPhase("night", [spec("w1", "light"), spec("w2", "heavy")]),
+    ]
+
+
+@pytest.fixture
+def cost_model():
+    return PhasedCostModel({
+        ("w1", "heavy"): (10.0, 1.0),
+        ("w1", "light"): (1.0, 1.0),
+        ("w2", "heavy"): (10.0, 1.0),
+        ("w2", "light"): (1.0, 1.0),
+    })
+
+
+class TestDynamicReallocation:
+    def test_dynamic_beats_static_on_phase_shift(self, phases, cost_model):
+        reallocator = DynamicReallocator(
+            PhysicalMachine(), cost_model, grid=6,
+            reconfiguration_seconds=0.0,
+        )
+        reports = reallocator.run(phases)
+        assert reports["dynamic"].total_cost < \
+            reports["static-designed"].total_cost
+        assert reports["dynamic"].total_cost < \
+            reports["static-default"].total_cost
+
+    def test_reconfiguration_counted(self, phases, cost_model):
+        reallocator = DynamicReallocator(
+            PhysicalMachine(), cost_model, grid=6,
+            reconfiguration_seconds=2.5,
+        )
+        reports = reallocator.run(phases)
+        dynamic = reports["dynamic"]
+        assert dynamic.reconfigurations == 1  # one phase boundary change
+        assert dynamic.reconfiguration_seconds == pytest.approx(2.5)
+
+    def test_static_strategies_never_reconfigure(self, phases, cost_model):
+        reports = DynamicReallocator(
+            PhysicalMachine(), cost_model, grid=6
+        ).run(phases)
+        assert reports["static-default"].reconfigurations == 0
+        assert reports["static-designed"].reconfigurations == 0
+
+    def test_stable_workload_needs_no_reconfiguration(self, cost_model):
+        stable = [
+            WorkloadPhase("p1", [spec("w1", "heavy"), spec("w2", "light")]),
+            WorkloadPhase("p2", [spec("w1", "heavy"), spec("w2", "light")]),
+        ]
+        reports = DynamicReallocator(
+            PhysicalMachine(), cost_model, grid=6,
+            reconfiguration_seconds=100.0,
+        ).run(stable)
+        assert reports["dynamic"].reconfigurations == 0
+        assert reports["dynamic"].total_cost == pytest.approx(
+            reports["static-designed"].total_cost
+        )
+
+    def test_outcome_bookkeeping(self, phases, cost_model):
+        reports = DynamicReallocator(
+            PhysicalMachine(), cost_model, grid=6
+        ).run(phases)
+        for report in reports.values():
+            assert [o.phase_name for o in report.outcomes] == ["day", "night"]
+            for outcome in report.outcomes:
+                assert set(outcome.workload_costs) == {"w1", "w2"}
+
+    def test_phases_must_match_workloads(self, cost_model):
+        bad = [
+            WorkloadPhase("p1", [spec("w1", "heavy")]),
+            WorkloadPhase("p2", [spec("other", "heavy")]),
+        ]
+        with pytest.raises(AllocationError):
+            DynamicReallocator(PhysicalMachine(), cost_model).run(bad)
+
+    def test_empty_phases_rejected(self, cost_model):
+        with pytest.raises(AllocationError):
+            DynamicReallocator(PhysicalMachine(), cost_model).run([])

@@ -1,0 +1,66 @@
+"""Tests for the workload runner (measured execution in a VM)."""
+
+import pytest
+
+from repro.core.measure import WorkloadRunner
+from repro.optimizer.params import OptimizerParameters
+from repro.virt.resources import ResourceVector
+from repro.workloads import build_tpch_database
+from repro.workloads.workload import Workload
+
+
+def alloc(cpu=0.5, memory=0.5, io=0.5):
+    return ResourceVector.of(cpu=cpu, memory=memory, io=io)
+
+
+@pytest.fixture(scope="module")
+def db():
+    return build_tpch_database(scale_factor=0.002, tables=["orders", "lineitem"],
+                               name="measure")
+
+
+@pytest.fixture(scope="module")
+def workload():
+    return Workload.of_queries("probe", ["Q4", "Q4", "Q12"])
+
+
+class TestRun:
+    def test_per_statement_times(self, lab_machine, db, workload):
+        runner = WorkloadRunner(lab_machine)
+        run = runner.run(workload, db, alloc())
+        assert len(run.statement_seconds) == 3
+        assert all(t > 0 for t in run.statement_seconds)
+        assert run.total_seconds == pytest.approx(sum(run.statement_seconds))
+
+    def test_cold_start_then_warm(self, lab_machine, db, workload):
+        runner = WorkloadRunner(lab_machine)
+        run = runner.run(workload, db, alloc())
+        # The second identical Q4 benefits from whatever caching the
+        # allocation sustains, so it can never be slower than the first.
+        assert run.statement_seconds[1] <= run.statement_seconds[0] + 1e-9
+
+    def test_memory_share_resizes_buffer_pool(self, lab_machine, db, workload):
+        runner = WorkloadRunner(lab_machine)
+        runner.run(workload, db, alloc(memory=0.75))
+        large = db.buffer_pool.capacity
+        runner.run(workload, db, alloc(memory=0.25))
+        small = db.buffer_pool.capacity
+        assert small < large
+
+    def test_planning_params_respected(self, lab_machine, db, workload):
+        runner = WorkloadRunner(lab_machine)
+        crazy = OptimizerParameters.defaults().with_values(random_page_cost=1e9)
+        run = runner.run(workload, db, alloc(), planning_params=crazy)
+        assert run.total_seconds > 0
+
+    def test_more_cpu_helps_or_neutral(self, lab_machine, db, workload):
+        runner = WorkloadRunner(lab_machine)
+        slow = runner.run(workload, db, alloc(cpu=0.25)).total_seconds
+        fast = runner.run(workload, db, alloc(cpu=0.75)).total_seconds
+        assert fast <= slow
+
+    def test_noise_deterministic_per_seed(self, lab_machine, db, workload):
+        a = WorkloadRunner(lab_machine, noise_sigma=0.05, seed=7)
+        b = WorkloadRunner(lab_machine, noise_sigma=0.05, seed=7)
+        assert a.run(workload, db, alloc()).total_seconds == \
+            b.run(workload, db, alloc()).total_seconds

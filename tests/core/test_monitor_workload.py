@@ -1,0 +1,114 @@
+"""Tests for workload drift detection and the triggered strategy."""
+
+import pytest
+
+from repro.core.dynamic import DynamicReallocator, WorkloadPhase
+from repro.core.monitor_workload import WorkloadMonitor
+from repro.virt.machine import PhysicalMachine
+from tests.core.test_dynamic import PhasedCostModel, spec
+
+
+class TestWorkloadMonitor:
+    def test_first_observation_sets_baseline(self):
+        monitor = WorkloadMonitor()
+        report = monitor.observe({"w": 10.0})
+        assert not report.drifted
+        assert monitor.baseline == {"w": 10.0}
+
+    def test_small_change_ignored(self):
+        monitor = WorkloadMonitor(threshold=0.25)
+        monitor.observe({"w": 10.0})
+        assert not monitor.observe({"w": 11.0}).drifted
+
+    def test_large_change_fires(self):
+        monitor = WorkloadMonitor(threshold=0.25)
+        monitor.observe({"w": 10.0})
+        report = monitor.observe({"w": 15.0})
+        assert report.drifted
+        assert report.per_workload_change["w"] == pytest.approx(0.5)
+
+    def test_drop_also_fires(self):
+        monitor = WorkloadMonitor(threshold=0.25)
+        monitor.observe({"w": 10.0})
+        assert monitor.observe({"w": 5.0}).drifted
+
+    def test_baseline_resets_on_drift(self):
+        monitor = WorkloadMonitor(threshold=0.25)
+        monitor.observe({"w": 10.0})
+        monitor.observe({"w": 20.0})  # fires and re-anchors
+        assert not monitor.observe({"w": 21.0}).drifted
+
+    def test_persistent_shift_fires_once(self):
+        monitor = WorkloadMonitor(threshold=0.25)
+        monitor.observe({"w": 10.0})
+        fires = [monitor.observe({"w": 20.0}).drifted for _ in range(3)]
+        assert fires == [True, False, False]
+
+    def test_new_workload_counts_as_drift(self):
+        monitor = WorkloadMonitor()
+        monitor.observe({"w": 10.0})
+        assert monitor.observe({"w": 10.0, "new": 5.0}).drifted
+
+    def test_worst_change(self):
+        monitor = WorkloadMonitor(threshold=10.0)
+        monitor.observe({"a": 10.0, "b": 10.0})
+        report = monitor.observe({"a": 12.0, "b": 5.0})
+        assert report.worst_change() == pytest.approx(0.5)
+
+    def test_threshold_validated(self):
+        with pytest.raises(ValueError):
+            WorkloadMonitor(threshold=0.0)
+
+
+class TestTriggeredStrategy:
+    @pytest.fixture
+    def phases(self):
+        return [
+            WorkloadPhase("p1", [spec("w1", "heavy"), spec("w2", "light")]),
+            WorkloadPhase("p2", [spec("w1", "light"), spec("w2", "heavy")]),
+            WorkloadPhase("p3", [spec("w1", "light"), spec("w2", "heavy")]),
+            WorkloadPhase("p4", [spec("w1", "light"), spec("w2", "heavy")]),
+        ]
+
+    @pytest.fixture
+    def cost_model(self):
+        return PhasedCostModel({
+            ("w1", "heavy"): (10.0, 1.0), ("w1", "light"): (1.0, 1.0),
+            ("w2", "heavy"): (10.0, 1.0), ("w2", "light"): (1.0, 1.0),
+        })
+
+    def test_triggered_lags_one_phase_then_adapts(self, phases, cost_model):
+        reports = DynamicReallocator(
+            PhysicalMachine(), cost_model, grid=6,
+            reconfiguration_seconds=0.0,
+        ).run(phases)
+        triggered = reports["triggered"]
+        # The swap at p2 is observed and answered once.
+        assert triggered.reconfigurations == 1
+        assert triggered.outcomes[1].reconfigured
+        # After adapting, phases 3-4 match the oracle dynamic strategy.
+        dynamic = reports["dynamic"]
+        for i in (2, 3):
+            assert triggered.outcomes[i].total_cost == pytest.approx(
+                dynamic.outcomes[i].total_cost
+            )
+
+    def test_triggered_between_static_and_dynamic(self, phases, cost_model):
+        reports = DynamicReallocator(
+            PhysicalMachine(), cost_model, grid=6,
+            reconfiguration_seconds=0.0,
+        ).run(phases)
+        assert reports["dynamic"].total_cost <= \
+            reports["triggered"].total_cost + 1e-9
+        assert reports["triggered"].total_cost <= \
+            reports["static-designed"].total_cost + 1e-9
+
+    def test_stable_workload_never_triggers(self, cost_model):
+        stable = [
+            WorkloadPhase(f"p{i}", [spec("w1", "heavy"), spec("w2", "light")])
+            for i in range(3)
+        ]
+        reports = DynamicReallocator(
+            PhysicalMachine(), cost_model, grid=6,
+        ).run(stable)
+        assert reports["triggered"].reconfigurations == 0

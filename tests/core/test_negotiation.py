@@ -1,0 +1,100 @@
+"""Tests for guest-advisory memory negotiation."""
+
+import pytest
+
+from repro.core.negotiation import (
+    MemoryNegotiator,
+    working_set_pages,
+)
+from repro.engine.database import Database
+from repro.util.errors import AllocationError
+from repro.virt.machine import PhysicalMachine
+from repro.virt.monitor import VirtualMachineMonitor
+from repro.virt.resources import ResourceVector
+from tests.conftest import simple_schema
+
+
+def small_db(name, rows):
+    db = Database(name, memory_pages=1024)
+    db.create_table(simple_schema())
+    db.load_rows("t", [(i, i, "x" * 10) for i in range(rows)])
+    db.analyze()
+    return db
+
+
+class TestWorkingSet:
+    def test_counts_heap_and_index_pages(self):
+        db = small_db("a", 5000)
+        before = working_set_pages(db)
+        db.create_index("t_a", "t", "a")
+        after = working_set_pages(db)
+        assert after > before > 0
+
+    def test_scales_with_data(self):
+        assert working_set_pages(small_db("big", 8000)) > \
+            working_set_pages(small_db("small", 500))
+
+
+class TestPropose:
+    def test_proportional_to_advisories(self):
+        shares = MemoryNegotiator(min_share=0.1).propose({"a": 300, "b": 100})
+        assert shares["a"] > shares["b"]
+        assert sum(shares.values()) == pytest.approx(1.0)
+        # a gets the floor + 3/4 of the rest.
+        assert shares["a"] == pytest.approx(0.1 + 0.8 * 0.75)
+
+    def test_floor_respected(self):
+        shares = MemoryNegotiator(min_share=0.2).propose({"a": 10_000, "b": 1})
+        assert shares["b"] >= 0.2
+
+    def test_zero_advisories_split_evenly(self):
+        shares = MemoryNegotiator().propose({"a": 0, "b": 0})
+        assert shares == {"a": 0.5, "b": 0.5}
+
+    def test_empty_rejected(self):
+        with pytest.raises(AllocationError):
+            MemoryNegotiator().propose({})
+
+    def test_too_many_guests_for_floor(self):
+        with pytest.raises(AllocationError):
+            MemoryNegotiator(min_share=0.4).propose({"a": 1, "b": 1, "c": 1})
+
+    def test_bad_min_share(self):
+        with pytest.raises(AllocationError):
+            MemoryNegotiator(min_share=0.0)
+
+
+class TestNegotiate:
+    @pytest.fixture
+    def vmm(self):
+        vmm = VirtualMachineMonitor.single_host(
+            PhysicalMachine(memory_mib=1024.0)
+        )
+        big = vmm.create_vm("big", ResourceVector.of(cpu=0.5, memory=0.5, io=0.5))
+        big.attach_guest(small_db("big", 8000))
+        small = vmm.create_vm("small",
+                              ResourceVector.of(cpu=0.5, memory=0.5, io=0.5))
+        small.attach_guest(small_db("small", 500))
+        return vmm
+
+    def test_memory_follows_working_sets(self, vmm):
+        result = MemoryNegotiator().negotiate(vmm)
+        assert result.shares["big"] > result.shares["small"]
+        assert vmm.vms["big"].shares.memory == pytest.approx(result.shares["big"])
+        # Other resources untouched.
+        assert vmm.vms["big"].shares.cpu == 0.5
+
+    def test_guest_buffer_pools_resized(self, vmm):
+        pool_before = vmm.vms["small"].guest.buffer_pool.capacity
+        MemoryNegotiator().negotiate(vmm)
+        assert vmm.vms["small"].guest.buffer_pool.capacity < pool_before
+
+    def test_summary(self, vmm):
+        text = MemoryNegotiator().negotiate(vmm).summary()
+        assert "big" in text and "pages" in text
+
+    def test_requires_database_guests(self):
+        vmm = VirtualMachineMonitor.single_host(PhysicalMachine())
+        vmm.create_vm("empty", ResourceVector.of(cpu=0.5, memory=0.5, io=0.5))
+        with pytest.raises(AllocationError):
+            MemoryNegotiator().negotiate(vmm)

@@ -1,0 +1,132 @@
+"""Tests for multi-machine placement."""
+
+import pytest
+
+from repro.core.cost_model import CostModel
+from repro.core.placement import PlacementDesigner
+from repro.core.problem import WorkloadSpec
+from repro.engine.database import Database
+from repro.util.errors import AllocationError
+from repro.virt.machine import PhysicalMachine
+from repro.virt.monitor import VirtualMachineMonitor
+from repro.virt.resources import ResourceKind
+from repro.workloads.workload import Workload
+
+
+class MachineAwareCostModel(CostModel):
+    """cost = weight / (machine speed factor * share).
+
+    Workloads tagged 'cpu-*' run fast on the cpu machine; 'io-*' on the
+    io machine — so the optimal placement is easy to verify.
+    """
+
+    SPEED = {
+        ("cpu-box", "cpu"): 4.0, ("cpu-box", "io"): 1.0,
+        ("io-box", "cpu"): 1.0, ("io-box", "io"): 4.0,
+    }
+
+    def __init__(self, machine: PhysicalMachine):
+        super().__init__()
+        self._machine = machine
+
+    def _cost(self, spec, allocation):
+        kind = spec.name.split("-")[0]  # 'cpu' or 'io'
+        speed = self.SPEED.get((self._machine.name, kind), 1.0)
+        return 10.0 / (speed * max(allocation.cpu, 1e-9))
+
+
+def spec(name):
+    return WorkloadSpec(Workload(name, ["select 1 from t"]), Database(name))
+
+
+@pytest.fixture
+def machines():
+    return [PhysicalMachine(name="cpu-box", memory_mib=4096),
+            PhysicalMachine(name="io-box", memory_mib=4096)]
+
+
+@pytest.fixture
+def designer(machines):
+    specs = [spec("cpu-1"), spec("cpu-2"), spec("io-1"), spec("io-2")]
+    return PlacementDesigner(
+        machines, specs, MachineAwareCostModel,
+        controlled_resources=(ResourceKind.CPU,), grid=4,
+    )
+
+
+class TestPlacement:
+    def test_affinity_respected(self, designer):
+        result = designer.place()
+        assert result.machine_for("cpu-1") == "cpu-box"
+        assert result.machine_for("cpu-2") == "cpu-box"
+        assert result.machine_for("io-1") == "io-box"
+        assert result.machine_for("io-2") == "io-box"
+
+    def test_every_workload_placed(self, designer):
+        result = designer.place()
+        assert set(result.assignment) == {"cpu-1", "cpu-2", "io-1", "io-2"}
+
+    def test_designs_cover_assignment(self, designer):
+        result = designer.place()
+        for machine_name, design in result.designs.items():
+            tenants = {name for name, m in result.assignment.items()
+                       if m == machine_name}
+            if tenants:
+                assert set(design.allocation.workload_names()) == tenants
+                design.allocation.validate()
+            else:
+                assert design is None
+
+    def test_total_matches_designs(self, designer):
+        result = designer.place()
+        recomputed = sum(
+            design.predicted_total_cost
+            for design in result.designs.values() if design is not None
+        )
+        assert result.total_cost == pytest.approx(recomputed)
+
+    def test_beats_worst_single_machine(self, machines):
+        specs = [spec("cpu-1"), spec("io-1")]
+        designer = PlacementDesigner(
+            machines, specs, MachineAwareCostModel,
+            controlled_resources=(ResourceKind.CPU,), grid=4,
+        )
+        result = designer.place()
+        # Everything crammed onto one box costs more.
+        crammed, _ = designer._fleet_cost({"cpu-1": "io-box", "io-1": "io-box"})
+        assert result.total_cost < crammed
+
+    def test_summary_readable(self, designer):
+        text = designer.place().summary()
+        assert "cpu-box" in text and "io-box" in text
+
+    def test_single_machine_degenerates_to_design(self):
+        machine = PhysicalMachine(name="cpu-box", memory_mib=4096)
+        designer = PlacementDesigner(
+            [machine], [spec("cpu-1"), spec("cpu-2")], MachineAwareCostModel,
+            controlled_resources=(ResourceKind.CPU,), grid=4,
+        )
+        result = designer.place()
+        assert set(result.assignment.values()) == {"cpu-box"}
+
+
+class TestValidationAndDeploy:
+    def test_requires_machines_and_specs(self, machines):
+        with pytest.raises(AllocationError):
+            PlacementDesigner([], [spec("w")], MachineAwareCostModel)
+        with pytest.raises(AllocationError):
+            PlacementDesigner(machines, [], MachineAwareCostModel)
+
+    def test_duplicate_machine_names(self):
+        dupes = [PhysicalMachine(name="m"), PhysicalMachine(name="m")]
+        with pytest.raises(AllocationError):
+            PlacementDesigner(dupes, [spec("w")], MachineAwareCostModel)
+
+    def test_apply_places_vms_on_assigned_hosts(self, designer, machines):
+        result = designer.place()
+        vmm = VirtualMachineMonitor(machines)
+        designer.apply(vmm, result)
+        for name, machine_name in result.assignment.items():
+            placed = {vm.name for vm in vmm.vms_on(machine_name)}
+            assert name in placed
+            assert vmm.vms[name].state.value == "running"

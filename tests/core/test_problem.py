@@ -1,0 +1,118 @@
+"""Tests for the problem formulation."""
+
+import pytest
+
+from repro.core.problem import (
+    AllocationMatrix,
+    VirtualizationDesignProblem,
+    WorkloadSpec,
+)
+from repro.engine.database import Database
+from repro.util.errors import AllocationError
+from repro.virt.machine import PhysicalMachine
+from repro.virt.resources import ResourceKind, ResourceVector
+from repro.workloads.workload import Workload
+
+
+def spec(name):
+    return WorkloadSpec(Workload(name, ["select 1 from t"]), Database(name))
+
+
+@pytest.fixture
+def problem():
+    return VirtualizationDesignProblem(
+        machine=PhysicalMachine(),
+        specs=[spec("w1"), spec("w2")],
+    )
+
+
+class TestAllocationMatrix:
+    def test_equal_default(self):
+        matrix = AllocationMatrix.equal(["a", "b", "c", "d"])
+        assert matrix.vector_for("a").cpu == pytest.approx(0.25)
+        matrix.validate(require_full=True)
+
+    def test_totals(self):
+        matrix = AllocationMatrix({
+            "a": ResourceVector.of(cpu=0.7, memory=0.5, io=0.5),
+            "b": ResourceVector.of(cpu=0.3, memory=0.5, io=0.5),
+        })
+        totals = matrix.resource_totals()
+        assert totals[ResourceKind.CPU] == pytest.approx(1.0)
+        matrix.validate(require_full=True)
+
+    def test_oversubscription_rejected(self):
+        matrix = AllocationMatrix({
+            "a": ResourceVector.of(cpu=0.7),
+            "b": ResourceVector.of(cpu=0.7),
+        })
+        with pytest.raises(AllocationError):
+            matrix.validate()
+
+    def test_partial_allocation_rejected_when_full_required(self):
+        matrix = AllocationMatrix({"a": ResourceVector.of(cpu=0.5)})
+        matrix.validate()  # feasible
+        with pytest.raises(AllocationError):
+            matrix.validate(require_full=True)
+
+    def test_with_vector_copies(self):
+        matrix = AllocationMatrix.equal(["a", "b"])
+        updated = matrix.with_vector("a", ResourceVector.of(cpu=0.9))
+        assert updated.vector_for("a").cpu == 0.9
+        assert matrix.vector_for("a").cpu == 0.5
+
+    def test_unknown_workload(self):
+        with pytest.raises(AllocationError):
+            AllocationMatrix.equal(["a"]).vector_for("ghost")
+
+    def test_empty_rejected(self):
+        with pytest.raises(AllocationError):
+            AllocationMatrix({})
+
+    def test_equality(self):
+        assert AllocationMatrix.equal(["a", "b"]) == AllocationMatrix.equal(["a", "b"])
+
+
+class TestProblem:
+    def test_basic_accessors(self, problem):
+        assert problem.n_workloads == 2
+        assert problem.workload_names() == ["w1", "w2"]
+        assert problem.spec("w1").name == "w1"
+
+    def test_unknown_spec(self, problem):
+        with pytest.raises(AllocationError):
+            problem.spec("ghost")
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(AllocationError):
+            VirtualizationDesignProblem(
+                machine=PhysicalMachine(), specs=[spec("w"), spec("w")]
+            )
+
+    def test_needs_workloads(self):
+        with pytest.raises(AllocationError):
+            VirtualizationDesignProblem(machine=PhysicalMachine(), specs=[])
+
+    def test_needs_controlled_resources(self):
+        with pytest.raises(AllocationError):
+            VirtualizationDesignProblem(
+                machine=PhysicalMachine(), specs=[spec("w")],
+                controlled_resources=(),
+            )
+
+    def test_default_allocation_full(self, problem):
+        problem.default_allocation().validate(require_full=True)
+
+    def test_fixed_shares_respected(self):
+        problem = VirtualizationDesignProblem(
+            machine=PhysicalMachine(),
+            specs=[spec("w1"), spec("w2")],
+            controlled_resources=(ResourceKind.CPU,),
+            fixed_shares={ResourceKind.MEMORY: {"w1": 0.7, "w2": 0.3}},
+        )
+        default = problem.default_allocation()
+        assert default.vector_for("w1").memory == 0.7
+        assert default.vector_for("w2").memory == 0.3
+        assert default.vector_for("w1").cpu == 0.5  # controlled: equal
+        # Unspecified fixed resource falls back to equal shares.
+        assert default.vector_for("w1").io == 0.5

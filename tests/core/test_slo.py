@@ -1,0 +1,98 @@
+"""Tests for service-level objectives."""
+
+import pytest
+
+from repro.core.designer import VirtualizationDesigner
+from repro.core.slo import ServiceLevelObjective, SloCostModel, SloPolicy
+from tests.core.test_search import SyntheticCostModel, make_problem
+
+WEIGHTS = {"gold": (10.0, 1.0), "batch": (10.0, 1.0)}
+
+
+class TestObjective:
+    def test_defaults_unbounded(self):
+        slo = ServiceLevelObjective()
+        assert slo.ceiling(baseline_seconds=100.0) is None
+
+    def test_max_seconds_ceiling(self):
+        slo = ServiceLevelObjective(max_seconds=10.0)
+        assert slo.ceiling(None) == 10.0
+
+    def test_degradation_ceiling(self):
+        slo = ServiceLevelObjective(max_degradation=0.2)
+        assert slo.ceiling(10.0) == pytest.approx(12.0)
+
+    def test_tightest_bound_wins(self):
+        slo = ServiceLevelObjective(max_seconds=11.0, max_degradation=0.5)
+        assert slo.ceiling(10.0) == 11.0
+
+    @pytest.mark.parametrize("kwargs", [
+        {"weight": -1.0}, {"max_seconds": 0.0}, {"max_degradation": -0.1},
+    ])
+    def test_validation(self, kwargs):
+        with pytest.raises(ValueError):
+            ServiceLevelObjective(**kwargs)
+
+
+class TestPolicy:
+    def test_default_objective_for_unknown(self):
+        policy = SloPolicy()
+        assert policy.objective_for("anything").weight == 1.0
+
+    def test_is_satisfied(self):
+        policy = SloPolicy({"w": ServiceLevelObjective(max_seconds=5.0)})
+        assert policy.is_satisfied("w", 4.0, None)
+        assert not policy.is_satisfied("w", 6.0, None)
+        assert policy.is_satisfied("unbounded", 1e9, None)
+
+
+class TestSloDesign:
+    def test_weight_shifts_allocation(self):
+        # Identical workloads, but gold's seconds count 10x: the design
+        # should hand gold the larger CPU share.
+        problem, model = make_problem(WEIGHTS)
+        policy = SloPolicy({"gold": ServiceLevelObjective(weight=10.0)})
+        designer = VirtualizationDesigner(problem, model, slo=policy)
+        design = designer.design("exhaustive", grid=8)
+        gold_cpu = design.allocation.vector_for("gold").cpu
+        batch_cpu = design.allocation.vector_for("batch").cpu
+        assert gold_cpu > batch_cpu
+
+    def test_degradation_bound_protects_workload(self):
+        # Unweighted, the optimum starves 'batch'; a degradation bound
+        # must keep its cost near the equal-share baseline.
+        weights = {"gold": (100.0, 1.0), "batch": (1.0, 1.0)}
+        problem, model = make_problem(weights)
+        unconstrained = VirtualizationDesigner(problem, model) \
+            .design("exhaustive", grid=8)
+        batch_baseline = unconstrained.default_costs["batch"]
+
+        problem2, model2 = make_problem(weights)
+        policy = SloPolicy({
+            "batch": ServiceLevelObjective(max_degradation=0.10),
+        })
+        constrained = VirtualizationDesigner(problem2, model2, slo=policy) \
+            .design("exhaustive", grid=8)
+        assert constrained.predicted_costs["batch"] <= batch_baseline * 1.10 + 1e-9
+        # The constraint binds: gold gets less than it would unconstrained.
+        assert constrained.allocation.vector_for("gold").cpu <= \
+            unconstrained.allocation.vector_for("gold").cpu
+
+    def test_penalty_dominates_in_wrapped_model(self):
+        problem, model = make_problem(WEIGHTS)
+        policy = SloPolicy({"gold": ServiceLevelObjective(max_seconds=0.001)})
+        baseline = {"gold": 1.0, "batch": 1.0}
+        wrapped = SloCostModel(model, policy, baseline)
+        spec = problem.spec("gold")
+        violating = wrapped.cost(spec, problem.default_allocation().vector_for("gold"))
+        assert violating > 1000  # penalty applied
+
+    def test_weighted_cost_without_violation(self):
+        problem, model = make_problem(WEIGHTS)
+        policy = SloPolicy({"gold": ServiceLevelObjective(weight=3.0)})
+        wrapped = SloCostModel(model, policy, {})
+        spec = problem.spec("gold")
+        allocation = problem.default_allocation().vector_for("gold")
+        assert wrapped.cost(spec, allocation) == pytest.approx(
+            3.0 * model.cost(spec, allocation)
+        )

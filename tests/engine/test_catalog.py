@@ -1,0 +1,89 @@
+"""Tests for the system catalog."""
+
+import pytest
+
+from repro.engine.catalog import Catalog
+from repro.engine.schema import Column, ColumnType, TableSchema
+from repro.util.errors import CatalogError
+
+
+def schema(name="t"):
+    return TableSchema(name, [Column("a", ColumnType.INT),
+                              Column("b", ColumnType.INT)])
+
+
+@pytest.fixture
+def catalog():
+    cat = Catalog()
+    info = cat.create_table(schema())
+    info.heap.bulk_load([(i, i % 5) for i in range(200)])
+    return cat
+
+
+class TestTables:
+    def test_create_and_lookup(self, catalog):
+        assert catalog.has_table("t")
+        assert catalog.table("t").schema.name == "t"
+        assert catalog.table_names() == ["t"]
+
+    def test_duplicate_rejected(self, catalog):
+        with pytest.raises(CatalogError):
+            catalog.create_table(schema())
+
+    def test_unknown_table(self, catalog):
+        with pytest.raises(CatalogError):
+            catalog.table("ghost")
+
+    def test_drop(self, catalog):
+        catalog.drop_table("t")
+        assert not catalog.has_table("t")
+        with pytest.raises(CatalogError):
+            catalog.drop_table("t")
+
+
+class TestIndexes:
+    def test_create_index_bulk_loads(self, catalog):
+        info = catalog.create_index("t_a", "t", "a")
+        assert info.index.n_entries == 200
+        assert catalog.index_on_column("t", "a") is info
+
+    def test_nulls_excluded_from_index(self, catalog):
+        catalog.table("t").heap.append((None, 1))
+        info = catalog.create_index("t_a", "t", "a")
+        assert info.index.n_entries == 200  # the NULL row is absent
+
+    def test_index_on_unknown_column(self, catalog):
+        with pytest.raises(CatalogError):
+            catalog.create_index("bad", "t", "ghost")
+
+    def test_duplicate_index_name(self, catalog):
+        catalog.create_index("idx", "t", "a")
+        with pytest.raises(CatalogError):
+            catalog.create_index("idx", "t", "b")
+
+    def test_indexes_on_lists_all(self, catalog):
+        catalog.create_index("i1", "t", "a")
+        catalog.create_index("i2", "t", "b")
+        assert {i.name for i in catalog.indexes_on("t")} == {"i1", "i2"}
+
+    def test_index_on_column_missing(self, catalog):
+        assert catalog.index_on_column("t", "b") is None
+
+
+class TestStatistics:
+    def test_analyze_populates(self, catalog):
+        catalog.analyze()
+        stats = catalog.stats("t")
+        assert stats.n_rows == 200
+        assert stats.column("b").n_distinct == 5
+
+    def test_stats_before_analyze_raises(self, catalog):
+        with pytest.raises(CatalogError):
+            catalog.stats("t")
+
+    def test_analyze_single_table(self, catalog):
+        catalog.create_table(schema("u"))
+        catalog.analyze("t")
+        catalog.stats("t")
+        with pytest.raises(CatalogError):
+            catalog.stats("u")

@@ -1,0 +1,81 @@
+"""Tests for the database facade."""
+
+import pytest
+
+from repro.engine.database import (
+    BUFFER_POOL_FRACTION,
+    Database,
+    MIN_BUFFER_POOL_PAGES,
+    MIN_SORT_MEM_PAGES,
+)
+from tests.conftest import simple_schema
+
+
+class TestMemoryManagement:
+    def test_memory_split(self):
+        db = Database("d", memory_pages=1000)
+        assert db.buffer_pool.capacity == int(1000 * BUFFER_POOL_FRACTION)
+        assert db.sort_mem_pages == 1000 - db.buffer_pool.capacity
+
+    def test_resize_memory(self):
+        db = Database("d", memory_pages=1000)
+        db.resize_memory(2000)
+        assert db.buffer_pool.capacity == int(2000 * BUFFER_POOL_FRACTION)
+
+    def test_shrink_evicts(self):
+        db = Database("d", memory_pages=4000)
+        db.create_table(simple_schema())
+        db.load_rows("t", [(i, i, "x") for i in range(5000)])
+        db.warm_cache()
+        db.resize_memory(200)
+        assert len(db.buffer_pool) <= db.buffer_pool.capacity
+
+    def test_floors_enforced(self):
+        db = Database("d", memory_pages=1)
+        assert db.buffer_pool.capacity >= MIN_BUFFER_POOL_PAGES
+        assert db.sort_mem_pages >= MIN_SORT_MEM_PAGES
+
+
+class TestDdlAndQueries:
+    @pytest.fixture
+    def db(self):
+        db = Database("d", memory_pages=2048)
+        db.create_table(simple_schema())
+        db.load_rows("t", [(i, i % 3, f"text {i}") for i in range(300)])
+        db.create_index("t_a", "t", "a")
+        db.analyze()
+        return db
+
+    def test_run_sql_end_to_end(self, db):
+        result = db.run_sql("select b, count(*) as n from t group by b order by b")
+        assert result.column_names == ["b", "n"]
+        assert result.rows == [(0, 100), (1, 100), (2, 100)]
+        assert result.plan is not None
+        assert result.trace.tuples_processed >= 300
+
+    def test_run_sql_with_filter(self, db):
+        result = db.run_sql("select a from t where a < 5 order by a")
+        assert [row[0] for row in result.rows] == [0, 1, 2, 3, 4]
+
+    def test_result_len(self, db):
+        assert len(db.run_sql("select a from t where a < 5")) == 5
+
+    def test_warm_cache_prewarms(self, db):
+        db.cold_restart()
+        db.warm_cache(["t"])
+        result = db.run_sql("select count(*) as n from t")
+        assert result.trace.seq_page_reads == 0
+
+    def test_cold_restart_clears(self, db):
+        db.warm_cache()
+        db.cold_restart()
+        result = db.run_sql("select count(*) as n from t")
+        assert result.trace.seq_page_reads > 0
+
+    def test_deep_copyable_for_appliances(self, db):
+        import copy
+
+        clone = copy.deepcopy(db)
+        clone.load_rows("t", [(999, 0, "new")])
+        assert len(clone.run_sql("select a from t where a = 999")) == 1
+        assert len(db.run_sql("select a from t where a = 999")) == 0

@@ -1,0 +1,336 @@
+"""Tests for the plan executor: correctness of every operator plus the
+work accounting the simulation depends on."""
+
+import pytest
+
+from repro.engine.bufferpool import BufferPool
+from repro.engine.database import Database
+from repro.engine.executor import ExecutionContext, Executor
+from repro.engine.expr import BinaryOp, ColumnRef, Literal, RowLayout
+from repro.engine.plans import (
+    Aggregate,
+    AggFunc,
+    AggSpec,
+    Filter,
+    HashJoin,
+    IndexScan,
+    JoinType,
+    Limit,
+    MergeJoin,
+    NestedLoopJoin,
+    Project,
+    SeqScan,
+    Sort,
+    SortKey,
+)
+from repro.engine.schema import Column, ColumnType, TableSchema
+from repro.util.errors import PlanningError
+
+
+@pytest.fixture
+def db():
+    """Two small joinable tables with indexes."""
+    db = Database("exec", memory_pages=2048)
+    db.create_table(TableSchema("r", [
+        Column("a", ColumnType.INT),
+        Column("b", ColumnType.INT),
+    ]))
+    db.create_table(TableSchema("s", [
+        Column("x", ColumnType.INT),
+        Column("y", ColumnType.TEXT, avg_width=8),
+    ]))
+    db.load_rows("r", [(i, i % 4) for i in range(40)])
+    db.load_rows("s", [(i * 2, f"s{i}") for i in range(10)])  # x: 0,2,..18
+    db.create_index("r_a", "r", "a")
+    db.analyze()
+    return db
+
+
+def scan(db, table, alias=None, filter_expr=None):
+    alias = alias or table
+    node = SeqScan(table_name=table, alias=alias, filter_expr=filter_expr)
+    columns = db.catalog.table(table).schema.column_names()
+    node.layout = RowLayout([(alias, c) for c in columns])
+    return node
+
+
+def run(db, plan):
+    context = ExecutionContext(catalog=db.catalog, buffer_pool=db.buffer_pool,
+                               sort_mem_pages=db.sort_mem_pages)
+    rows = Executor(context).run(plan)
+    return rows, context.trace
+
+
+class TestScans:
+    def test_seq_scan_all_rows(self, db):
+        rows, trace = run(db, scan(db, "r"))
+        assert len(rows) == 40
+        assert trace.tuples_processed == 40
+        assert trace.seq_page_requests == db.catalog.table("r").heap.n_pages
+
+    def test_seq_scan_filter(self, db):
+        pred = BinaryOp("=", ColumnRef("r", "b"), Literal(1))
+        rows, trace = run(db, scan(db, "r", filter_expr=pred))
+        assert len(rows) == 10
+        assert all(row[1] == 1 for row in rows)
+        assert trace.predicate_ops > 0
+
+    def test_index_scan_range(self, db):
+        node = IndexScan(table_name="r", alias="r", index_name="r_a",
+                         low=10, high=19)
+        node.layout = RowLayout([("r", "a"), ("r", "b")])
+        rows, trace = run(db, node)
+        assert sorted(row[0] for row in rows) == list(range(10, 20))
+        assert trace.index_tuples == 10
+        assert trace.random_page_requests > 0
+
+    def test_index_scan_exclusive_bounds(self, db):
+        node = IndexScan(table_name="r", alias="r", index_name="r_a",
+                         low=10, high=20, low_inclusive=False,
+                         high_inclusive=False)
+        node.layout = RowLayout([("r", "a"), ("r", "b")])
+        rows, _ = run(db, node)
+        assert sorted(row[0] for row in rows) == list(range(11, 20))
+
+    def test_index_scan_residual_filter(self, db):
+        pred = BinaryOp("=", ColumnRef("r", "b"), Literal(0))
+        node = IndexScan(table_name="r", alias="r", index_name="r_a",
+                         low=0, high=39, filter_expr=pred)
+        node.layout = RowLayout([("r", "a"), ("r", "b")])
+        rows, _ = run(db, node)
+        assert all(row[1] == 0 for row in rows)
+        assert len(rows) == 10
+
+    def test_unknown_index_raises(self, db):
+        node = IndexScan(table_name="r", alias="r", index_name="ghost")
+        node.layout = RowLayout([("r", "a"), ("r", "b")])
+        with pytest.raises(PlanningError):
+            run(db, node)
+
+
+class TestHashJoin:
+    def join(self, db, join_type, residual=None):
+        node = HashJoin(
+            outer=scan(db, "r"), inner=scan(db, "s"),
+            outer_keys=[ColumnRef("r", "a")], inner_keys=[ColumnRef("s", "x")],
+            join_type=join_type, residual=residual,
+        )
+        return run(db, node)
+
+    def test_inner_join(self, db):
+        rows, _ = self.join(db, JoinType.INNER)
+        # r.a in 0..39 matches s.x in {0,2,...,18}: 10 matches.
+        assert len(rows) == 10
+        assert all(row[0] == row[2] for row in rows)
+
+    def test_left_join_pads_nulls(self, db):
+        rows, _ = self.join(db, JoinType.LEFT)
+        assert len(rows) == 40
+        unmatched = [row for row in rows if row[2] is None]
+        assert len(unmatched) == 30
+        assert all(row[3] is None for row in unmatched)
+
+    def test_semi_join_emits_outer_only(self, db):
+        rows, _ = self.join(db, JoinType.SEMI)
+        assert len(rows) == 10
+        assert all(len(row) == 2 for row in rows)
+
+    def test_anti_join(self, db):
+        rows, _ = self.join(db, JoinType.ANTI)
+        assert len(rows) == 30
+        assert all(row[0] % 2 == 1 or row[0] >= 20 for row in rows)
+
+    def test_residual_filters_matches(self, db):
+        residual = BinaryOp("<", ColumnRef("r", "a"), Literal(10))
+        rows, _ = self.join(db, JoinType.INNER, residual=residual)
+        assert len(rows) == 5  # a in {0,2,4,6,8}
+
+    def test_left_join_residual_keeps_outer(self, db):
+        residual = BinaryOp("<", ColumnRef("r", "a"), Literal(10))
+        rows, _ = self.join(db, JoinType.LEFT, residual=residual)
+        assert len(rows) == 40  # failed residual becomes a null-padded row
+
+    def test_null_keys_never_match(self, db):
+        db.catalog.table("r").heap.append((None, 0))
+        rows, _ = self.join(db, JoinType.INNER)
+        assert len(rows) == 10
+        anti_rows, _ = self.join(db, JoinType.ANTI)
+        assert any(row[0] is None for row in anti_rows)
+
+
+class TestOtherJoins:
+    def test_nested_loop_inner(self, db):
+        pred = BinaryOp("=", ColumnRef("r", "a"), ColumnRef("s", "x"))
+        node = NestedLoopJoin(outer=scan(db, "r"), inner=scan(db, "s"),
+                              join_type=JoinType.INNER, predicate=pred)
+        rows, _ = run(db, node)
+        assert len(rows) == 10
+
+    def test_nested_loop_cross_join(self, db):
+        node = NestedLoopJoin(outer=scan(db, "r"), inner=scan(db, "s"),
+                              join_type=JoinType.INNER, predicate=None)
+        rows, _ = run(db, node)
+        assert len(rows) == 400
+
+    def test_nested_loop_non_equi(self, db):
+        pred = BinaryOp("<", ColumnRef("s", "x"), Literal(4))
+        node = NestedLoopJoin(outer=scan(db, "r"), inner=scan(db, "s"),
+                              join_type=JoinType.SEMI, predicate=pred)
+        rows, _ = run(db, node)
+        assert len(rows) == 40  # every outer row has some s.x < 4
+
+    def test_merge_join_matches_hash_join(self, db):
+        sorted_r = Sort(input=scan(db, "r"), keys=[SortKey(ColumnRef("r", "a"))])
+        sorted_s = Sort(input=scan(db, "s"), keys=[SortKey(ColumnRef("s", "x"))])
+        node = MergeJoin(outer=sorted_r, inner=sorted_s,
+                         outer_key=ColumnRef("r", "a"),
+                         inner_key=ColumnRef("s", "x"))
+        rows, _ = run(db, node)
+        assert len(rows) == 10
+        assert all(row[0] == row[2] for row in rows)
+
+    def test_merge_join_duplicates_cross_product(self, db):
+        db.load_rows("s", [(4, "dup")])  # now two rows with x=4
+        sorted_r = Sort(input=scan(db, "r"), keys=[SortKey(ColumnRef("r", "a"))])
+        sorted_s = Sort(input=scan(db, "s"), keys=[SortKey(ColumnRef("s", "x"))])
+        node = MergeJoin(outer=sorted_r, inner=sorted_s,
+                         outer_key=ColumnRef("r", "a"),
+                         inner_key=ColumnRef("s", "x"))
+        rows, _ = run(db, node)
+        assert len(rows) == 11
+        assert sum(1 for row in rows if row[0] == 4) == 2
+
+
+class TestSortAggregateProject:
+    def test_sort_ascending(self, db):
+        node = Sort(input=scan(db, "s"), keys=[SortKey(ColumnRef("s", "x"))])
+        rows, _ = run(db, node)
+        assert [row[0] for row in rows] == sorted(row[0] for row in rows)
+
+    def test_sort_descending(self, db):
+        node = Sort(input=scan(db, "s"),
+                    keys=[SortKey(ColumnRef("s", "x"), ascending=False)])
+        rows, _ = run(db, node)
+        values = [row[0] for row in rows]
+        assert values == sorted(values, reverse=True)
+
+    def test_sort_multi_key(self, db):
+        node = Sort(input=scan(db, "r"), keys=[
+            SortKey(ColumnRef("r", "b")),
+            SortKey(ColumnRef("r", "a"), ascending=False),
+        ])
+        rows, _ = run(db, node)
+        assert rows == sorted(rows, key=lambda r: (r[1], -r[0]))
+
+    def test_sort_nulls_last_both_directions(self, db):
+        db.catalog.table("s").heap.append((None, "nul"))
+        for ascending in (True, False):
+            node = Sort(input=scan(db, "s"),
+                        keys=[SortKey(ColumnRef("s", "x"), ascending=ascending)])
+            rows, _ = run(db, node)
+            assert rows[-1][0] is None
+
+    def test_sort_spills_when_large(self, db):
+        node = Sort(input=scan(db, "r"), keys=[SortKey(ColumnRef("r", "a"))])
+        context = ExecutionContext(catalog=db.catalog,
+                                   buffer_pool=BufferPool(64),
+                                   sort_mem_pages=0)
+        Executor(context).run(node)
+        assert context.trace.page_writes > 0
+
+    def test_group_aggregate(self, db):
+        node = Aggregate(
+            input=scan(db, "r"),
+            group_keys=[ColumnRef("r", "b")],
+            aggregates=[
+                AggSpec(AggFunc.COUNT_STAR, None, "n"),
+                AggSpec(AggFunc.SUM, ColumnRef("r", "a"), "total"),
+                AggSpec(AggFunc.MIN, ColumnRef("r", "a"), "lo"),
+                AggSpec(AggFunc.MAX, ColumnRef("r", "a"), "hi"),
+            ],
+            group_names=["b"],
+        )
+        rows, _ = run(db, node)
+        assert len(rows) == 4
+        by_group = {row[0]: row for row in rows}
+        assert by_group[0][1] == 10        # count
+        assert by_group[0][2] == sum(range(0, 40, 4))
+        assert by_group[1][3] == 1         # min a with b=1
+        assert by_group[3][4] == 39        # max a with b=3
+
+    def test_avg_and_count_ignore_nulls(self, db):
+        db.catalog.table("s").heap.append((None, "n"))
+        node = Aggregate(
+            input=scan(db, "s"), group_keys=[],
+            aggregates=[
+                AggSpec(AggFunc.AVG, ColumnRef("s", "x"), "avg"),
+                AggSpec(AggFunc.COUNT, ColumnRef("s", "x"), "cnt"),
+                AggSpec(AggFunc.COUNT_STAR, None, "all"),
+            ],
+        )
+        rows, _ = run(db, node)
+        avg, cnt, all_rows = rows[0]
+        assert cnt == 10
+        assert all_rows == 11
+        assert avg == pytest.approx(9.0)
+
+    def test_global_aggregate_on_empty_input(self, db):
+        pred = BinaryOp("<", ColumnRef("r", "a"), Literal(-1))
+        node = Aggregate(
+            input=scan(db, "r", filter_expr=pred), group_keys=[],
+            aggregates=[AggSpec(AggFunc.COUNT_STAR, None, "n"),
+                        AggSpec(AggFunc.SUM, ColumnRef("r", "a"), "s")],
+        )
+        rows, _ = run(db, node)
+        assert rows == [(0, None)]
+
+    def test_having_filters_groups(self, db):
+        node = Aggregate(
+            input=scan(db, "r"),
+            group_keys=[ColumnRef("r", "b")],
+            aggregates=[AggSpec(AggFunc.SUM, ColumnRef("r", "a"), "total")],
+            group_names=["b"],
+            having=BinaryOp(">", ColumnRef("_agg", "total"),
+                            Literal(190)),
+        )
+        rows, _ = run(db, node)
+        totals = {row[0]: row[1] for row in rows}
+        assert all(total > 190 for total in totals.values())
+        assert len(rows) < 4
+
+    def test_project_computes(self, db):
+        node = Project(
+            input=scan(db, "r"),
+            exprs=[BinaryOp("*", ColumnRef("r", "a"), Literal(2))],
+            names=["doubled"],
+        )
+        rows, _ = run(db, node)
+        assert [row[0] for row in rows] == [2 * i for i in range(40)]
+
+    def test_filter_node(self, db):
+        node = Filter(input=scan(db, "r"),
+                      predicate=BinaryOp(">=", ColumnRef("r", "a"), Literal(35)))
+        rows, _ = run(db, node)
+        assert len(rows) == 5
+
+    def test_limit(self, db):
+        node = Limit(input=scan(db, "r"), count=7)
+        rows, _ = run(db, node)
+        assert len(rows) == 7
+
+
+class TestAccountingInvariants:
+    def test_more_predicates_more_cpu(self, db):
+        plain, trace_plain = run(db, scan(db, "r"))
+        pred = BinaryOp("and",
+                        BinaryOp(">=", ColumnRef("r", "a"), Literal(-1)),
+                        BinaryOp(">=", ColumnRef("r", "b"), Literal(-1)))
+        _filtered, trace_pred = run(db, scan(db, "r", filter_expr=pred))
+        assert trace_pred.cpu_units > trace_plain.cpu_units
+
+    def test_warm_scan_hits_buffer(self, db):
+        _rows, cold = run(db, scan(db, "r"))
+        _rows, warm = run(db, scan(db, "r"))
+        assert cold.seq_page_reads > 0
+        assert warm.seq_page_reads == 0
+        assert warm.buffer_hits > 0

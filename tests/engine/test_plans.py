@@ -1,0 +1,100 @@
+"""Tests for physical plan node mechanics (layouts, explain, walking)."""
+
+import pytest
+
+from repro.engine.expr import BinaryOp, ColumnRef, Literal, RowLayout
+from repro.engine.plans import (
+    Aggregate,
+    AggFunc,
+    AggSpec,
+    Filter,
+    HashJoin,
+    JoinType,
+    Limit,
+    Project,
+    SeqScan,
+    Sort,
+    SortKey,
+    walk,
+)
+
+
+def scan(alias="t", columns=("a", "b")):
+    node = SeqScan(table_name=alias, alias=alias)
+    node.layout = RowLayout([(alias, c) for c in columns])
+    return node
+
+
+class TestLayouts:
+    def test_inner_join_concatenates(self):
+        join = HashJoin(outer=scan("t"), inner=scan("u", ("x",)),
+                        outer_keys=[ColumnRef("t", "a")],
+                        inner_keys=[ColumnRef("u", "x")])
+        assert join.layout.slots == (("t", "a"), ("t", "b"), ("u", "x"))
+
+    def test_semi_join_keeps_outer_only(self):
+        join = HashJoin(outer=scan("t"), inner=scan("u", ("x",)),
+                        outer_keys=[ColumnRef("t", "a")],
+                        inner_keys=[ColumnRef("u", "x")],
+                        join_type=JoinType.SEMI)
+        assert join.layout.slots == (("t", "a"), ("t", "b"))
+
+    def test_aggregate_layout_names(self):
+        agg = Aggregate(input=scan(), group_keys=[ColumnRef("t", "b")],
+                        aggregates=[AggSpec(AggFunc.COUNT_STAR, None, "n")],
+                        group_names=["b"])
+        assert agg.layout.slots == (("_agg", "b"), ("_agg", "n"))
+
+    def test_project_layout_names(self):
+        project = Project(input=scan(), exprs=[ColumnRef("t", "a")],
+                          names=["renamed"])
+        assert project.layout.slots == (("_out", "renamed"),)
+
+    def test_project_default_names(self):
+        project = Project(input=scan(), exprs=[Literal(1), Literal(2)])
+        assert project.names == ["c0", "c1"]
+
+    def test_passthrough_nodes_share_layout(self):
+        base = scan()
+        for node in (Sort(input=base, keys=[SortKey(ColumnRef("t", "a"))]),
+                     Limit(input=base, count=3),
+                     Filter(input=base,
+                            predicate=BinaryOp("=", ColumnRef("t", "a"),
+                                               Literal(1)))):
+            assert node.layout is base.layout
+
+
+class TestExplain:
+    def test_tree_indentation(self):
+        plan = Limit(input=Sort(input=scan(),
+                                keys=[SortKey(ColumnRef("t", "a"))]), count=5)
+        lines = plan.explain().splitlines()
+        assert lines[0].startswith("Limit 5")
+        assert lines[1].startswith("  Sort")
+        assert lines[2].startswith("    SeqScan")
+
+    def test_analyze_appends_actuals_only_when_recorded(self):
+        node = scan()
+        assert "actual" not in node.explain(analyze=True)
+        node.actual_rows = 7
+        assert "(actual rows=7)" in node.explain(analyze=True)
+        assert "actual" not in node.explain(analyze=False)
+
+    def test_labels_carry_detail(self):
+        node = SeqScan(table_name="t", alias="t2",
+                       filter_expr=BinaryOp("=", ColumnRef("t2", "a"),
+                                            Literal(1)))
+        assert "t as t2" in node.node_label()
+        assert "filter=" in node.node_label()
+
+
+class TestWalk:
+    def test_preorder(self):
+        inner = scan("u", ("x",))
+        outer = scan("t")
+        join = HashJoin(outer=outer, inner=inner,
+                        outer_keys=[ColumnRef("t", "a")],
+                        inner_keys=[ColumnRef("u", "x")])
+        top = Limit(input=join, count=1)
+        nodes = list(walk(top))
+        assert nodes == [top, join, outer, inner]

@@ -1,0 +1,74 @@
+"""Tests for table schemas."""
+
+import pytest
+
+from repro.engine.schema import Column, ColumnType, TableSchema
+from repro.engine.types import Date
+from repro.util.errors import CatalogError
+
+
+def schema():
+    return TableSchema("t", [
+        Column("id", ColumnType.INT),
+        Column("price", ColumnType.FLOAT),
+        Column("name", ColumnType.TEXT, avg_width=20),
+        Column("day", ColumnType.DATE),
+    ])
+
+
+class TestConstruction:
+    def test_column_lookup(self):
+        s = schema()
+        assert s.column_index("price") == 1
+        assert s.column("name").avg_width == 20
+        assert s.has_column("day")
+        assert not s.has_column("ghost")
+
+    def test_unknown_column_raises(self):
+        with pytest.raises(CatalogError):
+            schema().column_index("ghost")
+
+    def test_duplicate_columns_rejected(self):
+        with pytest.raises(CatalogError):
+            TableSchema("t", [Column("a", ColumnType.INT),
+                              Column("a", ColumnType.INT)])
+
+    def test_empty_schema_rejected(self):
+        with pytest.raises(CatalogError):
+            TableSchema("t", [])
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(CatalogError):
+            TableSchema("", [Column("a", ColumnType.INT)])
+
+    def test_default_widths(self):
+        assert Column("a", ColumnType.INT).avg_width == 8
+        assert Column("a", ColumnType.DATE).avg_width == 4
+        assert Column("a", ColumnType.TEXT).avg_width == 24
+
+    def test_row_width_includes_header(self):
+        s = schema()
+        assert s.row_width == 24 + 8 + 8 + 20 + 4
+
+
+class TestValidation:
+    def test_valid_row(self):
+        schema().validate_row((1, 2.5, "x", Date.parse("1994-01-01")))
+
+    def test_int_accepted_for_float_column(self):
+        schema().validate_row((1, 3, "x", Date.parse("1994-01-01")))
+
+    def test_nulls_accepted(self):
+        schema().validate_row((None, None, None, None))
+
+    def test_wrong_arity_rejected(self):
+        with pytest.raises(CatalogError):
+            schema().validate_row((1, 2.5))
+
+    def test_wrong_type_rejected(self):
+        with pytest.raises(CatalogError):
+            schema().validate_row(("one", 2.5, "x", Date.parse("1994-01-01")))
+
+    def test_float_rejected_for_int_column(self):
+        with pytest.raises(CatalogError):
+            schema().validate_row((1.5, 2.5, "x", Date.parse("1994-01-01")))

@@ -1,0 +1,106 @@
+"""Tests for ANALYZE statistics and selectivity primitives."""
+
+import pytest
+
+from repro.engine.schema import Column, ColumnType, TableSchema
+from repro.engine.statistics import analyze_column, analyze_table
+from repro.engine.storage import HeapFile
+from repro.engine.types import Date
+
+
+class TestAnalyzeColumn:
+    def test_basic_summary(self):
+        stats = analyze_column("a", list(range(100)))
+        assert stats.n_values == 100
+        assert stats.n_distinct == 100
+        assert stats.null_fraction == 0.0
+        assert stats.min_value == 0
+        assert stats.max_value == 99
+
+    def test_null_fraction(self):
+        stats = analyze_column("a", [1, None, 2, None])
+        assert stats.null_fraction == 0.5
+
+    def test_all_null_column(self):
+        stats = analyze_column("a", [None, None])
+        assert stats.null_fraction == 1.0
+        assert stats.n_distinct == 0
+        assert stats.min_value is None
+
+    def test_empty_column(self):
+        stats = analyze_column("a", [])
+        assert stats.n_values == 0
+
+    def test_mcv_captures_skew(self):
+        values = [1] * 90 + [2, 3, 4, 5, 6, 7, 8, 9, 10, 11]
+        stats = analyze_column("a", values)
+        mcv = dict(stats.mcv)
+        assert mcv.get(1) == pytest.approx(0.9)
+
+    def test_uniform_low_cardinality_has_no_strong_mcv(self):
+        values = list(range(10)) * 10
+        stats = analyze_column("a", values)
+        assert all(freq < 0.15 for _v, freq in stats.mcv)
+
+    def test_histogram_spans_range(self):
+        stats = analyze_column("a", list(range(1000)))
+        assert stats.histogram[0] == 0
+        assert stats.histogram[-1] == 999
+
+
+class TestSelectivityEq:
+    def test_uniform(self):
+        stats = analyze_column("a", list(range(100)))
+        assert stats.selectivity_eq(42) == pytest.approx(0.01, abs=0.005)
+
+    def test_mcv_exact(self):
+        stats = analyze_column("a", [7] * 50 + list(range(50)))
+        assert stats.selectivity_eq(7) == pytest.approx(0.5, abs=0.05)
+
+    def test_null_eq_uses_null_fraction(self):
+        stats = analyze_column("a", [1, None, None, None])
+        assert stats.selectivity_eq(None) == pytest.approx(0.75)
+
+
+class TestSelectivityRange:
+    def test_half_open(self):
+        stats = analyze_column("a", list(range(1000)))
+        sel = stats.selectivity_range(None, 500, high_inclusive=False)
+        assert sel == pytest.approx(0.5, abs=0.05)
+
+    def test_interior_interval(self):
+        stats = analyze_column("a", list(range(1000)))
+        sel = stats.selectivity_range(250, 750)
+        assert sel == pytest.approx(0.5, abs=0.05)
+
+    def test_outside_range_is_zero_or_one(self):
+        stats = analyze_column("a", list(range(100)))
+        assert stats.selectivity_range(None, -5) == pytest.approx(0.0, abs=0.01)
+        assert stats.selectivity_range(None, 1000) == pytest.approx(1.0, abs=0.01)
+
+    def test_dates_interpolate(self):
+        days = [Date.parse("1994-01-01").add_days(i) for i in range(365)]
+        stats = analyze_column("d", days)
+        sel = stats.selectivity_range(
+            Date.parse("1994-01-01"), Date.parse("1994-03-31")
+        )
+        assert sel == pytest.approx(90 / 365, abs=0.05)
+
+    def test_null_fraction_excluded(self):
+        stats = analyze_column("a", list(range(100)) + [None] * 100)
+        sel = stats.selectivity_range(None, None)
+        assert sel == pytest.approx(0.5, abs=0.05)
+
+
+class TestAnalyzeTable:
+    def test_table_level_counts(self):
+        schema = TableSchema("t", [Column("a", ColumnType.INT),
+                                   Column("c", ColumnType.TEXT)])
+        heap = HeapFile(schema)
+        heap.bulk_load([(i, f"s{i % 7}") for i in range(500)])
+        stats = analyze_table(heap)
+        assert stats.n_rows == 500
+        assert stats.n_pages == heap.n_pages
+        assert stats.column("a").n_distinct == 500
+        assert stats.column("c").n_distinct == 7
+        assert stats.column("missing") is None

@@ -1,0 +1,80 @@
+"""Tests for heap files and pages."""
+
+import pytest
+
+from repro.engine.schema import Column, ColumnType, TableSchema
+from repro.engine.storage import HeapFile, RecordId
+from repro.util.errors import CatalogError, StorageError
+from repro.util.units import PAGE_SIZE
+
+
+def make_heap(text_width=20):
+    schema = TableSchema("t", [
+        Column("a", ColumnType.INT),
+        Column("c", ColumnType.TEXT, avg_width=text_width),
+    ])
+    return HeapFile(schema)
+
+
+class TestAppend:
+    def test_append_and_fetch(self):
+        heap = make_heap()
+        rid = heap.append((1, "hello"))
+        assert heap.fetch(rid) == (1, "hello")
+        assert heap.n_rows == 1
+
+    def test_rows_span_pages(self):
+        heap = make_heap()
+        per_page = heap.rows_per_page()
+        for i in range(per_page + 1):
+            heap.append((i, "x"))
+        assert heap.n_pages == 2
+        assert len(heap.page(0)) == per_page
+        assert len(heap.page(1)) == 1
+
+    def test_rows_per_page_matches_width(self):
+        heap = make_heap()
+        expected = (PAGE_SIZE - 64) // heap.schema.row_width
+        assert heap.rows_per_page() == expected
+
+    def test_bulk_load_counts(self):
+        heap = make_heap()
+        n = heap.bulk_load([(i, "r") for i in range(500)])
+        assert n == 500
+        assert heap.n_rows == 500
+
+    def test_schema_validated_on_append(self):
+        heap = make_heap()
+        with pytest.raises(CatalogError):
+            heap.append(("wrong", 1))
+
+
+class TestScan:
+    def test_scan_rids_in_physical_order(self):
+        heap = make_heap()
+        rids = [heap.append((i, "x")) for i in range(300)]
+        scanned = list(heap.scan_rids())
+        assert [rid for rid, _row in scanned] == rids
+        assert [row[0] for _rid, row in scanned] == list(range(300))
+
+    def test_pages_iterates_all(self):
+        heap = make_heap()
+        heap.bulk_load([(i, "x") for i in range(700)])
+        total = sum(len(page) for page in heap.pages())
+        assert total == 700
+
+
+class TestErrors:
+    def test_fetch_bad_page(self):
+        heap = make_heap()
+        with pytest.raises(StorageError):
+            heap.fetch(RecordId(5, 0))
+
+    def test_fetch_bad_slot(self):
+        heap = make_heap()
+        heap.append((1, "x"))
+        with pytest.raises(StorageError):
+            heap.fetch(RecordId(0, 99))
+
+    def test_distinct_file_ids(self):
+        assert make_heap().file_id != make_heap().file_id

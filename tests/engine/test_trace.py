@@ -1,0 +1,80 @@
+"""Tests for work-trace accounting."""
+
+import pytest
+
+from repro.engine.trace import CPU_TUPLE_UNITS, WorkTrace
+
+
+class TestCharging:
+    def test_add_cpu(self):
+        trace = WorkTrace()
+        trace.add_cpu(100.0)
+        assert trace.cpu_units == 100.0
+
+    def test_negative_cpu_rejected(self):
+        with pytest.raises(ValueError):
+            WorkTrace().add_cpu(-1)
+
+    def test_add_tuples_charges_cpu(self):
+        trace = WorkTrace()
+        trace.add_tuples(10)
+        assert trace.tuples_processed == 10
+        assert trace.cpu_units == 10 * CPU_TUPLE_UNITS
+
+    def test_add_tuples_custom_rate(self):
+        trace = WorkTrace()
+        trace.add_tuples(5, 2.0)
+        assert trace.cpu_units == 10.0
+
+    def test_buffer_hit_charges_cpu(self):
+        trace = WorkTrace()
+        trace.add_buffer_hit(3)
+        assert trace.buffer_hits == 3
+        assert trace.cpu_units > 0
+
+    def test_io_counters(self):
+        trace = WorkTrace()
+        trace.add_seq_read(5)
+        trace.add_random_read(2)
+        trace.add_page_write(1)
+        assert trace.total_page_reads == 7
+        assert trace.page_writes == 1
+
+    @pytest.mark.parametrize("method", [
+        "add_seq_read", "add_random_read", "add_buffer_hit", "add_page_write",
+    ])
+    def test_negative_pages_rejected(self, method):
+        with pytest.raises(ValueError):
+            getattr(WorkTrace(), method)(-1)
+
+
+class TestAggregates:
+    def test_hit_ratio(self):
+        trace = WorkTrace()
+        assert trace.hit_ratio() == 1.0
+        trace.add_seq_read(3)
+        trace.add_buffer_hit(1)
+        assert trace.hit_ratio() == pytest.approx(0.25)
+
+    def test_merge_sums_everything(self):
+        a = WorkTrace()
+        a.add_cpu(10)
+        a.add_seq_read(1)
+        a.predicate_ops = 5
+        b = WorkTrace()
+        b.add_cpu(20)
+        b.add_random_read(2)
+        b.like_bytes = 7
+        a.merge(b)
+        assert a.cpu_units == 30
+        assert a.total_page_reads == 3
+        assert a.predicate_ops == 5
+        assert a.like_bytes == 7
+
+    def test_copy_is_independent(self):
+        a = WorkTrace()
+        a.add_cpu(10)
+        b = a.copy()
+        b.add_cpu(5)
+        assert a.cpu_units == 10
+        assert b.cpu_units == 15

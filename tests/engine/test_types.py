@@ -1,0 +1,80 @@
+"""Tests for engine value types."""
+
+import pytest
+
+from repro.engine.types import Date, compare_values, value_byte_size
+
+
+class TestDate:
+    def test_parse_and_format(self):
+        date = Date.parse("1995-03-15")
+        assert str(date) == "1995-03-15"
+        assert date.year == 1995
+
+    def test_parse_rejects_garbage(self):
+        with pytest.raises(ValueError):
+            Date.parse("not-a-date")
+
+    def test_ordering(self):
+        assert Date.parse("1994-01-01") < Date.parse("1994-01-02")
+        assert Date.parse("1994-01-01") <= Date.parse("1994-01-01")
+        assert Date.parse("1995-01-01") > Date.parse("1994-12-31")
+
+    def test_difference_in_days(self):
+        delta = Date.parse("1994-02-01") - Date.parse("1994-01-01")
+        assert delta == 31
+
+    def test_add_days(self):
+        assert Date.parse("1993-12-30").add_days(3) == Date.parse("1994-01-02")
+        assert Date.parse("1994-01-02").add_days(-2) == Date.parse("1993-12-31")
+
+    def test_add_months(self):
+        assert Date.parse("1993-07-01").add_months(3) == Date.parse("1993-10-01")
+        assert Date.parse("1993-11-15").add_months(2) == Date.parse("1994-01-15")
+
+    def test_add_months_clamps_day(self):
+        assert Date.parse("1994-01-31").add_months(1) == Date.parse("1994-02-28")
+
+    def test_add_months_leap_year(self):
+        assert Date.parse("1996-01-31").add_months(1) == Date.parse("1996-02-29")
+
+    def test_add_years(self):
+        assert Date.parse("1994-01-01").add_years(1) == Date.parse("1995-01-01")
+
+    def test_hashable(self):
+        assert len({Date.parse("1994-01-01"), Date.parse("1994-01-01")}) == 1
+
+    def test_not_equal_to_int(self):
+        assert Date.parse("1994-01-01") != 728294
+
+
+class TestValueByteSize:
+    @pytest.mark.parametrize("value,size", [
+        (None, 1),
+        (42, 8),
+        (3.14, 8),
+        (Date.parse("1994-01-01"), 4),
+        ("abcd", 8),  # 4 + len
+    ])
+    def test_sizes(self, value, size):
+        assert value_byte_size(value) == size
+
+    def test_rejects_unknown_type(self):
+        with pytest.raises(TypeError):
+            value_byte_size(object())
+
+
+class TestCompareValues:
+    def test_numeric(self):
+        assert compare_values(1, 2) == -1
+        assert compare_values(2, 1) == 1
+        assert compare_values(2, 2) == 0
+        assert compare_values(1, 1.5) == -1
+
+    def test_nulls_sort_last(self):
+        assert compare_values(None, 1) == 1
+        assert compare_values(1, None) == -1
+        assert compare_values(None, None) == 0
+
+    def test_strings(self):
+        assert compare_values("a", "b") == -1

@@ -1,0 +1,82 @@
+"""Tests for the SQL lexer."""
+
+import pytest
+
+from repro.engine.sql.lexer import Lexer, TokenType
+from repro.util.errors import SqlError
+
+
+def tokens(sql):
+    return Lexer(sql).tokenize()
+
+
+def values(sql):
+    return [t.value for t in tokens(sql)[:-1]]  # drop EOF
+
+
+class TestBasics:
+    def test_keywords_lowercased(self):
+        toks = tokens("SELECT a FROM t")
+        assert toks[0].type is TokenType.KEYWORD
+        assert toks[0].value == "select"
+        assert toks[2].value == "from"
+
+    def test_identifiers_lowercased(self):
+        assert values("Lineitem L_OrderKey") == ["lineitem", "l_orderkey"]
+
+    def test_numbers(self):
+        toks = tokens("42 3.14 .5")
+        assert [t.type for t in toks[:-1]] == [TokenType.NUMBER] * 3
+        assert values("42 3.14 .5") == ["42", "3.14", ".5"]
+
+    def test_strings(self):
+        toks = tokens("'BUILDING'")
+        assert toks[0].type is TokenType.STRING
+        assert toks[0].value == "BUILDING"
+
+    def test_string_preserves_case(self):
+        assert tokens("'MixedCase'")[0].value == "MixedCase"
+
+    def test_escaped_quote(self):
+        assert tokens("'it''s'")[0].value == "it's"
+
+    def test_unterminated_string(self):
+        with pytest.raises(SqlError):
+            tokens("'oops")
+
+    def test_eof_token(self):
+        assert tokens("")[-1].type is TokenType.EOF
+
+
+class TestOperators:
+    def test_multichar_operators(self):
+        assert values("a <> b <= c >= d") == ["a", "<>", "b", "<=", "c", ">=", "d"]
+
+    def test_bang_equals_normalized(self):
+        assert "<>" in values("a != b")
+
+    def test_arithmetic(self):
+        assert values("1+2*3/4-5") == ["1", "+", "2", "*", "3", "/", "4", "-", "5"]
+
+    def test_punctuation(self):
+        assert values("f(a, b.c)") == ["f", "(", "a", ",", "b", ".", "c", ")"]
+
+    def test_unknown_character(self):
+        with pytest.raises(SqlError):
+            tokens("a @ b")
+
+
+class TestCommentsAndWhitespace:
+    def test_line_comments_skipped(self):
+        assert values("select -- comment here\n a") == ["select", "a"]
+
+    def test_trailing_comment(self):
+        assert values("a -- end") == ["a"]
+
+    def test_newlines_and_tabs(self):
+        assert values("select\n\ta\nfrom\tt") == ["select", "a", "from", "t"]
+
+    def test_positions_recorded(self):
+        toks = tokens("ab cd")
+        assert toks[0].position == 0
+        assert toks[1].position == 3

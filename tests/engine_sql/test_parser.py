@@ -1,0 +1,284 @@
+"""Tests for the SQL parser."""
+
+import pytest
+
+from repro.engine.sql import ast
+from repro.engine.sql.parser import parse_select
+from repro.util.errors import SqlError
+from repro.workloads.tpch_queries import QUERIES
+
+
+class TestSelectList:
+    def test_simple(self):
+        stmt = parse_select("select a, b from t")
+        assert len(stmt.items) == 2
+        assert isinstance(stmt.items[0].expr, ast.Identifier)
+
+    def test_aliases(self):
+        stmt = parse_select("select a as x, b y from t")
+        assert stmt.items[0].alias == "x"
+        assert stmt.items[1].alias == "y"
+
+    def test_qualified_columns(self):
+        stmt = parse_select("select t.a from t")
+        ident = stmt.items[0].expr
+        assert ident.qualifier == "t"
+        assert ident.name == "a"
+
+    def test_count_star(self):
+        stmt = parse_select("select count(*) from t")
+        call = stmt.items[0].expr
+        assert isinstance(call, ast.FuncCall)
+        assert call.star
+
+    def test_aggregate_with_expression(self):
+        stmt = parse_select("select sum(a * (1 - b)) from t")
+        call = stmt.items[0].expr
+        assert call.name == "sum"
+        assert isinstance(call.args[0], ast.Binary)
+
+    def test_distinct(self):
+        assert parse_select("select distinct a from t").distinct
+
+
+class TestFromClause:
+    def test_comma_list(self):
+        stmt = parse_select("select a from t, u, v")
+        assert len(stmt.from_items) == 3
+
+    def test_table_alias(self):
+        stmt = parse_select("select a from customer as c")
+        assert stmt.from_items[0].alias == "c"
+
+    def test_implicit_alias(self):
+        stmt = parse_select("select a from customer c")
+        assert stmt.from_items[0].alias == "c"
+
+    def test_inner_join(self):
+        stmt = parse_select("select a from t join u on t.x = u.y")
+        join = stmt.from_items[0]
+        assert isinstance(join, ast.JoinClause)
+        assert join.join_type == "inner"
+        assert join.condition is not None
+
+    def test_left_outer_join(self):
+        stmt = parse_select(
+            "select a from t left outer join u on t.x = u.y"
+        )
+        assert stmt.from_items[0].join_type == "left"
+
+    def test_left_join_without_outer(self):
+        stmt = parse_select("select a from t left join u on t.x = u.y")
+        assert stmt.from_items[0].join_type == "left"
+
+    def test_right_join_rejected(self):
+        with pytest.raises(SqlError):
+            parse_select("select a from t right join u on t.x = u.y")
+
+    def test_derived_table_with_columns(self):
+        stmt = parse_select(
+            "select c from (select a, count(*) from t group by a) "
+            "as d (k, c)"
+        )
+        derived = stmt.from_items[0]
+        assert isinstance(derived, ast.SubqueryRef)
+        assert derived.alias == "d"
+        assert derived.column_names == ("k", "c")
+
+    def test_chained_joins(self):
+        stmt = parse_select(
+            "select a from t join u on t.x = u.y join v on u.y = v.z"
+        )
+        outer = stmt.from_items[0]
+        assert isinstance(outer.left, ast.JoinClause)
+
+
+class TestPredicates:
+    def where(self, clause):
+        return parse_select(f"select a from t where {clause}").where
+
+    def test_comparison_chain(self):
+        where = self.where("a >= 1 and b < 2 or c = 3")
+        assert isinstance(where, ast.Binary)
+        assert where.op == "or"
+
+    def test_precedence_and_over_or(self):
+        where = self.where("a = 1 or b = 2 and c = 3")
+        assert where.op == "or"
+        assert where.right.op == "and"
+
+    def test_parenthesized(self):
+        where = self.where("(a = 1 or b = 2) and c = 3")
+        assert where.op == "and"
+        assert where.left.op == "or"
+
+    def test_between(self):
+        where = self.where("a between 1 and 5")
+        assert isinstance(where, ast.Between)
+
+    def test_not_between(self):
+        where = self.where("a not between 1 and 5")
+        assert where.negated
+
+    def test_like(self):
+        where = self.where("c like '%x%'")
+        assert isinstance(where, ast.Like)
+        assert where.pattern == "%x%"
+
+    def test_not_like(self):
+        assert self.where("c not like '%x%'").negated
+
+    def test_in_list(self):
+        where = self.where("a in (1, 2, 3)")
+        assert isinstance(where, ast.InList)
+        assert len(where.items) == 3
+
+    def test_in_subquery(self):
+        where = self.where("a in (select b from u)")
+        assert isinstance(where, ast.InSubquery)
+
+    def test_exists(self):
+        where = self.where("exists (select 1 from u where u.x = t.a)")
+        assert isinstance(where, ast.Exists)
+        assert not where.negated
+
+    def test_not_exists(self):
+        where = self.where("not exists (select 1 from u)")
+        assert isinstance(where, ast.Exists)
+        assert where.negated
+
+    def test_is_null(self):
+        where = self.where("a is null")
+        assert isinstance(where, ast.IsNull)
+        assert self.where("a is not null").negated
+
+    def test_dangling_not_rejected(self):
+        with pytest.raises(SqlError):
+            self.where("a not 5")
+
+
+class TestLiterals:
+    def expr(self, text):
+        return parse_select(f"select {text} from t").items[0].expr
+
+    def test_date_literal(self):
+        lit = self.expr("date '1994-01-01'")
+        assert isinstance(lit, ast.DateLit)
+        assert lit.text == "1994-01-01"
+
+    def test_interval_literal(self):
+        expr = self.expr("date '1994-01-01' + interval '3' month")
+        assert isinstance(expr, ast.Binary)
+        assert isinstance(expr.right, ast.IntervalLit)
+        assert expr.right.amount == 3
+        assert expr.right.unit == "month"
+
+    def test_interval_units(self):
+        for unit in ("day", "month", "year"):
+            expr = self.expr(f"date '1994-01-01' - interval '1' {unit}")
+            assert expr.right.unit == unit
+
+    def test_unsupported_interval_unit(self):
+        with pytest.raises(SqlError):
+            self.expr("date '1994-01-01' + interval '1' hour")
+
+    def test_negative_number(self):
+        expr = self.expr("-5")
+        assert isinstance(expr, ast.Binary)
+        assert expr.op == "-"
+
+    def test_case_expression(self):
+        expr = self.expr("case when a = 1 then 'one' else 'other' end")
+        assert isinstance(expr, ast.Case)
+        assert len(expr.branches) == 1
+        assert expr.default is not None
+
+    def test_case_requires_when(self):
+        with pytest.raises(SqlError):
+            self.expr("case else 1 end")
+
+    def test_null_literal(self):
+        assert isinstance(self.expr("null"), ast.NullLit)
+
+
+class TestClauses:
+    def test_group_by_multiple(self):
+        stmt = parse_select("select a, b from t group by a, b")
+        assert len(stmt.group_by) == 2
+
+    def test_having(self):
+        stmt = parse_select(
+            "select a from t group by a having count(*) > 5"
+        )
+        assert stmt.having is not None
+
+    def test_order_by_directions(self):
+        stmt = parse_select("select a, b from t order by a desc, b asc, a")
+        assert [o.ascending for o in stmt.order_by] == [False, True, True]
+
+    def test_limit(self):
+        assert parse_select("select a from t limit 10").limit == 10
+
+    def test_limit_requires_integer(self):
+        with pytest.raises(SqlError):
+            parse_select("select a from t limit 1.5")
+
+    def test_trailing_garbage_rejected(self):
+        with pytest.raises(SqlError):
+            parse_select("select a from t garbage here")
+
+    def test_missing_from_ok_at_parse_level(self):
+        stmt = parse_select("select 1")
+        assert stmt.from_items == []
+
+
+class TestSubqueriesAndDistinct:
+    def test_scalar_subquery_in_comparison(self):
+        stmt = parse_select(
+            "select a from t where a > (select max(b) from u)"
+        )
+        assert isinstance(stmt.where.right, ast.ScalarSubquery)
+
+    def test_scalar_subquery_in_arithmetic(self):
+        stmt = parse_select(
+            "select a from t where a > 0.2 * (select avg(b) from u)"
+        )
+        product = stmt.where.right
+        assert isinstance(product, ast.Binary)
+        assert isinstance(product.right, ast.ScalarSubquery)
+
+    def test_parenthesized_expression_is_not_subquery(self):
+        stmt = parse_select("select (1 + 2) from t")
+        assert isinstance(stmt.items[0].expr, ast.Binary)
+
+    def test_count_distinct(self):
+        stmt = parse_select("select count(distinct a) from t")
+        call = stmt.items[0].expr
+        assert call.distinct
+        assert call.name == "count"
+
+    def test_plain_count_not_distinct(self):
+        stmt = parse_select("select count(a) from t")
+        assert not stmt.items[0].expr.distinct
+
+    def test_extract_year(self):
+        stmt = parse_select("select extract(year from d) from t")
+        node = stmt.items[0].expr
+        assert isinstance(node, ast.Extract)
+        assert node.unit == "year"
+
+    def test_extract_units(self):
+        for unit in ("year", "month", "day"):
+            stmt = parse_select(f"select extract({unit} from d) from t")
+            assert stmt.items[0].expr.unit == unit
+
+    def test_extract_bad_unit(self):
+        with pytest.raises(SqlError):
+            parse_select("select extract(hour from d) from t")
+
+
+class TestTpchQueries:
+    @pytest.mark.parametrize("name", sorted(QUERIES))
+    def test_all_supported_queries_parse(self, name):
+        stmt = parse_select(QUERIES[name])
+        assert stmt.items

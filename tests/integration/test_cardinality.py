@@ -1,0 +1,81 @@
+"""Cardinality-estimation quality: estimated vs actual row counts.
+
+The paper's method stands on optimizer estimates; these tests bound how
+far the planner's row estimates drift from reality on TPC-H shapes.
+Ratios are deliberately loose — real optimizers miss by factors too —
+but catastrophic misestimates (orders of magnitude on base scans) would
+silently break every experiment, so they are pinned here.
+"""
+
+import pytest
+
+from repro.engine.plans import Aggregate, IndexScan, SeqScan, walk
+from repro.workloads.tpch_queries import QUERIES
+
+
+def executed_plan(db, sql):
+    result = db.run_sql(sql)
+    return result.plan
+
+
+class TestScanEstimates:
+    @pytest.mark.parametrize("sql,max_ratio", [
+        ("select count(*) as n from orders where "
+         "o_orderdate >= date '1993-07-01' and "
+         "o_orderdate < date '1993-10-01'", 1.6),
+        ("select count(*) as n from lineitem where l_quantity < 24", 1.6),
+        ("select count(*) as n from lineitem where "
+         "l_shipdate >= date '1994-01-01' and "
+         "l_shipdate < date '1995-01-01'", 1.6),
+    ])
+    def test_filtered_scan_estimates(self, tpch_db, sql, max_ratio):
+        plan = executed_plan(tpch_db, sql)
+        scan = next(node for node in walk(plan)
+                    if isinstance(node, (SeqScan, IndexScan)))
+        actual = max(1, scan.actual_rows)
+        ratio = max(scan.est_rows / actual, actual / scan.est_rows)
+        assert ratio < max_ratio, (scan.est_rows, scan.actual_rows)
+
+    def test_unfiltered_scan_exact(self, tpch_db):
+        plan = executed_plan(tpch_db, "select count(*) as n from customer")
+        scan = next(node for node in walk(plan) if isinstance(node, SeqScan))
+        assert scan.est_rows == pytest.approx(scan.actual_rows)
+
+    def test_group_count_estimate(self, tpch_db):
+        plan = executed_plan(
+            tpch_db,
+            "select o_orderpriority, count(*) as n from orders "
+            "group by o_orderpriority",
+        )
+        agg = next(node for node in walk(plan) if isinstance(node, Aggregate))
+        assert agg.est_rows == pytest.approx(agg.actual_rows, rel=0.5)
+
+
+class TestJoinEstimates:
+    def test_fk_join_estimate_within_factor(self, tpch_db):
+        plan = executed_plan(
+            tpch_db,
+            "select count(*) as n from customer, orders "
+            "where c_custkey = o_custkey",
+        )
+        # The join output equals the orders count (FK join).
+        join = next(node for node in walk(plan)
+                    if node.node_label().startswith(("HashJoin", "MergeJoin",
+                                                     "NestedLoopJoin")))
+        actual = max(1, join.actual_rows)
+        ratio = max(join.est_rows / actual, actual / join.est_rows)
+        assert ratio < 3.0
+
+
+class TestExplainAnalyze:
+    def test_renders_actual_rows(self, tpch_db):
+        text = tpch_db.explain_analyze(
+            "select count(*) as n from orders where o_custkey = 1"
+        )
+        assert "actual rows=" in text
+        assert "cost=" in text
+
+    def test_q4_every_node_instrumented(self, tpch_db):
+        result = tpch_db.run_sql(QUERIES["Q4"])
+        for node in walk(result.plan):
+            assert node.actual_rows is not None

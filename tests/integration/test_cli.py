@@ -1,0 +1,66 @@
+"""Tests for the command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+
+
+class TestCalibrate:
+    def test_prints_parameters(self, capsys):
+        assert main(["calibrate", "--cpu", "0.5", "--memory", "0.5",
+                     "--io", "0.5"]) == 0
+        out = capsys.readouterr().out
+        assert "cpu_tuple_cost" in out
+        assert "seconds_per_seq_page" in out
+
+    def test_save_and_load_roundtrip(self, capsys, tmp_path):
+        path = tmp_path / "cal.json"
+        main(["calibrate", "--save", str(path)])
+        capsys.readouterr()
+        payload = json.loads(path.read_text())
+        assert payload["format"].startswith("repro-calibration-cache")
+        assert main(["calibrate", "--load", str(path)]) == 0
+        assert "cpu_tuple_cost" in capsys.readouterr().out
+
+
+class TestExplain:
+    def test_explain_renders_plan(self, capsys):
+        assert main(["explain", "--query", "Q13", "--scale", "0.002"]) == 0
+        out = capsys.readouterr().out
+        assert "What-if plan" in out
+        assert "Aggregate" in out
+
+    def test_unknown_query_fails(self):
+        with pytest.raises(KeyError):
+            main(["explain", "--query", "Q99", "--scale", "0.002"])
+
+
+class TestDesign:
+    def test_design_summary(self, capsys):
+        assert main(["design", "--scale", "0.002", "--grid", "4",
+                     "--algorithm", "greedy"]) == 0
+        out = capsys.readouterr().out
+        assert "Design via greedy" in out
+        assert "order-audit" in out and "cust-report" in out
+
+
+class TestExperiment:
+    def test_fig3_prints_surface(self, capsys):
+        assert main(["experiment", "fig3"]) == 0
+        out = capsys.readouterr().out
+        assert "Figure 3" in out
+        assert "mem 75%" in out
+        # Three CPU rows with numeric cells.
+        assert out.count("cpu ") >= 3
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            main([])
+
+    def test_rejects_unknown_experiment(self):
+        with pytest.raises(SystemExit):
+            main(["experiment", "fig9"])

@@ -1,0 +1,111 @@
+"""End-to-end integration: virtualization design from calibration to
+deployment, exercising every subsystem together."""
+
+import pytest
+
+from repro import (
+    MeasuredCostModel,
+    OptimizerCostModel,
+    ResourceKind,
+    ResourceVector,
+    VirtualMachineMonitor,
+    VirtualizationDesignProblem,
+    VirtualizationDesigner,
+    Workload,
+    WorkloadSpec,
+    build_tpch_database,
+    tpch_query,
+)
+
+
+@pytest.fixture(scope="module")
+def specs():
+    db_io = build_tpch_database(scale_factor=0.002,
+                                tables=["orders", "lineitem"], name="io-db")
+    db_cpu = build_tpch_database(scale_factor=0.002,
+                                 tables=["customer", "orders"], name="cpu-db")
+    return [
+        WorkloadSpec(Workload.repeat("io-workload", tpch_query("Q4"), 2), db_io),
+        WorkloadSpec(Workload.repeat("cpu-workload", tpch_query("Q13"), 4), db_cpu),
+    ]
+
+
+@pytest.fixture(scope="module")
+def design(specs, lab_machine, calibration_cache):
+    problem = VirtualizationDesignProblem(
+        machine=lab_machine, specs=specs,
+        controlled_resources=(ResourceKind.CPU,),
+    )
+    designer = VirtualizationDesigner(problem, OptimizerCostModel(calibration_cache))
+    return designer, designer.design("exhaustive", grid=4)
+
+
+class TestDesignPipeline:
+    def test_design_is_feasible(self, design):
+        _designer, result = design
+        result.allocation.validate()
+
+    def test_design_no_worse_than_default(self, design):
+        _designer, result = design
+        assert result.predicted_total_cost <= result.default_total_cost + 1e-9
+
+    def test_cpu_goes_to_cpu_workload(self, design):
+        _designer, result = design
+        cpu_share = result.allocation.vector_for("cpu-workload").cpu
+        io_share = result.allocation.vector_for("io-workload").cpu
+        assert cpu_share >= io_share
+
+    def test_design_validated_by_measurement(self, design, specs, lab_machine,
+                                             calibration_cache):
+        """The decision made on estimates must hold under measurement."""
+        designer, result = design
+        measured = MeasuredCostModel(lab_machine, calibration=calibration_cache)
+        chosen_total = sum(
+            measured.cost(spec, result.allocation.vector_for(spec.name))
+            for spec in specs
+        )
+        default_total = sum(
+            measured.cost(spec, result.default_allocation.vector_for(spec.name))
+            for spec in specs
+        )
+        assert chosen_total <= default_total * 1.05  # allow modeling slack
+
+    def test_deployment_on_vmm(self, design, lab_machine):
+        designer, result = design
+        vmm = VirtualMachineMonitor.single_host(lab_machine)
+        designer.apply(vmm, result)
+        assert set(vmm.vms) == {"io-workload", "cpu-workload"}
+        for name, vm in vmm.vms.items():
+            assert vm.shares == result.allocation.vector_for(name)
+            # The workload's database is attached and sized to the VM.
+            assert vm.guest is designer.problem.spec(name).database
+
+    def test_deployed_vm_answers_queries(self, design, lab_machine):
+        designer, result = design
+        vmm = VirtualMachineMonitor.single_host(lab_machine)
+        designer.apply(vmm, result)
+        db = vmm.vms["cpu-workload"].guest
+        answer = db.run_sql("select count(*) as n from customer")
+        assert answer.rows[0][0] == db.catalog.table("customer").heap.n_rows
+
+
+class TestApplianceWorkflow:
+    def test_snapshot_deploy_query(self, lab_machine):
+        """The paper's software-appliance story end to end."""
+        vmm = VirtualMachineMonitor.single_host(lab_machine)
+        template = vmm.create_vm(
+            "template", ResourceVector.of(cpu=0.5, memory=0.5, io=0.5)
+        )
+        db = build_tpch_database(scale_factor=0.002, tables=["region"],
+                                 name="appliance")
+        template.attach_guest(db)
+        image = template.snapshot()
+        vmm.destroy_vm("template")
+
+        first = vmm.deploy_image(image, "prod-1",
+                                 shares=ResourceVector.of(cpu=0.3, memory=0.3, io=0.3))
+        second = vmm.deploy_image(image, "prod-2",
+                                  shares=ResourceVector.of(cpu=0.3, memory=0.3, io=0.3))
+        first.guest.load_rows("region", [(99, "ATLANTIS", "sunken")])
+        assert len(first.guest.run_sql("select r_name from region").rows) == 6
+        assert len(second.guest.run_sql("select r_name from region").rows) == 5

@@ -1,0 +1,191 @@
+"""Failure injection: the stack must fail loudly and precisely.
+
+These tests drive the system into degenerate and hostile configurations
+and pin the failure mode: a specific exception with a diagnosable
+message, never a wrong answer or a hang.
+"""
+
+import pytest
+
+from repro.core.cost_model import OptimizerCostModel
+from repro.core.designer import VirtualizationDesigner
+from repro.core.problem import VirtualizationDesignProblem, WorkloadSpec
+from repro.core.search import ExhaustiveSearch
+from repro.core.slo import ServiceLevelObjective, SloPolicy
+from repro.engine.database import Database
+from repro.util.errors import (
+    AdmissionError,
+    AllocationError,
+    CalibrationError,
+    ReproError,
+    SqlError,
+)
+from repro.virt.machine import PhysicalMachine
+from repro.virt.monitor import VirtualMachineMonitor
+from repro.virt.resources import ResourceKind, ResourceVector
+from repro.virt.vm import VirtualMachine, VMConfig
+from repro.workloads.workload import Workload
+from tests.conftest import simple_schema
+from tests.core.test_search import SyntheticCostModel, make_problem
+
+
+class TestDegenerateVMs:
+    def test_zero_io_share_fails_on_first_read(self):
+        machine = PhysicalMachine(memory_mib=1024.0)
+        vm = VirtualMachine(machine, VMConfig(
+            name="no-io", shares=ResourceVector.of(cpu=0.5, memory=0.5, io=0.0)
+        ))
+        with pytest.raises(AllocationError, match="I/O share"):
+            vm.seq_page_read_seconds()
+
+    def test_zero_cpu_share_fails_on_cpu_work(self):
+        machine = PhysicalMachine(memory_mib=1024.0)
+        vm = VirtualMachine(machine, VMConfig(
+            name="no-cpu", shares=ResourceVector.of(cpu=0.0, memory=0.5, io=0.5)
+        ))
+        with pytest.raises(AllocationError):
+            vm.scheduler.cpu_seconds(1000.0, vm.shares.cpu)
+
+    def test_unbootable_memory_rejected_at_start(self):
+        machine = PhysicalMachine(memory_mib=16.0)
+        vm = VirtualMachine(machine, VMConfig(
+            name="tiny", shares=ResourceVector.of(cpu=0.5, memory=0.1, io=0.5)
+        ))
+        with pytest.raises(AdmissionError, match="required to boot"):
+            vm.start()
+
+    def test_database_survives_minimal_buffer_pool(self):
+        db = Database("tiny", memory_pages=1)
+        db.create_table(simple_schema())
+        db.load_rows("t", [(i, i, "x") for i in range(2000)])
+        db.analyze()
+        result = db.run_sql("select count(*) as n from t")
+        assert result.rows[0][0] == 2000
+
+
+class TestSearchInfeasibility:
+    def test_memory_search_respects_boot_floor(self):
+        # On a 10 MiB machine each guest needs >= 4 MiB (40%); three
+        # guests cannot all receive the boot floor, so the search must
+        # refuse rather than emit an un-bootable allocation.
+        problem, model = make_problem(
+            {"a": (1.0, 1.0), "b": (1.0, 1.0), "c": (1.0, 1.0)},
+            controlled=(ResourceKind.MEMORY,),
+        )
+        object.__setattr__(problem, "machine", PhysicalMachine(memory_mib=10.0))
+        with pytest.raises(AllocationError):
+            ExhaustiveSearch(grid=8).search(problem, model)
+
+    def test_memory_candidates_all_bootable(self):
+        problem, model = make_problem(
+            {"a": (1.0, 4.0), "b": (4.0, 1.0)},
+            controlled=(ResourceKind.MEMORY,),
+        )
+        object.__setattr__(problem, "machine", PhysicalMachine(memory_mib=20.0))
+        result = ExhaustiveSearch(grid=8).search(problem, model)
+        for name in result.allocation.workload_names():
+            share = result.allocation.vector_for(name).memory
+            assert share * 20.0 >= 4.0  # MIN_GUEST_MEMORY_MIB
+
+
+class TestInfeasibleSlo:
+    def test_impossible_slos_pick_least_violation(self):
+        # Both workloads demand near-dedicated CPU; no allocation
+        # satisfies both. The search must still return an allocation
+        # (the least-violating one), not crash.
+        weights = {"a": (10.0, 0.0), "b": (10.0, 0.0)}
+        problem, model = make_problem(weights,
+                                      controlled=(ResourceKind.CPU,))
+        policy = SloPolicy({
+            "a": ServiceLevelObjective(max_seconds=12.0),
+            "b": ServiceLevelObjective(max_seconds=12.0),
+        })
+        designer = VirtualizationDesigner(problem, model, slo=policy)
+        design = designer.design("exhaustive", grid=8)
+        # Symmetric demands -> least violation is the even split.
+        assert design.allocation.vector_for("a").cpu == pytest.approx(0.5)
+
+
+class TestHostileSql:
+    @pytest.fixture
+    def db(self):
+        db = Database("hostile", memory_pages=1024)
+        db.create_table(simple_schema())
+        db.load_rows("t", [(1, 2, "x")])
+        db.analyze()
+        return db
+
+    @pytest.mark.parametrize("sql", [
+        "select",                                 # truncated
+        "select a from",                          # missing table
+        "select a from t where",                  # missing predicate
+        "select a from t order by",               # missing key
+        "select (select a from t where",          # unbalanced subquery
+        "select a from t t2 join",                # dangling join
+        "select 'unterminated from t",            # bad literal
+        "select a from t limit -1",               # negative limit
+        "select a from t; drop table t",          # trailing statement
+    ])
+    def test_malformed_sql_raises_sql_error(self, db, sql):
+        with pytest.raises(ReproError):
+            db.run_sql(sql)
+
+    def test_deeply_nested_expression_ok(self, db):
+        expr = "a" + (" + 1" * 200)
+        result = db.run_sql(f"select {expr} as v from t")
+        assert result.rows[0][0] == 201
+
+    def test_pathological_like_pattern_terminates(self, db):
+        db.load_rows("t", [(9, 9, "a" * 500)])
+        result = db.run_sql(
+            "select count(*) as n from t where c like "
+            "'%a%a%a%a%a%a%a%a%b'"
+        )
+        assert result.rows[0][0] == 0
+
+
+class TestCorruptCalibrationFiles:
+    def test_missing_file(self, calibration_cache, tmp_path):
+        with pytest.raises(OSError):
+            calibration_cache.load(tmp_path / "absent.json")
+
+    def test_malformed_json(self, calibration_cache, tmp_path):
+        path = tmp_path / "garbage.json"
+        path.write_text("{not json")
+        with pytest.raises(Exception):
+            calibration_cache.load(path)
+
+    def test_wrong_shape_allocation(self, calibration_cache, tmp_path):
+        import json
+
+        path = tmp_path / "short-key.json"
+        path.write_text(json.dumps({
+            "format": "repro-calibration-cache/1",
+            "points": [{"allocation": [0.5], "parameters": {}}],
+        }))
+        with pytest.raises(CalibrationError):
+            calibration_cache.load(path)
+
+
+class TestVmmEdgeCases:
+    def test_destroying_unknown_vm(self):
+        vmm = VirtualMachineMonitor.single_host(PhysicalMachine())
+        with pytest.raises(AllocationError):
+            vmm.destroy_vm("ghost")
+
+    def test_migrate_unknown_target(self):
+        vmm = VirtualMachineMonitor.single_host(PhysicalMachine())
+        vmm.create_vm("a", ResourceVector.of(cpu=0.1, memory=0.1, io=0.1))
+        with pytest.raises(AllocationError):
+            vmm.migrate("a", "nonexistent-host")
+
+    def test_designer_apply_rejects_oversubscribed_host(self):
+        # A host already running a large VM cannot absorb a full design.
+        weights = {"a": (1.0, 1.0), "b": (1.0, 1.0)}
+        problem, model = make_problem(weights)
+        designer = VirtualizationDesigner(problem, model)
+        design = designer.design("exhaustive", grid=4)
+        vmm = VirtualMachineMonitor.single_host(PhysicalMachine(memory_mib=4096))
+        vmm.create_vm("squatter", ResourceVector.of(cpu=0.9, memory=0.9, io=0.9))
+        with pytest.raises(AdmissionError):
+            designer.apply(vmm, design)

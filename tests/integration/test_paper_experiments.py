@@ -1,0 +1,145 @@
+"""Small-scale assertions of the paper's experimental claims.
+
+The benchmarks regenerate the full tables; these tests pin the *shape*
+of each result at test-friendly scale so regressions are caught by
+``pytest tests/``:
+
+* Figure 3 — ``cpu_tuple_cost`` falls with the CPU share and rises with
+  the memory share.
+* Figure 4 — Q13 is far more CPU-sensitive than Q4, for both estimated
+  and measured times, and estimates rank allocations like measurements.
+* Figure 5 — shifting CPU from the Q4 workload to the Q13 workload
+  improves the Q13 workload substantially while degrading Q4 little.
+"""
+
+import pytest
+
+from repro.core.cost_model import MeasuredCostModel, OptimizerCostModel
+from repro.core.problem import WorkloadSpec
+from repro.virt.resources import ResourceVector
+from repro.workloads import build_tpch_database, tpch_query
+from repro.workloads.workload import Workload
+
+CPU_LEVELS = (0.25, 0.5, 0.75)
+
+
+def alloc(cpu, memory=0.5, io=0.5):
+    return ResourceVector.of(cpu=cpu, memory=memory, io=io)
+
+
+@pytest.fixture(scope="module")
+def tpch(lab_machine):
+    # Scale factor 0.01 puts lineitem (~1100 pages) beyond every VM's
+    # buffer pool on the laboratory machine while orders/customer fit at
+    # moderate memory shares — the same database-size-to-RAM regime as
+    # the paper's 4 GB database on a 4 GB host. Smaller scales lose
+    # Q4's I/O-bound character.
+    return build_tpch_database(
+        scale_factor=0.01, tables=["customer", "orders", "lineitem"],
+        name="paper",
+    )
+
+
+@pytest.fixture(scope="module")
+def q4_spec(tpch):
+    return WorkloadSpec(Workload("q4", [tpch_query("Q4")]), tpch)
+
+
+@pytest.fixture(scope="module")
+def q13_spec(tpch):
+    return WorkloadSpec(Workload("q13", [tpch_query("Q13")]), tpch)
+
+
+class TestFigure3Shape:
+    def test_cpu_tuple_cost_sensitive_to_cpu(self, calibration_cache):
+        values = [
+            calibration_cache.params_for(alloc(cpu)).cpu_tuple_cost
+            for cpu in CPU_LEVELS
+        ]
+        assert values[0] > values[1] > values[2]
+
+    def test_cpu_tuple_cost_sensitive_to_memory(self, calibration_cache):
+        values = [
+            calibration_cache.params_for(
+                ResourceVector.of(cpu=0.5, memory=m, io=0.5)
+            ).cpu_tuple_cost
+            for m in (0.25, 0.75)
+        ]
+        assert values[1] > values[0]
+
+
+class TestFigure4Shape:
+    @pytest.fixture(scope="class")
+    def sensitivities(self, q4_spec, q13_spec, lab_machine, calibration_cache):
+        estimated = OptimizerCostModel(calibration_cache)
+        measured = MeasuredCostModel(lab_machine, calibration=calibration_cache)
+        out = {}
+        for label, spec in (("q4", q4_spec), ("q13", q13_spec)):
+            est = [estimated.cost(spec, alloc(c)) for c in CPU_LEVELS]
+            act = [measured.cost(spec, alloc(c)) for c in CPU_LEVELS]
+            out[label] = {
+                "est": [v / est[1] for v in est],
+                "act": [v / act[1] for v in act],
+            }
+        return out
+
+    def test_q13_strongly_cpu_sensitive(self, sensitivities):
+        spread = sensitivities["q13"]["act"][0] / sensitivities["q13"]["act"][2]
+        assert spread > 1.5
+
+    def test_q4_weakly_cpu_sensitive(self, sensitivities):
+        spread = sensitivities["q4"]["act"][0] / sensitivities["q4"]["act"][2]
+        assert spread < 1.35
+
+    def test_q13_more_sensitive_than_q4(self, sensitivities):
+        q13 = sensitivities["q13"]["act"][0] / sensitivities["q13"]["act"][2]
+        q4 = sensitivities["q4"]["act"][0] / sensitivities["q4"]["act"][2]
+        assert q13 > q4
+
+    def test_estimates_rank_like_measurements(self, sensitivities):
+        for query in ("q4", "q13"):
+            est = sensitivities[query]["est"]
+            act = sensitivities[query]["act"]
+            assert sorted(range(3), key=lambda i: est[i]) == \
+                sorted(range(3), key=lambda i: act[i])
+
+    def test_estimated_q13_sensitivity_matches_direction(self, sensitivities):
+        est = sensitivities["q13"]["est"]
+        assert est[0] > est[1] > est[2]
+
+
+class TestFigure5Shape:
+    @pytest.fixture(scope="class")
+    def workload_times(self, tpch, lab_machine, calibration_cache):
+        q4_workload = WorkloadSpec(
+            Workload.repeat("w-q4", tpch_query("Q4"), 3), tpch
+        )
+        q13_workload = WorkloadSpec(
+            Workload.repeat("w-q13", tpch_query("Q13"), 9), tpch
+        )
+        measured = MeasuredCostModel(lab_machine, calibration=calibration_cache)
+        return {
+            "default": {
+                "q4": measured.cost(q4_workload, alloc(0.5)),
+                "q13": measured.cost(q13_workload, alloc(0.5)),
+            },
+            "designed": {
+                "q4": measured.cost(q4_workload, alloc(0.25)),
+                "q13": measured.cost(q13_workload, alloc(0.75)),
+            },
+        }
+
+    def test_q13_workload_improves_substantially(self, workload_times):
+        improvement = 1 - workload_times["designed"]["q13"] / \
+            workload_times["default"]["q13"]
+        assert improvement > 0.15  # paper reports ~30%
+
+    def test_q4_workload_barely_hurt(self, workload_times):
+        degradation = workload_times["designed"]["q4"] / \
+            workload_times["default"]["q4"] - 1
+        assert degradation < 0.25
+
+    def test_total_improves(self, workload_times):
+        default_total = sum(workload_times["default"].values())
+        designed_total = sum(workload_times["designed"].values())
+        assert designed_total < default_total

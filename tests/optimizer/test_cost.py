@@ -1,0 +1,126 @@
+"""Tests for the operator cost formulas."""
+
+import pytest
+
+from repro.engine.expr import BinaryOp, ColumnRef, LikeExpr, Literal
+from repro.optimizer import cost as costf
+from repro.optimizer.params import OptimizerParameters
+
+P = OptimizerParameters.defaults()
+
+
+class TestPredicateCost:
+    def test_none_is_free(self):
+        assert costf.predicate_cpu_cost(None, P) == 0.0
+
+    def test_scales_with_op_count(self):
+        one = BinaryOp("<", ColumnRef("t", "a"), Literal(1))
+        two = BinaryOp("and", one, one)
+        assert costf.predicate_cpu_cost(two, P) > costf.predicate_cpu_cost(one, P)
+
+    def test_like_adds_byte_cost(self):
+        plain = BinaryOp("<", ColumnRef("t", "a"), Literal(1))
+        like = LikeExpr(ColumnRef("t", "c"), "%x%")
+        assert costf.predicate_cpu_cost(like, P) > costf.predicate_cpu_cost(plain, P)
+
+    def test_expr_like_bytes_uses_default_width(self):
+        like = LikeExpr(ColumnRef("t", "c"), "%x%")
+        assert costf.expr_like_bytes(like, None) == costf.DEFAULT_TEXT_WIDTH
+
+    def test_nested_like_found(self):
+        expr = BinaryOp("and",
+                        LikeExpr(ColumnRef("t", "c"), "%x%"),
+                        LikeExpr(ColumnRef("t", "d"), "%y%"))
+        assert costf.expr_like_bytes(expr, None) == 2 * costf.DEFAULT_TEXT_WIDTH
+
+
+class TestScanCosts:
+    def test_seq_scan_io_plus_cpu(self):
+        cost = costf.seq_scan_cost(P, n_pages=100, n_rows=1000,
+                                   filter_cost_per_tuple=0.0)
+        assert cost == pytest.approx(100 * 1.0 + 1000 * 0.01)
+
+    def test_seq_scan_filter_adds(self):
+        base = costf.seq_scan_cost(P, 100, 1000, 0.0)
+        filtered = costf.seq_scan_cost(P, 100, 1000, 0.005)
+        assert filtered == pytest.approx(base + 1000 * 0.005)
+
+    def test_cache_discount_monotone(self):
+        small = costf.cache_discount(P, relation_pages=1000)
+        large = costf.cache_discount(P, relation_pages=10 * P.effective_cache_size)
+        assert small > large
+
+    def test_cache_discount_bounds(self):
+        assert 0 <= costf.cache_discount(P, 10**9) <= 0.9
+        assert costf.cache_discount(P, 0) == 1.0
+
+    def test_index_scan_cheaper_when_cached(self):
+        hot = P.with_values(effective_cache_size=10**6)
+        cold = P.with_values(effective_cache_size=1)
+        args = dict(index_height=3, leaf_pages_fetched=10,
+                    tuples_fetched=500, heap_pages=1000,
+                    filter_cost_per_tuple=0.0)
+        assert costf.index_scan_cost(hot, **args) < costf.index_scan_cost(cold, **args)
+
+    def test_selective_index_beats_seq_scan(self):
+        seq = costf.seq_scan_cost(P, n_pages=10_000, n_rows=1_000_000,
+                                  filter_cost_per_tuple=0.0025)
+        index = costf.index_scan_cost(P, index_height=3, leaf_pages_fetched=2,
+                                      tuples_fetched=100, heap_pages=10_000,
+                                      filter_cost_per_tuple=0.0)
+        assert index < seq
+
+
+class TestJoinCosts:
+    def test_hash_join_includes_inputs(self):
+        cost = costf.hash_join_cost(P, outer_cost=50, inner_cost=30,
+                                    outer_rows=1000, inner_rows=100,
+                                    result_rows=1000)
+        assert cost > 80
+
+    def test_hash_build_side_matters(self):
+        small_build = costf.hash_join_cost(P, 0, 0, 1_000_000, 10, 100)
+        large_build = costf.hash_join_cost(P, 0, 0, 10, 1_000_000, 100)
+        assert small_build != large_build
+
+    def test_nested_loop_quadratic(self):
+        small = costf.nested_loop_cost(P, 0, 0, 100, 100, 10, 0.0025)
+        large = costf.nested_loop_cost(P, 0, 0, 1000, 1000, 10, 0.0025)
+        assert large > 50 * small
+
+    def test_hash_beats_nested_loop_for_large_equijoins(self):
+        hash_cost = costf.hash_join_cost(P, 0, 0, 10_000, 10_000, 10_000)
+        nl_cost = costf.nested_loop_cost(P, 0, 0, 10_000, 10_000, 10_000, 0.0025)
+        assert hash_cost < nl_cost
+
+    def test_merge_join_linear_walk(self):
+        cost = costf.merge_join_cost(P, 10, 10, 1000, 1000, 500)
+        assert cost == pytest.approx(20 + 2000 * P.cpu_operator_cost
+                                     + 500 * P.cpu_tuple_cost)
+
+
+class TestSortAndAggregate:
+    def test_sort_in_memory_no_io(self):
+        cost = costf.sort_cost(P, input_cost=0, n_rows=100, row_width=50, n_keys=1)
+        # Pure comparison CPU: 2 * n log2(n) * cpu_operator_cost.
+        assert cost == pytest.approx(
+            2 * 100 * 6.643856 * P.cpu_operator_cost, rel=1e-3
+        )
+
+    def test_sort_spills_beyond_workmem(self):
+        small = costf.sort_cost(P, 0, 1000, 100, 1)
+        huge = costf.sort_cost(P, 0, 10_000_000, 100, 1)
+        pages = (10_000_000 * 100) / 8192
+        assert huge > 2 * pages * P.seq_page_cost  # spill I/O dominates
+
+    def test_sort_empty_input(self):
+        assert costf.sort_cost(P, 5.0, 0, 100, 1) == 5.0
+
+    def test_aggregate_scales_with_input(self):
+        small = costf.aggregate_cost(P, 0, 1000, 10, 2, 0.005)
+        large = costf.aggregate_cost(P, 0, 100_000, 10, 2, 0.005)
+        assert large > 50 * small
+
+    def test_project_and_filter(self):
+        assert costf.project_cost(P, 10, 1000, 0.0025) > 10
+        assert costf.filter_cost(P, 10, 1000, 0.0025) == pytest.approx(12.5)

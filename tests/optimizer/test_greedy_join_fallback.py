@@ -1,0 +1,54 @@
+"""The join-order search must fall back to greedy beyond the DP limit."""
+
+import pytest
+
+from repro.engine.database import Database
+from repro.engine.plans import HashJoin, MergeJoin, NestedLoopJoin, walk
+from repro.engine.schema import Column, ColumnType, TableSchema
+from repro.optimizer.params import OptimizerParameters
+from repro.optimizer.planner import DP_RELATION_LIMIT, Planner
+
+
+@pytest.fixture(scope="module")
+def chain_db():
+    """A chain of 12 tiny tables joinable on shared keys: beyond the DP
+    limit, so the planner must take the greedy path."""
+    db = Database("chain", memory_pages=2048)
+    n_tables = DP_RELATION_LIMIT + 2
+    for i in range(n_tables):
+        db.create_table(TableSchema(f"t{i}", [
+            Column("k", ColumnType.INT),
+            Column(f"v{i}", ColumnType.INT),
+        ]))
+        db.load_rows(f"t{i}", [(j, j * (i + 1)) for j in range(20)])
+    db.analyze()
+    return db, n_tables
+
+
+def chain_sql(n_tables):
+    tables = ", ".join(f"t{i}" for i in range(n_tables))
+    joins = " and ".join(
+        f"t{i}.k = t{i + 1}.k" for i in range(n_tables - 1)
+    )
+    return f"select count(*) as n from {tables} where {joins}"
+
+
+def test_greedy_fallback_plans_and_answers(chain_db):
+    db, n_tables = chain_db
+    sql = chain_sql(n_tables)
+    planner = Planner(db.catalog, OptimizerParameters.defaults())
+    plan = planner.plan_sql(sql)
+    joins = [node for node in walk(plan)
+             if isinstance(node, (HashJoin, MergeJoin, NestedLoopJoin))]
+    assert len(joins) == n_tables - 1
+    result = db.run_plan(plan)
+    assert result.rows[0][0] == 20  # chain join on a shared key
+
+
+def test_greedy_fallback_avoids_cross_products(chain_db):
+    db, n_tables = chain_db
+    plan = Planner(db.catalog, OptimizerParameters.defaults()) \
+        .plan_sql(chain_sql(n_tables))
+    # Every join should be keyed (hash or merge), never a cross product.
+    nested = [node for node in walk(plan) if isinstance(node, NestedLoopJoin)]
+    assert all(node.predicate is not None for node in nested)

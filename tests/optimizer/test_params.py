@@ -1,0 +1,56 @@
+"""Tests for optimizer parameters."""
+
+import pytest
+
+from repro.optimizer.params import OptimizerParameters
+
+
+class TestDefaults:
+    def test_postgres_flavoured_defaults(self):
+        p = OptimizerParameters.defaults()
+        assert p.seq_page_cost == 1.0
+        assert p.random_page_cost == 4.0
+        assert p.cpu_tuple_cost == 0.01
+        assert p.cpu_operator_cost == 0.0025
+
+    def test_validate_accepts_defaults(self):
+        OptimizerParameters.defaults().validate()
+
+
+class TestManipulation:
+    def test_with_values(self):
+        p = OptimizerParameters.defaults().with_values(cpu_tuple_cost=0.05)
+        assert p.cpu_tuple_cost == 0.05
+        assert p.random_page_cost == 4.0  # untouched
+
+    def test_frozen(self):
+        with pytest.raises(AttributeError):
+            OptimizerParameters.defaults().cpu_tuple_cost = 1.0
+
+    def test_hashable_for_cache_keys(self):
+        a = OptimizerParameters.defaults()
+        b = OptimizerParameters.defaults()
+        assert len({a, b}) == 1
+
+    def test_as_dict_roundtrip(self):
+        p = OptimizerParameters.defaults()
+        d = p.as_dict()
+        assert d["cpu_tuple_cost"] == p.cpu_tuple_cost
+        assert set(d) >= {"seq_page_cost", "random_page_cost",
+                          "cpu_operator_cost", "effective_cache_size"}
+
+
+class TestConversion:
+    def test_cost_to_seconds(self):
+        p = OptimizerParameters.defaults().with_values(seconds_per_seq_page=0.001)
+        assert p.cost_to_seconds(500.0) == pytest.approx(0.5)
+
+    @pytest.mark.parametrize("field,value", [
+        ("cpu_tuple_cost", -1.0),
+        ("seq_page_cost", 0.0),
+        ("seconds_per_seq_page", 0.0),
+    ])
+    def test_validate_rejects_bad_values(self, field, value):
+        p = OptimizerParameters.defaults().with_values(**{field: value})
+        with pytest.raises(ValueError):
+            p.validate()

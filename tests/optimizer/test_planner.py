@@ -1,0 +1,233 @@
+"""Tests for the planner: plan shapes, access paths, join ordering, and
+correct execution of planned queries."""
+
+import pytest
+
+from repro.engine.database import Database
+from repro.engine.plans import (
+    Aggregate,
+    Filter,
+    HashJoin,
+    IndexScan,
+    JoinType,
+    Limit,
+    MergeJoin,
+    NestedLoopJoin,
+    PlanNode,
+    Project,
+    SeqScan,
+    Sort,
+    walk,
+)
+from repro.engine.schema import Column, ColumnType, TableSchema
+from repro.optimizer.params import OptimizerParameters
+from repro.optimizer.planner import Planner
+from repro.util.errors import PlanningError
+
+
+@pytest.fixture
+def db():
+    db = Database("plan", memory_pages=4096)
+    db.create_table(TableSchema("big", [
+        Column("id", ColumnType.INT),
+        Column("grp", ColumnType.INT),
+        Column("note", ColumnType.TEXT, avg_width=16),
+    ]))
+    db.create_table(TableSchema("small", [
+        Column("key", ColumnType.INT),
+        Column("label", ColumnType.TEXT, avg_width=10),
+    ]))
+    db.create_table(TableSchema("tiny", [
+        Column("tkey", ColumnType.INT),
+        Column("tname", ColumnType.TEXT, avg_width=10),
+    ]))
+    db.load_rows("big", [(i, i % 50, f"note {i}") for i in range(20_000)])
+    db.load_rows("small", [(i, f"label {i}") for i in range(50)])
+    db.load_rows("tiny", [(i, f"tiny {i}") for i in range(5)])
+    db.create_index("big_id", "big", "id", unique=True)
+    db.analyze()
+    return db
+
+
+@pytest.fixture
+def planner(db):
+    return Planner(db.catalog, OptimizerParameters.defaults())
+
+
+def nodes_of(plan: PlanNode, node_type):
+    return [node for node in walk(plan) if isinstance(node, node_type)]
+
+
+class TestAccessPaths:
+    def test_full_scan_uses_seq(self, planner):
+        plan = planner.plan_sql("select id from big")
+        assert nodes_of(plan, SeqScan)
+        assert not nodes_of(plan, IndexScan)
+
+    def test_selective_predicate_uses_index(self, planner):
+        plan = planner.plan_sql("select grp from big where id = 17")
+        scans = nodes_of(plan, IndexScan)
+        assert scans and scans[0].index_name == "big_id"
+        assert scans[0].low == 17 and scans[0].high == 17
+
+    def test_narrow_range_uses_index(self, planner):
+        plan = planner.plan_sql("select grp from big where id between 5 and 20")
+        scans = nodes_of(plan, IndexScan)
+        assert scans
+        assert scans[0].low == 5 and scans[0].high == 20
+
+    def test_wide_range_prefers_seq_scan(self, planner):
+        plan = planner.plan_sql("select grp from big where id < 19000")
+        assert nodes_of(plan, SeqScan)
+        assert not nodes_of(plan, IndexScan)
+
+    def test_unindexed_predicate_stays_seq(self, planner):
+        plan = planner.plan_sql("select id from big where grp = 7")
+        scans = nodes_of(plan, SeqScan)
+        assert scans and scans[0].filter_expr is not None
+
+    def test_high_random_page_cost_discourages_index(self, db):
+        expensive = Planner(db.catalog, OptimizerParameters.defaults()
+                            .with_values(random_page_cost=10_000.0))
+        plan = expensive.plan_sql("select grp from big where id between 5 and 500")
+        assert not nodes_of(plan, IndexScan)
+
+    def test_estimates_annotated(self, planner):
+        plan = planner.plan_sql("select id from big where grp = 7")
+        assert plan.est_total_cost > 0
+        scan = nodes_of(plan, SeqScan)[0]
+        assert scan.est_rows == pytest.approx(400, rel=0.5)
+
+
+class TestJoins:
+    def test_equijoin_uses_hash_or_merge(self, planner):
+        plan = planner.plan_sql(
+            "select label from big, small where grp = key"
+        )
+        assert nodes_of(plan, HashJoin) or nodes_of(plan, MergeJoin)
+
+    def test_join_order_three_tables(self, planner):
+        plan = planner.plan_sql(
+            "select label, tname from big, small, tiny "
+            "where grp = key and key = tkey"
+        )
+        joins = nodes_of(plan, (HashJoin, MergeJoin, NestedLoopJoin))
+        assert len(joins) == 2
+
+    def test_cross_join_falls_back_to_nested_loop(self, planner):
+        plan = planner.plan_sql("select label, tname from small, tiny")
+        assert nodes_of(plan, NestedLoopJoin)
+
+    def test_non_equi_join_uses_nested_loop(self, planner):
+        plan = planner.plan_sql(
+            "select label from small, tiny where key < tkey"
+        )
+        assert nodes_of(plan, NestedLoopJoin)
+
+    def test_left_join_plan(self, planner):
+        plan = planner.plan_sql(
+            "select key, tname from small left outer join tiny on key = tkey"
+        )
+        joins = nodes_of(plan, (HashJoin, NestedLoopJoin))
+        assert joins[0].join_type is JoinType.LEFT
+
+    def test_semi_join_from_exists(self, planner):
+        plan = planner.plan_sql(
+            "select key from small where exists ("
+            "  select 1 from tiny where tkey = key)"
+        )
+        joins = nodes_of(plan, (HashJoin, NestedLoopJoin))
+        assert joins[0].join_type is JoinType.SEMI
+
+    def test_anti_join_from_not_exists(self, planner):
+        plan = planner.plan_sql(
+            "select key from small where not exists ("
+            "  select 1 from tiny where tkey = key)"
+        )
+        joins = nodes_of(plan, (HashJoin, NestedLoopJoin))
+        assert joins[0].join_type is JoinType.ANTI
+
+    def test_single_side_predicate_pushed_below_join(self, planner):
+        plan = planner.plan_sql(
+            "select label from big, small where grp = key and id < 10"
+        )
+        index_scans = nodes_of(plan, IndexScan)
+        seq_scans = [s for s in nodes_of(plan, SeqScan)
+                     if s.table_name == "big" and s.filter_expr is not None]
+        assert index_scans or seq_scans
+
+    def test_left_join_inner_predicate_pushed_to_inner(self, planner):
+        plan = planner.plan_sql(
+            "select key from small left outer join tiny "
+            "on key = tkey and tname like '%x%'"
+        )
+        tiny_scans = [s for s in nodes_of(plan, SeqScan) if s.table_name == "tiny"]
+        assert tiny_scans and tiny_scans[0].filter_expr is not None
+
+
+class TestUpperPlan:
+    def test_aggregate_project_sort_limit_stack(self, planner):
+        plan = planner.plan_sql(
+            "select grp, count(*) as n from big group by grp "
+            "order by n desc limit 5"
+        )
+        assert isinstance(plan, Limit)
+        assert isinstance(plan.input, Sort)
+        assert isinstance(plan.input.input, Project)
+        assert isinstance(plan.input.input.input, Aggregate)
+
+    def test_group_count_estimated_from_stats(self, planner):
+        plan = planner.plan_sql("select grp, count(*) from big group by grp")
+        agg = nodes_of(plan, Aggregate)[0]
+        assert agg.est_rows == pytest.approx(50, rel=0.2)
+
+    def test_distinct_deduplicates(self, planner, db):
+        plan = planner.plan_sql("select distinct grp from big")
+        rows = db.run_plan(plan).rows
+        assert sorted(row[0] for row in rows) == list(range(50))
+
+    def test_explain_renders_tree(self, planner):
+        plan = planner.plan_sql(
+            "select grp, count(*) from big where id < 100 group by grp"
+        )
+        text = plan.explain()
+        assert "Aggregate" in text
+        assert "cost=" in text and "rows=" in text
+
+
+class TestPlannedExecutionCorrectness:
+    """Planned queries must return the same answers regardless of the
+    plan shape the cost model picks."""
+
+    def test_join_result_correct(self, planner, db):
+        plan = planner.plan_sql(
+            "select key, count(*) as n from big, small "
+            "where grp = key group by key order by key"
+        )
+        rows = db.run_plan(plan).rows
+        assert len(rows) == 50
+        assert all(n == 400 for _key, n in rows)
+
+    def test_plans_agree_across_parameter_sets(self, db):
+        sql = ("select grp, count(*) as n from big "
+               "where id between 100 and 300 group by grp order by grp")
+        reference = None
+        for random_cost in (0.1, 4.0, 10_000.0):
+            planner = Planner(db.catalog, OptimizerParameters.defaults()
+                              .with_values(random_page_cost=random_cost))
+            rows = db.run_plan(planner.plan_sql(sql)).rows
+            if reference is None:
+                reference = rows
+            else:
+                assert rows == reference
+
+    def test_leftover_conjuncts_never_dropped(self, planner, db):
+        # A predicate spanning the LEFT join's two sides must survive as
+        # a post-join filter.
+        plan = planner.plan_sql(
+            "select key, tkey from small left outer join tiny on key = tkey "
+            "where key < 3"
+        )
+        rows = db.run_plan(plan).rows
+        assert all(row[0] < 3 for row in rows)
+        assert len(rows) == 3

@@ -1,0 +1,114 @@
+"""Unit tests for the planner's internal helpers."""
+
+import pytest
+
+from repro.engine.expr import BinaryOp, ColumnRef, LikeExpr, Literal
+from repro.optimizer.planner import (
+    _ConjunctPool,
+    _cross_conjuncts,
+    _equi_pair,
+    _extract_bound,
+    _split_equi,
+)
+
+
+def eq(left_alias, left_col, right_alias, right_col):
+    return BinaryOp("=", ColumnRef(left_alias, left_col),
+                    ColumnRef(right_alias, right_col))
+
+
+def local(alias, col, op="<", value=5):
+    return BinaryOp(op, ColumnRef(alias, col), Literal(value))
+
+
+class TestConjunctPool:
+    def test_take_single_alias(self):
+        pool = _ConjunctPool([local("t", "a"), eq("t", "a", "u", "x")])
+        taken = pool.take_single_alias("t")
+        assert len(taken) == 1
+        assert len(pool.remaining()) == 1
+
+    def test_take_multi_alias_within_region(self):
+        join_pred = eq("t", "a", "u", "x")
+        outside = eq("t", "a", "v", "y")
+        pool = _ConjunctPool([join_pred, outside])
+        taken = pool.take_multi_alias(frozenset({"t", "u"}))
+        assert taken == [join_pred]
+        assert pool.remaining() == [outside]
+
+    def test_take_covered(self):
+        spanning = eq("t", "a", "u", "x")
+        pool = _ConjunctPool([spanning])
+        assert pool.take_covered(frozenset({"t"})) == []
+        assert pool.take_covered(frozenset({"t", "u"})) == [spanning]
+        assert pool.remaining() == []
+
+    def test_constant_conjunct_never_taken_as_covered(self):
+        constant = BinaryOp("=", Literal(1), Literal(1))
+        pool = _ConjunctPool([constant])
+        assert pool.take_covered(frozenset({"t"})) == []
+
+
+class TestEquiSplit:
+    def test_simple_pair_oriented(self):
+        pair = _equi_pair(eq("t", "a", "u", "x"),
+                          frozenset({"t"}), frozenset({"u"}))
+        assert pair is not None
+        outer, inner = pair
+        assert outer.alias == "t" and inner.alias == "u"
+
+    def test_reversed_pair_flipped(self):
+        pair = _equi_pair(eq("u", "x", "t", "a"),
+                          frozenset({"t"}), frozenset({"u"}))
+        outer, inner = pair
+        assert outer.alias == "t" and inner.alias == "u"
+
+    def test_non_equality_rejected(self):
+        pred = BinaryOp("<", ColumnRef("t", "a"), ColumnRef("u", "x"))
+        assert _equi_pair(pred, frozenset({"t"}), frozenset({"u"})) is None
+
+    def test_same_side_rejected(self):
+        pred = eq("t", "a", "t", "b")
+        assert _equi_pair(pred, frozenset({"t"}), frozenset({"u"})) is None
+
+    def test_split_separates_residual(self):
+        key = eq("t", "a", "u", "x")
+        residual = BinaryOp("<", ColumnRef("t", "b"), ColumnRef("u", "y"))
+        pairs, rest = _split_equi([key, residual],
+                                  frozenset({"t"}), frozenset({"u"}))
+        assert len(pairs) == 1
+        assert rest == [residual]
+
+
+class TestCrossConjuncts:
+    def test_selects_only_spanning(self):
+        spanning = eq("t", "a", "u", "x")
+        one_sided = local("t", "a")
+        third_party = eq("t", "a", "v", "z")
+        out = _cross_conjuncts([spanning, one_sided, third_party],
+                               frozenset({"t"}), frozenset({"u"}))
+        assert out == [spanning]
+
+
+class TestExtractBound:
+    def test_column_op_literal(self):
+        assert _extract_bound(local("t", "a", "<", 9), "t", "a") == ("<", 9)
+        assert _extract_bound(local("t", "a", "=", 3), "t", "a") == ("=", 3)
+
+    def test_literal_op_column_flipped(self):
+        pred = BinaryOp(">", Literal(9), ColumnRef("t", "a"))
+        assert _extract_bound(pred, "t", "a") == ("<", 9)
+
+    def test_other_column_ignored(self):
+        assert _extract_bound(local("t", "b"), "t", "a") is None
+
+    def test_other_alias_ignored(self):
+        assert _extract_bound(local("u", "a"), "t", "a") is None
+
+    def test_null_literal_ignored(self):
+        pred = BinaryOp("<", ColumnRef("t", "a"), Literal(None))
+        assert _extract_bound(pred, "t", "a") is None
+
+    def test_non_sargable_ignored(self):
+        assert _extract_bound(LikeExpr(ColumnRef("t", "a"), "%x%"),
+                              "t", "a") is None

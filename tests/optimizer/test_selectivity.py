@@ -1,0 +1,158 @@
+"""Tests for selectivity estimation."""
+
+import pytest
+
+from repro.engine.expr import (
+    BinaryOp,
+    ColumnRef,
+    InListExpr,
+    IsNullExpr,
+    LikeExpr,
+    Literal,
+    NotExpr,
+)
+from repro.engine.statistics import analyze_column, TableStats
+from repro.optimizer.selectivity import (
+    DEFAULT_EQ_SELECTIVITY,
+    DEFAULT_RANGE_SELECTIVITY,
+    SelectivityEstimator,
+)
+
+
+@pytest.fixture
+def estimator():
+    stats = TableStats(table_name="t", n_rows=1000, n_pages=20)
+    stats.columns["a"] = analyze_column("a", list(range(1000)))
+    stats.columns["b"] = analyze_column("b", [i % 10 for i in range(1000)])
+    stats.columns["n"] = analyze_column("n", [1, None, None, None] * 250)
+    other = TableStats(table_name="u", n_rows=100, n_pages=5)
+    other.columns["x"] = analyze_column("x", list(range(100)))
+    return SelectivityEstimator({"t": stats, "u": other, "derived": None})
+
+
+def col(name, alias="t"):
+    return ColumnRef(alias, name)
+
+
+class TestComparisons:
+    def test_equality_uniform(self, estimator):
+        sel = estimator.estimate(BinaryOp("=", col("a"), Literal(500)))
+        assert sel == pytest.approx(0.001, abs=0.001)
+
+    def test_equality_low_cardinality(self, estimator):
+        sel = estimator.estimate(BinaryOp("=", col("b"), Literal(3)))
+        assert sel == pytest.approx(0.1, abs=0.03)
+
+    def test_range_half(self, estimator):
+        sel = estimator.estimate(BinaryOp("<", col("a"), Literal(500)))
+        assert sel == pytest.approx(0.5, abs=0.05)
+
+    def test_range_flipped_constant_side(self, estimator):
+        sel = estimator.estimate(BinaryOp(">", Literal(500), col("a")))
+        assert sel == pytest.approx(0.5, abs=0.05)
+
+    def test_not_equal(self, estimator):
+        sel = estimator.estimate(BinaryOp("<>", col("b"), Literal(3)))
+        assert sel == pytest.approx(0.9, abs=0.03)
+
+    def test_column_vs_column_join(self, estimator):
+        sel = estimator.estimate(BinaryOp("=", col("a"), col("x", "u")))
+        assert sel == pytest.approx(1.0 / 1000)
+
+    def test_no_stats_defaults(self, estimator):
+        sel = estimator.estimate(BinaryOp("=", col("d", "derived"), Literal(1)))
+        assert sel == DEFAULT_EQ_SELECTIVITY
+
+    def test_expression_comparison_defaults(self, estimator):
+        expr = BinaryOp("<", BinaryOp("+", col("a"), Literal(1)), col("b"))
+        assert estimator.estimate(expr) == DEFAULT_RANGE_SELECTIVITY
+
+
+class TestConnectives:
+    def test_and_multiplies(self, estimator):
+        expr = BinaryOp("and",
+                        BinaryOp("<", col("a"), Literal(500)),
+                        BinaryOp("=", col("b"), Literal(3)))
+        assert estimator.estimate(expr) == pytest.approx(0.05, abs=0.02)
+
+    def test_or_inclusion_exclusion(self, estimator):
+        half = BinaryOp("<", col("a"), Literal(500))
+        expr = BinaryOp("or", half, half)
+        assert estimator.estimate(expr) == pytest.approx(0.75, abs=0.05)
+
+    def test_not_complements(self, estimator):
+        expr = NotExpr(BinaryOp("<", col("a"), Literal(500)))
+        assert estimator.estimate(expr) == pytest.approx(0.5, abs=0.05)
+
+    def test_conjunct_list_independent_columns(self, estimator):
+        conjuncts = [BinaryOp("<", col("a"), Literal(500)),
+                     BinaryOp("=", col("b"), Literal(3))]
+        assert estimator.estimate_conjuncts(conjuncts) == \
+            pytest.approx(0.05, abs=0.02)
+
+    def test_range_pair_same_column_combined(self, estimator):
+        # a >= 200 AND a < 300 is one interval (10%), not 0.8 * 0.3.
+        conjuncts = [BinaryOp(">=", col("a"), Literal(200)),
+                     BinaryOp("<", col("a"), Literal(300))]
+        assert estimator.estimate_conjuncts(conjuncts) == \
+            pytest.approx(0.1, abs=0.03)
+
+    def test_duplicate_bounds_not_double_counted(self, estimator):
+        conjuncts = [BinaryOp("<", col("a"), Literal(500)),
+                     BinaryOp("<", col("a"), Literal(500))]
+        assert estimator.estimate_conjuncts(conjuncts) == \
+            pytest.approx(0.5, abs=0.05)
+
+    def test_contradictory_bounds_near_zero(self, estimator):
+        conjuncts = [BinaryOp(">", col("a"), Literal(800)),
+                     BinaryOp("<", col("a"), Literal(100))]
+        assert estimator.estimate_conjuncts(conjuncts) < 0.05
+
+    def test_empty_conjuncts(self, estimator):
+        assert estimator.estimate_conjuncts([]) == 1.0
+
+    def test_none_predicate(self, estimator):
+        assert estimator.estimate(None) == 1.0
+
+
+class TestSpecialPredicates:
+    def test_is_null_uses_null_fraction(self, estimator):
+        assert estimator.estimate(IsNullExpr(col("n"))) == pytest.approx(0.75)
+        assert estimator.estimate(IsNullExpr(col("n"), negated=True)) == \
+            pytest.approx(0.25)
+
+    def test_like_unanchored_small(self, estimator):
+        sel = estimator.estimate(LikeExpr(col("a"), "%special%"))
+        assert 0 < sel < 0.02
+
+    def test_like_anchored_larger_than_unanchored(self, estimator):
+        anchored = estimator.estimate(LikeExpr(col("a"), "PROMO%"))
+        unanchored = estimator.estimate(LikeExpr(col("a"), "%PROMO%"))
+        assert anchored > unanchored
+
+    def test_not_like_complements(self, estimator):
+        positive = estimator.estimate(LikeExpr(col("a"), "%x%"))
+        negative = estimator.estimate(LikeExpr(col("a"), "%x%", negated=True))
+        assert positive + negative == pytest.approx(1.0)
+
+    def test_longer_literal_more_selective(self, estimator):
+        short = estimator.estimate(LikeExpr(col("a"), "%ab%"))
+        long = estimator.estimate(LikeExpr(col("a"), "%abcdefghij%"))
+        assert long < short
+
+    def test_in_list_sums(self, estimator):
+        expr = InListExpr(col("b"), (1, 2, 3))
+        assert estimator.estimate(expr) == pytest.approx(0.3, abs=0.05)
+
+    def test_in_list_capped_at_one(self, estimator):
+        expr = InListExpr(col("b"), tuple(range(100)))
+        assert estimator.estimate(expr) <= 1.0
+
+    def test_result_always_in_unit_interval(self, estimator):
+        exprs = [
+            BinaryOp("<", col("a"), Literal(-100)),
+            BinaryOp(">", col("a"), Literal(10_000)),
+            InListExpr(col("b"), (), negated=True),
+        ]
+        for expr in exprs:
+            assert 0.0 <= estimator.estimate(expr) <= 1.0

@@ -1,0 +1,52 @@
+"""Property tests: allocation matrices and search discretization."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.search import compositions
+from repro.virt.resources import ResourceKind, ResourceVector, equal_share
+
+shares = st.floats(min_value=0.0, max_value=1.0, allow_nan=False)
+
+
+@given(shares, shares, shares)
+def test_vector_roundtrip(cpu, memory, io):
+    vec = ResourceVector.of(cpu=cpu, memory=memory, io=io)
+    assert vec.as_tuple() == (cpu, memory, io)
+
+
+@given(shares, shares, shares, shares)
+def test_with_share_only_changes_target(cpu, memory, io, new_cpu):
+    vec = ResourceVector.of(cpu=cpu, memory=memory, io=io)
+    updated = vec.with_share(ResourceKind.CPU, new_cpu)
+    assert updated.cpu == new_cpu
+    assert updated.memory == memory
+    assert updated.io == io
+
+
+@given(st.integers(min_value=1, max_value=12))
+def test_equal_share_sums_to_one(n):
+    vec = equal_share(n)
+    assert abs(n * vec.cpu - 1.0) < 1e-9
+
+
+@given(st.integers(min_value=1, max_value=12),
+       st.integers(min_value=1, max_value=4))
+@settings(max_examples=60)
+def test_compositions_partition_exactly(total, parts):
+    count = 0
+    for combo in compositions(total, parts):
+        count += 1
+        assert sum(combo) == total
+        assert all(part >= 1 for part in combo)
+    # Stars and bars: C(total-1, parts-1).
+    import math
+
+    expected = math.comb(total - 1, parts - 1) if total >= parts else 0
+    assert count == expected
+
+
+@given(st.integers(min_value=2, max_value=10),
+       st.integers(min_value=2, max_value=3))
+def test_compositions_distinct(total, parts):
+    combos = list(compositions(total, parts))
+    assert len(combos) == len(set(combos))

@@ -1,0 +1,62 @@
+"""Property tests: buffer-pool invariants under arbitrary access traces."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.engine.bufferpool import BufferPool
+from repro.engine.trace import WorkTrace
+
+accesses = st.lists(
+    st.tuples(
+        st.integers(min_value=1, max_value=3),     # file id
+        st.integers(min_value=0, max_value=40),    # page number
+        st.booleans(),                             # sequential
+        st.booleans(),                             # bypass
+    ),
+    max_size=300,
+)
+
+
+@given(st.integers(min_value=0, max_value=20), accesses)
+def test_residency_never_exceeds_capacity(capacity, trace_ops):
+    pool = BufferPool(capacity)
+    trace = WorkTrace()
+    for file_id, page, sequential, bypass in trace_ops:
+        pool.access(file_id, page, trace, sequential=sequential, bypass=bypass)
+        assert len(pool) <= capacity
+
+
+@given(st.integers(min_value=0, max_value=20), accesses)
+def test_counter_conservation(capacity, trace_ops):
+    pool = BufferPool(capacity)
+    trace = WorkTrace()
+    for file_id, page, sequential, bypass in trace_ops:
+        pool.access(file_id, page, trace, sequential=sequential, bypass=bypass)
+    assert pool.hits + pool.misses == len(trace_ops)
+    assert trace.buffer_hits == pool.hits
+    assert trace.total_page_reads == pool.misses
+    assert trace.seq_page_requests + trace.random_page_requests == len(trace_ops)
+
+
+@given(accesses)
+def test_hit_reported_iff_resident(trace_ops):
+    pool = BufferPool(8)
+    trace = WorkTrace()
+    for file_id, page, sequential, bypass in trace_ops:
+        resident_before = pool.contains(file_id, page)
+        hit = pool.access(file_id, page, trace, sequential=sequential,
+                          bypass=bypass)
+        assert hit == resident_before
+
+
+@given(accesses, st.integers(min_value=0, max_value=30))
+@settings(max_examples=50)
+def test_resize_preserves_invariants(trace_ops, new_capacity):
+    pool = BufferPool(16)
+    trace = WorkTrace()
+    for file_id, page, sequential, bypass in trace_ops:
+        pool.access(file_id, page, trace, sequential=sequential, bypass=bypass)
+    pool.resize(new_capacity)
+    assert len(pool) <= new_capacity
+    # Pool still functions after resizing.
+    pool.access(1, 0, trace)
+    assert len(pool) <= max(new_capacity, 0) or new_capacity == 0

@@ -1,0 +1,76 @@
+"""Property tests: statistics invariants under arbitrary data."""
+
+from hypothesis import assume, given, settings, strategies as st
+
+from repro.engine.statistics import analyze_column
+
+values_lists = st.lists(
+    st.one_of(st.integers(min_value=-100, max_value=100), st.none()),
+    min_size=0, max_size=300,
+)
+
+
+@given(values_lists)
+def test_summary_counts_consistent(values):
+    stats = analyze_column("c", values)
+    assert stats.n_values == len(values)
+    non_null = [v for v in values if v is not None]
+    assert stats.n_distinct == len(set(non_null))
+    if values:
+        assert stats.null_fraction == (len(values) - len(non_null)) / len(values)
+    if non_null:
+        assert stats.min_value == min(non_null)
+        assert stats.max_value == max(non_null)
+
+
+@given(values_lists, st.integers(min_value=-120, max_value=120))
+def test_selectivities_bounded(values, probe):
+    stats = analyze_column("c", values)
+    assert 0.0 <= stats.selectivity_eq(probe) <= 1.0
+    assert 0.0 <= stats.selectivity_range(None, probe) <= 1.0
+    assert 0.0 <= stats.selectivity_range(probe, None) <= 1.0
+
+
+@given(values_lists)
+def test_full_range_covers_non_nulls(values):
+    assume(any(v is not None for v in values))
+    stats = analyze_column("c", values)
+    full = stats.selectivity_range(None, None)
+    assert full == 1.0 - stats.null_fraction
+
+
+@given(values_lists,
+       st.integers(min_value=-120, max_value=120),
+       st.integers(min_value=-120, max_value=120))
+@settings(max_examples=150)
+def test_range_monotone_in_upper_bound(values, a, b):
+    assume(any(v is not None for v in values))
+    lo, hi = min(a, b), max(a, b)
+    stats = analyze_column("c", values)
+    narrow = stats.selectivity_range(None, lo)
+    wide = stats.selectivity_range(None, hi)
+    assert wide >= narrow - 0.05  # histogram resolution slack
+
+
+@given(
+    st.lists(st.integers(min_value=-100, max_value=100),
+             min_size=30, max_size=300),
+    st.integers(min_value=-120, max_value=120),
+)
+@settings(max_examples=150)
+def test_range_estimate_tracks_truth(values, cut):
+    """The histogram estimate must be within coarse bounds of reality."""
+    stats = analyze_column("c", values)
+    estimated = stats.selectivity_range(None, cut, high_inclusive=True)
+    actual = sum(1 for v in values if v <= cut) / len(values)
+    assert abs(estimated - actual) < 0.25
+
+
+@given(values_lists)
+def test_mcv_frequencies_valid(values):
+    stats = analyze_column("c", values)
+    total = 0.0
+    for _value, freq in stats.mcv:
+        assert 0.0 < freq <= 1.0
+        total += freq
+    assert total <= 1.0 + 1e-9

@@ -1,0 +1,43 @@
+"""Tests for the report table formatter."""
+
+import pytest
+
+from repro.util.tables import format_table
+
+
+def test_basic_alignment():
+    text = format_table(["name", "value"], [["a", 1], ["bb", 22]])
+    lines = text.splitlines()
+    assert lines[0].startswith("name")
+    assert "value" in lines[0]
+    assert lines[1].startswith("----")
+    assert lines[2].startswith("a")
+    assert lines[3].startswith("bb")
+
+
+def test_title_underlined():
+    text = format_table(["x"], [[1]], title="My Table")
+    lines = text.splitlines()
+    assert lines[0] == "My Table"
+    assert lines[1] == "=" * len("My Table")
+
+
+def test_float_formatting():
+    text = format_table(["v"], [[0.123456789]])
+    assert "0.1235" in text
+
+
+def test_wide_cells_extend_columns():
+    text = format_table(["h"], [["a-very-long-cell-value"]])
+    header, rule, row = text.splitlines()
+    assert len(rule) >= len("a-very-long-cell-value")
+
+
+def test_row_width_mismatch_raises():
+    with pytest.raises(ValueError):
+        format_table(["a", "b"], [[1]])
+
+
+def test_empty_rows_ok():
+    text = format_table(["a"], [])
+    assert "a" in text

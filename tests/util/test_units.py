@@ -1,0 +1,52 @@
+"""Tests for unit conversions."""
+
+import pytest
+
+from repro.util.units import (
+    GIB,
+    KIB,
+    MIB,
+    PAGE_SIZE,
+    bytes_to_pages,
+    mib_to_pages,
+    pages_to_mib,
+)
+
+
+def test_constants_consistent():
+    assert KIB == 1024
+    assert MIB == 1024 * KIB
+    assert GIB == 1024 * MIB
+    assert PAGE_SIZE == 8 * KIB
+
+
+def test_bytes_to_pages_rounds_up():
+    assert bytes_to_pages(0) == 0
+    assert bytes_to_pages(1) == 1
+    assert bytes_to_pages(PAGE_SIZE) == 1
+    assert bytes_to_pages(PAGE_SIZE + 1) == 2
+
+
+def test_bytes_to_pages_rejects_negative():
+    with pytest.raises(ValueError):
+        bytes_to_pages(-1)
+
+
+def test_mib_to_pages_floors():
+    assert mib_to_pages(1) == MIB // PAGE_SIZE == 128
+    assert mib_to_pages(0.5) == 64
+    assert mib_to_pages(0) == 0
+
+
+def test_mib_to_pages_rejects_negative():
+    with pytest.raises(ValueError):
+        mib_to_pages(-0.1)
+
+
+def test_pages_to_mib_roundtrip():
+    assert pages_to_mib(mib_to_pages(16)) == pytest.approx(16.0)
+
+
+def test_pages_to_mib_rejects_negative():
+    with pytest.raises(ValueError):
+        pages_to_mib(-1)

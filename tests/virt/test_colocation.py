@@ -1,0 +1,161 @@
+"""Tests for the co-location simulator (capped vs work-conserving)."""
+
+import pytest
+
+from repro.engine.trace import WorkTrace
+from repro.util.errors import AllocationError
+from repro.virt.colocation import (
+    ColocationSimulator,
+    StatementDemand,
+    TenantTimeline,
+    timeline_from_runs,
+)
+from repro.virt.machine import PhysicalMachine
+from repro.virt.resources import ResourceVector
+
+
+@pytest.fixture
+def machine():
+    return PhysicalMachine(cpu_units_per_second=1_000_000.0, memory_mib=1024.0)
+
+
+def cpu_statement(units):
+    return StatementDemand(cpu_units=units, io_seconds_at_full_speed=0.0)
+
+
+def io_statement(seconds):
+    return StatementDemand(cpu_units=0.0, io_seconds_at_full_speed=seconds)
+
+
+def tenant(name, cpu=0.5, io=0.5, statements=()):
+    return TenantTimeline(
+        name=name,
+        shares=ResourceVector.of(cpu=cpu, memory=0.5, io=io),
+        statements=list(statements),
+    )
+
+
+class TestCappedMode:
+    def test_single_cpu_tenant(self, machine):
+        sim = ColocationSimulator(machine, step_seconds=0.001)
+        result = sim.run([tenant("a", cpu=0.5,
+                                 statements=[cpu_statement(500_000.0)])])
+        # 500k units at 50% of 1M units/s = 1 second.
+        assert result.completion_seconds["a"] == pytest.approx(1.0, rel=0.02)
+
+    def test_caps_ignore_idle_capacity(self, machine):
+        sim = ColocationSimulator(machine, step_seconds=0.001)
+        busy = tenant("busy", cpu=0.5, statements=[cpu_statement(500_000.0)])
+        idle = tenant("idle", cpu=0.5, statements=[cpu_statement(1_000.0)])
+        result = sim.run([busy, idle], work_conserving=False)
+        # The idle tenant finishes almost immediately, but 'busy' is
+        # still capped at 50%.
+        assert result.completion_seconds["busy"] == pytest.approx(1.0, rel=0.02)
+
+    def test_io_phase_after_cpu_phase(self, machine):
+        sim = ColocationSimulator(machine, step_seconds=0.001)
+        mixed = tenant("m", cpu=0.5, io=0.5, statements=[
+            StatementDemand(cpu_units=250_000.0, io_seconds_at_full_speed=0.2),
+        ])
+        result = sim.run([mixed])
+        # 0.5s of CPU at 50% plus 0.2s of I/O at 50% = 0.5 + 0.4.
+        assert result.completion_seconds["m"] == pytest.approx(0.9, rel=0.05)
+
+    def test_matches_perf_model_for_lone_tenant(self, machine):
+        trace = WorkTrace()
+        trace.add_cpu(400_000.0)
+        trace.add_seq_read(100)
+        timeline = timeline_from_runs(
+            "solo", ResourceVector.of(cpu=0.5, memory=0.5, io=0.5),
+            [trace], machine,
+        )
+        sim = ColocationSimulator(machine, step_seconds=0.0005)
+        got = sim.run([timeline]).completion_seconds["solo"]
+        # Serial CPU+I/O expectation (the perf model's overlap aside).
+        expected_cpu = (400_000.0 + 100 * machine.hypervisor_page_overhead_units) \
+            / (machine.cpu_units_per_second * 0.5)
+        expected_io = 100 * machine.seq_page_read_seconds / 0.5
+        assert got == pytest.approx(expected_cpu + expected_io, rel=0.05)
+
+
+class TestWorkConservingMode:
+    def test_idle_capacity_redistributed(self, machine):
+        sim = ColocationSimulator(machine, step_seconds=0.001)
+        busy = tenant("busy", cpu=0.5, statements=[cpu_statement(500_000.0)])
+        idle = tenant("idle", cpu=0.5, statements=[cpu_statement(1_000.0)])
+        result = sim.run([busy, idle], work_conserving=True)
+        # After 'idle' finishes, 'busy' gets the whole CPU.
+        assert result.completion_seconds["busy"] < 0.6
+
+    def test_equal_demand_unchanged_by_mode(self, machine):
+        tenants = [
+            tenant("a", cpu=0.5, statements=[cpu_statement(300_000.0)]),
+            tenant("b", cpu=0.5, statements=[cpu_statement(300_000.0)]),
+        ]
+        sim = ColocationSimulator(machine, step_seconds=0.001)
+        capped = sim.run(tenants, work_conserving=False)
+        tenants2 = [
+            tenant("a", cpu=0.5, statements=[cpu_statement(300_000.0)]),
+            tenant("b", cpu=0.5, statements=[cpu_statement(300_000.0)]),
+        ]
+        conserving = sim.run(tenants2, work_conserving=True)
+        assert capped.completion_seconds["a"] == pytest.approx(
+            conserving.completion_seconds["a"], rel=0.05
+        )
+
+    def test_disjoint_phases_overlap_fully(self, machine):
+        # One tenant is pure CPU, the other pure I/O: work-conserving
+        # mode lets each run at full speed concurrently.
+        cpu_only = tenant("cpu", cpu=0.5, statements=[cpu_statement(500_000.0)])
+        io_only = tenant("io", io=0.5, cpu=0.5,
+                         statements=[io_statement(0.5)])
+        sim = ColocationSimulator(machine, step_seconds=0.001)
+        result = sim.run([cpu_only, io_only], work_conserving=True)
+        assert result.completion_seconds["cpu"] == pytest.approx(0.5, rel=0.05)
+        assert result.completion_seconds["io"] == pytest.approx(0.5, rel=0.05)
+
+    def test_work_conserving_never_slower(self, machine):
+        tenants_a = [
+            tenant("a", cpu=0.7, statements=[cpu_statement(400_000.0),
+                                             io_statement(0.1)]),
+            tenant("b", cpu=0.3, statements=[cpu_statement(100_000.0)]),
+        ]
+        sim = ColocationSimulator(machine, step_seconds=0.001)
+        capped = sim.run(tenants_a, work_conserving=False)
+        tenants_b = [
+            tenant("a", cpu=0.7, statements=[cpu_statement(400_000.0),
+                                             io_statement(0.1)]),
+            tenant("b", cpu=0.3, statements=[cpu_statement(100_000.0)]),
+        ]
+        conserving = sim.run(tenants_b, work_conserving=True)
+        for name in ("a", "b"):
+            assert conserving.completion_seconds[name] <= \
+                capped.completion_seconds[name] + 0.01
+
+
+class TestValidation:
+    def test_empty_rejected(self, machine):
+        with pytest.raises(AllocationError):
+            ColocationSimulator(machine).run([])
+
+    def test_bad_step_rejected(self, machine):
+        with pytest.raises(AllocationError):
+            ColocationSimulator(machine, step_seconds=0.0)
+
+    def test_runaway_simulation_bounded(self, machine):
+        stuck = tenant("stuck", cpu=0.0,
+                       statements=[cpu_statement(1_000_000.0)])
+        sim = ColocationSimulator(machine, step_seconds=0.01, max_seconds=0.5)
+        with pytest.raises(AllocationError):
+            sim.run([stuck], work_conserving=False)
+
+    def test_statement_demand_from_trace(self, machine):
+        trace = WorkTrace()
+        trace.add_cpu(1000.0)
+        trace.add_seq_read(10)
+        trace.add_random_read(2)
+        demand = StatementDemand.from_trace(trace, machine)
+        assert demand.cpu_units > 1000.0  # hypervisor overhead added
+        expected_io = 10 * machine.seq_page_read_seconds \
+            + 2 * machine.random_page_read_seconds
+        assert demand.io_seconds_at_full_speed == pytest.approx(expected_io)

@@ -1,0 +1,56 @@
+"""Tests for the physical machine model."""
+
+import pytest
+
+from repro.util.errors import AllocationError
+from repro.util.units import MIB, PAGE_SIZE
+from repro.virt.machine import PhysicalMachine, laboratory_machine
+
+
+class TestCapacities:
+    def test_defaults_valid(self):
+        machine = PhysicalMachine()
+        assert machine.cpu_units_per_second > 0
+        assert machine.memory_mib > 0
+
+    def test_seq_page_read_seconds(self):
+        machine = PhysicalMachine(io_seq_mib_per_second=64.0)
+        expected = PAGE_SIZE / (64.0 * MIB)
+        assert machine.seq_page_read_seconds == pytest.approx(expected)
+
+    def test_random_page_read_seconds(self):
+        machine = PhysicalMachine(io_random_ops_per_second=100.0)
+        assert machine.random_page_read_seconds == pytest.approx(0.01)
+
+    def test_memory_for_share(self):
+        machine = PhysicalMachine(memory_mib=1000.0)
+        assert machine.memory_for_share(0.25) == 250.0
+        assert machine.memory_for_share(0.0) == 0.0
+
+    def test_memory_for_negative_share_rejected(self):
+        with pytest.raises(AllocationError):
+            PhysicalMachine().memory_for_share(-0.1)
+
+
+class TestValidation:
+    @pytest.mark.parametrize("field,value", [
+        ("cpu_units_per_second", 0),
+        ("memory_mib", -1),
+        ("io_seq_mib_per_second", 0),
+        ("io_random_ops_per_second", 0),
+        ("n_cpus", 0),
+    ])
+    def test_rejects_non_positive_capacity(self, field, value):
+        with pytest.raises(AllocationError):
+            PhysicalMachine(**{field: value})
+
+
+class TestLaboratoryMachine:
+    def test_random_much_slower_than_sequential(self):
+        machine = laboratory_machine()
+        assert machine.random_page_read_seconds > 10 * machine.seq_page_read_seconds
+
+    def test_memory_scaled_down(self):
+        # The lab host deliberately shrinks memory so TPC-H at small
+        # scale factors creates real cache pressure.
+        assert laboratory_machine().memory_mib < 128

@@ -1,0 +1,142 @@
+"""Tests for the virtual machine monitor."""
+
+import pytest
+
+from repro.util.errors import AdmissionError, AllocationError
+from repro.virt.machine import PhysicalMachine
+from repro.virt.monitor import VirtualMachineMonitor
+from repro.virt.resources import ResourceKind, ResourceVector
+
+
+def shares(cpu=0.25, memory=0.25, io=0.25):
+    return ResourceVector.of(cpu=cpu, memory=memory, io=io)
+
+
+@pytest.fixture
+def vmm():
+    return VirtualMachineMonitor.single_host(PhysicalMachine(memory_mib=1024.0))
+
+
+class TestAdmission:
+    def test_create_vm(self, vmm):
+        vm = vmm.create_vm("db1", shares())
+        assert vm.name == "db1"
+        assert "db1" in vmm.vms
+
+    def test_duplicate_name_rejected(self, vmm):
+        vmm.create_vm("db1", shares())
+        with pytest.raises(AdmissionError):
+            vmm.create_vm("db1", shares())
+
+    def test_oversubscription_rejected(self, vmm):
+        vmm.create_vm("a", shares(cpu=0.7))
+        with pytest.raises(AdmissionError):
+            vmm.create_vm("b", shares(cpu=0.7))
+
+    def test_full_allocation_accepted(self, vmm):
+        vmm.create_vm("a", shares(cpu=0.5, memory=0.5, io=0.5))
+        vmm.create_vm("b", shares(cpu=0.5, memory=0.5, io=0.5))
+        totals = vmm.allocated_shares("host0")
+        assert totals[ResourceKind.CPU] == pytest.approx(1.0)
+
+    def test_destroy_releases_shares(self, vmm):
+        vmm.create_vm("a", shares(cpu=0.9))
+        vmm.destroy_vm("a")
+        vmm.create_vm("b", shares(cpu=0.9))  # must succeed now
+
+    def test_unknown_machine_rejected(self, vmm):
+        with pytest.raises(AllocationError):
+            vmm.create_vm("a", shares(), machine_name="nope")
+
+
+class TestReconfiguration:
+    def test_set_shares(self, vmm):
+        vmm.create_vm("a", shares(cpu=0.25))
+        vmm.set_shares("a", shares(cpu=0.75))
+        assert vmm.vms["a"].shares.cpu == 0.75
+
+    def test_set_shares_respects_other_vms(self, vmm):
+        vmm.create_vm("a", shares(cpu=0.5))
+        vmm.create_vm("b", shares(cpu=0.5))
+        with pytest.raises(AdmissionError):
+            vmm.set_shares("a", shares(cpu=0.75))
+
+    def test_apply_allocation_atomic(self, vmm):
+        vmm.create_vm("a", shares(cpu=0.5))
+        vmm.create_vm("b", shares(cpu=0.5))
+        # Swapping shares requires validating the whole matrix at once.
+        vmm.apply_allocation({
+            "a": shares(cpu=0.75),
+            "b": shares(cpu=0.25),
+        })
+        assert vmm.vms["a"].shares.cpu == 0.75
+        assert vmm.vms["b"].shares.cpu == 0.25
+
+    def test_apply_allocation_rejects_oversubscription_untouched(self, vmm):
+        vmm.create_vm("a", shares(cpu=0.5))
+        vmm.create_vm("b", shares(cpu=0.5))
+        with pytest.raises(AdmissionError):
+            vmm.apply_allocation({"a": shares(cpu=0.75), "b": shares(cpu=0.5)})
+        assert vmm.vms["a"].shares.cpu == 0.5  # unchanged
+
+    def test_apply_allocation_unknown_vm(self, vmm):
+        with pytest.raises(AllocationError):
+            vmm.apply_allocation({"ghost": shares()})
+
+
+class TestMigration:
+    @pytest.fixture
+    def two_hosts(self):
+        return VirtualMachineMonitor([
+            PhysicalMachine(name="h1", memory_mib=1024.0),
+            PhysicalMachine(name="h2", memory_mib=1024.0),
+        ])
+
+    def test_migrate_moves_vm(self, two_hosts):
+        vm = two_hosts.create_vm("a", shares(), machine_name="h1")
+        vm.start()
+        downtime = two_hosts.migrate("a", "h2")
+        assert downtime > 0
+        assert two_hosts.vms_on("h2")[0].name == "a"
+        assert two_hosts.vms_on("h1") == []
+
+    def test_migrate_preserves_guest_and_state(self, two_hosts):
+        vm = two_hosts.create_vm("a", shares(), machine_name="h1")
+        vm.attach_guest({"data": 1})
+        vm.start()
+        two_hosts.migrate("a", "h2")
+        moved = two_hosts.vms["a"]
+        assert moved.guest == {"data": 1}
+        assert moved.state.value == "running"
+
+    def test_migrate_to_same_host_is_free(self, two_hosts):
+        two_hosts.create_vm("a", shares(), machine_name="h1")
+        assert two_hosts.migrate("a", "h1") == 0.0
+
+    def test_migrate_respects_target_capacity(self, two_hosts):
+        two_hosts.create_vm("big", shares(cpu=0.9), machine_name="h2")
+        two_hosts.create_vm("a", shares(cpu=0.5), machine_name="h1")
+        with pytest.raises(AdmissionError):
+            two_hosts.migrate("a", "h2")
+
+
+class TestImages:
+    def test_deploy_image(self, vmm):
+        vm = vmm.create_vm("template", shares())
+        vm.attach_guest({"appliance": True})
+        image = vm.snapshot()
+        vmm.destroy_vm("template")
+        deployed = vmm.deploy_image(image, "prod")
+        assert deployed.guest == {"appliance": True}
+        assert deployed.state.value == "running"
+
+    def test_deploy_image_with_new_shares(self, vmm):
+        vm = vmm.create_vm("template", shares(cpu=0.25))
+        image = vm.snapshot()
+        vmm.destroy_vm("template")
+        deployed = vmm.deploy_image(image, "prod", shares=shares(cpu=0.5))
+        assert deployed.shares.cpu == 0.5
+
+    def test_monitor_requires_machines(self):
+        with pytest.raises(AllocationError):
+            VirtualMachineMonitor([])

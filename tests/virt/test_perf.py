@@ -1,0 +1,144 @@
+"""Tests for the VM performance model (trace -> simulated seconds)."""
+
+import pytest
+
+from repro.engine.trace import WorkTrace
+from repro.util.rng import DeterministicRng
+from repro.virt.machine import PhysicalMachine
+from repro.virt.perf import VMPerfModel
+from repro.virt.resources import ResourceVector
+from repro.virt.vm import VirtualMachine, VMConfig
+
+
+def make_perf(cpu=0.5, memory=0.5, io=0.5, overlap=0.0, **kwargs):
+    machine = PhysicalMachine(memory_mib=1024.0)
+    vm = VirtualMachine(machine, VMConfig(
+        name="vm", shares=ResourceVector.of(cpu=cpu, memory=memory, io=io)
+    ))
+    return VMPerfModel(vm, readahead_overlap=overlap, **kwargs)
+
+
+def cpu_trace(units=1_000_000.0):
+    trace = WorkTrace()
+    trace.add_cpu(units)
+    return trace
+
+
+def io_trace(seq=100, rand=10):
+    trace = WorkTrace()
+    trace.add_seq_read(seq)
+    trace.add_random_read(rand)
+    return trace
+
+
+class TestChannels:
+    def test_empty_trace_is_free(self):
+        assert make_perf().elapsed(WorkTrace()) == 0.0
+
+    def test_cpu_time_scales_with_share(self):
+        trace = cpu_trace()
+        slow = make_perf(cpu=0.25).elapsed(trace)
+        fast = make_perf(cpu=0.75).elapsed(trace)
+        assert slow > 2.5 * fast
+
+    def test_io_time_scales_with_share(self):
+        trace = io_trace()
+        slow = make_perf(io=0.25).elapsed(trace)
+        fast = make_perf(io=0.75).elapsed(trace)
+        assert slow > 2.5 * fast
+
+    def test_memory_share_does_not_directly_change_time(self):
+        # Memory acts through the buffer pool (fewer misses), never as a
+        # direct multiplier on a fixed trace.
+        trace = io_trace()
+        assert make_perf(memory=0.25).elapsed(trace) == \
+            make_perf(memory=0.75).elapsed(trace)
+
+    def test_random_reads_cost_more_than_sequential(self):
+        perf = make_perf()
+        seq_only = WorkTrace()
+        seq_only.add_seq_read(50)
+        rand_only = WorkTrace()
+        rand_only.add_random_read(50)
+        assert perf.elapsed(rand_only) > perf.elapsed(seq_only)
+
+    def test_physical_reads_charge_hypervisor_cpu(self):
+        perf = make_perf()
+        trace = io_trace(seq=1000, rand=0)
+        breakdown = perf.breakdown(trace)
+        assert breakdown.cpu_seconds > 0  # hypervisor page handling
+
+    def test_page_writes_cost_io(self):
+        perf = make_perf()
+        trace = WorkTrace()
+        trace.add_page_write(100)
+        assert perf.breakdown(trace).write_io_seconds > 0
+
+
+class TestOverlap:
+    def test_overlap_reduces_total(self):
+        trace = WorkTrace()
+        trace.add_cpu(10_000_000.0)
+        trace.add_seq_read(500)
+        none = make_perf(overlap=0.0).elapsed(trace)
+        half = make_perf(overlap=0.5).elapsed(trace)
+        assert half < none
+
+    def test_overlap_bounded_by_smaller_side(self):
+        trace = WorkTrace()
+        trace.add_cpu(1000.0)  # tiny CPU
+        trace.add_seq_read(1000)
+        full = make_perf(overlap=1.0)
+        breakdown = full.breakdown(trace)
+        assert breakdown.overlap_seconds <= breakdown.cpu_seconds + 1e-12
+
+    def test_random_io_never_overlapped(self):
+        trace = WorkTrace()
+        trace.add_cpu(100_000_000.0)
+        trace.add_random_read(100)
+        breakdown = make_perf(overlap=1.0).breakdown(trace)
+        assert breakdown.overlap_seconds == 0.0
+
+    def test_invalid_overlap_rejected(self):
+        with pytest.raises(ValueError):
+            make_perf(overlap=1.5)
+
+    def test_total_never_negative(self):
+        breakdown = make_perf(overlap=1.0).breakdown(io_trace())
+        assert breakdown.total_seconds >= 0.0
+
+
+class TestNoise:
+    def test_noise_perturbs_deterministically(self):
+        trace = cpu_trace()
+        a = make_perf(noise_rng=DeterministicRng(4), noise_sigma=0.05)
+        b = make_perf(noise_rng=DeterministicRng(4), noise_sigma=0.05)
+        assert a.elapsed(trace) == b.elapsed(trace)
+
+    def test_noise_stays_near_truth(self):
+        trace = cpu_trace()
+        clean = make_perf().elapsed(trace)
+        noisy = make_perf(noise_rng=DeterministicRng(4), noise_sigma=0.05)
+        values = [noisy.elapsed(trace) for _ in range(50)]
+        mean = sum(values) / len(values)
+        assert abs(mean - clean) / clean < 0.1
+
+    def test_zero_sigma_is_exact(self):
+        trace = cpu_trace()
+        clean = make_perf().elapsed(trace)
+        nosigma = make_perf(noise_rng=DeterministicRng(4), noise_sigma=0.0)
+        assert nosigma.elapsed(trace) == clean
+
+
+class TestBreakdownConsistency:
+    def test_breakdown_sums_to_total(self):
+        perf = make_perf(overlap=0.3)
+        trace = WorkTrace()
+        trace.add_cpu(5_000_000.0)
+        trace.add_seq_read(200)
+        trace.add_random_read(20)
+        trace.add_page_write(10)
+        b = perf.breakdown(trace)
+        expected = b.cpu_seconds + b.io_seconds - b.overlap_seconds
+        assert b.total_seconds == pytest.approx(expected)
+        assert perf.elapsed(trace) == pytest.approx(expected)

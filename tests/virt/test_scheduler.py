@@ -1,0 +1,101 @@
+"""Tests for the credit scheduler model."""
+
+import pytest
+
+from repro.util.errors import AllocationError
+from repro.virt.machine import PhysicalMachine
+from repro.virt.scheduler import CreditScheduler
+
+
+@pytest.fixture
+def scheduler():
+    return CreditScheduler(PhysicalMachine(cpu_units_per_second=1_000_000.0))
+
+
+class TestEffectiveRate:
+    def test_rate_scales_with_share(self, scheduler):
+        assert scheduler.effective_rate(0.5) > scheduler.effective_rate(0.25)
+        assert scheduler.effective_rate(1.0) > scheduler.effective_rate(0.5)
+
+    def test_zero_share_zero_rate(self, scheduler):
+        assert scheduler.effective_rate(0.0) == 0.0
+
+    def test_negative_share_rejected(self, scheduler):
+        with pytest.raises(AllocationError):
+            scheduler.effective_rate(-0.5)
+
+    def test_rate_below_proportional(self, scheduler):
+        # Scheduling overhead means a 50% share yields less than 50% of
+        # the machine's raw rate.
+        raw = scheduler.machine.cpu_units_per_second
+        assert scheduler.effective_rate(0.5) < 0.5 * raw
+
+    def test_overhead_fraction_grows_as_share_shrinks(self, scheduler):
+        assert scheduler.overhead_fraction(0.1) > scheduler.overhead_fraction(0.9)
+
+    def test_overhead_fraction_bounded(self, scheduler):
+        assert scheduler.overhead_fraction(0.001) <= 0.9
+        assert scheduler.overhead_fraction(0.0) == 1.0
+
+    def test_share_clamped_at_one(self, scheduler):
+        assert scheduler.effective_rate(1.5) == scheduler.effective_rate(1.0)
+
+
+class TestCpuSeconds:
+    def test_linear_in_work(self, scheduler):
+        one = scheduler.cpu_seconds(1000, 0.5)
+        two = scheduler.cpu_seconds(2000, 0.5)
+        assert two == pytest.approx(2 * one)
+
+    def test_zero_work_is_free(self, scheduler):
+        assert scheduler.cpu_seconds(0, 0.5) == 0.0
+
+    def test_zero_share_with_work_rejected(self, scheduler):
+        with pytest.raises(AllocationError):
+            scheduler.cpu_seconds(1000, 0.0)
+
+    def test_negative_work_rejected(self, scheduler):
+        with pytest.raises(AllocationError):
+            scheduler.cpu_seconds(-1, 0.5)
+
+    def test_halving_share_roughly_doubles_time(self, scheduler):
+        fast = scheduler.cpu_seconds(1_000_000, 0.8)
+        slow = scheduler.cpu_seconds(1_000_000, 0.4)
+        assert 1.8 < slow / fast < 2.3
+
+
+class TestSimulate:
+    def test_single_vm_finishes(self, scheduler):
+        finish = scheduler.simulate({"vm1": 500_000.0}, {"vm1": 1.0})
+        expected = scheduler.cpu_seconds(500_000.0, 1.0)
+        assert finish["vm1"] == pytest.approx(expected, rel=0.2)
+
+    def test_proportional_sharing(self, scheduler):
+        finish = scheduler.simulate(
+            {"big": 300_000.0, "small": 300_000.0},
+            {"big": 0.75, "small": 0.25},
+        )
+        assert finish["big"] < finish["small"]
+
+    def test_work_conserving_redistribution(self, scheduler):
+        # After the small job finishes, the big job gets the whole
+        # machine, so it beats a fixed-share lower bound.
+        finish = scheduler.simulate(
+            {"big": 1_000_000.0, "small": 10_000.0},
+            {"big": 0.5, "small": 0.5},
+        )
+        fixed_share_time = scheduler.cpu_seconds(1_000_000.0, 0.5)
+        assert finish["big"] < fixed_share_time
+
+    def test_zero_demand_finishes_immediately(self, scheduler):
+        finish = scheduler.simulate({"idle": 0.0, "busy": 1000.0},
+                                    {"idle": 0.5, "busy": 0.5})
+        assert finish["idle"] == 0.0
+
+    def test_mismatched_vm_sets_rejected(self, scheduler):
+        with pytest.raises(AllocationError):
+            scheduler.simulate({"a": 1.0}, {"b": 1.0})
+
+    def test_zero_total_share_rejected(self, scheduler):
+        with pytest.raises(AllocationError):
+            scheduler.simulate({"a": 1.0}, {"a": 0.0})

@@ -1,0 +1,134 @@
+"""Tests for virtual machines and images."""
+
+import pytest
+
+from repro.util.errors import AdmissionError
+from repro.virt.machine import PhysicalMachine
+from repro.virt.resources import ResourceVector
+from repro.virt.vm import (
+    GUEST_OS_MEMORY_FRACTION,
+    MIN_GUEST_MEMORY_MIB,
+    VirtualMachine,
+    VMConfig,
+    VMState,
+)
+
+
+@pytest.fixture
+def machine():
+    return PhysicalMachine(memory_mib=1024.0)
+
+
+def make_vm(machine, cpu=0.5, memory=0.5, io=0.5, name="vm"):
+    shares = ResourceVector.of(cpu=cpu, memory=memory, io=io)
+    return VirtualMachine(machine, VMConfig(name=name, shares=shares))
+
+
+class TestEffectiveResources:
+    def test_memory_follows_share(self, machine):
+        vm = make_vm(machine, memory=0.25)
+        assert vm.memory_mib == pytest.approx(256.0)
+
+    def test_buffer_pool_excludes_os_reserve(self, machine):
+        vm = make_vm(machine, memory=0.5)
+        expected_mib = 512.0 * (1 - GUEST_OS_MEMORY_FRACTION)
+        assert vm.buffer_pool_pages == int(expected_mib * 128)
+
+    def test_cpu_rate_scales(self, machine):
+        fast = make_vm(machine, cpu=0.8, name="fast")
+        slow = make_vm(machine, cpu=0.2, name="slow")
+        assert fast.cpu_rate() > 3 * slow.cpu_rate()
+
+    def test_io_times_scale_inversely_with_share(self, machine):
+        vm_half = make_vm(machine, io=0.5)
+        vm_full = make_vm(machine, io=1.0, name="full")
+        assert vm_half.seq_page_read_seconds() == pytest.approx(
+            2 * vm_full.seq_page_read_seconds()
+        )
+        assert vm_half.random_page_read_seconds() == pytest.approx(
+            2 * vm_full.random_page_read_seconds()
+        )
+
+    def test_zero_io_share_rejected_on_read(self, machine):
+        vm = make_vm(machine, io=0.0)
+        with pytest.raises(Exception):
+            vm.seq_page_read_seconds()
+
+
+class TestLifecycle:
+    def test_start_run_stop(self, machine):
+        vm = make_vm(machine)
+        assert vm.state is VMState.CREATED
+        vm.start()
+        assert vm.state is VMState.RUNNING
+        vm.pause()
+        assert vm.state is VMState.PAUSED
+        vm.resume()
+        assert vm.state is VMState.RUNNING
+        vm.stop()
+        assert vm.state is VMState.STOPPED
+
+    def test_start_requires_minimum_memory(self):
+        tiny_machine = PhysicalMachine(memory_mib=MIN_GUEST_MEMORY_MIB * 2)
+        vm = make_vm(tiny_machine, memory=0.25)
+        with pytest.raises(AdmissionError):
+            vm.start()
+
+    def test_pause_requires_running(self, machine):
+        vm = make_vm(machine)
+        with pytest.raises(AdmissionError):
+            vm.pause()
+
+    def test_resume_requires_paused(self, machine):
+        vm = make_vm(machine)
+        vm.start()
+        with pytest.raises(AdmissionError):
+            vm.resume()
+
+
+class TestGuestInteraction:
+    class FakeGuest:
+        def __init__(self):
+            self.memory_pages = None
+
+        def resize_memory(self, pages):
+            self.memory_pages = pages
+
+    def test_attach_sizes_guest(self, machine):
+        vm = make_vm(machine, memory=0.5)
+        guest = self.FakeGuest()
+        vm.attach_guest(guest)
+        assert guest.memory_pages == vm.buffer_pool_pages
+
+    def test_set_shares_resizes_guest(self, machine):
+        vm = make_vm(machine, memory=0.5)
+        guest = self.FakeGuest()
+        vm.attach_guest(guest)
+        vm.set_shares(ResourceVector.of(cpu=0.5, memory=0.25, io=0.5))
+        assert guest.memory_pages == vm.buffer_pool_pages
+        assert vm.memory_mib == pytest.approx(256.0)
+
+
+class TestImages:
+    def test_snapshot_roundtrip(self, machine):
+        vm = make_vm(machine)
+        vm.attach_guest({"tables": ["orders"]})
+        image = vm.snapshot()
+        clone = VirtualMachine.from_image(machine, image, name="clone")
+        assert clone.name == "clone"
+        assert clone.guest == {"tables": ["orders"]}
+
+    def test_image_instances_independent(self, machine):
+        vm = make_vm(machine)
+        vm.attach_guest({"count": 0})
+        image = vm.snapshot()
+        first = VirtualMachine.from_image(machine, image, name="a")
+        second = VirtualMachine.from_image(machine, image, name="b")
+        first.guest["count"] = 99
+        assert second.guest["count"] == 0
+
+    def test_snapshot_after_guest_mutation_is_current(self, machine):
+        vm = make_vm(machine)
+        vm.attach_guest({"v": 1})
+        vm.guest["v"] = 2
+        assert vm.snapshot().instantiate_guest() == {"v": 2}

@@ -1,0 +1,104 @@
+"""Tests for the TPC-H data generator."""
+
+import pytest
+
+from repro.engine.types import Date
+from repro.workloads.tpch_data import (
+    END_DATE,
+    PRIORITIES,
+    SPECIAL_REQUEST_FRACTION,
+    START_DATE,
+    TpchDataGenerator,
+    build_tpch_database,
+)
+
+
+@pytest.fixture(scope="module")
+def generator():
+    return TpchDataGenerator(scale_factor=0.002, seed=42)
+
+
+class TestDeterminism:
+    def test_same_seed_same_rows(self, generator):
+        other = TpchDataGenerator(scale_factor=0.002, seed=42)
+        assert list(generator.orders_rows())[:50] == list(other.orders_rows())[:50]
+
+    def test_different_seed_differs(self, generator):
+        other = TpchDataGenerator(scale_factor=0.002, seed=43)
+        assert list(generator.orders_rows())[:50] != list(other.orders_rows())[:50]
+
+    def test_lineitem_rederives_order_dates(self, generator):
+        """l_shipdate must always follow its order's o_orderdate."""
+        order_dates = {row[0]: row[4] for row in generator.orders_rows()}
+        for line in list(generator.lineitem_rows())[:2000]:
+            order_key, ship_date = line[0], line[10]
+            assert ship_date > order_dates[order_key]
+
+
+class TestDistributions:
+    def test_order_dates_in_range(self, generator):
+        for row in generator.orders_rows():
+            assert START_DATE <= row[4] <= END_DATE
+
+    def test_priorities_valid(self, generator):
+        seen = {row[5] for row in generator.orders_rows()}
+        assert seen <= set(PRIORITIES)
+        assert len(seen) == 5  # all five appear at this scale
+
+    def test_special_requests_fraction(self, generator):
+        comments = [row[8] for row in generator.orders_rows()]
+        matching = sum(
+            1 for c in comments
+            if "special" in c and "requests" in c.split("special", 1)[1]
+        )
+        fraction = matching / len(comments)
+        assert 0.2 * SPECIAL_REQUEST_FRACTION < fraction < 5 * SPECIAL_REQUEST_FRACTION
+
+    def test_some_customers_place_no_orders(self, generator):
+        n_customers = generator.counts["customer"]
+        customers_with_orders = {row[1] for row in generator.orders_rows()}
+        assert len(customers_with_orders) < n_customers
+
+    def test_commit_before_receipt_mix(self, generator):
+        lines = list(generator.lineitem_rows())
+        late = sum(1 for line in lines if line[11] < line[12])
+        # A substantial but not universal fraction satisfies Q4's EXISTS.
+        assert 0.2 < late / len(lines) < 0.95
+
+    def test_lineitem_dates_consistent(self, generator):
+        for line in list(generator.lineitem_rows())[:2000]:
+            ship, commit, receipt = line[10], line[11], line[12]
+            assert receipt > ship
+            assert isinstance(commit, Date)
+
+    def test_discount_and_tax_ranges(self, generator):
+        for line in list(generator.lineitem_rows())[:2000]:
+            assert 0.0 <= line[6] <= 0.10
+            assert 0.0 <= line[7] <= 0.08
+
+    def test_foreign_keys_in_range(self, generator):
+        counts = generator.counts
+        for line in list(generator.lineitem_rows())[:2000]:
+            assert 1 <= line[1] <= counts["part"]
+            assert 1 <= line[2] <= counts["supplier"]
+
+
+class TestBuildDatabase:
+    def test_partial_build(self):
+        db = build_tpch_database(scale_factor=0.002,
+                                 tables=["orders", "lineitem"])
+        assert set(db.catalog.table_names()) == {"orders", "lineitem"}
+        assert db.catalog.index_on_column("orders", "o_orderkey") is not None
+
+    def test_rows_validate_against_schema(self, tpch_db):
+        # Loading validates every row; reaching here means it all fit.
+        assert tpch_db.catalog.table("lineitem").heap.n_rows > 0
+
+    def test_statistics_analyzed(self, tpch_db):
+        stats = tpch_db.catalog.stats("orders")
+        assert stats.column("o_orderdate").min_value >= START_DATE
+
+    def test_without_indexes(self):
+        db = build_tpch_database(scale_factor=0.002, tables=["region"],
+                                 with_indexes=False)
+        assert db.catalog.indexes_on("region") == []

@@ -1,0 +1,65 @@
+"""Tests for the TPC-H schema definitions."""
+
+import pytest
+
+from repro.workloads.tpch_schema import (
+    OSDB_INDEXES,
+    TPCH_TABLES,
+    tpch_row_counts,
+    tpch_schema,
+)
+
+
+class TestSchema:
+    def test_all_eight_tables(self):
+        assert set(TPCH_TABLES) == {
+            "region", "nation", "supplier", "customer",
+            "part", "partsupp", "orders", "lineitem",
+        }
+
+    def test_lineitem_has_sixteen_columns(self):
+        assert len(tpch_schema("lineitem")) == 16
+
+    def test_key_columns_present(self):
+        assert tpch_schema("orders").has_column("o_orderkey")
+        assert tpch_schema("orders").has_column("o_comment")
+        assert tpch_schema("lineitem").has_column("l_commitdate")
+        assert tpch_schema("customer").has_column("c_mktsegment")
+
+    def test_indexes_reference_real_columns(self):
+        for _name, table, column, _unique in OSDB_INDEXES:
+            assert tpch_schema(table).has_column(column), (table, column)
+
+    def test_index_names_unique(self):
+        names = [name for name, *_ in OSDB_INDEXES]
+        assert len(names) == len(set(names))
+
+    def test_primary_keys_unique(self):
+        uniques = {name for name, _t, _c, unique in OSDB_INDEXES if unique}
+        assert "orders_pk" in uniques
+        assert "customer_pk" in uniques
+
+
+class TestRowCounts:
+    def test_fixed_small_tables(self):
+        counts = tpch_row_counts(1.0)
+        assert counts["region"] == 5
+        assert counts["nation"] == 25
+
+    def test_scaling(self):
+        full = tpch_row_counts(1.0)
+        tenth = tpch_row_counts(0.1)
+        assert full["orders"] == 1_500_000
+        assert tenth["orders"] == 150_000
+
+    def test_lineitem_to_orders_ratio(self):
+        counts = tpch_row_counts(0.1)
+        assert 3.5 < counts["lineitem"] / counts["orders"] < 4.5
+
+    def test_minimum_floors(self):
+        counts = tpch_row_counts(1e-6)
+        assert counts["orders"] >= 300
+
+    def test_rejects_non_positive(self):
+        with pytest.raises(ValueError):
+            tpch_row_counts(0)

@@ -1,0 +1,64 @@
+"""Tests for the workload abstraction."""
+
+import pytest
+
+from repro.workloads.tpch_queries import tpch_query
+from repro.workloads.workload import (
+    Workload,
+    cpu_heavy_workload,
+    random_mixed_workload,
+    scan_heavy_workload,
+)
+
+
+class TestWorkload:
+    def test_basic(self):
+        w = Workload("w", ["select 1 from t"])
+        assert w.name == "w"
+        assert len(w) == 1
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            Workload("w", [])
+
+    def test_repeat(self):
+        w = Workload.repeat("w", "sql", 9)
+        assert len(w) == 9
+        assert all(s == "sql" for s in w.statements)
+
+    def test_repeat_rejects_zero(self):
+        with pytest.raises(ValueError):
+            Workload.repeat("w", "sql", 0)
+
+    def test_of_queries(self):
+        w = Workload.of_queries("w", ["Q4", "Q13"])
+        assert w.statements == (tpch_query("Q4"), tpch_query("Q13"))
+
+    def test_immutable(self):
+        w = Workload("w", ["a"])
+        with pytest.raises(AttributeError):
+            w.name = "other"
+
+
+class TestGenerators:
+    def test_profiles_disjoint(self):
+        io = set(scan_heavy_workload().statements)
+        cpu = set(cpu_heavy_workload().statements)
+        assert not (io & cpu)
+
+    def test_copies_multiply(self):
+        assert len(scan_heavy_workload(copies=3)) == 6
+
+    def test_random_mixed_deterministic(self):
+        a = random_mixed_workload("m", 20, seed=1)
+        b = random_mixed_workload("m", 20, seed=1)
+        assert a.statements == b.statements
+
+    def test_random_mixed_bias(self):
+        all_cpu = random_mixed_workload("m", 30, seed=1, cpu_bias=1.0)
+        cpu_statements = set(cpu_heavy_workload(copies=1).statements)
+        assert all(s in cpu_statements for s in all_cpu.statements)
+
+    def test_bias_validated(self):
+        with pytest.raises(ValueError):
+            random_mixed_workload("m", 5, cpu_bias=1.5)
