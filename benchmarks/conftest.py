@@ -4,24 +4,85 @@ Every benchmark regenerates one of the paper's tables/figures (or an
 ablation/extension) and both prints the rows and writes them to
 ``benchmarks/results/<name>.txt`` so runs can be diffed.
 
+Each result file carries a standard header (see EXPERIMENTS.md,
+"Result-file convention"): the exact command that regenerates it and an
+observability footer with the counted work the benchmark spent
+(cost-model evaluations, calibration activity, buffer-pool hit ratio)
+— taken as per-test deltas of the process-wide metrics registry, so
+every row of EXPERIMENTS.md can quote its evaluation budget.
+
 The laboratory machine and the TPC-H database are shared session-wide;
 experiment scale matches the paper's regime (database larger than any
-VM's buffer pool, see DESIGN.md).
+VM's buffer pool, see DESIGN.md). Work done inside session fixtures is
+attributed to the first benchmark that requests them.
 """
 
 from __future__ import annotations
 
+import os
 import pathlib
 import sys
 
 import pytest
 
+from repro import obs
 from repro.calibration import CalibrationCache, CalibrationRunner
 from repro.core.cost_model import MeasuredCostModel, OptimizerCostModel
 from repro.virt.machine import laboratory_machine
 from repro.workloads import build_tpch_database
 
 RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+#: Registry totals quoted in each result file's header.
+_TRACKED = (
+    ("evals", "cost_model.evaluations"),
+    ("memo", "cost_model.memo_hits"),
+    ("experiments", "calibration.experiments"),
+    ("exact", "calibration.cache.exact_hits"),
+    ("interp", "calibration.cache.interpolated"),
+    ("fresh", "calibration.cache.fresh"),
+    ("hits", "engine.pages.buffer_hits"),
+    ("seq", "engine.pages.seq_reads"),
+    ("rand", "engine.pages.random_reads"),
+)
+
+_test_baseline: dict = {}
+
+
+def _totals() -> dict:
+    registry = obs.get_registry()
+    return {key: registry.total(name) for key, name in _TRACKED}
+
+
+@pytest.fixture(autouse=True)
+def _obs_baseline():
+    """Snapshot metric totals so report() can quote per-test deltas."""
+    _test_baseline.clear()
+    _test_baseline.update(_totals())
+    yield
+
+
+def _counted_work_line() -> str:
+    """One-line summary of the work this benchmark spent (delta)."""
+    delta = {key: value - _test_baseline.get(key, 0.0)
+             for key, value in _totals().items()}
+    requests = delta["hits"] + delta["seq"] + delta["rand"]
+    ratio = delta["hits"] / requests if requests else 1.0
+    return (
+        f"# Counted work: cost-model evals={delta['evals']:.0f} "
+        f"(memo {delta['memo']:.0f}) | calibration: "
+        f"{delta['experiments']:.0f} experiments, "
+        f"{delta['exact']:.0f} exact / {delta['interp']:.0f} interpolated "
+        f"lookups | buffer hit ratio {ratio:.3f}"
+    )
+
+
+def _regenerate_line() -> str:
+    """The exact command that regenerates the current result file."""
+    raw = os.environ.get("PYTEST_CURRENT_TEST", "")
+    nodeid = raw.rsplit(" ", 1)[0] if raw else "benchmarks/"
+    return (f'# Regenerate with: PYTHONPATH=src python -m pytest '
+            f'"{nodeid}" --benchmark-only -q')
 
 #: The paper's allocation levels: "ranging from 25% to 75%".
 SHARE_LEVELS = (0.25, 0.5, 0.75)
@@ -59,9 +120,15 @@ def measured_model(machine, calibration):
 
 
 def report(name: str, text: str) -> None:
-    """Print a result table and persist it under benchmarks/results."""
+    """Print a result table and persist it under benchmarks/results.
+
+    The persisted file gets the standard header (regeneration command +
+    counted-work footer, see EXPERIMENTS.md); the printed copy is just
+    the table.
+    """
     RESULTS_DIR.mkdir(exist_ok=True)
-    (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+    header = "\n".join([_regenerate_line(), _counted_work_line()])
+    (RESULTS_DIR / f"{name}.txt").write_text(header + "\n\n" + text + "\n")
     # Bypass pytest's capture so the tables appear in tee'd output.
     sys.__stdout__.write("\n" + text + "\n")
     sys.__stdout__.flush()

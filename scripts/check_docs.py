@@ -1,0 +1,106 @@
+#!/usr/bin/env python
+"""Lint the repository's documentation.
+
+Checks, over README.md, DESIGN.md, EXPERIMENTS.md, and docs/*.md:
+
+* every relative markdown link ``[text](path)`` points at a file that
+  exists (resolved against the linking file's directory; external
+  ``http(s)://`` / ``mailto:`` targets and pure ``#anchor`` links are
+  skipped, trailing anchors are stripped);
+* every wiki-style ``[[page]]`` link resolves to a markdown file in the
+  repo root or ``docs/`` (with or without the ``.md`` suffix);
+* every backticked dotted module name (`` `repro.x.y` ``) mentioned in
+  ``docs/architecture.md`` exists under ``src/`` as a module or
+  package, so the architecture page cannot drift from the tree.
+
+Run directly (``python scripts/check_docs.py``) or through the test
+suite (``tests/docs/test_docs_lint.py``); exits non-zero and prints one
+line per problem when anything is broken.
+"""
+
+from __future__ import annotations
+
+import pathlib
+import re
+import sys
+from typing import List
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+DOC_FILES = ("README.md", "DESIGN.md", "EXPERIMENTS.md")
+
+#: ``[text](target)`` — excludes images' ``!`` prefix intentionally?
+#: No: images are checked too (the ``!`` simply precedes the match).
+_MD_LINK = re.compile(r"\[(?:[^\]]*)\]\(([^)\s]+)\)")
+_WIKI_LINK = re.compile(r"\[\[([^\]|#]+)(?:#[^\]]*)?\]\]")
+_MODULE_REF = re.compile(r"`(repro(?:\.[A-Za-z_][A-Za-z_0-9]*)+)`")
+_EXTERNAL = ("http://", "https://", "mailto:")
+
+
+def _doc_paths() -> List[pathlib.Path]:
+    paths = [REPO_ROOT / name for name in DOC_FILES
+             if (REPO_ROOT / name).exists()]
+    paths.extend(sorted((REPO_ROOT / "docs").glob("*.md")))
+    return paths
+
+
+def _check_md_links(path: pathlib.Path, text: str, errors: List[str]) -> None:
+    for match in _MD_LINK.finditer(text):
+        target = match.group(1)
+        if target.startswith(_EXTERNAL) or target.startswith("#"):
+            continue
+        resolved = (path.parent / target.split("#", 1)[0]).resolve()
+        if not resolved.exists():
+            errors.append(f"{path.relative_to(REPO_ROOT)}: broken link "
+                          f"({target})")
+
+
+def _check_wiki_links(path: pathlib.Path, text: str,
+                      errors: List[str]) -> None:
+    for match in _WIKI_LINK.finditer(text):
+        name = match.group(1).strip()
+        candidates = [
+            path.parent / name, path.parent / f"{name}.md",
+            REPO_ROOT / name, REPO_ROOT / f"{name}.md",
+            REPO_ROOT / "docs" / name, REPO_ROOT / "docs" / f"{name}.md",
+        ]
+        if not any(c.exists() for c in candidates):
+            errors.append(f"{path.relative_to(REPO_ROOT)}: unresolved "
+                          f"wiki link [[{name}]]")
+
+
+def _check_module_refs(errors: List[str]) -> None:
+    arch = REPO_ROOT / "docs" / "architecture.md"
+    if not arch.exists():
+        errors.append("docs/architecture.md is missing")
+        return
+    src = REPO_ROOT / "src"
+    for match in _MODULE_REF.finditer(arch.read_text()):
+        dotted = match.group(1)
+        parts = dotted.split(".")
+        # A trailing CamelCase segment is a class reference; the module
+        # check applies to the dotted prefix.
+        while parts and not parts[-1].islower():
+            parts.pop()
+        rel = pathlib.Path(*parts)
+        if not ((src / rel).is_dir() and (src / rel / "__init__.py").exists()
+                or (src / rel.with_suffix(".py")).exists()):
+            errors.append(f"docs/architecture.md: module `{dotted}` "
+                          f"not found under src/")
+
+
+def main() -> int:
+    errors: List[str] = []
+    for path in _doc_paths():
+        text = path.read_text()
+        _check_md_links(path, text, errors)
+        _check_wiki_links(path, text, errors)
+    _check_module_refs(errors)
+    for line in errors:
+        print(line)
+    if not errors:
+        print(f"docs OK ({len(_doc_paths())} files checked)")
+    return 1 if errors else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

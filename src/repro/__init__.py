@@ -17,6 +17,9 @@ The package implements the paper's full stack on a simulated substrate:
 * :mod:`repro.core` — the virtualization design problem, cost models,
   and combinatorial searches (Sections 3–4), plus the Section 7
   extensions (SLOs, dynamic reallocation).
+* :mod:`repro.obs` — the cross-cutting observability layer: a
+  process-wide metrics registry, nested timed spans, and serializable
+  run reports (``python -m repro report``).
 
 Quickstart::
 
@@ -68,6 +71,8 @@ from repro.core import (
     WorkloadSpec,
 )
 from repro.engine import Database
+from repro.obs import MetricsRegistry, RunReport, span
+from repro import obs
 from repro.optimizer import OptimizerParameters, Planner, WhatIfOptimizer
 from repro.virt import (
     ColocationSimulator,
@@ -108,6 +113,10 @@ __all__ = [
     "WorkloadRunner",
     "WorkloadSpec",
     "Database",
+    "MetricsRegistry",
+    "RunReport",
+    "obs",
+    "span",
     "OptimizerParameters",
     "Planner",
     "WhatIfOptimizer",

@@ -1,5 +1,7 @@
 """Caching, persisting, and interpolating calibrated parameters.
 
+Overview
+--------
 Calibration is "a fairly lengthy process" (paper, Section 7), so each
 allocation is calibrated at most once per machine. The cache also
 implements the paper's suggested refinement for reducing the number of
@@ -7,6 +9,25 @@ calibration experiments: calibrate a coarse grid of allocations and
 *interpolate* parameters for allocations in between (multilinear over
 the CPU/memory/I/O share axes). The interpolation ablation benchmark
 quantifies what this costs in accuracy.
+
+API
+---
+* :meth:`CalibrationCache.params_for` — the only lookup path:
+  ``R -> P`` answered from the cache, by interpolation, or by running a
+  fresh experiment (in that order).
+* :meth:`CalibrationCache.calibrate_grid` — pre-populate a grid of
+  share levels (the interpolation substrate).
+* :meth:`CalibrationCache.save` / :meth:`CalibrationCache.load` —
+  persist calibrated points as JSON; valid for any database and
+  workload on the same machine.
+
+Observability
+-------------
+Every lookup increments exactly one of the
+``calibration.cache.exact_hits`` / ``calibration.cache.interpolated`` /
+``calibration.cache.fresh`` counters, so a run report shows how many
+optimizer-parameter requests were absorbed by the cache versus paid for
+with a new experiment.
 """
 
 from __future__ import annotations
@@ -15,6 +36,7 @@ import itertools
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.calibration.runner import CalibrationRunner
+from repro.obs import metrics
 from repro.optimizer.params import OptimizerParameters
 from repro.util.errors import CalibrationError
 from repro.virt.resources import ResourceKind, ResourceVector
@@ -69,11 +91,14 @@ class CalibrationCache:
         key = _key(allocation)
         cached = self._cache.get(key)
         if cached is not None:
+            metrics.counter("calibration.cache.exact_hits").inc()
             return cached
         if self._interpolate and not exact:
             interpolated = self._try_interpolate(allocation)
             if interpolated is not None:
+                metrics.counter("calibration.cache.interpolated").inc()
                 return interpolated
+        metrics.counter("calibration.cache.fresh").inc()
         params = self._runner.parameters_for(allocation)
         self._cache[key] = params
         return params

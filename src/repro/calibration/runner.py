@@ -20,6 +20,12 @@ Two protocols are provided:
 Measured repetitions run against a cache primed by one unmeasured
 execution, so times reflect the steady-state behaviour the optimizer's
 cost formulas model.
+
+Observability: each :meth:`CalibrationRunner.calibrate` call opens a
+``calibrate`` span (tagged with the allocation and protocol) and
+increments ``calibration.experiments``; every measured repetition
+increments ``calibration.measurements`` and adds its simulated seconds
+to the ``sim.seconds`` counter (``source=calibration``).
 """
 
 from __future__ import annotations
@@ -28,6 +34,8 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
 from repro.calibration.solver import CalibrationSolution, solve_parameters
+from repro.obs import metrics
+from repro.obs.spans import span
 from repro.calibration.synthetic import CalibrationWorkbench
 from repro.engine.database import Database
 from repro.engine.plans import IndexScan, PlanNode, walk
@@ -118,6 +126,8 @@ class CalibrationRunner:
             plan = build_plan(db)
             result = db.run_plan(plan)
             seconds = perf.elapsed(result.trace)
+            metrics.counter("calibration.measurements").inc()
+            metrics.counter("sim.seconds", source="calibration").inc(seconds)
             measurement = CalibrationMeasurement(
                 query_name=f"{name}#{repetition}",
                 design_row=self._design_row(plan, result.trace, db),
@@ -172,13 +182,17 @@ class CalibrationRunner:
 
     def calibrate(self, allocation: ResourceVector) -> CalibrationReport:
         """Measure and solve ``P`` for one allocation."""
-        report = CalibrationReport(allocation=allocation, method=self._method)
-        perf = self._boot(allocation)
-        if self._method == "sequential":
-            self._calibrate_sequential(perf, report)
-        else:
-            self._calibrate_lstsq(perf, report)
-        return report
+        with span("calibrate", allocation=str(allocation.as_tuple()),
+                  method=self._method):
+            metrics.counter("calibration.experiments").inc()
+            report = CalibrationReport(allocation=allocation,
+                                       method=self._method)
+            perf = self._boot(allocation)
+            if self._method == "sequential":
+                self._calibrate_sequential(perf, report)
+            else:
+                self._calibrate_lstsq(perf, report)
+            return report
 
     def _calibrate_sequential(self, perf: VMPerfModel,
                               report: CalibrationReport) -> None:

@@ -6,6 +6,13 @@ Exposes the library's main flows without writing Python::
     python -m repro design --scale 0.01 --grid 4 --algorithm exhaustive
     python -m repro explain --query Q4 --cpu 0.5
     python -m repro experiment fig3|fig4|fig5
+    python -m repro report [--json] [--algorithm greedy]
+
+Every command accepts ``--stats`` (print a run report of the counted
+work after the command's own output) and ``--stats-json PATH`` (write
+the same report as JSON). ``report`` runs a small end-to-end design and
+prints nothing *but* its run report — the quickest way to see what the
+observability layer records (see ``docs/observability.md``).
 
 Everything runs on the simulated laboratory machine; see DESIGN.md for
 how that machine relates to the paper's testbed.
@@ -17,6 +24,7 @@ import argparse
 import sys
 from typing import List, Optional
 
+from repro import obs
 from repro.calibration import CalibrationCache, CalibrationRunner
 from repro.core import (
     MeasuredCostModel,
@@ -175,6 +183,59 @@ def cmd_experiment(args) -> int:
     raise AssertionError(f"unhandled experiment {args.name}")
 
 
+def cmd_report(args) -> int:
+    """Run a small end-to-end design and print its run report.
+
+    The run is the paper's two-workload problem at a reduced scale:
+    enough to exercise calibration, the what-if cost model, a search,
+    and (for the measured validation pass) the engine itself, so every
+    section of the report has data.
+    """
+    obs.reset()
+    machine = laboratory_machine()
+    print(f"Running a {args.algorithm} design to collect a run report ...",
+          file=sys.stderr)
+    db = build_tpch_database(scale_factor=args.scale,
+                             tables=["customer", "orders", "lineitem"])
+    specs = [
+        WorkloadSpec(Workload.repeat("order-audit", tpch_query("Q4"), 3), db),
+        WorkloadSpec(Workload.repeat("cust-report", tpch_query("Q13"), 9), db),
+    ]
+    cache = _cache(args)
+    problem = VirtualizationDesignProblem(
+        machine=machine, specs=specs,
+        controlled_resources=(ResourceKind.CPU,),
+    )
+    designer = VirtualizationDesigner(problem, OptimizerCostModel(cache))
+    design = designer.design(args.algorithm, grid=args.grid)
+    measured = MeasuredCostModel(machine, calibration=cache)
+    for name in design.allocation.workload_names():
+        measured.cost(problem.spec(name), design.allocation.vector_for(name))
+
+    report = obs.RunReport.capture(label=f"design/{args.algorithm}")
+    if args.json:
+        print(report.to_json())
+    else:
+        print(report.to_text())
+    return 0
+
+
+def _emit_stats(args) -> None:
+    """Honor the global ``--stats`` / ``--stats-json`` flags."""
+    stats = getattr(args, "stats", False)
+    stats_json = getattr(args, "stats_json", None)
+    if not stats and not stats_json:
+        return
+    report = obs.RunReport.capture(label=args.command)
+    if stats:
+        print()
+        print(report.to_text())
+    if stats_json:
+        with open(stats_json, "w") as handle:
+            handle.write(report.to_json() + "\n")
+        print(f"Wrote run report to {stats_json}", file=sys.stderr)
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -182,17 +243,28 @@ def build_parser() -> argparse.ArgumentParser:
                     "Frontier for Database Tuning and Physical Design' "
                     "(ICDE 2007)",
     )
+    # Shared by every subcommand: observability emission.
+    stats_parent = argparse.ArgumentParser(add_help=False)
+    stats_parent.add_argument(
+        "--stats", action="store_true",
+        help="print a run report (counted work) after the command")
+    stats_parent.add_argument(
+        "--stats-json", metavar="PATH",
+        help="also write the run report as JSON to PATH")
+
     subparsers = parser.add_subparsers(dest="command", required=True)
 
     calibrate = subparsers.add_parser(
-        "calibrate", help="calibrate optimizer parameters for an allocation")
+        "calibrate", parents=[stats_parent],
+        help="calibrate optimizer parameters for an allocation")
     _add_share_arguments(calibrate)
     calibrate.add_argument("--save", help="write the calibration cache to a JSON file")
     calibrate.add_argument("--load", help="preload a saved calibration cache")
     calibrate.set_defaults(func=cmd_calibrate)
 
     design = subparsers.add_parser(
-        "design", help="solve the paper's two-workload design problem")
+        "design", parents=[stats_parent],
+        help="solve the paper's two-workload design problem")
     design.add_argument("--scale", type=float, default=0.01,
                         help="TPC-H scale factor (default 0.01)")
     design.add_argument("--grid", type=int, default=4,
@@ -208,7 +280,8 @@ def build_parser() -> argparse.ArgumentParser:
     design.set_defaults(func=cmd_design)
 
     explain = subparsers.add_parser(
-        "explain", help="what-if EXPLAIN of a TPC-H query under an allocation")
+        "explain", parents=[stats_parent],
+        help="what-if EXPLAIN of a TPC-H query under an allocation")
     explain.add_argument("--query", default="Q4", help="query name (e.g. Q13)")
     explain.add_argument("--scale", type=float, default=0.01)
     _add_share_arguments(explain)
@@ -216,17 +289,35 @@ def build_parser() -> argparse.ArgumentParser:
     explain.set_defaults(func=cmd_explain)
 
     experiment = subparsers.add_parser(
-        "experiment", help="regenerate one of the paper's figures")
+        "experiment", parents=[stats_parent],
+        help="regenerate one of the paper's figures")
     experiment.add_argument("name", choices=["fig3", "fig4", "fig5"])
     experiment.add_argument("--load", help="preload a saved calibration cache")
     experiment.set_defaults(func=cmd_experiment)
+
+    report = subparsers.add_parser(
+        "report",
+        help="run a small design end to end and print its run report")
+    report.add_argument("--json", action="store_true",
+                        help="emit the report as JSON instead of tables")
+    report.add_argument("--scale", type=float, default=0.002,
+                        help="TPC-H scale factor for the demo run "
+                             "(default 0.002)")
+    report.add_argument("--grid", type=int, default=4,
+                        help="search discretization (default 4)")
+    report.add_argument("--algorithm", default="greedy",
+                        choices=["exhaustive", "greedy", "dynamic-programming"])
+    report.add_argument("--load", help="preload a saved calibration cache")
+    report.set_defaults(func=cmd_report)
 
     return parser
 
 
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
-    return args.func(args)
+    code = args.func(args)
+    _emit_stats(args)
+    return code
 
 
 if __name__ == "__main__":  # pragma: no cover - exercised via __main__

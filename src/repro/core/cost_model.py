@@ -14,6 +14,12 @@
 
 Both memoize per (workload, allocation): the search algorithms probe
 the same allocations repeatedly.
+
+Observability: every uncached evaluation increments the
+``cost_model.evaluations`` counter (labelled by model kind) and is
+timed into the ``cost_model.seconds`` histogram; memo hits increment
+``cost_model.memo_hits``. The counters reconcile exactly with
+``SearchResult.evaluations`` (see ``tests/obs/test_obs_integration.py``).
 """
 
 from __future__ import annotations
@@ -22,6 +28,7 @@ from abc import ABC, abstractmethod
 from typing import Dict, Optional, Tuple
 
 from repro.calibration.cache import CalibrationCache
+from repro.obs import metrics
 from repro.core.measure import WorkloadRunner
 from repro.core.problem import WorkloadSpec
 from repro.optimizer.params import OptimizerParameters
@@ -37,6 +44,9 @@ def _allocation_key(allocation: ResourceVector) -> Tuple[float, float, float]:
 class CostModel(ABC):
     """Interface: estimated cost (seconds) of a workload at an allocation."""
 
+    #: Label for the ``cost_model.*`` metrics ("optimizer", "measured", ...).
+    kind = "generic"
+
     def __init__(self):
         self._memo: Dict[Tuple[str, Tuple[float, float, float]], float] = {}
         self.evaluations = 0
@@ -48,9 +58,12 @@ class CostModel(ABC):
                _allocation_key(allocation))
         cached = self._memo.get(key)
         if cached is not None:
+            metrics.counter("cost_model.memo_hits", model=self.kind).inc()
             return cached
         self.evaluations += 1
-        value = self._cost(spec, allocation)
+        metrics.counter("cost_model.evaluations", model=self.kind).inc()
+        with metrics.timer("cost_model.seconds", model=self.kind):
+            value = self._cost(spec, allocation)
         self._memo[key] = value
         return value
 
@@ -61,6 +74,8 @@ class CostModel(ABC):
 
 class OptimizerCostModel(CostModel):
     """The paper's what-if cost model over calibrated parameters."""
+
+    kind = "optimizer"
 
     def __init__(self, calibration: CalibrationCache):
         super().__init__()
@@ -81,6 +96,8 @@ class OptimizerCostModel(CostModel):
 
 class MeasuredCostModel(CostModel):
     """Ground truth: execute the workload at the allocation and time it."""
+
+    kind = "measured"
 
     def __init__(self, machine: PhysicalMachine,
                  calibration: Optional[CalibrationCache] = None,

@@ -15,6 +15,8 @@ from typing import List, Optional
 
 from repro.engine.database import Database
 from repro.engine.trace import WorkTrace
+from repro.obs import metrics
+from repro.obs.spans import span
 from repro.optimizer.params import OptimizerParameters
 from repro.optimizer.planner import Planner
 from repro.util.rng import DeterministicRng
@@ -60,26 +62,32 @@ class WorkloadRunner:
         With *cold_start* the buffer pool begins empty, as after VM
         deployment.
         """
-        vm = VirtualMachine(
-            self._machine,
-            VMConfig(name=f"run-{workload.name}", shares=allocation),
-        )
-        vm.attach_guest(database)
-        vm.start()
-        perf = VMPerfModel(
-            vm,
-            noise_rng=self._rng if self._noise_sigma > 0 else None,
-            noise_sigma=self._noise_sigma,
-        )
-        if cold_start:
-            database.cold_restart()
+        with span("measure.run", workload=workload.name,
+                  allocation=str(allocation.as_tuple())):
+            vm = VirtualMachine(
+                self._machine,
+                VMConfig(name=f"run-{workload.name}", shares=allocation),
+            )
+            vm.attach_guest(database)
+            vm.start()
+            perf = VMPerfModel(
+                vm,
+                noise_rng=self._rng if self._noise_sigma > 0 else None,
+                noise_sigma=self._noise_sigma,
+            )
+            if cold_start:
+                database.cold_restart()
 
-        params = planning_params or OptimizerParameters.defaults()
-        planner = Planner(database.catalog, params)
-        run = MeasuredRun(workload_name=workload.name, allocation=allocation)
-        for sql in workload.statements:
-            plan = planner.plan_sql(sql)
-            result = database.run_plan(plan)
-            run.statement_seconds.append(perf.elapsed(result.trace))
-            run.statement_traces.append(result.trace)
-        return run
+            params = planning_params or OptimizerParameters.defaults()
+            planner = Planner(database.catalog, params)
+            run = MeasuredRun(workload_name=workload.name,
+                              allocation=allocation)
+            for sql in workload.statements:
+                plan = planner.plan_sql(sql)
+                result = database.run_plan(plan)
+                run.statement_seconds.append(perf.elapsed(result.trace))
+                run.statement_traces.append(result.trace)
+            metrics.counter("measure.runs").inc()
+            metrics.counter("sim.seconds", source="measure").inc(
+                run.total_seconds)
+            return run

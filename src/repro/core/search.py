@@ -1,5 +1,7 @@
 """Combinatorial search over resource allocations (paper, Section 3).
 
+Overview
+--------
 The paper anticipates that "any standard combinatorial search algorithm
 such as greedy search or dynamic programming" applies once the cost
 model exists. This module provides three, all operating on a shared
@@ -15,10 +17,27 @@ every workload receiving at least one unit):
   objective: workloads are considered one at a time against the vector
   of remaining units per resource.
 
+Accounting
+----------
 Because ``Cost(W_i, R_i)`` is separable, all three report both the
 chosen matrix and how many distinct cost-model evaluations they used —
 the currency that matters when each evaluation is an optimizer call (or
-worse, a measured run).
+worse, a measured run). ``SearchResult.evaluations`` counts *uncached*
+evaluations spent by this search (deltas of
+``CostModel.evaluations``).
+
+Observability
+-------------
+Each run opens a ``search`` span tagged with the algorithm and grid and
+increments the ``search.runs`` and ``search.evaluations`` counters
+(labelled ``algorithm=<name>``), so a :class:`repro.obs.report.RunReport`
+can break evaluation spend down per algorithm. The counters agree with
+``SearchResult.evaluations`` by construction.
+
+API
+---
+Use :func:`make_algorithm` (or the ``ALGORITHMS`` mapping) to construct
+an algorithm by name, then ``algorithm.search(problem, cost_model)``.
 """
 
 from __future__ import annotations
@@ -30,6 +49,8 @@ from dataclasses import dataclass, field
 from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
 
 from repro.core.cost_model import CostModel
+from repro.obs import metrics
+from repro.obs.spans import span
 from repro.core.problem import AllocationMatrix, VirtualizationDesignProblem
 from repro.util.errors import AllocationError
 from repro.virt.resources import ALL_RESOURCES, ResourceKind, ResourceVector
@@ -72,10 +93,20 @@ class SearchAlgorithm(ABC):
             raise AllocationError("grid must be at least 1")
         self.grid = grid
 
-    @abstractmethod
     def search(self, problem: VirtualizationDesignProblem,
                cost_model: CostModel) -> SearchResult:
-        """Find a (locally) optimal allocation matrix."""
+        """Find a (locally) optimal allocation matrix.
+
+        Template method: opens a ``search`` span tagged with the
+        algorithm and grid, then delegates to :meth:`_search`.
+        """
+        with span("search", algorithm=self.name, grid=str(self.grid)):
+            return self._search(problem, cost_model)
+
+    @abstractmethod
+    def _search(self, problem: VirtualizationDesignProblem,
+                cost_model: CostModel) -> SearchResult:
+        """The algorithm body; must end via :meth:`_finish`."""
 
     # -- shared helpers -----------------------------------------------------
 
@@ -152,6 +183,8 @@ class SearchAlgorithm(ABC):
                 evaluations: int) -> SearchResult:
         matrix = self._matrix(problem, units_by_name)
         total, per_workload = self._evaluate(problem, cost_model, matrix)
+        metrics.counter("search.runs", algorithm=self.name).inc()
+        metrics.counter("search.evaluations", algorithm=self.name).inc(evaluations)
         return SearchResult(
             algorithm=self.name, allocation=matrix, total_cost=total,
             per_workload_costs=per_workload, evaluations=evaluations,
@@ -163,8 +196,8 @@ class ExhaustiveSearch(SearchAlgorithm):
 
     name = "exhaustive"
 
-    def search(self, problem: VirtualizationDesignProblem,
-               cost_model: CostModel) -> SearchResult:
+    def _search(self, problem: VirtualizationDesignProblem,
+                cost_model: CostModel) -> SearchResult:
         names = problem.workload_names()
         n = len(names)
         resources = list(problem.controlled_resources)
@@ -199,8 +232,8 @@ class GreedySearch(SearchAlgorithm):
 
     name = "greedy"
 
-    def search(self, problem: VirtualizationDesignProblem,
-               cost_model: CostModel) -> SearchResult:
+    def _search(self, problem: VirtualizationDesignProblem,
+                cost_model: CostModel) -> SearchResult:
         names = problem.workload_names()
         before = cost_model.evaluations
         units_by_name = self._equal_units(problem)
@@ -246,8 +279,8 @@ class DynamicProgrammingSearch(SearchAlgorithm):
 
     name = "dynamic-programming"
 
-    def search(self, problem: VirtualizationDesignProblem,
-               cost_model: CostModel) -> SearchResult:
+    def _search(self, problem: VirtualizationDesignProblem,
+                cost_model: CostModel) -> SearchResult:
         names = problem.workload_names()
         n = len(names)
         resources = list(problem.controlled_resources)

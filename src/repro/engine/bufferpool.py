@@ -164,6 +164,22 @@ class BufferPool:
             return 1.0
         return self.hits / total
 
+    def publish_metrics(self) -> None:
+        """Surface pool state as gauges on the process-wide registry.
+
+        Called per executed statement (not per page access, which would
+        put a registry lookup on the hottest path in the engine).
+        Gauges: ``engine.buffer_pool.{capacity,resident,hits,misses,
+        hit_ratio}``.
+        """
+        from repro.obs import metrics
+
+        metrics.gauge("engine.buffer_pool.capacity").set(self._capacity)
+        metrics.gauge("engine.buffer_pool.resident").set(len(self._frames))
+        metrics.gauge("engine.buffer_pool.hits").set(self.hits)
+        metrics.gauge("engine.buffer_pool.misses").set(self.misses)
+        metrics.gauge("engine.buffer_pool.hit_ratio").set(self.hit_ratio())
+
     def __repr__(self) -> str:
         return (
             f"BufferPool(capacity={self._capacity}, resident={len(self._frames)}, "

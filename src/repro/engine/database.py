@@ -129,7 +129,29 @@ class Database:
         context = self.execution_context()
         rows = Executor(context).run(plan)
         names = [column for _alias, column in plan.layout.slots]
+        self._publish_trace(context.trace)
         return QueryResult(rows=rows, column_names=names, trace=context.trace, plan=plan)
+
+    def _publish_trace(self, trace: WorkTrace) -> None:
+        """Fold one execution's page accounting into the metrics registry.
+
+        Done once per statement so the per-page path stays free of
+        metric lookups; the counters make I/O behaviour visible in run
+        reports instead of staying buried in per-query traces.
+        """
+        from repro.obs import metrics
+
+        if trace.seq_page_reads:
+            metrics.counter("engine.pages.seq_reads").inc(trace.seq_page_reads)
+        if trace.random_page_reads:
+            metrics.counter("engine.pages.random_reads").inc(
+                trace.random_page_reads)
+        if trace.buffer_hits:
+            metrics.counter("engine.pages.buffer_hits").inc(trace.buffer_hits)
+        if trace.page_writes:
+            metrics.counter("engine.pages.writes").inc(trace.page_writes)
+        metrics.counter("engine.cpu_units").inc(trace.cpu_units)
+        self.buffer_pool.publish_metrics()
 
     def run_sql(self, sql: str) -> QueryResult:
         """Parse, optimize (under this database's default parameters),

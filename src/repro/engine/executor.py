@@ -51,6 +51,7 @@ from repro.engine.trace import (
     WorkTrace,
 )
 from repro.engine.types import Value
+from repro.obs import metrics
 from repro.util.errors import PlanningError
 from repro.util.units import PAGE_SIZE
 
@@ -88,6 +89,7 @@ class Executor:
 
     def run(self, plan: PlanNode) -> List[tuple]:
         """Execute *plan* and return its result rows."""
+        metrics.counter("engine.executor.plans").inc()
         self._ctx.trace.add_cpu(CPU_OPERATOR_STARTUP_UNITS)
         self._resolve_subplans(plan)
         return self._execute(plan)

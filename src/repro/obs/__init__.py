@@ -1,0 +1,80 @@
+"""repro.obs — the cross-cutting observability layer.
+
+Overview
+--------
+Every layer of the reproduction does *counted work*: the engine reads
+pages, the optimizer builds plans, calibration runs experiments, the
+searches spend cost-model evaluations. This package gives those counts
+one process-wide, dependency-free surface:
+
+* :mod:`repro.obs.metrics` — :class:`MetricsRegistry` with counters,
+  gauges, histograms, and timers (labels supported, thread-safe,
+  snapshot/reset);
+* :mod:`repro.obs.spans` — :func:`span`, a context manager producing
+  nested host-time spans with tags, collected by a
+  :class:`SpanRecorder`;
+* :mod:`repro.obs.report` — :class:`RunReport`, which captures both
+  into a serializable account (dict / JSON / text tables) of a whole
+  design run.
+
+Instrumented call sites live in ``repro.engine`` (executor, buffer
+pool, database), ``repro.optimizer`` (planner, what-if),
+``repro.calibration`` (runner, cache), and ``repro.core`` (cost models,
+searches, workload runner). ``python -m repro report`` prints a
+captured report; ``--stats`` on any CLI command appends one.
+
+Usage
+-----
+::
+
+    from repro import obs
+
+    obs.reset()                      # start a fresh accounting period
+    ...                              # run a design / experiment
+    print(obs.RunReport.capture(label="my-run").to_text())
+
+Nothing in this package imports the rest of the library (only
+``repro.util``), so any module can instrument itself without creating
+import cycles.
+"""
+
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    counter,
+    gauge,
+    get_registry,
+    histogram,
+    timer,
+)
+from repro.obs.report import RunReport, summarize
+from repro.obs.spans import Span, SpanRecorder, get_recorder, span
+from repro.obs import metrics as _metrics
+from repro.obs import spans as _spans
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "RunReport",
+    "Span",
+    "SpanRecorder",
+    "counter",
+    "gauge",
+    "get_recorder",
+    "get_registry",
+    "histogram",
+    "reset",
+    "span",
+    "summarize",
+    "timer",
+]
+
+
+def reset() -> None:
+    """Reset the default metrics registry *and* span recorder."""
+    _metrics.reset()
+    _spans.reset()

@@ -1,0 +1,260 @@
+"""Run reports: one serializable account of a whole design run.
+
+Overview
+--------
+A :class:`RunReport` captures the process-wide metrics registry and
+span recorder at a moment in time and derives the headline numbers the
+paper's method is judged by — how many cost-model evaluations a search
+spent, how many calibration experiments were run versus answered from
+the cache (exactly or by interpolation), what the buffer pool's hit
+ratio was, and how much simulated time was accounted versus host time
+spent computing it.
+
+The same data is available three ways:
+
+* :meth:`RunReport.as_dict` — plain data (stable keys, see below);
+* :meth:`RunReport.to_json` / :meth:`RunReport.from_json` — lossless
+  JSON round-trip for archiving runs next to benchmark results;
+* :meth:`RunReport.to_text` — aligned tables for terminals, the thing
+  ``python -m repro report`` and ``--stats`` print.
+
+Headline keys
+-------------
+``summary`` maps these keys to numbers (0 when nothing was recorded):
+
+=============================  ==============================================
+``cost_model_evaluations``     uncached ``Cost(W, R)`` computations
+``cost_model_memo_hits``       evaluations answered from the cost-model memo
+``calibration_experiments``    full calibration experiments executed
+``calibration_measurements``   individual calibration queries measured
+``calibration_exact_hits``     ``P(R)`` lookups answered from the cache
+``calibration_interpolated``   lookups answered by grid interpolation
+``calibration_fresh``          lookups that triggered a new experiment
+``whatif_estimates``           what-if optimizer estimates computed
+``whatif_cache_hits``          estimates answered from the plan cache
+``plans_built``                physical plans constructed by the planner
+``statements_executed``        plans actually executed by the engine
+``pages_seq_read``             sequential page reads (buffer-pool misses)
+``pages_random_read``          random page reads (buffer-pool misses)
+``buffer_hits``                page requests served from the buffer pool
+``buffer_hit_ratio``           hits / all page requests (1.0 when idle)
+``simulated_seconds``          simulated time accounted by the perf model
+``host_seconds``               host time across recorded root spans
+=============================  ==============================================
+
+Usage
+-----
+::
+
+    from repro import obs
+
+    obs.reset()
+    ...  # run a design
+    report = obs.RunReport.capture(label="fig5-design")
+    print(report.to_text())
+    payload = report.to_json()            # archive it
+    again = obs.RunReport.from_json(payload)
+    assert again.as_dict() == report.as_dict()
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.obs.metrics import MetricsRegistry, get_registry
+from repro.obs.spans import SpanRecorder, get_recorder
+from repro.util.errors import ObservabilityError
+from repro.util.tables import format_table
+
+FORMAT = "repro-run-report/1"
+
+
+def _counter_totals(snapshot: dict, name: str) -> float:
+    return sum(entry["value"] for entry in snapshot.get("counters", ())
+               if entry["name"] == name)
+
+
+def _gauge_value(snapshot: dict, name: str) -> Optional[float]:
+    values = [entry["value"] for entry in snapshot.get("gauges", ())
+              if entry["name"] == name]
+    return values[-1] if values else None
+
+
+def _by_label(snapshot: dict, name: str, label: str) -> Dict[str, float]:
+    out: Dict[str, float] = {}
+    for entry in snapshot.get("counters", ()):
+        if entry["name"] == name and label in entry["labels"]:
+            key = entry["labels"][label]
+            out[key] = out.get(key, 0.0) + entry["value"]
+    return out
+
+
+def summarize(snapshot: dict, span_aggregate: Dict[str, dict],
+              host_seconds: float) -> Dict[str, float]:
+    """Derive the headline ``summary`` mapping from a metrics snapshot."""
+    hits = _counter_totals(snapshot, "engine.pages.buffer_hits")
+    seq = _counter_totals(snapshot, "engine.pages.seq_reads")
+    rand = _counter_totals(snapshot, "engine.pages.random_reads")
+    requests = hits + seq + rand
+    if requests > 0:
+        hit_ratio = hits / requests
+    else:
+        gauge = _gauge_value(snapshot, "engine.buffer_pool.hit_ratio")
+        hit_ratio = gauge if gauge is not None else 1.0
+    return {
+        "cost_model_evaluations": _counter_totals(snapshot, "cost_model.evaluations"),
+        "cost_model_memo_hits": _counter_totals(snapshot, "cost_model.memo_hits"),
+        "calibration_experiments": _counter_totals(snapshot, "calibration.experiments"),
+        "calibration_measurements": _counter_totals(snapshot, "calibration.measurements"),
+        "calibration_exact_hits": _counter_totals(snapshot, "calibration.cache.exact_hits"),
+        "calibration_interpolated": _counter_totals(snapshot, "calibration.cache.interpolated"),
+        "calibration_fresh": _counter_totals(snapshot, "calibration.cache.fresh"),
+        "whatif_estimates": _counter_totals(snapshot, "optimizer.whatif.estimates"),
+        "whatif_cache_hits": _counter_totals(snapshot, "optimizer.whatif.cache_hits"),
+        "plans_built": _counter_totals(snapshot, "optimizer.plans"),
+        "statements_executed": _counter_totals(snapshot, "engine.executor.plans"),
+        "pages_seq_read": seq,
+        "pages_random_read": rand,
+        "buffer_hits": hits,
+        "buffer_hit_ratio": hit_ratio,
+        "simulated_seconds": _counter_totals(snapshot, "sim.seconds"),
+        "host_seconds": host_seconds,
+    }
+
+
+@dataclass
+class RunReport:
+    """A captured, serializable account of one run's counted work."""
+
+    label: str
+    summary: Dict[str, float]
+    metrics: dict
+    spans: Dict[str, dict] = field(default_factory=dict)
+
+    # -- capture ------------------------------------------------------------
+
+    @classmethod
+    def capture(cls, label: str = "run",
+                registry: Optional[MetricsRegistry] = None,
+                recorder: Optional[SpanRecorder] = None) -> "RunReport":
+        """Snapshot the (default) registry and recorder into a report."""
+        registry = registry if registry is not None else get_registry()
+        recorder = recorder if recorder is not None else get_recorder()
+        snapshot = registry.snapshot()
+        aggregate = recorder.aggregate()
+        return cls(
+            label=label,
+            summary=summarize(snapshot, aggregate, recorder.total_seconds()),
+            metrics=snapshot,
+            spans=aggregate,
+        )
+
+    # -- serialization ------------------------------------------------------
+
+    def as_dict(self) -> dict:
+        """Plain-data form with stable keys (see module docstring)."""
+        return {
+            "format": FORMAT,
+            "label": self.label,
+            "summary": dict(self.summary),
+            "metrics": {
+                kind: [dict(entry) for entry in series]
+                for kind, series in self.metrics.items()
+            },
+            "spans": {name: dict(stats) for name, stats in self.spans.items()},
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "RunReport":
+        """Rebuild a report from :meth:`as_dict` output."""
+        if payload.get("format") != FORMAT:
+            raise ObservabilityError(
+                f"unrecognized run-report format {payload.get('format')!r}"
+            )
+        return cls(
+            label=payload["label"],
+            summary=dict(payload["summary"]),
+            metrics={kind: [dict(entry) for entry in series]
+                     for kind, series in payload["metrics"].items()},
+            spans={name: dict(stats)
+                   for name, stats in payload.get("spans", {}).items()},
+        )
+
+    def to_json(self, indent: int = 2) -> str:
+        return json.dumps(self.as_dict(), indent=indent, sort_keys=True)
+
+    @classmethod
+    def from_json(cls, text: str) -> "RunReport":
+        return cls.from_dict(json.loads(text))
+
+    # -- rendering ----------------------------------------------------------
+
+    def to_text(self) -> str:
+        """Aligned-table rendering for terminals."""
+        sections: List[str] = []
+        summary = self.summary
+        headline = [
+            ["cost-model evaluations",
+             f"{summary['cost_model_evaluations']:.0f} "
+             f"({summary['cost_model_memo_hits']:.0f} memoized)"],
+            ["calibration experiments",
+             f"{summary['calibration_experiments']:.0f} "
+             f"({summary['calibration_measurements']:.0f} queries measured)"],
+            ["calibration lookups",
+             f"{summary['calibration_exact_hits']:.0f} exact / "
+             f"{summary['calibration_interpolated']:.0f} interpolated / "
+             f"{summary['calibration_fresh']:.0f} fresh"],
+            ["what-if estimates",
+             f"{summary['whatif_estimates']:.0f} "
+             f"({summary['whatif_cache_hits']:.0f} plan-cache hits)"],
+            ["plans built / executed",
+             f"{summary['plans_built']:.0f} / "
+             f"{summary['statements_executed']:.0f}"],
+            ["pages read (seq / random)",
+             f"{summary['pages_seq_read']:.0f} / "
+             f"{summary['pages_random_read']:.0f}"],
+            ["buffer-pool hit ratio",
+             f"{summary['buffer_hit_ratio']:.3f} "
+             f"({summary['buffer_hits']:.0f} hits)"],
+            ["simulated seconds", f"{summary['simulated_seconds']:.4g}"],
+            ["host seconds (spans)", f"{summary['host_seconds']:.4g}"],
+        ]
+        sections.append(format_table(
+            ["measure", "value"], headline,
+            title=f"Run report — {self.label}",
+        ))
+
+        searches = _by_label(self.metrics, "search.evaluations", "algorithm")
+        if searches:
+            runs = _by_label(self.metrics, "search.runs", "algorithm")
+            rows = [[algo, f"{runs.get(algo, 0):.0f}", f"{count:.0f}"]
+                    for algo, count in sorted(searches.items())]
+            sections.append(format_table(
+                ["search algorithm", "runs", "evaluations"], rows,
+                title="Search",
+            ))
+
+        if self.spans:
+            rows = []
+            for name, stats in self.spans.items():
+                mean_ms = (stats["seconds"] / stats["count"]) * 1e3
+                rows.append([name, f"{stats['count']:.0f}",
+                             f"{stats['seconds']:.4g}", f"{mean_ms:.3g}"])
+            sections.append(format_table(
+                ["span", "count", "total (s)", "mean (ms)"], rows,
+                title="Host-time spans",
+            ))
+
+        counters = self.metrics.get("counters", [])
+        if counters:
+            rows = []
+            for entry in counters:
+                labels = ",".join(f"{k}={v}"
+                                  for k, v in sorted(entry["labels"].items()))
+                rows.append([entry["name"], labels, f"{entry['value']:.6g}"])
+            sections.append(format_table(
+                ["counter", "labels", "value"], rows, title="All counters",
+            ))
+        return "\n\n".join(sections)

@@ -1,0 +1,194 @@
+"""Nested timed spans over host time.
+
+Overview
+--------
+Metrics answer "how much work happened"; spans answer "where the host
+time went". A :func:`span` context manager opens a named, tagged span;
+spans opened inside it become its children, so one design run yields a
+tree like::
+
+    design
+    └── search (algorithm=greedy)
+        ├── calibrate (cpu=0.25 ...)
+        └── run_plan × 120
+
+Span durations are **host** ``time.perf_counter`` seconds — the cost of
+running the reproduction itself — deliberately distinct from the
+*simulated* seconds the performance model produces, which flow through
+the metrics registry (``sim.seconds``). A :class:`repro.obs.report.RunReport`
+shows both, which is how "the search took 40 ms of host time to decide
+about 1.9 simulated seconds of workload" becomes visible.
+
+Mechanics
+---------
+* The active span stack is per-thread (``threading.local``); concurrent
+  threads each get their own tree.
+* Finished root spans are kept on a bounded list
+  (:data:`SPAN_ROOT_CAP`); beyond the cap, trees are dropped and
+  counted in :attr:`SpanRecorder.dropped_roots` instead of growing
+  memory without bound.
+* Aggregate statistics per span name (count, total/min/max seconds)
+  are maintained incrementally for **every** finished span, including
+  those whose trees were dropped — reports use the aggregates, the
+  trees exist for interactive digging.
+
+Usage
+-----
+::
+
+    from repro.obs import span, get_recorder
+
+    with span("design", algorithm="greedy"):
+        with span("calibrate", cpu="0.25"):
+            ...
+
+    get_recorder().aggregate()   # {"design": {"count": 1, ...}, ...}
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from contextlib import contextmanager
+from typing import Dict, Iterator, List, Optional
+
+#: Finished root-span trees retained; older roots beyond this are dropped
+#: (their aggregate statistics are still recorded).
+SPAN_ROOT_CAP = 1000
+
+
+class Span:
+    """One timed, tagged region; children are spans opened inside it."""
+
+    __slots__ = ("name", "tags", "start", "end", "children")
+
+    def __init__(self, name: str, tags: Dict[str, str]):
+        self.name = name
+        self.tags = tags
+        self.start = time.perf_counter()
+        self.end: Optional[float] = None
+        self.children: List["Span"] = []
+
+    @property
+    def duration(self) -> float:
+        """Elapsed host seconds (0.0 while still open)."""
+        if self.end is None:
+            return 0.0
+        return self.end - self.start
+
+    def as_dict(self) -> dict:
+        """Plain-data form (children included recursively)."""
+        return {
+            "name": self.name,
+            "tags": dict(self.tags),
+            "seconds": self.duration,
+            "children": [child.as_dict() for child in self.children],
+        }
+
+    def __repr__(self) -> str:
+        state = f"{self.duration * 1e3:.2f}ms" if self.end else "open"
+        return f"Span({self.name!r}, {state}, children={len(self.children)})"
+
+
+class SpanRecorder:
+    """Collects finished span trees and per-name aggregates."""
+
+    def __init__(self, root_cap: int = SPAN_ROOT_CAP):
+        self._root_cap = root_cap
+        self._lock = threading.Lock()
+        self._local = threading.local()
+        self.roots: List[Span] = []
+        self.dropped_roots = 0
+        self._aggregate: Dict[str, Dict[str, float]] = {}
+
+    # -- the active stack ---------------------------------------------------
+
+    def _stack(self) -> List[Span]:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = self._local.stack = []
+        return stack
+
+    def current(self) -> Optional[Span]:
+        """The innermost open span on this thread, if any."""
+        stack = self._stack()
+        return stack[-1] if stack else None
+
+    @contextmanager
+    def span(self, name: str, **tags: str) -> Iterator[Span]:
+        """Open a span; nests under the current span of this thread."""
+        node = Span(name, {k: str(v) for k, v in tags.items()})
+        stack = self._stack()
+        parent = stack[-1] if stack else None
+        stack.append(node)
+        try:
+            yield node
+        finally:
+            node.end = time.perf_counter()
+            stack.pop()
+            if parent is not None:
+                parent.children.append(node)
+            else:
+                with self._lock:
+                    if len(self.roots) < self._root_cap:
+                        self.roots.append(node)
+                    else:
+                        self.dropped_roots += 1
+            self._record(node)
+
+    def _record(self, node: Span) -> None:
+        with self._lock:
+            stats = self._aggregate.get(node.name)
+            if stats is None:
+                stats = self._aggregate[node.name] = {
+                    "count": 0, "seconds": 0.0,
+                    "min_seconds": float("inf"), "max_seconds": 0.0,
+                }
+            stats["count"] += 1
+            stats["seconds"] += node.duration
+            stats["min_seconds"] = min(stats["min_seconds"], node.duration)
+            stats["max_seconds"] = max(stats["max_seconds"], node.duration)
+
+    # -- reading ------------------------------------------------------------
+
+    def aggregate(self) -> Dict[str, Dict[str, float]]:
+        """Per-name statistics over every finished span (plain copy)."""
+        with self._lock:
+            return {name: dict(stats)
+                    for name, stats in sorted(self._aggregate.items())}
+
+    def total_seconds(self) -> float:
+        """Host seconds across finished root spans (non-overlapping work)."""
+        with self._lock:
+            return sum(root.duration for root in self.roots)
+
+    def as_dicts(self) -> List[dict]:
+        """Retained root trees as plain data."""
+        with self._lock:
+            return [root.as_dict() for root in self.roots]
+
+    def reset(self) -> None:
+        """Drop recorded trees and aggregates (open spans are unaffected)."""
+        with self._lock:
+            self.roots.clear()
+            self.dropped_roots = 0
+            self._aggregate.clear()
+
+
+#: Process-wide default recorder used by the library's instrumentation.
+_DEFAULT = SpanRecorder()
+
+
+def get_recorder() -> SpanRecorder:
+    """The process-wide default span recorder."""
+    return _DEFAULT
+
+
+def span(name: str, **tags: str):
+    """``get_recorder().span(...)`` — open a span on the default recorder."""
+    return _DEFAULT.span(name, **tags)
+
+
+def reset() -> None:
+    """Reset the default recorder."""
+    _DEFAULT.reset()

@@ -17,6 +17,11 @@ Turns a bound :class:`LogicalQuery` into a costed physical plan:
 Every node is annotated with estimated rows and cost under the
 planner's :class:`OptimizerParameters`, which is what the what-if
 optimizer varies per resource allocation.
+
+Observability: every :meth:`Planner.plan_query` call increments the
+``optimizer.plans`` counter and is timed into ``optimizer.plan_seconds``
+— the per-plan cost that what-if estimation pays when its plan cache
+misses.
 """
 
 from __future__ import annotations
@@ -62,6 +67,7 @@ from repro.engine.sql.binder import (
     LogicalRelation,
 )
 from repro.engine.statistics import TableStats
+from repro.obs import metrics
 from repro.optimizer import cost as costf
 from repro.optimizer.params import OptimizerParameters
 from repro.optimizer.selectivity import SelectivityEstimator
@@ -102,8 +108,10 @@ class Planner:
         return self.plan_query(query)
 
     def plan_query(self, query: LogicalQuery) -> PlanNode:
-        state = _PlanState(self, query)
-        return state.build()
+        metrics.counter("optimizer.plans").inc()
+        with metrics.timer("optimizer.plan_seconds"):
+            state = _PlanState(self, query)
+            return state.build()
 
 
 class _PlanState:

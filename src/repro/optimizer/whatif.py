@@ -7,6 +7,12 @@ executing anything*. Access paths and database statistics are used
 unchanged; only ``P`` varies, exactly as Section 4 of the paper
 prescribes. Estimates are intended for *ranking* alternatives, not as
 absolute predictions.
+
+Observability: computed estimates increment
+``optimizer.whatif.estimates``; estimates answered from the shared
+(query, ``P``) plan cache increment ``optimizer.whatif.cache_hits``.
+The difference is how much re-optimization the what-if mode actually
+performs across a design run.
 """
 
 from __future__ import annotations
@@ -15,6 +21,7 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence
 
 from repro.engine.catalog import Catalog
+from repro.obs import metrics
 from repro.engine.plans import PlanNode
 from repro.optimizer.params import OptimizerParameters
 from repro.optimizer.planner import Planner
@@ -61,7 +68,9 @@ class WhatIfOptimizer:
         key = (sql, self._params)
         cached = self._plan_cache.get(key)
         if cached is not None:
+            metrics.counter("optimizer.whatif.cache_hits").inc()
             return cached
+        metrics.counter("optimizer.whatif.estimates").inc()
         planner = Planner(self._catalog, self._params)
         plan = planner.plan_sql(sql)
         estimate = QueryEstimate(

@@ -36,3 +36,7 @@ class PlanningError(ReproError):
 
 class CalibrationError(ReproError):
     """Calibration could not recover optimizer parameters."""
+
+
+class ObservabilityError(ReproError):
+    """Misuse of the metrics/span/report API (kind clash, bad value)."""

@@ -10,6 +10,7 @@ state.
 
 from __future__ import annotations
 
+import hashlib
 import random
 
 
@@ -36,8 +37,14 @@ class DeterministicRng:
         The child's stream depends only on this generator's seed and the
         label, not on how many values have been drawn so far, so
         components can be re-ordered without perturbing each other.
+
+        The derivation must be stable across processes, so it uses a
+        cryptographic digest rather than ``hash()`` (whose string
+        hashing is randomized per process by ``PYTHONHASHSEED``, which
+        would make "deterministic" streams differ run to run).
         """
-        child_seed = hash((self._seed, label)) & 0x7FFFFFFF
+        digest = hashlib.sha256(f"{self._seed}:{label}".encode()).digest()
+        child_seed = int.from_bytes(digest[:8], "big") & 0x7FFFFFFF
         return DeterministicRng(child_seed)
 
     def randint(self, low: int, high: int) -> int:

@@ -56,6 +56,44 @@ class TestExperiment:
         assert out.count("cpu ") >= 3
 
 
+class TestReport:
+    def test_report_prints_counted_work(self, capsys):
+        assert main(["report", "--scale", "0.002", "--grid", "4",
+                     "--algorithm", "greedy"]) == 0
+        out = capsys.readouterr().out
+        assert "Run report — design/greedy" in out
+        assert "cost-model evaluations" in out
+        assert "calibration lookups" in out
+        assert "buffer-pool hit ratio" in out
+        assert "greedy" in out  # per-algorithm search table
+
+    def test_report_json_matches_text_data(self, capsys):
+        assert main(["report", "--scale", "0.002", "--grid", "4",
+                     "--algorithm", "greedy", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["format"] == "repro-run-report/1"
+        assert payload["label"] == "design/greedy"
+        assert payload["summary"]["cost_model_evaluations"] > 0
+        assert payload["summary"]["calibration_experiments"] > 0
+        assert 0.0 <= payload["summary"]["buffer_hit_ratio"] <= 1.0
+
+    def test_stats_flag_appends_report(self, capsys):
+        assert main(["calibrate", "--cpu", "0.5", "--stats"]) == 0
+        out = capsys.readouterr().out
+        assert "cpu_tuple_cost" in out          # the command's own output
+        assert "Run report" in out              # plus the appended report
+        assert "calibration experiments" in out
+
+    def test_stats_json_writes_file(self, capsys, tmp_path):
+        path = tmp_path / "stats.json"
+        assert main(["calibrate", "--cpu", "0.5",
+                     "--stats-json", str(path)]) == 0
+        capsys.readouterr()
+        payload = json.loads(path.read_text())
+        assert payload["format"] == "repro-run-report/1"
+        assert payload["summary"]["calibration_experiments"] >= 1
+
+
 class TestParser:
     def test_requires_command(self):
         with pytest.raises(SystemExit):

@@ -1,0 +1,103 @@
+"""Integration: the library's instrumentation agrees with its returns.
+
+The metrics registry is a second account of work the library already
+reports through return values (``SearchResult.evaluations``,
+``CostModel.evaluations``). These tests run real searches and check the
+two accounts agree exactly — the property that makes run reports
+trustworthy.
+"""
+
+import pytest
+
+from repro import obs
+from repro.core.cost_model import CostModel
+from repro.core.problem import VirtualizationDesignProblem, WorkloadSpec
+from repro.core.search import ExhaustiveSearch, GreedySearch
+from repro.engine.database import Database
+from repro.virt.machine import PhysicalMachine
+from repro.virt.resources import ResourceKind, ResourceVector
+from repro.workloads.workload import Workload
+
+
+class SyntheticCostModel(CostModel):
+    """cost_i(R) = weight_i / cpu share — analytic and instant."""
+
+    kind = "synthetic"
+
+    def __init__(self, weights):
+        super().__init__()
+        self._weights = weights
+
+    def _cost(self, spec, allocation: ResourceVector) -> float:
+        return self._weights[spec.name] / max(allocation.cpu, 1e-9)
+
+
+@pytest.fixture
+def problem_and_model():
+    weights = {"oltp": 1.0, "batch": 4.0}
+    specs = [
+        WorkloadSpec(Workload(name, ["select 1 from t"]), Database(name))
+        for name in weights
+    ]
+    problem = VirtualizationDesignProblem(
+        machine=PhysicalMachine(), specs=specs,
+        controlled_resources=(ResourceKind.CPU,),
+    )
+    return problem, SyntheticCostModel(weights)
+
+
+@pytest.fixture(autouse=True)
+def clean_obs():
+    obs.reset()
+    yield
+    obs.reset()
+
+
+class TestSearchAccounting:
+    def test_greedy_metrics_match_search_result(self, problem_and_model):
+        problem, model = problem_and_model
+        result = GreedySearch(grid=8).search(problem, model)
+        registry = obs.get_registry()
+        assert registry.value("search.runs", algorithm="greedy") == 1
+        assert registry.value(
+            "search.evaluations", algorithm="greedy"
+        ) == result.evaluations
+        # SearchResult.evaluations counts *uncached* cost computations,
+        # so it must equal the cost-model counter exactly; memoized
+        # requests are accounted separately
+        evals = registry.total("cost_model.evaluations")
+        assert evals == model.evaluations == result.evaluations
+        assert registry.total("cost_model.memo_hits") >= 0
+
+    def test_exhaustive_metrics_match_search_result(self, problem_and_model):
+        problem, model = problem_and_model
+        result = ExhaustiveSearch(grid=6).search(problem, model)
+        registry = obs.get_registry()
+        assert registry.value(
+            "search.evaluations", algorithm="exhaustive"
+        ) == result.evaluations
+
+    def test_runs_accumulate_per_algorithm(self, problem_and_model):
+        problem, model = problem_and_model
+        first = GreedySearch(grid=4).search(problem, model)
+        second = GreedySearch(grid=4).search(problem, model)
+        registry = obs.get_registry()
+        assert registry.value("search.runs", algorithm="greedy") == 2
+        assert registry.value(
+            "search.evaluations", algorithm="greedy"
+        ) == first.evaluations + second.evaluations
+
+    def test_search_span_recorded(self, problem_and_model):
+        problem, model = problem_and_model
+        GreedySearch(grid=4).search(problem, model)
+        agg = obs.get_recorder().aggregate()
+        assert agg["search"]["count"] == 1
+        (root,) = obs.get_recorder().roots
+        assert root.tags["algorithm"] == "greedy"
+
+    def test_run_report_reflects_the_search(self, problem_and_model):
+        problem, model = problem_and_model
+        result = GreedySearch(grid=8).search(problem, model)
+        report = obs.RunReport.capture("integration")
+        assert report.summary["cost_model_evaluations"] == result.evaluations
+        assert "greedy" in report.to_text()

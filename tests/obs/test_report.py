@@ -1,0 +1,123 @@
+"""Unit tests for run reports (capture, summary, serialization)."""
+
+import json
+
+import pytest
+
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.report import FORMAT, RunReport, summarize
+from repro.obs.spans import SpanRecorder
+from repro.util.errors import ObservabilityError
+
+
+@pytest.fixture
+def populated():
+    """A private registry/recorder pair with representative activity."""
+    registry = MetricsRegistry()
+    recorder = SpanRecorder()
+    registry.counter("cost_model.evaluations", model="optimizer").inc(12)
+    registry.counter("cost_model.memo_hits", model="optimizer").inc(4)
+    registry.counter("calibration.experiments").inc(3)
+    registry.counter("calibration.cache.exact_hits").inc(5)
+    registry.counter("engine.pages.buffer_hits").inc(70)
+    registry.counter("engine.pages.seq_reads").inc(20)
+    registry.counter("engine.pages.random_reads").inc(10)
+    registry.counter("search.runs", algorithm="greedy").inc()
+    registry.counter("search.evaluations", algorithm="greedy").inc(12)
+    registry.counter("sim.seconds", source="measure").inc(1.5)
+    registry.gauge("engine.buffer_pool.hit_ratio").set(0.7)
+    registry.histogram("optimizer.plan_seconds").observe(0.002)
+    with recorder.span("search", algorithm="greedy"):
+        with recorder.span("calibrate"):
+            pass
+    return registry, recorder
+
+
+class TestSummarize:
+    def test_headline_numbers(self, populated):
+        registry, recorder = populated
+        summary = summarize(registry.snapshot(), recorder.aggregate(),
+                            recorder.total_seconds())
+        assert summary["cost_model_evaluations"] == 12
+        assert summary["cost_model_memo_hits"] == 4
+        assert summary["calibration_experiments"] == 3
+        assert summary["calibration_exact_hits"] == 5
+        assert summary["pages_seq_read"] == 20
+        assert summary["buffer_hits"] == 70
+        assert summary["buffer_hit_ratio"] == pytest.approx(0.7)
+        assert summary["simulated_seconds"] == pytest.approx(1.5)
+        assert summary["host_seconds"] > 0.0
+
+    def test_hit_ratio_falls_back_to_gauge_then_one(self):
+        registry = MetricsRegistry()
+        registry.gauge("engine.buffer_pool.hit_ratio").set(0.25)
+        summary = summarize(registry.snapshot(), {}, 0.0)
+        assert summary["buffer_hit_ratio"] == pytest.approx(0.25)
+        summary = summarize(MetricsRegistry().snapshot(), {}, 0.0)
+        assert summary["buffer_hit_ratio"] == 1.0
+
+    def test_idle_registry_summarizes_to_zeros(self):
+        summary = summarize(MetricsRegistry().snapshot(), {}, 0.0)
+        assert summary["cost_model_evaluations"] == 0
+        assert summary["simulated_seconds"] == 0
+
+
+class TestRoundTrip:
+    def test_dict_json_dict_is_lossless(self, populated):
+        registry, recorder = populated
+        report = RunReport.capture("unit", registry=registry,
+                                   recorder=recorder)
+        payload = report.as_dict()
+        assert payload["format"] == FORMAT
+        again = RunReport.from_json(report.to_json())
+        assert again.as_dict() == payload
+        # and a second round trip is stable
+        assert RunReport.from_dict(again.as_dict()).as_dict() == payload
+
+    def test_json_is_valid_and_sorted(self, populated):
+        registry, recorder = populated
+        blob = RunReport.capture(registry=registry,
+                                 recorder=recorder).to_json()
+        parsed = json.loads(blob)
+        assert parsed["format"] == FORMAT
+        assert list(parsed) == sorted(parsed)
+
+    def test_unknown_format_rejected(self):
+        with pytest.raises(ObservabilityError):
+            RunReport.from_dict({"format": "repro-run-report/99",
+                                 "label": "x", "summary": {}, "metrics": {}})
+
+    def test_from_dict_copies_payload(self, populated):
+        registry, recorder = populated
+        payload = RunReport.capture(registry=registry,
+                                    recorder=recorder).as_dict()
+        report = RunReport.from_dict(payload)
+        payload["summary"]["cost_model_evaluations"] = -1
+        assert report.summary["cost_model_evaluations"] == 12
+
+
+class TestCaptureIsolation:
+    def test_capture_is_a_snapshot(self, populated):
+        registry, recorder = populated
+        report = RunReport.capture(registry=registry, recorder=recorder)
+        registry.counter("cost_model.evaluations", model="optimizer").inc(100)
+        assert report.summary["cost_model_evaluations"] == 12
+
+
+class TestTextRendering:
+    def test_text_contains_headline_and_sections(self, populated):
+        registry, recorder = populated
+        text = RunReport.capture("demo", registry=registry,
+                                 recorder=recorder).to_text()
+        assert "Run report — demo" in text
+        assert "cost-model evaluations" in text
+        assert "12 (4 memoized)" in text
+        assert "greedy" in text           # per-algorithm search table
+        assert "Host-time spans" in text
+        assert "All counters" in text
+
+    def test_empty_report_renders(self):
+        text = RunReport.capture("empty", registry=MetricsRegistry(),
+                                 recorder=SpanRecorder()).to_text()
+        assert "Run report — empty" in text
+        assert "Search" not in text

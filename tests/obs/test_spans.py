@@ -1,0 +1,131 @@
+"""Unit tests for nested timed spans."""
+
+import pytest
+
+from repro.obs.spans import SpanRecorder
+
+
+@pytest.fixture
+def recorder():
+    return SpanRecorder()
+
+
+class TestNesting:
+    def test_children_attach_to_enclosing_span(self, recorder):
+        with recorder.span("outer") as outer:
+            with recorder.span("inner"):
+                with recorder.span("leaf"):
+                    pass
+            with recorder.span("inner"):
+                pass
+        assert [c.name for c in outer.children] == ["inner", "inner"]
+        assert [c.name for c in outer.children[0].children] == ["leaf"]
+        # only the outermost span is a root
+        assert [r.name for r in recorder.roots] == ["outer"]
+
+    def test_sibling_roots(self, recorder):
+        with recorder.span("a"):
+            pass
+        with recorder.span("b"):
+            pass
+        assert [r.name for r in recorder.roots] == ["a", "b"]
+
+    def test_current_tracks_the_stack(self, recorder):
+        assert recorder.current() is None
+        with recorder.span("outer"):
+            assert recorder.current().name == "outer"
+            with recorder.span("inner"):
+                assert recorder.current().name == "inner"
+            assert recorder.current().name == "outer"
+        assert recorder.current() is None
+
+    def test_stack_unwinds_on_exception(self, recorder):
+        with pytest.raises(ValueError):
+            with recorder.span("outer"):
+                with recorder.span("inner"):
+                    raise ValueError("boom")
+        assert recorder.current() is None
+        (root,) = recorder.roots
+        assert root.name == "outer" and root.end is not None
+        assert root.children[0].end is not None
+
+
+class TestTiming:
+    def test_parent_duration_covers_children(self, recorder):
+        with recorder.span("outer") as outer:
+            with recorder.span("inner") as inner:
+                pass
+        assert outer.duration >= inner.duration >= 0.0
+        assert outer.start <= inner.start
+        assert outer.end >= inner.end
+
+    def test_open_span_reports_zero_duration(self, recorder):
+        with recorder.span("outer") as outer:
+            assert outer.duration == 0.0
+        assert outer.duration > 0.0
+
+    def test_tags_are_stringified(self, recorder):
+        with recorder.span("s", grid=4, algorithm="greedy") as s:
+            pass
+        assert s.tags == {"grid": "4", "algorithm": "greedy"}
+
+
+class TestAggregate:
+    def test_counts_and_totals_per_name(self, recorder):
+        for _ in range(3):
+            with recorder.span("step"):
+                pass
+        agg = recorder.aggregate()
+        assert agg["step"]["count"] == 3
+        assert agg["step"]["seconds"] >= agg["step"]["min_seconds"] * 3
+        assert agg["step"]["max_seconds"] >= agg["step"]["min_seconds"]
+
+    def test_aggregate_includes_non_root_spans(self, recorder):
+        with recorder.span("outer"):
+            with recorder.span("inner"):
+                pass
+        agg = recorder.aggregate()
+        assert agg["inner"]["count"] == 1
+        assert agg["outer"]["count"] == 1
+
+    def test_total_seconds_sums_roots_only(self, recorder):
+        with recorder.span("outer"):
+            with recorder.span("inner"):
+                pass
+        (root,) = recorder.roots
+        assert recorder.total_seconds() == pytest.approx(root.duration)
+
+
+class TestBoundedRetention:
+    def test_root_cap_drops_trees_but_keeps_aggregates(self):
+        recorder = SpanRecorder(root_cap=2)
+        for _ in range(5):
+            with recorder.span("step"):
+                pass
+        assert len(recorder.roots) == 2
+        assert recorder.dropped_roots == 3
+        assert recorder.aggregate()["step"]["count"] == 5
+
+
+class TestSerialization:
+    def test_as_dicts_round_trips_structure(self, recorder):
+        with recorder.span("outer", k="v"):
+            with recorder.span("inner"):
+                pass
+        (tree,) = recorder.as_dicts()
+        assert tree["name"] == "outer"
+        assert tree["tags"] == {"k": "v"}
+        assert tree["seconds"] > 0.0
+        assert tree["children"][0]["name"] == "inner"
+        assert tree["children"][0]["children"] == []
+
+
+class TestReset:
+    def test_reset_clears_trees_and_aggregates(self, recorder):
+        with recorder.span("step"):
+            pass
+        recorder.reset()
+        assert recorder.roots == []
+        assert recorder.dropped_roots == 0
+        assert recorder.aggregate() == {}
+        assert recorder.total_seconds() == 0.0

@@ -1,8 +1,14 @@
 """Tests for the deterministic random source."""
 
+import pathlib
+import subprocess
+import sys
+
 import pytest
 
 from repro.util.rng import DeterministicRng
+
+SRC_DIR = str(pathlib.Path(__file__).resolve().parent.parent.parent / "src")
 
 
 class TestDeterminism:
@@ -35,6 +41,26 @@ class TestDeterminism:
 
     def test_seed_property(self):
         assert DeterministicRng(123).seed == 123
+
+    def test_fork_is_stable_across_processes(self):
+        """fork() must not depend on PYTHONHASHSEED.
+
+        Regression: forked seeds were once derived with ``hash()``,
+        whose per-process string-hash randomization silently made every
+        "deterministic" experiment vary run to run.
+        """
+        script = ("from repro.util.rng import DeterministicRng; "
+                  "print(DeterministicRng(5).fork('child').seed)")
+        seeds = set()
+        for hashseed in ("1", "2"):
+            out = subprocess.run(
+                [sys.executable, "-c", script],
+                env={"PYTHONHASHSEED": hashseed, "PYTHONPATH": SRC_DIR},
+                capture_output=True, text=True, check=True,
+            )
+            seeds.add(int(out.stdout))
+        assert len(seeds) == 1
+        assert seeds == {DeterministicRng(5).fork("child").seed}
 
 
 class TestHelpers:
