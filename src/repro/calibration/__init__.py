@@ -11,7 +11,7 @@ so calibrations are cached and reused across design problems.
 from repro.calibration.synthetic import CalibrationWorkbench
 from repro.calibration.runner import CalibrationRunner, CalibrationMeasurement
 from repro.calibration.solver import solve_parameters
-from repro.calibration.cache import CalibrationCache
+from repro.calibration.cache import CalibrationCache, FallbackEvent
 
 __all__ = [
     "CalibrationWorkbench",
@@ -19,4 +19,5 @@ __all__ = [
     "CalibrationMeasurement",
     "solve_parameters",
     "CalibrationCache",
+    "FallbackEvent",
 ]

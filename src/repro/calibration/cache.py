@@ -21,18 +21,43 @@ API
   persist calibrated points as JSON; valid for any database and
   workload on the same machine.
 
+Graceful degradation
+--------------------
+A production designer must keep producing allocations when a
+calibration experiment dies for good (a permanently degraded
+allocation, an ill-conditioned solve). When the runner raises a
+permanent :class:`~repro.util.errors.CalibrationError`,
+:meth:`CalibrationCache.params_for` walks a fallback chain instead of
+propagating:
+
+1. **retry** the whole experiment (``max_experiment_attempts``, the
+   runner has already retried individual measurements);
+2. **nearest calibrated allocation** — the cached point closest in
+   share space stands in for the dead one;
+3. **PostgreSQL defaults** — with an empty cache, the uncalibrated
+   :meth:`OptimizerParameters.defaults` keep the pipeline alive.
+
+Every degradation is recorded: a :class:`FallbackEvent` is appended to
+:attr:`CalibrationCache.fallback_log` and the ``resilience.fallbacks``
+counter (labelled ``kind=nearest|default``) is incremented. Fallback
+parameters are remembered separately from calibrated ones, so they are
+never persisted by :meth:`CalibrationCache.save` or used as
+interpolation corners.
+
 Observability
 -------------
 Every lookup increments exactly one of the
 ``calibration.cache.exact_hits`` / ``calibration.cache.interpolated`` /
 ``calibration.cache.fresh`` counters, so a run report shows how many
 optimizer-parameter requests were absorbed by the cache versus paid for
-with a new experiment.
+with a new experiment. Experiment-level retries count on
+``resilience.retries`` (``site=experiment``).
 """
 
 from __future__ import annotations
 
 import itertools
+from dataclasses import dataclass
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.calibration.runner import CalibrationRunner
@@ -49,13 +74,36 @@ def _key(allocation: ResourceVector) -> Tuple[float, float, float]:
     return tuple(round(s, _KEY_DECIMALS) for s in allocation.as_tuple())
 
 
-class CalibrationCache:
-    """Memoized ``R -> P`` with optional multilinear interpolation."""
+@dataclass(frozen=True)
+class FallbackEvent:
+    """One recorded degradation of a ``P(R)`` lookup."""
 
-    def __init__(self, runner: CalibrationRunner, interpolate: bool = False):
+    allocation: Tuple[float, float, float]
+    #: ``"nearest"`` (served by another calibrated point) or
+    #: ``"default"`` (served by uncalibrated defaults).
+    kind: str
+    #: The calibrated point that stood in (``nearest`` only).
+    source: Optional[Tuple[float, float, float]]
+    #: The permanent error that forced the fallback.
+    reason: str
+
+
+class CalibrationCache:
+    """Memoized ``R -> P`` with interpolation and graceful degradation."""
+
+    def __init__(self, runner: CalibrationRunner, interpolate: bool = False,
+                 max_experiment_attempts: int = 2):
+        if max_experiment_attempts < 1:
+            raise CalibrationError("max_experiment_attempts must be >= 1")
         self._runner = runner
         self._interpolate = interpolate
+        self._max_experiment_attempts = max_experiment_attempts
         self._cache: Dict[Tuple[float, float, float], OptimizerParameters] = {}
+        # Degraded answers are remembered so a dead allocation is not
+        # re-attempted on every probe, but kept apart from calibrated
+        # points: they must never be saved or interpolated from.
+        self._fallbacks: Dict[Tuple[float, float, float], OptimizerParameters] = {}
+        self.fallback_log: List[FallbackEvent] = []
 
     @property
     def calibrated_points(self) -> List[Tuple[float, float, float]]:
@@ -86,22 +134,68 @@ class CalibrationCache:
 
         With interpolation enabled (and *exact* false), an uncalibrated
         allocation is answered from the surrounding calibrated grid
-        points when possible; otherwise a fresh calibration runs.
+        points when possible; otherwise a fresh calibration runs. A
+        permanently failing experiment degrades through the fallback
+        chain (module docstring) instead of raising.
         """
         key = _key(allocation)
         cached = self._cache.get(key)
         if cached is not None:
             metrics.counter("calibration.cache.exact_hits").inc()
             return cached
+        degraded = self._fallbacks.get(key)
+        if degraded is not None:
+            metrics.counter("calibration.cache.exact_hits").inc()
+            return degraded
         if self._interpolate and not exact:
             interpolated = self._try_interpolate(allocation)
             if interpolated is not None:
                 metrics.counter("calibration.cache.interpolated").inc()
                 return interpolated
         metrics.counter("calibration.cache.fresh").inc()
-        params = self._runner.parameters_for(allocation)
+        try:
+            params = self._calibrate_with_retries(allocation)
+        except CalibrationError as error:
+            params = self._fall_back(key, error)
+            self._fallbacks[key] = params
+            return params
         self._cache[key] = params
         return params
+
+    def _calibrate_with_retries(self,
+                                allocation: ResourceVector) -> OptimizerParameters:
+        """Run the experiment, retrying whole-experiment failures once more."""
+        last_error: Optional[CalibrationError] = None
+        for attempt in range(1, self._max_experiment_attempts + 1):
+            try:
+                return self._runner.parameters_for(allocation)
+            except CalibrationError as error:
+                last_error = error
+                if attempt < self._max_experiment_attempts:
+                    metrics.counter("resilience.retries",
+                                    site="experiment").inc()
+        assert last_error is not None
+        raise last_error
+
+    def _fall_back(self, key: Tuple[float, float, float],
+                   error: CalibrationError) -> OptimizerParameters:
+        """Nearest calibrated allocation, then PostgreSQL defaults."""
+        if self._cache:
+            nearest = min(
+                self._cache,
+                key=lambda point: sum((a - b) ** 2 for a, b in zip(point, key)),
+            )
+            metrics.counter("resilience.fallbacks", kind="nearest").inc()
+            self.fallback_log.append(FallbackEvent(
+                allocation=key, kind="nearest", source=nearest,
+                reason=str(error),
+            ))
+            return self._cache[nearest]
+        metrics.counter("resilience.fallbacks", kind="default").inc()
+        self.fallback_log.append(FallbackEvent(
+            allocation=key, kind="default", source=None, reason=str(error),
+        ))
+        return OptimizerParameters.defaults()
 
     # -- persistence -----------------------------------------------------------------
 

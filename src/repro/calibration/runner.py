@@ -21,19 +21,33 @@ Measured repetitions run against a cache primed by one unmeasured
 execution, so times reflect the steady-state behaviour the optimizer's
 cost formulas model.
 
+Resilience: measurements run under a :class:`repro.faults.RetryPolicy`.
+Each repetition takes ``policy.trials`` trials, rejects outlier trials
+by MAD filtering, and reports the median of the survivors; a trial that
+raises a transient :class:`~repro.util.errors.MeasurementFault` (or
+exceeds the simulated measurement deadline) is retried with exponential
+backoff on the *simulated* clock, and only when the retry budget is
+exhausted does the experiment fail with a permanent
+:class:`~repro.util.errors.CalibrationError` (see ``docs/robustness.md``).
+
 Observability: each :meth:`CalibrationRunner.calibrate` call opens a
 ``calibrate`` span (tagged with the allocation and protocol) and
 increments ``calibration.experiments``; every measured repetition
 increments ``calibration.measurements`` and adds its simulated seconds
-to the ``sim.seconds`` counter (``source=calibration``).
+to the ``sim.seconds`` counter (``source=calibration``). Retries count
+on ``resilience.retries`` (labelled ``site=boot|measurement``),
+rejected trials on ``resilience.outliers_rejected``, and backoff waits
+accumulate into ``sim.seconds`` (``source=backoff``).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Callable, Dict, List, Optional, TypeVar
 
 from repro.calibration.solver import CalibrationSolution, solve_parameters
+from repro.faults.injector import FaultInjector
+from repro.faults.retry import RetryPolicy, robust_seconds
 from repro.obs import metrics
 from repro.obs.spans import span
 from repro.calibration.synthetic import CalibrationWorkbench
@@ -41,12 +55,18 @@ from repro.engine.database import Database
 from repro.engine.plans import IndexScan, PlanNode, walk
 from repro.engine.trace import WorkTrace
 from repro.optimizer.params import OptimizerParameters
-from repro.util.errors import CalibrationError
+from repro.util.errors import (
+    CalibrationError,
+    MeasurementFault,
+    MeasurementTimeout,
+)
 from repro.util.rng import DeterministicRng
 from repro.virt.machine import PhysicalMachine
 from repro.virt.perf import VMPerfModel
 from repro.virt.resources import ResourceVector
 from repro.virt.vm import VirtualMachine, VMConfig
+
+_T = TypeVar("_T")
 
 #: Floor for derived per-unit times (seconds); avoids zero/negative
 #: parameters when a subtraction is dominated by model error.
@@ -80,7 +100,9 @@ class CalibrationRunner:
     def __init__(self, machine: PhysicalMachine,
                  workbench: Optional[CalibrationWorkbench] = None,
                  method: str = "sequential",
-                 noise_sigma: float = 0.0, seed: int = 1234):
+                 noise_sigma: float = 0.0, seed: int = 1234,
+                 injector: Optional[FaultInjector] = None,
+                 retry_policy: Optional[RetryPolicy] = None):
         if method not in ("sequential", "lstsq"):
             raise CalibrationError(f"unknown calibration method {method!r}")
         self._machine = machine
@@ -88,6 +110,10 @@ class CalibrationRunner:
         self._method = method
         self._noise_sigma = noise_sigma
         self._rng = DeterministicRng(seed).fork("calibration-runner")
+        self._injector = injector
+        self._policy = retry_policy or RetryPolicy()
+        #: Simulated seconds spent waiting in retry backoff.
+        self.backoff_seconds_total = 0.0
         # The synthetic database is allocation-independent; build once
         # and re-home it per calibration.
         self._database = self._workbench.build_database()
@@ -100,24 +126,88 @@ class CalibrationRunner:
     def method(self) -> str:
         return self._method
 
+    @property
+    def retry_policy(self) -> RetryPolicy:
+        return self._policy
+
+    @property
+    def injector(self) -> Optional[FaultInjector]:
+        return self._injector
+
     # -- measurement plumbing ------------------------------------------------
 
+    def _with_retries(self, site: str, name: str,
+                      attempt_once: Callable[[], _T]) -> _T:
+        """Run *attempt_once*, retrying transient faults with backoff.
+
+        Backoff waits advance the simulated clock only (counted into
+        ``sim.seconds`` with ``source=backoff``); exhausting the budget
+        escalates the last transient fault into a permanent
+        :class:`CalibrationError` (see the contract in
+        :mod:`repro.util.errors`).
+        """
+        policy = self._policy
+        for attempt in range(1, policy.max_attempts + 1):
+            try:
+                return attempt_once()
+            except MeasurementFault as fault:
+                if attempt >= policy.max_attempts:
+                    raise CalibrationError(
+                        f"{site} {name!r} failed after {attempt} "
+                        f"attempt(s): {fault}"
+                    ) from fault
+                backoff = policy.backoff_seconds(attempt)
+                self.backoff_seconds_total += backoff
+                metrics.counter("resilience.retries", site=site).inc()
+                metrics.counter("sim.seconds", source="backoff").inc(backoff)
+        raise AssertionError("unreachable")  # pragma: no cover
+
     def _boot(self, allocation: ResourceVector) -> VMPerfModel:
-        vm = VirtualMachine(
-            self._machine,
-            VMConfig(name=f"calibration-{allocation.as_tuple()}", shares=allocation),
-        )
-        vm.attach_guest(self._database)
-        vm.start()
-        return VMPerfModel(
-            vm, noise_rng=self._rng if self._noise_sigma > 0 else None,
-            noise_sigma=self._noise_sigma,
-        )
+        def attempt_boot() -> VMPerfModel:
+            if self._injector is not None:
+                self._injector.on_boot(allocation.as_tuple())
+            vm = VirtualMachine(
+                self._machine,
+                VMConfig(name=f"calibration-{allocation.as_tuple()}",
+                         shares=allocation),
+            )
+            vm.attach_guest(self._database)
+            vm.start()
+            return VMPerfModel(
+                vm, noise_rng=self._rng if self._noise_sigma > 0 else None,
+                noise_sigma=self._noise_sigma,
+                injector=self._injector,
+            )
+
+        return self._with_retries("boot", str(allocation.as_tuple()),
+                                  attempt_boot)
+
+    def _timed_trial(self, perf: VMPerfModel, name: str,
+                     trace: WorkTrace) -> float:
+        """One trial's elapsed seconds, retried through transient faults."""
+        deadline = self._policy.measurement_deadline_seconds
+
+        def attempt_trial() -> float:
+            seconds = perf.elapsed(trace)
+            if seconds > deadline:
+                raise MeasurementTimeout(
+                    f"measurement {name!r} took {seconds:.3g}s simulated, "
+                    f"past the {deadline:.3g}s deadline"
+                )
+            return seconds
+
+        return self._with_retries("measurement", name, attempt_trial)
 
     def _measure(self, perf: VMPerfModel, name: str, build_plan,
                  report: CalibrationReport,
                  repetitions: int = 1) -> CalibrationMeasurement:
-        """Prime the cache, then measure; returns the last repetition."""
+        """Prime the cache, then measure; returns the last repetition.
+
+        Each repetition is measured ``policy.trials`` times; outlier
+        trials are rejected by MAD filtering and the median of the
+        survivors is the repetition's measured time, so an injected
+        outlier (or a noise spike) cannot poison the design row.
+        """
         db = self._database
         db.cold_restart()
         db.run_plan(build_plan(db))  # unmeasured priming execution
@@ -125,7 +215,14 @@ class CalibrationRunner:
         for repetition in range(repetitions):
             plan = build_plan(db)
             result = db.run_plan(plan)
-            seconds = perf.elapsed(result.trace)
+            trials = [
+                self._timed_trial(perf, name, result.trace)
+                for _trial in range(self._policy.trials)
+            ]
+            seconds, n_rejected = robust_seconds(
+                trials, self._policy.mad_threshold)
+            if n_rejected:
+                metrics.counter("resilience.outliers_rejected").inc(n_rejected)
             metrics.counter("calibration.measurements").inc()
             metrics.counter("sim.seconds", source="calibration").inc(seconds)
             measurement = CalibrationMeasurement(
@@ -301,6 +398,7 @@ class CalibrationRunner:
         report.solution = solve_parameters(
             [m.design_row for m in report.measurements],
             [m.measured_seconds for m in report.measurements],
+            query_names=[m.query_name for m in report.measurements],
         )
         report.parameters = report.solution.to_parameters(
             effective_cache_size=db.buffer_pool.capacity,

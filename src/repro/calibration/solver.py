@@ -16,17 +16,30 @@ calibration experiment cannot separate two parameters.
 The recovered times are then normalized by ``T_seq`` to produce the
 optimizer parameter set, matching the paper's definition of
 ``cpu_tuple_cost`` as a fraction of a sequential page fetch.
+
+Diagnostics
+-----------
+Least squares happily returns *something* for a degenerate system; a
+rank-deficient design matrix used to slide through and silently poison
+``P(R)``. The solver now refuses: before solving it checks the rank and
+condition number of the (weighted, column-scaled) data matrix and
+raises :class:`~repro.util.errors.IllConditionedError` naming the work
+categories that are not independently identified and the synthetic
+queries whose rows were supposed to identify them. After solving, an
+optional relative-residual check (``max_relative_residual``) flags rows
+the fit cannot explain — the signature of corrupted measurements that
+survived upstream filtering.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Sequence
+from typing import List, Optional, Sequence
 
 import numpy as np
 
 from repro.optimizer.params import OptimizerParameters
-from repro.util.errors import CalibrationError
+from repro.util.errors import CalibrationError, IllConditionedError
 
 #: Column order of the design matrix.
 CATEGORIES = ("seq_pages", "rand_pages", "tuples", "index_tuples", "ops",
@@ -34,6 +47,10 @@ CATEGORIES = ("seq_pages", "rand_pages", "tuples", "index_tuples", "ops",
 
 #: Ridge strength relative to the data scale.
 RIDGE_LAMBDA = 1e-3
+
+#: Condition-number ceiling for the scaled data matrix; beyond it the
+#: measurements cannot separate the parameters even before ridge help.
+MAX_CONDITION_NUMBER = 1e10
 
 #: PostgreSQL default ratios used as the regularization anchor.
 _ANCHOR_RATIOS = {
@@ -48,10 +65,17 @@ _ANCHOR_RATIOS = {
 
 @dataclass
 class CalibrationSolution:
-    """Per-unit times recovered by the solver (seconds per unit)."""
+    """Per-unit times recovered by the solver (seconds per unit).
+
+    ``condition_number`` and ``rank`` describe the scaled data matrix
+    the fit was solved from (0 / full rank for the closed-form
+    sequential protocol, which never builds a matrix).
+    """
 
     unit_seconds: dict
     residual_rms: float
+    condition_number: float = 0.0
+    rank: int = len(CATEGORIES)
 
     def to_parameters(self, effective_cache_size: int,
                       sort_mem_pages: int) -> OptimizerParameters:
@@ -71,9 +95,73 @@ class CalibrationSolution:
         )
 
 
+def _row_names(query_names: Optional[Sequence[str]],
+               indices: Sequence[int]) -> List[str]:
+    if query_names is None:
+        return [f"row {i}" for i in indices]
+    return [query_names[i] for i in indices]
+
+
+def _check_conditioning(A_scaled: np.ndarray,
+                        query_names: Optional[Sequence[str]],
+                        max_condition: float) -> tuple:
+    """Rank/condition gate; returns (condition_number, rank) when sane."""
+    rank = int(np.linalg.matrix_rank(A_scaled))
+    singular_values = np.linalg.svd(A_scaled, compute_uv=False)
+    smallest = singular_values[-1]
+    condition = float(singular_values[0] / smallest) if smallest > 0 else float("inf")
+    if rank < len(CATEGORIES):
+        # Name the categories the measurements cannot identify: a column
+        # is unidentified if dropping it does not reduce the rank (it
+        # lies in the span of the others — all-zero columns included).
+        degenerate = [
+            category for j, category in enumerate(CATEGORIES)
+            if int(np.linalg.matrix_rank(np.delete(A_scaled, j, axis=1))) == rank
+        ]
+        involved = sorted({
+            j for j, category in enumerate(CATEGORIES) if category in degenerate
+        })
+        rows = [i for i in range(A_scaled.shape[0])
+                if any(A_scaled[i, j] != 0 for j in involved)]
+        raise IllConditionedError(
+            f"design matrix is rank-deficient (rank {rank} of "
+            f"{len(CATEGORIES)}): the measurements do not independently "
+            f"identify {', '.join(degenerate) or 'any category'}; "
+            f"queries involved: {', '.join(_row_names(query_names, rows)) or 'none'}",
+            condition_number=condition,
+            row_indices=rows,
+            query_names=_row_names(query_names, rows),
+        )
+    if condition > max_condition:
+        raise IllConditionedError(
+            f"design matrix condition number {condition:.3g} exceeds "
+            f"{max_condition:.3g}; the calibration queries are too "
+            f"collinear to separate the parameters",
+            condition_number=condition,
+            row_indices=range(A_scaled.shape[0]),
+            query_names=_row_names(query_names, range(A_scaled.shape[0])),
+        )
+    return condition, rank
+
+
 def solve_parameters(design_rows: Sequence[Sequence[float]],
-                     measured_seconds: Sequence[float]) -> CalibrationSolution:
-    """Solve the calibration system; rows follow :data:`CATEGORIES`."""
+                     measured_seconds: Sequence[float],
+                     query_names: Optional[Sequence[str]] = None,
+                     max_condition: float = MAX_CONDITION_NUMBER,
+                     max_relative_residual: Optional[float] = None,
+                     ) -> CalibrationSolution:
+    """Solve the calibration system; rows follow :data:`CATEGORIES`.
+
+    *query_names* (parallel to the rows) makes diagnostics name the
+    synthetic queries instead of bare row indices. A rank-deficient or
+    worse-than-*max_condition* system raises
+    :class:`IllConditionedError` instead of returning a silently
+    poisoned solution; with *max_relative_residual* set, so does any
+    row whose fitted time misses the measurement by more than that
+    fraction.
+    """
+    if query_names is not None and len(query_names) != len(design_rows):
+        raise CalibrationError("query names and design rows disagree in length")
     if len(design_rows) != len(measured_seconds):
         raise CalibrationError("design matrix and measurements disagree in length")
     if len(design_rows) < len(CATEGORIES):
@@ -119,6 +207,9 @@ def solve_parameters(design_rows: Sequence[Sequence[float]],
     A_scaled = A_weighted / col_scale
     anchor_scaled = anchor * col_scale
 
+    condition_number, rank = _check_conditioning(
+        A_scaled, query_names, max_condition)
+
     lam = RIDGE_LAMBDA * np.linalg.norm(A_scaled, ord="fro") / len(CATEGORIES)
     augmented_A = np.vstack([A_scaled, lam * np.eye(len(CATEGORIES))])
     augmented_t = np.concatenate([t_weighted, lam * anchor_scaled])
@@ -130,7 +221,24 @@ def solve_parameters(design_rows: Sequence[Sequence[float]],
 
     residual = A @ unit_seconds - t
     rms = float(np.sqrt(np.mean(residual ** 2))) if len(t) else 0.0
+    if max_relative_residual is not None:
+        floor = max(float(t.max()), 1e-12) * 1e-4
+        relative = np.abs(residual) / np.maximum(t, floor)
+        bad = [int(i) for i in np.nonzero(relative > max_relative_residual)[0]]
+        if bad:
+            worst = max(bad, key=lambda i: relative[i])
+            raise IllConditionedError(
+                f"{len(bad)} measurement(s) unexplained by the fit "
+                f"(worst: {_row_names(query_names, [worst])[0]} off by "
+                f"{relative[worst]:.0%}); the rows look corrupted: "
+                f"{', '.join(_row_names(query_names, bad))}",
+                condition_number=condition_number,
+                row_indices=bad,
+                query_names=_row_names(query_names, bad),
+            )
     return CalibrationSolution(
         unit_seconds=dict(zip(CATEGORIES, unit_seconds.tolist())),
         residual_rms=rms,
+        condition_number=condition_number,
+        rank=rank,
     )

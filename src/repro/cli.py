@@ -7,6 +7,12 @@ Exposes the library's main flows without writing Python::
     python -m repro explain --query Q4 --cpu 0.5
     python -m repro experiment fig3|fig4|fig5
     python -m repro report [--json] [--algorithm greedy]
+    python -m repro chaos --plan noisy [--transient-rate 0.2]
+
+``chaos`` runs the paper's design problem with a fault injector active
+(see ``docs/robustness.md``) and prints the design next to a resilience
+summary: faults injected, retries, rejected outliers, fallbacks, and
+search budget stops.
 
 Every command accepts ``--stats`` (print a run report of the counted
 work after the command's own output) and ``--stats-json PATH`` (write
@@ -26,6 +32,7 @@ from typing import List, Optional
 
 from repro import obs
 from repro.calibration import CalibrationCache, CalibrationRunner
+from repro.faults import NAMED_PLANS, FaultInjector, FaultPlan, RetryPolicy
 from repro.core import (
     MeasuredCostModel,
     OptimizerCostModel,
@@ -220,6 +227,101 @@ def cmd_report(args) -> int:
     return 0
 
 
+def _chaos_plan(args) -> FaultPlan:
+    """The fault plan the ``chaos`` command runs under: a named plan,
+    optionally overridden by explicit rate flags."""
+    plan = FaultPlan.named(args.plan)
+    overrides = {}
+    for flag, field_name in (("transient_rate", "transient_rate"),
+                             ("outlier_rate", "outlier_rate"),
+                             ("hang_rate", "hang_rate"),
+                             ("boot_failure_rate", "boot_failure_rate")):
+        value = getattr(args, flag)
+        if value is not None:
+            overrides[field_name] = value
+    if args.seed is not None:
+        overrides["seed"] = args.seed
+    if overrides:
+        plan = plan.with_overrides(**overrides)
+    return plan
+
+
+def _resilience_rows(report: obs.RunReport) -> List[List[str]]:
+    summary = report.summary
+    snapshot = report.metrics
+
+    def by_label(name, label):
+        out = {}
+        for entry in snapshot.get("counters", ()):
+            if entry["name"] == name and label in entry["labels"]:
+                key = entry["labels"][label]
+                out[key] = out.get(key, 0.0) + entry["value"]
+        return out
+
+    rows = []
+    for kind, count in sorted(by_label("faults.injected", "kind").items()):
+        rows.append([f"faults injected ({kind})", f"{count:.0f}"])
+    for site, count in sorted(by_label("resilience.retries", "site").items()):
+        rows.append([f"retries ({site})", f"{count:.0f}"])
+    rows.append(["outliers rejected",
+                 f"{summary.get('outliers_rejected', 0):.0f}"])
+    for kind, count in sorted(by_label("resilience.fallbacks", "kind").items()):
+        rows.append([f"fallbacks ({kind})", f"{count:.0f}"])
+    rows.append(["search budget stops",
+                 f"{summary.get('budget_stops', 0):.0f}"])
+    return rows
+
+
+def cmd_chaos(args) -> int:
+    """Run the design problem under a fault plan and summarize survival."""
+    obs.reset()
+    plan = _chaos_plan(args)
+    machine = laboratory_machine()
+    print(f"Running a {args.algorithm} design under fault plan "
+          f"{plan.name!r} (transient={plan.transient_rate:.0%}, "
+          f"outlier={plan.outlier_rate:.0%}, hang={plan.hang_rate:.0%}, "
+          f"boot={plan.boot_failure_rate:.0%}) ...", file=sys.stderr)
+    db = build_tpch_database(scale_factor=args.scale,
+                             tables=["customer", "orders", "lineitem"])
+    specs = [
+        WorkloadSpec(Workload.repeat("order-audit", tpch_query("Q4"), 3), db),
+        WorkloadSpec(Workload.repeat("cust-report", tpch_query("Q13"), 9), db),
+    ]
+    runner = CalibrationRunner(
+        machine,
+        injector=FaultInjector(plan),
+        retry_policy=RetryPolicy.resilient(),
+    )
+    cache = CalibrationCache(runner)
+    problem = VirtualizationDesignProblem(
+        machine=machine, specs=specs,
+        controlled_resources=(ResourceKind.CPU,),
+    )
+    designer = VirtualizationDesigner(problem, OptimizerCostModel(cache))
+    design = designer.design(args.algorithm, grid=args.grid,
+                             max_evaluations=args.max_evaluations)
+    print(design.summary())
+    print()
+    report = obs.RunReport.capture(label=f"chaos/{plan.name}")
+    if report.summary.get("faults_injected", 0) == 0:
+        print(f"Fault plan {plan.name!r}: no faults injected; "
+              "the run was effectively fault-free.")
+    else:
+        print(format_table(
+            ["event", "count"], _resilience_rows(report),
+            title=f"Resilience summary — fault plan {plan.name!r}"))
+    if cache.fallback_log:
+        print()
+        rows = [[str(event.allocation), event.kind,
+                 str(event.source) if event.source else "-", event.reason]
+                for event in cache.fallback_log]
+        print(format_table(
+            ["allocation", "fallback", "served by", "reason"], rows,
+            title="Degraded lookups",
+        ))
+    return 0
+
+
 def _emit_stats(args) -> None:
     """Honor the global ``--stats`` / ``--stats-json`` flags."""
     stats = getattr(args, "stats", False)
@@ -309,6 +411,31 @@ def build_parser() -> argparse.ArgumentParser:
                         choices=["exhaustive", "greedy", "dynamic-programming"])
     report.add_argument("--load", help="preload a saved calibration cache")
     report.set_defaults(func=cmd_report)
+
+    chaos = subparsers.add_parser(
+        "chaos", parents=[stats_parent],
+        help="run a design under a fault plan and print a resilience summary")
+    chaos.add_argument("--plan", default="noisy", choices=sorted(NAMED_PLANS),
+                       help="named fault plan (default noisy)")
+    chaos.add_argument("--transient-rate", type=float, default=None,
+                       help="override the plan's transient failure rate")
+    chaos.add_argument("--outlier-rate", type=float, default=None,
+                       help="override the plan's outlier rate")
+    chaos.add_argument("--hang-rate", type=float, default=None,
+                       help="override the plan's hang rate")
+    chaos.add_argument("--boot-failure-rate", type=float, default=None,
+                       help="override the plan's VM boot failure rate")
+    chaos.add_argument("--seed", type=int, default=None,
+                       help="override the plan's fault seed")
+    chaos.add_argument("--scale", type=float, default=0.002,
+                       help="TPC-H scale factor (default 0.002)")
+    chaos.add_argument("--grid", type=int, default=4,
+                       help="search discretization (default 4)")
+    chaos.add_argument("--algorithm", default="greedy",
+                       choices=["exhaustive", "greedy", "dynamic-programming"])
+    chaos.add_argument("--max-evaluations", type=int, default=None,
+                       help="stop the search after this many cost evaluations")
+    chaos.set_defaults(func=cmd_chaos)
 
     return parser
 

@@ -101,10 +101,18 @@ class VirtualizationDesigner:
         }
 
     def design(self, algorithm: Union[str, SearchAlgorithm] = "exhaustive",
-               grid: int = 4) -> Design:
-        """Search for the best allocation of the controlled resources."""
+               grid: int = 4, max_evaluations: Optional[int] = None,
+               deadline_seconds: Optional[float] = None) -> Design:
+        """Search for the best allocation of the controlled resources.
+
+        *max_evaluations* / *deadline_seconds* bound the search when the
+        cost model may be degraded (see ``docs/robustness.md``); they
+        apply only when *algorithm* is given by name.
+        """
         if isinstance(algorithm, str):
-            algorithm = make_algorithm(algorithm, grid)
+            algorithm = make_algorithm(algorithm, grid,
+                                       max_evaluations=max_evaluations,
+                                       deadline_seconds=deadline_seconds)
         result: SearchResult = algorithm.search(self._problem, self._cost_model)
 
         default = self._problem.default_allocation()

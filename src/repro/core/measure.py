@@ -13,6 +13,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import List, Optional
 
+from repro.faults.injector import FaultInjector
 from repro.engine.database import Database
 from repro.engine.trace import WorkTrace
 from repro.obs import metrics
@@ -45,10 +46,16 @@ class WorkloadRunner:
     """Runs workloads inside simulated VMs and measures them."""
 
     def __init__(self, machine: PhysicalMachine,
-                 noise_sigma: float = 0.0, seed: int = 99):
+                 noise_sigma: float = 0.0, seed: int = 99,
+                 injector: Optional[FaultInjector] = None):
         self._machine = machine
         self._noise_sigma = noise_sigma
         self._rng = DeterministicRng(seed).fork("workload-runner")
+        #: Optional fault injector threaded into each run's perf model;
+        #: measured runs then see the same hostile environment the
+        #: calibration pipeline defends against. WorkloadRunner itself
+        #: does not retry — transient faults propagate to the caller.
+        self._injector = injector
 
     def run(self, workload: Workload, database: Database,
             allocation: ResourceVector,
@@ -74,6 +81,7 @@ class WorkloadRunner:
                 vm,
                 noise_rng=self._rng if self._noise_sigma > 0 else None,
                 noise_sigma=self._noise_sigma,
+                injector=self._injector,
             )
             if cold_start:
                 database.cold_restart()

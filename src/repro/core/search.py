@@ -26,6 +26,19 @@ worse, a measured run). ``SearchResult.evaluations`` counts *uncached*
 evaluations spent by this search (deltas of
 ``CostModel.evaluations``).
 
+Budgets
+-------
+A degraded cost model (one falling back to fresh calibrations, or
+retrying a faulty environment) can make each evaluation arbitrarily
+expensive, and an unbounded search would hang the designer. Every
+algorithm therefore accepts an optional evaluation budget
+(``max_evaluations``) and host-time deadline (``deadline_seconds``).
+When either trips, the search stops early and returns the best
+allocation found so far (the dynamic program falls back to equal
+shares when it has no complete solution yet); ``SearchResult.stopped``
+records that, and the ``search.budget_stops`` counter (labelled
+``algorithm=<name>``) makes it visible in run reports.
+
 Observability
 -------------
 Each run opens a ``search`` span tagged with the algorithm and grid and
@@ -44,6 +57,7 @@ from __future__ import annotations
 
 import itertools
 import math
+import time
 from abc import ABC, abstractmethod
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
@@ -66,6 +80,42 @@ class SearchResult:
     total_cost: float
     per_workload_costs: Dict[str, float] = field(default_factory=dict)
     evaluations: int = 0
+    #: True when the search stopped early on its evaluation budget or
+    #: deadline; the allocation is then best-so-far, not exhaustive.
+    stopped: bool = False
+
+
+class _Budget:
+    """Tracks one search's evaluation/deadline budget."""
+
+    def __init__(self, algorithm: str, cost_model: CostModel,
+                 max_evaluations: Optional[int],
+                 deadline_seconds: Optional[float]):
+        self._algorithm = algorithm
+        self._cost_model = cost_model
+        self._start_evaluations = cost_model.evaluations
+        self._max_evaluations = max_evaluations
+        self._deadline_seconds = deadline_seconds
+        self._started = time.monotonic()
+        self.stopped = False
+
+    def exhausted(self) -> bool:
+        """Whether the budget has tripped (counts the first trip)."""
+        if self.stopped:
+            return True
+        spent = self._cost_model.evaluations - self._start_evaluations
+        if (self._max_evaluations is not None
+                and spent >= self._max_evaluations):
+            self._trip()
+        elif (self._deadline_seconds is not None
+                and time.monotonic() - self._started >= self._deadline_seconds):
+            self._trip()
+        return self.stopped
+
+    def _trip(self) -> None:
+        self.stopped = True
+        metrics.counter("search.budget_stops",
+                        algorithm=self._algorithm).inc()
 
 
 def compositions(total: int, parts: int, minimum: int = 1) -> Iterator[Tuple[int, ...]]:
@@ -88,10 +138,18 @@ class SearchAlgorithm(ABC):
 
     name = "base"
 
-    def __init__(self, grid: int = 4):
+    def __init__(self, grid: int = 4,
+                 max_evaluations: Optional[int] = None,
+                 deadline_seconds: Optional[float] = None):
         if grid < 1:
             raise AllocationError("grid must be at least 1")
+        if max_evaluations is not None and max_evaluations < 1:
+            raise AllocationError("max_evaluations must be at least 1")
+        if deadline_seconds is not None and deadline_seconds <= 0:
+            raise AllocationError("deadline_seconds must be positive")
         self.grid = grid
+        self.max_evaluations = max_evaluations
+        self.deadline_seconds = deadline_seconds
 
     def search(self, problem: VirtualizationDesignProblem,
                cost_model: CostModel) -> SearchResult:
@@ -177,10 +235,14 @@ class SearchAlgorithm(ABC):
                 )
         return units_by_name
 
+    def _budget(self, cost_model: CostModel) -> _Budget:
+        return _Budget(self.name, cost_model, self.max_evaluations,
+                       self.deadline_seconds)
+
     def _finish(self, problem: VirtualizationDesignProblem,
                 cost_model: CostModel,
                 units_by_name: Dict[str, Dict[ResourceKind, int]],
-                evaluations: int) -> SearchResult:
+                evaluations: int, stopped: bool = False) -> SearchResult:
         matrix = self._matrix(problem, units_by_name)
         total, per_workload = self._evaluate(problem, cost_model, matrix)
         metrics.counter("search.runs", algorithm=self.name).inc()
@@ -188,6 +250,7 @@ class SearchAlgorithm(ABC):
         return SearchResult(
             algorithm=self.name, allocation=matrix, total_cost=total,
             per_workload_costs=per_workload, evaluations=evaluations,
+            stopped=stopped,
         )
 
 
@@ -202,6 +265,7 @@ class ExhaustiveSearch(SearchAlgorithm):
         n = len(names)
         resources = list(problem.controlled_resources)
         before = cost_model.evaluations
+        budget = self._budget(cost_model)
 
         best_units: Optional[Dict[str, Dict[ResourceKind, int]]] = None
         best_cost = float("inf")
@@ -220,10 +284,15 @@ class ExhaustiveSearch(SearchAlgorithm):
             if total < best_cost:
                 best_cost = total
                 best_units = units_by_name
+            # Checked after evaluating, so even an instantly exhausted
+            # budget still yields one feasible candidate.
+            if budget.exhausted():
+                break
         if best_units is None:
             raise AllocationError("no feasible allocation for this grid")
         result = self._finish(problem, cost_model, best_units,
-                              cost_model.evaluations - before)
+                              cost_model.evaluations - before,
+                              stopped=budget.stopped)
         return result
 
 
@@ -236,13 +305,14 @@ class GreedySearch(SearchAlgorithm):
                 cost_model: CostModel) -> SearchResult:
         names = problem.workload_names()
         before = cost_model.evaluations
+        budget = self._budget(cost_model)
         units_by_name = self._equal_units(problem)
 
         matrix = self._matrix(problem, units_by_name)
         current_cost, _ = self._evaluate(problem, cost_model, matrix)
 
         improved = True
-        while improved:
+        while improved and not budget.exhausted():
             improved = False
             best_move = None
             best_cost = current_cost
@@ -265,13 +335,20 @@ class GreedySearch(SearchAlgorithm):
                         if total < best_cost - 1e-12:
                             best_cost = total
                             best_move = candidate
+                        if budget.exhausted():
+                            break
+                    if budget.stopped:
+                        break
+                if budget.stopped:
+                    break
             if best_move is not None:
                 units_by_name = best_move
                 current_cost = best_cost
                 improved = True
 
         return self._finish(problem, cost_model, units_by_name,
-                            cost_model.evaluations - before)
+                            cost_model.evaluations - before,
+                            stopped=budget.stopped)
 
 
 class DynamicProgrammingSearch(SearchAlgorithm):
@@ -285,6 +362,7 @@ class DynamicProgrammingSearch(SearchAlgorithm):
         n = len(names)
         resources = list(problem.controlled_resources)
         before = cost_model.evaluations
+        budget = self._budget(cost_model)
         memo: Dict[Tuple[int, Tuple[int, ...]], Tuple[float, Optional[tuple]]] = {}
 
         min_units = [self._min_units(problem, kind) for kind in resources]
@@ -313,6 +391,8 @@ class DynamicProgrammingSearch(SearchAlgorithm):
             spec = problem.spec(names[i])
             best = (float("inf"), None)
             for choice in options(i, remaining):
+                if budget.exhausted():
+                    break  # keep whatever this state has seen so far
                 units = {kind: choice[r] for r, kind in enumerate(resources)}
                 vector = self._vector(problem, names[i], units)
                 here = cost_model.cost(spec, vector)
@@ -329,6 +409,13 @@ class DynamicProgrammingSearch(SearchAlgorithm):
         start = tuple(self.grid for _ in resources)
         total_cost, _ = solve(0, start)
         if total_cost == float("inf"):
+            if budget.stopped:
+                # The budget tripped before any complete solution was
+                # assembled; degrade to the equal-share starting point.
+                return self._finish(problem, cost_model,
+                                    self._equal_units(problem),
+                                    cost_model.evaluations - before,
+                                    stopped=True)
             raise AllocationError("no feasible allocation for this grid")
 
         # Reconstruct the chosen allocation.
@@ -343,7 +430,8 @@ class DynamicProgrammingSearch(SearchAlgorithm):
             remaining = tuple(rem - c for rem, c in zip(remaining, choice))
 
         return self._finish(problem, cost_model, units_by_name,
-                            cost_model.evaluations - before)
+                            cost_model.evaluations - before,
+                            stopped=budget.stopped)
 
 
 ALGORITHMS = {
@@ -353,10 +441,13 @@ ALGORITHMS = {
 }
 
 
-def make_algorithm(name: str, grid: int) -> SearchAlgorithm:
+def make_algorithm(name: str, grid: int,
+                   max_evaluations: Optional[int] = None,
+                   deadline_seconds: Optional[float] = None) -> SearchAlgorithm:
     """Instantiate a search algorithm by name."""
     try:
-        return ALGORITHMS[name](grid=grid)
+        return ALGORITHMS[name](grid=grid, max_evaluations=max_evaluations,
+                                deadline_seconds=deadline_seconds)
     except KeyError:
         raise AllocationError(
             f"unknown search algorithm {name!r}; available: {sorted(ALGORITHMS)}"

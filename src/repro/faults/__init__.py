@@ -1,0 +1,32 @@
+"""repro.faults — deterministic fault injection for the simulated stack.
+
+The paper's calibration pipeline assumes every measurement succeeds;
+real virtualized environments do not cooperate (transient failures,
+jittery outliers, hung runs, dead hosts). This package supplies both
+halves of making the reproduction robust:
+
+* the *attack*: a seeded :class:`FaultPlan` describing what goes wrong
+  and a :class:`FaultInjector` that makes the perf model and the
+  calibration runner actually misbehave that way, deterministically;
+* the *defense configuration*: :class:`RetryPolicy` plus the robust
+  aggregation helpers (:func:`mad_reject`, :func:`robust_seconds`) the
+  calibration runner uses to survive the attack.
+
+Nothing here imports the engine, calibration, or core layers — only
+``repro.util`` and ``repro.obs`` — so any layer can take an injector
+without creating import cycles. See ``docs/robustness.md`` for the
+fault model, the retry knobs, and the fallback chain.
+"""
+
+from repro.faults.injector import FaultInjector
+from repro.faults.plan import NAMED_PLANS, FaultPlan
+from repro.faults.retry import RetryPolicy, mad_reject, robust_seconds
+
+__all__ = [
+    "FaultInjector",
+    "FaultPlan",
+    "NAMED_PLANS",
+    "RetryPolicy",
+    "mad_reject",
+    "robust_seconds",
+]

@@ -1,0 +1,102 @@
+"""Turning a fault plan into injected failures, deterministically.
+
+A :class:`FaultInjector` sits between the simulated measurement stack
+and its callers. The perf model (:class:`repro.virt.perf.VMPerfModel`)
+routes every measured elapsed time through
+:meth:`FaultInjector.on_measurement`, and the calibration runner asks
+:meth:`FaultInjector.on_boot` before booting a calibration VM. Each
+call either passes the value through, perturbs it (outlier, hang), or
+raises a transient :class:`~repro.util.errors.MeasurementFault` —
+decided by a :class:`~repro.util.rng.DeterministicRng` forked from the
+plan's seed, so a given plan produces the same fault sequence every
+run.
+
+Every injected fault is counted on the ``faults.injected`` metric
+(labelled ``kind=transient|outlier|hang|boot|dead``), so a
+:class:`~repro.obs.report.RunReport` can state how hostile the
+environment actually was next to how the pipeline coped.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from repro.faults.plan import FaultPlan
+from repro.obs import metrics
+from repro.util.errors import MeasurementFault
+from repro.util.rng import DeterministicRng
+
+
+class FaultInjector:
+    """Injects the failures a :class:`FaultPlan` describes."""
+
+    def __init__(self, plan: FaultPlan):
+        self._plan = plan
+        self._rng = DeterministicRng(plan.seed).fork(f"faults:{plan.name}")
+        self._measurements = 0
+
+    @property
+    def plan(self) -> FaultPlan:
+        return self._plan
+
+    @property
+    def measurements_seen(self) -> int:
+        """How many measurements have passed through this injector."""
+        return self._measurements
+
+    def clone(self) -> "FaultInjector":
+        """A fresh injector replaying this plan from the start."""
+        return FaultInjector(self._plan)
+
+    # -- injection sites ---------------------------------------------------
+
+    def on_boot(self, shares: Tuple[float, float, float]) -> None:
+        """Called before a VM boots; may raise a transient fault."""
+        if self._plan.is_dead(shares):
+            self._count("dead")
+            raise MeasurementFault(
+                f"allocation {shares} is permanently degraded")
+        if self._roll(self._plan.boot_failure_rate):
+            self._count("boot")
+            raise MeasurementFault(f"VM boot failed at allocation {shares}")
+
+    def on_measurement(self, shares: Tuple[float, float, float],
+                       seconds: float) -> float:
+        """Called with every measured elapsed time; returns the value the
+        caller observes (possibly perturbed), or raises a transient
+        :class:`MeasurementFault`."""
+        self._measurements += 1
+        if self._plan.is_dead(shares):
+            self._count("dead")
+            raise MeasurementFault(
+                f"allocation {shares} is permanently degraded")
+        if self._measurements <= self._plan.fail_first_n:
+            self._count("transient")
+            raise MeasurementFault(
+                f"injected failure {self._measurements} of the first "
+                f"{self._plan.fail_first_n}")
+        # Independent draws per channel: a plan's rates compose rather
+        # than shadow each other, and removing one channel does not
+        # shift another's stream within a single measurement.
+        if self._roll(self._plan.transient_rate):
+            self._count("transient")
+            raise MeasurementFault(
+                f"injected transient fault at allocation {shares}")
+        if self._roll(self._plan.hang_rate):
+            self._count("hang")
+            return seconds + self._plan.hang_seconds
+        if self._roll(self._plan.outlier_rate):
+            self._count("outlier")
+            return seconds * self._plan.outlier_magnitude
+        return seconds
+
+    # -- internals ---------------------------------------------------------
+
+    def _roll(self, rate: float) -> bool:
+        if rate <= 0.0:
+            return False
+        return self._rng.uniform(0.0, 1.0) < rate
+
+    @staticmethod
+    def _count(kind: str) -> None:
+        metrics.counter("faults.injected", kind=kind).inc()

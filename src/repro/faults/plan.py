@@ -1,0 +1,121 @@
+"""Fault plans: declarative, seeded descriptions of what goes wrong.
+
+A :class:`FaultPlan` says *what* failures the simulated measurement
+stack should exhibit — transient measurement faults, outlier timings,
+hangs past the measurement deadline, VM boot failures, permanently dead
+allocations — and with what probability. It is pure data: the matching
+:class:`repro.faults.injector.FaultInjector` turns a plan into actual
+raised :class:`~repro.util.errors.MeasurementFault`\\ s and perturbed
+timings, deterministically from ``seed``.
+
+Named plans (:data:`NAMED_PLANS`, :meth:`FaultPlan.named`) give the CLI
+and the chaos benchmark a shared vocabulary of environments, from
+``none`` (no faults) to ``hostile`` (the acceptance regime: 20%
+transient failures, 5% outliers, occasional hangs).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict, Tuple
+
+from repro.util.errors import AllocationError
+
+#: Share tuples are rounded to this many decimals when matching an
+#: allocation against ``dead_allocations`` (mirrors the calibration
+#: cache's key quantization).
+_DEAD_DECIMALS = 4
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """Declarative fault configuration for the simulated stack.
+
+    Rates are per-measurement (or per boot attempt) probabilities in
+    ``[0, 1]``; all randomness is derived from ``seed`` so two
+    injectors built from equal plans inject identical fault sequences.
+    """
+
+    name: str = "none"
+    seed: int = 0
+    #: Probability a measurement raises a transient ``MeasurementFault``.
+    transient_rate: float = 0.0
+    #: Probability a measurement returns an outlier timing instead.
+    outlier_rate: float = 0.0
+    #: Multiplier applied to an outlier measurement's seconds.
+    outlier_magnitude: float = 10.0
+    #: Probability a measurement hangs (its simulated time jumps past
+    #: any sane deadline; the runner converts this into a timeout).
+    hang_rate: float = 0.0
+    #: Simulated seconds a hung measurement appears to take.
+    hang_seconds: float = 600.0
+    #: Probability a VM boot raises a transient ``MeasurementFault``.
+    boot_failure_rate: float = 0.0
+    #: Deterministically fail the first N measurements (tests).
+    fail_first_n: int = 0
+    #: Allocations (cpu, memory, io) that are permanently degraded:
+    #: every boot and measurement against them fails, exhausting any
+    #: retry budget.
+    dead_allocations: Tuple[Tuple[float, float, float], ...] = field(
+        default_factory=tuple)
+
+    def __post_init__(self):
+        for attr in ("transient_rate", "outlier_rate", "hang_rate",
+                     "boot_failure_rate"):
+            rate = getattr(self, attr)
+            if not 0.0 <= rate <= 1.0:
+                raise AllocationError(
+                    f"fault plan {self.name!r}: {attr}={rate} outside [0, 1]")
+        if self.outlier_magnitude <= 1.0:
+            raise AllocationError(
+                f"fault plan {self.name!r}: outlier_magnitude must exceed 1")
+        if self.fail_first_n < 0:
+            raise AllocationError(
+                f"fault plan {self.name!r}: fail_first_n must be >= 0")
+        object.__setattr__(self, "dead_allocations", tuple(
+            tuple(round(float(s), _DEAD_DECIMALS) for s in allocation)
+            for allocation in self.dead_allocations
+        ))
+
+    # -- queries -----------------------------------------------------------
+
+    @property
+    def is_benign(self) -> bool:
+        """True when the plan can never perturb or fail anything."""
+        return (self.transient_rate == 0.0 and self.outlier_rate == 0.0
+                and self.hang_rate == 0.0 and self.boot_failure_rate == 0.0
+                and self.fail_first_n == 0 and not self.dead_allocations)
+
+    def is_dead(self, shares: Tuple[float, float, float]) -> bool:
+        """Whether *shares* (cpu, memory, io) is permanently degraded."""
+        key = tuple(round(float(s), _DEAD_DECIMALS) for s in shares)
+        return key in self.dead_allocations
+
+    def with_overrides(self, **kwargs) -> "FaultPlan":
+        """A copy with some fields replaced (CLI flag overrides)."""
+        return replace(self, **kwargs)
+
+    # -- named plans -------------------------------------------------------
+
+    @classmethod
+    def named(cls, name: str) -> "FaultPlan":
+        """Look up one of the :data:`NAMED_PLANS` by name."""
+        try:
+            return NAMED_PLANS[name]
+        except KeyError:
+            raise AllocationError(
+                f"unknown fault plan {name!r}; "
+                f"available: {sorted(NAMED_PLANS)}"
+            ) from None
+
+
+#: The shared vocabulary of environments, mildest first.
+NAMED_PLANS: Dict[str, FaultPlan] = {
+    "none": FaultPlan(name="none"),
+    "flaky": FaultPlan(name="flaky", transient_rate=0.1),
+    "noisy": FaultPlan(name="noisy", transient_rate=0.2, outlier_rate=0.05,
+                       outlier_magnitude=8.0),
+    "hostile": FaultPlan(name="hostile", transient_rate=0.2,
+                         outlier_rate=0.05, hang_rate=0.02,
+                         boot_failure_rate=0.1),
+}

@@ -1,0 +1,128 @@
+"""Retry policies and robust aggregation for flaky measurements.
+
+The calibration pipeline survives a faulty environment with three
+standard tools, all configured by one :class:`RetryPolicy`:
+
+* **retry with exponential backoff** — transient
+  :class:`~repro.util.errors.MeasurementFault`\\ s are retried up to
+  ``max_attempts`` times; each retry advances a *simulated* backoff
+  clock (``backoff_seconds``), never the host clock, so resilient runs
+  stay fast and deterministic.
+* **repeated trials with median aggregation** — each measurement is
+  taken ``trials`` times and the median of the surviving trials is
+  reported, so a single bad trial cannot move the result.
+* **MAD outlier rejection** — trials whose modified z-score (median
+  absolute deviation based) exceeds ``mad_threshold`` are discarded
+  before the median is taken; when MAD is zero (identical trials plus
+  one outlier) a relative-deviation fallback still catches the outlier.
+
+``measurement_deadline_seconds`` bounds a single trial in *simulated*
+time: an injected hang returns a huge elapsed time, the runner sees it
+exceed the deadline and converts it into a retryable
+:class:`~repro.util.errors.MeasurementTimeout`.
+"""
+
+from __future__ import annotations
+
+import statistics
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+from repro.util.errors import CalibrationError
+
+#: Consistency constant relating MAD to the standard deviation of a
+#: normal distribution (0.6745 = Φ⁻¹(0.75)).
+_MAD_TO_SIGMA = 0.6745
+
+#: When every surviving deviation is zero (MAD == 0), a trial is still
+#: rejected if it deviates from the median by more than this fraction.
+_ZERO_MAD_RELATIVE_CUTOFF = 0.5
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """How hard one calibration experiment fights back against faults."""
+
+    #: Attempts per trial (first try included) before giving up and
+    #: escalating the transient fault into a permanent CalibrationError.
+    max_attempts: int = 4
+    #: Simulated seconds of backoff after the first failed attempt.
+    backoff_base_seconds: float = 0.05
+    #: Backoff growth factor per additional failed attempt.
+    backoff_multiplier: float = 2.0
+    #: Ceiling on a single backoff wait (simulated seconds).
+    max_backoff_seconds: float = 5.0
+    #: Measured trials per calibration query repetition; the reported
+    #: value is the median of the trials surviving MAD rejection.
+    trials: int = 1
+    #: Modified z-score above which a trial is rejected as an outlier.
+    mad_threshold: float = 3.5
+    #: Simulated-seconds deadline for one trial; beyond it the trial is
+    #: a MeasurementTimeout (retryable). Infinite by default.
+    measurement_deadline_seconds: float = float("inf")
+
+    def __post_init__(self):
+        if self.max_attempts < 1:
+            raise CalibrationError("max_attempts must be at least 1")
+        if self.trials < 1:
+            raise CalibrationError("trials must be at least 1")
+        if self.backoff_base_seconds < 0 or self.max_backoff_seconds < 0:
+            raise CalibrationError("backoff seconds must be non-negative")
+        if self.backoff_multiplier < 1.0:
+            raise CalibrationError("backoff_multiplier must be >= 1")
+        if self.mad_threshold <= 0:
+            raise CalibrationError("mad_threshold must be positive")
+        if self.measurement_deadline_seconds <= 0:
+            raise CalibrationError("measurement deadline must be positive")
+
+    @classmethod
+    def resilient(cls) -> "RetryPolicy":
+        """The configuration chaos runs use: enough trials for MAD
+        rejection to work and a finite per-trial deadline."""
+        return cls(max_attempts=6, trials=5,
+                   measurement_deadline_seconds=120.0)
+
+    def backoff_seconds(self, failed_attempts: int) -> float:
+        """Simulated wait after *failed_attempts* (>= 1) failures."""
+        if failed_attempts < 1:
+            raise CalibrationError("backoff requires at least one failure")
+        wait = (self.backoff_base_seconds
+                * self.backoff_multiplier ** (failed_attempts - 1))
+        return min(wait, self.max_backoff_seconds)
+
+
+def mad_reject(values: Sequence[float],
+               threshold: float = 3.5) -> Tuple[List[float], List[int]]:
+    """Split *values* into (kept, rejected_indices) by modified z-score.
+
+    Uses the median absolute deviation so that up to half the trials can
+    be wild without dragging the acceptance band along (the failure mode
+    of mean/stddev filtering). With fewer than three values nothing is
+    rejected — there is no robust center to reject against.
+    """
+    values = list(values)
+    if len(values) < 3:
+        return values, []
+    center = statistics.median(values)
+    deviations = [abs(v - center) for v in values]
+    mad = statistics.median(deviations)
+    rejected: List[int] = []
+    if mad > 0:
+        for i, deviation in enumerate(deviations):
+            if _MAD_TO_SIGMA * deviation / mad > threshold:
+                rejected.append(i)
+    else:
+        # All-but-outliers identical: keep values within a relative band.
+        cutoff = _ZERO_MAD_RELATIVE_CUTOFF * max(abs(center), 1e-12)
+        rejected = [i for i, d in enumerate(deviations) if d > cutoff]
+    kept = [v for i, v in enumerate(values) if i not in set(rejected)]
+    if not kept:  # never reject everything; fall back to the median
+        return [center], list(range(len(values)))
+    return kept, rejected
+
+
+def robust_seconds(trials: Sequence[float],
+                   threshold: float = 3.5) -> Tuple[float, int]:
+    """Median-of-survivors aggregate: (seconds, n_rejected)."""
+    kept, rejected = mad_reject(trials, threshold)
+    return statistics.median(kept), len(rejected)

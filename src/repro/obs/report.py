@@ -40,7 +40,16 @@ Headline keys
 ``buffer_hit_ratio``           hits / all page requests (1.0 when idle)
 ``simulated_seconds``          simulated time accounted by the perf model
 ``host_seconds``               host time across recorded root spans
+``faults_injected``            faults injected by an active fault plan
+``retries``                    transient faults retried (boot/measurement/experiment)
+``outliers_rejected``          measurement trials discarded by MAD filtering
+``fallbacks``                  ``P(R)`` lookups served by the fallback chain
+``budget_stops``               searches stopped early on budget/deadline
 =============================  ==============================================
+
+The five resilience keys (``faults_injected`` … ``budget_stops``) were
+added in format 2 together with the ``repro chaos`` command; see
+``docs/robustness.md`` for the metric names behind them.
 
 Usage
 -----
@@ -68,7 +77,7 @@ from repro.obs.spans import SpanRecorder, get_recorder
 from repro.util.errors import ObservabilityError
 from repro.util.tables import format_table
 
-FORMAT = "repro-run-report/1"
+FORMAT = "repro-run-report/2"
 
 
 def _counter_totals(snapshot: dict, name: str) -> float:
@@ -121,6 +130,12 @@ def summarize(snapshot: dict, span_aggregate: Dict[str, dict],
         "buffer_hit_ratio": hit_ratio,
         "simulated_seconds": _counter_totals(snapshot, "sim.seconds"),
         "host_seconds": host_seconds,
+        "faults_injected": _counter_totals(snapshot, "faults.injected"),
+        "retries": _counter_totals(snapshot, "resilience.retries"),
+        "outliers_rejected": _counter_totals(
+            snapshot, "resilience.outliers_rejected"),
+        "fallbacks": _counter_totals(snapshot, "resilience.fallbacks"),
+        "budget_stops": _counter_totals(snapshot, "search.budget_stops"),
     }
 
 
@@ -220,11 +235,34 @@ class RunReport:
              f"({summary['buffer_hits']:.0f} hits)"],
             ["simulated seconds", f"{summary['simulated_seconds']:.4g}"],
             ["host seconds (spans)", f"{summary['host_seconds']:.4g}"],
+            ["resilience",
+             f"{summary.get('retries', 0):.0f} retries / "
+             f"{summary.get('outliers_rejected', 0):.0f} outliers rejected / "
+             f"{summary.get('fallbacks', 0):.0f} fallbacks / "
+             f"{summary.get('budget_stops', 0):.0f} budget stops"],
         ]
         sections.append(format_table(
             ["measure", "value"], headline,
             title=f"Run report — {self.label}",
         ))
+
+        faults = _by_label(self.metrics, "faults.injected", "kind")
+        if faults or summary.get("faults_injected", 0):
+            retries = _by_label(self.metrics, "resilience.retries", "site")
+            fallbacks = _by_label(self.metrics, "resilience.fallbacks", "kind")
+            rows = [[f"faults injected ({kind})", f"{count:.0f}"]
+                    for kind, count in sorted(faults.items())]
+            rows.extend([[f"retries ({site})", f"{count:.0f}"]
+                         for site, count in sorted(retries.items())])
+            rows.extend([[f"fallbacks ({kind})", f"{count:.0f}"]
+                         for kind, count in sorted(fallbacks.items())])
+            rows.append(["outliers rejected",
+                         f"{summary.get('outliers_rejected', 0):.0f}"])
+            rows.append(["search budget stops",
+                         f"{summary.get('budget_stops', 0):.0f}"])
+            sections.append(format_table(
+                ["event", "count"], rows, title="Resilience",
+            ))
 
         searches = _by_label(self.metrics, "search.evaluations", "algorithm")
         if searches:

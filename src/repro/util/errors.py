@@ -3,7 +3,34 @@
 Every error raised by the library derives from :class:`ReproError`, so
 callers can catch one type at an API boundary. Subsystems raise the more
 specific subclasses below.
+
+Transient versus permanent
+--------------------------
+Measurement-path errors follow a two-level contract that the resilient
+calibration pipeline (:mod:`repro.faults`, ``CalibrationRunner``,
+``CalibrationCache``) relies on:
+
+* **Transient** — :class:`MeasurementFault` and its subclass
+  :class:`MeasurementTimeout`. The condition is expected to clear on a
+  retry (a flaky simulated measurement, a VM boot hiccup, an injected
+  hang past the measurement deadline). Callers inside the pipeline
+  retry these under a ``RetryPolicy`` with exponential backoff and must
+  never let one escape uncaught.
+* **Permanent** — :class:`CalibrationError` (including
+  :class:`IllConditionedError`). Retrying will not help: the retry
+  budget is exhausted, the allocation is dead, or the solved system is
+  degenerate. These cross API boundaries; ``CalibrationCache`` reacts
+  by degrading through its fallback chain (nearest calibrated
+  allocation, then PostgreSQL-default parameters) instead of raising to
+  the designer.
+
+A transient error that survives its retry budget is re-raised *as* a
+permanent :class:`CalibrationError` (with the transient fault chained
+as ``__cause__``), so "is this retryable?" is always answerable from
+the exception type alone.
 """
+
+from typing import Optional, Sequence, Tuple
 
 
 class ReproError(Exception):
@@ -35,7 +62,35 @@ class PlanningError(ReproError):
 
 
 class CalibrationError(ReproError):
-    """Calibration could not recover optimizer parameters."""
+    """Calibration could not recover optimizer parameters (permanent)."""
+
+
+class MeasurementFault(ReproError):
+    """A single measurement failed transiently; retrying may succeed."""
+
+
+class MeasurementTimeout(MeasurementFault):
+    """A measurement exceeded its simulated deadline (transient)."""
+
+
+class IllConditionedError(CalibrationError):
+    """The calibration system is degenerate (permanent).
+
+    Carries the diagnostics a caller needs to name the problem:
+    ``condition_number`` of the (scaled) design matrix, the
+    ``row_indices`` of the measurements involved, and the
+    ``query_names`` of the synthetic queries behind those rows (when
+    the caller supplied names).
+    """
+
+    def __init__(self, message: str,
+                 condition_number: Optional[float] = None,
+                 row_indices: Sequence[int] = (),
+                 query_names: Sequence[str] = ()):
+        super().__init__(message)
+        self.condition_number = condition_number
+        self.row_indices: Tuple[int, ...] = tuple(row_indices)
+        self.query_names: Tuple[str, ...] = tuple(query_names)
 
 
 class ObservabilityError(ReproError):

@@ -14,17 +14,25 @@ computes elapsed time through three channels:
   read-ahead, so total time is less than the plain sum.
 
 Optionally a deterministic noise source perturbs the result, standing
-in for the run-to-run jitter of real measurements.
+in for the run-to-run jitter of real measurements, and a
+:class:`repro.faults.FaultInjector` may be attached: every elapsed time
+is then routed through the injector, which can perturb it (outliers,
+hangs) or raise a transient
+:class:`~repro.util.errors.MeasurementFault` — the simulation's stand-in
+for measurements that fail outright on a real testbed.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
+from typing import TYPE_CHECKING, Optional
 
 from repro.engine.trace import WorkTrace
 from repro.util.rng import DeterministicRng
 from repro.virt.vm import VirtualMachine
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
+    from repro.faults.injector import FaultInjector
 
 
 @dataclass
@@ -52,17 +60,23 @@ class VMPerfModel:
     def __init__(self, vm: VirtualMachine,
                  readahead_overlap: float = 0.8,
                  noise_rng: Optional[DeterministicRng] = None,
-                 noise_sigma: float = 0.0):
+                 noise_sigma: float = 0.0,
+                 injector: Optional["FaultInjector"] = None):
         if not 0.0 <= readahead_overlap <= 1.0:
             raise ValueError("readahead_overlap must be in [0, 1]")
         self._vm = vm
         self._readahead_overlap = readahead_overlap
         self._noise_rng = noise_rng
         self._noise_sigma = noise_sigma
+        self._injector = injector
 
     @property
     def vm(self) -> VirtualMachine:
         return self._vm
+
+    @property
+    def injector(self) -> Optional["FaultInjector"]:
+        return self._injector
 
     def breakdown(self, trace: WorkTrace) -> TimeBreakdown:
         """Decompose *trace* into time per channel (noise-free)."""
@@ -91,8 +105,17 @@ class VMPerfModel:
         )
 
     def elapsed(self, trace: WorkTrace) -> float:
-        """Simulated elapsed seconds for *trace*, with optional noise."""
+        """Simulated elapsed seconds for *trace*, with optional noise.
+
+        With a fault injector attached this may raise a transient
+        :class:`~repro.util.errors.MeasurementFault` or return a
+        perturbed (outlier / hung) timing; callers on the resilient
+        path retry under their :class:`~repro.faults.RetryPolicy`.
+        """
         total = self.breakdown(trace).total_seconds
         if self._noise_rng is not None and self._noise_sigma > 0:
             total *= self._noise_rng.noise_factor(self._noise_sigma)
+        if self._injector is not None:
+            total = self._injector.on_measurement(
+                self._vm.shares.as_tuple(), total)
         return total

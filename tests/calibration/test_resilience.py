@@ -1,0 +1,180 @@
+"""Resilience tests: the calibration pipeline under injected faults.
+
+Covers the contract ``docs/robustness.md`` documents — transient faults
+are retried away without changing results, injected outliers are
+rejected by MAD filtering, and permanent failures degrade through the
+fallback chain (nearest calibrated point, then defaults) instead of
+raising.
+"""
+
+import pytest
+
+from repro.calibration import CalibrationCache, CalibrationRunner
+from repro.faults import FaultInjector, FaultPlan, RetryPolicy
+from repro.obs import metrics
+from repro.util.errors import CalibrationError
+from repro.virt.resources import ResourceVector
+
+pytestmark = pytest.mark.chaos
+
+
+def alloc(cpu=0.5, memory=0.5, io=0.5):
+    return ResourceVector.of(cpu=cpu, memory=memory, io=io)
+
+
+class TestRetryConvergence:
+    def test_fail_first_n_converges_to_fault_free_report(self, lab_machine,
+                                                         calibration_runner):
+        faulty = CalibrationRunner(
+            lab_machine,
+            injector=FaultInjector(FaultPlan(name="t", fail_first_n=2)),
+        )
+        clean_report = calibration_runner.calibrate(alloc())
+        faulty_report = faulty.calibrate(alloc())
+
+        # Retries absorbed the failures: same measurements, same solution.
+        assert len(faulty_report.measurements) == len(clean_report.measurements)
+        for ours, theirs in zip(faulty_report.measurements,
+                                clean_report.measurements):
+            assert ours.query_name == theirs.query_name
+            assert ours.measured_seconds == pytest.approx(
+                theirs.measured_seconds)
+        clean = clean_report.parameters.as_dict()
+        for name, value in faulty_report.parameters.as_dict().items():
+            assert value == pytest.approx(clean[name])
+
+    def test_retries_counted_and_backoff_simulated(self, lab_machine):
+        before = metrics.get_registry().total("resilience.retries")
+        runner = CalibrationRunner(
+            lab_machine,
+            injector=FaultInjector(FaultPlan(name="t", fail_first_n=2)),
+        )
+        runner.calibrate(alloc())
+        after = metrics.get_registry().total("resilience.retries")
+        assert after - before == 2
+        assert runner.backoff_seconds_total > 0
+
+    def test_exhausted_retries_become_permanent_error(self, lab_machine):
+        runner = CalibrationRunner(
+            lab_machine,
+            injector=FaultInjector(FaultPlan(name="t", transient_rate=1.0)),
+            retry_policy=RetryPolicy(max_attempts=2),
+        )
+        with pytest.raises(CalibrationError) as excinfo:
+            runner.calibrate(alloc())
+        assert "after 2 attempt(s)" in str(excinfo.value)
+        assert excinfo.value.__cause__ is not None  # transient cause chained
+
+
+class TestOutlierRejection:
+    def test_mad_rejects_injected_outliers(self, lab_machine,
+                                           calibration_runner):
+        before = metrics.get_registry().total("resilience.outliers_rejected")
+        noisy = CalibrationRunner(
+            lab_machine,
+            injector=FaultInjector(FaultPlan(
+                name="t", outlier_rate=0.1, outlier_magnitude=20.0)),
+            retry_policy=RetryPolicy(trials=5),
+        )
+        report = noisy.calibrate(alloc())
+        after = metrics.get_registry().total("resilience.outliers_rejected")
+        assert after > before  # some trials were rejected
+
+        # The surviving medians match the fault-free measurements.
+        clean = calibration_runner.calibrate(alloc())
+        for ours, theirs in zip(report.measurements, clean.measurements):
+            assert ours.measured_seconds == pytest.approx(
+                theirs.measured_seconds, rel=0.01)
+
+    def test_hangs_converted_to_timeouts_and_retried(self, lab_machine,
+                                                     calibration_runner):
+        hanging = CalibrationRunner(
+            lab_machine,
+            injector=FaultInjector(FaultPlan(
+                name="t", hang_rate=0.1, hang_seconds=600.0)),
+            retry_policy=RetryPolicy(max_attempts=6,
+                                     measurement_deadline_seconds=120.0),
+        )
+        report = hanging.calibrate(alloc())
+        clean = calibration_runner.calibrate(alloc())
+        for ours, theirs in zip(report.measurements, clean.measurements):
+            # No 600-second hang ever leaks into a design row.
+            assert ours.measured_seconds == pytest.approx(
+                theirs.measured_seconds, rel=0.01)
+
+
+class _FailingRunner:
+    """Duck-typed runner whose experiments always die permanently."""
+
+    def __init__(self):
+        self.calls = 0
+
+    def parameters_for(self, allocation):
+        self.calls += 1
+        raise CalibrationError("experiment died")
+
+
+class TestFallbackChain:
+    def test_dead_allocation_degrades_to_nearest(self, lab_machine):
+        plan = FaultPlan(name="t", dead_allocations=((0.5, 0.5, 0.5),))
+        runner = CalibrationRunner(
+            lab_machine, injector=FaultInjector(plan),
+            retry_policy=RetryPolicy(max_attempts=2),
+        )
+        cache = CalibrationCache(runner)
+        good = cache.params_for(alloc(cpu=0.25))
+
+        degraded = cache.params_for(alloc())  # the dead point: no raise
+        assert degraded is good  # nearest calibrated point stood in
+        assert len(cache.fallback_log) == 1
+        event = cache.fallback_log[0]
+        assert event.kind == "nearest"
+        assert event.source == (0.25, 0.5, 0.5)
+        assert event.allocation == (0.5, 0.5, 0.5)
+
+    def test_empty_cache_degrades_to_defaults(self):
+        from repro.optimizer.params import OptimizerParameters
+
+        failing = _FailingRunner()
+        cache = CalibrationCache(failing, max_experiment_attempts=2)
+        params = cache.params_for(alloc())
+        assert params == OptimizerParameters.defaults()
+        assert failing.calls == 2  # the experiment retry ran first
+        assert cache.fallback_log[0].kind == "default"
+
+    def test_fallback_order_nearest_before_default(self, calibration_runner):
+        # One good point, everything else permanently failing: the
+        # chain must land on "nearest", never "default".
+        class _SelectiveRunner:
+            def parameters_for(self, allocation):
+                if allocation.cpu == 0.75:
+                    return calibration_runner.parameters_for(allocation)
+                raise CalibrationError("dead")
+
+        cache = CalibrationCache(_SelectiveRunner(), max_experiment_attempts=1)
+        cache.params_for(alloc(cpu=0.75))
+        cache.params_for(alloc(cpu=0.25))
+        assert [e.kind for e in cache.fallback_log] == ["nearest"]
+
+    def test_degraded_answer_is_remembered_not_reattempted(self):
+        failing = _FailingRunner()
+        cache = CalibrationCache(failing, max_experiment_attempts=1)
+        cache.params_for(alloc())
+        calls_after_first = failing.calls
+        cache.params_for(alloc())  # second probe: no new experiment
+        assert failing.calls == calls_after_first
+        assert len(cache.fallback_log) == 1
+
+    def test_fallbacks_never_persisted(self, tmp_path):
+        failing = _FailingRunner()
+        cache = CalibrationCache(failing, max_experiment_attempts=1)
+        cache.params_for(alloc())
+        assert cache.n_calibrations == 0
+        assert cache.save(tmp_path / "cal.json") == 0
+
+    def test_fallbacks_counted(self):
+        before = metrics.get_registry().total("resilience.fallbacks")
+        cache = CalibrationCache(_FailingRunner(), max_experiment_attempts=1)
+        cache.params_for(alloc())
+        after = metrics.get_registry().total("resilience.fallbacks")
+        assert after - before == 1

@@ -3,7 +3,7 @@
 import pytest
 
 from repro.calibration.solver import CATEGORIES, solve_parameters
-from repro.util.errors import CalibrationError
+from repro.util.errors import CalibrationError, IllConditionedError
 
 #: A plausible ground-truth parameter vector (seconds per unit).
 TRUTH = {
@@ -114,3 +114,62 @@ class TestValidation:
         rows = [[0, 1, 1, 1, 1, 1]] * 8
         with pytest.raises(CalibrationError):
             solve_parameters(rows, [1.0] * 8)
+
+
+class TestConditioningDiagnostics:
+    def test_well_conditioned_solution_reports_diagnostics(self):
+        rows, times = synth_rows()
+        solution = solve_parameters(rows, times)
+        assert solution.rank == len(CATEGORIES)
+        assert 1.0 <= solution.condition_number < 1e10
+
+    def test_collinear_columns_raise_naming_categories(self):
+        rows, _times = synth_rows()
+        # Make operator work perfectly collinear with tuple work: the
+        # two can no longer be separately identified.
+        for row in rows:
+            row[4] = 2 * row[2]
+        times = [
+            sum(row[i] * TRUTH[c] for i, c in enumerate(CATEGORIES))
+            for row in rows
+        ]
+        names = [f"q{i}" for i in range(len(rows))]
+        with pytest.raises(IllConditionedError) as excinfo:
+            solve_parameters(rows, times, query_names=names)
+        error = excinfo.value
+        assert "tuples" in str(error) and "ops" in str(error)
+        assert "q0" in error.query_names
+        assert error.row_indices  # the offending rows are identified
+        assert isinstance(error, CalibrationError)  # permanent by contract
+
+    def test_zero_column_raises_rank_deficiency(self):
+        rows, _times = synth_rows()
+        for row in rows:
+            row[1] = 0  # no query ever touches random pages
+        times = [
+            sum(row[i] * TRUTH[c] for i, c in enumerate(CATEGORIES))
+            for row in rows
+        ]
+        with pytest.raises(IllConditionedError) as excinfo:
+            solve_parameters(rows, times)
+        assert "rand_pages" in str(excinfo.value)
+
+    def test_condition_ceiling_enforced(self):
+        rows, times = synth_rows()
+        with pytest.raises(IllConditionedError) as excinfo:
+            solve_parameters(rows, times, max_condition=1.0)
+        assert excinfo.value.condition_number > 1.0
+
+    def test_corrupted_row_flagged_by_residual_check(self):
+        rows, times = synth_rows()
+        times[3] *= 10  # one measurement survived filtering corrupted
+        names = [f"q{i}" for i in range(len(rows))]
+        with pytest.raises(IllConditionedError) as excinfo:
+            solve_parameters(rows, times, query_names=names,
+                             max_relative_residual=0.5)
+        assert "q3" in excinfo.value.query_names
+
+    def test_residual_check_passes_clean_data(self):
+        rows, times = synth_rows()
+        solution = solve_parameters(rows, times, max_relative_residual=0.5)
+        assert solution.residual_rms < 0.05 * max(times)

@@ -209,3 +209,72 @@ class TestValidation:
                           DynamicProgrammingSearch)
         with pytest.raises(AllocationError):
             make_algorithm("annealing", 4)
+
+
+class TestBudgets:
+    """Evaluation budgets and deadlines stop searches gracefully."""
+
+    WEIGHTS = {"a": (3.0, 1.0), "b": (1.0, 2.0), "c": (2.0, 1.0)}
+
+    def test_unbudgeted_search_never_stops_early(self):
+        problem, model = make_problem(self.WEIGHTS)
+        result = ExhaustiveSearch(grid=6).search(problem, model)
+        assert result.stopped is False
+
+    def test_exhaustive_stops_on_evaluation_budget(self):
+        problem, model = make_problem(self.WEIGHTS)
+        result = ExhaustiveSearch(grid=6, max_evaluations=5).search(
+            problem, model)
+        assert result.stopped is True
+        # Best-so-far is still a feasible full allocation.
+        shares = [result.allocation.vector_for(n).cpu for n in self.WEIGHTS]
+        assert sum(shares) == pytest.approx(1.0)
+
+    def test_greedy_stops_on_evaluation_budget(self):
+        problem, model = make_problem(self.WEIGHTS)
+        result = GreedySearch(grid=6, max_evaluations=4).search(problem, model)
+        assert result.stopped is True
+
+    def test_dp_degrades_to_equal_shares(self):
+        problem, model = make_problem(self.WEIGHTS)
+        result = DynamicProgrammingSearch(grid=6, max_evaluations=1).search(
+            problem, model)
+        assert result.stopped is True
+        shares = [result.allocation.vector_for(n).cpu for n in self.WEIGHTS]
+        assert shares == pytest.approx([2 / 6] * 3)
+
+    def test_deadline_stops_search(self):
+        problem, model = make_problem(self.WEIGHTS)
+        result = ExhaustiveSearch(grid=6, deadline_seconds=1e-9).search(
+            problem, model)
+        assert result.stopped is True
+
+    def test_budget_stop_counted(self):
+        from repro.obs import metrics
+
+        before = metrics.get_registry().total("search.budget_stops")
+        problem, model = make_problem(self.WEIGHTS)
+        ExhaustiveSearch(grid=6, max_evaluations=2).search(problem, model)
+        after = metrics.get_registry().total("search.budget_stops")
+        assert after - before == 1  # counted once, not per check
+
+    def test_budgeted_result_no_worse_than_equal_shares(self):
+        problem, model = make_problem(self.WEIGHTS)
+        budgeted = GreedySearch(grid=6, max_evaluations=6).search(
+            problem, model)
+        equal = 0.0
+        for name, (cpu_w, mem_w) in self.WEIGHTS.items():
+            equal += cpu_w / (2 / 6) + mem_w / (2 / 6)
+        assert budgeted.total_cost <= equal + 1e-9
+
+    def test_make_algorithm_forwards_budget(self):
+        algorithm = make_algorithm("greedy", 4, max_evaluations=7,
+                                   deadline_seconds=2.5)
+        assert algorithm.max_evaluations == 7
+        assert algorithm.deadline_seconds == 2.5
+
+    def test_budget_validation(self):
+        with pytest.raises(AllocationError):
+            ExhaustiveSearch(grid=4, max_evaluations=0)
+        with pytest.raises(AllocationError):
+            ExhaustiveSearch(grid=4, deadline_seconds=0.0)

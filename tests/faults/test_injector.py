@@ -1,0 +1,107 @@
+"""Tests for the fault injector (determinism and each injection site)."""
+
+import pytest
+
+from repro import obs
+from repro.faults import FaultInjector, FaultPlan
+from repro.util.errors import MeasurementFault
+
+SHARES = (0.5, 0.5, 0.5)
+
+
+def drive(injector, n=200, seconds=1.0):
+    """Feed *n* measurements through; returns the observed outcomes."""
+    outcomes = []
+    for _ in range(n):
+        try:
+            outcomes.append(injector.on_measurement(SHARES, seconds))
+        except MeasurementFault:
+            outcomes.append("fault")
+    return outcomes
+
+
+class TestDeterminism:
+    def test_equal_plans_inject_identical_sequences(self):
+        plan = FaultPlan(name="t", seed=7, transient_rate=0.2,
+                         outlier_rate=0.1)
+        assert drive(FaultInjector(plan)) == drive(FaultInjector(plan))
+
+    def test_clone_replays_from_start(self):
+        injector = FaultInjector(FaultPlan(name="t", transient_rate=0.3))
+        first = drive(injector, n=50)
+        assert drive(injector.clone(), n=50) == first
+
+    def test_seed_changes_sequence(self):
+        a = FaultPlan(name="t", seed=1, transient_rate=0.3)
+        b = FaultPlan(name="t", seed=2, transient_rate=0.3)
+        assert drive(FaultInjector(a)) != drive(FaultInjector(b))
+
+
+class TestChannels:
+    def test_benign_plan_passes_through(self):
+        injector = FaultInjector(FaultPlan())
+        assert injector.on_measurement(SHARES, 1.25) == 1.25
+        injector.on_boot(SHARES)  # must not raise
+
+    def test_transient_rate_roughly_respected(self):
+        injector = FaultInjector(FaultPlan(name="t", transient_rate=0.2))
+        outcomes = drive(injector, n=500)
+        faults = outcomes.count("fault")
+        assert 0.1 < faults / 500 < 0.3
+
+    def test_outliers_scaled_by_magnitude(self):
+        injector = FaultInjector(FaultPlan(
+            name="t", outlier_rate=0.2, outlier_magnitude=10.0))
+        outcomes = drive(injector, n=200)
+        assert 10.0 in outcomes  # 1.0s measurements scaled 10x
+        assert 1.0 in outcomes   # most pass through
+
+    def test_hangs_add_hang_seconds(self):
+        injector = FaultInjector(FaultPlan(
+            name="t", hang_rate=0.2, hang_seconds=600.0))
+        outcomes = drive(injector, n=200)
+        assert 601.0 in outcomes
+
+    def test_fail_first_n_is_deterministic(self):
+        injector = FaultInjector(FaultPlan(name="t", fail_first_n=2))
+        assert drive(injector, n=4) == ["fault", "fault", 1.0, 1.0]
+
+    def test_dead_allocation_always_fails(self):
+        plan = FaultPlan(name="t", dead_allocations=(SHARES,))
+        injector = FaultInjector(plan)
+        with pytest.raises(MeasurementFault):
+            injector.on_boot(SHARES)
+        with pytest.raises(MeasurementFault):
+            injector.on_measurement(SHARES, 1.0)
+        # Other allocations are untouched.
+        injector.on_boot((0.25, 0.5, 0.5))
+
+    def test_boot_failure_rate(self):
+        injector = FaultInjector(FaultPlan(name="t", boot_failure_rate=0.5))
+        failures = 0
+        for _ in range(100):
+            try:
+                injector.on_boot(SHARES)
+            except MeasurementFault:
+                failures += 1
+        assert 30 < failures < 70
+
+
+class TestAccounting:
+    def test_faults_counted_by_kind(self):
+        obs.reset()
+        injector = FaultInjector(FaultPlan(name="t", fail_first_n=3))
+        drive(injector, n=5)
+        snapshot = obs.get_registry().snapshot()
+        injected = {
+            entry["labels"]["kind"]: entry["value"]
+            for entry in snapshot["counters"]
+            if entry["name"] == "faults.injected"
+        }
+        assert injected == {"transient": 3}
+        obs.reset()
+
+    def test_measurements_seen(self):
+        injector = FaultInjector(FaultPlan())
+        drive(injector, n=7)
+        assert injector.measurements_seen == 7

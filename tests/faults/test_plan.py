@@ -1,0 +1,60 @@
+"""Tests for fault plans (the declarative side of fault injection)."""
+
+import pytest
+
+from repro.faults import NAMED_PLANS, FaultPlan
+from repro.util.errors import AllocationError
+
+
+class TestValidation:
+    def test_rates_must_be_probabilities(self):
+        with pytest.raises(AllocationError):
+            FaultPlan(transient_rate=1.5)
+        with pytest.raises(AllocationError):
+            FaultPlan(outlier_rate=-0.1)
+
+    def test_outlier_magnitude_must_exceed_one(self):
+        with pytest.raises(AllocationError):
+            FaultPlan(outlier_rate=0.1, outlier_magnitude=0.5)
+
+    def test_fail_first_n_non_negative(self):
+        with pytest.raises(AllocationError):
+            FaultPlan(fail_first_n=-1)
+
+
+class TestQueries:
+    def test_default_plan_is_benign(self):
+        assert FaultPlan().is_benign
+
+    def test_any_rate_breaks_benignity(self):
+        assert not FaultPlan(transient_rate=0.1).is_benign
+        assert not FaultPlan(fail_first_n=1).is_benign
+        assert not FaultPlan(
+            dead_allocations=((0.5, 0.5, 0.5),)).is_benign
+
+    def test_dead_allocation_matching_quantizes(self):
+        plan = FaultPlan(dead_allocations=((0.5, 0.5, 0.5),))
+        assert plan.is_dead((0.5, 0.5, 0.5))
+        # Within quantization (4 decimals) of the dead point.
+        assert plan.is_dead((0.50004, 0.5, 0.5))
+        assert not plan.is_dead((0.25, 0.5, 0.5))
+
+    def test_with_overrides_replaces_fields(self):
+        plan = FaultPlan.named("none").with_overrides(transient_rate=0.3)
+        assert plan.transient_rate == 0.3
+        assert plan.name == "none"
+
+
+class TestNamedPlans:
+    def test_named_lookup(self):
+        assert FaultPlan.named("noisy").outlier_rate == 0.05
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(AllocationError):
+            FaultPlan.named("apocalyptic")
+
+    def test_none_plan_is_benign(self):
+        assert NAMED_PLANS["none"].is_benign
+
+    def test_plans_name_themselves(self):
+        assert all(plan.name == name for name, plan in NAMED_PLANS.items())

@@ -1,0 +1,82 @@
+"""Tests for retry policies, backoff, and MAD outlier rejection."""
+
+import pytest
+
+from repro.faults import RetryPolicy, mad_reject, robust_seconds
+from repro.util.errors import CalibrationError
+
+
+class TestRetryPolicy:
+    def test_defaults_are_single_trial(self):
+        policy = RetryPolicy()
+        assert policy.trials == 1
+        assert policy.max_attempts == 4
+
+    def test_resilient_preset(self):
+        policy = RetryPolicy.resilient()
+        assert policy.trials >= 3  # enough for MAD rejection to engage
+        assert policy.measurement_deadline_seconds < float("inf")
+
+    def test_backoff_grows_exponentially(self):
+        policy = RetryPolicy(backoff_base_seconds=0.1, backoff_multiplier=2.0,
+                             max_backoff_seconds=100.0)
+        assert policy.backoff_seconds(1) == pytest.approx(0.1)
+        assert policy.backoff_seconds(2) == pytest.approx(0.2)
+        assert policy.backoff_seconds(3) == pytest.approx(0.4)
+
+    def test_backoff_capped(self):
+        policy = RetryPolicy(backoff_base_seconds=1.0, backoff_multiplier=10.0,
+                             max_backoff_seconds=5.0)
+        assert policy.backoff_seconds(4) == 5.0
+
+    def test_backoff_requires_a_failure(self):
+        with pytest.raises(CalibrationError):
+            RetryPolicy().backoff_seconds(0)
+
+    @pytest.mark.parametrize("kwargs", [
+        {"max_attempts": 0},
+        {"trials": 0},
+        {"backoff_base_seconds": -1.0},
+        {"backoff_multiplier": 0.5},
+        {"mad_threshold": 0.0},
+        {"measurement_deadline_seconds": 0.0},
+    ])
+    def test_validation(self, kwargs):
+        with pytest.raises(CalibrationError):
+            RetryPolicy(**kwargs)
+
+
+class TestMadReject:
+    def test_obvious_outlier_rejected(self):
+        kept, rejected = mad_reject([1.0, 1.1, 0.9, 1.05, 50.0])
+        assert rejected == [4]
+        assert 50.0 not in kept
+
+    def test_clean_values_all_kept(self):
+        values = [1.0, 1.1, 0.9, 1.05, 0.95]
+        kept, rejected = mad_reject(values)
+        assert kept == values
+        assert rejected == []
+
+    def test_zero_mad_fallback_catches_outlier(self):
+        # Identical trials + one outlier: MAD is 0, the relative band
+        # must still reject the wild value.
+        kept, rejected = mad_reject([1.0, 1.0, 1.0, 1.0, 8.0])
+        assert rejected == [4]
+
+    def test_fewer_than_three_values_untouched(self):
+        assert mad_reject([1.0, 99.0]) == ([1.0, 99.0], [])
+
+    def test_never_rejects_everything(self):
+        kept, _rejected = mad_reject([1.0, 2.0, 3.0], threshold=1e-9)
+        assert kept  # falls back to the median rather than emptiness
+
+
+class TestRobustSeconds:
+    def test_median_of_survivors(self):
+        seconds, n_rejected = robust_seconds([1.0, 1.2, 0.8, 1.1, 10.0])
+        assert seconds == pytest.approx(1.05)
+        assert n_rejected == 1
+
+    def test_single_trial_passthrough(self):
+        assert robust_seconds([3.25]) == (3.25, 0)

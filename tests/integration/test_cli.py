@@ -71,11 +71,15 @@ class TestReport:
         assert main(["report", "--scale", "0.002", "--grid", "4",
                      "--algorithm", "greedy", "--json"]) == 0
         payload = json.loads(capsys.readouterr().out)
-        assert payload["format"] == "repro-run-report/1"
+        assert payload["format"] == "repro-run-report/2"
         assert payload["label"] == "design/greedy"
         assert payload["summary"]["cost_model_evaluations"] > 0
         assert payload["summary"]["calibration_experiments"] > 0
         assert 0.0 <= payload["summary"]["buffer_hit_ratio"] <= 1.0
+        # Format 2 adds the resilience keys (all zero in a fault-free run).
+        assert payload["summary"]["faults_injected"] == 0
+        assert payload["summary"]["retries"] == 0
+        assert payload["summary"]["fallbacks"] == 0
 
     def test_stats_flag_appends_report(self, capsys):
         assert main(["calibrate", "--cpu", "0.5", "--stats"]) == 0
@@ -90,8 +94,34 @@ class TestReport:
                      "--stats-json", str(path)]) == 0
         capsys.readouterr()
         payload = json.loads(path.read_text())
-        assert payload["format"] == "repro-run-report/1"
+        assert payload["format"] == "repro-run-report/2"
         assert payload["summary"]["calibration_experiments"] >= 1
+
+
+@pytest.mark.chaos
+class TestChaos:
+    def test_chaos_completes_design_under_faults(self, capsys):
+        assert main(["chaos", "--plan", "noisy", "--scale", "0.002",
+                     "--grid", "3", "--algorithm", "greedy"]) == 0
+        out = capsys.readouterr().out
+        assert "fault plan 'noisy'" in out
+        assert "Design via greedy" in out
+        assert "Resilience summary" in out
+        assert "retries (measurement)" in out
+
+    def test_chaos_benign_plan_reports_no_faults(self, capsys):
+        assert main(["chaos", "--plan", "none", "--scale", "0.002",
+                     "--grid", "3", "--algorithm", "greedy"]) == 0
+        out = capsys.readouterr().out
+        assert "no faults injected" in out
+
+    def test_chaos_rate_overrides(self, capsys):
+        assert main(["chaos", "--plan", "none", "--transient-rate", "0.3",
+                     "--scale", "0.002", "--grid", "3",
+                     "--algorithm", "greedy"]) == 0
+        captured = capsys.readouterr()
+        assert "transient=30%" in captured.err
+        assert "faults injected (transient)" in captured.out
 
 
 class TestParser:

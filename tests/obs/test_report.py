@@ -61,6 +61,28 @@ class TestSummarize:
         assert summary["cost_model_evaluations"] == 0
         assert summary["simulated_seconds"] == 0
 
+    def test_resilience_keys_present_and_zero_when_idle(self):
+        summary = summarize(MetricsRegistry().snapshot(), {}, 0.0)
+        for key in ("faults_injected", "retries", "outliers_rejected",
+                    "fallbacks", "budget_stops"):
+            assert summary[key] == 0
+
+    def test_resilience_counters_summarized(self):
+        registry = MetricsRegistry()
+        registry.counter("faults.injected", kind="transient").inc(7)
+        registry.counter("faults.injected", kind="outlier").inc(2)
+        registry.counter("resilience.retries", site="measurement").inc(5)
+        registry.counter("resilience.retries", site="boot").inc(1)
+        registry.counter("resilience.outliers_rejected").inc(2)
+        registry.counter("resilience.fallbacks", kind="nearest").inc(1)
+        registry.counter("search.budget_stops", algorithm="greedy").inc(1)
+        summary = summarize(registry.snapshot(), {}, 0.0)
+        assert summary["faults_injected"] == 9
+        assert summary["retries"] == 6
+        assert summary["outliers_rejected"] == 2
+        assert summary["fallbacks"] == 1
+        assert summary["budget_stops"] == 1
+
 
 class TestRoundTrip:
     def test_dict_json_dict_is_lossless(self, populated):
@@ -121,3 +143,28 @@ class TestTextRendering:
                                  recorder=SpanRecorder()).to_text()
         assert "Run report — empty" in text
         assert "Search" not in text
+
+    def test_headline_has_resilience_row(self, populated):
+        registry, recorder = populated
+        text = RunReport.capture(registry=registry,
+                                 recorder=recorder).to_text()
+        assert "resilience" in text
+        assert "0 retries / 0 outliers rejected" in text
+
+    def test_resilience_table_appears_with_faults(self):
+        registry = MetricsRegistry()
+        registry.counter("faults.injected", kind="transient").inc(4)
+        registry.counter("resilience.retries", site="measurement").inc(4)
+        registry.counter("resilience.fallbacks", kind="default").inc(1)
+        text = RunReport.capture(registry=registry,
+                                 recorder=SpanRecorder()).to_text()
+        assert "Resilience" in text
+        assert "faults injected (transient)" in text
+        assert "retries (measurement)" in text
+        assert "fallbacks (default)" in text
+
+    def test_resilience_table_absent_without_faults(self, populated):
+        registry, recorder = populated
+        text = RunReport.capture(registry=registry,
+                                 recorder=recorder).to_text()
+        assert "faults injected" not in text
