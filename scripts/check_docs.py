@@ -11,7 +11,12 @@ Checks, over README.md, DESIGN.md, EXPERIMENTS.md, and docs/*.md:
   repo root or ``docs/`` (with or without the ``.md`` suffix);
 * every backticked dotted module name (`` `repro.x.y` ``) mentioned in
   ``docs/architecture.md`` exists under ``src/`` as a module or
-  package, so the architecture page cannot drift from the tree.
+  package, so the architecture page cannot drift from the tree;
+* every backticked result file (`` `ext_foo.txt` `` or
+  ``benchmarks/results/...``) and every backticked ``scripts/*.py``
+  mentioned in ``EXPERIMENTS.md`` or ``docs/*.md`` exists, so the
+  experiments page cannot cite artifacts that were never generated
+  (``*`` globs must match at least one file).
 
 Run directly (``python scripts/check_docs.py``) or through the test
 suite (``tests/docs/test_docs_lint.py``); exits non-zero and prints one
@@ -33,6 +38,10 @@ DOC_FILES = ("README.md", "DESIGN.md", "EXPERIMENTS.md")
 _MD_LINK = re.compile(r"\[(?:[^\]]*)\]\(([^)\s]+)\)")
 _WIKI_LINK = re.compile(r"\[\[([^\]|#]+)(?:#[^\]]*)?\]\]")
 _MODULE_REF = re.compile(r"`(repro(?:\.[A-Za-z_][A-Za-z_0-9]*)+)`")
+#: `` `name.txt` `` or `` `benchmarks/results/name.txt` `` — a claimed
+#: benchmark artifact; `` `scripts/name.py` `` — a claimed script.
+_RESULT_REF = re.compile(r"`(?:benchmarks/results/)?([A-Za-z0-9_*]+\.txt)`")
+_SCRIPT_REF = re.compile(r"`(scripts/[A-Za-z0-9_]+\.py)`")
 _EXTERNAL = ("http://", "https://", "mailto:")
 
 
@@ -68,6 +77,25 @@ def _check_wiki_links(path: pathlib.Path, text: str,
                           f"wiki link [[{name}]]")
 
 
+def _check_artifact_refs(path: pathlib.Path, text: str,
+                         errors: List[str]) -> None:
+    results_dir = REPO_ROOT / "benchmarks" / "results"
+    for match in _RESULT_REF.finditer(text):
+        name = match.group(1)
+        if "*" in name:
+            if not sorted(results_dir.glob(name)):
+                errors.append(f"{path.relative_to(REPO_ROOT)}: no result "
+                              f"file matches `{name}`")
+        elif not (results_dir / name).exists():
+            errors.append(f"{path.relative_to(REPO_ROOT)}: missing result "
+                          f"file benchmarks/results/{name}")
+    for match in _SCRIPT_REF.finditer(text):
+        rel = match.group(1)
+        if not (REPO_ROOT / rel).exists():
+            errors.append(f"{path.relative_to(REPO_ROOT)}: missing "
+                          f"script {rel}")
+
+
 def _check_module_refs(errors: List[str]) -> None:
     arch = REPO_ROOT / "docs" / "architecture.md"
     if not arch.exists():
@@ -94,6 +122,7 @@ def main() -> int:
         text = path.read_text()
         _check_md_links(path, text, errors)
         _check_wiki_links(path, text, errors)
+        _check_artifact_refs(path, text, errors)
     _check_module_refs(errors)
     for line in errors:
         print(line)

@@ -1,0 +1,204 @@
+#!/usr/bin/env python
+"""Ext: supervised design runs under operational-failure plans.
+
+Sweeps fault plans from benign to hostile over the Figure-4-style
+design problem, but — unlike ``chaos_sweep.py``, which stresses the
+*measurement* pipeline — every run here goes through the full
+crash-recoverable stack: a :class:`repro.recovery.RunSupervisor`
+journaling every unit of work, and a post-deployment
+:class:`repro.virt.health.HealthMonitor` watchdog absorbing VM
+crashes, host degradation, and migration failures.
+
+Records, per plan: whether the chosen design survived (identical to
+the fault-free run), and the watchdog's recovery actions by type.
+Then the acceptance demo: the hostile-plan run is killed after 4
+units, resumed from its journal, and checked **bit-identical** —
+same calibrated parameters, same design, same recovery actions —
+to its uninterrupted twin.
+
+Writes ``benchmarks/results/ext_recovery.txt`` (standard two-line
+header, see EXPERIMENTS.md) and prints the table.
+
+Run with ``PYTHONPATH=src python scripts/recovery_sweep.py``.
+"""
+
+from __future__ import annotations
+
+import pathlib
+import sys
+import tempfile
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro import obs  # noqa: E402
+from repro.core.problem import (  # noqa: E402
+    VirtualizationDesignProblem,
+    WorkloadSpec,
+)
+from repro.faults import FaultPlan  # noqa: E402
+from repro.recovery import RunJournal, RunSupervisor  # noqa: E402
+from repro.util.tables import format_table  # noqa: E402
+from repro.virt.machine import laboratory_machine  # noqa: E402
+from repro.virt.resources import ResourceKind  # noqa: E402
+from repro.workloads import build_tpch_database, tpch_query  # noqa: E402
+from repro.workloads.workload import Workload  # noqa: E402
+
+RESULTS_PATH = REPO_ROOT / "benchmarks" / "results" / "ext_recovery.txt"
+SCALE_FACTOR = 0.002
+GRID = 4
+WATCHDOG_PROBES = 8
+KILL_AFTER_UNITS = 4
+
+#: The sweep, mildest first. ``turbulent`` is the named operational
+#: regime; ``hostile-ops`` piles every channel on at once.
+PLANS = (
+    FaultPlan(name="none"),
+    FaultPlan(name="crashy", vm_crash_rate=0.25),
+    FaultPlan.named("turbulent"),
+    FaultPlan(name="hostile-ops", transient_rate=0.2, vm_crash_rate=0.3,
+              host_degrade_rate=0.15, migration_failure_rate=0.4),
+)
+
+RECOVERY_ACTIONS = ("restart", "migrate", "evict", "readmit", "degrade")
+
+
+def make_problem() -> VirtualizationDesignProblem:
+    db = build_tpch_database(scale_factor=SCALE_FACTOR,
+                             tables=["customer", "orders", "lineitem"])
+    specs = [
+        WorkloadSpec(Workload.repeat("q4", tpch_query("Q4"), 3), db),
+        WorkloadSpec(Workload.repeat("q13", tpch_query("Q13"), 9), db),
+    ]
+    return VirtualizationDesignProblem(
+        machine=laboratory_machine(), specs=specs,
+        controlled_resources=(ResourceKind.CPU,),
+    )
+
+
+def run_supervised(plan, journal_path, max_units=None, resume=False):
+    """One supervised run (or resume); returns (run, summary)."""
+    obs.reset()
+    supervisor = RunSupervisor(
+        make_problem(), journal_path, plan=plan, algorithm="greedy",
+        grid=GRID, watchdog_probes=WATCHDOG_PROBES, max_units=max_units)
+    run = supervisor.run(resume=resume)
+    report = obs.RunReport.capture(label=f"recovery/{plan.name}")
+    return run, report.summary
+
+
+def design_key(design):
+    """The design as comparable plain data."""
+    return {
+        name: design.allocation.vector_for(name).as_tuple()
+        for name in design.allocation.workload_names()
+    }
+
+
+def journal_fingerprint(path):
+    """Every committed record, by kind — the bit-identity witness."""
+    journal = RunJournal.open(path)
+    return {
+        kind: [r.data for r in journal.records_of(kind)]
+        for kind in ("calibration", "evaluation", "result")
+    }
+
+
+def action_counts(run):
+    counts = {name: 0 for name in RECOVERY_ACTIONS}
+    for action in run.actions:
+        counts[action.action] = counts.get(action.action, 0) + 1
+    return counts
+
+
+def main() -> int:
+    workdir = pathlib.Path(tempfile.mkdtemp(prefix="recovery_sweep_"))
+    results = []
+    for plan in PLANS:
+        run, summary = run_supervised(plan, workdir / f"{plan.name}.journal")
+        assert run.completed
+        results.append({"plan": plan, "run": run, "summary": summary,
+                        "design": design_key(run.design)})
+    baseline = results[0]
+
+    rows = []
+    for result in results:
+        plan, run = result["plan"], result["run"]
+        counts = action_counts(run)
+        survived = result["design"] == baseline["design"]
+        rows.append([
+            plan.name,
+            f"{plan.vm_crash_rate:.0%}",
+            f"{plan.host_degrade_rate:.0%}",
+            f"{plan.migration_failure_rate:.0%}",
+            " ".join(f"{name}={shares[0]:.2f}"
+                     for name, shares in sorted(result["design"].items())),
+            "yes" if survived else "NO",
+            *(f"{counts[name]:d}" for name in RECOVERY_ACTIONS),
+        ])
+
+    table = format_table(
+        ["plan", "crash", "degrade", "mig-fail", "chosen CPU shares",
+         "survived", *RECOVERY_ACTIONS],
+        rows,
+        title="Ext: supervised design runs under operational faults "
+              f"(greedy, CPU controlled, grid {GRID}, "
+              f"{WATCHDOG_PROBES} watchdog probes)",
+    )
+
+    # The kill/resume acceptance demo, on the most hostile plan.
+    hostile = PLANS[-1]
+    twin_path = workdir / "hostile-twin.journal"
+    killed_path = workdir / "hostile-killed.journal"
+    twin, _ = run_supervised(hostile, twin_path)
+    killed, _ = run_supervised(hostile, killed_path,
+                               max_units=KILL_AFTER_UNITS)
+    assert not killed.completed
+    resumed, _ = run_supervised(hostile, killed_path, resume=True)
+    assert resumed.completed
+    identical = journal_fingerprint(twin_path) == \
+        journal_fingerprint(killed_path)
+    footer = (
+        f"Acceptance: the {hostile.name!r} run killed after "
+        f"{KILL_AFTER_UNITS} of {twin.new_units} units and resumed "
+        f"({resumed.replayed_units} replayed, {resumed.new_units} fresh) "
+        f"is {'bit-identical' if identical else 'DIVERGENT'} to the "
+        f"uninterrupted run — calibrations, evaluations, design, and "
+        f"recovery actions all compare equal."
+    )
+
+    def across(key):
+        return sum(r["summary"].get(key, 0) for r in results)
+
+    recoveries = sum(sum(action_counts(r["run"]).values()) for r in results)
+    counted = (
+        f"# Counted work: calibration experiments="
+        f"{across('calibration_experiments'):.0f} | cost-model evals="
+        f"{across('cost_model_evaluations'):.0f} | faults "
+        f"{across('faults_injected'):.0f}, retries {across('retries'):.0f} "
+        f"| watchdog recoveries {recoveries} across "
+        f"{len(PLANS)} plans x {WATCHDOG_PROBES} probes"
+    )
+    header = "\n".join([
+        "# Regenerate with: PYTHONPATH=src python scripts/recovery_sweep.py",
+        counted,
+    ])
+    RESULTS_PATH.parent.mkdir(exist_ok=True)
+    RESULTS_PATH.write_text(header + "\n\n" + table + "\n\n" + footer + "\n")
+
+    print(table)
+    print()
+    print(footer)
+    if not identical:
+        print("FAIL: resumed run diverged from the uninterrupted run",
+              file=sys.stderr)
+        return 1
+    if not all(row[5] == "yes" for row in rows):
+        print("FAIL: a fault plan changed the chosen design",
+              file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -69,6 +69,11 @@ from repro.virt.resources import ResourceKind, ResourceVector
 #: Shares are quantized to this many decimals for cache keys.
 _KEY_DECIMALS = 4
 
+#: Current on-disk cache format (checksummed, atomically written).
+_CACHE_FORMAT = "repro-calibration-cache/2"
+#: Formats :meth:`CalibrationCache.load` accepts (v1 predates checksums).
+_CACHE_FORMATS = {"repro-calibration-cache/1", _CACHE_FORMAT}
+
 
 def _key(allocation: ResourceVector) -> Tuple[float, float, float]:
     return tuple(round(s, _KEY_DECIMALS) for s in allocation.as_tuple())
@@ -92,12 +97,17 @@ class CalibrationCache:
     """Memoized ``R -> P`` with interpolation and graceful degradation."""
 
     def __init__(self, runner: CalibrationRunner, interpolate: bool = False,
-                 max_experiment_attempts: int = 2):
+                 max_experiment_attempts: int = 2, journal=None):
         if max_experiment_attempts < 1:
             raise CalibrationError("max_experiment_attempts must be >= 1")
         self._runner = runner
         self._interpolate = interpolate
         self._max_experiment_attempts = max_experiment_attempts
+        #: Optional :class:`repro.recovery.RunJournal`; every freshly
+        #: calibrated point is appended as a ``calibration`` record the
+        #: moment it completes, so a killed sweep can resume without
+        #: repeating paid-for experiments.
+        self._journal = journal
         self._cache: Dict[Tuple[float, float, float], OptimizerParameters] = {}
         # Degraded answers are remembered so a dead allocation is not
         # re-attempted on every probe, but kept apart from calibrated
@@ -160,7 +170,20 @@ class CalibrationCache:
             self._fallbacks[key] = params
             return params
         self._cache[key] = params
+        if self._journal is not None:
+            self._journal.append("calibration", {
+                "allocation": list(key),
+                "parameters": params.as_dict(),
+            })
         return params
+
+    def add_point(self, allocation: Tuple[float, float, float],
+                  params: OptimizerParameters) -> None:
+        """Install a calibrated point directly (journal replay, load)."""
+        key = tuple(round(float(s), _KEY_DECIMALS) for s in allocation)
+        if len(key) != 3:
+            raise CalibrationError("allocation keys must have 3 shares")
+        self._cache[key] = params
 
     def _calibrate_with_retries(self,
                                 allocation: ResourceVector) -> OptimizerParameters:
@@ -199,6 +222,14 @@ class CalibrationCache:
 
     # -- persistence -----------------------------------------------------------------
 
+    @staticmethod
+    def _points_checksum(points) -> str:
+        import hashlib
+        import json
+
+        canonical = json.dumps(points, sort_keys=True, separators=(",", ":"))
+        return hashlib.sha256(canonical.encode("utf-8")).hexdigest()[:16]
+
     def save(self, path) -> int:
         """Write all calibrated points to a JSON file; returns the count.
 
@@ -206,40 +237,98 @@ class CalibrationCache:
         saved cache is valid for any database and workload on the same
         machine — persisting it amortizes the "fairly lengthy"
         calibration process across sessions.
+
+        The write is atomic (temp file + ``os.replace``) and the file
+        embeds a checksum over the points, so a reader can tell a
+        half-written or bit-rotted cache from a good one. A crash
+        mid-save leaves any previous cache file untouched.
         """
         import json
+        import os
+        import pathlib
+        import tempfile
 
+        path = pathlib.Path(path)
+        points = [
+            {"allocation": list(key), "parameters": params.as_dict()}
+            for key, params in sorted(self._cache.items())
+        ]
         payload = {
-            "format": "repro-calibration-cache/1",
-            "points": [
-                {"allocation": list(key), "parameters": params.as_dict()}
-                for key, params in sorted(self._cache.items())
-            ],
+            "format": _CACHE_FORMAT,
+            "checksum": self._points_checksum(points),
+            "points": points,
         }
-        with open(path, "w") as handle:
-            json.dump(payload, handle, indent=2)
+        fd, temp_name = tempfile.mkstemp(
+            dir=str(path.parent) or ".", prefix=path.name + ".",
+            suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w") as handle:
+                json.dump(payload, handle, indent=2)
+                handle.flush()
+                os.fsync(handle.fileno())
+            os.replace(temp_name, path)
+        except BaseException:
+            try:
+                os.unlink(temp_name)
+            except OSError:
+                pass
+            raise
         return len(self._cache)
 
     def load(self, path) -> int:
-        """Merge calibrated points from a JSON file; returns the count added."""
+        """Merge calibrated points from a JSON file; returns the count added.
+
+        Raises a permanent :class:`~repro.util.errors.CalibrationError`
+        — never a raw ``json.JSONDecodeError`` or ``KeyError`` — when
+        the file is truncated, corrupted (checksum mismatch), from an
+        unrecognized format version, or structurally malformed.
+        """
         import json
 
         from repro.optimizer.params import OptimizerParameters as _Params
 
-        with open(path) as handle:
-            payload = json.load(handle)
-        if payload.get("format") != "repro-calibration-cache/1":
+        try:
+            with open(path) as handle:
+                payload = json.load(handle)
+        except OSError as exc:
             raise CalibrationError(
-                f"unrecognized calibration cache format in {path}"
-            )
-        added = 0
-        for point in payload["points"]:
-            key = tuple(float(v) for v in point["allocation"])
-            if len(key) != 3:
-                raise CalibrationError("allocation keys must have 3 shares")
-            if key not in self._cache:
-                self._cache[key] = _Params.from_dict(point["parameters"])
-                added += 1
+                f"cannot read calibration cache {path}: {exc}") from exc
+        except json.JSONDecodeError as exc:
+            raise CalibrationError(
+                f"calibration cache {path} is corrupt or truncated: {exc}"
+            ) from exc
+        if not isinstance(payload, dict):
+            raise CalibrationError(
+                f"calibration cache {path} is not a JSON object")
+        version = payload.get("format")
+        if version not in _CACHE_FORMATS:
+            raise CalibrationError(
+                f"unrecognized calibration cache format {version!r} in "
+                f"{path}; expected one of {sorted(_CACHE_FORMATS)}")
+        try:
+            points = payload["points"]
+            if version == _CACHE_FORMAT:
+                stored = payload["checksum"]
+                expected = self._points_checksum(points)
+                if stored != expected:
+                    raise CalibrationError(
+                        f"calibration cache {path} checksum mismatch "
+                        f"({stored} != {expected}): file is corrupted")
+            added = 0
+            for point in points:
+                key = tuple(float(v) for v in point["allocation"])
+                if len(key) != 3:
+                    raise CalibrationError(
+                        "allocation keys must have 3 shares")
+                if key not in self._cache:
+                    self._cache[key] = _Params.from_dict(point["parameters"])
+                    added += 1
+        except CalibrationError:
+            raise
+        except (KeyError, TypeError, ValueError) as exc:
+            raise CalibrationError(
+                f"calibration cache {path} is structurally malformed: "
+                f"{exc!r}") from exc
         return added
 
     # -- interpolation ---------------------------------------------------------------

@@ -281,6 +281,12 @@ class CalibrationRunner:
         """Measure and solve ``P`` for one allocation."""
         with span("calibrate", allocation=str(allocation.as_tuple()),
                   method=self._method):
+            if self._injector is not None:
+                # One calibration = one unit of work: with a per-unit
+                # injector the fault stream inside this experiment
+                # depends only on the allocation, not on run history —
+                # the property checkpoint/resume relies on.
+                self._injector.begin_unit(str(allocation.as_tuple()))
             metrics.counter("calibration.experiments").inc()
             report = CalibrationReport(allocation=allocation,
                                        method=self._method)

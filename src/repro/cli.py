@@ -8,11 +8,18 @@ Exposes the library's main flows without writing Python::
     python -m repro experiment fig3|fig4|fig5
     python -m repro report [--json] [--algorithm greedy]
     python -m repro chaos --plan noisy [--transient-rate 0.2]
+    python -m repro chaos --plan turbulent --journal run.journal \
+        --watchdog-probes 5
+    python -m repro resume run.journal
 
 ``chaos`` runs the paper's design problem with a fault injector active
 (see ``docs/robustness.md``) and prints the design next to a resilience
 summary: faults injected, retries, rejected outliers, fallbacks, and
-search budget stops.
+search budget stops. With ``--journal`` the run checkpoints every
+completed unit of work; kill it and ``resume`` continues from the
+journal, producing a bit-identical design. Exit codes follow the
+contract in :func:`main`: 0 success, 2 usage, 3 permanent failure,
+4 stopped-early-but-resumable.
 
 Every command accepts ``--stats`` (print a run report of the counted
 work after the command's own output) and ``--stats-json PATH`` (write
@@ -41,6 +48,12 @@ from repro.core import (
     WorkloadSpec,
 )
 from repro.optimizer.whatif import WhatIfOptimizer
+from repro.util.errors import (
+    AdmissionError,
+    AllocationError,
+    CalibrationError,
+    RecoveryError,
+)
 from repro.util.tables import format_table
 from repro.virt.machine import laboratory_machine
 from repro.virt.resources import ResourceKind, ResourceVector
@@ -232,13 +245,12 @@ def _chaos_plan(args) -> FaultPlan:
     optionally overridden by explicit rate flags."""
     plan = FaultPlan.named(args.plan)
     overrides = {}
-    for flag, field_name in (("transient_rate", "transient_rate"),
-                             ("outlier_rate", "outlier_rate"),
-                             ("hang_rate", "hang_rate"),
-                             ("boot_failure_rate", "boot_failure_rate")):
-        value = getattr(args, flag)
+    for flag in ("transient_rate", "outlier_rate", "hang_rate",
+                 "boot_failure_rate", "vm_crash_rate", "host_degrade_rate",
+                 "migration_failure_rate"):
+        value = getattr(args, flag, None)
         if value is not None:
-            overrides[field_name] = value
+            overrides[flag] = value
     if args.seed is not None:
         overrides["seed"] = args.seed
     if overrides:
@@ -272,36 +284,22 @@ def _resilience_rows(report: obs.RunReport) -> List[List[str]]:
     return rows
 
 
-def cmd_chaos(args) -> int:
-    """Run the design problem under a fault plan and summarize survival."""
-    obs.reset()
-    plan = _chaos_plan(args)
+def _chaos_problem(scale: float) -> VirtualizationDesignProblem:
+    """The standard chaos/resume design problem (Figure 4 shape)."""
     machine = laboratory_machine()
-    print(f"Running a {args.algorithm} design under fault plan "
-          f"{plan.name!r} (transient={plan.transient_rate:.0%}, "
-          f"outlier={plan.outlier_rate:.0%}, hang={plan.hang_rate:.0%}, "
-          f"boot={plan.boot_failure_rate:.0%}) ...", file=sys.stderr)
-    db = build_tpch_database(scale_factor=args.scale,
+    db = build_tpch_database(scale_factor=scale,
                              tables=["customer", "orders", "lineitem"])
     specs = [
         WorkloadSpec(Workload.repeat("order-audit", tpch_query("Q4"), 3), db),
         WorkloadSpec(Workload.repeat("cust-report", tpch_query("Q13"), 9), db),
     ]
-    runner = CalibrationRunner(
-        machine,
-        injector=FaultInjector(plan),
-        retry_policy=RetryPolicy.resilient(),
-    )
-    cache = CalibrationCache(runner)
-    problem = VirtualizationDesignProblem(
+    return VirtualizationDesignProblem(
         machine=machine, specs=specs,
         controlled_resources=(ResourceKind.CPU,),
     )
-    designer = VirtualizationDesigner(problem, OptimizerCostModel(cache))
-    design = designer.design(args.algorithm, grid=args.grid,
-                             max_evaluations=args.max_evaluations)
-    print(design.summary())
-    print()
+
+
+def _print_chaos_outcome(plan: FaultPlan, cache: CalibrationCache) -> None:
     report = obs.RunReport.capture(label=f"chaos/{plan.name}")
     if report.summary.get("faults_injected", 0) == 0:
         print(f"Fault plan {plan.name!r}: no faults injected; "
@@ -310,7 +308,7 @@ def cmd_chaos(args) -> int:
         print(format_table(
             ["event", "count"], _resilience_rows(report),
             title=f"Resilience summary — fault plan {plan.name!r}"))
-    if cache.fallback_log:
+    if cache is not None and cache.fallback_log:
         print()
         rows = [[str(event.allocation), event.kind,
                  str(event.source) if event.source else "-", event.reason]
@@ -319,7 +317,91 @@ def cmd_chaos(args) -> int:
             ["allocation", "fallback", "served by", "reason"], rows,
             title="Degraded lookups",
         ))
-    return 0
+
+
+def _run_supervised(plan: FaultPlan, args, resume: bool) -> int:
+    """Drive a journaled (crash-recoverable) chaos run or its resume."""
+    from repro.recovery import RunSupervisor
+
+    problem = _chaos_problem(args.scale)
+    supervisor = RunSupervisor(
+        problem, args.journal, plan=plan,
+        algorithm=args.algorithm, grid=args.grid,
+        max_evaluations=args.max_evaluations,
+        watchdog_probes=args.watchdog_probes,
+        max_units=args.max_units,
+        extra_meta={"scale": args.scale},
+    )
+    run = supervisor.run(resume=resume)
+    if not run.completed:
+        print(f"Run stopped after {run.new_units} new unit(s) "
+              f"({run.replayed_units} replayed); journal {args.journal} "
+              f"is resumable with: repro resume {args.journal}")
+        return 4
+    print(run.design.summary())
+    print()
+    if run.actions:
+        rows = [[f"{action.time_seconds:.1f}", action.subject, action.event,
+                 action.action, action.detail] for action in run.actions]
+        print(format_table(
+            ["t (s)", "subject", "event", "action", "detail"], rows,
+            title="Watchdog recovery actions"))
+        print()
+    print(f"Journal: {run.replayed_units} unit(s) replayed, "
+          f"{run.new_units} freshly committed -> {args.journal}")
+    _print_chaos_outcome(plan, supervisor.cache)
+    return 4 if run.design.stopped else 0
+
+
+def cmd_chaos(args) -> int:
+    """Run the design problem under a fault plan and summarize survival."""
+    obs.reset()
+    plan = _chaos_plan(args)
+    print(f"Running a {args.algorithm} design under fault plan "
+          f"{plan.name!r} (transient={plan.transient_rate:.0%}, "
+          f"outlier={plan.outlier_rate:.0%}, hang={plan.hang_rate:.0%}, "
+          f"boot={plan.boot_failure_rate:.0%}, "
+          f"vm-crash={plan.vm_crash_rate:.0%}, "
+          f"host-degrade={plan.host_degrade_rate:.0%}) ...", file=sys.stderr)
+    if args.journal:
+        return _run_supervised(plan, args, resume=False)
+    problem = _chaos_problem(args.scale)
+    runner = CalibrationRunner(
+        problem.machine,
+        injector=FaultInjector(plan),
+        retry_policy=RetryPolicy.resilient(),
+    )
+    cache = CalibrationCache(runner)
+    designer = VirtualizationDesigner(problem, OptimizerCostModel(cache))
+    design = designer.design(args.algorithm, grid=args.grid,
+                             max_evaluations=args.max_evaluations)
+    print(design.summary())
+    print()
+    _print_chaos_outcome(plan, cache)
+    return 4 if design.stopped else 0
+
+
+def cmd_resume(args) -> int:
+    """Resume a killed chaos run from its journal."""
+    from repro.recovery import read_journal
+
+    obs.reset()
+    meta, _records, _tail = read_journal(args.journal)
+    plan_fields = dict(meta.get("plan") or {})
+    if not plan_fields:
+        raise RecoveryError(
+            f"journal {args.journal} carries no fault plan in its header")
+    plan = FaultPlan(**plan_fields)
+    # Rebuild the run from the journal's own identity; CLI flags are
+    # not consulted so a resumed run cannot drift from the original.
+    args.scale = float(meta.get("scale", 0.002))
+    args.algorithm = meta.get("algorithm", "greedy")
+    args.grid = int(meta.get("grid", 4))
+    args.watchdog_probes = int(meta.get("watchdog_probes", 0))
+    args.max_evaluations = None
+    print(f"Resuming {args.journal} (plan {plan.name!r}, "
+          f"{args.algorithm}, grid {args.grid}) ...", file=sys.stderr)
+    return _run_supervised(plan, args, resume=True)
 
 
 def _emit_stats(args) -> None:
@@ -425,6 +507,12 @@ def build_parser() -> argparse.ArgumentParser:
                        help="override the plan's hang rate")
     chaos.add_argument("--boot-failure-rate", type=float, default=None,
                        help="override the plan's VM boot failure rate")
+    chaos.add_argument("--vm-crash-rate", type=float, default=None,
+                       help="override the plan's VM crash (watchdog) rate")
+    chaos.add_argument("--host-degrade-rate", type=float, default=None,
+                       help="override the plan's host degradation rate")
+    chaos.add_argument("--migration-failure-rate", type=float, default=None,
+                       help="override the plan's migration failure rate")
     chaos.add_argument("--seed", type=int, default=None,
                        help="override the plan's fault seed")
     chaos.add_argument("--scale", type=float, default=0.002,
@@ -435,14 +523,53 @@ def build_parser() -> argparse.ArgumentParser:
                        choices=["exhaustive", "greedy", "dynamic-programming"])
     chaos.add_argument("--max-evaluations", type=int, default=None,
                        help="stop the search after this many cost evaluations")
+    chaos.add_argument("--journal", default=None, metavar="PATH",
+                       help="checkpoint completed units to a journal at PATH "
+                            "(the run becomes crash-recoverable; see "
+                            "'repro resume')")
+    chaos.add_argument("--watchdog-probes", type=int, default=0,
+                       help="watchdog probes over the deployed design "
+                            "(journaled runs only; default 0)")
+    chaos.add_argument("--max-units", type=int, default=None,
+                       help="simulate a crash after N newly journaled units "
+                            "(journaled runs only)")
     chaos.set_defaults(func=cmd_chaos)
+
+    resume = subparsers.add_parser(
+        "resume", parents=[stats_parent],
+        help="resume a killed journaled chaos run, bit-identically")
+    resume.add_argument("journal", help="journal file written by "
+                                        "'repro chaos --journal'")
+    resume.add_argument("--max-units", type=int, default=None,
+                        help="simulate another crash after N new units")
+    resume.set_defaults(func=cmd_resume)
 
     return parser
 
 
 def main(argv: Optional[List[str]] = None) -> int:
+    """Parse and run one command; returns the documented exit code.
+
+    The contract (asserted in ``tests/integration/test_cli.py`` and
+    documented in ``docs/robustness.md``):
+
+    * ``0`` — success;
+    * ``2`` — usage error (argparse's own convention, plus invalid
+      allocations or admission refusals);
+    * ``3`` — permanent failure (``CalibrationError``, including
+      ``IllConditionedError``, or an unusable recovery journal);
+    * ``4`` — a budgeted search stopped early, or a journaled run was
+      stopped before completing (best-so-far / resumable outcome).
+    """
     args = build_parser().parse_args(argv)
-    code = args.func(args)
+    try:
+        code = args.func(args)
+    except (AllocationError, AdmissionError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    except (CalibrationError, RecoveryError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 3
     _emit_stats(args)
     return code
 

@@ -41,6 +41,19 @@ def _allocation_key(allocation: ResourceVector) -> Tuple[float, float, float]:
     return tuple(round(s, 6) for s in allocation.as_tuple())
 
 
+def memo_key(spec: WorkloadSpec, allocation: ResourceVector):
+    """The memoization key ``CostModel.cost`` uses for one evaluation.
+
+    The workload's statements are part of the key: the same named
+    workload may change content across phases (dynamic case). The
+    statement hash is only stable within one process
+    (``PYTHONHASHSEED``), so keys must never be persisted — journal
+    replay re-derives them through this function instead.
+    """
+    return (spec.name, hash(spec.workload.statements),
+            _allocation_key(allocation))
+
+
 class CostModel(ABC):
     """Interface: estimated cost (seconds) of a workload at an allocation."""
 
@@ -51,11 +64,13 @@ class CostModel(ABC):
         self._memo: Dict[Tuple[str, Tuple[float, float, float]], float] = {}
         self.evaluations = 0
 
+    def seed(self, spec: WorkloadSpec, allocation: ResourceVector,
+             value: float) -> None:
+        """Pre-load the memo with a known evaluation (journal replay)."""
+        self._memo[memo_key(spec, allocation)] = value
+
     def cost(self, spec: WorkloadSpec, allocation: ResourceVector) -> float:
-        # The workload's statements are part of the key: the same named
-        # workload may change content across phases (dynamic case).
-        key = (spec.name, hash(spec.workload.statements),
-               _allocation_key(allocation))
+        key = memo_key(spec, allocation)
         cached = self._memo.get(key)
         if cached is not None:
             metrics.counter("cost_model.memo_hits", model=self.kind).inc()

@@ -32,6 +32,9 @@ class Design:
     default_costs: Dict[str, float]
     algorithm: str
     evaluations: int
+    #: True when the search stopped early on its evaluation budget or
+    #: deadline — the design is best-so-far, not exhaustively optimal.
+    stopped: bool = False
 
     @property
     def predicted_improvement(self) -> float:
@@ -92,7 +95,14 @@ class VirtualizationDesigner:
     # -- designing -----------------------------------------------------------
 
     def evaluate(self, allocation: AllocationMatrix) -> Dict[str, float]:
-        """Un-penalized cost of each workload under *allocation*."""
+        """Un-penalized cost of each workload under *allocation*.
+
+        Validates the matrix first: a negative share or a resource
+        column summing past 1 raises an
+        :class:`~repro.util.errors.AllocationError` naming the VM and
+        resource, instead of surfacing later as nonsense costs.
+        """
+        allocation.validate()
         return {
             spec.name: self._base_cost_model.cost(
                 spec, allocation.vector_for(spec.name)
@@ -128,6 +138,7 @@ class VirtualizationDesigner:
             default_costs=default_costs,
             algorithm=result.algorithm,
             evaluations=result.evaluations,
+            stopped=result.stopped,
         )
 
     # -- deployment -----------------------------------------------------------
@@ -141,6 +152,7 @@ class VirtualizationDesigner:
         workload's database attached and started.
         """
         allocation = design.allocation
+        allocation.validate()
         existing = {
             name: vmm.vms[name]
             for name in allocation.workload_names() if name in vmm.vms

@@ -94,8 +94,13 @@ class AllocationMatrix:
                     )
         for kind, total in self.resource_totals().items():
             if total > 1.0 + SHARE_EPSILON:
+                per_vm = ", ".join(
+                    f"{name}={vector.share(kind):.4f}"
+                    for name, vector in sorted(self._allocations.items())
+                )
                 raise AllocationError(
-                    f"{kind} oversubscribed: shares sum to {total:.4f}"
+                    f"{kind} oversubscribed: shares sum to {total:.4f} > 1 "
+                    f"({per_vm})"
                 )
             if require_full and abs(total - 1.0) > 1e-6:
                 raise AllocationError(

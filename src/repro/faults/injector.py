@@ -12,14 +12,34 @@ plan's seed, so a given plan produces the same fault sequence every
 run.
 
 Every injected fault is counted on the ``faults.injected`` metric
-(labelled ``kind=transient|outlier|hang|boot|dead``), so a
-:class:`~repro.obs.report.RunReport` can state how hostile the
-environment actually was next to how the pipeline coped.
+(labelled ``kind=transient|outlier|hang|boot|dead|vm_crash|
+host_degrade|migration``), so a :class:`~repro.obs.report.RunReport`
+can state how hostile the environment actually was next to how the
+pipeline coped.
+
+Two independent randomness streams
+----------------------------------
+Measurement faults draw from the ``faults:{name}`` stream; the
+infrastructure probes (:meth:`on_vm_probe`, :meth:`on_host_probe`,
+:meth:`on_migration`) draw from a separate ``faults:{name}:ops``
+stream. Watchdog probing therefore never perturbs the measurement
+fault sequence — a run supervised by a health monitor injects the same
+measurement faults as an unsupervised one under the same plan.
+
+Per-unit determinism for resumable runs
+---------------------------------------
+With ``per_unit=True`` the injector re-forks its measurement stream at
+every :meth:`begin_unit` boundary from ``faults:{name}:unit:{label}``.
+The fault sequence inside a unit then depends only on the plan and the
+unit's label, not on how many measurements ran before it — which is
+what lets a resumed run (that skips already-journaled units) observe
+bit-identical faults, and therefore produce bit-identical results, to
+an uninterrupted one. ``fail_first_n`` counts per unit in this mode.
 """
 
 from __future__ import annotations
 
-from typing import Tuple
+from typing import Optional, Tuple
 
 from repro.faults.plan import FaultPlan
 from repro.obs import metrics
@@ -30,14 +50,22 @@ from repro.util.rng import DeterministicRng
 class FaultInjector:
     """Injects the failures a :class:`FaultPlan` describes."""
 
-    def __init__(self, plan: FaultPlan):
+    def __init__(self, plan: FaultPlan, per_unit: bool = False):
         self._plan = plan
+        self._per_unit = per_unit
         self._rng = DeterministicRng(plan.seed).fork(f"faults:{plan.name}")
+        self._ops_rng = DeterministicRng(plan.seed).fork(
+            f"faults:{plan.name}:ops")
         self._measurements = 0
 
     @property
     def plan(self) -> FaultPlan:
         return self._plan
+
+    @property
+    def per_unit(self) -> bool:
+        """Whether measurement streams re-fork at unit boundaries."""
+        return self._per_unit
 
     @property
     def measurements_seen(self) -> int:
@@ -46,7 +74,21 @@ class FaultInjector:
 
     def clone(self) -> "FaultInjector":
         """A fresh injector replaying this plan from the start."""
-        return FaultInjector(self._plan)
+        return FaultInjector(self._plan, per_unit=self._per_unit)
+
+    def begin_unit(self, label: str) -> None:
+        """Mark the start of a named unit of work (e.g. one calibration).
+
+        A no-op unless the injector was built with ``per_unit=True``, in
+        which case the measurement stream is re-forked from the unit's
+        label so the faults inside the unit are independent of run
+        history (see the module docstring).
+        """
+        if not self._per_unit:
+            return
+        self._rng = DeterministicRng(self._plan.seed).fork(
+            f"faults:{self._plan.name}:unit:{label}")
+        self._measurements = 0
 
     # -- injection sites ---------------------------------------------------
 
@@ -90,12 +132,45 @@ class FaultInjector:
             return seconds * self._plan.outlier_magnitude
         return seconds
 
+    # -- infrastructure probes (ops stream) --------------------------------
+
+    def on_vm_probe(self, vm_name: str) -> bool:
+        """Liveness probe for a running VM; True means it crashed."""
+        if self._ops_roll(self._plan.vm_crash_rate):
+            self._count("vm_crash")
+            return True
+        return False
+
+    def on_host_probe(self, host_name: str) -> Optional[float]:
+        """Health probe for a host.
+
+        Returns the plan's ``host_degrade_factor`` when the probe finds
+        the host degraded (capacity multiplied by the factor), or
+        ``None`` when the host is healthy.
+        """
+        if self._ops_roll(self._plan.host_degrade_rate):
+            self._count("host_degrade")
+            return self._plan.host_degrade_factor
+        return None
+
+    def on_migration(self, vm_name: str, source: str, target: str) -> bool:
+        """Pre-migration check; True means this attempt fails."""
+        if self._ops_roll(self._plan.migration_failure_rate):
+            self._count("migration")
+            return True
+        return False
+
     # -- internals ---------------------------------------------------------
 
     def _roll(self, rate: float) -> bool:
         if rate <= 0.0:
             return False
         return self._rng.uniform(0.0, 1.0) < rate
+
+    def _ops_roll(self, rate: float) -> bool:
+        if rate <= 0.0:
+            return False
+        return self._ops_rng.uniform(0.0, 1.0) < rate
 
     @staticmethod
     def _count(kind: str) -> None:

@@ -11,7 +11,9 @@ timings, deterministically from ``seed``.
 Named plans (:data:`NAMED_PLANS`, :meth:`FaultPlan.named`) give the CLI
 and the chaos benchmark a shared vocabulary of environments, from
 ``none`` (no faults) to ``hostile`` (the acceptance regime: 20%
-transient failures, 5% outliers, occasional hangs).
+transient failures, 5% outliers, occasional hangs) and ``turbulent``
+(infrastructure-level trouble: VM crashes, host degradation, failed
+migrations — the regime the watchdog and supervisor recover from).
 """
 
 from __future__ import annotations
@@ -51,6 +53,15 @@ class FaultPlan:
     hang_seconds: float = 600.0
     #: Probability a VM boot raises a transient ``MeasurementFault``.
     boot_failure_rate: float = 0.0
+    #: Probability a liveness probe finds a running VM crashed
+    #: (per watchdog probe; the health monitor restarts it).
+    vm_crash_rate: float = 0.0
+    #: Probability a host probe finds the host degraded (per probe).
+    host_degrade_rate: float = 0.0
+    #: Remaining capacity fraction after a host degrades (in ``(0, 1)``).
+    host_degrade_factor: float = 0.5
+    #: Probability a live migration fails mid-transfer and must retry.
+    migration_failure_rate: float = 0.0
     #: Deterministically fail the first N measurements (tests).
     fail_first_n: int = 0
     #: Allocations (cpu, memory, io) that are permanently degraded:
@@ -61,7 +72,8 @@ class FaultPlan:
 
     def __post_init__(self):
         for attr in ("transient_rate", "outlier_rate", "hang_rate",
-                     "boot_failure_rate"):
+                     "boot_failure_rate", "vm_crash_rate",
+                     "host_degrade_rate", "migration_failure_rate"):
             rate = getattr(self, attr)
             if not 0.0 <= rate <= 1.0:
                 raise AllocationError(
@@ -69,6 +81,10 @@ class FaultPlan:
         if self.outlier_magnitude <= 1.0:
             raise AllocationError(
                 f"fault plan {self.name!r}: outlier_magnitude must exceed 1")
+        if not 0.0 < self.host_degrade_factor < 1.0:
+            raise AllocationError(
+                f"fault plan {self.name!r}: host_degrade_factor="
+                f"{self.host_degrade_factor} outside (0, 1)")
         if self.fail_first_n < 0:
             raise AllocationError(
                 f"fault plan {self.name!r}: fail_first_n must be >= 0")
@@ -84,6 +100,9 @@ class FaultPlan:
         """True when the plan can never perturb or fail anything."""
         return (self.transient_rate == 0.0 and self.outlier_rate == 0.0
                 and self.hang_rate == 0.0 and self.boot_failure_rate == 0.0
+                and self.vm_crash_rate == 0.0
+                and self.host_degrade_rate == 0.0
+                and self.migration_failure_rate == 0.0
                 and self.fail_first_n == 0 and not self.dead_allocations)
 
     def is_dead(self, shares: Tuple[float, float, float]) -> bool:
@@ -118,4 +137,7 @@ NAMED_PLANS: Dict[str, FaultPlan] = {
     "hostile": FaultPlan(name="hostile", transient_rate=0.2,
                          outlier_rate=0.05, hang_rate=0.02,
                          boot_failure_rate=0.1),
+    "turbulent": FaultPlan(name="turbulent", transient_rate=0.1,
+                           vm_crash_rate=0.15, host_degrade_rate=0.05,
+                           migration_failure_rate=0.2),
 }

@@ -45,10 +45,13 @@ Headline keys
 ``outliers_rejected``          measurement trials discarded by MAD filtering
 ``fallbacks``                  ``P(R)`` lookups served by the fallback chain
 ``budget_stops``               searches stopped early on budget/deadline
+``recoveries``                 watchdog recovery actions (restart/migrate/...)
 =============================  ==============================================
 
 The five resilience keys (``faults_injected`` … ``budget_stops``) were
-added in format 2 together with the ``repro chaos`` command; see
+added in format 2 together with the ``repro chaos`` command;
+``recoveries`` (backed by the ``resilience.recovery`` counter) arrived
+in format 3 with the watchdog and run supervisor. See
 ``docs/robustness.md`` for the metric names behind them.
 
 Usage
@@ -77,7 +80,7 @@ from repro.obs.spans import SpanRecorder, get_recorder
 from repro.util.errors import ObservabilityError
 from repro.util.tables import format_table
 
-FORMAT = "repro-run-report/2"
+FORMAT = "repro-run-report/3"
 
 
 def _counter_totals(snapshot: dict, name: str) -> float:
@@ -136,6 +139,7 @@ def summarize(snapshot: dict, span_aggregate: Dict[str, dict],
             snapshot, "resilience.outliers_rejected"),
         "fallbacks": _counter_totals(snapshot, "resilience.fallbacks"),
         "budget_stops": _counter_totals(snapshot, "search.budget_stops"),
+        "recoveries": _counter_totals(snapshot, "resilience.recovery"),
     }
 
 
@@ -239,7 +243,8 @@ class RunReport:
              f"{summary.get('retries', 0):.0f} retries / "
              f"{summary.get('outliers_rejected', 0):.0f} outliers rejected / "
              f"{summary.get('fallbacks', 0):.0f} fallbacks / "
-             f"{summary.get('budget_stops', 0):.0f} budget stops"],
+             f"{summary.get('budget_stops', 0):.0f} budget stops / "
+             f"{summary.get('recoveries', 0):.0f} recoveries"],
         ]
         sections.append(format_table(
             ["measure", "value"], headline,
@@ -262,6 +267,14 @@ class RunReport:
                          f"{summary.get('budget_stops', 0):.0f}"])
             sections.append(format_table(
                 ["event", "count"], rows, title="Resilience",
+            ))
+
+        recoveries = _by_label(self.metrics, "resilience.recovery", "action")
+        if recoveries:
+            rows = [[f"recovery ({action})", f"{count:.0f}"]
+                    for action, count in sorted(recoveries.items())]
+            sections.append(format_table(
+                ["event", "count"], rows, title="Recovery",
             ))
 
         searches = _by_label(self.metrics, "search.evaluations", "algorithm")

@@ -1,0 +1,30 @@
+"""Checkpoint/resume for long-running design runs.
+
+The journal (:mod:`repro.recovery.journal`) is a checksummed,
+append-only record of completed units of work; the supervisor
+(:mod:`repro.recovery.supervisor`) drives a design run that commits to
+it at every unit boundary and can resume, bit-identically, after being
+killed. See ``docs/robustness.md`` for the recovery contract.
+"""
+
+from repro.recovery.journal import (
+    FORMAT,
+    JournalRecord,
+    RunJournal,
+    read_journal,
+)
+from repro.recovery.supervisor import (
+    JournalingCostModel,
+    RunSupervisor,
+    SupervisedRun,
+)
+
+__all__ = [
+    "FORMAT",
+    "JournalRecord",
+    "RunJournal",
+    "read_journal",
+    "JournalingCostModel",
+    "RunSupervisor",
+    "SupervisedRun",
+]

@@ -1,0 +1,312 @@
+"""The run supervisor: design runs that survive being killed.
+
+:class:`RunSupervisor` drives one complete design run — calibrations,
+the combinatorial search, and a watchdog-supervised deployment — under
+a fault plan, checkpointing every completed unit of work into a
+:class:`~repro.recovery.journal.RunJournal`:
+
+* a ``calibration`` record per freshly calibrated allocation
+  (appended by :class:`~repro.calibration.cache.CalibrationCache`);
+* an ``evaluation`` record per fresh cost-model evaluation
+  (appended by :class:`JournalingCostModel`);
+* a final ``result`` record carrying the design summary and the
+  watchdog's recovery actions.
+
+Resume (:meth:`RunSupervisor.run` with ``resume=True``) replays the
+journal into the calibration cache and the cost-model memo, then
+continues from the first unit the journal does not cover. Because the
+fault injector runs in *per-unit* mode, the fault stream inside each
+unit depends only on the unit's label — so a resumed run observes
+exactly the faults the uninterrupted run would have, and produces
+**bit-identical** parameters and design. The equivalence tests in
+``tests/recovery`` assert this after killing a run at every unit
+boundary.
+
+A "kill" is modeled by ``max_units``: the supervisor raises an internal
+stop after that many *new* journal commits, leaving the journal exactly
+as a ``kill -9`` between two appends would. (A kill mid-append leaves a
+torn tail instead; :meth:`RunJournal.open` truncates it, which simply
+re-runs that one unit.)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace as dc_replace
+from typing import Any, Dict, List, Optional
+
+from repro.calibration.cache import CalibrationCache
+from repro.calibration.runner import CalibrationRunner
+from repro.core.cost_model import CostModel, OptimizerCostModel, memo_key
+from repro.core.designer import Design, VirtualizationDesigner
+from repro.core.problem import VirtualizationDesignProblem
+from repro.faults import FaultInjector, FaultPlan, RetryPolicy
+from repro.recovery.journal import RunJournal
+from repro.util.errors import RecoveryError
+from repro.virt.health import HealthMonitor, RecoveryAction
+from repro.virt.monitor import VirtualMachineMonitor
+from repro.virt.resources import ResourceVector
+
+
+class _UnitBudgetExceeded(Exception):
+    """Internal: the simulated kill point was reached."""
+
+
+class _BudgetedJournal:
+    """Journal proxy that simulates a crash after N new commits.
+
+    The budget is checked *before* the (N+1)-th append: the unit's work
+    is done but never committed, which is exactly the state a real kill
+    between compute and commit leaves behind — resume re-runs that unit.
+    """
+
+    def __init__(self, journal: RunJournal, max_new_units: Optional[int]):
+        self._journal = journal
+        self._max_new = max_new_units
+        self.new_units = 0
+
+    def append(self, kind: str, data: Dict[str, Any]):
+        if self._max_new is not None and self.new_units >= self._max_new:
+            raise _UnitBudgetExceeded()
+        record = self._journal.append(kind, data)
+        self.new_units += 1
+        return record
+
+    def __getattr__(self, name):
+        return getattr(self._journal, name)
+
+
+class JournalingCostModel(CostModel):
+    """Wraps a cost model so every fresh evaluation is journaled.
+
+    Replayed evaluations are seeded into this wrapper's memo (via
+    :meth:`CostModel.seed`) and never reach the inner model, so resume
+    neither repeats the work nor re-journals the record.
+    """
+
+    kind = "journaling"
+
+    def __init__(self, inner: CostModel, journal):
+        super().__init__()
+        self._inner = inner
+        self._journal = journal
+
+    def cost(self, spec, allocation) -> float:
+        key = memo_key(spec, allocation)
+        cached = self._memo.get(key)
+        if cached is not None:
+            return cached
+        value = self._inner.cost(spec, allocation)
+        self._journal.append("evaluation", {
+            "workload": spec.name,
+            "allocation": list(allocation.as_tuple()),
+            "cost": value,
+        })
+        self._memo[key] = value
+        self.evaluations += 1
+        return value
+
+    def _cost(self, spec, allocation) -> float:  # pragma: no cover
+        return self._inner.cost(spec, allocation)
+
+
+@dataclass
+class SupervisedRun:
+    """What one :meth:`RunSupervisor.run` invocation produced."""
+
+    #: The finished design, or ``None`` when the run was killed early.
+    design: Optional[Design]
+    #: Watchdog recovery actions taken during the deployment phase.
+    actions: List[RecoveryAction] = field(default_factory=list)
+    #: True when the run finished (a ``result`` record is journaled).
+    completed: bool = False
+    #: Units (calibrations + evaluations) replayed from the journal.
+    replayed_units: int = 0
+    #: Units freshly computed and committed by this invocation.
+    new_units: int = 0
+
+
+class RunSupervisor:
+    """Drives a crash-recoverable design run under a fault plan."""
+
+    def __init__(self, problem: VirtualizationDesignProblem,
+                 journal_path, plan: Optional[FaultPlan] = None,
+                 algorithm: str = "greedy", grid: int = 4,
+                 retry_policy: Optional[RetryPolicy] = None,
+                 max_evaluations: Optional[int] = None,
+                 watchdog_probes: int = 0,
+                 max_units: Optional[int] = None,
+                 extra_meta: Optional[Dict[str, Any]] = None,
+                 workbench=None):
+        self._problem = problem
+        self._journal_path = journal_path
+        self._plan = plan or FaultPlan(name="none")
+        self._algorithm = algorithm
+        self._grid = grid
+        self._retry_policy = retry_policy or RetryPolicy.resilient()
+        self._max_evaluations = max_evaluations
+        self._watchdog_probes = watchdog_probes
+        self._max_units = max_units
+        self._extra_meta = dict(extra_meta or {})
+        #: Optional calibration workbench override (smaller synthetic
+        #: databases make the equivalence tests affordable). Not part of
+        #: the journal identity: the caller must supply the same one on
+        #: resume, exactly as they must supply the same problem.
+        self._workbench = workbench
+        #: Populated by :meth:`run`; useful for parameter inspection.
+        self.cache: Optional[CalibrationCache] = None
+        self.health: Optional[HealthMonitor] = None
+
+    # -- run identity ------------------------------------------------------
+
+    def _meta(self) -> Dict[str, Any]:
+        plan = self._plan
+        meta = {
+            "plan": {
+                "name": plan.name, "seed": plan.seed,
+                "transient_rate": plan.transient_rate,
+                "outlier_rate": plan.outlier_rate,
+                "hang_rate": plan.hang_rate,
+                "boot_failure_rate": plan.boot_failure_rate,
+                "vm_crash_rate": plan.vm_crash_rate,
+                "host_degrade_rate": plan.host_degrade_rate,
+                "migration_failure_rate": plan.migration_failure_rate,
+            },
+            "algorithm": self._algorithm,
+            "grid": self._grid,
+            "machine": self._problem.machine.name,
+            "workloads": self._problem.workload_names(),
+            "controlled": [str(kind) for kind
+                           in self._problem.controlled_resources],
+            "watchdog_probes": self._watchdog_probes,
+        }
+        meta.update(self._extra_meta)
+        return meta
+
+    _IDENTITY_KEYS = ("plan", "algorithm", "grid", "machine", "workloads",
+                      "controlled", "watchdog_probes")
+
+    def _check_meta(self, recorded: Dict[str, Any]) -> None:
+        expected = self._meta()
+        mismatched = sorted(
+            key for key in self._IDENTITY_KEYS
+            if recorded.get(key) != expected[key]
+        )
+        if mismatched:
+            raise RecoveryError(
+                f"journal {self._journal_path} was written by a different "
+                f"run: mismatched {', '.join(mismatched)} "
+                f"(resume must use the same problem, plan, and search)")
+
+    # -- the run -----------------------------------------------------------
+
+    def run(self, resume: bool = False) -> SupervisedRun:
+        """Execute (or resume) the design run; see the module docstring."""
+        if resume:
+            journal = RunJournal.open(self._journal_path)
+            self._check_meta(journal.meta)
+        else:
+            journal = RunJournal.create(self._journal_path, self._meta())
+
+        budgeted = _BudgetedJournal(journal, self._max_units)
+        injector = (None if self._plan.is_benign
+                    else FaultInjector(self._plan, per_unit=True))
+        runner = CalibrationRunner(
+            self._problem.machine, workbench=self._workbench,
+            injector=injector, retry_policy=self._retry_policy)
+        cache = CalibrationCache(runner, journal=budgeted)
+        cost_model = JournalingCostModel(OptimizerCostModel(cache), budgeted)
+        self.cache = cache
+
+        replayed = self._replay(journal, cache, cost_model)
+        prior_result = self._prior_result(journal)
+
+        try:
+            designer = VirtualizationDesigner(self._problem, cost_model)
+            design = designer.design(
+                self._algorithm, grid=self._grid,
+                max_evaluations=self._max_evaluations)
+            actions = self._deploy_and_watch(designer, design, injector)
+        except _UnitBudgetExceeded:
+            return SupervisedRun(design=None, completed=False,
+                                 replayed_units=replayed,
+                                 new_units=budgeted.new_units)
+
+        if prior_result is None:
+            journal.append("result", self._result_record(design, actions))
+        return SupervisedRun(design=design, actions=actions, completed=True,
+                             replayed_units=replayed,
+                             new_units=budgeted.new_units)
+
+    # -- replay ------------------------------------------------------------
+
+    def _replay(self, journal: RunJournal, cache: CalibrationCache,
+                cost_model: CostModel) -> int:
+        from repro.optimizer.params import OptimizerParameters
+
+        specs = {spec.name: spec for spec in self._problem.specs}
+        replayed = 0
+        for record in journal.records:
+            if record.kind == "calibration":
+                cache.add_point(
+                    tuple(float(v) for v in record.data["allocation"]),
+                    OptimizerParameters.from_dict(record.data["parameters"]))
+                replayed += 1
+            elif record.kind == "evaluation":
+                name = record.data["workload"]
+                spec = specs.get(name)
+                if spec is None:
+                    raise RecoveryError(
+                        f"journal evaluation names unknown workload {name!r}")
+                shares = record.data["allocation"]
+                allocation = ResourceVector.of(
+                    cpu=shares[0], memory=shares[1], io=shares[2])
+                cost_model.seed(spec, allocation,
+                                float(record.data["cost"]))
+                replayed += 1
+        return replayed
+
+    @staticmethod
+    def _prior_result(journal: RunJournal) -> Optional[Dict[str, Any]]:
+        results = journal.records_of("result")
+        return results[-1].data if results else None
+
+    # -- the watchdog-supervised deployment phase --------------------------
+
+    def _deploy_and_watch(self, designer: VirtualizationDesigner,
+                          design: Design,
+                          injector: Optional[FaultInjector]
+                          ) -> List[RecoveryAction]:
+        """Apply the design to a two-host VMM and run the watchdog.
+
+        The standby host exists so migrate-on-host-degrade has somewhere
+        to go; a single-host deployment could only restart or evict.
+        Entirely simulated and deterministic (the injector's dedicated
+        ops stream), so re-running it on resume reproduces the same
+        actions the uninterrupted run saw.
+        """
+        if self._watchdog_probes <= 0:
+            return []
+        machine = self._problem.machine
+        standby = dc_replace(machine, name=machine.name + "-standby")
+        vmm = VirtualMachineMonitor([machine, standby])
+        designer.apply(vmm, design, machine_name=machine.name)
+        health = HealthMonitor(vmm, injector=injector)
+        for name in design.allocation.workload_names():
+            health.register(name)
+        for _probe in range(self._watchdog_probes):
+            health.probe()
+        self.health = health
+        return list(health.actions)
+
+    def _result_record(self, design: Design,
+                       actions: List[RecoveryAction]) -> Dict[str, Any]:
+        return {
+            "algorithm": design.algorithm,
+            "stopped": design.stopped,
+            "predicted_total_cost": design.predicted_total_cost,
+            "allocation": {
+                name: list(design.allocation.vector_for(name).as_tuple())
+                for name in design.allocation.workload_names()
+            },
+            "actions": [action.as_dict() for action in actions],
+        }

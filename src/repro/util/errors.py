@@ -93,5 +93,9 @@ class IllConditionedError(CalibrationError):
         self.query_names: Tuple[str, ...] = tuple(query_names)
 
 
+class RecoveryError(ReproError):
+    """A recovery journal is unusable (corrupt record, format mismatch)."""
+
+
 class ObservabilityError(ReproError):
     """Misuse of the metrics/span/report API (kind clash, bad value)."""

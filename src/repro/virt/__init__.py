@@ -13,6 +13,7 @@ from repro.virt.machine import PhysicalMachine
 from repro.virt.scheduler import CreditScheduler
 from repro.virt.vm import VirtualMachine, VMConfig, VMImage, VMState
 from repro.virt.monitor import VirtualMachineMonitor
+from repro.virt.health import HealthMonitor, RecoveryAction
 from repro.virt.perf import VMPerfModel
 from repro.virt.colocation import (
     ColocationResult,
@@ -33,6 +34,8 @@ __all__ = [
     "VMImage",
     "VMState",
     "VirtualMachineMonitor",
+    "HealthMonitor",
+    "RecoveryAction",
     "VMPerfModel",
     "ColocationResult",
     "ColocationSimulator",

@@ -1,0 +1,248 @@
+"""Watchdog supervision of VMs and hosts (the health monitor).
+
+Production deployments of the paper's framework cannot assume the
+testbed stays up for the length of a "fairly lengthy" calibration: VMs
+crash, hosts lose capacity, migrations fail. The
+:class:`HealthMonitor` is the watchdog that notices — it probes every
+registered VM and every host on the simulated clock, marks failures
+through the :class:`~repro.virt.monitor.VirtualMachineMonitor`, and
+executes one of three recovery policies:
+
+* **restart-in-place** — a crashed VM is restarted on its host, with
+  its guest restored from the snapshot image taken at registration
+  (the paper's redeploy-the-appliance story applied to recovery);
+* **migrate-on-host-degrade** — when a host's capacity factor drops
+  below its allocated shares, VMs are live-migrated (smallest first)
+  to hosts with room until the degraded host fits its remaining load;
+* **evict-and-requeue** — when no host can take a displaced VM, it is
+  destroyed and parked on a requeue list; later probes readmit it as
+  soon as capacity reappears.
+
+All probe outcomes come from the :class:`~repro.faults.FaultInjector`'s
+dedicated *ops* randomness stream, so a supervised run is exactly as
+deterministic as an unsupervised one, and every action is recorded on
+:attr:`HealthMonitor.actions` and the ``resilience.recovery`` metric.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.obs import metrics
+from repro.util.errors import AdmissionError
+from repro.virt.monitor import VirtualMachineMonitor
+from repro.virt.resources import ALL_RESOURCES
+from repro.virt.vm import VMImage, VMState
+
+#: Give up migrating a displaced VM after this many failed attempts in
+#: one probe and evict it instead.
+MAX_MIGRATION_ATTEMPTS = 3
+
+
+@dataclass(frozen=True)
+class RecoveryAction:
+    """One recovery decision taken by the watchdog (journal-friendly)."""
+
+    time_seconds: float
+    subject: str  #: VM or host name the action concerns.
+    event: str  #: ``vm_crash`` | ``host_degrade`` | ``requeue``.
+    action: str  #: ``restart`` | ``migrate`` | ``evict`` | ``readmit``.
+    detail: str = ""
+
+    def as_dict(self) -> Dict[str, object]:
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "RecoveryAction":
+        return cls(
+            time_seconds=float(data["time_seconds"]),
+            subject=str(data["subject"]),
+            event=str(data["event"]),
+            action=str(data["action"]),
+            detail=str(data.get("detail", "")),
+        )
+
+
+class HealthMonitor:
+    """Probes VM/host liveness and executes recovery policies."""
+
+    def __init__(self, vmm: VirtualMachineMonitor, injector=None,
+                 probe_interval_seconds: float = 1.0):
+        self._vmm = vmm
+        self._injector = injector
+        self._interval = float(probe_interval_seconds)
+        self._clock = 0.0
+        self._images: Dict[str, VMImage] = {}
+        #: VMs evicted for lack of capacity, awaiting readmission
+        #: (name -> snapshot image taken at eviction time).
+        self.requeued: List[Tuple[str, VMImage]] = []
+        self.actions: List[RecoveryAction] = []
+
+    # -- registration ------------------------------------------------------
+
+    def register(self, vm_name: str) -> None:
+        """Put a VM under watch; snapshots it for restart-in-place."""
+        vm = self._vmm.vms[vm_name]
+        self._images[vm_name] = vm.snapshot()
+
+    @property
+    def watched(self) -> Tuple[str, ...]:
+        return tuple(sorted(self._images))
+
+    @property
+    def clock_seconds(self) -> float:
+        """Simulated seconds this watchdog has spent probing."""
+        return self._clock
+
+    # -- the watchdog pass -------------------------------------------------
+
+    def probe(self) -> List[RecoveryAction]:
+        """One watchdog pass; returns the recovery actions it took.
+
+        Order is deterministic: hosts are probed (and relieved) first in
+        name order, then VM liveness in name order, then requeued VMs
+        are offered readmission in eviction order.
+        """
+        self._clock += self._interval
+        metrics.counter("sim.seconds", source="watchdog").inc(self._interval)
+        taken: List[RecoveryAction] = []
+        for host in sorted(self._vmm.machines):
+            taken.extend(self._probe_host(host))
+        for name in self.watched:
+            taken.extend(self._probe_vm(name))
+        taken.extend(self._readmit())
+        self.actions.extend(taken)
+        return taken
+
+    # -- host policy: migrate, then evict ----------------------------------
+
+    def _probe_host(self, host: str) -> List[RecoveryAction]:
+        actions: List[RecoveryAction] = []
+        if self._injector is not None:
+            factor = self._injector.on_host_probe(host)
+            if factor is not None:
+                new_factor = self._vmm.degrade_host(host, factor)
+                actions.append(self._record(
+                    host, "host_degrade", "degrade",
+                    f"capacity factor now {new_factor:.3f}"))
+        # Relief reacts to the VMM's actual state, so externally applied
+        # degradation (vmm.degrade_host) is handled the same way.
+        actions.extend(self._relieve_host(host))
+        return actions
+
+    def _relieve_host(self, host: str) -> List[RecoveryAction]:
+        """Migrate (or evict) VMs until *host* fits its allocation."""
+        actions: List[RecoveryAction] = []
+        while self._overcommitted(host):
+            victim = self._pick_victim(host)
+            if victim is None:
+                break
+            actions.append(self._displace(victim, host))
+        return actions
+
+    def _overcommitted(self, host: str) -> bool:
+        allocated = self._vmm.allocated_shares(host)
+        ceiling = self._vmm.host_capacity_factor(host)
+        return any(allocated[kind] > ceiling + 1e-9 for kind in ALL_RESOURCES)
+
+    def _pick_victim(self, host: str) -> Optional[str]:
+        """The smallest VM on *host* (least disruptive to move)."""
+        vms = self._vmm.vms_on(host)
+        if not vms:
+            return None
+        vms.sort(key=lambda vm: (sum(vm.shares.as_tuple()), vm.name))
+        return vms[0].name
+
+    def _displace(self, name: str, source: str) -> RecoveryAction:
+        vm = self._vmm.vms[name]
+        for target in sorted(self._vmm.machines):
+            if target == source:
+                continue
+            if not self._fits(target, vm):
+                continue
+            for attempt in range(1, MAX_MIGRATION_ATTEMPTS + 1):
+                if (self._injector is not None
+                        and self._injector.on_migration(name, source, target)):
+                    continue  # this attempt failed; retry
+                downtime = self._vmm.migrate(name, target)
+                self._clock += downtime
+                metrics.counter("sim.seconds", source="migration").inc(downtime)
+                return self._record(
+                    name, "host_degrade", "migrate",
+                    f"{source} -> {target} ({downtime:.3f}s downtime, "
+                    f"attempt {attempt})")
+        # No target (or every attempt failed): evict and requeue.
+        image = vm.snapshot()
+        self.requeued.append((name, image))
+        self._images.pop(name, None)
+        self._vmm.destroy_vm(name)
+        return self._record(name, "host_degrade", "evict",
+                            f"no capacity after leaving {source}")
+
+    def _fits(self, host: str, vm) -> bool:
+        allocated = self._vmm.allocated_shares(host)
+        ceiling = self._vmm.host_capacity_factor(host)
+        return all(
+            allocated[kind] + vm.shares.share(kind) <= ceiling + 1e-9
+            for kind in ALL_RESOURCES
+        )
+
+    # -- VM policy: restart in place ----------------------------------------
+
+    def _probe_vm(self, name: str) -> List[RecoveryAction]:
+        vm = self._vmm.vms.get(name)
+        if vm is None:
+            return []
+        if vm.state == VMState.RUNNING and self._injector is not None:
+            if self._injector.on_vm_probe(name):
+                self._vmm.mark_failed(name, reason="watchdog probe")
+        if vm.state != VMState.FAILED:
+            return []
+        reason = vm.failure_reason or "unknown"
+        self._vmm.restart_vm(name, image=self._images.get(name))
+        return [self._record(name, "vm_crash", "restart",
+                             f"snapshot restored ({reason})")]
+
+    # -- requeue policy: readmit when capacity returns -----------------------
+
+    def _readmit(self) -> List[RecoveryAction]:
+        actions: List[RecoveryAction] = []
+        still_waiting: List[Tuple[str, VMImage]] = []
+        for name, image in self.requeued:
+            host = self._host_with_room(image)
+            if host is None:
+                still_waiting.append((name, image))
+                continue
+            self._vmm.deploy_image(image, name, machine_name=host)
+            self._images[name] = image
+            actions.append(self._record(name, "requeue", "readmit",
+                                        f"redeployed on {host}"))
+        self.requeued = still_waiting
+        return actions
+
+    def _host_with_room(self, image: VMImage) -> Optional[str]:
+        for host in sorted(self._vmm.machines):
+            allocated = self._vmm.allocated_shares(host)
+            ceiling = self._vmm.host_capacity_factor(host)
+            if all(
+                allocated[kind] + image.config.shares.share(kind)
+                <= ceiling + 1e-9
+                for kind in ALL_RESOURCES
+            ):
+                return host
+        return None
+
+    # -- bookkeeping ---------------------------------------------------------
+
+    def _record(self, subject: str, event: str, action: str,
+                detail: str) -> RecoveryAction:
+        metrics.counter("resilience.recovery", action=action).inc()
+        return RecoveryAction(time_seconds=self._clock, subject=subject,
+                              event=event, action=action, detail=detail)
+
+    def __repr__(self) -> str:
+        return (
+            f"HealthMonitor(watched={list(self.watched)}, "
+            f"actions={len(self.actions)}, requeued={len(self.requeued)})"
+        )

@@ -35,6 +35,12 @@ class VirtualMachineMonitor:
         self._schedulers: Dict[str, CreditScheduler] = {
             name: CreditScheduler(machine) for name, machine in self._machines.items()
         }
+        #: Remaining capacity fraction per host (1.0 = healthy). A
+        #: degraded host's share ceiling drops below 1, so admission and
+        #: reallocation refuse to fill capacity that no longer exists.
+        self._capacity_factors: Dict[str, float] = {
+            name: 1.0 for name in self._machines
+        }
 
     @classmethod
     def single_host(cls, machine: Optional[PhysicalMachine] = None) -> "VirtualMachineMonitor":
@@ -80,13 +86,40 @@ class VirtualMachineMonitor:
     def _check_capacity(self, machine_name: str, shares: ResourceVector,
                         excluding: Optional[str] = None) -> None:
         allocated = self.allocated_shares(machine_name, excluding=excluding)
+        ceiling = self._capacity_factors[machine_name]
         for kind in ALL_RESOURCES:
             total = allocated[kind] + shares.share(kind)
-            if total > 1.0 + SHARE_EPSILON:
+            if total > ceiling + SHARE_EPSILON:
                 raise AdmissionError(
                     f"{kind} oversubscribed on {machine_name}: "
-                    f"{total:.3f} > 1.0"
+                    f"{total:.3f} > {ceiling:.3f}"
                 )
+
+    # -- host health -------------------------------------------------------
+
+    def host_capacity_factor(self, machine_name: str) -> float:
+        """Remaining capacity fraction of a host (1.0 when healthy)."""
+        self._machine(machine_name)
+        return self._capacity_factors[machine_name]
+
+    def degrade_host(self, machine_name: str, factor: float) -> float:
+        """Multiply a host's remaining capacity by *factor* (in (0, 1)).
+
+        Already-admitted VMs keep their shares (a degraded host does not
+        kill its tenants); only *new* admissions and reconfigurations see
+        the lower ceiling. Returns the new capacity factor.
+        """
+        self._machine(machine_name)
+        if not 0.0 < factor < 1.0:
+            raise AllocationError(
+                f"degrade factor {factor} outside (0, 1) for {machine_name!r}")
+        self._capacity_factors[machine_name] *= factor
+        return self._capacity_factors[machine_name]
+
+    def restore_host(self, machine_name: str) -> None:
+        """Return a host to full health (capacity factor 1.0)."""
+        self._machine(machine_name)
+        self._capacity_factors[machine_name] = 1.0
 
     # -- lifecycle ------------------------------------------------------------
 
@@ -162,13 +195,36 @@ class VirtualMachineMonitor:
                 shares = allocation.get(vm.name, vm.shares)
                 for kind in ALL_RESOURCES:
                     totals[kind] += shares.share(kind)
+            ceiling = self._capacity_factors[machine_name]
             for kind, total in totals.items():
-                if total > 1.0 + SHARE_EPSILON:
+                if total > ceiling + SHARE_EPSILON:
                     raise AdmissionError(
-                        f"{kind} oversubscribed on {machine_name}: {total:.3f} > 1.0"
+                        f"{kind} oversubscribed on {machine_name}: "
+                        f"{total:.3f} > {ceiling:.3f}"
                     )
         for name, shares in allocation.items():
             self._vms[name].set_shares(shares)
+
+    # -- failure and recovery ----------------------------------------------
+
+    def mark_failed(self, name: str, reason: str = "crashed") -> None:
+        """Record that a VM crashed (its shares stay allocated)."""
+        self._vm(name).fail(reason)
+
+    def restart_vm(self, name: str,
+                   image: Optional[VMImage] = None) -> VirtualMachine:
+        """Restart a failed (or stopped) VM in place.
+
+        With *image*, the guest is restored from the snapshot first —
+        a crash may have corrupted in-memory guest state, and restoring
+        the appliance image is the paper's redeploy-the-saved-VM story
+        applied to recovery. Returns the (same) VM object.
+        """
+        vm = self._vm(name)
+        if image is not None:
+            vm.attach_guest(image.instantiate_guest())
+        vm.restart()
+        return vm
 
     # -- migration ----------------------------------------------------------------
 

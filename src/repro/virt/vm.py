@@ -40,6 +40,7 @@ class VMState(str, Enum):
     RUNNING = "running"
     PAUSED = "paused"
     STOPPED = "stopped"
+    FAILED = "failed"
 
 
 @dataclass(frozen=True)
@@ -80,6 +81,7 @@ class VirtualMachine:
         self._scheduler = scheduler or CreditScheduler(machine)
         self._state = VMState.CREATED
         self._guest: Any = None
+        self._failure_reason: Optional[str] = None
         self.vm_id = next(_vm_ids)
         self._validate_shares(config.shares)
 
@@ -178,6 +180,41 @@ class VirtualMachine:
 
     def stop(self) -> None:
         self._state = VMState.STOPPED
+        self._failure_reason = None
+
+    # -- failure and recovery ----------------------------------------------
+
+    @property
+    def is_alive(self) -> bool:
+        """Whether the VM is doing (or could resume doing) useful work."""
+        return self._state in (VMState.RUNNING, VMState.PAUSED)
+
+    @property
+    def failure_reason(self) -> Optional[str]:
+        """Why the VM failed, while it is in ``FAILED`` state."""
+        return self._failure_reason
+
+    def fail(self, reason: str = "crashed") -> None:
+        """Mark a live VM as crashed (watchdog or injector verdict)."""
+        if self._state not in (VMState.RUNNING, VMState.PAUSED):
+            raise AdmissionError(
+                f"cannot fail VM {self.name} in state {self._state}")
+        self._state = VMState.FAILED
+        self._failure_reason = reason
+
+    def restart(self) -> None:
+        """Bring a failed or stopped VM back to ``RUNNING``.
+
+        Re-checks the guest-memory boot floor, exactly like a fresh
+        :meth:`start` — recovery must not resurrect a VM whose
+        allocation could no longer boot.
+        """
+        if self._state not in (VMState.FAILED, VMState.STOPPED):
+            raise AdmissionError(
+                f"cannot restart VM {self.name} in state {self._state}")
+        self._state = VMState.CREATED
+        self._failure_reason = None
+        self.start()
 
     # -- guest -----------------------------------------------------------
 

@@ -71,7 +71,7 @@ class TestReport:
         assert main(["report", "--scale", "0.002", "--grid", "4",
                      "--algorithm", "greedy", "--json"]) == 0
         payload = json.loads(capsys.readouterr().out)
-        assert payload["format"] == "repro-run-report/2"
+        assert payload["format"] == "repro-run-report/3"
         assert payload["label"] == "design/greedy"
         assert payload["summary"]["cost_model_evaluations"] > 0
         assert payload["summary"]["calibration_experiments"] > 0
@@ -94,7 +94,7 @@ class TestReport:
                      "--stats-json", str(path)]) == 0
         capsys.readouterr()
         payload = json.loads(path.read_text())
-        assert payload["format"] == "repro-run-report/2"
+        assert payload["format"] == "repro-run-report/3"
         assert payload["summary"]["calibration_experiments"] >= 1
 
 
@@ -122,6 +122,61 @@ class TestChaos:
         captured = capsys.readouterr()
         assert "transient=30%" in captured.err
         assert "faults injected (transient)" in captured.out
+
+
+@pytest.mark.recovery
+class TestJournaledChaosRoundTrip:
+    def test_kill_then_resume_reproduces_the_design(self, capsys, tmp_path):
+        """The acceptance demo: a supervised chaos run killed mid-flight
+        resumes from its journal to the same design."""
+        journal = tmp_path / "run.journal"
+        base = ["--plan", "turbulent", "--scale", "0.002", "--grid", "3",
+                "--algorithm", "greedy", "--watchdog-probes", "4"]
+        assert main(["chaos", *base, "--journal", str(journal),
+                     "--max-units", "2"]) == 4
+        out = capsys.readouterr().out
+        assert "resumable with: repro resume" in out
+
+        assert main(["resume", str(journal)]) == 0
+        out = capsys.readouterr().out
+        assert "Design via greedy" in out
+        assert "unit(s) replayed" in out
+        # Resuming an already-complete run replays everything, computes
+        # nothing, and prints the same design again.
+        assert main(["resume", str(journal)]) == 0
+        assert "Design via greedy" in capsys.readouterr().out
+
+
+class TestExitCodes:
+    """The CLI exit-code contract (documented in docs/robustness.md):
+    0 success, 2 usage/validation, 3 permanent failure, 4 stopped early."""
+
+    def test_usage_error_exits_2(self):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["chaos", "--plan", "no-such-plan"])
+        assert excinfo.value.code == 2
+
+    def test_invalid_fault_rate_exits_2(self, capsys):
+        assert main(["chaos", "--plan", "none", "--transient-rate", "1.5",
+                     "--scale", "0.002"]) == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_corrupt_calibration_cache_exits_3(self, capsys, tmp_path):
+        path = tmp_path / "cal.json"
+        path.write_text("{ not json")
+        assert main(["calibrate", "--load", str(path)]) == 3
+        assert "error:" in capsys.readouterr().err
+
+    def test_missing_journal_exits_3(self, capsys, tmp_path):
+        assert main(["resume", str(tmp_path / "nope.journal")]) == 3
+        assert "error:" in capsys.readouterr().err
+
+    @pytest.mark.chaos
+    def test_early_stopped_search_exits_4(self, capsys):
+        assert main(["chaos", "--plan", "none", "--scale", "0.002",
+                     "--grid", "3", "--algorithm", "greedy",
+                     "--max-evaluations", "1"]) == 4
+        capsys.readouterr()
 
 
 class TestParser:

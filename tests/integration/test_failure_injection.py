@@ -146,13 +146,13 @@ class TestHostileSql:
 
 class TestCorruptCalibrationFiles:
     def test_missing_file(self, calibration_cache, tmp_path):
-        with pytest.raises(OSError):
+        with pytest.raises(CalibrationError, match="cannot read"):
             calibration_cache.load(tmp_path / "absent.json")
 
     def test_malformed_json(self, calibration_cache, tmp_path):
         path = tmp_path / "garbage.json"
         path.write_text("{not json")
-        with pytest.raises(Exception):
+        with pytest.raises(CalibrationError, match="corrupt or truncated"):
             calibration_cache.load(path)
 
     def test_wrong_shape_allocation(self, calibration_cache, tmp_path):

@@ -1,0 +1,91 @@
+"""Shared fixtures for the crash-recovery tests.
+
+The design problem is intentionally small (one TPC-H query per
+workload, a reduced calibration workbench) so that the equivalence
+tests — which kill and resume a run at *every* unit boundary — stay
+affordable. The shape still matches the chaos problem the CLI runs:
+two workloads competing for CPU on the laboratory machine.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.calibration.synthetic import (
+    CalibrationWorkbench,
+    HUGE_TABLE,
+    SMALL_TABLE,
+)
+from repro.core.problem import VirtualizationDesignProblem, WorkloadSpec
+from repro.faults import FaultPlan
+from repro.recovery import RunSupervisor
+from repro.virt.machine import laboratory_machine
+from repro.virt.resources import ResourceKind
+from repro.workloads import Workload, build_tpch_database, tpch_query
+
+#: Grid used everywhere in these tests: 3 calibrations + 2 workloads
+#: x 3 grid points = 9 journaled units per complete run.
+GRID = 3
+WATCHDOG_PROBES = 4
+
+
+def tiny_workbench() -> CalibrationWorkbench:
+    return CalibrationWorkbench(rows={
+        SMALL_TABLE: 200,
+        "cal_scan_a": 1_000,
+        "cal_scan_b": 2_000,
+        "cal_scan_c": 3_000,
+        HUGE_TABLE: 4_000,
+    })
+
+
+@pytest.fixture(scope="package")
+def recovery_problem() -> VirtualizationDesignProblem:
+    db = build_tpch_database(scale_factor=0.002,
+                             tables=["customer", "orders", "lineitem"])
+    specs = [
+        WorkloadSpec(Workload.repeat("order-audit", tpch_query("Q4"), 1), db),
+        WorkloadSpec(Workload.repeat("cust-report", tpch_query("Q13"), 2), db),
+    ]
+    return VirtualizationDesignProblem(
+        machine=laboratory_machine(), specs=specs,
+        controlled_resources=(ResourceKind.CPU,),
+    )
+
+
+@pytest.fixture(scope="package")
+def turbulent_plan() -> FaultPlan:
+    return FaultPlan.named("turbulent")
+
+
+def make_supervisor(problem, path, plan, **kwargs) -> RunSupervisor:
+    kwargs.setdefault("grid", GRID)
+    kwargs.setdefault("watchdog_probes", WATCHDOG_PROBES)
+    kwargs.setdefault("workbench", tiny_workbench())
+    return RunSupervisor(problem, path, plan=plan, **kwargs)
+
+
+def journal_fingerprint(journal):
+    """Everything a run commits, as plain data (bit-identical or bust)."""
+    return {
+        "calibrations": [r.data for r in journal.records_of("calibration")],
+        "evaluations": [r.data for r in journal.records_of("evaluation")],
+        "results": [r.data for r in journal.records_of("result")],
+    }
+
+
+@pytest.fixture(scope="package")
+def baseline(recovery_problem, turbulent_plan, tmp_path_factory):
+    """One uninterrupted supervised run, shared by the equivalence tests."""
+    from repro.recovery import RunJournal
+
+    path = tmp_path_factory.mktemp("baseline") / "run.journal"
+    supervisor = make_supervisor(recovery_problem, path, turbulent_plan)
+    run = supervisor.run()
+    assert run.completed
+    return {
+        "run": run,
+        "supervisor": supervisor,
+        "fingerprint": journal_fingerprint(RunJournal.open(path)),
+        "total_units": run.new_units,
+    }

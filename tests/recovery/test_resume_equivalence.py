@@ -1,0 +1,143 @@
+"""Crash-recovery equivalence: a killed-and-resumed run must be
+**bit-identical** to an uninterrupted one.
+
+The property tests kill a grid-search design run and a calibration
+sweep after every unit boundary k, resume from the journal, and compare
+the complete journal contents — calibrated parameters, cost-model
+evaluations, the final design, and the watchdog's recovery actions —
+against the uninterrupted baseline. Exact equality (`==` on the parsed
+records, no approx) is the point: resume must not perturb the fault
+stream, the search order, or a single float.
+"""
+
+import pytest
+
+from repro.calibration import CalibrationCache, CalibrationRunner
+from repro.faults import FaultInjector, FaultPlan, RetryPolicy
+from repro.recovery import RunJournal
+from repro.virt.machine import laboratory_machine
+from repro.virt.resources import ResourceVector
+
+from tests.recovery.conftest import (
+    journal_fingerprint,
+    make_supervisor,
+    tiny_workbench,
+)
+
+pytestmark = pytest.mark.recovery
+
+
+class TestGridSearchEquivalence:
+    def test_kill_at_every_unit_boundary_then_resume(
+            self, baseline, recovery_problem, turbulent_plan, tmp_path):
+        """The tentpole property: for every k, kill after k units,
+        resume, and get the baseline journal back bit for bit."""
+        total = baseline["total_units"]
+        assert total >= 2
+        for k in range(1, total):
+            path = tmp_path / f"kill-at-{k}.journal"
+            killed = make_supervisor(recovery_problem, path, turbulent_plan,
+                                     max_units=k).run()
+            assert not killed.completed, f"kill at k={k} did not stop the run"
+            assert killed.new_units == k
+
+            resumed = make_supervisor(recovery_problem, path,
+                                      turbulent_plan).run(resume=True)
+            assert resumed.completed, f"resume after k={k} did not finish"
+            assert resumed.replayed_units == k
+            assert resumed.new_units == total - k
+
+            fingerprint = journal_fingerprint(RunJournal.open(path))
+            assert fingerprint == baseline["fingerprint"], (
+                f"resumed journal diverged from the uninterrupted run "
+                f"after a kill at unit {k}")
+
+    def test_resumed_design_object_matches_baseline(
+            self, baseline, recovery_problem, turbulent_plan, tmp_path):
+        """Beyond the journal: the in-memory Design and watchdog actions
+        of a resumed run equal the baseline's exactly."""
+        path = tmp_path / "run.journal"
+        make_supervisor(recovery_problem, path, turbulent_plan,
+                        max_units=4).run()
+        resumed = make_supervisor(recovery_problem, path,
+                                  turbulent_plan).run(resume=True)
+        base = baseline["run"]
+        names = base.design.allocation.workload_names()
+        assert resumed.design.allocation.workload_names() == names
+        for name in names:
+            assert (resumed.design.allocation.vector_for(name).as_tuple()
+                    == base.design.allocation.vector_for(name).as_tuple())
+        assert (resumed.design.predicted_total_cost
+                == base.design.predicted_total_cost)
+        assert ([a.as_dict() for a in resumed.actions]
+                == [a.as_dict() for a in base.actions])
+
+    def test_torn_tail_resume_is_equivalent(
+            self, baseline, recovery_problem, turbulent_plan, tmp_path):
+        """A kill *mid-append* leaves a torn final line; resume truncates
+        it, re-runs that one unit, and still matches the baseline."""
+        path = tmp_path / "run.journal"
+        make_supervisor(recovery_problem, path, turbulent_plan,
+                        max_units=3).run()
+        with open(path, "a") as handle:
+            handle.write('{"seq": 99, "kind": "calibration", "da')
+        resumed = make_supervisor(recovery_problem, path,
+                                  turbulent_plan).run(resume=True)
+        assert resumed.completed
+        assert resumed.replayed_units == 3
+        fingerprint = journal_fingerprint(RunJournal.open(path))
+        assert fingerprint == baseline["fingerprint"]
+
+
+class TestCalibrationSweepEquivalence:
+    """The other half of the satellite: kill a journaled calibration
+    sweep (no search involved) after each unit and resume it."""
+
+    PLAN = FaultPlan(name="sweep", transient_rate=0.2, outlier_rate=0.1,
+                     seed=23)
+    ALLOCATIONS = ((0.25, 0.5, 0.5), (0.5, 0.5, 0.5), (0.75, 0.5, 0.5))
+
+    def _cache(self, journal):
+        runner = CalibrationRunner(
+            laboratory_machine(), workbench=tiny_workbench(),
+            injector=FaultInjector(self.PLAN, per_unit=True),
+            retry_policy=RetryPolicy.resilient())
+        return CalibrationCache(runner, journal=journal)
+
+    def _sweep(self, cache, allocations):
+        for shares in allocations:
+            cache.params_for(ResourceVector.of(
+                cpu=shares[0], memory=shares[1], io=shares[2]))
+
+    def _replay(self, journal, cache):
+        from repro.optimizer.params import OptimizerParameters
+
+        for record in journal.records_of("calibration"):
+            cache.add_point(
+                tuple(float(v) for v in record.data["allocation"]),
+                OptimizerParameters.from_dict(record.data["parameters"]))
+
+    def test_kill_sweep_at_every_unit_then_resume(self, tmp_path):
+        base_path = tmp_path / "sweep-baseline.journal"
+        base_journal = RunJournal.create(base_path, {"run": "sweep"})
+        self._sweep(self._cache(base_journal), self.ALLOCATIONS)
+        base_records = [r.data for r
+                        in base_journal.records_of("calibration")]
+        assert len(base_records) == len(self.ALLOCATIONS)
+
+        for k in range(1, len(self.ALLOCATIONS)):
+            path = tmp_path / f"sweep-{k}.journal"
+            journal = RunJournal.create(path, {"run": "sweep"})
+            # The killed process calibrates only the first k allocations.
+            self._sweep(self._cache(journal), self.ALLOCATIONS[:k])
+            del journal  # the crash
+
+            resumed = RunJournal.open(path)
+            cache = self._cache(resumed)
+            self._replay(resumed, cache)
+            assert cache.n_calibrations == k
+            self._sweep(cache, self.ALLOCATIONS)  # replayed units are hits
+            records = [r.data for r in resumed.records_of("calibration")]
+            assert records == base_records, (
+                f"sweep resumed after {k} unit(s) diverged from the "
+                f"uninterrupted sweep")

@@ -1,0 +1,130 @@
+"""Tests for :class:`repro.recovery.RunSupervisor` and the journaling
+cost model: a design run that survives faults, checkpoints every unit,
+and refuses to resume into a different run."""
+
+import pytest
+
+from repro.recovery import JournalingCostModel, RunJournal, read_journal
+from repro.util.errors import RecoveryError
+from repro.virt.resources import ResourceVector
+
+from tests.recovery.conftest import (
+    GRID,
+    journal_fingerprint,
+    make_supervisor,
+)
+
+pytestmark = pytest.mark.recovery
+
+
+class TestSupervisedRun:
+    def test_completes_with_a_correct_design_under_faults(self, baseline):
+        """The turbulent plan injects transients, VM crashes, and host
+        degradation — none of which may change the *answer*."""
+        design = baseline["run"].design
+        shares = {
+            name: design.allocation.vector_for(name).cpu
+            for name in design.allocation.workload_names()
+        }
+        # The heavier workload must win the CPU, faults or not.
+        assert shares["cust-report"] > shares["order-audit"]
+        assert design.predicted_total_cost > 0.0
+
+    def test_every_unit_is_journaled(self, baseline):
+        fingerprint = baseline["fingerprint"]
+        assert len(fingerprint["calibrations"]) == GRID
+        assert len(fingerprint["evaluations"]) == 2 * GRID
+        assert len(fingerprint["results"]) == 1
+        # new_units counts budgeted work (the result record is not a
+        # resumable unit — it is written once, after the design exists).
+        assert baseline["total_units"] == GRID + 2 * GRID
+
+    def test_watchdog_actions_recorded_in_result(self, baseline):
+        result = baseline["fingerprint"]["results"][0]
+        actions = [a["action"] for a in result["actions"]]
+        assert actions == [a.action for a in baseline["run"].actions]
+
+    def test_kill_leaves_a_resumable_journal(self, recovery_problem,
+                                             turbulent_plan, tmp_path):
+        path = tmp_path / "run.journal"
+        killed = make_supervisor(recovery_problem, path, turbulent_plan,
+                                 max_units=2).run()
+        assert not killed.completed
+        assert killed.design is None
+        assert killed.new_units == 2
+        _meta, records, tail = read_journal(path)
+        assert tail == 0
+        assert len(records) == 2
+
+    def test_resume_into_different_run_is_refused(self, recovery_problem,
+                                                  turbulent_plan, tmp_path):
+        path = tmp_path / "run.journal"
+        make_supervisor(recovery_problem, path, turbulent_plan,
+                        max_units=1).run()
+        different = make_supervisor(recovery_problem, path, turbulent_plan,
+                                    grid=5)
+        with pytest.raises(RecoveryError, match="mismatched grid"):
+            different.run(resume=True)
+
+    def test_resume_of_a_completed_run_is_a_noop_replay(self, baseline):
+        journal_path = baseline["supervisor"]._journal_path
+        resumed = make_supervisor(
+            baseline["supervisor"]._problem, journal_path,
+            baseline["supervisor"]._plan).run(resume=True)
+        assert resumed.completed
+        assert resumed.replayed_units == GRID + 2 * GRID
+        # No duplicate result record, and the design is unchanged.
+        fingerprint = journal_fingerprint(RunJournal.open(journal_path))
+        assert len(fingerprint["results"]) == 1
+        assert fingerprint == baseline["fingerprint"]
+
+
+class _Workload:
+    statements = ("SELECT 1",)
+
+
+class _Spec:
+    name = "w"
+    workload = _Workload()
+
+
+class TestJournalingCostModel:
+    def test_fresh_evaluations_are_journaled_once(self, tmp_path):
+        class Flat:
+            kind = "flat"
+
+            def __init__(self):
+                self.calls = 0
+
+            def cost(self, spec, allocation):
+                self.calls += 1
+                return 2.5
+
+        journal = RunJournal.create(tmp_path / "j", {"run": "t"})
+        inner = Flat()
+        model = JournalingCostModel(inner, journal)
+        allocation = ResourceVector.of(cpu=0.5, memory=0.5, io=0.5)
+        spec = _Spec()
+        first = model.cost(spec, allocation)
+        second = model.cost(spec, allocation)
+        assert first == second == 2.5
+        assert inner.calls == 1
+        assert len(journal.records_of("evaluation")) == 1
+        record = journal.records_of("evaluation")[0]
+        assert record.data == {"workload": "w",
+                               "allocation": [0.5, 0.5, 0.5], "cost": 2.5}
+
+    def test_seeded_evaluations_never_reach_the_inner_model(self, tmp_path):
+        class Exploding:
+            kind = "exploding"
+
+            def cost(self, spec, allocation):  # pragma: no cover
+                raise AssertionError("replayed unit was recomputed")
+
+        journal = RunJournal.create(tmp_path / "j", {"run": "t"})
+        model = JournalingCostModel(Exploding(), journal)
+        allocation = ResourceVector.of(cpu=0.25, memory=0.5, io=0.5)
+        spec = _Spec()
+        model.seed(spec, allocation, 9.0)
+        assert model.cost(spec, allocation) == 9.0
+        assert journal.records_of("evaluation") == []

@@ -1,0 +1,260 @@
+"""Tests for the watchdog (``repro.virt.health``) and the VM/host
+failure model it drives (``VMState.FAILED``, host capacity factors)."""
+
+import pytest
+
+from repro.faults import FaultInjector, FaultPlan
+from repro.obs import metrics
+from repro.util.errors import AdmissionError, AllocationError
+from repro.virt import (
+    HealthMonitor,
+    PhysicalMachine,
+    VirtualMachineMonitor,
+    VMState,
+)
+from repro.virt.resources import ResourceVector
+
+
+def two_host_vmm():
+    return VirtualMachineMonitor([
+        PhysicalMachine(name="host-a", memory_mib=64.0),
+        PhysicalMachine(name="host-b", memory_mib=64.0),
+    ])
+
+
+def shares(value):
+    return ResourceVector.of(cpu=value, memory=value, io=value)
+
+
+class TestVMFailureModel:
+    def test_fail_and_restart_round_trip(self):
+        vmm = two_host_vmm()
+        vm = vmm.create_vm("tenant", shares(0.5), machine_name="host-a")
+        vm.start()
+        vmm.mark_failed("tenant", reason="kernel panic")
+        assert vm.state == VMState.FAILED
+        assert vm.failure_reason == "kernel panic"
+        assert not vm.is_alive
+        vmm.restart_vm("tenant")
+        assert vm.state == VMState.RUNNING
+        assert vm.failure_reason is None
+
+    def test_cannot_fail_a_stopped_vm(self):
+        vmm = two_host_vmm()
+        vm = vmm.create_vm("tenant", shares(0.5))
+        vm.start()
+        vm.stop()
+        with pytest.raises(AdmissionError, match="cannot fail"):
+            vm.fail()
+
+    def test_cannot_restart_a_running_vm(self):
+        vmm = two_host_vmm()
+        vm = vmm.create_vm("tenant", shares(0.5))
+        vm.start()
+        with pytest.raises(AdmissionError, match="cannot restart"):
+            vm.restart()
+
+    def test_restart_restores_guest_from_image(self):
+        vmm = two_host_vmm()
+        vm = vmm.create_vm("tenant", shares(0.5))
+        vm.attach_guest({"rows": [1, 2, 3]})
+        vm.start()
+        image = vm.snapshot()
+        vm.guest["rows"].append(4)  # crash corrupts in-memory state
+        vmm.mark_failed("tenant")
+        vmm.restart_vm("tenant", image=image)
+        assert vm.guest == {"rows": [1, 2, 3]}
+
+
+class TestHostDegradation:
+    def test_degrade_lowers_admission_ceiling(self):
+        vmm = two_host_vmm()
+        vmm.degrade_host("host-a", 0.5)
+        assert vmm.host_capacity_factor("host-a") == pytest.approx(0.5)
+        with pytest.raises(AdmissionError, match="oversubscribed"):
+            vmm.create_vm("big", shares(0.6), machine_name="host-a")
+        vmm.create_vm("small", shares(0.4), machine_name="host-a")
+
+    def test_degradation_is_multiplicative_and_restorable(self):
+        vmm = two_host_vmm()
+        vmm.degrade_host("host-a", 0.5)
+        vmm.degrade_host("host-a", 0.5)
+        assert vmm.host_capacity_factor("host-a") == pytest.approx(0.25)
+        vmm.restore_host("host-a")
+        assert vmm.host_capacity_factor("host-a") == pytest.approx(1.0)
+
+    def test_degrade_factor_validated(self):
+        vmm = two_host_vmm()
+        with pytest.raises(AllocationError):
+            vmm.degrade_host("host-a", 1.5)
+
+    def test_existing_tenants_survive_degradation(self):
+        vmm = two_host_vmm()
+        vm = vmm.create_vm("tenant", shares(0.8), machine_name="host-a")
+        vm.start()
+        vmm.degrade_host("host-a", 0.5)
+        assert vm.state == VMState.RUNNING
+
+
+class TestWatchdogRestart:
+    def test_probe_restarts_externally_failed_vm(self):
+        vmm = two_host_vmm()
+        vm = vmm.create_vm("tenant", shares(0.5), machine_name="host-a")
+        vm.attach_guest({"state": "good"})
+        vm.start()
+        health = HealthMonitor(vmm)
+        health.register("tenant")
+        vm.guest["state"] = "corrupted"
+        vmm.mark_failed("tenant")
+        actions = health.probe()
+        assert [a.action for a in actions] == ["restart"]
+        assert vm.state == VMState.RUNNING
+        # Restart-in-place restored the registration-time snapshot.
+        assert vm.guest == {"state": "good"}
+
+    def test_injected_crash_is_probed_and_restarted(self):
+        vmm = two_host_vmm()
+        vm = vmm.create_vm("tenant", shares(0.5), machine_name="host-a")
+        vm.start()
+        injector = FaultInjector(FaultPlan(name="t", vm_crash_rate=1.0))
+        health = HealthMonitor(vmm, injector=injector)
+        health.register("tenant")
+        actions = health.probe()
+        assert [(a.event, a.action) for a in actions] == [
+            ("vm_crash", "restart")]
+        assert vm.state == VMState.RUNNING
+
+    def test_probe_advances_simulated_clock_only(self):
+        vmm = two_host_vmm()
+        health = HealthMonitor(vmm, probe_interval_seconds=2.5)
+        health.probe()
+        health.probe()
+        assert health.clock_seconds == pytest.approx(5.0)
+
+    def test_recovery_actions_are_counted(self):
+        metrics.get_registry().reset()
+        vmm = two_host_vmm()
+        vm = vmm.create_vm("tenant", shares(0.5))
+        vm.start()
+        health = HealthMonitor(vmm)
+        health.register("tenant")
+        vmm.mark_failed("tenant")
+        health.probe()
+        snapshot = metrics.get_registry().snapshot()
+        restart = [entry for entry in snapshot["counters"]
+                   if entry["name"] == "resilience.recovery"
+                   and entry["labels"].get("action") == "restart"]
+        assert restart and restart[0]["value"] == 1.0
+
+
+class TestWatchdogMigration:
+    def test_degraded_host_offloads_to_standby(self):
+        vmm = two_host_vmm()
+        vm = vmm.create_vm("tenant", shares(0.6), machine_name="host-a")
+        vm.start()
+        health = HealthMonitor(vmm)
+        health.register("tenant")
+        vmm.degrade_host("host-a", 0.5)
+        actions = health.probe()
+        assert [(a.event, a.action) for a in actions] == [
+            ("host_degrade", "migrate")]
+        assert vmm.vms_on("host-b")[0].name == "tenant"
+        assert vmm.vms["tenant"].state == VMState.RUNNING
+
+    def test_smallest_vm_is_migrated_first(self):
+        vmm = two_host_vmm()
+        for name, share in (("big", 0.5), ("small", 0.3)):
+            vmm.create_vm(name, shares(share), machine_name="host-a").start()
+        vmm.degrade_host("host-a", 0.6)  # ceiling 0.6 < 0.8 allocated
+        health = HealthMonitor(vmm)
+        actions = health.probe()
+        migrations = [a for a in actions if a.action == "migrate"]
+        assert [a.subject for a in migrations] == ["small"]
+        assert vmm.vms_on("host-b")[0].name == "small"
+
+    def test_evict_and_requeue_when_no_host_fits(self):
+        vmm = two_host_vmm()
+        vmm.create_vm("resident", shares(0.6), machine_name="host-b").start()
+        vm = vmm.create_vm("tenant", shares(0.6), machine_name="host-a")
+        vm.start()
+        health = HealthMonitor(vmm)
+        health.register("tenant")
+        vmm.degrade_host("host-a", 0.5)
+        actions = health.probe()
+        assert ("host_degrade", "evict") in [
+            (a.event, a.action) for a in actions]
+        assert "tenant" not in vmm.vms
+        assert [name for name, _image in health.requeued] == ["tenant"]
+
+    def test_requeued_vm_is_readmitted_when_capacity_returns(self):
+        vmm = two_host_vmm()
+        vmm.create_vm("resident", shares(0.6), machine_name="host-b").start()
+        vm = vmm.create_vm("tenant", shares(0.6), machine_name="host-a")
+        vm.attach_guest({"id": 42})
+        vm.start()
+        health = HealthMonitor(vmm)
+        health.register("tenant")
+        vmm.degrade_host("host-a", 0.5)
+        health.probe()  # evicts
+        vmm.restore_host("host-a")
+        actions = health.probe()
+        assert [(a.event, a.action) for a in actions] == [
+            ("requeue", "readmit")]
+        assert health.requeued == []
+        readmitted = vmm.vms["tenant"]
+        assert readmitted.state == VMState.RUNNING
+        assert readmitted.guest == {"id": 42}
+
+    def test_migration_failures_are_retried_deterministically(self):
+        plan = FaultPlan(name="t", migration_failure_rate=0.5, seed=7)
+
+        def run():
+            vmm = two_host_vmm()
+            vmm.create_vm("tenant", shares(0.6),
+                          machine_name="host-a").start()
+            vmm.degrade_host("host-a", 0.5)
+            health = HealthMonitor(vmm, injector=FaultInjector(plan))
+            return [(a.event, a.action, a.detail) for a in health.probe()]
+
+        first, second = run(), run()
+        assert first == second
+        assert any(action == "migrate" or action == "evict"
+                   for _e, action, _d in first)
+
+
+class TestDeterminism:
+    def test_equal_plans_give_identical_action_sequences(self):
+        plan = FaultPlan(name="t", vm_crash_rate=0.4, host_degrade_rate=0.2,
+                        seed=11)
+
+        def run():
+            vmm = two_host_vmm()
+            for name in ("w1", "w2"):
+                vmm.create_vm(name, shares(0.3),
+                              machine_name="host-a").start()
+            health = HealthMonitor(vmm, injector=FaultInjector(plan))
+            for name in ("w1", "w2"):
+                health.register(name)
+            for _ in range(8):
+                health.probe()
+            return [a.as_dict() for a in health.actions]
+
+        assert run() == run()
+
+    def test_ops_stream_does_not_perturb_measurement_stream(self):
+        plan = FaultPlan(name="t", transient_rate=0.5, vm_crash_rate=0.5)
+        quiet = FaultInjector(plan)
+        probed = FaultInjector(plan)
+        for i in range(20):
+            probed.on_vm_probe(f"vm{i}")  # ops draws interleaved
+
+        def stream(injector):
+            out = []
+            for _ in range(30):
+                try:
+                    out.append(injector.on_measurement((0.5, 0.5, 0.5), 1.0))
+                except Exception:
+                    out.append("fault")
+            return out
+
+        assert stream(quiet) == stream(probed)
