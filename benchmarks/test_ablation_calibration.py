@@ -17,7 +17,6 @@ calibration at the probe allocation, plus whether the Figure-5 design
 decision survives.
 """
 
-import pytest
 
 from repro.calibration import CalibrationCache, CalibrationRunner
 from repro.core.cost_model import OptimizerCostModel

@@ -7,7 +7,6 @@ measurements perturbed by increasing multiplicative noise and records
 whether the designer still reaches the paper's 25/75 decision.
 """
 
-import pytest
 
 from repro.calibration import CalibrationCache, CalibrationRunner
 from repro.core.cost_model import OptimizerCostModel

@@ -10,7 +10,6 @@ number of cost-model evaluations each needs.
 
 import pytest
 
-from repro.calibration import CalibrationCache, CalibrationRunner
 from repro.core.cost_model import OptimizerCostModel
 from repro.core.problem import VirtualizationDesignProblem, WorkloadSpec
 from repro.core.search import make_algorithm

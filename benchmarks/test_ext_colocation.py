@@ -14,7 +14,6 @@ gap on its own, because the I/O-bound tenant's unused CPU flows to the
 CPU-bound tenant regardless of the configured split.
 """
 
-import pytest
 
 from repro.core.measure import WorkloadRunner
 from repro.util.tables import format_table

@@ -12,8 +12,8 @@ tuple CPU time shrinks relative to a page fetch) and *rises* as the
 memory share grows (page fetches get cheaper with caching).
 """
 
-from repro.virt.resources import ResourceVector
 from repro.util.tables import format_table
+from repro.virt.resources import ResourceVector
 
 from conftest import SHARE_LEVELS, report
 

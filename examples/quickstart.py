@@ -17,8 +17,8 @@ from repro import (
     MeasuredCostModel,
     OptimizerCostModel,
     ResourceKind,
-    VirtualizationDesignProblem,
     VirtualizationDesigner,
+    VirtualizationDesignProblem,
     Workload,
     WorkloadSpec,
     build_tpch_database,

@@ -16,9 +16,9 @@ from repro import (
     CalibrationRunner,
     OptimizerCostModel,
     ResourceKind,
-    VirtualMachineMonitor,
-    VirtualizationDesignProblem,
     VirtualizationDesigner,
+    VirtualizationDesignProblem,
+    VirtualMachineMonitor,
     Workload,
     WorkloadSpec,
     build_tpch_database,

@@ -65,8 +65,10 @@ def main() -> None:
 
     print(f"  uncalibrated defaults (random_page_cost=4):"
           f" {access_path(default_estimate)}")
+    vm_params = calibration.params_for(
+        ResourceVector.of(cpu=0.5, memory=0.5, io=0.5))
     print(f"  calibrated for this VM (random_page_cost="
-          f"{calibrated.plan and calibration.params_for(ResourceVector.of(cpu=0.5, memory=0.5, io=0.5)).random_page_cost:.0f}):"
+          f"{vm_params.random_page_cost:.0f}):"
           f" {access_path(calibrated)}")
     print("\n(The simulated disk serves random reads two orders of magnitude "
           "slower than\n sequential ones; only the calibrated optimizer "

@@ -1,0 +1,159 @@
+#!/usr/bin/env python
+"""Validate ``BENCH_parallel.json`` and gate on the parallel speedup.
+
+Two jobs, both CI-facing:
+
+1. **Schema**: the file is the object ``scripts/bench_speedup.py``
+   writes — ``suite``/``smoke``/``host_cpus`` plus ``entries``, each
+   entry carrying exactly ``name`` (str), ``grid`` (int), ``workers``
+   (int or null for the serial baseline), ``wall_seconds`` (positive
+   number), ``evaluations`` (positive int) and ``speedup`` (positive
+   number). Every benchmark name must have a serial baseline row
+   (``workers: null``, ``speedup: 1.0``) and its parallel rows must
+   report the same evaluation count as the baseline — the determinism
+   contract, as recorded data.
+2. **Regression gate**: the exhaustive benchmark's 4-worker row must
+   reach the threshold (default 1.0x, i.e. "parallel must never lose
+   to serial"; the committed full-mode results are held to 1.5x by the
+   repository's own run).
+
+Exit code 0 when everything holds, 1 with a diagnostic otherwise.
+
+Run with ``python scripts/check_bench.py [PATH] [--min-speedup X]``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+DEFAULT_PATH = REPO_ROOT / "benchmarks" / "results" / "BENCH_parallel.json"
+
+#: The benchmark the speedup gate applies to (its batched strategy is
+#: where the tentpole claims its win); other entries are schema-checked
+#: only, since e.g. greedy's tiny frontiers need a multi-core host to
+#: beat per-call dispatch.
+GATED_BENCHMARK = "exhaustive-fig5-grid"
+GATED_WORKERS = 4
+
+ENTRY_FIELDS = {
+    "name": str,
+    "grid": int,
+    "workers": (int, type(None)),
+    "wall_seconds": (int, float),
+    "evaluations": int,
+    "speedup": (int, float),
+}
+
+
+def fail(message: str) -> int:
+    print(f"check_bench: FAIL: {message}", file=sys.stderr)
+    return 1
+
+
+def check_entry(i: int, entry) -> list:
+    problems = []
+    if not isinstance(entry, dict):
+        return [f"entries[{i}] is not an object"]
+    for field, kinds in ENTRY_FIELDS.items():
+        if field not in entry:
+            problems.append(f"entries[{i}] missing field {field!r}")
+        elif not isinstance(entry[field], kinds) or isinstance(
+                entry[field], bool):
+            problems.append(
+                f"entries[{i}].{field} has type "
+                f"{type(entry[field]).__name__}, expected {kinds}")
+    extra = set(entry) - set(ENTRY_FIELDS)
+    if extra:
+        problems.append(f"entries[{i}] has unknown fields {sorted(extra)}")
+    if problems:
+        return problems
+    if entry["wall_seconds"] <= 0:
+        problems.append(f"entries[{i}].wall_seconds must be positive")
+    if entry["evaluations"] <= 0:
+        problems.append(f"entries[{i}].evaluations must be positive")
+    if entry["speedup"] <= 0:
+        problems.append(f"entries[{i}].speedup must be positive")
+    if entry["workers"] is not None and entry["workers"] < 1:
+        problems.append(f"entries[{i}].workers must be >= 1 or null")
+    if entry["workers"] is None and entry["speedup"] != 1.0:
+        problems.append(
+            f"entries[{i}] is a serial baseline but speedup is "
+            f"{entry['speedup']}, not 1.0")
+    return problems
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("path", nargs="?", default=str(DEFAULT_PATH),
+                        help=f"result file (default {DEFAULT_PATH})")
+    parser.add_argument("--min-speedup", type=float, default=1.0,
+                        help="gate: minimum 4-worker speedup on the "
+                             "exhaustive benchmark (default 1.0)")
+    args = parser.parse_args(argv)
+
+    path = pathlib.Path(args.path)
+    if not path.exists():
+        return fail(f"{path} does not exist (run scripts/bench_speedup.py)")
+    try:
+        payload = json.loads(path.read_text())
+    except json.JSONDecodeError as error:
+        return fail(f"{path} is not valid JSON: {error}")
+
+    if not isinstance(payload, dict):
+        return fail("top level must be an object")
+    for field in ("suite", "smoke", "host_cpus", "entries"):
+        if field not in payload:
+            return fail(f"top level missing field {field!r}")
+    entries = payload["entries"]
+    if not isinstance(entries, list) or not entries:
+        return fail("entries must be a non-empty list")
+
+    problems = []
+    for i, entry in enumerate(entries):
+        problems.extend(check_entry(i, entry))
+    if problems:
+        for problem in problems:
+            print(f"check_bench: {problem}", file=sys.stderr)
+        return fail(f"{len(problems)} schema problem(s) in {path}")
+
+    by_name = {}
+    for entry in entries:
+        by_name.setdefault(entry["name"], []).append(entry)
+    for name, rows in sorted(by_name.items()):
+        baselines = [r for r in rows if r["workers"] is None]
+        if len(baselines) != 1:
+            return fail(f"benchmark {name!r} needs exactly one serial "
+                        f"baseline row, found {len(baselines)}")
+        expected = baselines[0]["evaluations"]
+        for row in rows:
+            if row["evaluations"] != expected:
+                return fail(
+                    f"benchmark {name!r} at workers={row['workers']} spent "
+                    f"{row['evaluations']} evaluations, the serial baseline "
+                    f"spent {expected} — parallel determinism regressed")
+
+    gated = [r for r in by_name.get(GATED_BENCHMARK, [])
+             if r["workers"] == GATED_WORKERS]
+    if not gated:
+        return fail(f"no workers={GATED_WORKERS} row for the gated "
+                    f"benchmark {GATED_BENCHMARK!r}")
+    speedup = gated[0]["speedup"]
+    if speedup < args.min_speedup:
+        return fail(
+            f"{GATED_BENCHMARK} at {GATED_WORKERS} workers reached only "
+            f"{speedup}x, below the {args.min_speedup}x gate — the "
+            f"parallel engine regressed")
+
+    print(f"check_bench: OK: {len(entries)} entries across "
+          f"{len(by_name)} benchmark(s); {GATED_BENCHMARK} at "
+          f"{GATED_WORKERS} workers = {speedup}x "
+          f"(gate {args.min_speedup}x)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

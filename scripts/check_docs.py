@@ -10,13 +10,15 @@ Checks, over README.md, DESIGN.md, EXPERIMENTS.md, and docs/*.md:
 * every wiki-style ``[[page]]`` link resolves to a markdown file in the
   repo root or ``docs/`` (with or without the ``.md`` suffix);
 * every backticked dotted module name (`` `repro.x.y` ``) mentioned in
-  ``docs/architecture.md`` exists under ``src/`` as a module or
-  package, so the architecture page cannot drift from the tree;
-* every backticked result file (`` `ext_foo.txt` `` or
-  ``benchmarks/results/...``) and every backticked ``scripts/*.py``
-  mentioned in ``EXPERIMENTS.md`` or ``docs/*.md`` exists, so the
-  experiments page cannot cite artifacts that were never generated
-  (``*`` globs must match at least one file).
+  ``docs/architecture.md`` or ``docs/parallelism.md`` exists under
+  ``src/`` as a module or package, so those pages cannot drift from
+  the tree;
+* every backticked result file (`` `ext_foo.txt` ``,
+  `` `BENCH_foo.json` `` or ``benchmarks/results/...``) and every
+  backticked ``scripts/*.py`` mentioned in ``EXPERIMENTS.md`` or
+  ``docs/*.md`` exists, so the experiments page cannot cite artifacts
+  that were never generated (``*`` globs must match at least one
+  file).
 
 Run directly (``python scripts/check_docs.py``) or through the test
 suite (``tests/docs/test_docs_lint.py``); exits non-zero and prints one
@@ -40,7 +42,8 @@ _WIKI_LINK = re.compile(r"\[\[([^\]|#]+)(?:#[^\]]*)?\]\]")
 _MODULE_REF = re.compile(r"`(repro(?:\.[A-Za-z_][A-Za-z_0-9]*)+)`")
 #: `` `name.txt` `` or `` `benchmarks/results/name.txt` `` — a claimed
 #: benchmark artifact; `` `scripts/name.py` `` — a claimed script.
-_RESULT_REF = re.compile(r"`(?:benchmarks/results/)?([A-Za-z0-9_*]+\.txt)`")
+_RESULT_REF = re.compile(
+    r"`(?:benchmarks/results/)?([A-Za-z0-9_*]+\.(?:txt|json))`")
 _SCRIPT_REF = re.compile(r"`(scripts/[A-Za-z0-9_]+\.py)`")
 _EXTERNAL = ("http://", "https://", "mailto:")
 
@@ -96,24 +99,32 @@ def _check_artifact_refs(path: pathlib.Path, text: str,
                           f"script {rel}")
 
 
+#: Pages whose dotted `repro.*` mentions must exist under src/.
+_MODULE_CHECKED_PAGES = ("architecture.md", "parallelism.md")
+
+
 def _check_module_refs(errors: List[str]) -> None:
-    arch = REPO_ROOT / "docs" / "architecture.md"
-    if not arch.exists():
-        errors.append("docs/architecture.md is missing")
-        return
     src = REPO_ROOT / "src"
-    for match in _MODULE_REF.finditer(arch.read_text()):
-        dotted = match.group(1)
-        parts = dotted.split(".")
-        # A trailing CamelCase segment is a class reference; the module
-        # check applies to the dotted prefix.
-        while parts and not parts[-1].islower():
-            parts.pop()
-        rel = pathlib.Path(*parts)
-        if not ((src / rel).is_dir() and (src / rel / "__init__.py").exists()
-                or (src / rel.with_suffix(".py")).exists()):
-            errors.append(f"docs/architecture.md: module `{dotted}` "
-                          f"not found under src/")
+    for page in _MODULE_CHECKED_PAGES:
+        doc = REPO_ROOT / "docs" / page
+        if not doc.exists():
+            # Absence is caught by the markdown link check (every page
+            # here is linked from another doc); skipping keeps the
+            # checker usable against partial trees in tests.
+            continue
+        for match in _MODULE_REF.finditer(doc.read_text()):
+            dotted = match.group(1)
+            parts = dotted.split(".")
+            # A trailing CamelCase segment is a class reference; the
+            # module check applies to the dotted prefix.
+            while parts and not parts[-1].islower():
+                parts.pop()
+            rel = pathlib.Path(*parts)
+            if not ((src / rel).is_dir()
+                    and (src / rel / "__init__.py").exists()
+                    or (src / rel.with_suffix(".py")).exists()):
+                errors.append(f"docs/{page}: module `{dotted}` "
+                              f"not found under src/")
 
 
 def main() -> int:

@@ -58,13 +58,13 @@ from __future__ import annotations
 
 import itertools
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.calibration.runner import CalibrationRunner
 from repro.obs import metrics
 from repro.optimizer.params import OptimizerParameters
 from repro.util.errors import CalibrationError
-from repro.virt.resources import ResourceKind, ResourceVector
+from repro.virt.resources import ResourceVector
 
 #: Shares are quantized to this many decimals for cache keys.
 _KEY_DECIMALS = 4

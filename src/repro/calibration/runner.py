@@ -30,6 +30,22 @@ backoff on the *simulated* clock, and only when the retry budget is
 exhausted does the experiment fail with a permanent
 :class:`~repro.util.errors.CalibrationError` (see ``docs/robustness.md``).
 
+Batched trials
+--------------
+With an :class:`~repro.parallel.EvaluationEngine` attached (the
+``engine`` argument; the supervisor and the ``--workers`` CLI flag wire
+one in), each repetition's ``policy.trials`` trials run as one engine
+batch instead of a serial loop. Every trial is hermetic: it gets its
+own :meth:`~repro.faults.FaultInjector.fork_stream` fault stream and
+its own forked noise stream, both derived from the trial's label alone
+— so the faults, retries, and timings a trial observes are a function
+of its identity, never of which worker ran it, and an N-worker run is
+bit-identical to a 1-worker run. Retry backoff, retry counters, and
+injected-fault counts are computed inside the trial but *applied*
+serially in trial order by the coordinating thread, keeping every
+metric bit-identical too (see ``docs/parallelism.md``). Without an
+engine, the original sequential-stream code path runs unchanged.
+
 Observability: each :meth:`CalibrationRunner.calibrate` call opens a
 ``calibrate`` span (tagged with the allocation and protocol) and
 increments ``calibration.experiments``; every measured repetition
@@ -43,17 +59,17 @@ accumulate into ``sim.seconds`` (``source=backoff``).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, TypeVar
+from typing import TYPE_CHECKING, Callable, Dict, List, Optional, TypeVar
 
 from repro.calibration.solver import CalibrationSolution, solve_parameters
-from repro.faults.injector import FaultInjector
-from repro.faults.retry import RetryPolicy, robust_seconds
-from repro.obs import metrics
-from repro.obs.spans import span
 from repro.calibration.synthetic import CalibrationWorkbench
 from repro.engine.database import Database
 from repro.engine.plans import IndexScan, PlanNode, walk
 from repro.engine.trace import WorkTrace
+from repro.faults.injector import FaultInjector
+from repro.faults.retry import RetryPolicy, robust_seconds
+from repro.obs import metrics
+from repro.obs.spans import span
 from repro.optimizer.params import OptimizerParameters
 from repro.util.errors import (
     CalibrationError,
@@ -65,6 +81,9 @@ from repro.virt.machine import PhysicalMachine
 from repro.virt.perf import VMPerfModel
 from repro.virt.resources import ResourceVector
 from repro.virt.vm import VirtualMachine, VMConfig
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.parallel.engine import EvaluationEngine
 
 _T = TypeVar("_T")
 
@@ -81,6 +100,23 @@ class CalibrationMeasurement:
     design_row: List[float]
     measured_seconds: float
     trace: WorkTrace
+
+
+@dataclass
+class _TrialOutcome:
+    """One batched trial's result plus its deferred side effects.
+
+    A trial task must not touch shared state (the engine may run it in
+    any worker, or another process entirely), so everything the serial
+    path would have applied immediately — backoff seconds, retry
+    counts, injected-fault counts — comes back here and is applied by
+    the coordinating thread, serially, in trial order.
+    """
+
+    seconds: float
+    backoff_seconds: float = 0.0
+    retries: int = 0
+    fault_counts: Dict[str, int] = field(default_factory=dict)
 
 
 @dataclass
@@ -102,7 +138,8 @@ class CalibrationRunner:
                  method: str = "sequential",
                  noise_sigma: float = 0.0, seed: int = 1234,
                  injector: Optional[FaultInjector] = None,
-                 retry_policy: Optional[RetryPolicy] = None):
+                 retry_policy: Optional[RetryPolicy] = None,
+                 engine: Optional["EvaluationEngine"] = None):
         if method not in ("sequential", "lstsq"):
             raise CalibrationError(f"unknown calibration method {method!r}")
         self._machine = machine
@@ -112,6 +149,7 @@ class CalibrationRunner:
         self._rng = DeterministicRng(seed).fork("calibration-runner")
         self._injector = injector
         self._policy = retry_policy or RetryPolicy()
+        self._engine = engine
         #: Simulated seconds spent waiting in retry backoff.
         self.backoff_seconds_total = 0.0
         # The synthetic database is allocation-independent; build once
@@ -198,6 +236,78 @@ class CalibrationRunner:
 
         return self._with_retries("measurement", name, attempt_trial)
 
+    # -- batched trials ------------------------------------------------------
+
+    def _one_trial(self, vm: VirtualMachine, name: str, label: str,
+                   trace: WorkTrace) -> _TrialOutcome:
+        """One hermetic trial: forked streams, local retry accounting.
+
+        Runs inside an engine worker. The perf model is rebuilt around
+        the booted VM with a fault stream and noise stream forked from
+        *label*, so the trial's observations depend only on its label.
+        Transient faults retry up to the policy's budget with the
+        backoff accumulated locally; exhaustion escalates to the same
+        permanent :class:`CalibrationError` the serial path raises.
+        """
+        injector = (self._injector.fork_stream(label)
+                    if self._injector is not None else None)
+        noise_rng = (self._rng.fork(f"noise:{label}")
+                     if self._noise_sigma > 0 else None)
+        perf = VMPerfModel(vm, noise_rng=noise_rng,
+                           noise_sigma=self._noise_sigma, injector=injector)
+        policy = self._policy
+        deadline = policy.measurement_deadline_seconds
+        backoff_total = 0.0
+        retries = 0
+        for attempt in range(1, policy.max_attempts + 1):
+            try:
+                seconds = perf.elapsed(trace)
+                if seconds > deadline:
+                    raise MeasurementTimeout(
+                        f"measurement {name!r} took {seconds:.3g}s "
+                        f"simulated, past the {deadline:.3g}s deadline")
+            except MeasurementFault as fault:
+                if attempt >= policy.max_attempts:
+                    raise CalibrationError(
+                        f"measurement {name!r} failed after {attempt} "
+                        f"attempt(s): {fault}"
+                    ) from fault
+                backoff_total += policy.backoff_seconds(attempt)
+                retries += 1
+                continue
+            return _TrialOutcome(
+                seconds=seconds, backoff_seconds=backoff_total,
+                retries=retries,
+                fault_counts=(injector.drain_counts()
+                              if injector is not None else {}))
+        raise AssertionError("unreachable")  # pragma: no cover
+
+    def _batched_trials(self, vm: VirtualMachine, name: str, label_base: str,
+                        trace: WorkTrace) -> List[float]:
+        """All of a repetition's trials as one engine batch.
+
+        Labels enumerate the trials of this (query, repetition), so the
+        batch is a pure function of the measurement's identity; the
+        engine guarantees result order, so the list handed to the MAD
+        filter is bit-identical for every worker count. Deferred side
+        effects (backoff, retry and fault counters) are applied here,
+        serially, in trial order.
+        """
+        labels = [f"{label_base}:trial{t}"
+                  for t in range(self._policy.trials)]
+        outcomes = self._engine.map(
+            lambda label: self._one_trial(vm, name, label, trace), labels)
+        for outcome in outcomes:
+            if outcome.retries:
+                self.backoff_seconds_total += outcome.backoff_seconds
+                metrics.counter("resilience.retries",
+                                site="measurement").inc(outcome.retries)
+                metrics.counter("sim.seconds",
+                                source="backoff").inc(outcome.backoff_seconds)
+            for kind, count in sorted(outcome.fault_counts.items()):
+                metrics.counter("faults.injected", kind=kind).inc(count)
+        return [outcome.seconds for outcome in outcomes]
+
     def _measure(self, perf: VMPerfModel, name: str, build_plan,
                  report: CalibrationReport,
                  repetitions: int = 1) -> CalibrationMeasurement:
@@ -215,10 +325,14 @@ class CalibrationRunner:
         for repetition in range(repetitions):
             plan = build_plan(db)
             result = db.run_plan(plan)
-            trials = [
-                self._timed_trial(perf, name, result.trace)
-                for _trial in range(self._policy.trials)
-            ]
+            if self._engine is not None:
+                trials = self._batched_trials(
+                    perf.vm, name, f"{name}#{repetition}", result.trace)
+            else:
+                trials = [
+                    self._timed_trial(perf, name, result.trace)
+                    for _trial in range(self._policy.trials)
+                ]
             seconds, n_rejected = robust_seconds(
                 trials, self._policy.mad_threshold)
             if n_rejected:

@@ -30,7 +30,14 @@ from typing import Callable, Dict, List, Optional
 
 from repro.engine.database import Database
 from repro.engine.expr import BinaryOp, ColumnRef, Expr, LikeExpr, Literal, RowLayout
-from repro.engine.plans import Aggregate, AggFunc, AggSpec, IndexScan, PlanNode, SeqScan
+from repro.engine.plans import (
+    AggFunc,
+    Aggregate,
+    AggSpec,
+    IndexScan,
+    PlanNode,
+    SeqScan,
+)
 from repro.engine.schema import Column, ColumnType, TableSchema
 from repro.util.rng import DeterministicRng
 

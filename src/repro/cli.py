@@ -21,6 +21,12 @@ journal, producing a bit-identical design. Exit codes follow the
 contract in :func:`main`: 0 success, 2 usage, 3 permanent failure,
 4 stopped-early-but-resumable.
 
+``design``, ``chaos`` and ``resume`` accept ``--workers N`` (``0`` =
+one per CPU core) and ``--pool serial|thread|process``: cost-model
+evaluations and calibration trials then run through a batched
+:class:`~repro.parallel.EvaluationEngine`. Results are bit-identical
+for every worker count (see ``docs/parallelism.md``).
+
 Every command accepts ``--stats`` (print a run report of the counted
 work after the command's own output) and ``--stats-json PATH`` (write
 the same report as JSON). ``report`` runs a small end-to-end design and
@@ -39,15 +45,16 @@ from typing import List, Optional
 
 from repro import obs
 from repro.calibration import CalibrationCache, CalibrationRunner
-from repro.faults import NAMED_PLANS, FaultInjector, FaultPlan, RetryPolicy
 from repro.core import (
     MeasuredCostModel,
     OptimizerCostModel,
-    VirtualizationDesignProblem,
     VirtualizationDesigner,
+    VirtualizationDesignProblem,
     WorkloadSpec,
 )
+from repro.faults import NAMED_PLANS, FaultInjector, FaultPlan, RetryPolicy
 from repro.optimizer.whatif import WhatIfOptimizer
+from repro.parallel import POOL_KINDS, make_engine
 from repro.util.errors import (
     AdmissionError,
     AllocationError,
@@ -113,7 +120,13 @@ def cmd_design(args) -> int:
         machine=machine, specs=specs, controlled_resources=resources,
     )
     designer = VirtualizationDesigner(problem, OptimizerCostModel(cache))
-    design = designer.design(args.algorithm, grid=args.grid)
+    engine = make_engine(args.workers, args.pool)
+    try:
+        design = designer.design(args.algorithm, grid=args.grid,
+                                 engine=engine)
+    finally:
+        if engine is not None:
+            engine.close()
     print(design.summary())
     if args.validate:
         measured = MeasuredCostModel(machine, calibration=cache)
@@ -331,6 +344,7 @@ def _run_supervised(plan: FaultPlan, args, resume: bool) -> int:
         watchdog_probes=args.watchdog_probes,
         max_units=args.max_units,
         extra_meta={"scale": args.scale},
+        workers=args.workers, pool=args.pool,
     )
     run = supervisor.run(resume=resume)
     if not run.completed:
@@ -366,15 +380,22 @@ def cmd_chaos(args) -> int:
     if args.journal:
         return _run_supervised(plan, args, resume=False)
     problem = _chaos_problem(args.scale)
+    engine = make_engine(args.workers, args.pool)
     runner = CalibrationRunner(
         problem.machine,
         injector=FaultInjector(plan),
         retry_policy=RetryPolicy.resilient(),
+        engine=engine,
     )
     cache = CalibrationCache(runner)
     designer = VirtualizationDesigner(problem, OptimizerCostModel(cache))
-    design = designer.design(args.algorithm, grid=args.grid,
-                             max_evaluations=args.max_evaluations)
+    try:
+        design = designer.design(args.algorithm, grid=args.grid,
+                                 max_evaluations=args.max_evaluations,
+                                 engine=engine)
+    finally:
+        if engine is not None:
+            engine.close()
     print(design.summary())
     print()
     _print_chaos_outcome(plan, cache)
@@ -399,6 +420,11 @@ def cmd_resume(args) -> int:
     args.grid = int(meta.get("grid", 4))
     args.watchdog_probes = int(meta.get("watchdog_probes", 0))
     args.max_evaluations = None
+    if args.workers is None and meta.get("workers") is not None:
+        # Default to the original run's worker count; --workers N
+        # overrides it, which is legitimate because results are
+        # bit-identical across worker counts.
+        args.workers = int(meta["workers"])
     print(f"Resuming {args.journal} (plan {plan.name!r}, "
           f"{args.algorithm}, grid {args.grid}) ...", file=sys.stderr)
     return _run_supervised(plan, args, resume=True)
@@ -436,6 +462,17 @@ def build_parser() -> argparse.ArgumentParser:
         "--stats-json", metavar="PATH",
         help="also write the run report as JSON to PATH")
 
+    # Shared by the evaluation-heavy subcommands: parallel fan-out.
+    parallel_parent = argparse.ArgumentParser(add_help=False)
+    parallel_parent.add_argument(
+        "--workers", type=int, default=None, metavar="N",
+        help="run cost evaluations and calibration trials through the "
+             "batched evaluation engine with N workers (0 = one per CPU "
+             "core; results are bit-identical for every worker count)")
+    parallel_parent.add_argument(
+        "--pool", default="thread", choices=list(POOL_KINDS),
+        help="worker pool kind for --workers (default thread)")
+
     subparsers = parser.add_subparsers(dest="command", required=True)
 
     calibrate = subparsers.add_parser(
@@ -447,7 +484,7 @@ def build_parser() -> argparse.ArgumentParser:
     calibrate.set_defaults(func=cmd_calibrate)
 
     design = subparsers.add_parser(
-        "design", parents=[stats_parent],
+        "design", parents=[stats_parent, parallel_parent],
         help="solve the paper's two-workload design problem")
     design.add_argument("--scale", type=float, default=0.01,
                         help="TPC-H scale factor (default 0.01)")
@@ -495,7 +532,7 @@ def build_parser() -> argparse.ArgumentParser:
     report.set_defaults(func=cmd_report)
 
     chaos = subparsers.add_parser(
-        "chaos", parents=[stats_parent],
+        "chaos", parents=[stats_parent, parallel_parent],
         help="run a design under a fault plan and print a resilience summary")
     chaos.add_argument("--plan", default="noisy", choices=sorted(NAMED_PLANS),
                        help="named fault plan (default noisy)")
@@ -536,7 +573,7 @@ def build_parser() -> argparse.ArgumentParser:
     chaos.set_defaults(func=cmd_chaos)
 
     resume = subparsers.add_parser(
-        "resume", parents=[stats_parent],
+        "resume", parents=[stats_parent, parallel_parent],
         help="resume a killed journaled chaos run, bit-identically")
     resume.add_argument("journal", help="journal file written by "
                                         "'repro chaos --journal'")

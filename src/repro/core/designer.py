@@ -9,14 +9,17 @@ baseline, and can be applied to a :class:`VirtualMachineMonitor`.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, Optional, Union
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Dict, Optional, Union
 
 from repro.core.cost_model import CostModel
 from repro.core.problem import AllocationMatrix, VirtualizationDesignProblem
 from repro.core.search import SearchAlgorithm, SearchResult, make_algorithm
-from repro.core.slo import SloPolicy, SloCostModel
+from repro.core.slo import SloCostModel, SloPolicy
 from repro.virt.monitor import VirtualMachineMonitor
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.parallel.engine import EvaluationEngine
 
 
 @dataclass
@@ -112,17 +115,21 @@ class VirtualizationDesigner:
 
     def design(self, algorithm: Union[str, SearchAlgorithm] = "exhaustive",
                grid: int = 4, max_evaluations: Optional[int] = None,
-               deadline_seconds: Optional[float] = None) -> Design:
+               deadline_seconds: Optional[float] = None,
+               engine: Optional["EvaluationEngine"] = None) -> Design:
         """Search for the best allocation of the controlled resources.
 
         *max_evaluations* / *deadline_seconds* bound the search when the
-        cost model may be degraded (see ``docs/robustness.md``); they
-        apply only when *algorithm* is given by name.
+        cost model may be degraded (see ``docs/robustness.md``); with an
+        *engine* the search runs its batched strategy (see
+        ``docs/parallelism.md``). Both apply only when *algorithm* is
+        given by name.
         """
         if isinstance(algorithm, str):
             algorithm = make_algorithm(algorithm, grid,
                                        max_evaluations=max_evaluations,
-                                       deadline_seconds=deadline_seconds)
+                                       deadline_seconds=deadline_seconds,
+                                       engine=engine)
         result: SearchResult = algorithm.search(self._problem, self._cost_model)
 
         default = self._problem.default_allocation()

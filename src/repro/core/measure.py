@@ -13,9 +13,9 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import List, Optional
 
-from repro.faults.injector import FaultInjector
 from repro.engine.database import Database
 from repro.engine.trace import WorkTrace
+from repro.faults.injector import FaultInjector
 from repro.obs import metrics
 from repro.obs.spans import span
 from repro.optimizer.params import OptimizerParameters

@@ -28,8 +28,7 @@ from typing import Dict, List, Mapping, Optional
 from repro.engine.database import Database
 from repro.util.errors import AllocationError
 from repro.virt.monitor import VirtualMachineMonitor
-from repro.virt.resources import ResourceKind, ResourceVector
-from repro.virt.vm import MIN_GUEST_MEMORY_MIB
+from repro.virt.resources import ResourceKind
 
 #: No guest's memory share may fall below this fraction of the host.
 DEFAULT_MIN_SHARE = 0.10

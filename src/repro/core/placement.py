@@ -19,7 +19,7 @@ workload can cost differently on different hardware.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.core.cost_model import CostModel
@@ -28,7 +28,7 @@ from repro.core.problem import VirtualizationDesignProblem, WorkloadSpec
 from repro.util.errors import AllocationError
 from repro.virt.machine import PhysicalMachine
 from repro.virt.monitor import VirtualMachineMonitor
-from repro.virt.resources import ResourceKind, ResourceVector
+from repro.virt.resources import ResourceKind
 
 #: Relocation rounds are capped; each round tries every (workload,
 #: machine) move, so convergence is fast in practice.

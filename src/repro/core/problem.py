@@ -11,16 +11,16 @@ minimize ``sum_i Cost(W_i, R_i)``.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+from typing import Dict, Iterable, List, Mapping, Sequence, Tuple
 
 from repro.engine.database import Database
 from repro.util.errors import AllocationError
 from repro.virt.machine import PhysicalMachine
 from repro.virt.resources import (
     ALL_RESOURCES,
+    SHARE_EPSILON,
     ResourceKind,
     ResourceVector,
-    SHARE_EPSILON,
     equal_share,
 )
 from repro.workloads.workload import Workload

@@ -37,7 +37,26 @@ When either trips, the search stops early and returns the best
 allocation found so far (the dynamic program falls back to equal
 shares when it has no complete solution yet); ``SearchResult.stopped``
 records that, and the ``search.budget_stops`` counter (labelled
-``algorithm=<name>``) makes it visible in run reports.
+``algorithm=<name>``) makes it visible in run reports. Budget spend is
+accounted from the fresh-evaluation counts the batch API returns —
+never by diffing ``CostModel.evaluations``, which misattributes spend
+when two searches interleave on a shared model.
+
+Batched evaluation
+------------------
+With an :class:`~repro.parallel.EvaluationEngine` attached (the
+``engine`` argument, ``--workers N`` on the CLI) each algorithm
+switches to a batched strategy built on
+:meth:`~repro.core.cost_model.CostModel.cost_many`: greedy evaluates
+its whole single-unit-move frontier per step in one batch, exhaustive
+and dynamic-programming chunk their enumerations into
+budget-capped batches (at most :data:`BATCH_TARGET` pairs each), and
+evaluation budgets are re-checked at every batch boundary — an
+in-flight batch always completes (see ``docs/parallelism.md``).
+Batch boundaries are a function of the problem and budget alone, never
+of the worker count, so a 4-worker run is bit-identical to a 1-worker
+run. Without an engine the original unbatched code path runs,
+unchanged.
 
 Observability
 -------------
@@ -60,15 +79,33 @@ import math
 import time
 from abc import ABC, abstractmethod
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+from typing import (
+    TYPE_CHECKING,
+    Dict,
+    Iterable,
+    Iterator,
+    List,
+    Optional,
+    Tuple,
+)
 
 from repro.core.cost_model import CostModel
+from repro.core.problem import AllocationMatrix, VirtualizationDesignProblem
 from repro.obs import metrics
 from repro.obs.spans import span
-from repro.core.problem import AllocationMatrix, VirtualizationDesignProblem
 from repro.util.errors import AllocationError
 from repro.virt.resources import ALL_RESOURCES, ResourceKind, ResourceVector
 from repro.virt.vm import MIN_GUEST_MEMORY_MIB
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.parallel.engine import EvaluationEngine
+
+#: Upper bound on the pairs per ``cost_many`` batch in the batched
+#: search strategies. Deliberately independent of the engine's worker
+#: count: batch boundaries decide where budgets are checked, and those
+#: decisions must be identical for every worker count for parallel and
+#: serial runs to be bit-identical.
+BATCH_TARGET = 256
 
 
 @dataclass
@@ -86,26 +123,52 @@ class SearchResult:
 
 
 class _Budget:
-    """Tracks one search's evaluation/deadline budget."""
+    """Tracks one search's evaluation/deadline budget.
 
-    def __init__(self, algorithm: str, cost_model: CostModel,
+    Spend is reported explicitly by the search (the ``fresh`` counts
+    its batches paid for) via :meth:`add`, so two searches interleaving
+    on one shared cost model each account only their own work.
+    """
+
+    def __init__(self, algorithm: str,
                  max_evaluations: Optional[int],
                  deadline_seconds: Optional[float]):
         self._algorithm = algorithm
-        self._cost_model = cost_model
-        self._start_evaluations = cost_model.evaluations
         self._max_evaluations = max_evaluations
         self._deadline_seconds = deadline_seconds
         self._started = time.monotonic()
+        self.spent = 0
         self.stopped = False
+
+    def add(self, fresh: int) -> None:
+        """Record *fresh* uncached evaluations spent by this search."""
+        self.spent += fresh
+
+    def remaining(self) -> Optional[int]:
+        """Evaluations left before the budget trips (None = unbounded)."""
+        if self._max_evaluations is None:
+            return None
+        return max(0, self._max_evaluations - self.spent)
+
+    def cap(self, target: int, floor: int = 1) -> int:
+        """Batch-size cap: *target* pairs, but never past the budget.
+
+        The floor keeps forward progress — the first unit of work (one
+        full allocation, one DP option) is always evaluated whole, the
+        same overshoot-by-at-most-one-unit the unbatched strategies
+        have always had.
+        """
+        remaining = self.remaining()
+        if remaining is None:
+            return target
+        return max(floor, min(target, remaining))
 
     def exhausted(self) -> bool:
         """Whether the budget has tripped (counts the first trip)."""
         if self.stopped:
             return True
-        spent = self._cost_model.evaluations - self._start_evaluations
         if (self._max_evaluations is not None
-                and spent >= self._max_evaluations):
+                and self.spent >= self._max_evaluations):
             self._trip()
         elif (self._deadline_seconds is not None
                 and time.monotonic() - self._started >= self._deadline_seconds):
@@ -140,7 +203,8 @@ class SearchAlgorithm(ABC):
 
     def __init__(self, grid: int = 4,
                  max_evaluations: Optional[int] = None,
-                 deadline_seconds: Optional[float] = None):
+                 deadline_seconds: Optional[float] = None,
+                 engine: Optional["EvaluationEngine"] = None):
         if grid < 1:
             raise AllocationError("grid must be at least 1")
         if max_evaluations is not None and max_evaluations < 1:
@@ -150,6 +214,7 @@ class SearchAlgorithm(ABC):
         self.grid = grid
         self.max_evaluations = max_evaluations
         self.deadline_seconds = deadline_seconds
+        self.engine = engine
 
     def search(self, problem: VirtualizationDesignProblem,
                cost_model: CostModel) -> SearchResult:
@@ -202,12 +267,24 @@ class SearchAlgorithm(ABC):
 
     def _evaluate(self, problem: VirtualizationDesignProblem,
                   cost_model: CostModel,
-                  matrix: AllocationMatrix) -> Tuple[float, Dict[str, float]]:
-        per_workload = {}
-        for spec in problem.specs:
-            per_workload[spec.name] = cost_model.cost(
-                spec, matrix.vector_for(spec.name)
-            )
+                  matrix: AllocationMatrix,
+                  budget: Optional[_Budget] = None
+                  ) -> Tuple[float, Dict[str, float]]:
+        """Cost one full allocation matrix (one pair per workload).
+
+        Goes through :meth:`CostModel.cost_many` so the fresh-evaluation
+        count lands in *budget* — the per-search accounting that stays
+        correct when several searches share one cost model.
+        """
+        pairs = [(spec, matrix.vector_for(spec.name))
+                 for spec in problem.specs]
+        outcome = cost_model.cost_many(pairs, engine=self.engine)
+        if budget is not None:
+            budget.add(outcome.fresh)
+        per_workload = {
+            spec.name: cost
+            for spec, cost in zip(problem.specs, outcome.costs)
+        }
         return sum(per_workload.values()), per_workload
 
     def _equal_units(self, problem: VirtualizationDesignProblem
@@ -235,16 +312,21 @@ class SearchAlgorithm(ABC):
                 )
         return units_by_name
 
-    def _budget(self, cost_model: CostModel) -> _Budget:
-        return _Budget(self.name, cost_model, self.max_evaluations,
+    def _budget(self) -> _Budget:
+        return _Budget(self.name, self.max_evaluations,
                        self.deadline_seconds)
 
     def _finish(self, problem: VirtualizationDesignProblem,
                 cost_model: CostModel,
                 units_by_name: Dict[str, Dict[ResourceKind, int]],
-                evaluations: int, stopped: bool = False) -> SearchResult:
+                budget: _Budget, stopped: bool = False) -> SearchResult:
         matrix = self._matrix(problem, units_by_name)
-        total, per_workload = self._evaluate(problem, cost_model, matrix)
+        # The final evaluation is usually all memo hits, but a search
+        # that degraded to a fallback allocation pays for it here — the
+        # budget keeps the complete spend either way.
+        total, per_workload = self._evaluate(problem, cost_model, matrix,
+                                             budget)
+        evaluations = budget.spent
         metrics.counter("search.runs", algorithm=self.name).inc()
         metrics.counter("search.evaluations", algorithm=self.name).inc(evaluations)
         return SearchResult(
@@ -264,23 +346,37 @@ class ExhaustiveSearch(SearchAlgorithm):
         names = problem.workload_names()
         n = len(names)
         resources = list(problem.controlled_resources)
-        before = cost_model.evaluations
-        budget = self._budget(cost_model)
-
-        best_units: Optional[Dict[str, Dict[ResourceKind, int]]] = None
-        best_cost = float("inf")
+        budget = self._budget()
         splits_per_resource = [
             list(compositions(self.grid, n,
                               minimum=self._min_units(problem, kind)))
             for kind in resources
         ]
+        if self.engine is not None:
+            best_units = self._enumerate_batched(
+                problem, cost_model, budget, names, resources,
+                splits_per_resource)
+        else:
+            best_units = self._enumerate_serial(
+                problem, cost_model, budget, names, resources,
+                splits_per_resource)
+        if best_units is None:
+            raise AllocationError("no feasible allocation for this grid")
+        return self._finish(problem, cost_model, best_units,
+                            budget, stopped=budget.stopped)
+
+    def _enumerate_serial(self, problem, cost_model, budget, names,
+                          resources, splits_per_resource):
+        """Unbatched reference enumeration: one matrix at a time."""
+        best_units: Optional[Dict[str, Dict[ResourceKind, int]]] = None
+        best_cost = float("inf")
         for combo in itertools.product(*splits_per_resource):
             units_by_name = {
                 name: {kind: combo[r][i] for r, kind in enumerate(resources)}
                 for i, name in enumerate(names)
             }
             matrix = self._matrix(problem, units_by_name)
-            total, _per = self._evaluate(problem, cost_model, matrix)
+            total, _per = self._evaluate(problem, cost_model, matrix, budget)
             if total < best_cost:
                 best_cost = total
                 best_units = units_by_name
@@ -288,12 +384,75 @@ class ExhaustiveSearch(SearchAlgorithm):
             # budget still yields one feasible candidate.
             if budget.exhausted():
                 break
-        if best_units is None:
-            raise AllocationError("no feasible allocation for this grid")
-        result = self._finish(problem, cost_model, best_units,
-                              cost_model.evaluations - before,
-                              stopped=budget.stopped)
-        return result
+        return best_units
+
+    def _enumerate_batched(self, problem, cost_model, budget, names,
+                           resources, splits_per_resource):
+        """Chunked enumeration exploiting the separable objective.
+
+        The objective sums per-workload terms, and each workload's term
+        depends only on its own unit choice — so the enumeration costs
+        each distinct ``(workload, choice)`` pair once (in first-
+        appearance order, through one ``cost_many`` batch per chunk)
+        and scores every combination with plain float sums. Chunks are
+        cut when they would need more than the budget-capped
+        :data:`BATCH_TARGET` uncosted pairs; the floor of one full
+        combination preserves the serial guarantee that even an
+        instantly exhausted budget yields one feasible candidate.
+        Chunk boundaries depend on the problem and budget alone, never
+        the worker count.
+        """
+        n = len(names)
+        local: Dict[Tuple[int, Tuple[int, ...]], float] = {}
+        best_units: Optional[Dict[str, Dict[ResourceKind, int]]] = None
+        best_cost = float("inf")
+        combo_iter = itertools.product(*splits_per_resource)
+        done = False
+        while not done:
+            chunk: List[tuple] = []
+            pending: List[Tuple[int, Tuple[int, ...]]] = []
+            pending_set = set()
+            cap = budget.cap(BATCH_TARGET, floor=n)
+            for combo in combo_iter:
+                chunk.append(combo)
+                for i in range(n):
+                    choice = tuple(combo[r][i] for r in range(len(resources)))
+                    key = (i, choice)
+                    if key not in local and key not in pending_set:
+                        pending_set.add(key)
+                        pending.append(key)
+                if len(pending) >= cap:
+                    break
+            else:
+                done = True
+            if not chunk:
+                break
+            if pending:
+                pairs = []
+                for i, choice in pending:
+                    units = {kind: choice[r]
+                             for r, kind in enumerate(resources)}
+                    pairs.append((problem.spec(names[i]),
+                                  self._vector(problem, names[i], units)))
+                outcome = cost_model.cost_many(pairs, engine=self.engine)
+                budget.add(outcome.fresh)
+                for key, value in zip(pending, outcome.costs):
+                    local[key] = value
+            for combo in chunk:
+                total = 0.0
+                for i in range(n):
+                    choice = tuple(combo[r][i] for r in range(len(resources)))
+                    total += local[(i, choice)]
+                if total < best_cost:
+                    best_cost = total
+                    best_units = {
+                        names[i]: {kind: combo[r][i]
+                                   for r, kind in enumerate(resources)}
+                        for i in range(n)
+                    }
+            if budget.exhausted():
+                done = True
+        return best_units
 
 
 class GreedySearch(SearchAlgorithm):
@@ -304,51 +463,97 @@ class GreedySearch(SearchAlgorithm):
     def _search(self, problem: VirtualizationDesignProblem,
                 cost_model: CostModel) -> SearchResult:
         names = problem.workload_names()
-        before = cost_model.evaluations
-        budget = self._budget(cost_model)
+        budget = self._budget()
         units_by_name = self._equal_units(problem)
 
         matrix = self._matrix(problem, units_by_name)
-        current_cost, _ = self._evaluate(problem, cost_model, matrix)
+        current_cost, _ = self._evaluate(problem, cost_model, matrix, budget)
 
         improved = True
         while improved and not budget.exhausted():
             improved = False
-            best_move = None
-            best_cost = current_cost
-            for kind in problem.controlled_resources:
-                min_units = self._min_units(problem, kind)
-                for donor in names:
-                    if units_by_name[donor][kind] <= min_units:
-                        continue
-                    for recipient in names:
-                        if recipient == donor:
-                            continue
-                        candidate = {
-                            name: dict(units) for name, units in units_by_name.items()
-                        }
-                        candidate[donor][kind] -= 1
-                        candidate[recipient][kind] += 1
-                        total, _ = self._evaluate(
-                            problem, cost_model, self._matrix(problem, candidate)
-                        )
-                        if total < best_cost - 1e-12:
-                            best_cost = total
-                            best_move = candidate
-                        if budget.exhausted():
-                            break
-                    if budget.stopped:
-                        break
-                if budget.stopped:
-                    break
+            if self.engine is not None:
+                best_move, best_cost = self._best_move_batched(
+                    problem, cost_model, budget, names, units_by_name,
+                    current_cost)
+            else:
+                best_move, best_cost = self._best_move_serial(
+                    problem, cost_model, budget, names, units_by_name,
+                    current_cost)
             if best_move is not None:
                 units_by_name = best_move
                 current_cost = best_cost
                 improved = True
 
         return self._finish(problem, cost_model, units_by_name,
-                            cost_model.evaluations - before,
-                            stopped=budget.stopped)
+                            budget, stopped=budget.stopped)
+
+    def _moves(self, problem: VirtualizationDesignProblem, names,
+               units_by_name) -> Iterator[Dict[str, Dict[ResourceKind, int]]]:
+        """The single-unit-move frontier, in deterministic order."""
+        for kind in problem.controlled_resources:
+            min_units = self._min_units(problem, kind)
+            for donor in names:
+                if units_by_name[donor][kind] <= min_units:
+                    continue
+                for recipient in names:
+                    if recipient == donor:
+                        continue
+                    candidate = {
+                        name: dict(units)
+                        for name, units in units_by_name.items()
+                    }
+                    candidate[donor][kind] -= 1
+                    candidate[recipient][kind] += 1
+                    yield candidate
+
+    def _best_move_serial(self, problem, cost_model, budget, names,
+                          units_by_name, current_cost):
+        """Unbatched reference: probe moves one at a time."""
+        best_move = None
+        best_cost = current_cost
+        for candidate in self._moves(problem, names, units_by_name):
+            total, _ = self._evaluate(
+                problem, cost_model, self._matrix(problem, candidate),
+                budget,
+            )
+            if total < best_cost - 1e-12:
+                best_cost = total
+                best_move = candidate
+            if budget.exhausted():
+                break
+        return best_move, best_cost
+
+    def _best_move_batched(self, problem, cost_model, budget, names,
+                           units_by_name, current_cost):
+        """Evaluate the whole move frontier in one ``cost_many`` batch.
+
+        The frontier of one greedy step is a single in-flight batch:
+        the budget is re-checked at the step boundary, never inside it.
+        Candidate scoring (same strictly-better-by-1e-12 rule, same
+        frontier order) is unchanged from the serial path.
+        """
+        candidates = list(self._moves(problem, names, units_by_name))
+        if not candidates:
+            return None, current_cost
+        specs = list(problem.specs)
+        pairs = []
+        for candidate in candidates:
+            matrix = self._matrix(problem, candidate)
+            for spec in specs:
+                pairs.append((spec, matrix.vector_for(spec.name)))
+        outcome = cost_model.cost_many(pairs, engine=self.engine)
+        budget.add(outcome.fresh)
+        best_move = None
+        best_cost = current_cost
+        n = len(specs)
+        for j, candidate in enumerate(candidates):
+            total = sum(outcome.costs[j * n:(j + 1) * n])
+            if total < best_cost - 1e-12:
+                best_cost = total
+                best_move = candidate
+        budget.exhausted()
+        return best_move, best_cost
 
 
 class DynamicProgrammingSearch(SearchAlgorithm):
@@ -361,9 +566,12 @@ class DynamicProgrammingSearch(SearchAlgorithm):
         names = problem.workload_names()
         n = len(names)
         resources = list(problem.controlled_resources)
-        before = cost_model.evaluations
-        budget = self._budget(cost_model)
+        budget = self._budget()
         memo: Dict[Tuple[int, Tuple[int, ...]], Tuple[float, Optional[tuple]]] = {}
+        #: Per-(workload, choice) option costs — the DP's own view of the
+        #: cost surface, filled in budget-capped batches when an engine
+        #: is attached, one singleton batch at a time otherwise.
+        local: Dict[Tuple[int, Tuple[int, ...]], float] = {}
 
         min_units = [self._min_units(problem, kind) for kind in resources]
 
@@ -382,20 +590,54 @@ class DynamicProgrammingSearch(SearchAlgorithm):
                     ranges.append(list(range(min_units[r], high + 1)))
             yield from itertools.product(*ranges)
 
+        def pair_for(i: int, choice: Tuple[int, ...]):
+            units = {kind: choice[r] for r, kind in enumerate(resources)}
+            return (problem.spec(names[i]),
+                    self._vector(problem, names[i], units))
+
+        def fill_local(i: int, choices: List[Tuple[int, ...]]) -> None:
+            """Cost this state's uncached options in capped batches.
+
+            Fills ``local`` as a prefix of the option order, so a budget
+            trip mid-state leaves exactly the options the serial path
+            would have seen.
+            """
+            missing = [choice for choice in choices
+                       if (i, choice) not in local]
+            pos = 0
+            while pos < len(missing) and not budget.exhausted():
+                cap = budget.cap(BATCH_TARGET)
+                part = missing[pos:pos + cap]
+                pos += len(part)
+                outcome = cost_model.cost_many(
+                    [pair_for(i, choice) for choice in part],
+                    engine=self.engine)
+                budget.add(outcome.fresh)
+                for choice, value in zip(part, outcome.costs):
+                    local[(i, choice)] = value
+
         def solve(i: int, remaining: Tuple[int, ...]) -> Tuple[float, Optional[tuple]]:
             if i == n:
                 return (0.0, None) if all(r == 0 for r in remaining) else (float("inf"), None)
             key = (i, remaining)
             if key in memo:
                 return memo[key]
-            spec = problem.spec(names[i])
             best = (float("inf"), None)
-            for choice in options(i, remaining):
-                if budget.exhausted():
-                    break  # keep whatever this state has seen so far
-                units = {kind: choice[r] for r, kind in enumerate(resources)}
-                vector = self._vector(problem, names[i], units)
-                here = cost_model.cost(spec, vector)
+            choices = list(options(i, remaining))
+            if self.engine is not None:
+                fill_local(i, choices)
+            for choice in choices:
+                if self.engine is None:
+                    if budget.exhausted():
+                        break  # keep whatever this state has seen so far
+                    if (i, choice) not in local:
+                        outcome = cost_model.cost_many(
+                            [pair_for(i, choice)], engine=self.engine)
+                        budget.add(outcome.fresh)
+                        local[(i, choice)] = outcome.costs[0]
+                elif (i, choice) not in local:
+                    break  # budget tripped before this option was costed
+                here = local[(i, choice)]
                 rest, _ = solve(
                     i + 1,
                     tuple(rem - c for rem, c in zip(remaining, choice)),
@@ -414,8 +656,7 @@ class DynamicProgrammingSearch(SearchAlgorithm):
                 # assembled; degrade to the equal-share starting point.
                 return self._finish(problem, cost_model,
                                     self._equal_units(problem),
-                                    cost_model.evaluations - before,
-                                    stopped=True)
+                                    budget, stopped=True)
             raise AllocationError("no feasible allocation for this grid")
 
         # Reconstruct the chosen allocation.
@@ -430,8 +671,7 @@ class DynamicProgrammingSearch(SearchAlgorithm):
             remaining = tuple(rem - c for rem, c in zip(remaining, choice))
 
         return self._finish(problem, cost_model, units_by_name,
-                            cost_model.evaluations - before,
-                            stopped=budget.stopped)
+                            budget, stopped=budget.stopped)
 
 
 ALGORITHMS = {
@@ -443,11 +683,13 @@ ALGORITHMS = {
 
 def make_algorithm(name: str, grid: int,
                    max_evaluations: Optional[int] = None,
-                   deadline_seconds: Optional[float] = None) -> SearchAlgorithm:
+                   deadline_seconds: Optional[float] = None,
+                   engine: Optional["EvaluationEngine"] = None) -> SearchAlgorithm:
     """Instantiate a search algorithm by name."""
     try:
         return ALGORITHMS[name](grid=grid, max_evaluations=max_evaluations,
-                                deadline_seconds=deadline_seconds)
+                                deadline_seconds=deadline_seconds,
+                                engine=engine)
     except KeyError:
         raise AllocationError(
             f"unknown search algorithm {name!r}; available: {sorted(ALGORITHMS)}"

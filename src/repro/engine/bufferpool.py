@@ -16,7 +16,7 @@ capture.
 
 from __future__ import annotations
 
-from typing import Dict, Optional, Tuple
+from typing import Dict, Tuple
 
 from repro.engine.trace import WorkTrace
 from repro.util.errors import StorageError

@@ -11,7 +11,7 @@ out must be tuned together.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import List, Optional, Sequence
 
 from repro.engine.bufferpool import BufferPool
@@ -20,7 +20,6 @@ from repro.engine.executor import ExecutionContext, Executor
 from repro.engine.plans import PlanNode
 from repro.engine.schema import TableSchema
 from repro.engine.trace import WorkTrace
-from repro.engine.types import Value
 
 #: Fraction of database memory given to the buffer pool; the rest backs
 #: per-query sort/hash work memory.

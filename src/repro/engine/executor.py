@@ -16,15 +16,14 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional
 
 from repro.engine.bufferpool import BufferPool
 from repro.engine.catalog import Catalog
 from repro.engine.expr import EvalContext, Expr
 from repro.engine.plans import (
-    Aggregate,
     AggFunc,
-    AggSpec,
+    Aggregate,
     Filter,
     HashJoin,
     IndexScan,

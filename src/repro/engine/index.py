@@ -11,7 +11,7 @@ lookups, and ordered range scans over the leaf chain.
 from __future__ import annotations
 
 import itertools
-from bisect import bisect_left, bisect_right, insort
+from bisect import bisect_left, bisect_right
 from typing import Iterable, Iterator, List, Optional, Tuple
 
 from repro.engine.storage import RecordId

@@ -39,7 +39,7 @@ from repro.engine.expr import (
 )
 from repro.engine.plans import AggFunc, AggSpec, JoinType, SortKey
 from repro.engine.sql import ast
-from repro.engine.types import Date, Value
+from repro.engine.types import Date
 from repro.util.errors import SqlError
 
 _derived_ids = itertools.count(1)

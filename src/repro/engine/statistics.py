@@ -15,7 +15,7 @@ from collections import Counter
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
-from repro.engine.schema import ColumnType, TableSchema
+from repro.engine.schema import TableSchema
 from repro.engine.storage import HeapFile
 from repro.engine.types import Date, Value
 

@@ -17,7 +17,7 @@ hardware.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 # -- CPU unit schedule --------------------------------------------------
 # One "unit" is an abstract quantum of CPU work; the physical machine is

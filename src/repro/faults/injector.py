@@ -35,11 +35,21 @@ unit's label, not on how many measurements ran before it — which is
 what lets a resumed run (that skips already-journaled units) observe
 bit-identical faults, and therefore produce bit-identical results, to
 an uninterrupted one. ``fail_first_n`` counts per unit in this mode.
+
+Per-stream forking for batched work
+-----------------------------------
+:meth:`fork_stream` extends the same idea below the unit level: it
+derives a child injector whose measurement stream depends only on the
+current unit context and the stream's label. Batched callers (the
+parallel calibration trials) give every concurrent task its own forked
+stream, so the faults a task observes are a function of the task's
+identity alone — never of which worker ran it or in what order — which
+is what makes an N-worker run bit-identical to a 1-worker run.
 """
 
 from __future__ import annotations
 
-from typing import Optional, Tuple
+from typing import Dict, Optional, Tuple
 
 from repro.faults.plan import FaultPlan
 from repro.obs import metrics
@@ -50,13 +60,26 @@ from repro.util.rng import DeterministicRng
 class FaultInjector:
     """Injects the failures a :class:`FaultPlan` describes."""
 
-    def __init__(self, plan: FaultPlan, per_unit: bool = False):
+    def __init__(self, plan: FaultPlan, per_unit: bool = False,
+                 buffer_counts: bool = False):
         self._plan = plan
         self._per_unit = per_unit
-        self._rng = DeterministicRng(plan.seed).fork(f"faults:{plan.name}")
+        #: Label of the measurement stream currently in force; children
+        #: forked with :meth:`fork_stream` extend it, so their streams
+        #: are scoped to the current unit.
+        self._context = f"faults:{plan.name}"
+        self._rng = DeterministicRng(plan.seed).fork(self._context)
         self._ops_rng = DeterministicRng(plan.seed).fork(
             f"faults:{plan.name}:ops")
         self._measurements = 0
+        #: With ``buffer_counts`` the injector accumulates fault counts
+        #: here instead of incrementing ``faults.injected`` directly —
+        #: how forked children stay metric-silent inside pool workers
+        #: (a forked process's increments would be lost; a thread's
+        #: would land in nondeterministic interleavings). The batching
+        #: caller drains the buffer into the metric serially.
+        self.fault_counts: Optional[Dict[str, int]] = (
+            {} if buffer_counts else None)
 
     @property
     def plan(self) -> FaultPlan:
@@ -86,9 +109,42 @@ class FaultInjector:
         """
         if not self._per_unit:
             return
-        self._rng = DeterministicRng(self._plan.seed).fork(
-            f"faults:{self._plan.name}:unit:{label}")
+        self._context = f"faults:{self._plan.name}:unit:{label}"
+        self._rng = DeterministicRng(self._plan.seed).fork(self._context)
         self._measurements = 0
+
+    def fork_stream(self, label: str) -> "FaultInjector":
+        """A child injector with its own independent measurement stream.
+
+        The child's stream is derived from the plan's seed, this
+        injector's current context (the unit label, in per-unit mode)
+        and *label* — never from how many measurements have already run.
+        Forking is pure: it does not advance this injector's streams,
+        so forking the same labels yields the same children regardless
+        of order or concurrency. The child shares the plan (and thus
+        ``is_dead`` allocations) but counts ``fail_first_n`` against
+        its own stream, and it *buffers* its fault counts
+        (:attr:`fault_counts`) instead of touching the metrics registry
+        — children are built to run inside pool workers, where direct
+        increments would be lost (forked processes) or interleave
+        nondeterministically (threads). Callers drain the buffer with
+        :meth:`drain_counts` from the coordinating thread.
+        """
+        child = FaultInjector(self._plan, per_unit=False, buffer_counts=True)
+        child._context = f"{self._context}:stream:{label}"
+        child._rng = DeterministicRng(self._plan.seed).fork(child._context)
+        return child
+
+    def drain_counts(self) -> Dict[str, int]:
+        """Take (and reset) the buffered fault counts of a forked child.
+
+        Returns an empty mapping for an unbuffered injector, whose
+        counts already went to the ``faults.injected`` metric.
+        """
+        if self.fault_counts is None:
+            return {}
+        counts, self.fault_counts = self.fault_counts, {}
+        return counts
 
     # -- injection sites ---------------------------------------------------
 
@@ -172,6 +228,8 @@ class FaultInjector:
             return False
         return self._ops_rng.uniform(0.0, 1.0) < rate
 
-    @staticmethod
-    def _count(kind: str) -> None:
-        metrics.counter("faults.injected", kind=kind).inc()
+    def _count(self, kind: str) -> None:
+        if self.fault_counts is not None:
+            self.fault_counts[kind] = self.fault_counts.get(kind, 0) + 1
+        else:
+            metrics.counter("faults.injected", kind=kind).inc()

@@ -54,7 +54,7 @@ from __future__ import annotations
 import threading
 import time
 from contextlib import contextmanager
-from typing import Dict, Iterator, List, Optional, Tuple
+from typing import Dict, Iterable, Iterator, List, Optional, Tuple
 
 from repro.util.errors import ObservabilityError
 
@@ -270,6 +270,35 @@ class MetricsRegistry:
             series.sort(key=lambda entry: (entry["name"],
                                            sorted(entry["labels"].items())))
         return out
+
+    def counter_state(self) -> Dict[Tuple[str, LabelsKey], float]:
+        """Point-in-time counter values, keyed by (name, labels).
+
+        The shape is designed for delta replay across process
+        boundaries (see :meth:`apply_counter_deltas`): keys are plain
+        picklable tuples, and subtracting two states yields the
+        increments that happened in between.
+        """
+        with self._lock:
+            return {key: instrument.value
+                    for key, instrument in self._instruments.items()
+                    if isinstance(instrument, Counter)}
+
+    def apply_counter_deltas(
+            self,
+            deltas: Iterable[Tuple[Tuple[str, LabelsKey], float]]) -> None:
+        """Replay counter increments captured in another process.
+
+        Forked pool workers mutate a copy-on-write clone of this
+        registry that the parent never sees; the evaluation engine has
+        each worker diff its :meth:`counter_state` around the task and
+        ship the increments back, and the coordinator replays them here
+        in task order — which is what keeps every counter bit-identical
+        between process-pool and serial runs.
+        """
+        for (name, labels_key), amount in deltas:
+            if amount > 0:
+                self.counter(name, **dict(labels_key)).inc(amount)
 
     def reset(self) -> None:
         """Drop every instrument (a fresh accounting period)."""

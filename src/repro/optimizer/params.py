@@ -15,7 +15,7 @@ kept so experiments can report comparable magnitudes.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, replace
 from typing import Dict
 
 

@@ -26,7 +26,6 @@ misses.
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass
 from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple
 
@@ -44,7 +43,6 @@ from repro.engine.expr import (
 )
 from repro.engine.plans import (
     Aggregate,
-    AggSpec,
     Filter,
     HashJoin,
     IndexScan,

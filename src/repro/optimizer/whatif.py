@@ -21,8 +21,8 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence
 
 from repro.engine.catalog import Catalog
-from repro.obs import metrics
 from repro.engine.plans import PlanNode
+from repro.obs import metrics
 from repro.optimizer.params import OptimizerParameters
 from repro.optimizer.planner import Planner
 

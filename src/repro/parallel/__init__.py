@@ -1,0 +1,13 @@
+"""Parallel evaluation engine (see ``docs/parallelism.md``)."""
+
+from repro.parallel.engine import (
+    POOL_KINDS,
+    EvaluationEngine,
+    make_engine,
+)
+
+__all__ = [
+    "POOL_KINDS",
+    "EvaluationEngine",
+    "make_engine",
+]

@@ -36,10 +36,16 @@ from typing import Any, Dict, List, Optional
 
 from repro.calibration.cache import CalibrationCache
 from repro.calibration.runner import CalibrationRunner
-from repro.core.cost_model import CostModel, OptimizerCostModel, memo_key
+from repro.core.cost_model import (
+    BatchOutcome,
+    CostModel,
+    OptimizerCostModel,
+    memo_key,
+)
 from repro.core.designer import Design, VirtualizationDesigner
 from repro.core.problem import VirtualizationDesignProblem
 from repro.faults import FaultInjector, FaultPlan, RetryPolicy
+from repro.parallel import make_engine
 from repro.recovery.journal import RunJournal
 from repro.util.errors import RecoveryError
 from repro.virt.health import HealthMonitor, RecoveryAction
@@ -105,6 +111,51 @@ class JournalingCostModel(CostModel):
         self.evaluations += 1
         return value
 
+    def cost_many(self, pairs, engine=None) -> BatchOutcome:
+        """Batched evaluation with per-result journaling.
+
+        Misses are computed through the inner model's batch API (which
+        may fan out over *engine*), then journaled one record per pair
+        in first-appearance order — so a kill mid-batch commits a
+        deterministic prefix and resume re-runs exactly the uncommitted
+        tail. ``fresh`` counts wrapper-memo misses, matching what
+        :meth:`cost` journals: a value the inner model happened to have
+        memoized but the journal never recorded still gets a record.
+        """
+        pairs = list(pairs)
+        keys = [memo_key(spec, allocation) for spec, allocation in pairs]
+        values: Dict[tuple, float] = {}
+        todo = []
+        todo_keys = []
+        pending = set()
+        for key, pair in zip(keys, pairs):
+            if key in values or key in pending:
+                continue
+            cached = self._memo.get(key)
+            if cached is not None:
+                values[key] = cached
+            else:
+                todo.append(pair)
+                todo_keys.append(key)
+                pending.add(key)
+        hits = len(pairs) - len(todo)
+        fresh = 0
+        if todo:
+            inner = self._inner.cost_many(todo, engine=engine)
+            for key, (spec, allocation), value in zip(todo_keys, todo,
+                                                      inner.costs):
+                self._journal.append("evaluation", {
+                    "workload": spec.name,
+                    "allocation": list(allocation.as_tuple()),
+                    "cost": value,
+                })
+                self._memo[key] = value
+                self.evaluations += 1
+                fresh += 1
+                values[key] = value
+        return BatchOutcome(costs=[values[key] for key in keys],
+                            fresh=fresh, hits=hits)
+
     def _cost(self, spec, allocation) -> float:  # pragma: no cover
         return self._inner.cost(spec, allocation)
 
@@ -136,7 +187,8 @@ class RunSupervisor:
                  watchdog_probes: int = 0,
                  max_units: Optional[int] = None,
                  extra_meta: Optional[Dict[str, Any]] = None,
-                 workbench=None):
+                 workbench=None,
+                 workers: Optional[int] = None, pool: str = "thread"):
         self._problem = problem
         self._journal_path = journal_path
         self._plan = plan or FaultPlan(name="none")
@@ -152,6 +204,13 @@ class RunSupervisor:
         #: the journal identity: the caller must supply the same one on
         #: resume, exactly as they must supply the same problem.
         self._workbench = workbench
+        #: Worker count / pool kind for the evaluation engine. Recorded
+        #: in the journal meta for observability but deliberately NOT
+        #: part of the journal identity: a run journaled at 4 workers is
+        #: bit-identical to one at 1 worker, so resuming with a
+        #: different count is legitimate (and tested).
+        self._workers = workers
+        self._pool = pool
         #: Populated by :meth:`run`; useful for parameter inspection.
         self.cache: Optional[CalibrationCache] = None
         self.health: Optional[HealthMonitor] = None
@@ -178,6 +237,7 @@ class RunSupervisor:
             "controlled": [str(kind) for kind
                            in self._problem.controlled_resources],
             "watchdog_probes": self._watchdog_probes,
+            "workers": self._workers,
         }
         meta.update(self._extra_meta)
         return meta
@@ -210,9 +270,11 @@ class RunSupervisor:
         budgeted = _BudgetedJournal(journal, self._max_units)
         injector = (None if self._plan.is_benign
                     else FaultInjector(self._plan, per_unit=True))
+        engine = make_engine(self._workers, self._pool)
         runner = CalibrationRunner(
             self._problem.machine, workbench=self._workbench,
-            injector=injector, retry_policy=self._retry_policy)
+            injector=injector, retry_policy=self._retry_policy,
+            engine=engine)
         cache = CalibrationCache(runner, journal=budgeted)
         cost_model = JournalingCostModel(OptimizerCostModel(cache), budgeted)
         self.cache = cache
@@ -224,12 +286,16 @@ class RunSupervisor:
             designer = VirtualizationDesigner(self._problem, cost_model)
             design = designer.design(
                 self._algorithm, grid=self._grid,
-                max_evaluations=self._max_evaluations)
+                max_evaluations=self._max_evaluations,
+                engine=engine)
             actions = self._deploy_and_watch(designer, design, injector)
         except _UnitBudgetExceeded:
             return SupervisedRun(design=None, completed=False,
                                  replayed_units=replayed,
                                  new_units=budgeted.new_units)
+        finally:
+            if engine is not None:
+                engine.close()
 
         if prior_result is None:
             journal.append("result", self._result_record(design, actions))

@@ -21,7 +21,7 @@ design's benefit survives when the hypervisor is work-conserving.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Mapping, Optional, Sequence
+from typing import Dict, List, Optional, Sequence
 
 from repro.engine.trace import WorkTrace
 from repro.util.errors import AllocationError

@@ -30,7 +30,6 @@ from dataclasses import asdict, dataclass
 from typing import Dict, List, Optional, Tuple
 
 from repro.obs import metrics
-from repro.util.errors import AdmissionError
 from repro.virt.monitor import VirtualMachineMonitor
 from repro.virt.resources import ALL_RESOURCES
 from repro.virt.vm import VMImage, VMState

@@ -15,10 +15,10 @@ in a familiar range; absolute values only need to be self-consistent.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.util.errors import AllocationError
-from repro.util.units import PAGE_SIZE, MIB
+from repro.util.units import MIB, PAGE_SIZE
 
 
 @dataclass(frozen=True)

@@ -14,9 +14,14 @@ from typing import Dict, Iterable, List, Mapping, Optional
 
 from repro.util.errors import AdmissionError, AllocationError
 from repro.virt.machine import PhysicalMachine
-from repro.virt.resources import ALL_RESOURCES, ResourceKind, ResourceVector, SHARE_EPSILON
+from repro.virt.resources import (
+    ALL_RESOURCES,
+    SHARE_EPSILON,
+    ResourceKind,
+    ResourceVector,
+)
 from repro.virt.scheduler import CreditScheduler
-from repro.virt.vm import VMConfig, VMImage, VirtualMachine, VMState
+from repro.virt.vm import VirtualMachine, VMConfig, VMImage, VMState
 
 
 class VirtualMachineMonitor:

@@ -13,7 +13,7 @@ from __future__ import annotations
 
 import copy
 import itertools
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, replace
 from enum import Enum
 from typing import Any, Optional
 

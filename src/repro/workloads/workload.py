@@ -9,11 +9,11 @@ differ in how they use resources.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Iterable, List, Sequence
 
 from repro.util.rng import DeterministicRng
-from repro.workloads.tpch_queries import QUERIES, tpch_query
+from repro.workloads.tpch_queries import tpch_query
 
 
 @dataclass(frozen=True)

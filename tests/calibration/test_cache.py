@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.calibration import CalibrationCache, CalibrationRunner
+from repro.calibration import CalibrationCache
 from repro.virt.resources import ResourceVector
 
 

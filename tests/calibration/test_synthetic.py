@@ -3,10 +3,10 @@
 import pytest
 
 from repro.calibration.synthetic import (
-    CalibrationWorkbench,
     HUGE_TABLE,
     SCAN_TABLES,
     SMALL_TABLE,
+    CalibrationWorkbench,
 )
 from repro.engine.plans import Aggregate, IndexScan, SeqScan, walk
 

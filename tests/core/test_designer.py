@@ -3,10 +3,8 @@
 import pytest
 
 from repro.core.designer import VirtualizationDesigner
-from repro.core.problem import VirtualizationDesignProblem, WorkloadSpec
 from repro.virt.machine import PhysicalMachine
 from repro.virt.monitor import VirtualMachineMonitor
-from repro.virt.resources import ResourceKind, ResourceVector
 from tests.core.test_search import SyntheticCostModel, make_problem
 
 WEIGHTS = {"cpu-hungry": (10.0, 1.0), "mem-hungry": (1.0, 10.0)}

@@ -4,7 +4,7 @@ import pytest
 
 from repro.core.designer import VirtualizationDesigner
 from repro.core.slo import ServiceLevelObjective, SloCostModel, SloPolicy
-from tests.core.test_search import SyntheticCostModel, make_problem
+from tests.core.test_search import make_problem
 
 WEIGHTS = {"gold": (10.0, 1.0), "batch": (10.0, 1.0)}
 

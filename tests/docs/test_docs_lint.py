@@ -8,7 +8,6 @@ rot. The script stays independently runnable
 
 import importlib.util
 import pathlib
-import sys
 
 REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent.parent
 SCRIPT = REPO_ROOT / "scripts" / "check_docs.py"

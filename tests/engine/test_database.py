@@ -4,9 +4,9 @@ import pytest
 
 from repro.engine.database import (
     BUFFER_POOL_FRACTION,
-    Database,
     MIN_BUFFER_POOL_PAGES,
     MIN_SORT_MEM_PAGES,
+    Database,
 )
 from tests.conftest import simple_schema
 

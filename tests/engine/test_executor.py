@@ -8,8 +8,8 @@ from repro.engine.database import Database
 from repro.engine.executor import ExecutionContext, Executor
 from repro.engine.expr import BinaryOp, ColumnRef, Literal, RowLayout
 from repro.engine.plans import (
-    Aggregate,
     AggFunc,
+    Aggregate,
     AggSpec,
     Filter,
     HashJoin,

@@ -1,11 +1,10 @@
 """Tests for physical plan node mechanics (layouts, explain, walking)."""
 
-import pytest
 
 from repro.engine.expr import BinaryOp, ColumnRef, Literal, RowLayout
 from repro.engine.plans import (
-    Aggregate,
     AggFunc,
+    Aggregate,
     AggSpec,
     Filter,
     HashJoin,

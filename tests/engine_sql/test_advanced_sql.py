@@ -4,7 +4,7 @@ aggregates, and OR-branch factoring."""
 import pytest
 
 from repro.engine.database import Database
-from repro.engine.expr import BinaryOp, ColumnRef, Literal, SubplanExpr
+from repro.engine.expr import BinaryOp, ColumnRef, Literal
 from repro.engine.plans import HashJoin, NestedLoopJoin, walk
 from repro.engine.schema import Column, ColumnType, TableSchema
 from repro.engine.sql.binder import _factor_or

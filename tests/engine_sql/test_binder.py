@@ -3,14 +3,13 @@
 import pytest
 
 from repro.engine.catalog import Catalog
-from repro.engine.expr import BinaryOp, ColumnRef, Literal
+from repro.engine.expr import ColumnRef, Literal
 from repro.engine.plans import AggFunc, JoinType
 from repro.engine.schema import Column, ColumnType, TableSchema
 from repro.engine.sql.binder import (
     Binder,
     LogicalDerived,
     LogicalJoin,
-    LogicalQuery,
     LogicalRelation,
 )
 from repro.engine.types import Date

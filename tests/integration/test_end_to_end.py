@@ -8,9 +8,9 @@ from repro import (
     OptimizerCostModel,
     ResourceKind,
     ResourceVector,
-    VirtualMachineMonitor,
-    VirtualizationDesignProblem,
     VirtualizationDesigner,
+    VirtualizationDesignProblem,
+    VirtualMachineMonitor,
     Workload,
     WorkloadSpec,
     build_tpch_database,

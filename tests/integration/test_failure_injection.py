@@ -7,9 +7,7 @@ message, never a wrong answer or a hang.
 
 import pytest
 
-from repro.core.cost_model import OptimizerCostModel
 from repro.core.designer import VirtualizationDesigner
-from repro.core.problem import VirtualizationDesignProblem, WorkloadSpec
 from repro.core.search import ExhaustiveSearch
 from repro.core.slo import ServiceLevelObjective, SloPolicy
 from repro.engine.database import Database
@@ -18,15 +16,13 @@ from repro.util.errors import (
     AllocationError,
     CalibrationError,
     ReproError,
-    SqlError,
 )
 from repro.virt.machine import PhysicalMachine
 from repro.virt.monitor import VirtualMachineMonitor
 from repro.virt.resources import ResourceKind, ResourceVector
 from repro.virt.vm import VirtualMachine, VMConfig
-from repro.workloads.workload import Workload
 from tests.conftest import simple_schema
-from tests.core.test_search import SyntheticCostModel, make_problem
+from tests.core.test_search import make_problem
 
 
 class TestDegenerateVMs:

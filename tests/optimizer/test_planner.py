@@ -6,7 +6,6 @@ import pytest
 from repro.engine.database import Database
 from repro.engine.plans import (
     Aggregate,
-    Filter,
     HashJoin,
     IndexScan,
     JoinType,
@@ -22,7 +21,6 @@ from repro.engine.plans import (
 from repro.engine.schema import Column, ColumnType, TableSchema
 from repro.optimizer.params import OptimizerParameters
 from repro.optimizer.planner import Planner
-from repro.util.errors import PlanningError
 
 
 @pytest.fixture

@@ -1,6 +1,5 @@
 """Unit tests for the planner's internal helpers."""
 
-import pytest
 
 from repro.engine.expr import BinaryOp, ColumnRef, LikeExpr, Literal
 from repro.optimizer.planner import (

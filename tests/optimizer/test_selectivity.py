@@ -11,7 +11,7 @@ from repro.engine.expr import (
     Literal,
     NotExpr,
 )
-from repro.engine.statistics import analyze_column, TableStats
+from repro.engine.statistics import TableStats, analyze_column
 from repro.optimizer.selectivity import (
     DEFAULT_EQ_SELECTIVITY,
     DEFAULT_RANGE_SELECTIVITY,

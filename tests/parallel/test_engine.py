@@ -1,0 +1,158 @@
+"""Unit tests for the evaluation engine itself.
+
+The engine's one promise is the determinism contract: ``map(fn, items)``
+returns results in item order, and failures surface as the earliest
+failing item's exception — for every pool kind and worker count.
+"""
+
+import os
+
+import pytest
+
+from repro import obs
+from repro.parallel import POOL_KINDS, EvaluationEngine, make_engine
+from repro.util.errors import AllocationError
+
+
+@pytest.fixture(autouse=True)
+def clean_obs():
+    obs.reset()
+    yield
+    obs.reset()
+
+
+def square(x):
+    return x * x
+
+
+def fail_on_multiples_of_three(x):
+    if x % 3 == 0 and x > 0:
+        raise ValueError(f"boom at {x}")
+    return x
+
+
+def count_and_square(x):
+    obs.get_registry().counter("test.work_done", parity=str(x % 2)).inc()
+    return x * x
+
+
+class TestOrdering:
+    @pytest.mark.parametrize("pool", POOL_KINDS)
+    @pytest.mark.parametrize("workers", [1, 2, 4, 7])
+    def test_results_in_item_order(self, pool, workers):
+        items = list(range(23))
+        with EvaluationEngine(workers=workers, pool=pool) as engine:
+            assert engine.map(square, items) == [i * i for i in items]
+
+    @pytest.mark.parametrize("pool", POOL_KINDS)
+    def test_empty_batch(self, pool):
+        with EvaluationEngine(workers=4, pool=pool) as engine:
+            assert engine.map(square, []) == []
+
+    @pytest.mark.parametrize("pool", POOL_KINDS)
+    def test_single_item(self, pool):
+        with EvaluationEngine(workers=4, pool=pool) as engine:
+            assert engine.map(square, [7]) == [49]
+
+    def test_closures_cross_the_process_boundary(self):
+        # The fork pool ships the callable by copy-on-write, so even a
+        # closure over local state works (nothing is pickled outbound).
+        offset = 100
+        with EvaluationEngine(workers=4, pool="process") as engine:
+            assert engine.map(lambda x: x + offset, [1, 2, 3]) == [101, 102, 103]
+
+
+class TestErrors:
+    @pytest.mark.parametrize("pool", POOL_KINDS)
+    def test_earliest_failing_item_wins(self, pool):
+        # Items 3, 6, 9, ... all raise; every pool must report item 3's
+        # exception so parallel runs fail the same way serial runs do.
+        with EvaluationEngine(workers=4, pool=pool) as engine:
+            with pytest.raises(ValueError, match="boom at 3"):
+                engine.map(fail_on_multiples_of_three, list(range(11)))
+
+
+class TestValidation:
+    def test_zero_workers_rejected(self):
+        with pytest.raises(AllocationError, match="at least 1"):
+            EvaluationEngine(workers=0)
+
+    def test_unknown_pool_rejected(self):
+        with pytest.raises(AllocationError, match="unknown pool"):
+            EvaluationEngine(workers=2, pool="gpu")
+
+    def test_one_worker_coerces_to_serial(self):
+        engine = EvaluationEngine(workers=1, pool="process")
+        assert engine.pool == "serial"
+
+
+class TestMakeEngine:
+    def test_none_means_no_engine(self):
+        assert make_engine(None) is None
+
+    def test_zero_sizes_to_cpu_count(self):
+        engine = make_engine(0)
+        assert engine is not None
+        assert engine.workers == (os.cpu_count() or 1)
+        engine.close()
+
+    def test_explicit_count(self):
+        engine = make_engine(3, pool="thread")
+        assert (engine.workers, engine.pool) == (3, "thread")
+        engine.close()
+
+
+class TestObservability:
+    def test_worker_gauge_set_on_creation(self):
+        with EvaluationEngine(workers=4, pool="thread"):
+            registry = obs.get_registry()
+            assert registry.value("parallel.workers", pool="thread") == 4
+
+    def test_batches_and_tasks_counted(self):
+        with EvaluationEngine(workers=2, pool="thread") as engine:
+            engine.map(square, [1, 2, 3])
+            engine.map(square, [4, 5])
+        registry = obs.get_registry()
+        assert registry.value("parallel.batches", pool="thread") == 2
+        assert registry.value("parallel.tasks", pool="thread") == 5
+
+    def test_empty_batches_not_counted(self):
+        with EvaluationEngine(workers=2, pool="thread") as engine:
+            engine.map(square, [])
+        assert obs.get_registry().total("parallel.batches") == 0
+
+    @pytest.mark.parametrize("pool", POOL_KINDS)
+    def test_task_counter_increments_survive_every_pool(self, pool):
+        # Forked workers increment a copy-on-write clone of the
+        # registry; the engine must marshal those deltas back so
+        # counters stay bit-identical to a serial run (regression:
+        # process-pool runs used to lose optimizer/calibration counts).
+        with EvaluationEngine(workers=4, pool=pool) as engine:
+            assert engine.map(count_and_square, list(range(10))) == \
+                [i * i for i in range(10)]
+        registry = obs.get_registry()
+        assert registry.value("test.work_done", parity="0") == 5
+        assert registry.value("test.work_done", parity="1") == 5
+
+    def test_counter_increments_before_a_worker_failure_survive(self):
+        with EvaluationEngine(workers=4, pool="process") as engine:
+            with pytest.raises(ValueError, match="boom at 3"):
+                engine.map(
+                    lambda x: count_and_square(fail_on_multiples_of_three(x)),
+                    list(range(5)))
+        # Items 0,1,2,4 completed their increment; item 3 raised first.
+        assert obs.get_registry().total("test.work_done") == 4
+
+
+class TestLifecycle:
+    def test_close_is_idempotent(self):
+        engine = EvaluationEngine(workers=2, pool="thread")
+        engine.map(square, [1, 2])
+        engine.close()
+        engine.close()
+
+    def test_usable_again_after_close(self):
+        engine = EvaluationEngine(workers=2, pool="thread")
+        engine.close()
+        assert engine.map(square, [3, 4]) == [9, 16]
+        engine.close()

@@ -1,0 +1,152 @@
+"""Property tests: serial and parallel ``cost_many`` always agree.
+
+Hypothesis generates random batches of (workload, allocation) pairs —
+duplicates included — plus random memo pre-seeding, and asserts that a
+serial evaluation, a 4-worker thread evaluation, and a 4-worker process
+evaluation of the same batch produce identical costs and identical
+fresh/hit accounting. A fault-sensitive variant injects a seeded
+:class:`FaultPlan` into the per-pair cost function, and a budget-stop
+variant drives full searches under a random evaluation budget.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.cost_model import CostModel
+from repro.core.problem import VirtualizationDesignProblem, WorkloadSpec
+from repro.core.search import make_algorithm
+from repro.engine.database import Database
+from repro.faults import FaultInjector, FaultPlan
+from repro.parallel import EvaluationEngine
+from repro.virt.machine import PhysicalMachine
+from repro.virt.resources import ResourceKind, ResourceVector
+from repro.workloads.workload import Workload
+
+NAMES = ("alpha", "beta", "gamma")
+
+SPECS = {
+    name: WorkloadSpec(Workload(name, ["select 1 from t"]), Database(name))
+    for name in NAMES
+}
+
+
+class SyntheticCostModel(CostModel):
+    """Pure analytic cost; honestly parallel_safe."""
+
+    kind = "synthetic"
+    parallel_safe = True
+
+    def __init__(self, fault_plan=None):
+        super().__init__()
+        # Perturbs each pair's cost through a stream forked from the
+        # pair itself, so the model stays a pure function of the pair
+        # (hermetic) while still exercising the fault machinery.
+        self._plan = fault_plan
+
+    def _cost(self, spec, allocation: ResourceVector) -> float:
+        base = (1.0 + len(spec.name)) / max(allocation.cpu, 1e-9)
+        base += 0.5 / max(allocation.memory, 1e-9)
+        if self._plan is not None:
+            injector = FaultInjector(self._plan, buffer_counts=True)
+            injector.begin_unit(f"{spec.name}:{allocation.as_tuple()}")
+            child = injector.fork_stream("cost")
+            base = child.on_measurement(allocation.as_tuple(), base)
+        return base
+
+
+# Index pairs into a small workload x allocation grid so batches have
+# natural duplicates and memo overlap.
+pair_indices = st.tuples(st.integers(0, len(NAMES) - 1),
+                         st.integers(1, 8), st.integers(1, 8))
+batches = st.lists(pair_indices, min_size=1, max_size=30)
+
+
+def materialize(indices):
+    pairs = []
+    for name_i, cpu_i, mem_i in indices:
+        pairs.append((SPECS[NAMES[name_i]],
+                      ResourceVector.of(cpu=cpu_i / 8, memory=mem_i / 8,
+                                        io=0.5)))
+    return pairs
+
+
+def outcome_data(outcome):
+    return (outcome.costs, outcome.fresh, outcome.hits)
+
+
+def evaluate_everywhere(pairs, seed_from=None, fault_plan=None):
+    """The same batch through serial / thread / process engines."""
+    results = []
+    for pool, workers in (("serial", 1), ("thread", 4), ("process", 4)):
+        model = SyntheticCostModel(fault_plan=fault_plan)
+        if seed_from:
+            for spec, allocation, value in seed_from:
+                model.seed(spec, allocation, value)
+        with EvaluationEngine(workers=workers, pool=pool) as engine:
+            results.append(outcome_data(model.cost_many(pairs,
+                                                        engine=engine)))
+    return results
+
+
+@given(batches)
+@settings(max_examples=25, deadline=None)
+def test_cost_many_identical_across_pools(indices):
+    pairs = materialize(indices)
+    serial, threaded, forked = evaluate_everywhere(pairs)
+    assert threaded == serial
+    assert forked == serial
+
+
+@given(batches)
+@settings(max_examples=15, deadline=None)
+def test_cost_many_identical_under_faults(indices):
+    plan = FaultPlan.named("noisy").with_overrides(
+        transient_rate=0.0, hang_rate=0.3, outlier_rate=0.3)
+    pairs = materialize(indices)
+    serial, threaded, forked = evaluate_everywhere(pairs, fault_plan=plan)
+    assert threaded == serial
+    assert forked == serial
+
+
+@given(batches, st.lists(pair_indices, max_size=10))
+@settings(max_examples=20, deadline=None)
+def test_memo_hits_counted_identically(indices, seeded_indices):
+    pairs = materialize(indices)
+    seeded = [(spec, allocation, 42.0)
+              for spec, allocation in materialize(seeded_indices)]
+    serial, threaded, forked = evaluate_everywhere(pairs, seed_from=seeded)
+    assert threaded == serial
+    assert forked == serial
+    # Sanity: accounting always reconciles with the batch size.
+    costs, fresh, hits = serial
+    assert fresh + hits == len(pairs)
+
+
+@given(st.sampled_from(["exhaustive", "greedy", "dynamic-programming"]),
+       st.integers(min_value=1, max_value=12),
+       st.integers(min_value=3, max_value=6))
+@settings(max_examples=15, deadline=None)
+def test_budget_stop_identical_across_pools(algorithm, budget, grid):
+    problem = VirtualizationDesignProblem(
+        machine=PhysicalMachine(), specs=[SPECS["alpha"], SPECS["beta"]],
+        controlled_resources=(ResourceKind.CPU, ResourceKind.MEMORY),
+    )
+
+    def run(workers, pool):
+        model = SyntheticCostModel()
+        with EvaluationEngine(workers=workers, pool=pool) as engine:
+            result = make_algorithm(algorithm, grid=grid,
+                                    max_evaluations=budget,
+                                    engine=engine).search(problem, model)
+        return {
+            "allocation": {
+                name: result.allocation.vector_for(name).as_tuple()
+                for name in result.allocation.workload_names()
+            },
+            "total_cost": result.total_cost,
+            "evaluations": result.evaluations,
+            "stopped": result.stopped,
+        }
+
+    baseline = run(1, "serial")
+    assert run(4, "thread") == baseline
+    assert run(4, "process") == baseline

@@ -12,9 +12,9 @@ from __future__ import annotations
 import pytest
 
 from repro.calibration.synthetic import (
-    CalibrationWorkbench,
     HUGE_TABLE,
     SMALL_TABLE,
+    CalibrationWorkbench,
 )
 from repro.core.problem import VirtualizationDesignProblem, WorkloadSpec
 from repro.faults import FaultPlan
