@@ -1,0 +1,208 @@
+#!/usr/bin/env python
+"""Benchmark: surrogate-guided continuous search vs the dense grid.
+
+The question the surrogate exists to answer: how many exact
+calibrations does it save, and does the answer get worse? This script
+measures both on the Figure-5 scenario (two TPC-H workloads —
+``order-audit`` Q4x3 and ``cust-report`` Q13x9 — competing for CPU on
+the laboratory machine):
+
+* **dense-grid baseline**: an exhaustive search on the fully calibrated
+  fine grid (``grid * fine_factor`` units), paying one exact
+  calibration per distinct share level — the old way to get a fine
+  answer.
+* **surrogate**: :func:`repro.surrogate.design_continuous` — fit a
+  coarse parameter surface, then search-in-the-loop polish — under a
+  calibration-request budget, searching the *same* fine lattice.
+
+The surrogate's chosen allocation is then re-costed under the dense
+baseline's exact cache (its shares land on the fine lattice, so this
+pays zero extra calibrations — asserted) for an apples-to-apples
+quality comparison.
+
+Writes ``benchmarks/results/BENCH_surrogate.json``: one ``dense-grid``
+and one ``surrogate`` entry plus a ``summary`` with
+``calibration_ratio`` (dense calibrations / surrogate requests) and
+``cost_margin`` (dense best cost - surrogate exact cost; >= 0 means the
+surrogate matched or beat the dense answer).
+``scripts/check_bench.py`` validates the schema and gates on
+``calibration_ratio >= 5`` and ``cost_margin >= 0``.
+
+Run with ``PYTHONPATH=src python scripts/bench_surrogate.py [--smoke]``;
+``--smoke`` shrinks the TPC-H scale factor (calibration counts, the
+gated quantities, are scale-independent).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import pathlib
+import sys
+import time
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.calibration import CalibrationCache, CalibrationRunner  # noqa: E402
+from repro.core import (  # noqa: E402
+    OptimizerCostModel,
+    VirtualizationDesignProblem,
+    VirtualizationDesigner,
+    WorkloadSpec,
+)
+from repro.surrogate import design_continuous  # noqa: E402
+from repro.virt.machine import laboratory_machine  # noqa: E402
+from repro.virt.resources import ResourceKind  # noqa: E402
+from repro.workloads import Workload, build_tpch_database, tpch_query  # noqa: E402
+
+RESULT_PATH = REPO_ROOT / "benchmarks" / "results" / "BENCH_surrogate.json"
+
+#: The search configuration both contenders share. The dense baseline
+#: searches a grid of ``GRID * FINE_FACTOR`` units; the surrogate
+#: searches the same lattice continuously with at most ``BUDGET``
+#: calibration requests. 63 dense calibrations vs 12 requests = a
+#: 5.25x ratio when the budget is fully spent.
+GRID = 4
+FINE_FACTOR = 16
+BUDGET = 12
+TOLERANCE = 0.3
+ALGORITHM = "exhaustive"
+
+
+def build_problem(scale: float) -> VirtualizationDesignProblem:
+    """The Figure-5 scenario: two workloads competing for CPU."""
+    db = build_tpch_database(scale_factor=scale,
+                             tables=["customer", "orders", "lineitem"])
+    specs = [
+        WorkloadSpec(Workload.repeat("order-audit", tpch_query("Q4"), 3), db),
+        WorkloadSpec(Workload.repeat("cust-report", tpch_query("Q13"), 9), db),
+    ]
+    return VirtualizationDesignProblem(
+        machine=laboratory_machine(), specs=specs,
+        controlled_resources=(ResourceKind.CPU,),
+    )
+
+
+def allocation_dict(design) -> dict:
+    return {
+        name: [round(v, 6) for v in
+               design.allocation.vector_for(name).as_tuple()]
+        for name in design.allocation.workload_names()
+    }
+
+
+def run_dense(problem) -> tuple:
+    """Exhaustive search on the fully calibrated fine grid."""
+    cache = CalibrationCache(CalibrationRunner(problem.machine))
+    designer = VirtualizationDesigner(problem, OptimizerCostModel(cache))
+    started = time.perf_counter()
+    design = designer.design(ALGORITHM, grid=GRID * FINE_FACTOR)
+    wall = time.perf_counter() - started
+    entry = {
+        "name": "dense-grid",
+        "calibrations": cache.n_calibrations,
+        "cost": design.predicted_total_cost,
+        "evaluations": design.evaluations,
+        "allocation": allocation_dict(design),
+        "wall_seconds": round(wall, 3),
+    }
+    return entry, design, cache
+
+
+def run_surrogate(problem, dense_cache) -> dict:
+    """Fit + polish + continuous search, then re-cost exactly."""
+    cache = CalibrationCache(CalibrationRunner(problem.machine))
+    started = time.perf_counter()
+    outcome = design_continuous(
+        problem, cache, algorithm=ALGORITHM, grid=GRID,
+        fine_factor=FINE_FACTOR, tolerance=TOLERANCE,
+        max_calibrations=BUDGET)
+    wall = time.perf_counter() - started
+    # Exact quality of the surrogate's answer, costed with the dense
+    # cache. The continuous search only proposes fine-lattice shares,
+    # all of which the dense baseline already calibrated — re-costing
+    # must not pay for a single new experiment.
+    exact_model = OptimizerCostModel(dense_cache)
+    before = dense_cache.n_calibrations
+    exact_cost = sum(
+        VirtualizationDesigner(problem, exact_model)
+        .evaluate(outcome.design.allocation).values())
+    assert dense_cache.n_calibrations == before, (
+        "re-costing the surrogate answer paid fresh calibrations — its "
+        "allocation left the dense fine lattice")
+    return {
+        "name": "surrogate",
+        "calibrations": outcome.calibrations,
+        "cost": exact_cost,
+        "predicted_cost": outcome.design.predicted_total_cost,
+        "evaluations": outcome.design.evaluations,
+        "allocation": allocation_dict(outcome.design),
+        "wall_seconds": round(wall, 3),
+        "knots": outcome.surface.n_knots,
+        "fit_refinements": outcome.fit.refinements,
+        "polish_rounds": outcome.polish_iterations,
+        "converged": outcome.converged,
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--smoke", action="store_true",
+                        help="smaller TPC-H scale for CI (same grids and "
+                             "budget, so the gated ratios are unchanged)")
+    parser.add_argument("--output", default=str(RESULT_PATH),
+                        help=f"result file (default {RESULT_PATH})")
+    args = parser.parse_args(argv)
+
+    scale = 0.001 if args.smoke else 0.002
+    print(f"Building the Figure-5 problem (scale {scale}) ...",
+          file=sys.stderr)
+    problem = build_problem(scale)
+
+    fine = GRID * FINE_FACTOR
+    print(f"Dense baseline: {ALGORITHM} at grid {fine} "
+          f"(expect {fine - 1} calibrations) ...", file=sys.stderr)
+    dense_entry, _dense_design, dense_cache = run_dense(problem)
+    print(f"  {dense_entry['calibrations']} calibrations, "
+          f"cost {dense_entry['cost']:.6f} "
+          f"({dense_entry['wall_seconds']}s)", file=sys.stderr)
+
+    print(f"Surrogate: budget {BUDGET}, tolerance {TOLERANCE}, "
+          f"fine lattice {fine} ...", file=sys.stderr)
+    surrogate_entry = run_surrogate(problem, dense_cache)
+    print(f"  {surrogate_entry['calibrations']} calibration requests, "
+          f"exact cost {surrogate_entry['cost']:.6f} "
+          f"({surrogate_entry['wall_seconds']}s)", file=sys.stderr)
+
+    ratio = dense_entry["calibrations"] / surrogate_entry["calibrations"]
+    margin = dense_entry["cost"] - surrogate_entry["cost"]
+    payload = {
+        "suite": "surrogate",
+        "smoke": args.smoke,
+        "host_cpus": os.cpu_count(),
+        "scenario": "fig5",
+        "algorithm": ALGORITHM,
+        "grid": GRID,
+        "fine_factor": FINE_FACTOR,
+        "tolerance": TOLERANCE,
+        "budget": BUDGET,
+        "entries": [dense_entry, surrogate_entry],
+        "summary": {
+            "calibration_ratio": round(ratio, 4),
+            "calibrations_avoided": (dense_entry["calibrations"]
+                                     - surrogate_entry["calibrations"]),
+            "cost_margin": round(margin, 9),
+        },
+    }
+    output = pathlib.Path(args.output)
+    output.parent.mkdir(parents=True, exist_ok=True)
+    output.write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"Wrote {output}: calibration ratio {ratio:.2f}x, "
+          f"cost margin {margin:+.6f}", file=sys.stderr)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

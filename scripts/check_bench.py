@@ -1,25 +1,28 @@
 #!/usr/bin/env python
-"""Validate ``BENCH_parallel.json`` and gate on the parallel speedup.
+"""Validate every ``BENCH_*.json`` result file and gate on regressions.
 
 Two jobs, both CI-facing:
 
-1. **Schema**: the file is the object ``scripts/bench_speedup.py``
-   writes — ``suite``/``smoke``/``host_cpus`` plus ``entries``, each
-   entry carrying exactly ``name`` (str), ``grid`` (int), ``workers``
-   (int or null for the serial baseline), ``wall_seconds`` (positive
-   number), ``evaluations`` (positive int) and ``speedup`` (positive
-   number). Every benchmark name must have a serial baseline row
-   (``workers: null``, ``speedup: 1.0``) and its parallel rows must
-   report the same evaluation count as the baseline — the determinism
-   contract, as recorded data.
-2. **Regression gate**: the exhaustive benchmark's 4-worker row must
-   reach the threshold (default 1.0x, i.e. "parallel must never lose
-   to serial"; the committed full-mode results are held to 1.5x by the
-   repository's own run).
+1. **Schema**: each file must carry the payload its benchmark script
+   writes. ``suite: "parallel-speedup"`` files
+   (``scripts/bench_speedup.py``) are checked entry by entry — name /
+   grid / workers / wall_seconds / evaluations / speedup, exactly one
+   serial baseline per benchmark, identical evaluation counts across
+   worker counts (the determinism contract, as recorded data).
+   ``suite: "surrogate"`` files (``scripts/bench_surrogate.py``) must
+   carry one ``dense-grid`` and one ``surrogate`` entry plus a
+   ``summary`` whose ratios match the entries.
+2. **Regression gates**: the parallel suite's exhaustive benchmark must
+   reach ``--min-speedup`` at 4 workers; the surrogate suite must avoid
+   ``--min-calibration-ratio`` times the dense calibrations *and* match
+   or beat the dense answer's cost (``cost_margin >= 0``).
 
-Exit code 0 when everything holds, 1 with a diagnostic otherwise.
+Every violation across every file is collected and reported — the run
+never stops at the first problem. Exit code 0 when everything holds,
+1 with the full diagnostic list otherwise.
 
-Run with ``python scripts/check_bench.py [PATH] [--min-speedup X]``.
+Run with ``python scripts/check_bench.py [PATH ...]``; with no paths it
+validates every ``benchmarks/results/BENCH_*.json`` in the repository.
 """
 
 from __future__ import annotations
@@ -30,16 +33,16 @@ import pathlib
 import sys
 
 REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
-DEFAULT_PATH = REPO_ROOT / "benchmarks" / "results" / "BENCH_parallel.json"
+RESULTS_DIR = REPO_ROOT / "benchmarks" / "results"
 
-#: The benchmark the speedup gate applies to (its batched strategy is
-#: where the tentpole claims its win); other entries are schema-checked
-#: only, since e.g. greedy's tiny frontiers need a multi-core host to
-#: beat per-call dispatch.
+#: The parallel-suite benchmark the speedup gate applies to (its batched
+#: strategy is where PR 4 claims its win); other entries are
+#: schema-checked only, since e.g. greedy's tiny frontiers need a
+#: multi-core host to beat per-call dispatch.
 GATED_BENCHMARK = "exhaustive-fig5-grid"
 GATED_WORKERS = 4
 
-ENTRY_FIELDS = {
+PARALLEL_ENTRY_FIELDS = {
     "name": str,
     "grid": int,
     "workers": (int, type(None)),
@@ -48,77 +51,82 @@ ENTRY_FIELDS = {
     "speedup": (int, float),
 }
 
+#: Fields every surrogate-suite entry carries; the ``surrogate`` entry
+#: adds fit/polish bookkeeping on top (checked separately).
+SURROGATE_ENTRY_FIELDS = {
+    "name": str,
+    "calibrations": int,
+    "cost": (int, float),
+    "evaluations": int,
+    "allocation": dict,
+    "wall_seconds": (int, float),
+}
+SURROGATE_EXTRA_FIELDS = {
+    "predicted_cost": (int, float),
+    "knots": int,
+    "fit_refinements": int,
+    "polish_rounds": int,
+    "converged": bool,
+}
 
-def fail(message: str) -> int:
-    print(f"check_bench: FAIL: {message}", file=sys.stderr)
-    return 1
+
+def _typename(kinds) -> str:
+    if isinstance(kinds, tuple):
+        return "/".join(k.__name__ for k in kinds)
+    return kinds.__name__
 
 
-def check_entry(i: int, entry) -> list:
+def check_fields(prefix: str, entry: dict, fields: dict) -> list:
+    """Type-check *fields* of *entry*; one problem string per violation."""
     problems = []
+    for field, kinds in fields.items():
+        want_bool = kinds is bool or (isinstance(kinds, tuple)
+                                      and bool in kinds)
+        if field not in entry:
+            problems.append(f"{prefix} missing field {field!r}")
+        elif not isinstance(entry[field], kinds) or (
+                isinstance(entry[field], bool) and not want_bool):
+            problems.append(
+                f"{prefix}.{field} has type "
+                f"{type(entry[field]).__name__}, "
+                f"expected {_typename(kinds)}")
+    return problems
+
+
+# -- suite: parallel-speedup -------------------------------------------------
+
+def check_parallel_entry(i: int, entry) -> list:
     if not isinstance(entry, dict):
         return [f"entries[{i}] is not an object"]
-    for field, kinds in ENTRY_FIELDS.items():
-        if field not in entry:
-            problems.append(f"entries[{i}] missing field {field!r}")
-        elif not isinstance(entry[field], kinds) or isinstance(
-                entry[field], bool):
-            problems.append(
-                f"entries[{i}].{field} has type "
-                f"{type(entry[field]).__name__}, expected {kinds}")
-    extra = set(entry) - set(ENTRY_FIELDS)
+    prefix = f"entries[{i}]"
+    problems = check_fields(prefix, entry, PARALLEL_ENTRY_FIELDS)
+    extra = set(entry) - set(PARALLEL_ENTRY_FIELDS)
     if extra:
-        problems.append(f"entries[{i}] has unknown fields {sorted(extra)}")
+        problems.append(f"{prefix} has unknown fields {sorted(extra)}")
     if problems:
         return problems
     if entry["wall_seconds"] <= 0:
-        problems.append(f"entries[{i}].wall_seconds must be positive")
+        problems.append(f"{prefix}.wall_seconds must be positive")
     if entry["evaluations"] <= 0:
-        problems.append(f"entries[{i}].evaluations must be positive")
+        problems.append(f"{prefix}.evaluations must be positive")
     if entry["speedup"] <= 0:
-        problems.append(f"entries[{i}].speedup must be positive")
+        problems.append(f"{prefix}.speedup must be positive")
     if entry["workers"] is not None and entry["workers"] < 1:
-        problems.append(f"entries[{i}].workers must be >= 1 or null")
+        problems.append(f"{prefix}.workers must be >= 1 or null")
     if entry["workers"] is None and entry["speedup"] != 1.0:
         problems.append(
-            f"entries[{i}] is a serial baseline but speedup is "
+            f"{prefix} is a serial baseline but speedup is "
             f"{entry['speedup']}, not 1.0")
     return problems
 
 
-def main(argv=None) -> int:
-    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    parser.add_argument("path", nargs="?", default=str(DEFAULT_PATH),
-                        help=f"result file (default {DEFAULT_PATH})")
-    parser.add_argument("--min-speedup", type=float, default=1.0,
-                        help="gate: minimum 4-worker speedup on the "
-                             "exhaustive benchmark (default 1.0)")
-    args = parser.parse_args(argv)
-
-    path = pathlib.Path(args.path)
-    if not path.exists():
-        return fail(f"{path} does not exist (run scripts/bench_speedup.py)")
-    try:
-        payload = json.loads(path.read_text())
-    except json.JSONDecodeError as error:
-        return fail(f"{path} is not valid JSON: {error}")
-
-    if not isinstance(payload, dict):
-        return fail("top level must be an object")
-    for field in ("suite", "smoke", "host_cpus", "entries"):
-        if field not in payload:
-            return fail(f"top level missing field {field!r}")
+def check_parallel(payload: dict, min_speedup: float) -> list:
     entries = payload["entries"]
-    if not isinstance(entries, list) or not entries:
-        return fail("entries must be a non-empty list")
-
     problems = []
     for i, entry in enumerate(entries):
-        problems.extend(check_entry(i, entry))
+        problems.extend(check_parallel_entry(i, entry))
     if problems:
-        for problem in problems:
-            print(f"check_bench: {problem}", file=sys.stderr)
-        return fail(f"{len(problems)} schema problem(s) in {path}")
+        return problems
 
     by_name = {}
     for entry in entries:
@@ -126,12 +134,14 @@ def main(argv=None) -> int:
     for name, rows in sorted(by_name.items()):
         baselines = [r for r in rows if r["workers"] is None]
         if len(baselines) != 1:
-            return fail(f"benchmark {name!r} needs exactly one serial "
-                        f"baseline row, found {len(baselines)}")
+            problems.append(
+                f"benchmark {name!r} needs exactly one serial baseline "
+                f"row, found {len(baselines)}")
+            continue
         expected = baselines[0]["evaluations"]
         for row in rows:
             if row["evaluations"] != expected:
-                return fail(
+                problems.append(
                     f"benchmark {name!r} at workers={row['workers']} spent "
                     f"{row['evaluations']} evaluations, the serial baseline "
                     f"spent {expected} — parallel determinism regressed")
@@ -139,19 +149,182 @@ def main(argv=None) -> int:
     gated = [r for r in by_name.get(GATED_BENCHMARK, [])
              if r["workers"] == GATED_WORKERS]
     if not gated:
-        return fail(f"no workers={GATED_WORKERS} row for the gated "
-                    f"benchmark {GATED_BENCHMARK!r}")
-    speedup = gated[0]["speedup"]
-    if speedup < args.min_speedup:
-        return fail(
+        problems.append(f"no workers={GATED_WORKERS} row for the gated "
+                        f"benchmark {GATED_BENCHMARK!r}")
+    elif gated[0]["speedup"] < min_speedup:
+        problems.append(
             f"{GATED_BENCHMARK} at {GATED_WORKERS} workers reached only "
-            f"{speedup}x, below the {args.min_speedup}x gate — the "
+            f"{gated[0]['speedup']}x, below the {min_speedup}x gate — the "
             f"parallel engine regressed")
+    return problems
 
-    print(f"check_bench: OK: {len(entries)} entries across "
-          f"{len(by_name)} benchmark(s); {GATED_BENCHMARK} at "
-          f"{GATED_WORKERS} workers = {speedup}x "
-          f"(gate {args.min_speedup}x)")
+
+def summarize_parallel(payload: dict) -> str:
+    entries = payload["entries"]
+    names = {entry["name"] for entry in entries}
+    gated = [r for r in entries if r["name"] == GATED_BENCHMARK
+             and r["workers"] == GATED_WORKERS]
+    return (f"{len(entries)} entries across {len(names)} benchmark(s); "
+            f"{GATED_BENCHMARK} at {GATED_WORKERS} workers = "
+            f"{gated[0]['speedup']}x")
+
+
+# -- suite: surrogate --------------------------------------------------------
+
+def check_surrogate(payload: dict, min_ratio: float) -> list:
+    problems = []
+    for field in ("scenario", "algorithm", "grid", "fine_factor",
+                  "tolerance", "budget", "summary"):
+        if field not in payload:
+            problems.append(f"top level missing field {field!r}")
+    entries = payload["entries"]
+    by_name = {}
+    for i, entry in enumerate(entries):
+        if not isinstance(entry, dict):
+            problems.append(f"entries[{i}] is not an object")
+            continue
+        prefix = f"entries[{i}]"
+        fields = dict(SURROGATE_ENTRY_FIELDS)
+        if entry.get("name") == "surrogate":
+            fields.update(SURROGATE_EXTRA_FIELDS)
+        problems.extend(check_fields(prefix, entry, fields))
+        extra = set(entry) - set(fields)
+        if extra:
+            problems.append(f"{prefix} has unknown fields {sorted(extra)}")
+        if isinstance(entry.get("name"), str):
+            by_name.setdefault(entry["name"], []).append((i, entry))
+        for field in ("calibrations", "cost", "evaluations",
+                      "wall_seconds"):
+            value = entry.get(field)
+            if isinstance(value, (int, float)) and not isinstance(
+                    value, bool) and value <= 0:
+                problems.append(f"{prefix}.{field} must be positive")
+    for name in ("dense-grid", "surrogate"):
+        if len(by_name.get(name, [])) != 1:
+            problems.append(
+                f"suite needs exactly one {name!r} entry, found "
+                f"{len(by_name.get(name, []))}")
+    if problems:
+        return problems
+
+    dense = by_name["dense-grid"][0][1]
+    surrogate = by_name["surrogate"][0][1]
+    summary = payload["summary"]
+    if not isinstance(summary, dict):
+        return ["summary is not an object"]
+    problems.extend(check_fields("summary", summary, {
+        "calibration_ratio": (int, float),
+        "calibrations_avoided": int,
+        "cost_margin": (int, float),
+    }))
+    if problems:
+        return problems
+
+    ratio = dense["calibrations"] / surrogate["calibrations"]
+    if abs(summary["calibration_ratio"] - ratio) > 1e-3:
+        problems.append(
+            f"summary.calibration_ratio is {summary['calibration_ratio']} "
+            f"but the entries give {ratio:.4f}")
+    margin = dense["cost"] - surrogate["cost"]
+    if abs(summary["cost_margin"] - margin) > 1e-6:
+        problems.append(
+            f"summary.cost_margin is {summary['cost_margin']} but the "
+            f"entries give {margin:.9f}")
+    if ratio < min_ratio:
+        problems.append(
+            f"surrogate spent {surrogate['calibrations']} calibration "
+            f"requests vs {dense['calibrations']} dense — only "
+            f"{ratio:.2f}x avoided, below the {min_ratio}x gate")
+    if margin < -1e-9:
+        problems.append(
+            f"surrogate answer costs {surrogate['cost']:.6f}, worse than "
+            f"the dense-grid best {dense['cost']:.6f} — search quality "
+            f"regressed")
+    return problems
+
+
+def summarize_surrogate(payload: dict) -> str:
+    summary = payload["summary"]
+    return (f"calibration ratio {summary['calibration_ratio']}x, "
+            f"cost margin {summary['cost_margin']:+.6f}")
+
+
+# -- driver ------------------------------------------------------------------
+
+SUITES = {
+    "parallel-speedup": (check_parallel, summarize_parallel, "min_speedup"),
+    "surrogate": (check_surrogate, summarize_surrogate,
+                  "min_calibration_ratio"),
+}
+
+
+def check_file(path: pathlib.Path, gates: dict) -> tuple:
+    """Returns (problems, ok_summary_or_None) for one result file."""
+    if not path.exists():
+        return ([f"{path} does not exist (run the benchmark script)"], None)
+    try:
+        payload = json.loads(path.read_text())
+    except json.JSONDecodeError as error:
+        return ([f"{path} is not valid JSON: {error}"], None)
+    if not isinstance(payload, dict):
+        return (["top level must be an object"], None)
+    problems = []
+    for field in ("suite", "smoke", "host_cpus", "entries"):
+        if field not in payload:
+            problems.append(f"top level missing field {field!r}")
+    if problems:
+        return (problems, None)
+    if not isinstance(payload["entries"], list) or not payload["entries"]:
+        return (["entries must be a non-empty list"], None)
+    suite = payload["suite"]
+    if suite not in SUITES:
+        return ([f"unknown suite {suite!r} (expected one of "
+                 f"{sorted(SUITES)})"], None)
+    checker, summarizer, gate_key = SUITES[suite]
+    problems = checker(payload, gates[gate_key])
+    if problems:
+        return (problems, None)
+    return ([], f"suite {suite}: {summarizer(payload)}")
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("paths", nargs="*",
+                        help="result files (default: every "
+                             "benchmarks/results/BENCH_*.json)")
+    parser.add_argument("--min-speedup", type=float, default=1.0,
+                        help="gate: minimum 4-worker speedup on the "
+                             "exhaustive parallel benchmark (default 1.0)")
+    parser.add_argument("--min-calibration-ratio", type=float, default=5.0,
+                        help="gate: minimum dense-to-surrogate calibration "
+                             "ratio (default 5.0)")
+    args = parser.parse_args(argv)
+
+    if args.paths:
+        paths = [pathlib.Path(p) for p in args.paths]
+    else:
+        paths = sorted(RESULTS_DIR.glob("BENCH_*.json"))
+        if not paths:
+            print(f"check_bench: FAIL: no BENCH_*.json files under "
+                  f"{RESULTS_DIR}", file=sys.stderr)
+            return 1
+
+    gates = {"min_speedup": args.min_speedup,
+             "min_calibration_ratio": args.min_calibration_ratio}
+    all_problems = []
+    for path in paths:
+        problems, ok = check_file(path, gates)
+        for problem in problems:
+            all_problems.append(f"{path.name}: {problem}")
+        if ok:
+            print(f"check_bench: OK: {path.name}: {ok}")
+    if all_problems:
+        for problem in all_problems:
+            print(f"check_bench: {problem}", file=sys.stderr)
+        print(f"check_bench: FAIL: {len(all_problems)} problem(s) across "
+              f"{len(paths)} file(s)", file=sys.stderr)
+        return 1
+    print(f"check_bench: all {len(paths)} result file(s) pass")
     return 0
 
 

@@ -69,10 +69,15 @@ from repro.virt.resources import ResourceVector
 #: Shares are quantized to this many decimals for cache keys.
 _KEY_DECIMALS = 4
 
-#: Current on-disk cache format (checksummed, atomically written).
-_CACHE_FORMAT = "repro-calibration-cache/2"
-#: Formats :meth:`CalibrationCache.load` accepts (v1 predates checksums).
-_CACHE_FORMATS = {"repro-calibration-cache/1", _CACHE_FORMAT}
+#: Current on-disk cache format (checksummed, atomically written; v3
+#: adds an optional embedded surrogate fit block).
+_CACHE_FORMAT = "repro-calibration-cache/3"
+#: Formats :meth:`CalibrationCache.load` accepts (v1 predates checksums,
+#: v2 predates surrogate fits).
+_CACHE_FORMATS = {"repro-calibration-cache/1", "repro-calibration-cache/2",
+                  _CACHE_FORMAT}
+#: Formats whose files carry a points checksum.
+_CHECKSUMMED_FORMATS = {"repro-calibration-cache/2", _CACHE_FORMAT}
 
 
 def _key(allocation: ResourceVector) -> Tuple[float, float, float]:
@@ -114,6 +119,10 @@ class CalibrationCache:
         # points: they must never be saved or interpolated from.
         self._fallbacks: Dict[Tuple[float, float, float], OptimizerParameters] = {}
         self.fallback_log: List[FallbackEvent] = []
+        # An attached surrogate fit rides along in v3 cache files (see
+        # attach_surrogate / surrogate below); None until attached or
+        # loaded from a v3 file that embeds one.
+        self._surrogate = None
 
     @property
     def calibrated_points(self) -> List[Tuple[float, float, float]]:
@@ -220,6 +229,22 @@ class CalibrationCache:
         ))
         return OptimizerParameters.defaults()
 
+    # -- surrogate fits ----------------------------------------------------
+
+    def attach_surrogate(self, surface) -> None:
+        """Attach a fitted :class:`~repro.surrogate.ParameterSurface`.
+
+        The fit is persisted inside v3 cache files by :meth:`save` and
+        restored by :meth:`load`, so one adaptive-refinement run pays
+        for the surface once per machine. Passing ``None`` detaches.
+        """
+        self._surrogate = surface
+
+    @property
+    def surrogate(self):
+        """The attached surrogate fit (``None`` when not fitted)."""
+        return self._surrogate
+
     # -- persistence -----------------------------------------------------------------
 
     @staticmethod
@@ -258,6 +283,10 @@ class CalibrationCache:
             "checksum": self._points_checksum(points),
             "points": points,
         }
+        if self._surrogate is not None:
+            fit = self._surrogate.as_dict()
+            payload["surrogate"] = fit
+            payload["surrogate_checksum"] = self._points_checksum(fit)
         fd, temp_name = tempfile.mkstemp(
             dir=str(path.parent) or ".", prefix=path.name + ".",
             suffix=".tmp")
@@ -307,7 +336,7 @@ class CalibrationCache:
                 f"{path}; expected one of {sorted(_CACHE_FORMATS)}")
         try:
             points = payload["points"]
-            if version == _CACHE_FORMAT:
+            if version in _CHECKSUMMED_FORMATS:
                 stored = payload["checksum"]
                 expected = self._points_checksum(points)
                 if stored != expected:
@@ -323,6 +352,8 @@ class CalibrationCache:
                 if key not in self._cache:
                     self._cache[key] = _Params.from_dict(point["parameters"])
                     added += 1
+            if version == _CACHE_FORMAT and "surrogate" in payload:
+                self._load_surrogate(path, payload)
         except CalibrationError:
             raise
         except (KeyError, TypeError, ValueError) as exc:
@@ -330,6 +361,25 @@ class CalibrationCache:
                 f"calibration cache {path} is structurally malformed: "
                 f"{exc!r}") from exc
         return added
+
+    def _load_surrogate(self, path, payload: dict) -> None:
+        """Restore the embedded surrogate fit from a v3 cache payload."""
+        from repro.surrogate.surface import ParameterSurface
+        from repro.util.errors import SurrogateError
+
+        fit = payload["surrogate"]
+        stored = payload.get("surrogate_checksum")
+        expected = self._points_checksum(fit)
+        if stored != expected:
+            raise CalibrationError(
+                f"calibration cache {path} surrogate checksum mismatch "
+                f"({stored} != {expected}): file is corrupted")
+        try:
+            self._surrogate = ParameterSurface.from_dict(fit)
+        except SurrogateError as exc:
+            raise CalibrationError(
+                f"calibration cache {path} embeds an unusable surrogate "
+                f"fit: {exc}") from exc
 
     # -- interpolation ---------------------------------------------------------------
 
@@ -376,39 +426,18 @@ class CalibrationCache:
         if total <= 0:
             return None
 
-        # Blend in the *time* domain: the ratio parameters are per-unit
-        # times divided by T_seq, and both numerator and denominator
-        # vary with the allocation. Interpolating the ratios directly
-        # compounds their curvatures; interpolating the underlying unit
-        # times and re-normalizing is markedly more accurate.
-        ratio_names = ("random_page_cost", "cpu_tuple_cost",
-                       "cpu_index_tuple_cost", "cpu_operator_cost",
-                       "cpu_like_byte_cost")
-        blended_times: Dict[str, float] = {name: 0.0 for name in ratio_names}
-        blended_t_seq = 0.0
-        blended_cache = 0.0
-        blended_sort = 0.0
-        for corner, weight in corners:
-            params = self._cache[corner]
-            share = weight / total
-            blended_t_seq += params.seconds_per_seq_page * share
-            blended_cache += params.effective_cache_size * share
-            blended_sort += params.sort_mem_pages * share
-            values = params.as_dict()
-            for name in ratio_names:
-                blended_times[name] += (
-                    values[name] * params.seconds_per_seq_page * share
-                )
-        return OptimizerParameters(
-            seq_page_cost=1.0,
-            random_page_cost=blended_times["random_page_cost"] / blended_t_seq,
-            cpu_tuple_cost=blended_times["cpu_tuple_cost"] / blended_t_seq,
-            cpu_index_tuple_cost=(
-                blended_times["cpu_index_tuple_cost"] / blended_t_seq
-            ),
-            cpu_operator_cost=blended_times["cpu_operator_cost"] / blended_t_seq,
-            cpu_like_byte_cost=blended_times["cpu_like_byte_cost"] / blended_t_seq,
-            effective_cache_size=int(blended_cache),
-            sort_mem_pages=int(blended_sort),
-            seconds_per_seq_page=blended_t_seq,
-        )
+        # Blend in the *time* domain via the shared surrogate rule
+        # (repro.surrogate.surface.blend_corners): the ratio parameters
+        # are per-unit times divided by T_seq, and both numerator and
+        # denominator vary with the allocation — interpolating the
+        # ratios directly compounds their curvatures. Imported lazily:
+        # the surrogate package is an optional consumer of this module,
+        # never a load-time dependency.
+        from repro.surrogate.surface import blend_corners
+
+        # Historical behavior: cache-side interpolation blends without
+        # the monotonicity clamp (the full surrogate guard rails live on
+        # ParameterSurface, the dedicated fit object).
+        return blend_corners(
+            [(self._cache[corner], weight) for corner, weight in corners],
+            clamp=False)

@@ -4,6 +4,7 @@ Exposes the library's main flows without writing Python::
 
     python -m repro calibrate --cpu 0.5 --memory 0.5 --io 0.5 [--save P.json]
     python -m repro design --scale 0.01 --grid 4 --algorithm exhaustive
+    python -m repro design --continuous --surrogate-tol 0.05 [--save P.json]
     python -m repro explain --query Q4 --cpu 0.5
     python -m repro experiment fig3|fig4|fig5
     python -m repro report [--json] [--algorithm greedy]
@@ -26,6 +27,17 @@ one per CPU core) and ``--pool serial|thread|process``: cost-model
 evaluations and calibration trials then run through a batched
 :class:`~repro.parallel.EvaluationEngine`. Results are bit-identical
 for every worker count (see ``docs/parallelism.md``).
+
+``design --continuous`` fits a calibration surrogate (an adaptively
+refined :class:`~repro.surrogate.ParameterSurface`, built to
+``--surrogate-tol`` within ``--surrogate-budget`` calibration requests)
+and searches continuous allocations down to steps of
+``1/(grid * fine-factor)`` against it — interpolated parameters, no
+extra experiments. A search-in-the-loop polish phase then spends the
+remaining budget anchoring and refining the lattice around the
+allocations the search proposes (see ``docs/surrogate.md``). ``--save``
+persists the cache *with* the fit (v3 format); a later ``--load`` of
+that file skips the fitting entirely.
 
 Every command accepts ``--stats`` (print a run report of the counted
 work after the command's own output) and ``--stats-json PATH`` (write
@@ -103,6 +115,23 @@ def cmd_calibrate(args) -> int:
     return 0
 
 
+def _design_continuous(cache, problem, args, engine=None):
+    """Run the fit → polish → search pipeline for ``--continuous``."""
+    from repro.surrogate import design_continuous
+
+    outcome = design_continuous(
+        problem, cache, algorithm=args.algorithm, grid=args.grid,
+        fine_factor=args.fine_factor, tolerance=args.surrogate_tol,
+        max_calibrations=args.surrogate_budget, engine=engine)
+    print(f"Surrogate: {outcome.surface.n_knots} knot(s) from "
+          f"{outcome.calibrations} calibration request(s) "
+          f"({outcome.fit.refinements} cross-validation refinement(s), "
+          f"{outcome.polish_iterations} polish round(s), "
+          + ("converged" if outcome.converged else "stopped on budget")
+          + ")", file=sys.stderr)
+    return outcome
+
+
 def cmd_design(args) -> int:
     machine = laboratory_machine()
     print(f"Loading TPC-H (scale factor {args.scale}) ...", file=sys.stderr)
@@ -119,15 +148,30 @@ def cmd_design(args) -> int:
     problem = VirtualizationDesignProblem(
         machine=machine, specs=specs, controlled_resources=resources,
     )
-    designer = VirtualizationDesigner(problem, OptimizerCostModel(cache))
     engine = make_engine(args.workers, args.pool)
     try:
-        design = designer.design(args.algorithm, grid=args.grid,
-                                 engine=engine)
+        if args.continuous and cache.surrogate is None:
+            # Fit + search-in-the-loop polish (a loaded v3 cache that
+            # already carries a fit skips straight to the search).
+            design = _design_continuous(cache, problem, args,
+                                        engine=engine).design
+        else:
+            source = cache.surrogate if args.continuous else cache
+            designer = VirtualizationDesigner(problem,
+                                              OptimizerCostModel(source))
+            design = designer.design(args.algorithm, grid=args.grid,
+                                     engine=engine,
+                                     continuous=args.continuous,
+                                     fine_factor=args.fine_factor)
     finally:
         if engine is not None:
             engine.close()
     print(design.summary())
+    if args.save:
+        count = cache.save(args.save)
+        print(f"\nSaved {count} calibrated point(s)"
+              + (" and the surrogate fit" if cache.surrogate else "")
+              + f" to {args.save}")
     if args.validate:
         measured = MeasuredCostModel(machine, calibration=cache)
         rows = []
@@ -345,6 +389,10 @@ def _run_supervised(plan: FaultPlan, args, resume: bool) -> int:
         max_units=args.max_units,
         extra_meta={"scale": args.scale},
         workers=args.workers, pool=args.pool,
+        continuous=getattr(args, "continuous", False),
+        fine_factor=getattr(args, "fine_factor", 8),
+        surrogate_tol=getattr(args, "surrogate_tol", 0.05),
+        surrogate_budget=getattr(args, "surrogate_budget", 24),
     )
     run = supervisor.run(resume=resume)
     if not run.completed:
@@ -379,6 +427,10 @@ def cmd_chaos(args) -> int:
           f"host-degrade={plan.host_degrade_rate:.0%}) ...", file=sys.stderr)
     if args.journal:
         return _run_supervised(plan, args, resume=False)
+    if args.continuous:
+        print("error: chaos --continuous requires --journal "
+              "(the surrogate fit is journaled)", file=sys.stderr)
+        return 2
     problem = _chaos_problem(args.scale)
     engine = make_engine(args.workers, args.pool)
     runner = CalibrationRunner(
@@ -420,6 +472,10 @@ def cmd_resume(args) -> int:
     args.grid = int(meta.get("grid", 4))
     args.watchdog_probes = int(meta.get("watchdog_probes", 0))
     args.max_evaluations = None
+    args.continuous = bool(meta.get("continuous", False))
+    args.fine_factor = int(meta.get("fine_factor", 8))
+    args.surrogate_tol = float(meta.get("surrogate_tol", 0.05))
+    args.surrogate_budget = meta.get("surrogate_budget", 24)
     if args.workers is None and meta.get("workers") is not None:
         # Default to the original run's worker count; --workers N
         # overrides it, which is legitimate because results are
@@ -497,7 +553,26 @@ def build_parser() -> argparse.ArgumentParser:
                              "(cpu,memory,io; default cpu)")
     design.add_argument("--validate", action="store_true",
                         help="also measure the design vs the default")
+    design.add_argument("--continuous", action="store_true",
+                        help="search continuous allocations through a fitted "
+                             "calibration surrogate instead of the coarse "
+                             "grid (see docs/surrogate.md)")
+    design.add_argument("--surrogate-tol", type=float, default=0.05,
+                        metavar="TOL",
+                        help="cross-validated interpolation error tolerance "
+                             "driving adaptive surrogate refinement "
+                             "(default 0.05)")
+    design.add_argument("--surrogate-budget", type=int, default=24,
+                        metavar="N",
+                        help="cap on fresh calibrations the surrogate fit "
+                             "may spend (default 24)")
+    design.add_argument("--fine-factor", type=int, default=8, metavar="F",
+                        help="continuous-search resolution multiplier: "
+                             "allocations are explored down to steps of "
+                             "1/(grid*F) (default 8)")
     design.add_argument("--load", help="preload a saved calibration cache")
+    design.add_argument("--save", help="write the calibration cache (and any "
+                                       "surrogate fit) to a JSON file")
     design.set_defaults(func=cmd_design)
 
     explain = subparsers.add_parser(
@@ -570,6 +645,21 @@ def build_parser() -> argparse.ArgumentParser:
     chaos.add_argument("--max-units", type=int, default=None,
                        help="simulate a crash after N newly journaled units "
                             "(journaled runs only)")
+    chaos.add_argument("--continuous", action="store_true",
+                       help="journaled runs only: fit a calibration "
+                            "surrogate (crash-recoverably) and search "
+                            "continuous allocations against it")
+    chaos.add_argument("--surrogate-tol", type=float, default=0.05,
+                       metavar="TOL",
+                       help="surrogate refinement tolerance "
+                            "(--continuous; default 0.05)")
+    chaos.add_argument("--surrogate-budget", type=int, default=24,
+                       metavar="N",
+                       help="surrogate calibration-request budget "
+                            "(--continuous; default 24)")
+    chaos.add_argument("--fine-factor", type=int, default=8, metavar="F",
+                       help="continuous-search resolution multiplier "
+                            "(--continuous; default 8)")
     chaos.set_defaults(func=cmd_chaos)
 
     resume = subparsers.add_parser(

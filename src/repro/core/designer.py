@@ -116,20 +116,26 @@ class VirtualizationDesigner:
     def design(self, algorithm: Union[str, SearchAlgorithm] = "exhaustive",
                grid: int = 4, max_evaluations: Optional[int] = None,
                deadline_seconds: Optional[float] = None,
-               engine: Optional["EvaluationEngine"] = None) -> Design:
+               engine: Optional["EvaluationEngine"] = None,
+               continuous: bool = False, fine_factor: int = 8) -> Design:
         """Search for the best allocation of the controlled resources.
 
         *max_evaluations* / *deadline_seconds* bound the search when the
         cost model may be degraded (see ``docs/robustness.md``); with an
         *engine* the search runs its batched strategy (see
-        ``docs/parallelism.md``). Both apply only when *algorithm* is
-        given by name.
+        ``docs/parallelism.md``); with *continuous* the search leaves
+        the coarse grid for allocations down to a
+        ``1/(grid * fine_factor)`` resolution — pair it with a cost
+        model backed by a fitted surrogate so the extra allocations cost
+        interpolations, not experiments (``docs/surrogate.md``). All
+        apply only when *algorithm* is given by name.
         """
         if isinstance(algorithm, str):
             algorithm = make_algorithm(algorithm, grid,
                                        max_evaluations=max_evaluations,
                                        deadline_seconds=deadline_seconds,
-                                       engine=engine)
+                                       engine=engine, continuous=continuous,
+                                       fine_factor=fine_factor)
         result: SearchResult = algorithm.search(self._problem, self._cost_model)
 
         default = self._problem.default_allocation()

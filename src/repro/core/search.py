@@ -58,6 +58,21 @@ of the worker count, so a 4-worker run is bit-identical to a 1-worker
 run. Without an engine the original unbatched code path runs,
 unchanged.
 
+Continuous allocations
+----------------------
+With ``continuous=True`` the search is no longer confined to the coarse
+grid: greedy climbs with shrinking step sizes (halving the step each
+time it stalls, down to ``1/(grid * fine_factor)``), while exhaustive
+and dynamic programming enumerate a fine grid of
+``grid * fine_factor`` units. Continuous mode only makes economic sense
+with a cost model whose parameter source answers arbitrary allocations
+without fresh experiments — a fitted
+:class:`~repro.surrogate.ParameterSurface` (``repro design
+--continuous``, see ``docs/surrogate.md``). Refinement stages count on
+``search.step_refinements`` (labelled ``algorithm=<name>``); all
+bit-identity guarantees carry over, since every stage reuses the
+ordinary serial/batched strategies.
+
 Observability
 -------------
 Each run opens a ``search`` span tagged with the algorithm and grid and
@@ -201,17 +216,34 @@ class SearchAlgorithm(ABC):
 
     name = "base"
 
+    #: How :attr:`continuous` mode refines this algorithm's resolution:
+    #: ``"fine-grid"`` multiplies the grid by :attr:`fine_factor` up
+    #: front (exhaustive, DP); ``"shrinking-steps"`` starts at the base
+    #: grid and halves the step size whenever the climb stalls (greedy).
+    continuous_strategy = "fine-grid"
+
     def __init__(self, grid: int = 4,
                  max_evaluations: Optional[int] = None,
                  deadline_seconds: Optional[float] = None,
-                 engine: Optional["EvaluationEngine"] = None):
+                 engine: Optional["EvaluationEngine"] = None,
+                 continuous: bool = False, fine_factor: int = 8):
         if grid < 1:
             raise AllocationError("grid must be at least 1")
         if max_evaluations is not None and max_evaluations < 1:
             raise AllocationError("max_evaluations must be at least 1")
         if deadline_seconds is not None and deadline_seconds <= 0:
             raise AllocationError("deadline_seconds must be positive")
+        if continuous and fine_factor < 2:
+            raise AllocationError("fine_factor must be at least 2")
         self.grid = grid
+        #: The coarse grid the caller asked for; in continuous mode
+        #: :attr:`grid` is the *effective* resolution, up to
+        #: ``base_grid * fine_factor``.
+        self.base_grid = grid
+        self.continuous = continuous
+        self.fine_factor = fine_factor
+        if continuous and self.continuous_strategy == "fine-grid":
+            self.grid = grid * fine_factor
         self.max_evaluations = max_evaluations
         self.deadline_seconds = deadline_seconds
         self.engine = engine
@@ -223,7 +255,8 @@ class SearchAlgorithm(ABC):
         Template method: opens a ``search`` span tagged with the
         algorithm and grid, then delegates to :meth:`_search`.
         """
-        with span("search", algorithm=self.name, grid=str(self.grid)):
+        with span("search", algorithm=self.name, grid=str(self.grid),
+                  continuous=str(self.continuous).lower()):
             return self._search(problem, cost_model)
 
     @abstractmethod
@@ -456,9 +489,20 @@ class ExhaustiveSearch(SearchAlgorithm):
 
 
 class GreedySearch(SearchAlgorithm):
-    """Hill climbing by single-unit transfers, starting from equal shares."""
+    """Hill climbing by single-unit transfers, starting from equal shares.
+
+    In continuous mode the climb runs with *shrinking step sizes*: it
+    starts at the base grid (step ``1/grid``) and, whenever no
+    single-unit move improves the cost, doubles the grid resolution —
+    halving the step — and resumes from the same point, until the step
+    reaches ``1/(grid * fine_factor)``. Every stage reuses the ordinary
+    single-unit-move frontier, so the serial/batched strategies (and
+    their bit-identical-across-workers guarantee) carry over unchanged.
+    """
 
     name = "greedy"
+
+    continuous_strategy = "shrinking-steps"
 
     def _search(self, problem: VirtualizationDesignProblem,
                 cost_model: CostModel) -> SearchResult:
@@ -469,6 +513,33 @@ class GreedySearch(SearchAlgorithm):
         matrix = self._matrix(problem, units_by_name)
         current_cost, _ = self._evaluate(problem, cost_model, matrix, budget)
 
+        base_grid = self.grid
+        try:
+            units_by_name, current_cost = self._climb(
+                problem, cost_model, budget, names, units_by_name,
+                current_cost)
+            while (self.continuous and not budget.exhausted()
+                   and self.grid * 2 <= base_grid * self.fine_factor):
+                # Halve the step: double the resolution, rescale the
+                # current point, and climb again from where we stand.
+                self.grid *= 2
+                units_by_name = {
+                    name: {kind: value * 2 for kind, value in units.items()}
+                    for name, units in units_by_name.items()
+                }
+                metrics.counter("search.step_refinements",
+                                algorithm=self.name).inc()
+                units_by_name, current_cost = self._climb(
+                    problem, cost_model, budget, names, units_by_name,
+                    current_cost)
+            return self._finish(problem, cost_model, units_by_name,
+                                budget, stopped=budget.stopped)
+        finally:
+            self.grid = base_grid
+
+    def _climb(self, problem, cost_model, budget, names, units_by_name,
+               current_cost):
+        """Hill-climb at the current resolution until no move improves."""
         improved = True
         while improved and not budget.exhausted():
             improved = False
@@ -484,9 +555,7 @@ class GreedySearch(SearchAlgorithm):
                 units_by_name = best_move
                 current_cost = best_cost
                 improved = True
-
-        return self._finish(problem, cost_model, units_by_name,
-                            budget, stopped=budget.stopped)
+        return units_by_name, current_cost
 
     def _moves(self, problem: VirtualizationDesignProblem, names,
                units_by_name) -> Iterator[Dict[str, Dict[ResourceKind, int]]]:
@@ -684,12 +753,15 @@ ALGORITHMS = {
 def make_algorithm(name: str, grid: int,
                    max_evaluations: Optional[int] = None,
                    deadline_seconds: Optional[float] = None,
-                   engine: Optional["EvaluationEngine"] = None) -> SearchAlgorithm:
+                   engine: Optional["EvaluationEngine"] = None,
+                   continuous: bool = False,
+                   fine_factor: int = 8) -> SearchAlgorithm:
     """Instantiate a search algorithm by name."""
     try:
         return ALGORITHMS[name](grid=grid, max_evaluations=max_evaluations,
                                 deadline_seconds=deadline_seconds,
-                                engine=engine)
+                                engine=engine, continuous=continuous,
+                                fine_factor=fine_factor)
     except KeyError:
         raise AllocationError(
             f"unknown search algorithm {name!r}; available: {sorted(ALGORITHMS)}"

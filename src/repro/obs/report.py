@@ -46,13 +46,23 @@ Headline keys
 ``fallbacks``                  ``P(R)`` lookups served by the fallback chain
 ``budget_stops``               searches stopped early on budget/deadline
 ``recoveries``                 watchdog recovery actions (restart/migrate/...)
+``surrogate_lookups``          ``P(R)`` answers served by a fitted surrogate
+``surrogate_hits``             surrogate lookups that landed on a knot
+``surrogate_interpolated``     surrogate lookups answered by interpolation
+``surrogate_clamped``          lookups the extrapolation guard clamped first
+``surrogate_calibrations``     calibration requests spent fitting surrogates
+``surrogate_refinements``      adaptive-refinement rounds executed
+``surrogate_polish``           search-in-the-loop polish rounds executed
 =============================  ==============================================
 
 The five resilience keys (``faults_injected`` … ``budget_stops``) were
 added in format 2 together with the ``repro chaos`` command;
 ``recoveries`` (backed by the ``resilience.recovery`` counter) arrived
-in format 3 with the watchdog and run supervisor. See
-``docs/robustness.md`` for the metric names behind them.
+in format 3 with the watchdog and run supervisor; the seven surrogate
+keys (backed by the ``surrogate.*`` counters) arrived in format 4 with
+the calibration surrogate and continuous-allocation search. See
+``docs/robustness.md`` and ``docs/surrogate.md`` for the metric names
+behind them.
 
 Usage
 -----
@@ -80,7 +90,7 @@ from repro.obs.spans import SpanRecorder, get_recorder
 from repro.util.errors import ObservabilityError
 from repro.util.tables import format_table
 
-FORMAT = "repro-run-report/3"
+FORMAT = "repro-run-report/4"
 
 
 def _counter_totals(snapshot: dict, name: str) -> float:
@@ -140,6 +150,18 @@ def summarize(snapshot: dict, span_aggregate: Dict[str, dict],
         "fallbacks": _counter_totals(snapshot, "resilience.fallbacks"),
         "budget_stops": _counter_totals(snapshot, "search.budget_stops"),
         "recoveries": _counter_totals(snapshot, "resilience.recovery"),
+        "surrogate_lookups": _counter_totals(snapshot, "surrogate.lookups"),
+        "surrogate_hits": _by_label(
+            snapshot, "surrogate.lookups", "result").get("hit", 0.0),
+        "surrogate_interpolated": _by_label(
+            snapshot, "surrogate.lookups", "result").get("interpolated", 0.0),
+        "surrogate_clamped": _by_label(
+            snapshot, "surrogate.lookups", "result").get("clamped", 0.0),
+        "surrogate_calibrations": _counter_totals(
+            snapshot, "surrogate.calibrations"),
+        "surrogate_refinements": _counter_totals(
+            snapshot, "surrogate.refinements"),
+        "surrogate_polish": _counter_totals(snapshot, "surrogate.polish"),
     }
 
 
@@ -275,6 +297,25 @@ class RunReport:
                     for action, count in sorted(recoveries.items())]
             sections.append(format_table(
                 ["event", "count"], rows, title="Recovery",
+            ))
+
+        if summary.get("surrogate_lookups", 0):
+            refinements = _by_label(self.metrics, "surrogate.refinements",
+                                    "axis")
+            rows = [
+                ["lookups (hit / interpolated / clamped)",
+                 f"{summary.get('surrogate_hits', 0):.0f} / "
+                 f"{summary.get('surrogate_interpolated', 0):.0f} / "
+                 f"{summary.get('surrogate_clamped', 0):.0f}"],
+                ["calibration requests (fitting)",
+                 f"{summary.get('surrogate_calibrations', 0):.0f}"],
+                ["polish rounds",
+                 f"{summary.get('surrogate_polish', 0):.0f}"],
+            ]
+            rows.extend([[f"refinements ({axis})", f"{count:.0f}"]
+                         for axis, count in sorted(refinements.items())])
+            sections.append(format_table(
+                ["measure", "value"], rows, title="Surrogate",
             ))
 
         searches = _by_label(self.metrics, "search.evaluations", "algorithm")

@@ -8,7 +8,10 @@ a fault plan, checkpointing every completed unit of work into a
 * a ``calibration`` record per freshly calibrated allocation
   (appended by :class:`~repro.calibration.cache.CalibrationCache`);
 * an ``evaluation`` record per fresh cost-model evaluation
-  (appended by :class:`JournalingCostModel`);
+  (appended by :class:`JournalingCostModel`) — grid mode only: in
+  continuous mode evaluations are pure surrogate arithmetic, so only
+  the calibrations (the expensive, experiment-backed units) journal
+  and the fit/polish/search pipeline simply re-runs on resume;
 * a final ``result`` record carrying the design summary and the
   watchdog's recovery actions.
 
@@ -188,7 +191,10 @@ class RunSupervisor:
                  max_units: Optional[int] = None,
                  extra_meta: Optional[Dict[str, Any]] = None,
                  workbench=None,
-                 workers: Optional[int] = None, pool: str = "thread"):
+                 workers: Optional[int] = None, pool: str = "thread",
+                 continuous: bool = False, fine_factor: int = 8,
+                 surrogate_tol: float = 0.05,
+                 surrogate_budget: Optional[int] = 24):
         self._problem = problem
         self._journal_path = journal_path
         self._plan = plan or FaultPlan(name="none")
@@ -199,6 +205,17 @@ class RunSupervisor:
         self._watchdog_probes = watchdog_probes
         self._max_units = max_units
         self._extra_meta = dict(extra_meta or {})
+        #: Continuous-allocation mode: fit a calibration surrogate
+        #: (journaled knot by knot, so the fit is crash-recoverable)
+        #: and search continuous allocations against it. Part of the
+        #: journal identity — a continuous run cannot resume as a
+        #: grid run or vice versa. The surrogate budget counts
+        #: calibration *requests* (replayed knots included), so a
+        #: resumed fit stops at exactly the same point.
+        self._continuous = continuous
+        self._fine_factor = fine_factor
+        self._surrogate_tol = surrogate_tol
+        self._surrogate_budget = surrogate_budget
         #: Optional calibration workbench override (smaller synthetic
         #: databases make the equivalence tests affordable). Not part of
         #: the journal identity: the caller must supply the same one on
@@ -238,18 +255,26 @@ class RunSupervisor:
                            in self._problem.controlled_resources],
             "watchdog_probes": self._watchdog_probes,
             "workers": self._workers,
+            "continuous": self._continuous,
+            "fine_factor": self._fine_factor,
+            "surrogate_tol": self._surrogate_tol,
+            "surrogate_budget": self._surrogate_budget,
         }
         meta.update(self._extra_meta)
         return meta
 
     _IDENTITY_KEYS = ("plan", "algorithm", "grid", "machine", "workloads",
-                      "controlled", "watchdog_probes")
+                      "controlled", "watchdog_probes", "continuous",
+                      "fine_factor", "surrogate_tol", "surrogate_budget")
 
     def _check_meta(self, recorded: Dict[str, Any]) -> None:
         expected = self._meta()
+        # Identity keys absent from the recorded meta (a journal written
+        # before that key existed) are skipped rather than treated as a
+        # mismatch, so old journals stay resumable.
         mismatched = sorted(
             key for key in self._IDENTITY_KEYS
-            if recorded.get(key) != expected[key]
+            if key in recorded and recorded[key] != expected[key]
         )
         if mismatched:
             raise RecoveryError(
@@ -283,11 +308,34 @@ class RunSupervisor:
         prior_result = self._prior_result(journal)
 
         try:
-            designer = VirtualizationDesigner(self._problem, cost_model)
-            design = designer.design(
-                self._algorithm, grid=self._grid,
-                max_evaluations=self._max_evaluations,
-                engine=engine)
+            if self._continuous:
+                # Continuous mode journals only calibrations: every
+                # knot the fit/polish pays for commits the moment it
+                # completes, while the searches between calibrations
+                # are pure surrogate arithmetic — cheap to re-run on
+                # resume and impossible to double-charge. Journaling
+                # their evaluations would poison the polish loop: a
+                # memoized cost from an earlier, coarser surface would
+                # shadow the refitted one.
+                from repro.surrogate import design_continuous
+
+                outcome = design_continuous(
+                    self._problem, cache, algorithm=self._algorithm,
+                    grid=self._grid, fine_factor=self._fine_factor,
+                    tolerance=self._surrogate_tol,
+                    max_calibrations=self._surrogate_budget,
+                    max_evaluations=self._max_evaluations,
+                    engine=engine)
+                design = outcome.design
+                designer = VirtualizationDesigner(
+                    self._problem, OptimizerCostModel(outcome.surface))
+            else:
+                designer = VirtualizationDesigner(self._problem, cost_model)
+                design = designer.design(
+                    self._algorithm, grid=self._grid,
+                    max_evaluations=self._max_evaluations,
+                    engine=engine, continuous=False,
+                    fine_factor=self._fine_factor)
             actions = self._deploy_and_watch(designer, design, injector)
         except _UnitBudgetExceeded:
             return SupervisedRun(design=None, completed=False,

@@ -1,0 +1,51 @@
+"""Calibration surrogate: interpolated parameter surfaces over allocations.
+
+``P(R)`` depends only on the resource allocation (the paper's central
+observation), so it can be fitted once over a lattice of calibrated
+knots and then served for *any* allocation without further experiments.
+:class:`ParameterSurface` is the fitted model (multilinear
+interpolation, monotonicity clamps, extrapolation guards);
+:class:`SurrogateBuilder` grows the lattice adaptively, calibrating new
+knots only where cross-validated interpolation error exceeds a
+tolerance; :func:`design_continuous` adds the search-in-the-loop polish
+phase that anchors and refines the lattice around the allocations the
+search actually proposes. See ``docs/surrogate.md``.
+"""
+
+from repro.surrogate.polish import (
+    ContinuousDesign,
+    PolishOutcome,
+    design_continuous,
+    polish,
+)
+from repro.surrogate.refine import (
+    DEFAULT_TOLERANCE,
+    RefinementReport,
+    SurrogateBuilder,
+    design_levels,
+    relative_error,
+)
+from repro.surrogate.surface import (
+    AXIS_NAMES,
+    RATIO_NAMES,
+    ParameterSurface,
+    blend_corners,
+    knot_key,
+)
+
+__all__ = [
+    "AXIS_NAMES",
+    "ContinuousDesign",
+    "DEFAULT_TOLERANCE",
+    "ParameterSurface",
+    "PolishOutcome",
+    "RATIO_NAMES",
+    "RefinementReport",
+    "SurrogateBuilder",
+    "blend_corners",
+    "design_continuous",
+    "design_levels",
+    "knot_key",
+    "polish",
+    "relative_error",
+]

@@ -1,0 +1,264 @@
+"""Search-in-the-loop polish: spend calibrations where the search looks.
+
+Cross-validation refinement (:class:`~repro.surrogate.refine.SurrogateBuilder`)
+controls the surface's *global* parameter error, but a search only needs
+the surface to be accurate near the cost valley it is descending into —
+and multilinear interpolation of convex parameter curves systematically
+*overestimates* cost between knots, which can hide an interior optimum
+from the search entirely. The polish loop closes that gap:
+
+1. Run the actual continuous search against the current surface.
+2. Form a candidate set: the incumbent allocation plus its best
+   single-fine-unit neighbour (one unit of one controlled resource moved
+   between two workloads, scored by the same surrogate model).
+3. *Anchor*: any candidate share that is not yet a lattice level is
+   inserted and calibrated exactly — the incumbent's predicted cost
+   becomes its true cost.
+4. *Explore*: once all candidate shares are anchored, subdivide the
+   lattice intervals bracketing them (midpoint insertion) until the
+   brackets are no wider than one fine-grid step, so interpolation
+   error can no longer misrank the valley.
+5. Repeat until a search round needs no insertions (converged) or the
+   builder's request budget runs out.
+
+Everything is deterministic: candidates are ordered by (cost, resource,
+workload) with lexicographic tie-breaks, insertions are sorted, and the
+builder's budget counts requests (replayed knots included), so a
+killed-and-resumed polish — whose calibrations replay from the journal
+via the cache — walks exactly the same trajectory.
+
+:func:`design_continuous` is the one-call orchestrator used by the CLI
+and the recovery supervisor: fit (with budget reserved for polish),
+polish, attach the final surface to the cache.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
+
+from repro.obs import metrics
+from repro.surrogate.refine import (
+    DEFAULT_TOLERANCE,
+    RefinementReport,
+    SurrogateBuilder,
+    design_levels,
+)
+from repro.surrogate.surface import AXIS_NAMES, ParameterSurface
+from repro.virt.resources import ResourceKind, ResourceVector
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.calibration.cache import CalibrationCache
+    from repro.core.designer import Design
+
+
+def _axis_of(kind: ResourceKind) -> int:
+    return AXIS_NAMES.index(str(kind))
+
+
+def _best_neighbor(problem, allocation, model,
+                   fine: int) -> Optional[Dict[str, ResourceVector]]:
+    """Best single fine-unit transfer between two workloads, or ``None``.
+
+    Considers every (resource, donor, recipient) move of one ``1/fine``
+    share unit that keeps both workloads feasible, scores the resulting
+    allocation with *model*, and returns the per-workload vectors of the
+    cheapest one. Ties break lexicographically on (resource, donor,
+    recipient), so the choice is deterministic.
+    """
+    names = sorted(allocation.workload_names())
+    step = 1.0 / fine
+    best: Optional[Tuple[Tuple, Dict[str, ResourceVector]]] = None
+    for kind in problem.controlled_resources:
+        for src in names:
+            for dst in names:
+                if src == dst:
+                    continue
+                vectors = {name: allocation.vector_for(name)
+                           for name in names}
+                donated = vectors[src].share(kind) - step
+                received = vectors[dst].share(kind) + step
+                if donated < step - 1e-12 or received > 1.0 - step + 1e-12:
+                    continue
+                vectors[src] = vectors[src].with_share(kind,
+                                                       round(donated, 10))
+                vectors[dst] = vectors[dst].with_share(kind,
+                                                       round(received, 10))
+                cost = sum(model.cost(problem.spec(name), vectors[name])
+                           for name in names)
+                key = (cost, str(kind), src, dst)
+                if best is None or key < best[0]:
+                    best = (key, vectors)
+    return best[1] if best else None
+
+
+def _candidate_shares(problem, surface: ParameterSurface, candidates
+                      ) -> List[Tuple[int, float]]:
+    """Distinct (axis, share) targets, clamped to the calibrated hull."""
+    targets = set()
+    for vectors in candidates:
+        for vector in vectors.values():
+            for kind in problem.controlled_resources:
+                axis = _axis_of(kind)
+                levels = surface.axis_levels(axis)
+                share = min(max(round(vector.share(kind), 4),
+                                levels[0]), levels[-1])
+                targets.add((axis, round(share, 4)))
+    return sorted(targets)
+
+
+def _insertions(surface: ParameterSurface,
+                targets: List[Tuple[int, float]],
+                fine: int) -> List[Tuple[int, float]]:
+    """Levels to insert for *targets*: anchors first, then midpoints.
+
+    Anchoring (a target share that is not a lattice level) takes
+    priority — until every candidate share is exactly calibrated, the
+    incumbent's cost is interpolated and might be wrong. Once anchored,
+    the brackets around each target are subdivided while wider than one
+    fine-grid step.
+    """
+    anchors = []
+    for axis, share in targets:
+        levels = [round(v, 4) for v in surface.axis_levels(axis)]
+        if share not in levels and (axis, share) not in anchors:
+            anchors.append((axis, share))
+    if anchors:
+        return sorted(anchors)
+    midpoints = []
+    for axis, share in targets:
+        levels = [round(v, 4) for v in surface.axis_levels(axis)]
+        index = levels.index(share)
+        brackets = []
+        if index > 0:
+            brackets.append((levels[index - 1], share))
+        if index + 1 < len(levels):
+            brackets.append((share, levels[index + 1]))
+        for lo, hi in brackets:
+            if hi - lo <= 1.0 / fine:
+                continue
+            mid = round((lo + hi) / 2, 4)
+            if mid not in levels and (axis, mid) not in midpoints:
+                midpoints.append((axis, mid))
+    return sorted(midpoints)
+
+
+def _affordable_prefix(builder: SurrogateBuilder, surface: ParameterSurface,
+                       inserts: List[Tuple[int, float]]
+                       ) -> List[Tuple[int, float]]:
+    """Longest prefix of *inserts* the remaining budget can pay for."""
+    affordable: List[Tuple[int, float]] = []
+    for count in range(len(inserts), 0, -1):
+        prefix = inserts[:count]
+        if builder.budget_allows(builder.extension_cost(surface, prefix)):
+            affordable = prefix
+            break
+    return affordable
+
+
+@dataclass
+class PolishOutcome:
+    """What the polish loop produced."""
+
+    design: "Design"
+    surface: ParameterSurface
+    #: Polish rounds that inserted at least one level.
+    iterations: int
+    #: True when the final search round needed no insertions; False
+    #: when the calibration budget stopped the loop first.
+    converged: bool
+
+
+def polish(problem, builder: SurrogateBuilder, surface: ParameterSurface,
+           *, algorithm: str = "greedy", grid: int = 4,
+           fine_factor: int = 8, max_evaluations: Optional[int] = None,
+           engine=None) -> PolishOutcome:
+    """Alternate searching and targeted calibration until stable."""
+    from repro.core.cost_model import OptimizerCostModel
+    from repro.core.designer import VirtualizationDesigner
+
+    fine = grid * fine_factor
+    iterations = 0
+    while True:
+        model = OptimizerCostModel(surface)
+        designer = VirtualizationDesigner(problem, model)
+        design = designer.design(algorithm, grid=grid,
+                                 max_evaluations=max_evaluations,
+                                 engine=engine, continuous=True,
+                                 fine_factor=fine_factor)
+        names = design.allocation.workload_names()
+        candidates = [{name: design.allocation.vector_for(name)
+                       for name in names}]
+        neighbor = _best_neighbor(problem, design.allocation, model, fine)
+        if neighbor is not None:
+            candidates.append(neighbor)
+        targets = _candidate_shares(problem, surface, candidates)
+        inserts = _insertions(surface, targets, fine)
+        if not inserts:
+            return PolishOutcome(design=design, surface=surface,
+                                 iterations=iterations, converged=True)
+        inserts = _affordable_prefix(builder, surface, inserts)
+        if not inserts:
+            return PolishOutcome(design=design, surface=surface,
+                                 iterations=iterations, converged=False)
+        surface = builder.extend(surface, inserts)
+        iterations += 1
+        metrics.counter("surrogate.polish", algorithm=algorithm).inc()
+
+
+@dataclass
+class ContinuousDesign:
+    """One complete continuous-mode design: fit, polish, final search."""
+
+    design: "Design"
+    surface: ParameterSurface
+    fit: RefinementReport
+    #: Total calibration requests (fit + polish; replays included).
+    calibrations: int
+    polish_iterations: int
+    #: True when polish reached a fixed point within the budget.
+    converged: bool
+
+
+def design_continuous(problem, cache: "CalibrationCache", *,
+                      algorithm: str = "greedy", grid: int = 4,
+                      fine_factor: int = 8,
+                      tolerance: float = DEFAULT_TOLERANCE,
+                      max_calibrations: Optional[int] = 24,
+                      fit_reserve: Optional[int] = None,
+                      max_evaluations: Optional[int] = None,
+                      engine=None) -> ContinuousDesign:
+    """Fit a surrogate, polish it against the search, return the design.
+
+    The calibration-request budget is split between the two phases:
+    cross-validation refinement (:meth:`SurrogateBuilder.build`) gets
+    ``max_calibrations - fit_reserve`` and the search-in-the-loop polish
+    gets whatever is left. By default half the headroom above the
+    initial lattice is reserved for polish — global accuracy and
+    search-local accuracy matter equally until told otherwise.
+
+    The final surface (exact at every lattice knot the run paid for) is
+    attached to *cache*, so ``cache.save()`` persists it in the v3
+    format and a later load serves the same fit without refitting.
+    """
+    levels = design_levels(problem, grid, fine_factor)
+    cpu = levels[ResourceKind.CPU]
+    memory = levels[ResourceKind.MEMORY]
+    io = levels[ResourceKind.IO]
+    if fit_reserve is None:
+        if max_calibrations is None:
+            fit_reserve = 0
+        else:
+            lattice = len(cpu) * len(memory) * len(io)
+            fit_reserve = max(0, (max_calibrations - lattice) // 2)
+    builder = SurrogateBuilder(cache, tolerance=tolerance,
+                               max_calibrations=max_calibrations)
+    fit = builder.build(cpu, memory, io, reserve=fit_reserve)
+    outcome = polish(problem, builder, fit.surface, algorithm=algorithm,
+                     grid=grid, fine_factor=fine_factor,
+                     max_evaluations=max_evaluations, engine=engine)
+    cache.attach_surrogate(outcome.surface)
+    return ContinuousDesign(design=outcome.design, surface=outcome.surface,
+                            fit=fit, calibrations=builder.spent,
+                            polish_iterations=outcome.iterations,
+                            converged=outcome.converged)

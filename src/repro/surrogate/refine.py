@@ -1,0 +1,418 @@
+"""Adaptive refinement: calibrate new knots only where they matter.
+
+The builder starts from a coarse lattice of share levels, fits a
+:class:`~repro.surrogate.surface.ParameterSurface`, and then refines it
+with a leave-one-level-out cross-validation loop:
+
+1. For every *interior* level of every refinable axis, rebuild the
+   blend from the two neighbouring levels alone and predict the
+   parameters at each knot of the held-out plane.
+2. Score the plane by the worst relative error over the time-domain
+   parameters (:data:`ERROR_PARAMS`) against the exact calibrated
+   values.
+3. If the worst plane's error exceeds the tolerance, insert the
+   midpoints of the two bracketing intervals as new levels, calibrate
+   the new planes, and loop. Narrower intervals shrink the linear
+   interpolation error quadratically, so the loop converges for any
+   smooth parameter surface.
+
+Every calibration goes through the supplied
+:class:`~repro.calibration.cache.CalibrationCache`, which means:
+
+* **budget awareness** — the builder checks ``max_calibrations``
+  *before* paying for a plane and stops with ``stopped=True`` instead
+  of overshooting (the surface stays valid, just coarser than asked);
+* **crash recovery** — a cache constructed with a
+  :class:`~repro.recovery.journal.RunJournal` commits every calibrated
+  knot the moment it completes, so a killed refinement resumes by
+  replaying the journal into the cache and re-running the builder: the
+  replayed knots answer instantly and the loop continues from exactly
+  where it died, producing a bit-identical fit (asserted in
+  ``tests/surrogate/test_refine.py``);
+* **engine batching** — a cache whose runner carries a PR-4
+  :class:`~repro.parallel.EvaluationEngine` runs each calibration's
+  measurement trials as engine batches; the refinement loop itself
+  stays serial because experiments draw on sequential RNG streams.
+
+Observability: every refinement round increments
+``surrogate.refinements`` (labelled ``axis=<name>``); each fresh
+calibration the builder pays for is visible as ``calibration.cache.fresh``
+plus a ``surrogate.calibrations`` counter.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple
+
+from repro.obs import metrics
+from repro.optimizer.params import OptimizerParameters
+from repro.surrogate.surface import (
+    AXIS_NAMES,
+    Knot,
+    ParameterSurface,
+    blend_corners,
+    knot_key,
+)
+from repro.util.errors import SurrogateError
+from repro.virt.resources import ResourceVector
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.calibration.cache import CalibrationCache
+
+#: Default cross-validation tolerance: worst relative error allowed on
+#: a held-out plane before its bracketing intervals are subdivided.
+DEFAULT_TOLERANCE = 0.05
+
+#: Parameters scored by the cross-validation error metric — the
+#: time-domain quantities interpolation is supposed to reproduce. The
+#: integer capacity fields track the memory share by construction and
+#: are excluded.
+ERROR_PARAMS = ("random_page_cost", "cpu_tuple_cost",
+                "cpu_index_tuple_cost", "cpu_operator_cost",
+                "cpu_like_byte_cost", "seconds_per_seq_page")
+
+#: Intervals narrower than this are never subdivided further — the
+#: share axes are quantized at 1e-4, and a surface this fine is beyond
+#: any physical calibration's noise floor anyway.
+MIN_INTERVAL = 1e-3
+
+
+def design_levels(problem, grid: int, fine_factor: int):
+    """Initial lattice levels per axis for a continuous-design surrogate.
+
+    Controlled axes get three levels spanning the range a fine-grid
+    search of ``grid * fine_factor`` units can reach; uncontrolled axes
+    get exactly the fixed shares the problem pins them to (usually one
+    level). The memory floor keeps every lattice knot bootable — the
+    hypervisor refuses guests below ``MIN_GUEST_MEMORY_MIB``.
+
+    Returns a dict keyed by :class:`~repro.virt.resources.ResourceKind`.
+    *problem* is duck-typed (any object with ``n_workloads``,
+    ``machine``, ``controlled_resources``, ``fixed_share_for`` and
+    ``specs``), so this module stays independent of ``repro.core``.
+    """
+    from repro.virt.resources import ALL_RESOURCES, ResourceKind
+    from repro.virt.vm import MIN_GUEST_MEMORY_MIB
+
+    fine = grid * fine_factor
+    n = problem.n_workloads
+    levels = {}
+    for kind in ALL_RESOURCES:
+        if kind in problem.controlled_resources:
+            lo = 1.0 / fine
+            if kind is ResourceKind.MEMORY:
+                lo = max(lo, MIN_GUEST_MEMORY_MIB / problem.machine.memory_mib)
+            hi = 1.0 - (n - 1) / fine
+            levels[kind] = (round(lo, 4), round((lo + hi) / 2, 4),
+                            round(hi, 4))
+        else:
+            levels[kind] = tuple(sorted({
+                round(problem.fixed_share_for(kind, spec.name), 4)
+                for spec in problem.specs
+            }))
+    return levels
+
+
+def relative_error(predicted: OptimizerParameters,
+                   exact: OptimizerParameters) -> float:
+    """Worst relative error over :data:`ERROR_PARAMS`."""
+    predicted_values = predicted.as_dict()
+    exact_values = exact.as_dict()
+    worst = 0.0
+    for name in ERROR_PARAMS:
+        reference = max(abs(exact_values[name]), 1e-12)
+        worst = max(worst,
+                    abs(predicted_values[name] - exact_values[name])
+                    / reference)
+    return worst
+
+
+@dataclass
+class RefinementReport:
+    """What one :meth:`SurrogateBuilder.build` call did."""
+
+    surface: ParameterSurface
+    #: Exact-calibration requests made (initial lattice + refinement);
+    #: equals fresh experiments on a cold cache, and includes instantly
+    #: answered replays on a warm one (see
+    #: :meth:`SurrogateBuilder._calibrate`).
+    calibrations: int = 0
+    #: Refinement rounds executed (one per subdivided plane).
+    refinements: int = 0
+    #: Worst held-out-plane error at the final fit (0 when no axis has
+    #: interior levels to cross-validate).
+    worst_error: float = 0.0
+    #: True when the calibration budget stopped refinement early.
+    stopped: bool = False
+    #: (axis name, held-out level, error) per cross-validation score of
+    #: the final fit, for reports and tests.
+    scores: List[Tuple[str, float, float]] = field(default_factory=list)
+
+
+class SurrogateBuilder:
+    """Fits and adaptively refines a parameter surface."""
+
+    def __init__(self, cache: "CalibrationCache",
+                 tolerance: float = DEFAULT_TOLERANCE,
+                 max_calibrations: Optional[int] = None):
+        if tolerance <= 0:
+            raise SurrogateError("tolerance must be positive")
+        if max_calibrations is not None and max_calibrations < 1:
+            raise SurrogateError("max_calibrations must be at least 1")
+        self._cache = cache
+        self._tolerance = tolerance
+        self._max_calibrations = max_calibrations
+        self._spent = 0
+        #: Requests held back from the current phase's budget checks —
+        #: :meth:`build` sets this to its ``reserve`` argument so the
+        #: cross-validation loop leaves room for a later polish phase.
+        self._reserve = 0
+
+    # -- calibration plumbing ----------------------------------------------
+
+    @property
+    def spent(self) -> int:
+        """Calibration requests made so far (see :meth:`_calibrate`)."""
+        return self._spent
+
+    @property
+    def remaining(self) -> Optional[int]:
+        """Requests left in the budget (``None`` when unbounded)."""
+        if self._max_calibrations is None:
+            return None
+        return max(0, self._max_calibrations - self._spent)
+
+    def budget_allows(self, n_new: int) -> bool:
+        """Whether *n_new* more requests fit within the budget."""
+        return self._budget_allows(n_new)
+
+    def _budget_allows(self, n_new: int) -> bool:
+        if self._max_calibrations is None:
+            return True
+        return self._spent + n_new <= self._max_calibrations - self._reserve
+
+    def _calibrate(self, knot: Knot) -> OptimizerParameters:
+        """One exact calibration through the cache (journaled there).
+
+        The budget counts *requests*, not fresh experiments: a knot the
+        cache already holds (warm cache, journal replay on resume) is
+        answered instantly but still spends one budget unit. That makes
+        the budget's stop decision a pure function of the knot sequence
+        — a killed-and-resumed refinement, whose early knots replay from
+        the journal, stops at exactly the same point as an uninterrupted
+        one. On a cold cache, requests and fresh experiments coincide.
+        """
+        params = self._cache.params_for(
+            ResourceVector.of(cpu=knot[0], memory=knot[1], io=knot[2]),
+            exact=True)
+        self._spent += 1
+        metrics.counter("surrogate.calibrations").inc()
+        return params
+
+    def _calibrate_plane(self, axes: List[List[float]], axis: int,
+                         level: float,
+                         knots: Dict[Knot, OptimizerParameters]) -> None:
+        """Calibrate every knot of one axis level's plane, in order."""
+        from itertools import product
+        other = [axes[a] if a != axis else [level] for a in range(3)]
+        for coords in product(*other):
+            knot = knot_key(coords)
+            if knot not in knots:
+                knots[knot] = self._calibrate(knot)
+
+    @staticmethod
+    def _plane_size(axes: List[List[float]], axis: int) -> int:
+        size = 1
+        for a in range(3):
+            if a != axis:
+                size *= len(axes[a])
+        return size
+
+    # -- cross-validation ---------------------------------------------------
+
+    def _held_out_error(self, axes: List[List[float]], axis: int,
+                        index: int,
+                        knots: Dict[Knot, OptimizerParameters]) -> float:
+        """Worst error predicting level *index* from its two neighbours."""
+        from itertools import product
+        lo = axes[axis][index - 1]
+        hi = axes[axis][index + 1]
+        level = axes[axis][index]
+        fraction = (level - lo) / (hi - lo)
+        other = [axes[a] if a != axis else [level] for a in range(3)]
+        worst = 0.0
+        for coords in product(*other):
+            lo_knot = knot_key(tuple(
+                lo if a == axis else coords[a] for a in range(3)))
+            hi_knot = knot_key(tuple(
+                hi if a == axis else coords[a] for a in range(3)))
+            predicted = blend_corners(
+                [(knots[lo_knot], 1.0 - fraction), (knots[hi_knot], fraction)],
+                clamp=True)
+            worst = max(worst,
+                        relative_error(predicted, knots[knot_key(coords)]))
+        return worst
+
+    def _scores(self, axes: List[List[float]], refinable: Sequence[int],
+                knots: Dict[Knot, OptimizerParameters]
+                ) -> List[Tuple[int, int, float]]:
+        """(axis, interior index, error) for every held-out plane."""
+        scores = []
+        for axis in refinable:
+            for index in range(1, len(axes[axis]) - 1):
+                scores.append((axis, index,
+                               self._held_out_error(axes, axis, index,
+                                                    knots)))
+        return scores
+
+    # -- the build loop -----------------------------------------------------
+
+    def build(self, cpu_levels: Sequence[float],
+              memory_levels: Sequence[float],
+              io_levels: Sequence[float] = (1.0,),
+              reserve: int = 0) -> RefinementReport:
+        """Calibrate the initial lattice, then refine to tolerance.
+
+        Axes with a single level are fixed (uncontrolled resources) and
+        never refined; axes with two levels have no interior plane to
+        cross-validate until a refinement of another axis... they stay
+        as given — supply three levels (lo, mid, hi) on every axis you
+        want the error control to cover.
+
+        *reserve* holds that many budget units back from the
+        cross-validation loop (the lattice and refinements stop as if
+        the budget were ``max_calibrations - reserve``), leaving them
+        for a later :meth:`extend`-based polish phase.
+        """
+        if reserve < 0:
+            raise SurrogateError("reserve must be non-negative")
+        self._reserve = reserve
+        try:
+            return self._build(cpu_levels, memory_levels, io_levels)
+        finally:
+            self._reserve = 0
+
+    def _build(self, cpu_levels: Sequence[float],
+               memory_levels: Sequence[float],
+               io_levels: Sequence[float]) -> RefinementReport:
+        axes: List[List[float]] = [
+            sorted({round(float(v), 4) for v in levels})
+            for levels in (cpu_levels, memory_levels, io_levels)
+        ]
+        for axis, values in enumerate(axes):
+            if not values:
+                raise SurrogateError(
+                    f"axis {AXIS_NAMES[axis]} needs at least one level")
+        refinable = [axis for axis in range(3) if len(axes[axis]) >= 3]
+
+        knots: Dict[Knot, OptimizerParameters] = {}
+        report = RefinementReport(surface=None)  # type: ignore[arg-type]
+        # Initial lattice, in deterministic product order.
+        from itertools import product
+        lattice = [knot_key(coords) for coords in product(*axes)]
+        if not self._budget_allows(len(lattice)):
+            raise SurrogateError(
+                "max_calibrations cannot cover the initial lattice "
+                f"({len(lattice)} knots needed, "
+                f"{self._max_calibrations} allowed)")
+        for knot in lattice:
+            knots[knot] = self._calibrate(knot)
+
+        while True:
+            scores = self._scores(axes, refinable, knots)
+            over = [(error, axis, index)
+                    for axis, index, error in scores
+                    if error > self._tolerance]
+            if not over:
+                break
+            error, axis, index = max(over)
+            lo = axes[axis][index - 1]
+            level = axes[axis][index]
+            hi = axes[axis][index + 1]
+            new_levels = [round((lo + level) / 2, 4),
+                          round((level + hi) / 2, 4)]
+            new_levels = [v for v in new_levels
+                          if v not in axes[axis]
+                          and min(abs(v - lo), abs(v - level),
+                                  abs(v - hi)) >= MIN_INTERVAL / 2]
+            if not new_levels:
+                break  # intervals are at the resolution floor
+            cost = len(new_levels) * self._plane_size(axes, axis)
+            if not self._budget_allows(cost):
+                report.stopped = True
+                break
+            for new_level in new_levels:
+                axes[axis] = sorted(axes[axis] + [new_level])
+                self._calibrate_plane(axes, axis, new_level, knots)
+            report.refinements += 1
+            metrics.counter("surrogate.refinements",
+                            axis=AXIS_NAMES[axis]).inc()
+
+        final_scores = self._scores(axes, refinable, knots)
+        report.scores = [(AXIS_NAMES[axis], axes[axis][index], error)
+                         for axis, index, error in final_scores]
+        report.worst_error = max(
+            (error for _a, _l, error in report.scores), default=0.0)
+        report.calibrations = self._spent
+        report.surface = ParameterSurface(knots, tolerance=self._tolerance)
+        return report
+
+    # -- targeted extension (search-in-the-loop polish) ---------------------
+
+    def extension_cost(self, surface: ParameterSurface,
+                       additions: Sequence[Tuple[int, float]]) -> int:
+        """Calibrations :meth:`extend` would pay for *additions*.
+
+        Counts the new knots of each inserted level's plane, with planes
+        sized against the levels already inserted by earlier additions
+        (cross knots are counted once).
+        """
+        axes = [list(surface.axis_levels(axis)) for axis in range(3)]
+        total = 0
+        for axis, level in self._new_levels(axes, additions):
+            axes[axis] = sorted(axes[axis] + [level])
+            total += self._plane_size(axes, axis)
+        return total
+
+    @staticmethod
+    def _new_levels(axes: List[List[float]],
+                    additions: Sequence[Tuple[int, float]]
+                    ) -> List[Tuple[int, float]]:
+        """Deduplicated ``(axis, level)`` pairs in deterministic order."""
+        seen = set()
+        new = []
+        for axis, level in sorted(
+                (axis, round(float(level), 4)) for axis, level in additions):
+            if level not in axes[axis] and (axis, level) not in seen:
+                seen.add((axis, level))
+                new.append((axis, level))
+        return new
+
+    def extend(self, surface: ParameterSurface,
+               additions: Sequence[Tuple[int, float]]) -> ParameterSurface:
+        """Insert *additions* (``(axis, level)`` pairs) into *surface*.
+
+        Calibrates every new knot needed to keep the lattice complete
+        (one plane per inserted level, sized against all levels inserted
+        so far) and returns the extended surface. The builder's request
+        budget keeps counting across :meth:`build` and :meth:`extend`
+        calls — check :meth:`extension_cost` against :meth:`budget_allows`
+        first; extending past the budget raises
+        :class:`~repro.util.errors.SurrogateError`.
+        """
+        axes = [list(surface.axis_levels(axis)) for axis in range(3)]
+        new = self._new_levels(axes, additions)
+        if not new:
+            return surface
+        if not self._budget_allows(self.extension_cost(surface, additions)):
+            raise SurrogateError(
+                "extend() would exceed max_calibrations "
+                f"({self._max_calibrations}); check extension_cost() first")
+        knots = {knot: surface.knot_params(knot) for knot in surface.knots}
+        for axis, level in new:
+            axes[axis] = sorted(axes[axis] + [level])
+            self._calibrate_plane(axes, axis, level, knots)
+            metrics.counter("surrogate.refinements",
+                            axis=AXIS_NAMES[axis]).inc()
+        return ParameterSurface(knots, tolerance=surface.tolerance)

@@ -1,0 +1,268 @@
+"""The parameter surface: ``P(R)`` for *any* allocation, in O(1).
+
+A :class:`ParameterSurface` is the calibration surrogate the designer
+queries instead of running experiments: it holds the calibrated
+parameters at a complete lattice of allocation knots (the cross product
+of per-axis share levels over CPU x memory x I/O) and answers
+``params_for(R)`` for arbitrary allocations by multilinear
+interpolation between the surrounding knots. Lookups cost one binary
+search per axis plus an eight-corner blend — O(log knots) bracketing,
+O(1) arithmetic — no matter how fine the lattice is, which is what
+makes continuous-allocation search affordable (see
+``docs/surrogate.md``).
+
+Blending happens in the *time* domain: the ratio parameters are
+per-unit times divided by ``T_seq``, and both numerator and denominator
+vary with the allocation, so interpolating ratios directly compounds
+their curvatures. :func:`blend_corners` interpolates the underlying
+unit times and re-normalizes — the same rule
+:meth:`repro.calibration.cache.CalibrationCache._try_interpolate` has
+always used (it now delegates here).
+
+Guard rails
+-----------
+* **Monotonicity clamps**: every blended parameter is clamped to the
+  [min, max] range of the corner values that produced it, so the
+  re-normalization step can never push a prediction outside the locally
+  observed trend (``clamp=True`` in :func:`blend_corners`).
+* **Extrapolation guards**: a query outside the calibrated hull is
+  clamped, per axis, onto the hull boundary before interpolating —
+  linear *extrapolation* of a calibrated surface is unbounded nonsense
+  and is never performed. Clamped lookups are counted separately so a
+  run report shows when a search wandered off the fitted region.
+
+Accounting
+----------
+Every lookup increments exactly one ``surrogate.lookups`` counter
+(labelled ``result=hit|interpolated|clamped``): ``hit`` when the query
+lands exactly on a knot, ``interpolated`` between knots, ``clamped``
+when an extrapolation guard fired first. The counters surface in run
+reports next to the calibration-cache accounting (see
+``docs/observability.md``).
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+from repro.obs import metrics
+from repro.optimizer.params import OptimizerParameters
+from repro.util.errors import SurrogateError
+from repro.virt.resources import ResourceVector
+
+#: Share coordinates are quantized to this many decimals, matching the
+#: calibration cache's key quantization.
+KEY_DECIMALS = 4
+
+#: Axis names in canonical knot order.
+AXIS_NAMES = ("cpu", "memory", "io")
+
+#: The parameters blended in the time domain (everything except the
+#: pinned ``seq_page_cost`` and the integer capacity fields).
+RATIO_NAMES = ("random_page_cost", "cpu_tuple_cost",
+               "cpu_index_tuple_cost", "cpu_operator_cost",
+               "cpu_like_byte_cost")
+
+Knot = Tuple[float, float, float]
+
+
+def knot_key(shares: Iterable[float]) -> Knot:
+    """Canonical (rounded) knot coordinates."""
+    key = tuple(round(float(s), KEY_DECIMALS) for s in shares)
+    if len(key) != 3:
+        raise SurrogateError("allocation knots must have 3 shares")
+    return key
+
+
+def blend_corners(corners: Sequence[Tuple[OptimizerParameters, float]],
+                  clamp: bool = True) -> OptimizerParameters:
+    """Weighted blend of calibrated corner parameters, in the time domain.
+
+    *corners* pairs each corner's parameters with its (non-negative)
+    interpolation weight; weights are normalized here. With *clamp*,
+    each blended ratio parameter is clamped to the [min, max] of the
+    corner values — the monotonicity guard (module docstring).
+    """
+    total = sum(weight for _params, weight in corners)
+    if not corners or total <= 0:
+        raise SurrogateError("corner blend needs positive total weight")
+    blended_times: Dict[str, float] = {name: 0.0 for name in RATIO_NAMES}
+    blended_t_seq = 0.0
+    blended_cache = 0.0
+    blended_sort = 0.0
+    for params, weight in corners:
+        share = weight / total
+        blended_t_seq += params.seconds_per_seq_page * share
+        blended_cache += params.effective_cache_size * share
+        blended_sort += params.sort_mem_pages * share
+        values = params.as_dict()
+        for name in RATIO_NAMES:
+            blended_times[name] += (
+                values[name] * params.seconds_per_seq_page * share
+            )
+    ratios = {name: blended_times[name] / blended_t_seq
+              for name in RATIO_NAMES}
+    if clamp:
+        for name in RATIO_NAMES:
+            observed = [params.as_dict()[name] for params, _w in corners]
+            ratios[name] = min(max(ratios[name], min(observed)),
+                               max(observed))
+    return OptimizerParameters(
+        seq_page_cost=1.0,
+        random_page_cost=ratios["random_page_cost"],
+        cpu_tuple_cost=ratios["cpu_tuple_cost"],
+        cpu_index_tuple_cost=ratios["cpu_index_tuple_cost"],
+        cpu_operator_cost=ratios["cpu_operator_cost"],
+        cpu_like_byte_cost=ratios["cpu_like_byte_cost"],
+        effective_cache_size=int(blended_cache),
+        sort_mem_pages=int(blended_sort),
+        seconds_per_seq_page=blended_t_seq,
+    )
+
+
+class ParameterSurface:
+    """A fitted multilinear parameter surface over a complete lattice."""
+
+    #: On-disk serialization format (embedded in cache v3 files).
+    FORMAT = "repro-surrogate-fit/1"
+
+    def __init__(self, knots: Mapping[Knot, OptimizerParameters],
+                 tolerance: Optional[float] = None):
+        if not knots:
+            raise SurrogateError("a parameter surface needs at least one knot")
+        self._knots: Dict[Knot, OptimizerParameters] = {
+            knot_key(knot): params for knot, params in knots.items()
+        }
+        self._axes: List[List[float]] = [
+            sorted({knot[axis] for knot in self._knots})
+            for axis in range(3)
+        ]
+        expected = 1
+        for values in self._axes:
+            expected *= len(values)
+        if len(self._knots) != expected:
+            missing = [
+                knot for knot in self._iter_lattice()
+                if knot not in self._knots
+            ]
+            raise SurrogateError(
+                f"surface lattice is incomplete: {len(self._knots)} knots "
+                f"for a {'x'.join(str(len(a)) for a in self._axes)} grid; "
+                f"missing e.g. {missing[0] if missing else '?'}")
+        #: The cross-validation tolerance the fit was refined to (None
+        #: when the surface was built without refinement).
+        self.tolerance = tolerance
+
+    def _iter_lattice(self):
+        from itertools import product
+        return (knot for knot in product(*self._axes))
+
+    # -- introspection ------------------------------------------------------
+
+    @property
+    def knots(self) -> List[Knot]:
+        """All knot coordinates, sorted."""
+        return sorted(self._knots)
+
+    @property
+    def n_knots(self) -> int:
+        return len(self._knots)
+
+    def axis_levels(self, axis: int) -> Tuple[float, ...]:
+        """The calibrated share levels along *axis* (0=cpu, 1=mem, 2=io)."""
+        return tuple(self._axes[axis])
+
+    def knot_params(self, knot: Iterable[float]) -> OptimizerParameters:
+        """Exact calibrated parameters at a knot (KeyError if absent)."""
+        return self._knots[knot_key(knot)]
+
+    def covers(self, allocation: ResourceVector) -> bool:
+        """Whether *allocation* lies inside the calibrated hull."""
+        target = knot_key(allocation.as_tuple())
+        return all(
+            self._axes[axis][0] - 1e-12 <= target[axis]
+            <= self._axes[axis][-1] + 1e-12
+            for axis in range(3)
+        )
+
+    # -- lookup -------------------------------------------------------------
+
+    def params_for(self, allocation: ResourceVector) -> OptimizerParameters:
+        """``P(R)`` for any allocation: knot hit, interpolation, or a
+        hull-clamped interpolation — never a fresh experiment."""
+        target = knot_key(allocation.as_tuple())
+        clamped = [
+            min(max(target[axis], self._axes[axis][0]), self._axes[axis][-1])
+            for axis in range(3)
+        ]
+        guard_fired = tuple(clamped) != target
+        exact = self._knots.get(tuple(clamped))
+        if exact is not None:
+            result = "clamped" if guard_fired else "hit"
+            metrics.counter("surrogate.lookups", result=result).inc()
+            return exact
+        corners: List[Tuple[OptimizerParameters, float]] = []
+        brackets = []
+        for axis in range(3):
+            values = self._axes[axis]
+            pos = bisect_left(values, clamped[axis])
+            if pos < len(values) and abs(values[pos] - clamped[axis]) <= 1e-12:
+                brackets.append((values[pos], values[pos]))
+            else:
+                brackets.append((values[pos - 1], values[pos]))
+        from itertools import product
+        for corner in product(*brackets):
+            weight = 1.0
+            for axis in range(3):
+                lo, hi = brackets[axis]
+                if hi == lo:
+                    fraction = 0.0
+                else:
+                    fraction = (clamped[axis] - lo) / (hi - lo)
+                weight *= (1.0 - fraction) if corner[axis] == lo else fraction
+            if weight > 0:
+                corners.append((self._knots[corner], weight))
+        metrics.counter(
+            "surrogate.lookups",
+            result="clamped" if guard_fired else "interpolated").inc()
+        return blend_corners(corners, clamp=True)
+
+    # -- persistence --------------------------------------------------------
+
+    def as_dict(self) -> dict:
+        """Plain-data form (embedded in calibration cache v3 files)."""
+        return {
+            "format": self.FORMAT,
+            "tolerance": self.tolerance,
+            "axes": [list(values) for values in self._axes],
+            "knots": [
+                {"allocation": list(knot), "parameters": params.as_dict()}
+                for knot, params in sorted(self._knots.items())
+            ],
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "ParameterSurface":
+        """Inverse of :meth:`as_dict`; raises :class:`SurrogateError`."""
+        if not isinstance(payload, dict):
+            raise SurrogateError("surrogate fit payload is not an object")
+        if payload.get("format") != cls.FORMAT:
+            raise SurrogateError(
+                f"unrecognized surrogate fit format "
+                f"{payload.get('format')!r}; expected {cls.FORMAT!r}")
+        try:
+            knots = {
+                knot_key(entry["allocation"]):
+                    OptimizerParameters.from_dict(entry["parameters"])
+                for entry in payload["knots"]
+            }
+            tolerance = payload.get("tolerance")
+        except (KeyError, TypeError, ValueError) as exc:
+            raise SurrogateError(
+                f"surrogate fit payload is malformed: {exc!r}") from exc
+        return cls(knots, tolerance=tolerance)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        dims = "x".join(str(len(values)) for values in self._axes)
+        return f"ParameterSurface({dims} lattice, {self.n_knots} knots)"

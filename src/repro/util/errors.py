@@ -93,6 +93,13 @@ class IllConditionedError(CalibrationError):
         self.query_names: Tuple[str, ...] = tuple(query_names)
 
 
+class SurrogateError(CalibrationError):
+    """A parameter-surface fit is unusable (incomplete lattice, corrupt
+    or malformed persisted fit). Permanent, like every calibration
+    failure: retrying the same fit cannot help, the knot set itself
+    must change."""
+
+
 class RecoveryError(ReproError):
     """A recovery journal is unusable (corrupt record, format mismatch)."""
 

@@ -1,0 +1,59 @@
+"""Shared fixtures for the surrogate tests.
+
+Same shape as the recovery suite's problem — two TPC-H workloads
+competing for CPU on the laboratory machine — with the reduced
+calibration workbench, so fitting a full surface costs milliseconds
+per knot and the determinism tests can afford to re-run entire
+continuous designs several times.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.calibration import CalibrationCache, CalibrationRunner
+from repro.calibration.synthetic import (
+    HUGE_TABLE,
+    SMALL_TABLE,
+    CalibrationWorkbench,
+)
+from repro.core import VirtualizationDesignProblem, WorkloadSpec
+from repro.virt.machine import laboratory_machine
+from repro.virt.resources import ResourceKind
+from repro.workloads import Workload, build_tpch_database, tpch_query
+
+#: The continuous-design configuration used across these tests: a
+#: 3-unit coarse grid searched at 12 fine units.
+GRID = 3
+FINE_FACTOR = 4
+BUDGET = 12
+
+
+def tiny_workbench() -> CalibrationWorkbench:
+    return CalibrationWorkbench(rows={
+        SMALL_TABLE: 200,
+        "cal_scan_a": 1_000,
+        "cal_scan_b": 2_000,
+        "cal_scan_c": 3_000,
+        HUGE_TABLE: 4_000,
+    })
+
+
+def fresh_cache() -> CalibrationCache:
+    """A cold cache over its own reduced-workbench runner."""
+    return CalibrationCache(
+        CalibrationRunner(laboratory_machine(), workbench=tiny_workbench()))
+
+
+@pytest.fixture(scope="package")
+def surrogate_problem() -> VirtualizationDesignProblem:
+    db = build_tpch_database(scale_factor=0.002,
+                             tables=["customer", "orders", "lineitem"])
+    specs = [
+        WorkloadSpec(Workload.repeat("order-audit", tpch_query("Q4"), 1), db),
+        WorkloadSpec(Workload.repeat("cust-report", tpch_query("Q13"), 2), db),
+    ]
+    return VirtualizationDesignProblem(
+        machine=laboratory_machine(), specs=specs,
+        controlled_resources=(ResourceKind.CPU,),
+    )

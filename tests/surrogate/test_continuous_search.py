@@ -1,0 +1,298 @@
+"""Continuous-allocation design: quality, determinism, crash recovery.
+
+Three layers:
+
+* the polish primitives (neighbour generation, anchoring, budget
+  prefixes) behave deterministically in isolation;
+* :func:`repro.surrogate.design_continuous` finds an allocation at
+  least as good as the coarse dense grid while spending a bounded
+  number of calibration requests, and its result is bit-identical
+  whatever evaluation engine (worker count, pool kind) drives the
+  search;
+* a supervised continuous run killed at *every* journal-unit boundary
+  and resumed produces the baseline journal bit for bit (the PR-3
+  recovery contract, extended to surrogate fitting and polish).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import OptimizerCostModel, VirtualizationDesigner
+from repro.parallel import EvaluationEngine
+from repro.recovery import RunJournal, RunSupervisor
+from repro.surrogate import SurrogateBuilder, design_continuous, design_levels
+from repro.surrogate.polish import (
+    _affordable_prefix,
+    _best_neighbor,
+    _insertions,
+)
+from repro.virt.resources import ResourceKind
+
+from tests.surrogate.conftest import (
+    BUDGET,
+    FINE_FACTOR,
+    GRID,
+    fresh_cache,
+    tiny_workbench,
+)
+
+TOLERANCE = 0.3
+
+
+def allocation_tuples(design):
+    return {name: design.allocation.vector_for(name).as_tuple()
+            for name in design.allocation.workload_names()}
+
+
+def exact_total_cost(problem, allocation) -> float:
+    """Cost of *allocation* under a fresh exact (non-surrogate) model."""
+    model = OptimizerCostModel(fresh_cache())
+    return sum(
+        VirtualizationDesigner(problem, model).evaluate(allocation).values())
+
+
+# -- polish primitives -------------------------------------------------------
+
+
+class _SlopedModel:
+    """cust-report profits 2x more from CPU than order-audit loses."""
+
+    def cost(self, spec, allocation):
+        share = allocation.share(ResourceKind.CPU)
+        return -share if spec.name == "cust-report" else 0.5 * share
+
+
+class _FlatModel:
+    def cost(self, spec, allocation):
+        return 1.0
+
+
+class TestBestNeighbor:
+    def test_moves_one_fine_unit_toward_the_gradient(self, surrogate_problem):
+        allocation = surrogate_problem.default_allocation()
+        fine = GRID * FINE_FACTOR
+        step = 1.0 / fine
+        moved = _best_neighbor(surrogate_problem, allocation,
+                               _SlopedModel(), fine)
+        assert moved is not None
+        assert moved["cust-report"].share(ResourceKind.CPU) \
+            == pytest.approx(0.5 + step)
+        assert moved["order-audit"].share(ResourceKind.CPU) \
+            == pytest.approx(0.5 - step)
+
+    def test_ties_break_lexicographically(self, surrogate_problem):
+        """Under a flat cost every transfer ties; the winner must be
+        the lexicographically first (resource, donor, recipient)."""
+        allocation = surrogate_problem.default_allocation()
+        fine = GRID * FINE_FACTOR
+        moved = _best_neighbor(surrogate_problem, allocation,
+                               _FlatModel(), fine)
+        assert moved is not None
+        # sorted names: cust-report donates to order-audit
+        assert moved["cust-report"].share(ResourceKind.CPU) \
+            < moved["order-audit"].share(ResourceKind.CPU)
+
+    def test_infeasible_moves_are_skipped(self, surrogate_problem):
+        fine = GRID * FINE_FACTOR
+        step = 1.0 / fine
+        allocation = surrogate_problem.default_allocation()
+        names = sorted(allocation.workload_names())
+        squeezed = allocation
+        for name, cpu in zip(names, (step, 1.0 - step)):
+            squeezed = squeezed.with_vector(
+                name, squeezed.vector_for(name).with_share(
+                    ResourceKind.CPU, cpu))
+        moved = _best_neighbor(surrogate_problem, squeezed,
+                               _SlopedModel(), fine)
+        # cust-report already holds the feasibility cap; only the
+        # reverse (cost-increasing) transfer remains.
+        assert moved is None or (
+            moved["cust-report"].share(ResourceKind.CPU) < 1.0 - step + 1e-9)
+
+
+@pytest.fixture(scope="package")
+def coarse_surface(surrogate_problem):
+    levels = design_levels(surrogate_problem, GRID, FINE_FACTOR)
+    builder = SurrogateBuilder(fresh_cache(), tolerance=10.0)
+    return builder.build(levels[ResourceKind.CPU],
+                         levels[ResourceKind.MEMORY],
+                         levels[ResourceKind.IO]).surface
+
+
+class TestInsertions:
+    def test_anchors_come_before_midpoints(self, coarse_surface):
+        fine = GRID * FINE_FACTOR
+        inserts = _insertions(coarse_surface, [(0, 0.25)], fine)
+        assert inserts == [(0, 0.25)]
+
+    def test_anchored_targets_subdivide_their_brackets(self, coarse_surface):
+        fine = GRID * FINE_FACTOR
+        levels = coarse_surface.axis_levels(0)
+        mid = levels[1]
+        inserts = _insertions(coarse_surface, [(0, mid)], fine)
+        expected = sorted([
+            (0, round((levels[0] + mid) / 2, 4)),
+            (0, round((mid + levels[2]) / 2, 4)),
+        ])
+        assert inserts == expected
+
+    def test_fine_enough_brackets_need_nothing(self, surrogate_problem):
+        levels = design_levels(surrogate_problem, GRID, FINE_FACTOR)
+        builder = SurrogateBuilder(fresh_cache(), tolerance=10.0)
+        # Brackets of exactly one fine-grid step (1/10) around the target.
+        surface = builder.build((0.4, 0.5, 0.6),
+                                levels[ResourceKind.MEMORY],
+                                levels[ResourceKind.IO]).surface
+        assert _insertions(surface, [(0, 0.5)], fine=10) == []
+
+
+class TestAffordablePrefix:
+    def test_exhausted_budget_affords_nothing(self, surrogate_problem):
+        levels = design_levels(surrogate_problem, GRID, FINE_FACTOR)
+        builder = SurrogateBuilder(fresh_cache(), tolerance=10.0,
+                                   max_calibrations=3)
+        surface = builder.build(levels[ResourceKind.CPU],
+                                levels[ResourceKind.MEMORY],
+                                levels[ResourceKind.IO]).surface
+        assert builder.remaining == 0
+        assert _affordable_prefix(builder, surface,
+                                  [(0, 0.3), (0, 0.7)]) == []
+
+    def test_partial_budget_takes_the_longest_prefix(self, surrogate_problem):
+        levels = design_levels(surrogate_problem, GRID, FINE_FACTOR)
+        builder = SurrogateBuilder(fresh_cache(), tolerance=10.0,
+                                   max_calibrations=4)
+        surface = builder.build(levels[ResourceKind.CPU],
+                                levels[ResourceKind.MEMORY],
+                                levels[ResourceKind.IO]).surface
+        assert builder.remaining == 1
+        assert _affordable_prefix(builder, surface,
+                                  [(0, 0.3), (0, 0.7)]) == [(0, 0.3)]
+
+
+# -- design_continuous -------------------------------------------------------
+
+
+@pytest.fixture(scope="package")
+def continuous(surrogate_problem):
+    cache = fresh_cache()
+    outcome = design_continuous(
+        surrogate_problem, cache, algorithm="greedy", grid=GRID,
+        fine_factor=FINE_FACTOR, tolerance=TOLERANCE,
+        max_calibrations=BUDGET)
+    return outcome, cache
+
+
+class TestDesignContinuous:
+    def test_budget_is_respected(self, continuous):
+        outcome, cache = continuous
+        assert outcome.calibrations <= BUDGET
+        assert cache.n_calibrations <= BUDGET
+
+    def test_final_surface_is_attached_to_the_cache(self, continuous):
+        outcome, cache = continuous
+        assert cache.surrogate is outcome.surface
+
+    def test_allocation_lands_on_the_fine_lattice(self, continuous):
+        outcome, _cache = continuous
+        fine = GRID * FINE_FACTOR
+        for name in outcome.design.allocation.workload_names():
+            share = outcome.design.allocation.vector_for(name).share(
+                ResourceKind.CPU)
+            assert round(share * fine, 6) == pytest.approx(
+                round(share * fine))
+
+    def test_converged_incumbent_is_anchored_and_exactly_costed(
+            self, continuous, surrogate_problem):
+        outcome, _cache = continuous
+        if not outcome.converged:
+            pytest.skip("budget stopped polish before convergence")
+        levels = [round(v, 4) for v in outcome.surface.axis_levels(0)]
+        for name in outcome.design.allocation.workload_names():
+            share = outcome.design.allocation.vector_for(name).share(
+                ResourceKind.CPU)
+            assert round(share, 4) in levels
+        # Anchored shares are key-quantized to 4 decimals, so the knot's
+        # calibration ran at a share within 1e-4 of the allocation's —
+        # exact up to that quantization, not bit-exact.
+        assert outcome.design.predicted_total_cost == pytest.approx(
+            exact_total_cost(surrogate_problem, outcome.design.allocation),
+            rel=1e-4)
+
+    def test_matches_or_beats_the_coarse_grid(self, continuous,
+                                              surrogate_problem):
+        """The acceptance property at test scale: the continuous answer
+        must cost no more (exactly evaluated) than the best the coarse
+        dense grid can do."""
+        outcome, _cache = continuous
+        designer = VirtualizationDesigner(
+            surrogate_problem, OptimizerCostModel(fresh_cache()))
+        coarse = designer.design("exhaustive", grid=GRID)
+        continuous_cost = exact_total_cost(surrogate_problem,
+                                           outcome.design.allocation)
+        assert continuous_cost <= coarse.predicted_total_cost + 1e-9
+
+
+class TestEngineDeterminism:
+    @pytest.mark.parametrize("workers,pool", [(2, "thread"), (2, "process"),
+                                              (4, "thread")])
+    def test_result_is_bit_identical_across_engines(
+            self, surrogate_problem, continuous, workers, pool):
+        baseline, _cache = continuous
+        with EvaluationEngine(workers=workers, pool=pool) as engine:
+            outcome = design_continuous(
+                surrogate_problem, fresh_cache(), algorithm="greedy",
+                grid=GRID, fine_factor=FINE_FACTOR, tolerance=TOLERANCE,
+                max_calibrations=BUDGET, engine=engine)
+        assert allocation_tuples(outcome.design) \
+            == allocation_tuples(baseline.design)
+        assert outcome.design.predicted_total_cost \
+            == baseline.design.predicted_total_cost
+        assert outcome.calibrations == baseline.calibrations
+        assert outcome.converged == baseline.converged
+        assert outcome.surface.knots == baseline.surface.knots
+
+
+# -- supervised kill -> resume ----------------------------------------------
+
+
+def make_continuous_supervisor(problem, path, **kwargs) -> RunSupervisor:
+    kwargs.setdefault("workbench", tiny_workbench())
+    return RunSupervisor(problem, path, algorithm="greedy", grid=GRID,
+                         continuous=True, fine_factor=FINE_FACTOR,
+                         surrogate_tol=TOLERANCE, surrogate_budget=BUDGET,
+                         **kwargs)
+
+
+def journal_fingerprint(journal):
+    return {
+        "calibrations": [r.data for r in journal.records_of("calibration")],
+        "results": [r.data for r in journal.records_of("result")],
+    }
+
+
+@pytest.mark.recovery
+class TestContinuousResumeEquivalence:
+    def test_kill_at_every_unit_boundary_then_resume(
+            self, surrogate_problem, tmp_path):
+        baseline_path = tmp_path / "baseline.journal"
+        baseline = make_continuous_supervisor(
+            surrogate_problem, baseline_path).run()
+        assert baseline.completed
+        fingerprint = journal_fingerprint(RunJournal.open(baseline_path))
+        total = baseline.new_units
+        assert total >= 2
+
+        for k in range(1, total):
+            path = tmp_path / f"kill-at-{k}.journal"
+            killed = make_continuous_supervisor(
+                surrogate_problem, path, max_units=k).run()
+            assert not killed.completed, f"kill at k={k} did not stop"
+
+            resumed = make_continuous_supervisor(
+                surrogate_problem, path).run(resume=True)
+            assert resumed.completed, f"resume after k={k} did not finish"
+            assert journal_fingerprint(RunJournal.open(path)) \
+                == fingerprint, (
+                    f"resumed journal diverged after a kill at unit {k}")

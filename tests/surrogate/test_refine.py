@@ -1,0 +1,175 @@
+"""Adaptive refinement: error control, budgets, replay, extension.
+
+The budget contract matters most here: the builder counts calibration
+*requests* — a knot answered instantly from a warm cache still spends a
+budget unit — so every stop decision is a pure function of the knot
+sequence. That is what makes a journal-replayed (killed-and-resumed)
+fit bit-identical to an uninterrupted one, tested below via the warm
+cache that journal replay produces.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.surrogate import SurrogateBuilder, design_levels
+from repro.util.errors import SurrogateError
+from repro.virt.resources import ResourceKind
+
+from tests.surrogate.conftest import FINE_FACTOR, GRID, fresh_cache
+
+
+@pytest.fixture(scope="package")
+def axis_levels(surrogate_problem):
+    levels = design_levels(surrogate_problem, GRID, FINE_FACTOR)
+    return (levels[ResourceKind.CPU], levels[ResourceKind.MEMORY],
+            levels[ResourceKind.IO])
+
+
+def lattice_size(axis_levels) -> int:
+    cpu, memory, io = axis_levels
+    return len(cpu) * len(memory) * len(io)
+
+
+class TestDesignLevels:
+    def test_controlled_axis_spans_the_fine_search_range(
+            self, surrogate_problem):
+        levels = design_levels(surrogate_problem, GRID, FINE_FACTOR)
+        cpu = levels[ResourceKind.CPU]
+        fine = GRID * FINE_FACTOR
+        assert len(cpu) == 3
+        assert cpu[0] == round(1.0 / fine, 4)
+        assert cpu[-1] == round(1.0 - 1.0 / fine, 4)
+
+    def test_uncontrolled_axes_keep_their_fixed_shares(
+            self, surrogate_problem):
+        levels = design_levels(surrogate_problem, GRID, FINE_FACTOR)
+        for kind in (ResourceKind.MEMORY, ResourceKind.IO):
+            assert levels[kind] == (0.5,)
+
+
+class TestBuild:
+    def test_loose_tolerance_calibrates_only_the_lattice(self, axis_levels):
+        builder = SurrogateBuilder(fresh_cache(), tolerance=10.0)
+        report = builder.build(*axis_levels)
+        assert report.refinements == 0
+        assert not report.stopped
+        assert report.calibrations == lattice_size(axis_levels)
+        assert report.surface.n_knots == lattice_size(axis_levels)
+
+    def test_tight_tolerance_refines_to_the_error_target(self, axis_levels):
+        builder = SurrogateBuilder(fresh_cache(), tolerance=0.05,
+                                   max_calibrations=40)
+        report = builder.build(*axis_levels)
+        assert report.refinements >= 1
+        assert report.surface.n_knots > lattice_size(axis_levels)
+        if not report.stopped:
+            assert all(error <= 0.05
+                       for _axis, _level, error in report.scores)
+            assert report.worst_error <= 0.05
+
+    def test_budget_stops_refinement_without_overshooting(self, axis_levels):
+        budget = lattice_size(axis_levels) + 1
+        builder = SurrogateBuilder(fresh_cache(), tolerance=1e-6,
+                                   max_calibrations=budget)
+        report = builder.build(*axis_levels)
+        assert report.stopped
+        assert report.calibrations <= budget
+        assert builder.remaining >= 0
+
+    def test_budget_below_the_lattice_is_an_error(self, axis_levels):
+        builder = SurrogateBuilder(
+            fresh_cache(), max_calibrations=lattice_size(axis_levels) - 1)
+        with pytest.raises(SurrogateError, match="initial lattice"):
+            builder.build(*axis_levels)
+
+
+class TestReplayEquivalence:
+    def test_warm_cache_rebuild_is_bit_identical(self, axis_levels):
+        """A resumed fit replays its knots from the journal into the
+        cache and re-runs the builder; the warm cache answers instantly
+        but each request still spends budget, so the rebuilt surface
+        and the stop decision match the original exactly."""
+        cache = fresh_cache()
+        first = SurrogateBuilder(cache, tolerance=0.05, max_calibrations=20)
+        original = first.build(*axis_levels)
+        experiments = cache.n_calibrations
+
+        second = SurrogateBuilder(cache, tolerance=0.05, max_calibrations=20)
+        rebuilt = second.build(*axis_levels)
+
+        assert cache.n_calibrations == experiments  # replay pays nothing
+        assert second.spent == first.spent          # but budget agrees
+        assert rebuilt.stopped == original.stopped
+        assert rebuilt.surface.knots == original.surface.knots
+        for knot in original.surface.knots:
+            assert rebuilt.surface.knot_params(knot).as_dict() \
+                == original.surface.knot_params(knot).as_dict()
+
+
+class TestReserveAndExtend:
+    def test_reserve_is_held_back_from_refinement(self, axis_levels):
+        budget = lattice_size(axis_levels) + 2
+        builder = SurrogateBuilder(fresh_cache(), tolerance=1e-6,
+                                   max_calibrations=budget)
+        report = builder.build(*axis_levels, reserve=2)
+        assert report.stopped
+        assert builder.spent == lattice_size(axis_levels)
+        assert builder.budget_allows(2)  # the reserve is released
+
+    def test_negative_reserve_is_rejected(self, axis_levels):
+        builder = SurrogateBuilder(fresh_cache())
+        with pytest.raises(SurrogateError, match="reserve"):
+            builder.build(*axis_levels, reserve=-1)
+
+    def test_extension_cost_counts_each_new_plane_once(self, axis_levels):
+        builder = SurrogateBuilder(fresh_cache(), tolerance=10.0)
+        surface = builder.build(*axis_levels).surface
+        # One new CPU level = one knot (memory and io are single-level);
+        # duplicates and already-present levels are free.
+        assert builder.extension_cost(surface, [(0, 0.3)]) == 1
+        assert builder.extension_cost(surface, [(0, 0.3), (0, 0.3)]) == 1
+        assert builder.extension_cost(
+            surface, [(0, surface.axis_levels(0)[0])]) == 0
+        assert builder.extension_cost(surface, [(0, 0.3), (0, 0.7)]) == 2
+
+    def test_extend_calibrates_and_keeps_old_knots_exact(self, axis_levels):
+        builder = SurrogateBuilder(fresh_cache(), tolerance=10.0)
+        original = builder.build(*axis_levels).surface
+        spent = builder.spent
+        extended = builder.extend(original, [(0, 0.3)])
+        assert builder.spent == spent + 1
+        assert 0.3 in extended.axis_levels(0)
+        for knot in original.knots:
+            assert extended.knot_params(knot).as_dict() \
+                == original.knot_params(knot).as_dict()
+
+    def test_extend_with_known_levels_is_free(self, axis_levels):
+        builder = SurrogateBuilder(fresh_cache(), tolerance=10.0)
+        surface = builder.build(*axis_levels).surface
+        spent = builder.spent
+        assert builder.extend(
+            surface, [(0, surface.axis_levels(0)[0])]) is surface
+        assert builder.spent == spent
+
+    def test_extend_past_the_budget_raises(self, axis_levels):
+        budget = lattice_size(axis_levels) + 1
+        builder = SurrogateBuilder(fresh_cache(), tolerance=10.0,
+                                   max_calibrations=budget)
+        surface = builder.build(*axis_levels).surface
+        surface = builder.extend(surface, [(0, 0.3)])  # spends the budget
+        assert not builder.budget_allows(1)
+        with pytest.raises(SurrogateError, match="extension_cost"):
+            builder.extend(surface, [(0, 0.7)])
+
+    def test_extend_order_does_not_change_the_surface(self, axis_levels):
+        a = SurrogateBuilder(fresh_cache(), tolerance=10.0)
+        b = SurrogateBuilder(fresh_cache(), tolerance=10.0)
+        surface_a = a.extend(a.build(*axis_levels).surface,
+                             [(0, 0.7), (0, 0.3)])
+        surface_b = b.extend(b.build(*axis_levels).surface,
+                             [(0, 0.3), (0, 0.7)])
+        assert surface_a.knots == surface_b.knots
+        for knot in surface_a.knots:
+            assert surface_a.knot_params(knot).as_dict() \
+                == surface_b.knot_params(knot).as_dict()

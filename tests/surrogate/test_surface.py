@@ -1,0 +1,206 @@
+"""The parameter surface: exactness, bounds, guards, persistence.
+
+The contract under test (docs/surrogate.md):
+
+* a lookup at a calibrated knot returns the *exact* calibrated
+  parameters — the surrogate never degrades what it was fitted to;
+* a lookup between knots is a monotonicity-clamped blend, so every
+  ratio parameter stays inside the range its bracketing knots span;
+* a lookup outside the hull is clamped onto it (never extrapolated)
+  and counted as such;
+* ``as_dict``/``from_dict`` round-trip bit-exactly, including through
+  the calibration cache's v3 on-disk format.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.calibration.cache import _CACHE_FORMAT
+from repro.obs import metrics
+from repro.surrogate import (
+    ParameterSurface,
+    RATIO_NAMES,
+    SurrogateBuilder,
+    blend_corners,
+    design_levels,
+)
+from repro.util.errors import SurrogateError
+from repro.virt.resources import ResourceKind, ResourceVector
+
+from tests.surrogate.conftest import FINE_FACTOR, GRID, fresh_cache
+
+
+@pytest.fixture(scope="package")
+def fitted(surrogate_problem):
+    """A loosely-fitted surface (no refinement) plus its cache."""
+    cache = fresh_cache()
+    levels = design_levels(surrogate_problem, GRID, FINE_FACTOR)
+    builder = SurrogateBuilder(cache, tolerance=10.0)
+    report = builder.build(levels[ResourceKind.CPU],
+                           levels[ResourceKind.MEMORY],
+                           levels[ResourceKind.IO])
+    return report.surface, cache
+
+
+def vector(knot) -> ResourceVector:
+    return ResourceVector.of(cpu=knot[0], memory=knot[1], io=knot[2])
+
+
+class TestKnotExactness:
+    def test_every_knot_returns_the_exact_calibration(self, fitted):
+        surface, cache = fitted
+        for knot in surface.knots:
+            exact = cache.params_for(vector(knot), exact=True)
+            assert surface.params_for(vector(knot)).as_dict() \
+                == exact.as_dict()
+
+    def test_knot_lookups_pay_no_calibration(self, fitted):
+        surface, cache = fitted
+        before = cache.n_calibrations
+        for knot in surface.knots:
+            surface.params_for(vector(knot))
+        assert cache.n_calibrations == before
+
+    def test_knot_lookups_count_as_hits(self, fitted):
+        surface, _cache = fitted
+        registry = metrics.get_registry()
+        before = registry.value("surrogate.lookups", result="hit")
+        surface.params_for(vector(surface.knots[0]))
+        assert registry.value("surrogate.lookups", result="hit") \
+            == before + 1
+
+
+class TestInterpolationBounds:
+    @settings(max_examples=30, deadline=None)
+    @given(st.floats(min_value=0.0, max_value=1.0))
+    def test_ratio_params_stay_inside_the_knot_envelope(self, fitted,
+                                                        fraction):
+        """Monotonicity clamp: no blended ratio parameter can leave the
+        [min, max] range observed across the calibrated knots."""
+        surface, _cache = fitted
+        lo, hi = surface.axis_levels(0)[0], surface.axis_levels(0)[-1]
+        cpu = lo + fraction * (hi - lo)
+        knot = surface.knots[0]
+        predicted = surface.params_for(
+            ResourceVector.of(cpu=cpu, memory=knot[1], io=knot[2])).as_dict()
+        observed = [surface.knot_params(k).as_dict() for k in surface.knots]
+        for name in RATIO_NAMES + ("seconds_per_seq_page",):
+            values = [p[name] for p in observed]
+            assert min(values) - 1e-12 <= predicted[name] \
+                <= max(values) + 1e-12, name
+
+    def test_midpoint_matches_the_two_corner_blend(self, fitted):
+        """params_for between two adjacent knots is exactly the
+        documented two-corner time-domain blend."""
+        surface, _cache = fitted
+        levels = surface.axis_levels(0)
+        lo, hi = levels[0], levels[1]
+        knot = surface.knots[0]
+        mid = round((lo + hi) / 2, 4)  # key-quantized, so not exactly 0.5
+        fraction = (mid - lo) / (hi - lo)
+        expected = blend_corners(
+            [(surface.knot_params((lo, knot[1], knot[2])), 1.0 - fraction),
+             (surface.knot_params((hi, knot[1], knot[2])), fraction)],
+            clamp=True)
+        predicted = surface.params_for(
+            ResourceVector.of(cpu=mid, memory=knot[1], io=knot[2])).as_dict()
+        for name in RATIO_NAMES + ("seconds_per_seq_page",):
+            assert predicted[name] == pytest.approx(
+                expected.as_dict()[name], rel=1e-9), name
+        # The integer capacity fields truncate after the blend; the
+        # 8-corner and 2-corner summation orders may land one apart.
+        for name in ("effective_cache_size", "sort_mem_pages"):
+            assert abs(predicted[name] - expected.as_dict()[name]) <= 1, name
+
+    def test_interpolated_lookups_are_counted(self, fitted):
+        surface, _cache = fitted
+        levels = surface.axis_levels(0)
+        mid = round((levels[0] + levels[1]) / 2, 4)
+        knot = surface.knots[0]
+        registry = metrics.get_registry()
+        before = registry.value("surrogate.lookups", result="interpolated")
+        surface.params_for(
+            ResourceVector.of(cpu=mid, memory=knot[1], io=knot[2]))
+        assert registry.value("surrogate.lookups",
+                              result="interpolated") == before + 1
+
+
+class TestExtrapolationGuards:
+    def test_outside_the_hull_clamps_to_the_boundary(self, fitted):
+        surface, _cache = fitted
+        knot = surface.knots[0]
+        lo = surface.axis_levels(0)[0]
+        outside = ResourceVector.of(cpu=max(lo / 2, 1e-4),
+                                    memory=knot[1], io=knot[2])
+        on_boundary = ResourceVector.of(cpu=lo, memory=knot[1], io=knot[2])
+        assert surface.params_for(outside).as_dict() \
+            == surface.params_for(on_boundary).as_dict()
+
+    def test_guard_firings_are_counted(self, fitted):
+        surface, _cache = fitted
+        knot = surface.knots[0]
+        registry = metrics.get_registry()
+        before = registry.value("surrogate.lookups", result="clamped")
+        surface.params_for(
+            ResourceVector.of(cpu=0.9999, memory=knot[1], io=knot[2]))
+        assert registry.value("surrogate.lookups",
+                              result="clamped") == before + 1
+
+    def test_covers_reports_the_hull(self, fitted):
+        surface, _cache = fitted
+        knot = surface.knots[0]
+        lo, hi = surface.axis_levels(0)[0], surface.axis_levels(0)[-1]
+        inside = ResourceVector.of(cpu=(lo + hi) / 2, memory=knot[1],
+                                   io=knot[2])
+        outside = ResourceVector.of(cpu=0.9999, memory=knot[1], io=knot[2])
+        assert surface.covers(inside)
+        assert not surface.covers(outside)
+
+
+class TestPersistence:
+    def test_dict_round_trip_is_exact(self, fitted):
+        surface, _cache = fitted
+        clone = ParameterSurface.from_dict(surface.as_dict())
+        assert clone.knots == surface.knots
+        assert clone.tolerance == surface.tolerance
+        for knot in surface.knots:
+            assert clone.knot_params(knot).as_dict() \
+                == surface.knot_params(knot).as_dict()
+
+    def test_unknown_format_is_rejected(self, fitted):
+        surface, _cache = fitted
+        payload = surface.as_dict()
+        payload["format"] = "repro-surrogate-fit/999"
+        with pytest.raises(SurrogateError, match="format"):
+            ParameterSurface.from_dict(payload)
+
+    def test_incomplete_lattice_is_rejected(self, fitted):
+        surface, _cache = fitted
+        # Three corners of a 2x2 (cpu x memory) lattice: the axes imply
+        # four knots, so the missing corner is a hole. (On a 1-D lattice
+        # any subset is complete — a 2-D shape is the smallest that can
+        # have one.)
+        params = surface.knot_params(surface.knots[0])
+        knots = {(0.3, 0.4, 0.5): params, (0.3, 0.6, 0.5): params,
+                 (0.7, 0.4, 0.5): params}
+        with pytest.raises(SurrogateError, match="incomplete"):
+            ParameterSurface(knots)
+
+    def test_cache_v3_round_trip_serves_the_same_surface(self, fitted,
+                                                         tmp_path):
+        surface, cache = fitted
+        cache.attach_surrogate(surface)
+        path = tmp_path / "calibration.json"
+        cache.save(path)
+        assert f'"{_CACHE_FORMAT}"' in path.read_text()
+
+        loaded_cache = fresh_cache()
+        loaded_cache.load(path)
+        loaded = loaded_cache.surrogate
+        assert loaded is not None
+        assert loaded.knots == surface.knots
+        probe = vector(surface.knots[0])
+        assert loaded.params_for(probe).as_dict() \
+            == surface.params_for(probe).as_dict()
