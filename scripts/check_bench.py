@@ -11,11 +11,17 @@ Two jobs, both CI-facing:
    worker counts (the determinism contract, as recorded data).
    ``suite: "surrogate"`` files (``scripts/bench_surrogate.py``) must
    carry one ``dense-grid`` and one ``surrogate`` entry plus a
-   ``summary`` whose ratios match the entries.
+   ``summary`` whose ratios match the entries. ``suite: "fleet"``
+   files (``scripts/bench_fleet.py``) must carry one ``round-robin``
+   and one ``fleet`` entry, a monotonically non-increasing cost
+   trajectory, and a ``summary`` consistent with the entries.
 2. **Regression gates**: the parallel suite's exhaustive benchmark must
    reach ``--min-speedup`` at 4 workers; the surrogate suite must avoid
    ``--min-calibration-ratio`` times the dense calibrations *and* match
-   or beat the dense answer's cost (``cost_margin >= 0``).
+   or beat the dense answer's cost (``cost_margin >= 0``); the fleet
+   suite must beat round-robin placement (``improvement > 0``, always)
+   and recover at least ``--min-reassignment-gain`` of its initial
+   cost through the reroute loop.
 
 Every violation across every file is collected and reported — the run
 never stops at the first problem. Exit code 0 when everything holds,
@@ -249,12 +255,138 @@ def summarize_surrogate(payload: dict) -> str:
             f"cost margin {summary['cost_margin']:+.6f}")
 
 
+# -- suite: fleet ------------------------------------------------------------
+
+FLEET_BASE_FIELDS = {
+    "name": str,
+    "cost": (int, float),
+    "hosts": int,
+    "workloads": int,
+    "wall_seconds": (int, float),
+}
+FLEET_EXTRA_FIELDS = {
+    "initial_cost": (int, float),
+    "rounds": int,
+    "moves": int,
+    "clusters": int,
+    "converged": bool,
+    "trajectory": list,
+}
+
+
+def check_fleet(payload: dict, min_gain: float) -> list:
+    problems = []
+    for field in ("scenario", "algorithm", "max_rounds", "summary"):
+        if field not in payload:
+            problems.append(f"top level missing field {field!r}")
+    by_name = {}
+    for i, entry in enumerate(payload["entries"]):
+        if not isinstance(entry, dict):
+            problems.append(f"entries[{i}] is not an object")
+            continue
+        prefix = f"entries[{i}]"
+        fields = dict(FLEET_BASE_FIELDS)
+        if entry.get("name") == "fleet":
+            fields.update(FLEET_EXTRA_FIELDS)
+        problems.extend(check_fields(prefix, entry, fields))
+        extra = set(entry) - set(fields)
+        if extra:
+            problems.append(f"{prefix} has unknown fields {sorted(extra)}")
+        if isinstance(entry.get("name"), str):
+            by_name.setdefault(entry["name"], []).append(entry)
+        for field in ("cost", "wall_seconds", "hosts", "workloads"):
+            value = entry.get(field)
+            if isinstance(value, (int, float)) and not isinstance(
+                    value, bool) and value <= 0:
+                problems.append(f"{prefix}.{field} must be positive")
+    for name in ("round-robin", "fleet"):
+        if len(by_name.get(name, [])) != 1:
+            problems.append(
+                f"suite needs exactly one {name!r} entry, found "
+                f"{len(by_name.get(name, []))}")
+    if problems:
+        return problems
+
+    rr = by_name["round-robin"][0]
+    fleet = by_name["fleet"][0]
+    summary = payload["summary"]
+    if not isinstance(summary, dict):
+        return ["summary is not an object"]
+    problems.extend(check_fields("summary", summary, {
+        "improvement": (int, float),
+        "reassignment_gain": (int, float),
+        "monotone": bool,
+    }))
+    if problems:
+        return problems
+
+    trajectory = fleet["trajectory"]
+    if len(trajectory) < 2:
+        problems.append("fleet trajectory needs at least 2 points "
+                        "(initial placement + one round)")
+        return problems
+    if any(not isinstance(v, (int, float)) or isinstance(v, bool)
+           for v in trajectory):
+        problems.append("fleet trajectory must be numeric")
+        return problems
+    for a, b in zip(trajectory, trajectory[1:]):
+        if b > a + 1e-9:
+            problems.append(
+                f"fleet trajectory increased ({a:.6f} -> {b:.6f}) — the "
+                f"reroute loop accepted a worsening move")
+            break
+    if abs(trajectory[0] - fleet["initial_cost"]) > 1e-6:
+        problems.append(
+            f"fleet.initial_cost is {fleet['initial_cost']} but the "
+            f"trajectory starts at {trajectory[0]}")
+    if abs(trajectory[-1] - fleet["cost"]) > 1e-6:
+        problems.append(
+            f"fleet.cost is {fleet['cost']} but the trajectory ends at "
+            f"{trajectory[-1]}")
+    improvement = 1.0 - fleet["cost"] / rr["cost"]
+    if abs(summary["improvement"] - improvement) > 1e-4:
+        problems.append(
+            f"summary.improvement is {summary['improvement']} but the "
+            f"entries give {improvement:.6f}")
+    gain = 1.0 - fleet["cost"] / fleet["initial_cost"]
+    if abs(summary["reassignment_gain"] - gain) > 1e-4:
+        problems.append(
+            f"summary.reassignment_gain is "
+            f"{summary['reassignment_gain']} but the entries give "
+            f"{gain:.6f}")
+    if not summary["monotone"]:
+        problems.append("summary.monotone is false — the recorded run "
+                        "violated the convergence contract")
+    # Beating round-robin is a hard check, not a tunable gate: a fleet
+    # placer that loses to cyclic dealing has no reason to exist.
+    if improvement <= 0:
+        problems.append(
+            f"fleet placement costs {fleet['cost']:.4f}, not better than "
+            f"round-robin's {rr['cost']:.4f} — placement quality "
+            f"regressed")
+    if gain < min_gain:
+        problems.append(
+            f"reassignment recovered only {gain:.1%} of the initial "
+            f"cost, below the {min_gain:.1%} gate — the reroute loop "
+            f"regressed")
+    return problems
+
+
+def summarize_fleet(payload: dict) -> str:
+    summary = payload["summary"]
+    fleet = [e for e in payload["entries"] if e["name"] == "fleet"][0]
+    return (f"{summary['improvement']:.1%} vs round-robin, "
+            f"{summary['reassignment_gain']:.1%} from reassignment in "
+            f"{fleet['rounds']} round(s)")
+
+
 # -- driver ------------------------------------------------------------------
 
 SUITES = {
     "parallel-speedup": (check_parallel, summarize_parallel, "min_speedup"),
     "surrogate": (check_surrogate, summarize_surrogate,
                   "min_calibration_ratio"),
+    "fleet": (check_fleet, summarize_fleet, "min_reassignment_gain"),
 }
 
 
@@ -298,6 +430,10 @@ def main(argv=None) -> int:
     parser.add_argument("--min-calibration-ratio", type=float, default=5.0,
                         help="gate: minimum dense-to-surrogate calibration "
                              "ratio (default 5.0)")
+    parser.add_argument("--min-reassignment-gain", type=float, default=0.0,
+                        help="gate: minimum fraction of initial fleet cost "
+                             "the reassignment loop must recover "
+                             "(default 0.0)")
     args = parser.parse_args(argv)
 
     if args.paths:
@@ -310,7 +446,8 @@ def main(argv=None) -> int:
             return 1
 
     gates = {"min_speedup": args.min_speedup,
-             "min_calibration_ratio": args.min_calibration_ratio}
+             "min_calibration_ratio": args.min_calibration_ratio,
+             "min_reassignment_gain": args.min_reassignment_gain}
     all_problems = []
     for path in paths:
         problems, ok = check_file(path, gates)

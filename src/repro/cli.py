@@ -12,6 +12,8 @@ Exposes the library's main flows without writing Python::
     python -m repro chaos --plan turbulent --journal run.journal \
         --watchdog-probes 5
     python -m repro resume run.journal
+    python -m repro fleet --hosts 100 --workloads 1000 --workers 0 --baseline
+    python -m repro fleet --journal fleet.journal --max-units 500
 
 ``chaos`` runs the paper's design problem with a fault injector active
 (see ``docs/robustness.md``) and prints the design next to a resilience
@@ -38,6 +40,15 @@ remaining budget anchoring and refining the lattice around the
 allocations the search proposes (see ``docs/surrogate.md``). ``--save``
 persists the cache *with* the fit (v3 format); a later ``--load`` of
 that file skips the fitting entirely.
+
+``fleet`` scales the design problem from one box to a synthetic
+datacenter: it clusters workloads by cost-curve shape, assigns
+clusters to heterogeneous hosts, tunes every host with the single-host
+allocation search (fanned out over ``--workers``), and reroutes
+worst-fit workloads until total fleet cost converges (see
+``docs/fleet.md``). With ``--journal`` every completed host design
+checkpoints, and ``resume`` continues a killed fleet run to a
+bit-identical final placement.
 
 Every command accepts ``--stats`` (print a run report of the counted
 work after the command's own output) and ``--stats-json PATH`` (write
@@ -454,12 +465,123 @@ def cmd_chaos(args) -> int:
     return 4 if design.stopped else 0
 
 
+def _print_fleet_design(design, baseline_cost=None) -> None:
+    summary = design.summary()
+    status = ("converged" if summary["converged"]
+              else "stopped on round budget")
+    rows = [
+        ["workloads placed", f"{summary['workloads']}"],
+        ["hosts occupied", f"{summary['hosts_occupied']}"],
+        ["shape clusters", f"{summary['clusters']}"],
+        ["initial cost", f"{summary['initial_cost']:.6g}"],
+        ["final cost", f"{summary['total_cost']:.6g}"],
+        ["reassignment", f"{summary['rounds']} round(s), "
+                         f"{summary['moves']} move(s), {status}"],
+    ]
+    if summary["initial_cost"] > 0:
+        gain = 1 - summary["total_cost"] / summary["initial_cost"]
+        rows.append(["reassignment gain", f"{gain:.1%}"])
+    if baseline_cost:
+        improvement = 1 - summary["total_cost"] / baseline_cost
+        rows.append(["round-robin baseline",
+                     f"{baseline_cost:.6g} (fleet design {improvement:.1%} "
+                     f"cheaper)"])
+    print(format_table(["measure", "value"], rows, title="Fleet placement"))
+
+
+def _run_fleet_supervised(problem, scenario, args, resume: bool) -> int:
+    """Drive a journaled (crash-recoverable) fleet run or its resume."""
+    from repro.fleet import FleetSupervisor
+
+    engine = make_engine(args.workers, args.pool)
+    try:
+        supervisor = FleetSupervisor(
+            problem, args.journal, scenario=scenario,
+            clusters=args.clusters or None, algorithm=args.algorithm,
+            max_rounds=args.rounds, max_units=args.max_units,
+            engine=engine,
+            extra_meta={"workers": args.workers, "pool": args.pool})
+        run = supervisor.run(resume=resume)
+    finally:
+        if engine is not None:
+            engine.close()
+    if not run.completed:
+        print(f"Fleet run stopped after {run.new_units} new host "
+              f"design(s) ({run.replayed_units} replayed); journal "
+              f"{args.journal} is resumable with: repro resume "
+              f"{args.journal}")
+        return 4
+    _print_fleet_design(run.design)
+    print()
+    print(f"Journal: {run.replayed_units} unit(s) replayed, "
+          f"{run.new_units} freshly committed -> {args.journal}")
+    return 0
+
+
+def cmd_fleet(args) -> int:
+    """Place a synthetic fleet: cluster, tune per host, reroute."""
+    from repro.fleet import FleetDesigner, round_robin_assignment, synthetic_fleet
+
+    obs.reset()
+    problem = synthetic_fleet(args.hosts, args.workloads, seed=args.seed,
+                              grid=args.grid)
+    scenario = {"n_hosts": args.hosts, "n_workloads": args.workloads,
+                "seed": args.seed, "grid": args.grid}
+    print(f"Placing {args.workloads} workload(s) on {args.hosts} host(s) "
+          f"(seed {args.seed}, grid {args.grid}) ...", file=sys.stderr)
+    if args.journal:
+        return _run_fleet_supervised(problem, scenario, args, resume=False)
+    engine = make_engine(args.workers, args.pool)
+    try:
+        designer = FleetDesigner(
+            problem, clusters=args.clusters or None,
+            algorithm=args.algorithm, engine=engine,
+            max_rounds=args.rounds)
+        design = designer.design()
+        baseline_cost = None
+        if args.baseline:
+            baseline_cost, _designs = designer.evaluate_assignment(
+                round_robin_assignment(problem))
+    finally:
+        if engine is not None:
+            engine.close()
+    _print_fleet_design(design, baseline_cost)
+    return 0
+
+
+def _resume_fleet(args, meta) -> int:
+    """Resume a killed fleet run purely from its journal meta."""
+    from repro.fleet import synthetic_fleet
+
+    scenario = meta.get("scenario")
+    if not scenario:
+        raise RecoveryError(
+            f"journal {args.journal} carries no fleet scenario in its "
+            f"header; only scenario-built fleet runs are CLI-resumable")
+    problem = synthetic_fleet(
+        n_hosts=int(scenario["n_hosts"]),
+        n_workloads=int(scenario["n_workloads"]),
+        seed=int(scenario["seed"]), grid=int(scenario["grid"]))
+    args.clusters = meta.get("clusters")
+    args.algorithm = meta.get("algorithm", "greedy")
+    args.rounds = int(meta.get("max_rounds", 8))
+    if args.workers is None and meta.get("workers") is not None:
+        args.workers = int(meta["workers"])
+    print(f"Resuming fleet journal {args.journal} "
+          f"({scenario['n_hosts']} host(s), "
+          f"{scenario['n_workloads']} workload(s), "
+          f"{args.algorithm}) ...", file=sys.stderr)
+    return _run_fleet_supervised(problem, dict(scenario), args, resume=True)
+
+
 def cmd_resume(args) -> int:
-    """Resume a killed chaos run from its journal."""
+    """Resume a killed chaos or fleet run from its journal."""
     from repro.recovery import read_journal
 
     obs.reset()
     meta, _records, _tail = read_journal(args.journal)
+    if meta.get("run_kind") == "fleet":
+        return _resume_fleet(args, meta)
     plan_fields = dict(meta.get("plan") or {})
     if not plan_fields:
         raise RecoveryError(
@@ -533,7 +655,8 @@ def build_parser() -> argparse.ArgumentParser:
 
     calibrate = subparsers.add_parser(
         "calibrate", parents=[stats_parent],
-        help="calibrate optimizer parameters for an allocation")
+        help="calibrate optimizer parameters for an allocation",
+        epilog="Documentation: docs/cost-model.md")
     _add_share_arguments(calibrate)
     calibrate.add_argument("--save", help="write the calibration cache to a JSON file")
     calibrate.add_argument("--load", help="preload a saved calibration cache")
@@ -541,7 +664,9 @@ def build_parser() -> argparse.ArgumentParser:
 
     design = subparsers.add_parser(
         "design", parents=[stats_parent, parallel_parent],
-        help="solve the paper's two-workload design problem")
+        help="solve the paper's two-workload design problem",
+        epilog="Documentation: docs/cost-model.md, docs/surrogate.md "
+               "(--continuous), docs/parallelism.md (--workers)")
     design.add_argument("--scale", type=float, default=0.01,
                         help="TPC-H scale factor (default 0.01)")
     design.add_argument("--grid", type=int, default=4,
@@ -577,7 +702,8 @@ def build_parser() -> argparse.ArgumentParser:
 
     explain = subparsers.add_parser(
         "explain", parents=[stats_parent],
-        help="what-if EXPLAIN of a TPC-H query under an allocation")
+        help="what-if EXPLAIN of a TPC-H query under an allocation",
+        epilog="Documentation: docs/cost-model.md")
     explain.add_argument("--query", default="Q4", help="query name (e.g. Q13)")
     explain.add_argument("--scale", type=float, default=0.01)
     _add_share_arguments(explain)
@@ -586,14 +712,16 @@ def build_parser() -> argparse.ArgumentParser:
 
     experiment = subparsers.add_parser(
         "experiment", parents=[stats_parent],
-        help="regenerate one of the paper's figures")
+        help="regenerate one of the paper's figures",
+        epilog="Documentation: EXPERIMENTS.md")
     experiment.add_argument("name", choices=["fig3", "fig4", "fig5"])
     experiment.add_argument("--load", help="preload a saved calibration cache")
     experiment.set_defaults(func=cmd_experiment)
 
     report = subparsers.add_parser(
         "report",
-        help="run a small design end to end and print its run report")
+        help="run a small design end to end and print its run report",
+        epilog="Documentation: docs/observability.md")
     report.add_argument("--json", action="store_true",
                         help="emit the report as JSON instead of tables")
     report.add_argument("--scale", type=float, default=0.002,
@@ -608,7 +736,8 @@ def build_parser() -> argparse.ArgumentParser:
 
     chaos = subparsers.add_parser(
         "chaos", parents=[stats_parent, parallel_parent],
-        help="run a design under a fault plan and print a resilience summary")
+        help="run a design under a fault plan and print a resilience summary",
+        epilog="Documentation: docs/robustness.md")
     chaos.add_argument("--plan", default="noisy", choices=sorted(NAMED_PLANS),
                        help="named fault plan (default noisy)")
     chaos.add_argument("--transient-rate", type=float, default=None,
@@ -662,11 +791,50 @@ def build_parser() -> argparse.ArgumentParser:
                             "(--continuous; default 8)")
     chaos.set_defaults(func=cmd_chaos)
 
+    fleet = subparsers.add_parser(
+        "fleet", parents=[stats_parent, parallel_parent],
+        help="place a synthetic fleet: cluster workloads, tune every "
+             "host, reroute until total cost converges",
+        epilog="Documentation: docs/fleet.md")
+    fleet.add_argument("--hosts", type=int, default=12, metavar="N",
+                       help="number of heterogeneous hosts in the "
+                            "synthetic fleet (default 12)")
+    fleet.add_argument("--workloads", type=int, default=60, metavar="N",
+                       help="number of synthetic workloads to place "
+                            "(default 60)")
+    fleet.add_argument("--seed", type=int, default=7,
+                       help="scenario seed (default 7)")
+    fleet.add_argument("--grid", type=int, default=16,
+                       help="per-host share-grid resolution (default 16)")
+    fleet.add_argument("--clusters", type=int, default=0, metavar="K",
+                       help="number of workload shape clusters "
+                            "(0 = auto, about sqrt(workloads/2))")
+    fleet.add_argument("--algorithm", default="greedy",
+                       choices=["exhaustive", "greedy",
+                                "dynamic-programming"],
+                       help="per-host allocation search (default greedy)")
+    fleet.add_argument("--rounds", type=int, default=8,
+                       help="max reassignment rounds (default 8)")
+    fleet.add_argument("--baseline", action="store_true",
+                       help="also price a round-robin placement for "
+                            "comparison")
+    fleet.add_argument("--journal", default=None, metavar="PATH",
+                       help="checkpoint completed host designs to a "
+                            "journal at PATH (the run becomes "
+                            "crash-recoverable; see 'repro resume')")
+    fleet.add_argument("--max-units", type=int, default=None,
+                       help="simulate a crash after N newly journaled "
+                            "host designs (journaled runs only)")
+    fleet.set_defaults(func=cmd_fleet)
+
     resume = subparsers.add_parser(
         "resume", parents=[stats_parent, parallel_parent],
-        help="resume a killed journaled chaos run, bit-identically")
+        help="resume a killed journaled chaos or fleet run, bit-identically",
+        epilog="Documentation: docs/robustness.md (chaos runs), "
+               "docs/fleet.md (fleet runs)")
     resume.add_argument("journal", help="journal file written by "
-                                        "'repro chaos --journal'")
+                                        "'repro chaos --journal' or "
+                                        "'repro fleet --journal'")
     resume.add_argument("--max-units", type=int, default=None,
                         help="simulate another crash after N new units")
     resume.set_defaults(func=cmd_resume)

@@ -1,0 +1,46 @@
+"""Fleet-scale placement: the datacenter layer above the paper.
+
+The paper tunes N virtual machines on *one* physical host. This
+package generalizes to hundreds of heterogeneous hosts and thousands
+of workloads with a cluster → tune → reroute loop: workloads are
+clustered by cost-curve shape, clusters are assigned to host groups by
+demand, the existing single-host allocation search tunes every host
+(fanned out over an :class:`~repro.parallel.engine.EvaluationEngine`),
+and a reassignment loop moves worst-fit workloads between hosts until
+total fleet cost converges. See ``docs/fleet.md`` for the guide.
+"""
+
+from repro.fleet.cluster import (
+    Clustering,
+    cluster_profiles,
+    default_cluster_count,
+)
+from repro.fleet.placement import (
+    FleetDesign,
+    FleetDesigner,
+    HostDesign,
+    ProfileCostModel,
+    round_robin_assignment,
+)
+from repro.fleet.problem import FleetHost, FleetProblem
+from repro.fleet.profile import PROFILE_LEVELS, CostProfile
+from repro.fleet.scenario import synthetic_fleet
+from repro.fleet.supervisor import FleetRun, FleetSupervisor
+
+__all__ = [
+    "Clustering",
+    "cluster_profiles",
+    "default_cluster_count",
+    "FleetDesign",
+    "FleetDesigner",
+    "HostDesign",
+    "ProfileCostModel",
+    "round_robin_assignment",
+    "FleetHost",
+    "FleetProblem",
+    "PROFILE_LEVELS",
+    "CostProfile",
+    "synthetic_fleet",
+    "FleetRun",
+    "FleetSupervisor",
+]

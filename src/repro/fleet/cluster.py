@@ -1,0 +1,156 @@
+"""Deterministic workload clustering by cost-profile shape.
+
+The fleet placer groups workloads whose cost curves have similar
+*shape* (via :meth:`~repro.fleet.profile.CostProfile.features`) before
+assigning them to hosts: workloads that respond the same way to share
+changes pack well together, because the per-host allocation search can
+trade shares among them without one tenant's cliff dominating.
+
+The clusterer is Lloyd's k-means with two twists that make it fully
+deterministic — no RNG, no seed, no tie-luck:
+
+* **Farthest-point initialisation**: the first centroid is the feature
+  vector with the largest L2 norm (ties broken by workload name); each
+  subsequent centroid is the point farthest from all chosen centroids.
+  This is the classic 2-approximation for k-center and needs no
+  randomness.
+* **Stable tie-breaking**: points equidistant to two centroids go to
+  the lower cluster index; empty clusters are re-seeded with the point
+  farthest from its current centroid.
+
+Determinism matters beyond aesthetics: the fleet journal records only
+the scenario, so resume re-clusters from scratch and must land on the
+identical partition (asserted by the recovery tests).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+from repro.fleet.profile import CostProfile
+
+
+def _distance(a: Sequence[float], b: Sequence[float]) -> float:
+    return math.sqrt(sum((x - y) ** 2 for x, y in zip(a, b)))
+
+
+@dataclass(frozen=True)
+class Clustering:
+    """A deterministic partition of workloads into shape clusters."""
+
+    k: int
+    #: workload name -> cluster index in [0, k).
+    assignments: Dict[str, int]
+    centroids: Tuple[Tuple[float, ...], ...]
+    #: Sum of squared distances to assigned centroids.
+    inertia: float
+    iterations: int
+
+    def members(self, index: int) -> List[str]:
+        """Workload names in cluster *index*, sorted."""
+        return sorted(name for name, c in self.assignments.items()
+                      if c == index)
+
+
+def default_cluster_count(n_workloads: int) -> int:
+    """The auto-k heuristic: ``round(sqrt(n/2))``, clamped to [1, 16]."""
+    return max(1, min(16, round(math.sqrt(n_workloads / 2.0))))
+
+
+def cluster_profiles(profiles: Sequence[CostProfile], k: int,
+                     max_iterations: int = 25) -> Clustering:
+    """Cluster *profiles* into *k* shape groups, deterministically."""
+    if not profiles:
+        raise ValueError("cannot cluster an empty profile list")
+    if k <= 0:
+        raise ValueError("k must be positive")
+    ordered = sorted(profiles, key=lambda p: p.name)
+    names = [p.name for p in ordered]
+    points = [p.features() for p in ordered]
+    k = min(k, len(points))
+
+    centroids = _farthest_point_init(points, k)
+    assignments = [0] * len(points)
+    iterations = 0
+    for iterations in range(1, max_iterations + 1):
+        new_assignments = [_nearest(point, centroids) for point in points]
+        _reseed_empty_clusters(points, new_assignments, centroids)
+        if new_assignments == assignments and iterations > 1:
+            break
+        assignments = new_assignments
+        centroids = _recompute_centroids(points, assignments, centroids)
+
+    inertia = sum(_distance(point, centroids[c]) ** 2
+                  for point, c in zip(points, assignments))
+    return Clustering(
+        k=k,
+        assignments=dict(zip(names, assignments)),
+        centroids=tuple(tuple(c) for c in centroids),
+        inertia=inertia,
+        iterations=iterations,
+    )
+
+
+def _farthest_point_init(points: List[Tuple[float, ...]],
+                         k: int) -> List[Tuple[float, ...]]:
+    # First centroid: largest norm; list order (sorted by name) breaks
+    # ties, so the choice is stable across runs and processes.
+    first = max(range(len(points)),
+                key=lambda i: (sum(x * x for x in points[i]), -i))
+    chosen = [first]
+    while len(chosen) < k:
+        best_index, best_dist = -1, -1.0
+        for i, point in enumerate(points):
+            if i in chosen:
+                continue
+            nearest = min(_distance(point, points[j]) for j in chosen)
+            if nearest > best_dist:
+                best_index, best_dist = i, nearest
+        if best_index < 0:  # all remaining points coincide with centroids
+            chosen.append(chosen[-1])
+        else:
+            chosen.append(best_index)
+    return [points[i] for i in chosen]
+
+
+def _nearest(point: Tuple[float, ...],
+             centroids: List[Tuple[float, ...]]) -> int:
+    best, best_dist = 0, float("inf")
+    for index, centroid in enumerate(centroids):
+        dist = _distance(point, centroid)
+        if dist < best_dist - 1e-15:
+            best, best_dist = index, dist
+    return best
+
+
+def _recompute_centroids(points: List[Tuple[float, ...]],
+                         assignments: List[int],
+                         old: List[Tuple[float, ...]]
+                         ) -> List[Tuple[float, ...]]:
+    dims = len(points[0])
+    sums = [[0.0] * dims for _ in old]
+    counts = [0] * len(old)
+    for point, c in zip(points, assignments):
+        counts[c] += 1
+        for d in range(dims):
+            sums[c][d] += point[d]
+    return [tuple(s / counts[c] for s in sums[c]) if counts[c] else old[c]
+            for c, _ in enumerate(old)]
+
+
+def _reseed_empty_clusters(points: List[Tuple[float, ...]],
+                           assignments: List[int],
+                           centroids: List[Tuple[float, ...]]) -> None:
+    """Give each empty cluster the point farthest from its centroid."""
+    for c in range(len(centroids)):
+        if c in assignments:
+            continue
+        candidates = [i for i, a in enumerate(assignments)
+                      if assignments.count(a) > 1]
+        if not candidates:
+            return
+        farthest = max(candidates, key=lambda i: (
+            _distance(points[i], centroids[assignments[i]]), -i))
+        assignments[farthest] = c

@@ -1,0 +1,503 @@
+"""Fleet placement: cluster, tune per host, reroute until converged.
+
+:class:`FleetDesigner` generalizes the paper's one-machine design
+problem to a datacenter. The structure is the divergent-design loop:
+
+1. **Cluster** workloads by cost-curve shape
+   (:mod:`repro.fleet.cluster`) so tenants that respond alike to share
+   changes start out co-located.
+2. **Assign** clusters to disjoint host groups sized by demand (fast
+   hosts go to heavy clusters), then balance workloads within each
+   group by projected load.
+3. **Tune**: run the existing single-host allocation search
+   (:mod:`repro.core.search`) inside every host — each host's search
+   is an independent :class:`~repro.core.problem.
+   VirtualizationDesignProblem` over a profile-backed cost model, so
+   the per-host solves fan out over an
+   :class:`~repro.parallel.engine.EvaluationEngine`.
+4. **Reroute**: repeatedly move the worst-fit workloads (highest
+   current cost) to the host where the *exact* re-solved pair of
+   donor/recipient designs improves total fleet cost, until a round
+   accepts no move or the relative improvement drops below tolerance.
+
+Only strictly improving moves are applied, so the cost trajectory is
+**monotonically non-increasing by construction** — the property tests
+assert it, and :mod:`repro.fleet.supervisor` journals each fresh host
+design so a killed run resumes to a bit-identical placement.
+
+Determinism contract: every collection is iterated in sorted order,
+ties break on names, and the engine only parallelizes the *compute* of
+host designs (results are consumed in deterministic order regardless
+of completion order). A run with 8 process workers journals the exact
+byte sequence a serial run does.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.core.cost_model import CostModel
+from repro.core.problem import VirtualizationDesignProblem, WorkloadSpec
+from repro.core.search import make_algorithm
+from repro.fleet.cluster import Clustering, cluster_profiles, default_cluster_count
+from repro.fleet.problem import FleetHost, FleetProblem
+from repro.fleet.profile import CostProfile
+from repro.obs import metrics
+from repro.virt.resources import ResourceKind
+from repro.workloads.workload import Workload
+
+#: Strict-improvement threshold for accepting a reassignment move.
+MOVE_EPSILON = 1e-9
+
+
+class ProfileCostModel(CostModel):
+    """Prices (workload, allocation) pairs from cost profiles.
+
+    Cost is the profile's curve at the allocation's CPU share, divided
+    by the host's effective speed — profiles are sampled on the
+    reference machine, and a 2× host halves every cost. Pure
+    arithmetic, so ``parallel_safe`` and cheap enough that per-host
+    searches run serially inside one engine task.
+    """
+
+    kind = "fleet-profile"
+    parallel_safe = True
+
+    def __init__(self, profiles: Dict[str, CostProfile],
+                 effective_speed: float):
+        super().__init__()
+        self._profiles = profiles
+        self._speed = effective_speed
+
+    def _cost(self, spec, allocation) -> float:
+        profile = self._profiles[spec.name]
+        return profile.cost_at(allocation.cpu) / self._speed
+
+
+@dataclass(frozen=True)
+class HostDesign:
+    """The tuned allocation for one host's tenant set.
+
+    ``tenants``, ``shares`` and ``costs`` are parallel tuples in
+    sorted-tenant order, so equality is structural and the dataclass
+    round-trips through the journal without loss.
+    """
+
+    host: str
+    tenants: tuple
+    shares: tuple
+    costs: tuple
+
+    @property
+    def total_cost(self) -> float:
+        return sum(self.costs)
+
+    def cost_of(self, name: str) -> float:
+        return self.costs[self.tenants.index(name)]
+
+    def share_of(self, name: str) -> float:
+        return self.shares[self.tenants.index(name)]
+
+    def as_dict(self) -> dict:
+        return {"host": self.host, "tenants": list(self.tenants),
+                "shares": list(self.shares), "costs": list(self.costs),
+                "cost": self.total_cost}
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "HostDesign":
+        return cls(host=payload["host"],
+                   tenants=tuple(payload["tenants"]),
+                   shares=tuple(float(v) for v in payload["shares"]),
+                   costs=tuple(float(v) for v in payload["costs"]))
+
+
+def _solve_host_task(task) -> HostDesign:
+    """Tune one host's allocation: the unit of fleet parallelism.
+
+    A module-level pure function of picklable inputs
+    ``(host, tenant_profiles, grid, algorithm)``, so the designer can
+    fan host solves out over thread *and* process pools. Builds a
+    single-host design problem whose specs carry one synthetic
+    statement per tenant (the profile already encodes the workload's
+    real statements) and searches CPU shares with the standard
+    algorithms from :mod:`repro.core.search`.
+    """
+    host, profiles, grid, algorithm = task
+    ordered = sorted(profiles, key=lambda p: p.name)
+    specs = [WorkloadSpec(Workload(p.name, [p.name]), None)
+             for p in ordered]
+    problem = VirtualizationDesignProblem(
+        machine=host.machine(), specs=specs,
+        controlled_resources=(ResourceKind.CPU,))
+    model = ProfileCostModel({p.name: p for p in ordered},
+                             host.effective_speed)
+    # The share grid must resolve at least one unit per tenant; give
+    # each tenant room to trade a few units beyond the equal split.
+    host_grid = max(grid, 2 * len(ordered))
+    result = make_algorithm(algorithm, host_grid).search(problem, model)
+    names = tuple(p.name for p in ordered)
+    return HostDesign(
+        host=host.name,
+        tenants=names,
+        shares=tuple(result.allocation.vector_for(n).cpu for n in names),
+        costs=tuple(result.per_workload_costs[n] for n in names),
+    )
+
+
+@dataclass(frozen=True)
+class FleetDesign:
+    """The converged output of one fleet placement run."""
+
+    #: workload name -> host name.
+    assignment: Dict[str, str]
+    #: host name -> tuned design (hosts with no tenants are absent).
+    host_designs: Dict[str, HostDesign]
+    total_cost: float
+    #: Total fleet cost after initial placement and after each
+    #: reassignment round; monotonically non-increasing.
+    cost_trajectory: tuple
+    rounds: int
+    moves: int
+    converged: bool
+    #: workload name -> cluster index (the shape clustering).
+    clusters: Dict[str, int] = field(default_factory=dict)
+    n_clusters: int = 0
+
+    def summary(self) -> dict:
+        occupied = len(self.host_designs)
+        return {
+            "workloads": len(self.assignment),
+            "hosts_occupied": occupied,
+            "clusters": self.n_clusters,
+            "total_cost": self.total_cost,
+            "initial_cost": self.cost_trajectory[0],
+            "rounds": self.rounds,
+            "moves": self.moves,
+            "converged": self.converged,
+            "trajectory": list(self.cost_trajectory),
+        }
+
+
+def round_robin_assignment(problem: FleetProblem) -> Dict[str, str]:
+    """The baseline placement: workloads dealt to hosts cyclically.
+
+    Ignores host speed, capacity, and curve shape — exactly what a
+    placement-unaware operator would do, and what ``BENCH_fleet.json``
+    measures the designer against.
+    """
+    hosts = problem.host_names()
+    return {name: hosts[i % len(hosts)]
+            for i, name in enumerate(problem.workload_names())}
+
+
+class FleetDesigner:
+    """Runs the cluster → tune → reroute loop over a fleet problem."""
+
+    def __init__(self, problem: FleetProblem,
+                 clusters: Optional[int] = None,
+                 algorithm: str = "greedy",
+                 engine=None,
+                 max_rounds: int = 8,
+                 move_fraction: float = 0.05,
+                 candidates_per_move: int = 4,
+                 tolerance: float = 1e-6,
+                 recorder: Optional[Callable[[HostDesign], None]] = None):
+        if max_rounds < 0:
+            raise ValueError("max_rounds must be non-negative")
+        if not 0.0 < move_fraction <= 1.0:
+            raise ValueError("move_fraction must be in (0, 1]")
+        if candidates_per_move < 1:
+            raise ValueError("candidates_per_move must be positive")
+        self._problem = problem
+        self._clusters = clusters
+        self._algorithm = algorithm
+        self._engine = engine
+        self._max_rounds = max_rounds
+        self._move_fraction = move_fraction
+        self._candidates = candidates_per_move
+        self._tolerance = tolerance
+        #: Called once per *fresh* host design, in deterministic order,
+        #: before the design enters the cache — the supervisor's
+        #: journal hook. A recorder that raises (the simulated kill)
+        #: leaves the design un-cached, so resume re-solves it.
+        self._recorder = recorder
+        self._profiles = problem.profiles_by_name()
+        self._demands = {name: p.demand()
+                         for name, p in self._profiles.items()}
+        #: (host name, sorted tenant tuple) -> HostDesign.
+        self._cache: Dict[Tuple[str, tuple], HostDesign] = {}
+
+    # -- cache seeding (journal replay) ------------------------------------
+
+    def seed_host_design(self, design: HostDesign) -> None:
+        """Install a replayed design so the solve becomes a cache hit."""
+        self._cache[(design.host, design.tenants)] = design
+
+    # -- host solving ------------------------------------------------------
+
+    def _solve_many(self, pairs: Sequence[Tuple[str, tuple]]
+                    ) -> List[Optional[HostDesign]]:
+        """Designs for (host name, tenant tuple) pairs, cache-assisted.
+
+        Cache misses are computed — fanned out over the engine when one
+        is configured — then recorded and cached in the deterministic
+        order of first appearance, so the journal sequence does not
+        depend on worker count or completion order. An empty tenant
+        tuple yields ``None`` (an idle host costs nothing).
+        """
+        todo: List[Tuple[str, tuple]] = []
+        seen = set()
+        hits = 0
+        for host_name, tenants in pairs:
+            key = (host_name, tenants)
+            if not tenants:
+                continue
+            if key in self._cache or key in seen:
+                hits += 1
+            else:
+                todo.append(key)
+                seen.add(key)
+        if hits:
+            metrics.counter("fleet.host_design_cache_hits").inc(hits)
+        if todo:
+            tasks = [(self._problem.host(host_name),
+                      tuple(self._profiles[t] for t in tenants),
+                      self._problem.grid, self._algorithm)
+                     for host_name, tenants in todo]
+            if self._engine is not None and len(tasks) > 1:
+                computed = self._engine.map(_solve_host_task, tasks)
+            else:
+                computed = [_solve_host_task(task) for task in tasks]
+            for key, design in zip(todo, computed):
+                if self._recorder is not None:
+                    self._recorder(design)
+                self._cache[key] = design
+                metrics.counter("fleet.host_designs").inc()
+        return [self._cache[(h, t)] if t else None for h, t in pairs]
+
+    # -- initial placement -------------------------------------------------
+
+    def _host_groups(self, clustering: Clustering
+                     ) -> Dict[int, List[FleetHost]]:
+        """Disjoint host groups per cluster, sized by cluster demand.
+
+        Hosts are sorted fastest-first and dealt to clusters in
+        demand-descending order, counts apportioned by largest
+        remainder with a floor of one host per non-empty cluster. When
+        there are fewer hosts than clusters every cluster shares the
+        whole fleet (the reroute loop untangles the rest).
+        """
+        hosts = sorted(self._problem.hosts,
+                       key=lambda h: (-h.effective_speed, h.name))
+        demand_of = {
+            c: sum(self._demands[n] for n in clustering.members(c))
+            for c in range(clustering.k)
+        }
+        active = sorted((c for c in demand_of if demand_of[c] > 0),
+                        key=lambda c: (-demand_of[c], c))
+        if not active or len(hosts) < len(active):
+            return {c: hosts for c in range(clustering.k)}
+        total = sum(demand_of[c] for c in active)
+        quotas = {c: demand_of[c] / total * len(hosts) for c in active}
+        counts = {c: max(1, int(quotas[c])) for c in active}
+        # Largest-remainder correction toward exactly len(hosts).
+        while sum(counts.values()) > len(hosts):
+            shrink = max((c for c in active if counts[c] > 1),
+                         key=lambda c: (counts[c] - quotas[c], c))
+            counts[shrink] -= 1
+        grow_order = sorted(active,
+                            key=lambda c: (-(quotas[c] - counts[c]), c))
+        index = 0
+        while sum(counts.values()) < len(hosts):
+            counts[grow_order[index % len(grow_order)]] += 1
+            index += 1
+        groups: Dict[int, List[FleetHost]] = {}
+        cursor = 0
+        for c in active:
+            groups[c] = hosts[cursor:cursor + counts[c]]
+            cursor += counts[c]
+        for c in range(clustering.k):
+            groups.setdefault(c, hosts)
+        return groups
+
+    def _initial_assignment(self, clustering: Clustering
+                            ) -> Dict[str, str]:
+        """Balance each cluster's workloads across its host group.
+
+        Workloads go heaviest-first to the host whose projected load
+        (demand over effective speed) stays smallest — the standard
+        LPT greedy, deterministic via name tie-breaks.
+        """
+        assignment: Dict[str, str] = {}
+        groups = self._host_groups(clustering)
+        loads = {h.name: 0.0 for h in self._problem.hosts}
+        speed = {h.name: h.effective_speed for h in self._problem.hosts}
+        for c in range(clustering.k):
+            members = sorted(clustering.members(c),
+                             key=lambda n: (-self._demands[n], n))
+            group = groups[c]
+            for name in members:
+                target = min(group, key=lambda h: (
+                    loads[h.name] + self._demands[name] / speed[h.name],
+                    h.name))
+                assignment[name] = target.name
+                loads[target.name] += self._demands[name] / speed[target.name]
+        return assignment
+
+    # -- evaluation --------------------------------------------------------
+
+    def _tenant_map(self, assignment: Dict[str, str]
+                    ) -> Dict[str, tuple]:
+        tenants: Dict[str, List[str]] = {
+            h.name: [] for h in self._problem.hosts}
+        for name in sorted(assignment):
+            tenants[assignment[name]].append(name)
+        return {host: tuple(sorted(names))
+                for host, names in tenants.items()}
+
+    def evaluate_assignment(self, assignment: Dict[str, str]
+                            ) -> Tuple[float, Dict[str, HostDesign]]:
+        """Exact total cost of *assignment* via per-host tuning.
+
+        Used both for the designer's own iterations and to price
+        baselines (round-robin) with identical per-host search effort.
+        """
+        tenant_map = self._tenant_map(assignment)
+        pairs = sorted(tenant_map.items())
+        designs = self._solve_many(pairs)
+        host_designs = {host: design
+                        for (host, _), design in zip(pairs, designs)
+                        if design is not None}
+        total = sum(d.total_cost for d in host_designs.values())
+        return total, host_designs
+
+    # -- the reroute loop --------------------------------------------------
+
+    def design(self) -> FleetDesign:
+        """Run cluster → assign → tune → reroute to convergence."""
+        problem = self._problem
+        n = len(problem.profiles)
+        k = self._clusters or default_cluster_count(n)
+        clustering = cluster_profiles(problem.profiles, k)
+        metrics.gauge("fleet.hosts").set(len(problem.hosts))
+        metrics.gauge("fleet.workloads").set(n)
+        metrics.gauge("fleet.clusters").set(clustering.k)
+
+        assignment = self._initial_assignment(clustering)
+        total, host_designs = self.evaluate_assignment(assignment)
+        trajectory = [total]
+        moves_total = 0
+        rounds = 0
+        converged = False
+
+        for _round in range(self._max_rounds):
+            rounds += 1
+            metrics.counter("fleet.reassign_rounds").inc()
+            previous = total
+            total, moved = self._reassign_round(
+                assignment, host_designs, total)
+            moves_total += moved
+            trajectory.append(total)
+            if moved == 0:
+                converged = True
+                break
+            if previous > 0 and (previous - total) / previous <= self._tolerance:
+                converged = True
+                break
+
+        if self._max_rounds == 0:
+            converged = True
+        return FleetDesign(
+            assignment=dict(assignment),
+            host_designs=dict(host_designs),
+            total_cost=total,
+            cost_trajectory=tuple(trajectory),
+            rounds=rounds,
+            moves=moves_total,
+            converged=converged,
+            clusters=dict(clustering.assignments),
+            n_clusters=clustering.k,
+        )
+
+    def _reassign_round(self, assignment: Dict[str, str],
+                        host_designs: Dict[str, HostDesign],
+                        total: float) -> Tuple[float, int]:
+        """One reroute round: move worst-fit workloads if it pays.
+
+        Mutates *assignment* and *host_designs* in place; returns the
+        new total and the number of accepted moves. Only strictly
+        improving moves (delta < -:data:`MOVE_EPSILON`) are applied, so
+        the caller's trajectory cannot increase.
+        """
+        n = len(assignment)
+        budget = max(1, math.ceil(n * self._move_fraction))
+        worst = sorted(
+            assignment,
+            key=lambda w: (-host_designs[assignment[w]].cost_of(w), w)
+        )[:budget]
+        tenant_map = self._tenant_map(assignment)
+        moved = 0
+
+        for workload in worst:
+            source = assignment[workload]
+            candidates = self._candidate_hosts(workload, source,
+                                               host_designs)
+            if not candidates:
+                continue
+            metrics.counter("fleet.moves_considered").inc(len(candidates))
+            source_without = tuple(t for t in tenant_map[source]
+                                   if t != workload)
+            pairs = [(source, source_without)]
+            pairs += [(h, tuple(sorted(tenant_map[h] + (workload,))))
+                      for h in candidates]
+            designs = self._solve_many(pairs)
+            source_design = designs[0]
+            old_source = host_designs[source].total_cost
+            old_src_less = source_design.total_cost if source_design else 0.0
+
+            best_host, best_delta, best_design = None, -MOVE_EPSILON, None
+            for host, design in zip(candidates, designs[1:]):
+                old_target = (host_designs[host].total_cost
+                              if host in host_designs else 0.0)
+                delta = ((old_src_less + design.total_cost)
+                         - (old_source + old_target))
+                if delta < best_delta:
+                    best_host, best_delta, best_design = host, delta, design
+            if best_host is None:
+                continue
+
+            # Apply the move and refresh the in-loop bookkeeping.
+            assignment[workload] = best_host
+            tenant_map[source] = source_without
+            tenant_map[best_host] = best_design.tenants
+            if source_design is None:
+                host_designs.pop(source, None)
+            else:
+                host_designs[source] = source_design
+            host_designs[best_host] = best_design
+            total += best_delta
+            moved += 1
+            metrics.counter("fleet.moves_accepted").inc()
+        return total, moved
+
+    def _candidate_hosts(self, workload: str, source: str,
+                         host_designs: Dict[str, HostDesign]) -> List[str]:
+        """Cheap proxy ranking of target hosts for one workload.
+
+        Projected marginal load — current host cost plus the
+        workload's demand over the host's speed — without re-solving;
+        the exact evaluation happens only for the top few candidates.
+        """
+        demand = self._demands[workload]
+        scored = []
+        for host in self._problem.hosts:
+            if host.name == source:
+                continue
+            current = (host_designs[host.name].total_cost
+                       if host.name in host_designs else 0.0)
+            proxy = current + demand / host.effective_speed
+            scored.append((proxy, host.name))
+        scored.sort()
+        return [name for _, name in scored[:self._candidates]]

@@ -1,0 +1,141 @@
+"""The fleet design problem: hosts, workload profiles, and identity.
+
+A :class:`FleetProblem` is the datacenter-scale analogue of
+:class:`~repro.core.problem.VirtualizationDesignProblem`: instead of N
+workloads on one machine, it holds hundreds of heterogeneous
+:class:`FleetHost`\\ s and thousands of workload
+:class:`~repro.fleet.profile.CostProfile`\\ s, and the placer decides
+both *which host* each workload lands on and *what share* it gets
+there.
+
+Hosts are heterogeneous along two axes the paper's single-box model
+cannot express:
+
+* ``speed_factor`` — hardware speed relative to the reference lab
+  machine (a 2× host halves every workload's cost);
+* ``capacity_factor`` — the fraction of the host actually available to
+  tenant VMs (co-resident infrastructure, maintenance headroom). It
+  scales effective speed the same way but is tracked separately
+  because operators set it per host, not per hardware generation.
+
+:meth:`FleetProblem.fingerprint` hashes the complete problem into the
+journal identity, so a resume against a different fleet is rejected
+instead of silently producing a placement for the wrong datacenter.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass
+from typing import Dict, Iterable, Tuple
+
+from repro.fleet.profile import CostProfile
+from repro.util.errors import AllocationError
+from repro.virt.machine import PhysicalMachine, laboratory_machine
+
+
+@dataclass(frozen=True)
+class FleetHost:
+    """One physical host in the fleet."""
+
+    name: str
+    #: Hardware speed relative to the reference machine.
+    speed_factor: float = 1.0
+    #: Fraction of the host available to tenants (headroom discount).
+    capacity_factor: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.speed_factor <= 0:
+            raise AllocationError(
+                f"host {self.name!r}: speed_factor must be positive")
+        if not 0.0 < self.capacity_factor <= 1.0:
+            raise AllocationError(
+                f"host {self.name!r}: capacity_factor must be in (0, 1]")
+
+    @property
+    def effective_speed(self) -> float:
+        """Speed actually available to tenants."""
+        return self.speed_factor * self.capacity_factor
+
+    def machine(self) -> PhysicalMachine:
+        """This host as a :class:`PhysicalMachine` for per-host search."""
+        return laboratory_machine().scaled(self.effective_speed,
+                                           name=self.name)
+
+    def as_dict(self) -> dict:
+        return {"name": self.name, "speed_factor": self.speed_factor,
+                "capacity_factor": self.capacity_factor}
+
+
+@dataclass(frozen=True)
+class FleetProblem:
+    """A fleet of hosts plus the workload profiles to place on them."""
+
+    hosts: tuple
+    profiles: tuple
+    #: CPU-share grid resolution for the per-host allocation searches.
+    grid: int = 16
+
+    def __init__(self, hosts: Iterable[FleetHost],
+                 profiles: Iterable[CostProfile], grid: int = 16):
+        object.__setattr__(self, "hosts", tuple(hosts))
+        object.__setattr__(self, "profiles", tuple(profiles))
+        object.__setattr__(self, "grid", int(grid))
+        if not self.hosts:
+            raise AllocationError("fleet has no hosts")
+        if not self.profiles:
+            raise AllocationError("fleet has no workload profiles")
+        if self.grid < 2:
+            raise AllocationError("grid must be at least 2")
+        host_names = [h.name for h in self.hosts]
+        if len(set(host_names)) != len(host_names):
+            raise AllocationError("host names must be unique")
+        profile_names = [p.name for p in self.profiles]
+        if len(set(profile_names)) != len(profile_names):
+            raise AllocationError("workload names must be unique")
+        if set(host_names) & set(profile_names):
+            raise AllocationError(
+                "host and workload names must not collide")
+
+    # -- lookups -----------------------------------------------------------
+
+    def host(self, name: str) -> FleetHost:
+        for candidate in self.hosts:
+            if candidate.name == name:
+                return candidate
+        raise KeyError(f"no host named {name!r}")
+
+    def profile(self, name: str) -> CostProfile:
+        for candidate in self.profiles:
+            if candidate.name == name:
+                return candidate
+        raise KeyError(f"no workload named {name!r}")
+
+    def host_names(self) -> Tuple[str, ...]:
+        return tuple(h.name for h in self.hosts)
+
+    def workload_names(self) -> Tuple[str, ...]:
+        return tuple(p.name for p in self.profiles)
+
+    def profiles_by_name(self) -> Dict[str, CostProfile]:
+        return {p.name: p for p in self.profiles}
+
+    # -- identity ----------------------------------------------------------
+
+    def fingerprint(self) -> str:
+        """A stable hash of the complete problem, for journal identity.
+
+        Canonical JSON over every host and profile plus the grid; two
+        problems fingerprint equal iff a resumed run would see exactly
+        the same inputs. (Floats round-trip exactly through JSON, so
+        this is bit-level identity, not approximate.)
+        """
+        payload = {
+            "grid": self.grid,
+            "hosts": [h.as_dict() for h in self.hosts],
+            "profiles": [p.as_dict() for p in self.profiles],
+        }
+        canonical = json.dumps(payload, sort_keys=True,
+                               separators=(",", ":"))
+        return hashlib.sha256(canonical.encode("utf-8")).hexdigest()[:16]

@@ -1,0 +1,144 @@
+"""Workload cost profiles: the fleet layer's unit of currency.
+
+The single-host design problem evaluates a workload's cost at a
+candidate allocation through the full what-if stack (optimizer cost
+model over calibrated parameters, or a fitted surrogate). At fleet
+scale — thousands of workloads across hundreds of hosts — the placement
+loop cannot afford a what-if call per (workload, host, share) triple.
+Instead each workload is summarized once into a :class:`CostProfile`:
+its predicted cost sampled at a fixed ladder of CPU shares
+(:data:`PROFILE_LEVELS`). The fleet layer then works entirely in
+profile space:
+
+* :meth:`CostProfile.cost_at` interpolates the ladder to price any
+  share, so per-host allocation searches stay exact-to-the-profile;
+* :meth:`CostProfile.features` normalizes the curve into a *shape*
+  vector (how share-sensitive the workload is, independent of its
+  magnitude) — the clustering distance in :mod:`repro.fleet.cluster`;
+* :meth:`CostProfile.demand` collapses the curve into one magnitude
+  number used for load-balancing heuristics.
+
+Profiles can be synthesized (:mod:`repro.fleet.scenario`) or derived
+from any :class:`~repro.core.cost_model.CostModel` via
+:meth:`CostProfile.from_cost_model`, which ties the fleet layer to the
+same calibrated stack the single-host designer uses.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Optional, Sequence, Tuple
+
+#: The share ladder profiles are sampled at. Denser at small shares,
+#: where cost curves bend hardest (the paper's Figure 3 surface is
+#: steepest near the origin for I/O-bound workloads).
+PROFILE_LEVELS: Tuple[float, ...] = (0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.8, 1.0)
+
+
+@dataclass(frozen=True)
+class CostProfile:
+    """Predicted cost of one workload as a function of its CPU share."""
+
+    name: str
+    levels: tuple
+    costs: tuple
+
+    def __init__(self, name: str, levels: Iterable[float],
+                 costs: Iterable[float]):
+        object.__setattr__(self, "name", name)
+        object.__setattr__(self, "levels",
+                           tuple(float(v) for v in levels))
+        object.__setattr__(self, "costs", tuple(float(v) for v in costs))
+        if not self.levels:
+            raise ValueError(f"profile {name!r} has no levels")
+        if len(self.levels) != len(self.costs):
+            raise ValueError(
+                f"profile {name!r}: {len(self.levels)} levels but "
+                f"{len(self.costs)} costs")
+        if any(b <= a for a, b in zip(self.levels, self.levels[1:])):
+            raise ValueError(
+                f"profile {name!r}: levels must be strictly ascending")
+        if self.levels[0] <= 0.0 or self.levels[-1] > 1.0:
+            raise ValueError(
+                f"profile {name!r}: levels must lie in (0, 1]")
+        if any(c <= 0.0 for c in self.costs):
+            raise ValueError(f"profile {name!r}: costs must be positive")
+
+    # -- pricing -----------------------------------------------------------
+
+    def cost_at(self, share: float) -> float:
+        """Predicted cost at a CPU *share*, interpolating the ladder.
+
+        Between sampled levels the curve is piecewise linear. Above the
+        top level the cost clamps to the top sample (more CPU than the
+        profile ever measured cannot help further). Below the bottom
+        level it extrapolates hyperbolically — ``cost ~ 1/share``, the
+        asymptotic shape of any CPU-starved workload — so packing too
+        many tenants onto one host is priced as the disaster it is
+        rather than clamped into looking free.
+        """
+        if share <= 0.0:
+            raise ValueError(
+                f"profile {self.name!r}: share must be positive")
+        levels, costs = self.levels, self.costs
+        if share <= levels[0]:
+            return costs[0] * (levels[0] / share)
+        if share >= levels[-1]:
+            return costs[-1]
+        for i in range(1, len(levels)):
+            if share <= levels[i]:
+                span = levels[i] - levels[i - 1]
+                frac = (share - levels[i - 1]) / span
+                return costs[i - 1] + frac * (costs[i] - costs[i - 1])
+        return costs[-1]  # pragma: no cover - unreachable
+
+    # -- clustering features ----------------------------------------------
+
+    def features(self) -> Tuple[float, ...]:
+        """The cost curve normalized by its mean: a pure *shape* vector.
+
+        Two workloads whose curves differ only by a scalar factor (one
+        runs the same queries against twice the data) get identical
+        features and cluster together — what matters for co-location is
+        how a workload *responds* to share changes, not how big it is.
+        """
+        mean = sum(self.costs) / len(self.costs)
+        return tuple(c / mean for c in self.costs)
+
+    def demand(self) -> float:
+        """A scalar magnitude proxy: the mean cost across the ladder."""
+        return sum(self.costs) / len(self.costs)
+
+    # -- construction from the real stack ---------------------------------
+
+    @classmethod
+    def from_cost_model(cls, spec, cost_model,
+                        levels: Sequence[float] = PROFILE_LEVELS,
+                        fixed_memory: float = 0.5, fixed_io: float = 0.5,
+                        engine: Optional[object] = None) -> "CostProfile":
+        """Sample *spec*'s cost curve out of a single-host cost model.
+
+        Evaluates the workload at every ladder level (memory and I/O
+        shares held fixed) in one :meth:`~repro.core.cost_model.CostModel.
+        cost_many` batch, so a parallel-safe model fans the samples out
+        over *engine*.
+        """
+        from repro.virt.resources import ResourceVector
+
+        pairs = [(spec, ResourceVector.of(cpu=level, memory=fixed_memory,
+                                          io=fixed_io))
+                 for level in levels]
+        outcome = cost_model.cost_many(pairs, engine=engine)
+        return cls(spec.name, levels, outcome.costs)
+
+    def as_dict(self) -> dict:
+        return {"name": self.name, "levels": list(self.levels),
+                "costs": list(self.costs)}
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "CostProfile":
+        return cls(payload["name"], payload["levels"], payload["costs"])
+
+    def __repr__(self) -> str:
+        return (f"CostProfile({self.name!r}, {len(self.levels)} levels, "
+                f"demand={self.demand():.3g})")

@@ -1,0 +1,85 @@
+"""Synthetic fleet scenarios for benchmarks and the `repro fleet` CLI.
+
+:func:`synthetic_fleet` builds a deterministic
+:class:`~repro.fleet.problem.FleetProblem` from a single seed:
+heterogeneous hosts (speed factors spanning two hardware generations,
+a minority carrying a capacity discount) and workloads drawn from a
+small set of archetypes that differ in *share sensitivity* — exactly
+the axis the paper's Figure 3 surfaces vary along:
+
+* **cpu-bound** — cost falls steeply with more CPU share (the Q13-like
+  regime where the statement is compute-limited);
+* **balanced** — moderate sensitivity;
+* **io-bound** — cost barely responds to CPU share (the Q4-like regime
+  where the disk is the bottleneck);
+
+plus a heavy-tailed magnitude so a few workloads dominate demand, as
+real tenant populations do. The archetype mix is what makes placement
+interesting: round-robin ignores both host speed and share
+sensitivity, so a placer that clusters by curve shape and load-balances
+by demand has real cost to recover.
+
+All randomness flows through per-entity
+:meth:`~repro.util.rng.DeterministicRng.fork` streams, so the scenario
+is a pure function of ``(n_hosts, n_workloads, seed, grid)`` — which is
+all the fleet journal needs to record to rebuild the problem on resume.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from repro.fleet.problem import FleetHost, FleetProblem
+from repro.fleet.profile import PROFILE_LEVELS, CostProfile
+from repro.util.errors import AllocationError
+from repro.util.rng import DeterministicRng
+
+#: (archetype name, base alpha). Alpha is the share-insensitive cost
+#: fraction: cost(share) = base * (alpha + (1 - alpha) * 0.5 / share).
+#: Alpha near 0 = CPU-bound (hyperbolic curve), near 1 = I/O-bound
+#: (flat curve).
+ARCHETYPES: Tuple[Tuple[str, float], ...] = (
+    ("cpu-bound", 0.12),
+    ("balanced", 0.45),
+    ("io-bound", 0.85),
+)
+
+
+def _synthetic_profile(name: str, rng: DeterministicRng) -> CostProfile:
+    archetype, alpha = ARCHETYPES[rng.zipf_index(len(ARCHETYPES), 0.0)]
+    alpha = min(0.95, max(0.02, alpha + rng.gauss(0.0, 0.06)))
+    base = rng.uniform(2.0, 8.0)
+    if rng.uniform(0.0, 1.0) < 0.08:
+        base *= 4.0  # the heavy tail: a few tenants dominate demand
+    costs = [base * (alpha + (1.0 - alpha) * (0.5 / level))
+             for level in PROFILE_LEVELS]
+    return CostProfile(name, PROFILE_LEVELS, costs)
+
+
+def _synthetic_host(index: int, rng: DeterministicRng) -> FleetHost:
+    speed = rng.uniform(0.5, 2.0)
+    capacity = 0.7 if rng.uniform(0.0, 1.0) < 0.15 else 1.0
+    return FleetHost(name=f"host-{index:04d}", speed_factor=speed,
+                     capacity_factor=capacity)
+
+
+def synthetic_fleet(n_hosts: int, n_workloads: int, seed: int = 0,
+                    grid: int = 16) -> FleetProblem:
+    """A deterministic synthetic fleet scenario.
+
+    Hosts and workloads each draw from their own forked stream, so the
+    scenario with 100 hosts shares its first 50 hosts with the scenario
+    of 50 — sizes can grow without reshuffling everything.
+    """
+    # AllocationError, not ValueError: the CLI maps it to the
+    # documented usage-error exit code (2).
+    if n_hosts <= 0:
+        raise AllocationError("n_hosts must be positive")
+    if n_workloads <= 0:
+        raise AllocationError("n_workloads must be positive")
+    root = DeterministicRng(seed)
+    hosts = [_synthetic_host(i, root.fork(f"host/{i}"))
+             for i in range(n_hosts)]
+    profiles = [_synthetic_profile(f"wl-{i:05d}", root.fork(f"workload/{i}"))
+                for i in range(n_workloads)]
+    return FleetProblem(hosts=hosts, profiles=profiles, grid=grid)

@@ -1,0 +1,197 @@
+"""Crash-recoverable fleet placement runs.
+
+A fleet run over hundreds of hosts solves thousands of per-host
+allocation searches; :class:`FleetSupervisor` journals each completed
+host design into a :class:`~repro.recovery.journal.RunJournal` so a
+killed run resumes without repeating paid-for work — and, because the
+placement loop is deterministic, resumes to a **bit-identical** final
+placement (asserted by ``tests/fleet/test_supervisor.py`` exactly the
+way the single-host equivalence suite asserts it).
+
+The unit of work is one fresh host design: the designer's recorder
+hook fires in deterministic order before each design enters the solve
+cache, the journal commits it durably, and a kill between compute and
+commit (simulated with ``max_units`` through
+:class:`~repro.recovery.journal.BudgetedJournal`) simply re-runs that
+one unit on resume. Replay seeds the solve cache, so every journaled
+design is a cache hit and the resumed run's journal appends continue
+at exactly the sequence number the killed run stopped at.
+
+Journal identity covers the problem fingerprint (hosts, profiles,
+grid), the clustering and search knobs, and the synthetic-scenario
+parameters when the problem came from
+:func:`~repro.fleet.scenario.synthetic_fleet` — the CLI's ``repro
+resume`` rebuilds the problem from those recorded parameters alone.
+Worker count and pool kind are recorded for observability but are
+deliberately *not* identity: a run journaled at 8 process workers may
+resume serially and still match bit for bit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, Optional
+
+from repro.fleet.placement import FleetDesign, FleetDesigner, HostDesign
+from repro.fleet.problem import FleetProblem
+from repro.recovery.journal import (
+    BudgetedJournal,
+    RunJournal,
+    UnitBudgetExceeded,
+)
+from repro.util.errors import RecoveryError
+
+
+@dataclass
+class FleetRun:
+    """What one :meth:`FleetSupervisor.run` invocation produced."""
+
+    #: The converged placement, or ``None`` when the run was killed.
+    design: Optional[FleetDesign]
+    #: True when the run finished (a ``result`` record is journaled).
+    completed: bool = False
+    #: Host designs replayed from the journal.
+    replayed_units: int = 0
+    #: Host designs freshly computed and committed by this invocation.
+    new_units: int = 0
+
+
+class FleetSupervisor:
+    """Drives a journaled, resumable fleet placement run."""
+
+    def __init__(self, problem: FleetProblem, journal_path,
+                 scenario: Optional[Dict[str, Any]] = None,
+                 clusters: Optional[int] = None,
+                 algorithm: str = "greedy",
+                 max_rounds: int = 8,
+                 move_fraction: float = 0.05,
+                 candidates_per_move: int = 4,
+                 max_units: Optional[int] = None,
+                 engine=None,
+                 extra_meta: Optional[Dict[str, Any]] = None):
+        self._problem = problem
+        self._journal_path = journal_path
+        #: The synthetic-scenario parameters that rebuilt *problem*, if
+        #: any; recorded in the meta so ``repro resume`` can
+        #: reconstruct the problem without the caller.
+        self._scenario = dict(scenario) if scenario else None
+        self._clusters = clusters
+        self._algorithm = algorithm
+        self._max_rounds = max_rounds
+        self._move_fraction = move_fraction
+        self._candidates = candidates_per_move
+        self._max_units = max_units
+        self._engine = engine
+        self._extra_meta = dict(extra_meta or {})
+
+    # -- run identity ------------------------------------------------------
+
+    def _meta(self) -> Dict[str, Any]:
+        meta = {
+            "run_kind": "fleet",
+            "fingerprint": self._problem.fingerprint(),
+            "hosts": len(self._problem.hosts),
+            "workloads": len(self._problem.profiles),
+            "grid": self._problem.grid,
+            "clusters": self._clusters,
+            "algorithm": self._algorithm,
+            "max_rounds": self._max_rounds,
+            "move_fraction": self._move_fraction,
+            "candidates_per_move": self._candidates,
+        }
+        if self._scenario is not None:
+            meta["scenario"] = dict(self._scenario)
+        meta.update(self._extra_meta)
+        return meta
+
+    _IDENTITY_KEYS = ("run_kind", "fingerprint", "grid", "clusters",
+                      "algorithm", "max_rounds", "move_fraction",
+                      "candidates_per_move")
+
+    def _check_meta(self, recorded: Dict[str, Any]) -> None:
+        expected = self._meta()
+        mismatched = sorted(
+            key for key in self._IDENTITY_KEYS
+            if key in recorded and recorded[key] != expected[key]
+        )
+        if mismatched:
+            raise RecoveryError(
+                f"journal {self._journal_path} was written by a different "
+                f"fleet run: mismatched {', '.join(mismatched)} "
+                f"(resume must use the same fleet, clustering, and search)")
+
+    # -- the run -----------------------------------------------------------
+
+    def run(self, resume: bool = False) -> FleetRun:
+        """Execute (or resume) the placement run."""
+        if resume:
+            journal = RunJournal.open(self._journal_path)
+            self._check_meta(journal.meta)
+        else:
+            journal = RunJournal.create(self._journal_path, self._meta())
+
+        budgeted = BudgetedJournal(journal, self._max_units)
+
+        def recorder(design: HostDesign) -> None:
+            budgeted.append("host-design", design.as_dict())
+
+        designer = FleetDesigner(
+            self._problem,
+            clusters=self._clusters,
+            algorithm=self._algorithm,
+            engine=self._engine,
+            max_rounds=self._max_rounds,
+            move_fraction=self._move_fraction,
+            candidates_per_move=self._candidates,
+            recorder=recorder,
+        )
+        replayed = self._replay(journal, designer)
+        prior_result = journal.records_of("result")
+
+        try:
+            design = designer.design()
+        except UnitBudgetExceeded:
+            return FleetRun(design=None, completed=False,
+                            replayed_units=replayed,
+                            new_units=budgeted.new_units)
+
+        if not prior_result:
+            # The result commits to the raw journal: it is the finish
+            # line, not a unit the kill simulation may interrupt.
+            journal.append("result", self._result_record(design))
+        return FleetRun(design=design, completed=True,
+                        replayed_units=replayed,
+                        new_units=budgeted.new_units)
+
+    # -- replay ------------------------------------------------------------
+
+    def _replay(self, journal: RunJournal,
+                designer: FleetDesigner) -> int:
+        known = set(self._problem.host_names())
+        workloads = set(self._problem.workload_names())
+        replayed = 0
+        for record in journal.records_of("host-design"):
+            design = HostDesign.from_dict(record.data)
+            if design.host not in known:
+                raise RecoveryError(
+                    f"journal host-design names unknown host "
+                    f"{design.host!r}")
+            unknown = set(design.tenants) - workloads
+            if unknown:
+                raise RecoveryError(
+                    f"journal host-design names unknown workload(s) "
+                    f"{sorted(unknown)}")
+            designer.seed_host_design(design)
+            replayed += 1
+        return replayed
+
+    @staticmethod
+    def _result_record(design: FleetDesign) -> Dict[str, Any]:
+        return {
+            "total_cost": design.total_cost,
+            "rounds": design.rounds,
+            "moves": design.moves,
+            "converged": design.converged,
+            "trajectory": list(design.cost_trajectory),
+            "assignment": dict(sorted(design.assignment.items())),
+        }

@@ -53,6 +53,11 @@ Headline keys
 ``surrogate_calibrations``     calibration requests spent fitting surrogates
 ``surrogate_refinements``      adaptive-refinement rounds executed
 ``surrogate_polish``           search-in-the-loop polish rounds executed
+``fleet_host_designs``         per-host allocation searches solved fresh
+``fleet_design_cache_hits``    host designs answered from the solve cache
+``fleet_rounds``               fleet reassignment rounds executed
+``fleet_moves_accepted``       workload moves that improved total cost
+``fleet_moves_considered``     candidate moves exactly evaluated
 =============================  ==============================================
 
 The five resilience keys (``faults_injected`` … ``budget_stops``) were
@@ -60,8 +65,10 @@ added in format 2 together with the ``repro chaos`` command;
 ``recoveries`` (backed by the ``resilience.recovery`` counter) arrived
 in format 3 with the watchdog and run supervisor; the seven surrogate
 keys (backed by the ``surrogate.*`` counters) arrived in format 4 with
-the calibration surrogate and continuous-allocation search. See
-``docs/robustness.md`` and ``docs/surrogate.md`` for the metric names
+the calibration surrogate and continuous-allocation search; the five
+fleet keys (backed by the ``fleet.*`` counters) arrived in format 5
+with the fleet placement layer. See ``docs/robustness.md``,
+``docs/surrogate.md``, and ``docs/fleet.md`` for the metric names
 behind them.
 
 Usage
@@ -90,7 +97,7 @@ from repro.obs.spans import SpanRecorder, get_recorder
 from repro.util.errors import ObservabilityError
 from repro.util.tables import format_table
 
-FORMAT = "repro-run-report/4"
+FORMAT = "repro-run-report/5"
 
 
 def _counter_totals(snapshot: dict, name: str) -> float:
@@ -162,6 +169,15 @@ def summarize(snapshot: dict, span_aggregate: Dict[str, dict],
         "surrogate_refinements": _counter_totals(
             snapshot, "surrogate.refinements"),
         "surrogate_polish": _counter_totals(snapshot, "surrogate.polish"),
+        "fleet_host_designs": _counter_totals(
+            snapshot, "fleet.host_designs"),
+        "fleet_design_cache_hits": _counter_totals(
+            snapshot, "fleet.host_design_cache_hits"),
+        "fleet_rounds": _counter_totals(snapshot, "fleet.reassign_rounds"),
+        "fleet_moves_accepted": _counter_totals(
+            snapshot, "fleet.moves_accepted"),
+        "fleet_moves_considered": _counter_totals(
+            snapshot, "fleet.moves_considered"),
     }
 
 
@@ -316,6 +332,27 @@ class RunReport:
                          for axis, count in sorted(refinements.items())])
             sections.append(format_table(
                 ["measure", "value"], rows, title="Surrogate",
+            ))
+
+        if summary.get("fleet_host_designs", 0):
+            rows = [
+                ["host designs (fresh / cached)",
+                 f"{summary.get('fleet_host_designs', 0):.0f} / "
+                 f"{summary.get('fleet_design_cache_hits', 0):.0f}"],
+                ["reassignment rounds",
+                 f"{summary.get('fleet_rounds', 0):.0f}"],
+                ["moves (accepted / considered)",
+                 f"{summary.get('fleet_moves_accepted', 0):.0f} / "
+                 f"{summary.get('fleet_moves_considered', 0):.0f}"],
+            ]
+            for gauge, label in (("fleet.hosts", "hosts"),
+                                 ("fleet.workloads", "workloads"),
+                                 ("fleet.clusters", "clusters")):
+                value = _gauge_value(self.metrics, gauge)
+                if value is not None:
+                    rows.append([label, f"{value:.0f}"])
+            sections.append(format_table(
+                ["measure", "value"], rows, title="Fleet",
             ))
 
         searches = _by_label(self.metrics, "search.evaluations", "algorithm")

@@ -9,8 +9,10 @@ killed. See ``docs/robustness.md`` for the recovery contract.
 
 from repro.recovery.journal import (
     FORMAT,
+    BudgetedJournal,
     JournalRecord,
     RunJournal,
+    UnitBudgetExceeded,
     read_journal,
 )
 from repro.recovery.supervisor import (
@@ -21,8 +23,10 @@ from repro.recovery.supervisor import (
 
 __all__ = [
     "FORMAT",
+    "BudgetedJournal",
     "JournalRecord",
     "RunJournal",
+    "UnitBudgetExceeded",
     "read_journal",
     "JournalingCostModel",
     "RunSupervisor",

@@ -232,3 +232,35 @@ class RunJournal:
         self._next_seq += 1
         self._records.append(record)
         return record
+
+
+class UnitBudgetExceeded(Exception):
+    """The simulated kill point of a :class:`BudgetedJournal` was hit."""
+
+
+class BudgetedJournal:
+    """Journal proxy that simulates a crash after N new commits.
+
+    The budget is checked *before* the (N+1)-th append: the unit's work
+    is done but never committed, which is exactly the state a real kill
+    between compute and commit leaves behind — resume re-runs that
+    unit. Both the design-run supervisor (:mod:`repro.recovery.
+    supervisor`) and the fleet supervisor (:mod:`repro.fleet.
+    supervisor`) model kills this way, so their equivalence tests share
+    one crash semantics.
+    """
+
+    def __init__(self, journal: RunJournal, max_new_units: Optional[int]):
+        self._journal = journal
+        self._max_new = max_new_units
+        self.new_units = 0
+
+    def append(self, kind: str, data: Dict[str, Any]) -> JournalRecord:
+        if self._max_new is not None and self.new_units >= self._max_new:
+            raise UnitBudgetExceeded()
+        record = self._journal.append(kind, data)
+        self.new_units += 1
+        return record
+
+    def __getattr__(self, name):
+        return getattr(self._journal, name)

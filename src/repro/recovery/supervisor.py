@@ -49,39 +49,22 @@ from repro.core.designer import Design, VirtualizationDesigner
 from repro.core.problem import VirtualizationDesignProblem
 from repro.faults import FaultInjector, FaultPlan, RetryPolicy
 from repro.parallel import make_engine
-from repro.recovery.journal import RunJournal
+from repro.recovery.journal import (
+    BudgetedJournal,
+    RunJournal,
+    UnitBudgetExceeded,
+)
 from repro.util.errors import RecoveryError
 from repro.virt.health import HealthMonitor, RecoveryAction
 from repro.virt.monitor import VirtualMachineMonitor
 from repro.virt.resources import ResourceVector
 
 
-class _UnitBudgetExceeded(Exception):
-    """Internal: the simulated kill point was reached."""
-
-
-class _BudgetedJournal:
-    """Journal proxy that simulates a crash after N new commits.
-
-    The budget is checked *before* the (N+1)-th append: the unit's work
-    is done but never committed, which is exactly the state a real kill
-    between compute and commit leaves behind — resume re-runs that unit.
-    """
-
-    def __init__(self, journal: RunJournal, max_new_units: Optional[int]):
-        self._journal = journal
-        self._max_new = max_new_units
-        self.new_units = 0
-
-    def append(self, kind: str, data: Dict[str, Any]):
-        if self._max_new is not None and self.new_units >= self._max_new:
-            raise _UnitBudgetExceeded()
-        record = self._journal.append(kind, data)
-        self.new_units += 1
-        return record
-
-    def __getattr__(self, name):
-        return getattr(self._journal, name)
+# The kill-simulation machinery now lives in repro.recovery.journal so
+# the fleet supervisor can share it; the old private names stay as
+# aliases for compatibility.
+_UnitBudgetExceeded = UnitBudgetExceeded
+_BudgetedJournal = BudgetedJournal
 
 
 class JournalingCostModel(CostModel):

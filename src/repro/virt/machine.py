@@ -15,7 +15,7 @@ in a familiar range; absolute values only need to be self-consistent.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 
 from repro.util.errors import AllocationError
 from repro.util.units import MIB, PAGE_SIZE
@@ -65,6 +65,25 @@ class PhysicalMachine:
         if share < 0:
             raise AllocationError("memory share must be non-negative")
         return self.memory_mib * share
+
+    def scaled(self, factor: float, name: str = None) -> "PhysicalMachine":
+        """A copy of this machine with throughput scaled by *factor*.
+
+        CPU and both I/O capacities scale; memory, CPU count, and the
+        per-page hypervisor overhead do not — a host twice as fast
+        finishes work in half the time but does not hold more pages.
+        Used by the fleet layer to model heterogeneous hardware
+        generations relative to one reference machine.
+        """
+        if factor <= 0:
+            raise AllocationError("scale factor must be positive")
+        return replace(
+            self,
+            name=self.name if name is None else name,
+            cpu_units_per_second=self.cpu_units_per_second * factor,
+            io_seq_mib_per_second=self.io_seq_mib_per_second * factor,
+            io_random_ops_per_second=self.io_random_ops_per_second * factor,
+        )
 
 
 def laboratory_machine() -> PhysicalMachine:

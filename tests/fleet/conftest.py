@@ -1,0 +1,22 @@
+"""Shared fixtures for the fleet-placement tests.
+
+The fleets are deliberately tiny (a handful of hosts, a dozen
+workloads, a coarse grid) so the suites that re-run whole placements —
+determinism, kill-at-every-unit resume — stay affordable while still
+exercising heterogeneous hosts and multi-cluster placement.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.fleet import synthetic_fleet
+
+SEED = 3
+GRID = 8
+
+
+@pytest.fixture(scope="package")
+def small_problem():
+    """4 heterogeneous hosts, 12 workloads — the standard test fleet."""
+    return synthetic_fleet(4, 12, seed=SEED, grid=GRID)

@@ -1,0 +1,95 @@
+"""CLI tests for ``repro fleet`` / ``repro resume`` and the doc epilogs."""
+
+import argparse
+import pathlib
+import re
+
+import pytest
+
+from repro.cli import build_parser, main
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parents[2]
+
+FLEET_ARGS = ["fleet", "--hosts", "4", "--workloads", "12",
+              "--seed", "3", "--grid", "8"]
+
+
+class TestFleetCommand:
+    def test_fleet_prints_placement_summary(self, capsys):
+        assert main(FLEET_ARGS) == 0
+        out = capsys.readouterr().out
+        assert "Fleet placement" in out
+        assert "workloads placed" in out
+        assert "final cost" in out
+
+    def test_baseline_row_appears_on_request(self, capsys):
+        assert main(FLEET_ARGS + ["--baseline"]) == 0
+        out = capsys.readouterr().out
+        assert "round-robin baseline" in out
+
+    def test_rejects_degenerate_scenarios(self):
+        assert main(["fleet", "--hosts", "0", "--workloads", "5"]) == 2
+
+
+class TestFleetJournalResume:
+    def test_kill_then_resume_completes(self, capsys, tmp_path):
+        journal = tmp_path / "fleet.journal"
+        killed = main(FLEET_ARGS + ["--journal", str(journal),
+                                    "--max-units", "3"])
+        out = capsys.readouterr().out
+        assert killed == 4
+        assert "resumable with: repro resume" in out
+
+        resumed = main(["resume", str(journal)])
+        out = capsys.readouterr().out
+        assert resumed == 0
+        assert "Fleet placement" in out
+        assert "3 unit(s) replayed" in out
+
+    def test_resume_matches_uninterrupted_run(self, capsys, tmp_path):
+        straight = tmp_path / "straight.journal"
+        assert main(FLEET_ARGS + ["--journal", str(straight)]) == 0
+        straight_out = capsys.readouterr().out
+
+        killed = tmp_path / "killed.journal"
+        assert main(FLEET_ARGS + ["--journal", str(killed),
+                                  "--max-units", "2"]) == 4
+        capsys.readouterr()
+        assert main(["resume", str(killed)]) == 0
+        resumed_out = capsys.readouterr().out
+
+        def costs(text):
+            return re.findall(r"(?:initial|final) cost\s+\S+", text)
+
+        assert costs(resumed_out) == costs(straight_out)
+
+    def test_resume_of_missing_journal_is_permanent_failure(self, tmp_path):
+        assert main(["resume", str(tmp_path / "absent.journal")]) == 3
+
+
+def _subcommands():
+    parser = build_parser()
+    for action in parser._actions:
+        if isinstance(action, argparse._SubParsersAction):
+            return action.choices
+    raise AssertionError("CLI parser has no subcommands")
+
+
+class TestDocEpilogs:
+    def test_every_subcommand_names_its_documentation(self):
+        for name, sub in _subcommands().items():
+            assert sub.epilog, f"subcommand {name!r} has no docs epilog"
+            assert "Documentation:" in sub.epilog
+
+    def test_every_cited_doc_page_exists(self):
+        cited = set()
+        for sub in _subcommands().values():
+            cited.update(re.findall(r"[\w/-]+\.md", sub.epilog or ""))
+        assert cited, "no documentation pages cited by any epilog"
+        for page in sorted(cited):
+            assert (REPO_ROOT / page).exists(), (
+                f"CLI epilog cites {page}, which does not exist")
+
+    def test_fleet_epilog_names_the_fleet_guide(self):
+        assert "docs/fleet.md" in _subcommands()["fleet"].epilog
+        assert "docs/fleet.md" in _subcommands()["resume"].epilog

@@ -1,0 +1,84 @@
+"""Tests for deterministic shape clustering."""
+
+import pytest
+
+from repro.fleet import CostProfile, cluster_profiles, default_cluster_count
+
+LEVELS = (0.1, 0.3, 0.6, 1.0)
+
+
+def cpu_bound(name, scale=1.0):
+    """Steep curve: cost keeps falling as share grows."""
+    return CostProfile(name, LEVELS,
+                       tuple(scale * c for c in (60.0, 20.0, 10.0, 6.0)))
+
+
+def io_bound(name, scale=1.0):
+    """Flat curve: extra CPU barely helps."""
+    return CostProfile(name, LEVELS,
+                       tuple(scale * c for c in (11.0, 10.5, 10.2, 10.0)))
+
+
+class TestDefaultClusterCount:
+    def test_sqrt_heuristic(self):
+        assert default_cluster_count(2) == 1
+        assert default_cluster_count(50) == 5
+        assert default_cluster_count(200) == 10
+
+    def test_clamped_to_bounds(self):
+        assert default_cluster_count(1) == 1
+        assert default_cluster_count(100_000) == 16
+
+
+class TestClusterProfiles:
+    def test_rejects_bad_inputs(self):
+        with pytest.raises(ValueError):
+            cluster_profiles([], 2)
+        with pytest.raises(ValueError):
+            cluster_profiles([cpu_bound("a")], 0)
+
+    def test_single_cluster_holds_everyone(self):
+        profiles = [cpu_bound("a"), io_bound("b"), cpu_bound("c")]
+        clustering = cluster_profiles(profiles, 1)
+        assert clustering.k == 1
+        assert clustering.members(0) == ["a", "b", "c"]
+
+    def test_k_clamps_to_population(self):
+        profiles = [cpu_bound("a"), io_bound("b", scale=2.0)]
+        clustering = cluster_profiles(profiles, 5)
+        assert clustering.k == 2
+        assert sorted(clustering.assignments) == ["a", "b"]
+
+    def test_separates_archetypes(self):
+        profiles = ([cpu_bound(f"cpu-{i}", scale=1.0 + 0.1 * i)
+                     for i in range(4)]
+                    + [io_bound(f"io-{i}", scale=1.0 + 0.1 * i)
+                       for i in range(4)])
+        clustering = cluster_profiles(profiles, 2)
+        groups = {frozenset(clustering.members(c)) for c in range(2)}
+        assert groups == {
+            frozenset(f"cpu-{i}" for i in range(4)),
+            frozenset(f"io-{i}" for i in range(4)),
+        }
+
+    def test_deterministic_across_runs(self):
+        profiles = [cpu_bound(f"cpu-{i}") for i in range(3)] + [
+            io_bound(f"io-{i}") for i in range(3)]
+        first = cluster_profiles(profiles, 3)
+        second = cluster_profiles(profiles, 3)
+        assert first.assignments == second.assignments
+        assert first.centroids == second.centroids
+        assert first.inertia == second.inertia
+
+    def test_input_order_is_irrelevant(self):
+        profiles = [cpu_bound(f"cpu-{i}") for i in range(3)] + [
+            io_bound(f"io-{i}") for i in range(3)]
+        forward = cluster_profiles(profiles, 2)
+        backward = cluster_profiles(list(reversed(profiles)), 2)
+        assert forward.assignments == backward.assignments
+
+    def test_every_cluster_index_in_range(self, small_problem):
+        clustering = cluster_profiles(small_problem.profiles, 3)
+        assert set(clustering.assignments.values()) <= set(range(3))
+        assert clustering.inertia >= 0.0
+        assert clustering.iterations >= 1

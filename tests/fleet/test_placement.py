@@ -1,0 +1,151 @@
+"""Tests for the cluster → tune → reroute placement loop."""
+
+import pytest
+
+from repro.fleet import (
+    FleetDesigner,
+    HostDesign,
+    round_robin_assignment,
+)
+
+
+@pytest.fixture(scope="module")
+def design(small_problem):
+    return FleetDesigner(small_problem, max_rounds=8,
+                         move_fraction=0.25).design()
+
+
+class TestFleetDesign:
+    def test_places_every_workload_on_a_known_host(self, small_problem,
+                                                   design):
+        assert sorted(design.assignment) == sorted(
+            small_problem.workload_names())
+        hosts = set(small_problem.host_names())
+        assert set(design.assignment.values()) <= hosts
+
+    def test_host_designs_partition_the_workloads(self, design):
+        placed = [t for d in design.host_designs.values()
+                  for t in d.tenants]
+        assert sorted(placed) == sorted(design.assignment)
+        for host, host_design in design.host_designs.items():
+            assert host_design.host == host
+            for tenant in host_design.tenants:
+                assert design.assignment[tenant] == host
+
+    def test_shares_are_a_valid_allocation(self, design):
+        for host_design in design.host_designs.values():
+            assert all(s > 0.0 for s in host_design.shares)
+            assert sum(host_design.shares) <= 1.0 + 1e-9
+
+    def test_total_cost_is_the_sum_of_host_designs(self, design):
+        total = sum(d.total_cost for d in design.host_designs.values())
+        assert design.total_cost == pytest.approx(total)
+
+    def test_trajectory_is_monotone_and_anchored(self, design):
+        trajectory = design.cost_trajectory
+        assert trajectory[0] >= trajectory[-1]
+        assert all(b <= a + 1e-9
+                   for a, b in zip(trajectory, trajectory[1:]))
+        assert trajectory[-1] == pytest.approx(design.total_cost)
+        assert len(trajectory) == design.rounds + 1
+
+    def test_converges_on_the_small_fleet(self, design):
+        assert design.converged
+        assert design.rounds <= 8
+
+    def test_clusters_cover_every_workload(self, design):
+        assert sorted(design.clusters) == sorted(design.assignment)
+        assert set(design.clusters.values()) <= set(
+            range(design.n_clusters))
+
+    def test_summary_matches_the_design(self, design):
+        summary = design.summary()
+        assert summary["workloads"] == len(design.assignment)
+        assert summary["total_cost"] == design.total_cost
+        assert summary["trajectory"] == list(design.cost_trajectory)
+
+
+class TestAgainstRoundRobin:
+    def test_round_robin_deals_cyclically(self, small_problem):
+        assignment = round_robin_assignment(small_problem)
+        hosts = small_problem.host_names()
+        for i, name in enumerate(small_problem.workload_names()):
+            assert assignment[name] == hosts[i % len(hosts)]
+
+    def test_fleet_design_beats_tuned_round_robin(self, small_problem,
+                                                  design):
+        baseline, _ = FleetDesigner(small_problem).evaluate_assignment(
+            round_robin_assignment(small_problem))
+        assert design.total_cost < baseline
+
+
+class TestDeterminism:
+    def test_identical_runs_produce_identical_designs(self, small_problem):
+        first = FleetDesigner(small_problem, move_fraction=0.25).design()
+        second = FleetDesigner(small_problem, move_fraction=0.25).design()
+        assert first.assignment == second.assignment
+        assert first.cost_trajectory == second.cost_trajectory
+        assert first.host_designs == second.host_designs
+
+
+class TestCaching:
+    def test_repeat_evaluation_recomputes_nothing(self, small_problem):
+        fresh = []
+        designer = FleetDesigner(small_problem, recorder=fresh.append)
+        assignment = round_robin_assignment(small_problem)
+        designer.evaluate_assignment(assignment)
+        first = len(fresh)
+        assert first > 0
+        designer.evaluate_assignment(assignment)
+        assert len(fresh) == first
+
+    def test_seeded_design_is_a_cache_hit(self, small_problem):
+        fresh = []
+        donor = FleetDesigner(small_problem)
+        assignment = round_robin_assignment(small_problem)
+        _, host_designs = donor.evaluate_assignment(assignment)
+
+        seeded = FleetDesigner(small_problem, recorder=fresh.append)
+        for host_design in host_designs.values():
+            seeded.seed_host_design(host_design)
+        total, _ = seeded.evaluate_assignment(assignment)
+        assert fresh == []
+        assert total == pytest.approx(
+            sum(d.total_cost for d in host_designs.values()))
+
+
+class TestKnobs:
+    def test_zero_rounds_returns_the_initial_placement(self, small_problem):
+        design = FleetDesigner(small_problem, max_rounds=0).design()
+        assert design.rounds == 0
+        assert design.moves == 0
+        assert design.converged
+        assert len(design.cost_trajectory) == 1
+
+    def test_rejects_bad_knobs(self, small_problem):
+        with pytest.raises(ValueError):
+            FleetDesigner(small_problem, max_rounds=-1)
+        with pytest.raises(ValueError):
+            FleetDesigner(small_problem, move_fraction=0.0)
+        with pytest.raises(ValueError):
+            FleetDesigner(small_problem, move_fraction=1.5)
+        with pytest.raises(ValueError):
+            FleetDesigner(small_problem, candidates_per_move=0)
+
+    def test_explicit_cluster_count_is_respected(self, small_problem):
+        design = FleetDesigner(small_problem, clusters=2,
+                               max_rounds=1).design()
+        assert design.n_clusters == 2
+
+
+class TestHostDesign:
+    def test_dict_roundtrip_is_exact(self, design):
+        for host_design in design.host_designs.values():
+            clone = HostDesign.from_dict(host_design.as_dict())
+            assert clone == host_design
+
+    def test_lookups(self, design):
+        host_design = next(iter(design.host_designs.values()))
+        tenant = host_design.tenants[0]
+        assert host_design.cost_of(tenant) == host_design.costs[0]
+        assert host_design.share_of(tenant) == host_design.shares[0]

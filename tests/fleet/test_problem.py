@@ -1,0 +1,104 @@
+"""Tests for fleet hosts, problems, scenarios, and identity."""
+
+import pytest
+
+from repro.fleet import CostProfile, FleetHost, FleetProblem, synthetic_fleet
+from repro.util.errors import AllocationError
+from repro.virt.machine import laboratory_machine
+
+
+def profiles(*names):
+    return [CostProfile(n, (0.1, 0.5, 1.0), (30.0, 12.0, 8.0))
+            for n in names]
+
+
+class TestFleetHost:
+    def test_effective_speed_combines_factors(self):
+        host = FleetHost("h", speed_factor=2.0, capacity_factor=0.5)
+        assert host.effective_speed == pytest.approx(1.0)
+
+    def test_machine_scales_the_laboratory_reference(self):
+        host = FleetHost("h", speed_factor=2.0)
+        lab = laboratory_machine()
+        machine = host.machine()
+        assert machine.name == "h"
+        assert (machine.cpu_units_per_second
+                == pytest.approx(2.0 * lab.cpu_units_per_second))
+        assert machine.memory_mib == lab.memory_mib
+        assert machine.n_cpus == lab.n_cpus
+
+    def test_rejects_bad_factors(self):
+        with pytest.raises(AllocationError):
+            FleetHost("h", speed_factor=0.0)
+        with pytest.raises(AllocationError):
+            FleetHost("h", capacity_factor=0.0)
+        with pytest.raises(AllocationError):
+            FleetHost("h", capacity_factor=1.5)
+
+
+class TestFleetProblem:
+    def test_lookups(self):
+        problem = FleetProblem([FleetHost("h1"), FleetHost("h2")],
+                               profiles("a", "b"), grid=4)
+        assert problem.host("h2").name == "h2"
+        assert problem.profile("a").name == "a"
+        assert problem.host_names() == ("h1", "h2")
+        assert problem.workload_names() == ("a", "b")
+        with pytest.raises(KeyError):
+            problem.host("nope")
+        with pytest.raises(KeyError):
+            problem.profile("nope")
+
+    def test_rejects_degenerate_fleets(self):
+        with pytest.raises(AllocationError):
+            FleetProblem([], profiles("a"))
+        with pytest.raises(AllocationError):
+            FleetProblem([FleetHost("h")], [])
+        with pytest.raises(AllocationError):
+            FleetProblem([FleetHost("h")], profiles("a"), grid=1)
+        with pytest.raises(AllocationError):
+            FleetProblem([FleetHost("h"), FleetHost("h")], profiles("a"))
+        with pytest.raises(AllocationError):
+            FleetProblem([FleetHost("h")], profiles("a", "a"))
+        with pytest.raises(AllocationError):
+            FleetProblem([FleetHost("x")], profiles("x"))
+
+
+class TestFingerprint:
+    def test_stable_for_equal_problems(self):
+        a = FleetProblem([FleetHost("h")], profiles("a", "b"), grid=4)
+        b = FleetProblem([FleetHost("h")], profiles("a", "b"), grid=4)
+        assert a.fingerprint() == b.fingerprint()
+
+    def test_sensitive_to_every_component(self):
+        base = FleetProblem([FleetHost("h")], profiles("a"), grid=4)
+        other_grid = FleetProblem([FleetHost("h")], profiles("a"), grid=8)
+        other_host = FleetProblem([FleetHost("h", speed_factor=2.0)],
+                                  profiles("a"), grid=4)
+        other_costs = FleetProblem(
+            [FleetHost("h")],
+            [CostProfile("a", (0.1, 0.5, 1.0), (31.0, 12.0, 8.0))], grid=4)
+        prints = {base.fingerprint(), other_grid.fingerprint(),
+                  other_host.fingerprint(), other_costs.fingerprint()}
+        assert len(prints) == 4
+
+
+class TestSyntheticFleet:
+    def test_same_seed_same_fleet(self):
+        a = synthetic_fleet(3, 8, seed=11, grid=6)
+        b = synthetic_fleet(3, 8, seed=11, grid=6)
+        assert a.fingerprint() == b.fingerprint()
+
+    def test_different_seed_different_fleet(self):
+        a = synthetic_fleet(3, 8, seed=11, grid=6)
+        b = synthetic_fleet(3, 8, seed=12, grid=6)
+        assert a.fingerprint() != b.fingerprint()
+
+    def test_shapes_and_names(self, small_problem):
+        assert len(small_problem.hosts) == 4
+        assert len(small_problem.profiles) == 12
+        assert small_problem.host_names()[0] == "host-0000"
+        assert small_problem.workload_names()[0] == "wl-00000"
+        for host in small_problem.hosts:
+            assert 0.5 <= host.speed_factor <= 2.0
+            assert 0.0 < host.capacity_factor <= 1.0

@@ -1,0 +1,125 @@
+"""Tests for cost profiles: interpolation, shape features, derivation."""
+
+import pytest
+
+from repro.core.cost_model import CostModel
+from repro.core.problem import WorkloadSpec
+from repro.fleet import PROFILE_LEVELS, CostProfile
+from repro.workloads.workload import Workload
+
+LEVELS = (0.1, 0.2, 0.5, 1.0)
+COSTS = (40.0, 22.0, 10.0, 6.0)
+
+
+def profile(name="w"):
+    return CostProfile(name, LEVELS, COSTS)
+
+
+class TestCostAt:
+    def test_exact_at_every_level(self):
+        p = profile()
+        for level, cost in zip(LEVELS, COSTS):
+            assert p.cost_at(level) == pytest.approx(cost)
+
+    def test_linear_between_levels(self):
+        p = profile()
+        # Midpoint of (0.2, 22.0) and (0.5, 10.0).
+        assert p.cost_at(0.35) == pytest.approx(16.0)
+        # Quarter point of (0.1, 40.0) and (0.2, 22.0).
+        assert p.cost_at(0.125) == pytest.approx(35.5)
+
+    def test_clamps_above_top_level(self):
+        p = CostProfile("w", (0.1, 0.5), (40.0, 10.0))
+        assert p.cost_at(0.75) == pytest.approx(10.0)
+        assert p.cost_at(1.0) == pytest.approx(10.0)
+
+    def test_hyperbolic_below_bottom_level(self):
+        p = profile()
+        # cost ~ costs[0] * levels[0] / share: halving the share from
+        # the bottom level doubles the cost, never clamps.
+        assert p.cost_at(0.05) == pytest.approx(80.0)
+        assert p.cost_at(0.01) == pytest.approx(400.0)
+
+    def test_monotone_non_increasing_over_shares(self):
+        p = profile()
+        shares = [0.01 + 0.01 * i for i in range(100)]
+        costs = [p.cost_at(s) for s in shares]
+        assert all(b <= a + 1e-12 for a, b in zip(costs, costs[1:]))
+
+    def test_rejects_non_positive_share(self):
+        with pytest.raises(ValueError):
+            profile().cost_at(0.0)
+        with pytest.raises(ValueError):
+            profile().cost_at(-0.5)
+
+
+class TestValidation:
+    def test_rejects_empty_levels(self):
+        with pytest.raises(ValueError):
+            CostProfile("w", (), ())
+
+    def test_rejects_length_mismatch(self):
+        with pytest.raises(ValueError):
+            CostProfile("w", (0.1, 0.5), (1.0,))
+
+    def test_rejects_non_ascending_levels(self):
+        with pytest.raises(ValueError):
+            CostProfile("w", (0.5, 0.5), (1.0, 1.0))
+        with pytest.raises(ValueError):
+            CostProfile("w", (0.5, 0.2), (1.0, 1.0))
+
+    def test_rejects_levels_outside_unit_interval(self):
+        with pytest.raises(ValueError):
+            CostProfile("w", (0.0, 0.5), (1.0, 1.0))
+        with pytest.raises(ValueError):
+            CostProfile("w", (0.5, 1.5), (1.0, 1.0))
+
+    def test_rejects_non_positive_costs(self):
+        with pytest.raises(ValueError):
+            CostProfile("w", (0.1, 0.5), (1.0, 0.0))
+
+
+class TestShapeAndDemand:
+    def test_features_have_unit_mean(self):
+        feats = profile().features()
+        assert sum(feats) / len(feats) == pytest.approx(1.0)
+
+    def test_features_are_scale_invariant(self):
+        small = CostProfile("a", LEVELS, COSTS)
+        large = CostProfile("b", LEVELS, tuple(7.0 * c for c in COSTS))
+        assert small.features() == pytest.approx(large.features())
+
+    def test_demand_is_mean_cost(self):
+        assert profile().demand() == pytest.approx(sum(COSTS) / len(COSTS))
+
+    def test_dict_roundtrip(self):
+        p = profile()
+        clone = CostProfile.from_dict(p.as_dict())
+        assert clone == p
+
+
+class _InverseShareModel(CostModel):
+    """Analytic stand-in: cost falls off as 1/cpu plus a floor."""
+
+    kind = "test-inverse"
+    parallel_safe = True
+
+    def _cost(self, spec, allocation):
+        return 2.0 + 1.0 / allocation.cpu
+
+
+class TestFromCostModel:
+    def test_samples_the_model_at_every_level(self):
+        spec = WorkloadSpec(Workload("wl", ["wl"]), None)
+        p = CostProfile.from_cost_model(spec, _InverseShareModel())
+        assert p.name == "wl"
+        assert p.levels == PROFILE_LEVELS
+        for level, cost in zip(p.levels, p.costs):
+            assert cost == pytest.approx(2.0 + 1.0 / level)
+
+    def test_profile_agrees_with_model_at_knots(self):
+        spec = WorkloadSpec(Workload("wl", ["wl"]), None)
+        model = _InverseShareModel()
+        p = CostProfile.from_cost_model(spec, model)
+        # At sampled shares the interpolated curve reproduces the model.
+        assert p.cost_at(0.4) == pytest.approx(2.0 + 1.0 / 0.4)

@@ -1,0 +1,147 @@
+"""Crash-recovery equivalence for journaled fleet runs.
+
+Mirrors ``tests/recovery/test_resume_equivalence.py``: kill a fleet
+placement after every freshly journaled host design, resume, and
+require the complete journal — every host design and the final result
+record — to match an uninterrupted baseline bit for bit.
+"""
+
+import pytest
+
+from repro.fleet import FleetSupervisor, synthetic_fleet
+from repro.recovery import RunJournal
+from repro.util.errors import RecoveryError
+
+pytestmark = pytest.mark.recovery
+
+SEED = 3
+GRID = 8
+
+
+@pytest.fixture(scope="module")
+def fleet_problem():
+    return synthetic_fleet(4, 12, seed=SEED, grid=GRID)
+
+
+def make_supervisor(problem, path, **kwargs):
+    kwargs.setdefault("scenario", {"n_hosts": 4, "n_workloads": 12,
+                                   "seed": SEED, "grid": GRID})
+    kwargs.setdefault("move_fraction", 0.25)
+    return FleetSupervisor(problem, path, **kwargs)
+
+
+def journal_fingerprint(journal):
+    return {
+        "host_designs": [r.data for r in journal.records_of("host-design")],
+        "results": [r.data for r in journal.records_of("result")],
+    }
+
+
+@pytest.fixture(scope="module")
+def baseline(fleet_problem, tmp_path_factory):
+    path = tmp_path_factory.mktemp("fleet-baseline") / "run.journal"
+    run = make_supervisor(fleet_problem, path).run()
+    assert run.completed
+    return {
+        "run": run,
+        "fingerprint": journal_fingerprint(RunJournal.open(path)),
+        "total_units": run.new_units,
+    }
+
+
+class TestKillResumeEquivalence:
+    def test_kill_at_every_unit_boundary_then_resume(
+            self, baseline, fleet_problem, tmp_path):
+        total = baseline["total_units"]
+        assert total >= 2
+        for k in range(1, total):
+            path = tmp_path / f"kill-at-{k}.journal"
+            killed = make_supervisor(fleet_problem, path,
+                                     max_units=k).run()
+            assert not killed.completed, f"kill at k={k} did not stop"
+            assert killed.new_units == k
+
+            resumed = make_supervisor(fleet_problem, path).run(resume=True)
+            assert resumed.completed, f"resume after k={k} did not finish"
+            assert resumed.replayed_units == k
+            assert resumed.new_units == total - k
+
+            fingerprint = journal_fingerprint(RunJournal.open(path))
+            assert fingerprint == baseline["fingerprint"], (
+                f"resumed fleet journal diverged after a kill at "
+                f"unit {k}")
+
+    def test_resumed_design_matches_baseline(self, baseline, fleet_problem,
+                                             tmp_path):
+        path = tmp_path / "run.journal"
+        make_supervisor(fleet_problem, path, max_units=4).run()
+        resumed = make_supervisor(fleet_problem, path).run(resume=True)
+        base = baseline["run"].design
+        assert resumed.design.assignment == base.assignment
+        assert resumed.design.cost_trajectory == base.cost_trajectory
+        assert resumed.design.host_designs == base.host_designs
+        assert resumed.design.total_cost == base.total_cost
+
+    def test_torn_tail_resume_is_equivalent(self, baseline, fleet_problem,
+                                            tmp_path):
+        path = tmp_path / "run.journal"
+        make_supervisor(fleet_problem, path, max_units=3).run()
+        with open(path, "a") as handle:
+            handle.write('{"seq": 99, "kind": "host-design", "da')
+        resumed = make_supervisor(fleet_problem, path).run(resume=True)
+        assert resumed.completed
+        assert resumed.replayed_units == 3
+        fingerprint = journal_fingerprint(RunJournal.open(path))
+        assert fingerprint == baseline["fingerprint"]
+
+    def test_resume_of_a_completed_run_is_a_no_op(self, baseline,
+                                                  fleet_problem,
+                                                  tmp_path):
+        path = tmp_path / "run.journal"
+        make_supervisor(fleet_problem, path).run()
+        resumed = make_supervisor(fleet_problem, path).run(resume=True)
+        assert resumed.completed
+        assert resumed.new_units == 0
+        fingerprint = journal_fingerprint(RunJournal.open(path))
+        # Replaying everything must not append a second result record.
+        assert fingerprint == baseline["fingerprint"]
+
+
+class TestIdentity:
+    def test_resume_under_different_knobs_is_refused(self, fleet_problem,
+                                                     tmp_path):
+        path = tmp_path / "run.journal"
+        make_supervisor(fleet_problem, path, max_units=2).run()
+        with pytest.raises(RecoveryError, match="different fleet run"):
+            make_supervisor(fleet_problem, path,
+                            clusters=2).run(resume=True)
+
+    def test_resume_against_a_different_fleet_is_refused(self, tmp_path):
+        original = synthetic_fleet(4, 12, seed=SEED, grid=GRID)
+        path = tmp_path / "run.journal"
+        make_supervisor(original, path, max_units=2).run()
+        other = synthetic_fleet(4, 12, seed=SEED + 1, grid=GRID)
+        with pytest.raises(RecoveryError, match="fingerprint"):
+            make_supervisor(other, path).run(resume=True)
+
+    def test_workers_and_pool_are_not_identity(self, fleet_problem,
+                                               tmp_path):
+        path = tmp_path / "run.journal"
+        make_supervisor(fleet_problem, path, max_units=2,
+                        extra_meta={"workers": 8,
+                                    "pool": "process"}).run()
+        resumed = make_supervisor(
+            fleet_problem, path,
+            extra_meta={"workers": None, "pool": "thread"}).run(resume=True)
+        assert resumed.completed
+
+    def test_journal_naming_unknown_host_is_refused(self, fleet_problem,
+                                                    tmp_path):
+        path = tmp_path / "run.journal"
+        journal = RunJournal.create(
+            path, make_supervisor(fleet_problem, path)._meta())
+        journal.append("host-design", {
+            "host": "not-a-host", "tenants": ["wl-00000"],
+            "shares": [1.0], "costs": [1.0]})
+        with pytest.raises(RecoveryError, match="unknown host"):
+            make_supervisor(fleet_problem, path).run(resume=True)

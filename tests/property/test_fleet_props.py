@@ -1,0 +1,57 @@
+"""Property tests: the fleet placer's two structural guarantees.
+
+Hypothesis draws random synthetic fleets (seed, host count, workload
+count) and asserts, for every one of them:
+
+* the cost trajectory is monotonically non-increasing — only strictly
+  improving reassignment moves may be applied, for any fleet; and
+* a serial run and a 3-worker thread-pool run of the same placement
+  are **bit-identical** — parallelism fans out the per-host solves but
+  must not change a single float of the outcome.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.fleet import FleetDesigner, synthetic_fleet
+from repro.parallel import EvaluationEngine
+
+seeds = st.integers(min_value=0, max_value=10_000)
+host_counts = st.integers(min_value=2, max_value=4)
+workload_counts = st.integers(min_value=4, max_value=10)
+
+
+def make_problem(seed, hosts, workloads):
+    return synthetic_fleet(hosts, workloads, seed=seed, grid=6)
+
+
+@given(seeds, host_counts, workload_counts)
+@settings(max_examples=15, deadline=None)
+def test_trajectory_is_monotone_non_increasing(seed, hosts, workloads):
+    problem = make_problem(seed, hosts, workloads)
+    design = FleetDesigner(problem, max_rounds=4,
+                           move_fraction=0.25).design()
+    trajectory = design.cost_trajectory
+    assert trajectory[-1] == design.total_cost
+    for before, after in zip(trajectory, trajectory[1:]):
+        assert after <= before + 1e-9, (
+            f"fleet cost increased {before} -> {after} (seed {seed})")
+
+
+@given(seeds, host_counts, workload_counts)
+@settings(max_examples=10, deadline=None)
+def test_serial_and_threaded_designs_are_bit_identical(seed, hosts,
+                                                       workloads):
+    problem = make_problem(seed, hosts, workloads)
+    serial = FleetDesigner(problem, max_rounds=3,
+                           move_fraction=0.25).design()
+    engine = EvaluationEngine(workers=3, pool="thread")
+    try:
+        threaded = FleetDesigner(problem, max_rounds=3,
+                                 move_fraction=0.25,
+                                 engine=engine).design()
+    finally:
+        engine.close()
+    assert threaded.assignment == serial.assignment
+    assert threaded.cost_trajectory == serial.cost_trajectory
+    assert threaded.host_designs == serial.host_designs
+    assert threaded.total_cost == serial.total_cost
