@@ -15,13 +15,22 @@ Two jobs, both CI-facing:
    files (``scripts/bench_fleet.py``) must carry one ``round-robin``
    and one ``fleet`` entry, a monotonically non-increasing cost
    trajectory, and a ``summary`` consistent with the entries.
+   ``suite: "drift"`` files (``scripts/bench_drift.py``) must carry
+   one ``open-loop``, one ``closed-loop``, and one ``oracle`` entry,
+   a monotone degradation trajectory, and a ``summary`` consistent
+   with the entries. Any ``BENCH_*.json`` under ``benchmarks/results/``
+   with an unregistered suite fails the run outright — even when
+   explicit paths were given.
 2. **Regression gates**: the parallel suite's exhaustive benchmark must
    reach ``--min-speedup`` at 4 workers; the surrogate suite must avoid
    ``--min-calibration-ratio`` times the dense calibrations *and* match
    or beat the dense answer's cost (``cost_margin >= 0``); the fleet
    suite must beat round-robin placement (``improvement > 0``, always)
    and recover at least ``--min-reassignment-gain`` of its initial
-   cost through the reroute loop.
+   cost through the reroute loop; the drift suite's closed loop must
+   beat the open loop (``closed_loop_gain > 0``, always, with at least
+   one alarm and one refit) and land within ``--max-reconvergence-gap``
+   of the full-knowledge oracle.
 
 Every violation across every file is collected and reported — the run
 never stops at the first problem. Exit code 0 when everything holds,
@@ -380,6 +389,156 @@ def summarize_fleet(payload: dict) -> str:
             f"{fleet['rounds']} round(s)")
 
 
+# -- suite: drift ------------------------------------------------------------
+
+DRIFT_BASE_FIELDS = {
+    "name": str,
+    "cost": (int, float),
+    "allocation": dict,
+    "wall_seconds": (int, float),
+}
+DRIFT_CLOSED_FIELDS = {
+    "drift_events": int,
+    "recalibrations": int,
+    "redesigns": int,
+    "budget_spent": int,
+    "budget_remaining": int,
+    "trajectory": list,
+}
+DRIFT_ORACLE_FIELDS = {
+    "winner": str,
+    "candidate_costs": dict,
+    "calibrations": int,
+}
+
+
+def check_drift(payload: dict, max_gap: float) -> list:
+    problems = []
+    for field in ("scenario", "plan", "epochs", "final_capacity",
+                  "drift_threshold", "recal_budget", "surrogate_budget",
+                  "algorithm", "grid", "fine_factor", "summary"):
+        if field not in payload:
+            problems.append(f"top level missing field {field!r}")
+    by_name = {}
+    for i, entry in enumerate(payload["entries"]):
+        if not isinstance(entry, dict):
+            problems.append(f"entries[{i}] is not an object")
+            continue
+        prefix = f"entries[{i}]"
+        fields = dict(DRIFT_BASE_FIELDS)
+        if entry.get("name") == "open-loop":
+            fields["calibrations"] = int
+        elif entry.get("name") == "closed-loop":
+            fields.update(DRIFT_CLOSED_FIELDS)
+        elif entry.get("name") == "oracle":
+            fields.update(DRIFT_ORACLE_FIELDS)
+        problems.extend(check_fields(prefix, entry, fields))
+        extra = set(entry) - set(fields)
+        if extra:
+            problems.append(f"{prefix} has unknown fields {sorted(extra)}")
+        if isinstance(entry.get("name"), str):
+            by_name.setdefault(entry["name"], []).append(entry)
+        for field in ("cost", "wall_seconds"):
+            value = entry.get(field)
+            if isinstance(value, (int, float)) and not isinstance(
+                    value, bool) and value <= 0:
+                problems.append(f"{prefix}.{field} must be positive")
+    for name in ("open-loop", "closed-loop", "oracle"):
+        if len(by_name.get(name, [])) != 1:
+            problems.append(
+                f"suite needs exactly one {name!r} entry, found "
+                f"{len(by_name.get(name, []))}")
+    if problems:
+        return problems
+
+    open_loop = by_name["open-loop"][0]
+    closed = by_name["closed-loop"][0]
+    oracle = by_name["oracle"][0]
+    summary = payload["summary"]
+    if not isinstance(summary, dict):
+        return ["summary is not an object"]
+    problems.extend(check_fields("summary", summary, {
+        "closed_loop_gain": (int, float),
+        "reconvergence_gap": (int, float),
+        "drift_events": int,
+        "recalibrations": int,
+        "budget_spent": int,
+    }))
+    if problems:
+        return problems
+
+    trajectory = closed["trajectory"]
+    if len(trajectory) != payload["epochs"]:
+        problems.append(
+            f"closed-loop trajectory has {len(trajectory)} point(s) for "
+            f"{payload['epochs']} epoch(s)")
+        return problems
+    capacities = [point.get("capacity") for point in trajectory]
+    if any(not isinstance(v, (int, float)) or isinstance(v, bool)
+           for v in capacities):
+        problems.append("closed-loop trajectory capacities must be numeric")
+        return problems
+    for a, b in zip(capacities, capacities[1:]):
+        if b > a + 1e-9:
+            problems.append(
+                f"closed-loop capacity increased ({a:.4f} -> {b:.4f}) — "
+                f"the degradation trajectory is not monotone")
+            break
+    if capacities[-1] >= 1.0:
+        problems.append("the host never degraded (final capacity "
+                        f"{capacities[-1]}) — the plan injected nothing")
+    gain = 1.0 - closed["cost"] / open_loop["cost"]
+    if abs(summary["closed_loop_gain"] - gain) > 1e-4:
+        problems.append(
+            f"summary.closed_loop_gain is {summary['closed_loop_gain']} "
+            f"but the entries give {gain:.6f}")
+    gap = closed["cost"] / oracle["cost"] - 1.0
+    if abs(summary["reconvergence_gap"] - gap) > 1e-4:
+        problems.append(
+            f"summary.reconvergence_gap is {summary['reconvergence_gap']} "
+            f"but the entries give {gap:.6f}")
+    if summary["drift_events"] != closed["drift_events"]:
+        problems.append(
+            f"summary.drift_events is {summary['drift_events']} but the "
+            f"closed-loop entry saw {closed['drift_events']}")
+    if closed["drift_events"] < 1:
+        problems.append("the monitor never alarmed under a degrading "
+                        "host — detection regressed")
+    if closed["recalibrations"] < 1:
+        problems.append("no knot was recalibrated after detection — "
+                        "repair regressed")
+    spent = closed["budget_spent"] + closed["budget_remaining"]
+    if spent != payload["recal_budget"]:
+        problems.append(
+            f"closed-loop spent+remaining is {spent}, not the declared "
+            f"recal_budget {payload['recal_budget']}")
+    # Beating the open loop is a hard check, not a tunable gate: a
+    # closed loop that loses to never-recalibrating has no reason to
+    # exist.
+    if gain <= 0:
+        problems.append(
+            f"closed loop measured {closed['cost']:.6f}s, not better "
+            f"than the open loop's {open_loop['cost']:.6f}s — the "
+            f"repair loop regressed")
+    if gap < -1e-9:
+        problems.append(
+            f"closed loop beat the full-knowledge oracle by {-gap:.2%} — "
+            f"the oracle is no longer a bound; fix the benchmark")
+    elif gap > max_gap:
+        problems.append(
+            f"closed loop is {gap:.1%} above the oracle, beyond the "
+            f"{max_gap:.1%} gate — re-convergence regressed")
+    return problems
+
+
+def summarize_drift(payload: dict) -> str:
+    summary = payload["summary"]
+    return (f"closed-loop gain {summary['closed_loop_gain']:+.1%} vs "
+            f"open loop, {summary['reconvergence_gap']:+.1%} to oracle, "
+            f"{summary['drift_events']} alarm(s), "
+            f"{summary['recalibrations']} refit(s)")
+
+
 # -- driver ------------------------------------------------------------------
 
 SUITES = {
@@ -387,7 +546,32 @@ SUITES = {
     "surrogate": (check_surrogate, summarize_surrogate,
                   "min_calibration_ratio"),
     "fleet": (check_fleet, summarize_fleet, "min_reassignment_gain"),
+    "drift": (check_drift, summarize_drift, "max_reconvergence_gap"),
 }
+
+
+def audit_results_dir(checked) -> list:
+    """Every ``BENCH_*.json`` under the results directory must carry a
+    registered suite — even when the caller passed explicit paths. A
+    benchmark that writes a result no suite validates is a silent gap
+    in CI coverage, which is exactly what this script exists to close.
+    """
+    problems = []
+    for path in sorted(RESULTS_DIR.glob("BENCH_*.json")):
+        if path.resolve() in checked:
+            continue
+        try:
+            payload = json.loads(path.read_text())
+            suite = payload.get("suite") if isinstance(payload, dict) \
+                else None
+        except json.JSONDecodeError:
+            suite = None
+        if suite not in SUITES:
+            problems.append(
+                f"{path.name}: carries unregistered suite {suite!r} — "
+                f"every result file under {RESULTS_DIR.name}/ needs a "
+                f"registered checker (known: {sorted(SUITES)})")
+    return problems
 
 
 def check_file(path: pathlib.Path, gates: dict) -> tuple:
@@ -434,6 +618,10 @@ def main(argv=None) -> int:
                         help="gate: minimum fraction of initial fleet cost "
                              "the reassignment loop must recover "
                              "(default 0.0)")
+    parser.add_argument("--max-reconvergence-gap", type=float, default=0.25,
+                        help="gate: how far above the full-knowledge "
+                             "oracle the drift suite's closed loop may "
+                             "land (default 0.25)")
     args = parser.parse_args(argv)
 
     if args.paths:
@@ -447,7 +635,8 @@ def main(argv=None) -> int:
 
     gates = {"min_speedup": args.min_speedup,
              "min_calibration_ratio": args.min_calibration_ratio,
-             "min_reassignment_gain": args.min_reassignment_gain}
+             "min_reassignment_gain": args.min_reassignment_gain,
+             "max_reconvergence_gap": args.max_reconvergence_gap}
     all_problems = []
     for path in paths:
         problems, ok = check_file(path, gates)
@@ -455,6 +644,8 @@ def main(argv=None) -> int:
             all_problems.append(f"{path.name}: {problem}")
         if ok:
             print(f"check_bench: OK: {path.name}: {ok}")
+    all_problems.extend(
+        audit_results_dir({path.resolve() for path in paths}))
     if all_problems:
         for problem in all_problems:
             print(f"check_bench: {problem}", file=sys.stderr)

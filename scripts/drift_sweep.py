@@ -1,0 +1,230 @@
+#!/usr/bin/env python
+"""Ext E9: online recalibration sweep across detection and budget knobs.
+
+Sweeps the drift-aware online loop (``docs/drift.md``) across
+Page–Hinkley thresholds and recalibration budgets while the
+``turbulent`` plan's host-degrade channel slowly starves the CPU.
+Every run is a full :class:`repro.drift.OnlineSupervisor` session:
+initial fit, per-epoch observation, drift detection, budgeted refits,
+warm-started redesigns — all journaled. Per configuration the table
+records how many alarms fired, how much repair budget was spent, and
+the *measured* workload seconds of the final incumbent on the final
+(most-degraded) machine, so over- and under-sensitive settings are
+directly comparable: a deaf threshold behaves like the open loop and
+pays for it, an eager one burns budget early, the defaults land the
+oracle-adjacent cost that ``BENCH_drift.json`` gates on.
+
+Then the acceptance demo: the default-configuration run is killed
+after a fixed number of journal units, resumed, and checked
+**bit-identical** — calibrations, observations, drift events,
+recalibrations, redesigns, and result all compare equal — to its
+uninterrupted twin.
+
+Writes ``benchmarks/results/ext_drift.txt`` (standard two-line
+header, see EXPERIMENTS.md) and prints the table.
+
+Run with ``PYTHONPATH=src python scripts/drift_sweep.py``.
+"""
+
+from __future__ import annotations
+
+import pathlib
+import sys
+import tempfile
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro import obs  # noqa: E402
+from repro.core import MeasuredCostModel  # noqa: E402
+from repro.core.problem import (  # noqa: E402
+    VirtualizationDesignProblem,
+    WorkloadSpec,
+)
+from repro.drift import DegradingWorld, OnlineSupervisor  # noqa: E402
+from repro.faults import FaultPlan  # noqa: E402
+from repro.recovery import RunJournal  # noqa: E402
+from repro.util.tables import format_table  # noqa: E402
+from repro.virt.machine import laboratory_machine  # noqa: E402
+from repro.virt.resources import ResourceKind  # noqa: E402
+from repro.workloads import build_tpch_database, tpch_query  # noqa: E402
+from repro.workloads.workload import Workload  # noqa: E402
+
+RESULTS_PATH = REPO_ROOT / "benchmarks" / "results" / "ext_drift.txt"
+SCALE_FACTOR = 0.002
+GRID = 3
+EPOCHS = 6
+SURROGATE_BUDGET = 12
+KILL_AFTER_UNITS = 9
+
+#: The degradation regime every configuration faces.
+PLAN = FaultPlan.named("turbulent").with_overrides(
+    host_degrade_rate=0.35, host_degrade_factor=0.8)
+
+#: The sweep: detection sensitivity first, then budget starvation.
+#: ``deaf`` is the built-in open-loop control — its threshold is high
+#: enough that the monitor never alarms.
+CONFIGS = (
+    ("eager", 0.02, 8),
+    ("default", 0.05, 8),
+    ("relaxed", 0.15, 8),
+    ("deaf", 10.0, 8),
+    ("starved", 0.05, 2),
+)
+
+JOURNAL_KINDS = ("calibration", "observation", "drift",
+                 "recalibration", "redesign", "result")
+
+
+def make_problem() -> VirtualizationDesignProblem:
+    db = build_tpch_database(scale_factor=SCALE_FACTOR,
+                             tables=["customer", "orders", "lineitem"])
+    specs = [
+        WorkloadSpec(Workload.repeat("q4", tpch_query("Q4"), 3), db),
+        WorkloadSpec(Workload.repeat("q13", tpch_query("Q13"), 9), db),
+    ]
+    return VirtualizationDesignProblem(
+        machine=laboratory_machine(), specs=specs,
+        controlled_resources=(ResourceKind.CPU,),
+    )
+
+
+def final_machine():
+    world = DegradingWorld(laboratory_machine(), PLAN)
+    for _ in range(EPOCHS):
+        world.advance()
+    return world.machine
+
+
+def run_online(threshold, budget, journal_path, max_units=None,
+               resume=False):
+    """One online session (or resume); returns (run, summary)."""
+    obs.reset()
+    supervisor = OnlineSupervisor(
+        make_problem(), journal_path, plan=PLAN, epochs=EPOCHS,
+        drift_threshold=threshold, recal_budget=budget,
+        algorithm="greedy", grid=GRID,
+        surrogate_budget=SURROGATE_BUDGET, max_units=max_units)
+    run = supervisor.run(resume=resume)
+    report = obs.RunReport.capture(label=f"drift/{threshold}")
+    return run, report.summary
+
+
+def measured_final_cost(problem, machine, run) -> float:
+    """The incumbent's measured seconds on the final degraded host,
+    planning with the run's own (possibly stale) surface."""
+    measured = MeasuredCostModel(machine, calibration=run.surface)
+    allocation = run.design.allocation
+    return sum(
+        measured.cost(problem.spec(name), allocation.vector_for(name))
+        for name in sorted(allocation.workload_names()))
+
+
+def journal_fingerprint(path):
+    """Every committed record, by kind — the bit-identity witness."""
+    journal = RunJournal.open(path)
+    return {
+        kind: [r.data for r in journal.records_of(kind)]
+        for kind in JOURNAL_KINDS
+    }
+
+
+def main() -> int:
+    workdir = pathlib.Path(tempfile.mkdtemp(prefix="drift_sweep_"))
+    problem = make_problem()
+    machine = final_machine()
+    results = []
+    for label, threshold, budget in CONFIGS:
+        run, summary = run_online(threshold, budget,
+                                  workdir / f"{label}.journal")
+        assert run.completed
+        results.append({
+            "label": label, "threshold": threshold, "budget": budget,
+            "run": run, "summary": summary,
+            "final_cost": measured_final_cost(problem, machine, run),
+        })
+
+    rows = []
+    for result in results:
+        run = result["run"]
+        rows.append([
+            result["label"],
+            f"{result['threshold']:g}",
+            f"{result['budget']:d}",
+            f"{len(run.events):d}",
+            f"{run.recalibrations:d}",
+            f"{run.redesigns:d}",
+            f"{run.budget_spent}/{result['budget']}",
+            f"{result['final_cost']:.6f}",
+        ])
+    table = format_table(
+        ["config", "threshold", "budget", "alarms", "refits",
+         "redesigns", "spent", "final cost (s)"],
+        rows,
+        title="Ext E9: online recalibration under host degradation "
+              f"(greedy, CPU controlled, grid {GRID}, {EPOCHS} epochs, "
+              f"plan {PLAN.name!r})",
+    )
+
+    # The kill/resume acceptance demo, on the default configuration.
+    _label, threshold, budget = CONFIGS[1]
+    twin_path = workdir / "default-twin.journal"
+    killed_path = workdir / "default-killed.journal"
+    twin, _ = run_online(threshold, budget, twin_path)
+    killed, _ = run_online(threshold, budget, killed_path,
+                           max_units=KILL_AFTER_UNITS)
+    assert not killed.completed
+    resumed, _ = run_online(threshold, budget, killed_path, resume=True)
+    assert resumed.completed
+    identical = journal_fingerprint(twin_path) == \
+        journal_fingerprint(killed_path)
+    footer = (
+        f"Acceptance: the default run (threshold {threshold}, budget "
+        f"{budget}) killed after {KILL_AFTER_UNITS} of {twin.new_units} "
+        f"units and resumed ({resumed.replayed_units} replayed, "
+        f"{resumed.new_units} fresh) is "
+        f"{'bit-identical' if identical else 'DIVERGENT'} to the "
+        f"uninterrupted run — calibrations, observations, drift events, "
+        f"recalibrations, redesigns, and result all compare equal."
+    )
+
+    def across(key):
+        return sum(r["summary"].get(key, 0) for r in results)
+
+    alarms = sum(len(r["run"].events) for r in results)
+    refits = sum(r["run"].recalibrations for r in results)
+    counted = (
+        f"# Counted work: calibration experiments="
+        f"{across('calibration_experiments'):.0f} | cost-model evals="
+        f"{across('cost_model_evaluations'):.0f} | drift alarms {alarms}, "
+        f"refits {refits} across {len(CONFIGS)} configs x {EPOCHS} epochs"
+    )
+    header = "\n".join([
+        "# Regenerate with: PYTHONPATH=src python scripts/drift_sweep.py",
+        counted,
+    ])
+    RESULTS_PATH.parent.mkdir(exist_ok=True)
+    RESULTS_PATH.write_text(header + "\n\n" + table + "\n\n" + footer + "\n")
+
+    print(table)
+    print()
+    print(footer)
+    if not identical:
+        print("FAIL: resumed run diverged from the uninterrupted run",
+              file=sys.stderr)
+        return 1
+    deaf = next(r for r in results if r["label"] == "deaf")
+    default = next(r for r in results if r["label"] == "default")
+    if deaf["run"].events and deaf["run"].recalibrations:
+        print("FAIL: the 'deaf' control was supposed to sleep through "
+              "the degradation", file=sys.stderr)
+        return 1
+    if default["final_cost"] > deaf["final_cost"] + 1e-12:
+        print("FAIL: the default closed loop lost to the deaf "
+              "(open-loop) control", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

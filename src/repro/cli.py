@@ -14,6 +14,9 @@ Exposes the library's main flows without writing Python::
     python -m repro resume run.journal
     python -m repro fleet --hosts 100 --workloads 1000 --workers 0 --baseline
     python -m repro fleet --journal fleet.journal --max-units 500
+    python -m repro monitor --plan turbulent --epochs 8 \
+        --drift-threshold 0.15 --recal-budget 12 --journal online.journal
+    python -m repro design --online --epochs 6
 
 ``chaos`` runs the paper's design problem with a fault injector active
 (see ``docs/robustness.md``) and prints the design next to a resilience
@@ -41,6 +44,19 @@ allocations the search proposes (see ``docs/surrogate.md``). ``--save``
 persists the cache *with* the fit (v3 format); a later ``--load`` of
 that file skips the fitting entirely.
 
+``monitor`` closes the loop for an always-on deployment: after an
+initial continuous-mode design it runs ``--epochs`` rounds of
+observe-detect-repair against a world whose host CPU the fault plan
+quietly degrades. A per-region Page–Hinkley test on prediction
+residuals raises drift events at ``--drift-threshold``; a budget of
+``--recal-budget`` calibration requests is spent on targeted knot
+refits (highest drift signal × CV uncertainty first); the search then
+warm-starts from the incumbent allocation instead of restarting cold
+(see ``docs/drift.md``). With ``--journal`` every observation, drift
+event, recalibration and redesign checkpoints, and ``resume``
+continues a killed online run bit-identically. ``design --online`` is
+the same loop under the default ``turbulent`` plan.
+
 ``fleet`` scales the design problem from one box to a synthetic
 datacenter: it clusters workloads by cost-curve shape, assigns
 clusters to heterogeneous hosts, tunes every host with the single-host
@@ -63,7 +79,9 @@ how that machine relates to the paper's testbed.
 from __future__ import annotations
 
 import argparse
+import os
 import sys
+import tempfile
 from typing import List, Optional
 
 from repro import obs
@@ -159,6 +177,14 @@ def cmd_design(args) -> int:
     problem = VirtualizationDesignProblem(
         machine=machine, specs=specs, controlled_resources=resources,
     )
+    if args.online:
+        # Delegate to the drift-aware closed loop (docs/drift.md) under
+        # the default turbulent plan, journaling into a throwaway file.
+        args.max_units = None
+        with tempfile.TemporaryDirectory(prefix="repro-online-") as scratch:
+            args.journal = os.path.join(scratch, "online.journal")
+            return _run_online(FaultPlan.named("turbulent"), problem, args,
+                               resume=False)
     engine = make_engine(args.workers, args.pool)
     try:
         if args.continuous and cache.surrogate is None:
@@ -315,7 +341,7 @@ def _chaos_plan(args) -> FaultPlan:
     overrides = {}
     for flag in ("transient_rate", "outlier_rate", "hang_rate",
                  "boot_failure_rate", "vm_crash_rate", "host_degrade_rate",
-                 "migration_failure_rate"):
+                 "host_degrade_factor", "migration_failure_rate"):
         value = getattr(args, flag, None)
         if value is not None:
             overrides[flag] = value
@@ -352,7 +378,9 @@ def _resilience_rows(report: obs.RunReport) -> List[List[str]]:
     return rows
 
 
-def _chaos_problem(scale: float) -> VirtualizationDesignProblem:
+def _chaos_problem(scale: float,
+                   resources=(ResourceKind.CPU,)
+                   ) -> VirtualizationDesignProblem:
     """The standard chaos/resume design problem (Figure 4 shape)."""
     machine = laboratory_machine()
     db = build_tpch_database(scale_factor=scale,
@@ -363,7 +391,7 @@ def _chaos_problem(scale: float) -> VirtualizationDesignProblem:
     ]
     return VirtualizationDesignProblem(
         machine=machine, specs=specs,
-        controlled_resources=(ResourceKind.CPU,),
+        controlled_resources=tuple(resources),
     )
 
 
@@ -463,6 +491,95 @@ def cmd_chaos(args) -> int:
     print()
     _print_chaos_outcome(plan, cache)
     return 4 if design.stopped else 0
+
+
+def _run_online(plan: FaultPlan, problem, args, resume: bool) -> int:
+    """Drive a journaled closed-loop online run or its resume."""
+    from repro.drift import OnlineSupervisor
+
+    supervisor = OnlineSupervisor(
+        problem, args.journal, plan=plan,
+        epochs=args.epochs, drift_threshold=args.drift_threshold,
+        recal_budget=args.recal_budget,
+        algorithm=args.algorithm, grid=args.grid,
+        fine_factor=args.fine_factor,
+        surrogate_tol=args.surrogate_tol,
+        surrogate_budget=args.surrogate_budget,
+        max_units=args.max_units,
+        extra_meta={"scale": args.scale},
+        workers=args.workers, pool=args.pool)
+    run = supervisor.run(resume=resume)
+    if not run.completed:
+        print(f"Online run stopped after {run.new_units} new unit(s) "
+              f"({run.replayed_units} replayed); journal {args.journal} "
+              f"is resumable with: repro resume {args.journal}")
+        return 4
+    rows = [[f"{point['epoch']}", f"{point['capacity']:.3f}",
+             f"{point['observed_seconds']:.4f}",
+             f"{point['drift_events']}", f"{point['refits']}"]
+            for point in run.trajectory]
+    print(format_table(
+        ["epoch", "cpu capacity", "observed (s)", "drift events", "refits"],
+        rows, title=f"Online trajectory — fault plan {plan.name!r}"))
+    print()
+    print(run.design.summary())
+    print()
+    budget = ("unbounded" if run.budget_remaining is None
+              else f"{run.budget_spent} request(s) spent, "
+                   f"{run.budget_remaining} left")
+    print(f"Drift: {len(run.events)} event(s), {run.recalibrations} knot "
+          f"refit(s), {run.redesigns} warm re-design(s); "
+          f"recalibration budget: {budget}")
+    print(f"Journal: {run.replayed_units} unit(s) replayed, "
+          f"{run.new_units} freshly committed -> {args.journal}")
+    _print_chaos_outcome(plan, supervisor.cache)
+    return 0
+
+
+def cmd_monitor(args) -> int:
+    """Run the drift-aware closed loop under a degrading fault plan."""
+    obs.reset()
+    plan = _chaos_plan(args)
+    print(f"Running an online {args.algorithm} design for {args.epochs} "
+          f"epoch(s) under fault plan {plan.name!r} "
+          f"(host-degrade={plan.host_degrade_rate:.0%}, "
+          f"drift threshold={args.drift_threshold}, "
+          f"recal budget={args.recal_budget}) ...", file=sys.stderr)
+    problem = _chaos_problem(args.scale)
+    if args.journal:
+        return _run_online(plan, problem, args, resume=False)
+    # No journal requested: the loop still checkpoints (the supervisor
+    # is journal-driven), just into a throwaway file.
+    with tempfile.TemporaryDirectory(prefix="repro-monitor-") as scratch:
+        args.journal = os.path.join(scratch, "monitor.journal")
+        return _run_online(plan, problem, args, resume=False)
+
+
+def _resume_drift(args, meta) -> int:
+    """Resume a killed online (drift) run purely from its journal meta."""
+    plan_fields = dict(meta.get("plan") or {})
+    if not plan_fields:
+        raise RecoveryError(
+            f"journal {args.journal} carries no fault plan in its header")
+    plan = FaultPlan(**plan_fields)
+    resources = tuple(ResourceKind(token)
+                      for token in meta.get("controlled", ["cpu"]))
+    args.scale = float(meta.get("scale", 0.002))
+    args.epochs = int(meta.get("epochs", 8))
+    args.drift_threshold = float(meta.get("drift_threshold", 0.15))
+    args.recal_budget = meta.get("recal_budget")
+    args.algorithm = meta.get("algorithm", "greedy")
+    args.grid = int(meta.get("grid", 4))
+    args.fine_factor = int(meta.get("fine_factor", 8))
+    args.surrogate_tol = float(meta.get("surrogate_tol", 0.05))
+    args.surrogate_budget = meta.get("surrogate_budget", 24)
+    if args.workers is None and meta.get("workers") is not None:
+        args.workers = int(meta["workers"])
+    problem = _chaos_problem(args.scale, resources=resources)
+    print(f"Resuming online journal {args.journal} (plan {plan.name!r}, "
+          f"{args.epochs} epoch(s), drift threshold "
+          f"{args.drift_threshold}) ...", file=sys.stderr)
+    return _run_online(plan, problem, args, resume=True)
 
 
 def _print_fleet_design(design, baseline_cost=None) -> None:
@@ -575,13 +692,15 @@ def _resume_fleet(args, meta) -> int:
 
 
 def cmd_resume(args) -> int:
-    """Resume a killed chaos or fleet run from its journal."""
+    """Resume a killed chaos, fleet, or online (drift) run."""
     from repro.recovery import read_journal
 
     obs.reset()
     meta, _records, _tail = read_journal(args.journal)
     if meta.get("run_kind") == "fleet":
         return _resume_fleet(args, meta)
+    if meta.get("run_kind") == "drift":
+        return _resume_drift(args, meta)
     plan_fields = dict(meta.get("plan") or {})
     if not plan_fields:
         raise RecoveryError(
@@ -695,6 +814,22 @@ def build_parser() -> argparse.ArgumentParser:
                         help="continuous-search resolution multiplier: "
                              "allocations are explored down to steps of "
                              "1/(grid*F) (default 8)")
+    design.add_argument("--online", action="store_true",
+                        help="run the drift-aware closed loop under the "
+                             "default turbulent fault plan: observe, detect "
+                             "stale cost models, recalibrate on budget, "
+                             "warm-restart the search (see docs/drift.md; "
+                             "'repro monitor' exposes every knob)")
+    design.add_argument("--epochs", type=int, default=8, metavar="N",
+                        help="--online: epochs of the observe-detect-repair "
+                             "loop (default 8)")
+    design.add_argument("--drift-threshold", type=float, default=0.15,
+                        metavar="LAMBDA",
+                        help="--online: Page–Hinkley detection threshold in "
+                             "log-residual units (default 0.15)")
+    design.add_argument("--recal-budget", type=int, default=12, metavar="N",
+                        help="--online: calibration-request budget for "
+                             "drift repairs (default 12)")
     design.add_argument("--load", help="preload a saved calibration cache")
     design.add_argument("--save", help="write the calibration cache (and any "
                                        "surrogate fit) to a JSON file")
@@ -791,6 +926,63 @@ def build_parser() -> argparse.ArgumentParser:
                             "(--continuous; default 8)")
     chaos.set_defaults(func=cmd_chaos)
 
+    monitor = subparsers.add_parser(
+        "monitor", parents=[stats_parent, parallel_parent],
+        help="run the drift-aware closed loop: observe, detect stale "
+             "cost models, recalibrate on budget, warm-restart the search",
+        epilog="Documentation: docs/drift.md")
+    monitor.add_argument("--plan", default="turbulent",
+                         choices=sorted(NAMED_PLANS),
+                         help="named fault plan degrading the host "
+                              "(default turbulent)")
+    monitor.add_argument("--transient-rate", type=float, default=None,
+                         help="override the plan's transient failure rate")
+    monitor.add_argument("--host-degrade-rate", type=float, default=None,
+                         help="override the plan's per-epoch host "
+                              "degradation rate")
+    monitor.add_argument("--host-degrade-factor", type=float, default=None,
+                         help="override the plan's degradation severity "
+                              "(surviving CPU fraction per event)")
+    monitor.add_argument("--seed", type=int, default=None,
+                         help="override the plan's fault seed")
+    monitor.add_argument("--scale", type=float, default=0.002,
+                         help="TPC-H scale factor (default 0.002)")
+    monitor.add_argument("--epochs", type=int, default=8, metavar="N",
+                         help="epochs of the observe-detect-repair loop "
+                              "(default 8)")
+    monitor.add_argument("--drift-threshold", type=float, default=0.15,
+                         metavar="LAMBDA",
+                         help="Page–Hinkley detection threshold in "
+                              "log-residual units (default 0.15)")
+    monitor.add_argument("--recal-budget", type=int, default=12, metavar="N",
+                         help="calibration-request budget for drift repairs "
+                              "(replays included; default 12)")
+    monitor.add_argument("--grid", type=int, default=4,
+                         help="search discretization (default 4)")
+    monitor.add_argument("--algorithm", default="greedy",
+                         choices=["exhaustive", "greedy",
+                                  "dynamic-programming"])
+    monitor.add_argument("--fine-factor", type=int, default=8, metavar="F",
+                         help="continuous-search resolution multiplier "
+                              "(default 8)")
+    monitor.add_argument("--surrogate-tol", type=float, default=0.05,
+                         metavar="TOL",
+                         help="surrogate refinement tolerance for the "
+                              "initial fit (default 0.05)")
+    monitor.add_argument("--surrogate-budget", type=int, default=24,
+                         metavar="N",
+                         help="calibration-request budget for the initial "
+                              "fit (default 24)")
+    monitor.add_argument("--journal", default=None, metavar="PATH",
+                         help="checkpoint every observation, drift event, "
+                              "recalibration and redesign to a journal at "
+                              "PATH (the run becomes crash-recoverable; "
+                              "see 'repro resume')")
+    monitor.add_argument("--max-units", type=int, default=None,
+                         help="simulate a crash after N newly journaled "
+                              "units (journaled runs only)")
+    monitor.set_defaults(func=cmd_monitor)
+
     fleet = subparsers.add_parser(
         "fleet", parents=[stats_parent, parallel_parent],
         help="place a synthetic fleet: cluster workloads, tune every "
@@ -829,12 +1021,14 @@ def build_parser() -> argparse.ArgumentParser:
 
     resume = subparsers.add_parser(
         "resume", parents=[stats_parent, parallel_parent],
-        help="resume a killed journaled chaos or fleet run, bit-identically",
+        help="resume a killed journaled chaos, fleet, or online run, "
+             "bit-identically",
         epilog="Documentation: docs/robustness.md (chaos runs), "
-               "docs/fleet.md (fleet runs)")
+               "docs/fleet.md (fleet runs), docs/drift.md (online runs)")
     resume.add_argument("journal", help="journal file written by "
-                                        "'repro chaos --journal' or "
-                                        "'repro fleet --journal'")
+                                        "'repro chaos --journal', "
+                                        "'repro fleet --journal', or "
+                                        "'repro monitor --journal'")
     resume.add_argument("--max-units", type=int, default=None,
                         help="simulate another crash after N new units")
     resume.set_defaults(func=cmd_resume)

@@ -1,0 +1,58 @@
+"""Drift-aware online recalibration: detect stale cost models, repair
+them under a calibration budget, and re-converge the design.
+
+The paper calibrates ``P(R)`` offline and trusts it forever; this
+package closes the loop for an always-on deployment.
+:class:`ObservationLog` records observed execution times next to the
+model's predictions; :class:`DriftMonitor` runs a two-sided
+Page–Hinkley test on the log residuals per surrogate lattice region;
+:class:`RecalibrationPlanner` ranks drifted regions by drift signal ×
+per-region CV uncertainty (the acquisition criterion shared with the
+surrogate's polish phase) and spends a capped request budget on
+targeted knot refits; :class:`OnlineSupervisor` drives the whole
+observe-detect-repair-redesign loop crash-recoverably through a
+:class:`~repro.recovery.journal.RunJournal`, against a
+:class:`DegradingWorld` whose host CPU the fault plan quietly slows
+down. See ``docs/drift.md``.
+"""
+
+from repro.drift.loop import (
+    DEFAULT_DRIFT_THRESHOLD,
+    DEFAULT_EPOCHS,
+    DEFAULT_RECAL_BUDGET,
+    OnlineRun,
+    OnlineSupervisor,
+)
+from repro.drift.monitor import (
+    DEFAULT_DELTA,
+    DEFAULT_MIN_OBSERVATIONS,
+    DriftEvent,
+    DriftMonitor,
+    PageHinkley,
+)
+from repro.drift.observe import Observation, ObservationLog
+from repro.drift.planner import (
+    DEFAULT_UNCERTAINTY_FLOOR,
+    RecalibrationPlan,
+    RecalibrationPlanner,
+)
+from repro.drift.world import DegradingWorld
+
+__all__ = [
+    "DEFAULT_DELTA",
+    "DEFAULT_DRIFT_THRESHOLD",
+    "DEFAULT_EPOCHS",
+    "DEFAULT_MIN_OBSERVATIONS",
+    "DEFAULT_RECAL_BUDGET",
+    "DEFAULT_UNCERTAINTY_FLOOR",
+    "DegradingWorld",
+    "DriftEvent",
+    "DriftMonitor",
+    "Observation",
+    "ObservationLog",
+    "OnlineRun",
+    "OnlineSupervisor",
+    "PageHinkley",
+    "RecalibrationPlan",
+    "RecalibrationPlanner",
+]

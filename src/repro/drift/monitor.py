@@ -1,0 +1,177 @@
+"""Sequential drift detection on prediction residuals.
+
+A stale cost model does not announce itself: predictions just start
+missing in one direction. The :class:`DriftMonitor` watches the stream
+of log residuals (``docs/drift.md``,
+:mod:`repro.drift.observe`) with a two-sided **Page–Hinkley** test per
+surrogate lattice region — the classic sequential change-point
+detector: cheap (O(1) state per region), parameter-light, and with a
+tunable false-alarm/detection-delay trade-off via its threshold
+``lambda``.
+
+Per region the test maintains the running mean ``x̄_t`` of the
+residuals and the cumulative deviations
+
+    m_t = Σ_{i<=t} (x_i − x̄_i − δ)        (upward drift)
+    M_t = min_{i<=t} m_i
+
+and alarms when ``m_t − M_t >= λ`` (mirrored for downward drift). ``δ``
+is a small drift-tolerance that absorbs noise; ``λ`` is the detection
+threshold exposed on the CLI as ``--drift-threshold``. On alarm the
+region's test resets — the subsequent recalibration re-anchors the
+model, so history before the repair must not keep alarming.
+
+Everything here is pure arithmetic over the observation sequence:
+replaying the same observations produces the same events, which is what
+lets a killed-and-resumed online loop re-derive its detection state
+from the journal instead of persisting it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.drift.observe import Observation
+from repro.obs import metrics
+from repro.util.errors import DriftError
+
+#: A surrogate lattice cell, as per-axis lower corner indices (see
+#: :meth:`repro.surrogate.surface.ParameterSurface.region_of`).
+Region = Tuple[int, int, int]
+
+#: Default drift tolerance δ: residual wobble below this magnitude is
+#: treated as measurement noise, not drift.
+DEFAULT_DELTA = 0.005
+
+#: Observations a region must accumulate before it may alarm — a single
+#: outlier is the retry policy's problem, not the drift monitor's.
+DEFAULT_MIN_OBSERVATIONS = 3
+
+
+@dataclass(frozen=True)
+class DriftEvent:
+    """A detected change in a region's residual stream."""
+
+    epoch: int
+    region: Region
+    #: The Page–Hinkley statistic at detection (>= threshold).
+    statistic: float
+    threshold: float
+    #: Mean log residual at detection — positive means the model
+    #: under-predicts (the world got slower than the fit believes).
+    mean_residual: float
+    #: Residuals consumed by this region's test since its last reset.
+    observations: int
+
+
+class PageHinkley:
+    """One two-sided Page–Hinkley test over a residual stream."""
+
+    def __init__(self, threshold: float, delta: float = DEFAULT_DELTA,
+                 min_observations: int = DEFAULT_MIN_OBSERVATIONS):
+        if threshold <= 0:
+            raise DriftError("drift threshold must be positive")
+        if delta < 0:
+            raise DriftError("drift delta must be non-negative")
+        if min_observations < 1:
+            raise DriftError("min_observations must be at least 1")
+        self._threshold = threshold
+        self._delta = delta
+        self._min_observations = min_observations
+        self.reset()
+
+    def reset(self) -> None:
+        self._n = 0
+        self._mean = 0.0
+        self._up = 0.0
+        self._up_min = 0.0
+        self._down = 0.0
+        self._down_max = 0.0
+
+    @property
+    def observations(self) -> int:
+        return self._n
+
+    @property
+    def mean(self) -> float:
+        return self._mean
+
+    @property
+    def statistic(self) -> float:
+        """Current detection statistic (max of both directions)."""
+        return max(self._up - self._up_min, self._down_max - self._down)
+
+    def update(self, value: float) -> bool:
+        """Consume one residual; True when drift is detected."""
+        self._n += 1
+        self._mean += (value - self._mean) / self._n
+        deviation = value - self._mean
+        self._up += deviation - self._delta
+        self._up_min = min(self._up_min, self._up)
+        self._down += deviation + self._delta
+        self._down_max = max(self._down_max, self._down)
+        if self._n < self._min_observations:
+            return False
+        return self.statistic >= self._threshold
+
+
+class DriftMonitor:
+    """Per-region sequential tests over the observation stream."""
+
+    def __init__(self, threshold: float, delta: float = DEFAULT_DELTA,
+                 min_observations: int = DEFAULT_MIN_OBSERVATIONS):
+        self._threshold = threshold
+        self._delta = delta
+        self._min_observations = min_observations
+        self._tests: Dict[Region, PageHinkley] = {}
+        # Constructor-validate eagerly (PageHinkley re-checks per test).
+        PageHinkley(threshold, delta, min_observations)
+
+    @property
+    def threshold(self) -> float:
+        return self._threshold
+
+    def _test_for(self, region: Region) -> PageHinkley:
+        if region not in self._tests:
+            self._tests[region] = PageHinkley(
+                self._threshold, self._delta, self._min_observations)
+        return self._tests[region]
+
+    def observe(self, observation: Observation,
+                region: Region) -> Optional[DriftEvent]:
+        """Feed one observation; returns an event on detection.
+
+        Detection resets the region's test: the caller is expected to
+        repair the model (recalibrate the region), so the residual
+        stream restarts from a clean slate.
+        """
+        test = self._test_for(region)
+        metrics.counter("drift.observations").inc()
+        if not test.update(observation.residual):
+            return None
+        event = DriftEvent(
+            epoch=observation.epoch,
+            region=tuple(region),
+            statistic=test.statistic,
+            threshold=self._threshold,
+            mean_residual=test.mean,
+            observations=test.observations,
+        )
+        metrics.counter("drift.events").inc()
+        test.reset()
+        return event
+
+    def signals(self) -> Dict[Region, float]:
+        """Current (pre-alarm) statistic per observed region."""
+        return {region: test.statistic
+                for region, test in sorted(self._tests.items())}
+
+    def reset(self) -> None:
+        """Forget all test state (after a repair-and-redesign round:
+        the model was re-anchored, and residuals measured against the
+        old fit must not keep alarming against the new one)."""
+        self._tests.clear()
+
+    def regions(self) -> List[Region]:
+        return sorted(self._tests)

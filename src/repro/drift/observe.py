@@ -1,0 +1,90 @@
+"""Observed-vs-predicted execution times, the drift loop's raw signal.
+
+The paper calibrates ``P(R)`` offline and trusts it forever; an
+always-on deployment cannot. Every epoch of the online loop the engine
+*executes* each workload under its deployed allocation and records the
+observed total next to what the cost model predicted. The per-record
+**residual** is the log ratio ``ln(observed / predicted)``: zero when
+the model is exact, stable under workload-scale changes (a model that
+is uniformly 20% slow gives the same residual on a 1-second and a
+100-second workload), and symmetric — over- and under-prediction of
+the same factor are equally far from zero. The
+:class:`~repro.drift.monitor.DriftMonitor` runs its sequential test on
+these residuals, grouped by the surrogate lattice region the
+allocation falls in (see ``docs/drift.md``).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.util.errors import DriftError
+
+#: Guard against degenerate ratios: predictions and observations are
+#: simulated seconds and must be positive for the log residual to exist.
+_MIN_SECONDS = 1e-12
+
+
+@dataclass(frozen=True)
+class Observation:
+    """One executed workload: what the model said vs what happened."""
+
+    epoch: int
+    workload: str
+    #: The deployed allocation, as canonical (cpu, memory, io) shares.
+    allocation: Tuple[float, float, float]
+    predicted: float
+    observed: float
+
+    def __post_init__(self):
+        if self.predicted <= _MIN_SECONDS or self.observed <= _MIN_SECONDS:
+            raise DriftError(
+                f"observation for {self.workload!r} at epoch {self.epoch} "
+                f"needs positive times (predicted={self.predicted}, "
+                f"observed={self.observed})")
+
+    @property
+    def residual(self) -> float:
+        """``ln(observed / predicted)`` — zero when the model is exact."""
+        return math.log(self.observed / self.predicted)
+
+
+class ObservationLog:
+    """An append-only record of observations, queryable per workload.
+
+    The log itself is deliberately dumb — ordering and grouping only.
+    Detection lives in :class:`~repro.drift.monitor.DriftMonitor`,
+    which consumes observations one at a time; the log exists so run
+    summaries, sweeps, and tests can revisit the full history.
+    """
+
+    def __init__(self):
+        self._observations: List[Observation] = []
+        self._by_workload: Dict[str, List[Observation]] = {}
+
+    def record(self, observation: Observation) -> None:
+        self._observations.append(observation)
+        self._by_workload.setdefault(observation.workload, []).append(
+            observation)
+
+    def __len__(self) -> int:
+        return len(self._observations)
+
+    @property
+    def observations(self) -> List[Observation]:
+        return list(self._observations)
+
+    def for_workload(self, name: str) -> List[Observation]:
+        return list(self._by_workload.get(name, []))
+
+    def residuals(self, workload: Optional[str] = None) -> List[float]:
+        source = (self._by_workload.get(workload, [])
+                  if workload is not None else self._observations)
+        return [obs.residual for obs in source]
+
+    def epoch_total(self, epoch: int) -> float:
+        """Summed observed seconds at *epoch* (0.0 when unobserved)."""
+        return sum(obs.observed for obs in self._observations
+                   if obs.epoch == epoch)

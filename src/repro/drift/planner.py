@@ -1,0 +1,137 @@
+"""Budget-aware recalibration planning: repair where it pays.
+
+A drift alarm says *something* changed; the budget says how much
+re-measuring the loop can afford. Following the AutoML framing of
+budgeted tuning, the planner treats recalibration as an acquisition
+problem and ranks candidate lattice regions by
+
+    score(region) = drift signal × per-region CV uncertainty
+
+— the same uncertainty the :class:`~repro.surrogate.SurrogateBuilder`
+attaches while fitting and the polish phase refines against, so
+offline refinement and online repair share one acquisition criterion
+(``docs/drift.md``). The drift signal is the Page–Hinkley statistic of
+the alarming event (or the current pre-alarm statistic for regions
+that wobbled without alarming); the uncertainty factor spends the
+budget where the fit already knew it was interpolating poorly, with a
+floor so a drifted-but-confident region still gets repaired.
+
+The plan is a ranked, de-duplicated list of the corner knots of the
+chosen regions. Execution goes through
+:meth:`~repro.surrogate.SurrogateBuilder.refit` — targeted overwrites
+of existing knots, never a cold restart of the whole fit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence
+
+from repro.drift.monitor import DriftEvent, Region
+from repro.surrogate.refine import SurrogateBuilder
+from repro.surrogate.surface import Knot, ParameterSurface
+from repro.util.errors import DriftError
+
+#: Uncertainty floor: a region whose fit claims perfect interpolation
+#: still scores above zero when its residuals alarm — drift that the
+#: cross-validation never saw coming is exactly the interesting kind.
+DEFAULT_UNCERTAINTY_FLOOR = 0.01
+
+
+@dataclass
+class RecalibrationPlan:
+    """Ranked repair work for one round of drift events."""
+
+    #: Regions in descending score order.
+    regions: List[Region] = field(default_factory=list)
+    #: score per region (drift signal × clamped uncertainty).
+    scores: Dict[Region, float] = field(default_factory=dict)
+    #: Corner knots to refit, ranked (regions in order, corners sorted,
+    #: duplicates kept once at their best rank).
+    knots: List[Knot] = field(default_factory=list)
+
+    @property
+    def is_empty(self) -> bool:
+        return not self.knots
+
+
+class RecalibrationPlanner:
+    """Ranks drifted regions and executes targeted refits on budget.
+
+    The planner owns the recalibration budget through the
+    :class:`~repro.surrogate.SurrogateBuilder` it is handed: the
+    builder's request accounting (replays count) is what makes a
+    killed-and-resumed online loop stop spending at the identical
+    knot. One planner instance lives for the whole online run, so the
+    budget is cumulative across drift rounds.
+    """
+
+    def __init__(self, builder: SurrogateBuilder,
+                 uncertainty_floor: float = DEFAULT_UNCERTAINTY_FLOOR):
+        if uncertainty_floor <= 0:
+            raise DriftError("uncertainty floor must be positive")
+        self._builder = builder
+        self._floor = uncertainty_floor
+
+    @property
+    def builder(self) -> SurrogateBuilder:
+        return self._builder
+
+    @property
+    def spent(self) -> int:
+        return self._builder.spent
+
+    @property
+    def remaining(self) -> Optional[int]:
+        return self._builder.remaining
+
+    def plan(self, surface: ParameterSurface,
+             events: Sequence[DriftEvent],
+             signals: Optional[Mapping[Region, float]] = None,
+             ) -> RecalibrationPlan:
+        """Rank regions for repair after a round of drift events.
+
+        *events* carry the alarm statistics; *signals* (from
+        :meth:`~repro.drift.monitor.DriftMonitor.signals`) optionally
+        adds pre-alarm statistics for neighbouring regions, which rank
+        behind alarming ones at the same uncertainty. Deterministic:
+        ties break on the region tuple.
+        """
+        strength: Dict[Region, float] = {}
+        for region, signal in (signals or {}).items():
+            if signal > 0:
+                strength[tuple(region)] = float(signal)
+        for event in events:
+            region = tuple(event.region)
+            strength[region] = max(strength.get(region, 0.0),
+                                   float(event.statistic))
+        plan = RecalibrationPlan()
+        ranked = sorted(
+            ((signal * max(surface.region_uncertainty(region), self._floor),
+              region)
+             for region, signal in strength.items()),
+            key=lambda item: (-item[0], item[1]))
+        seen_knots = set()
+        for score, region in ranked:
+            if score <= 0:
+                continue
+            plan.regions.append(region)
+            plan.scores[region] = score
+            for knot in surface.region_corners(region):
+                if knot not in seen_knots:
+                    seen_knots.add(knot)
+                    plan.knots.append(knot)
+        return plan
+
+    def execute(self, surface: ParameterSurface, plan: RecalibrationPlan,
+                calibrate):
+        """Refit the plan's knots, best-ranked first, within budget.
+
+        Returns the builder's
+        :class:`~repro.surrogate.RefitReport`; the budget stop (knots
+        skipped once the builder's requests run out) and the permanent
+        failure fallback (stale knot kept) are the builder's refit
+        semantics.
+        """
+        return self._builder.refit(surface, plan.knots,
+                                   calibrate=calibrate)

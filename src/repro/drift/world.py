@@ -1,0 +1,83 @@
+"""The drifting environment: a host whose CPU quietly slows down.
+
+The E9 experiment (``EXPERIMENTS.md``) needs a world that invalidates a
+fitted surface *without telling anyone* — exactly what the ``turbulent``
+fault plan's host-degrade channel models. Every epoch the world probes
+the plan's dedicated ops stream
+(:meth:`~repro.faults.FaultInjector.on_host_probe`); each degraded
+probe multiplies the host's cumulative CPU capacity by the plan's
+``host_degrade_factor``.
+
+Degradation is **CPU-only** (``cpu_units_per_second``), not
+:meth:`~repro.virt.machine.PhysicalMachine.scaled`: scaling CPU and
+I/O together slows everything proportionally, which leaves the optimal
+share split untouched and the stale model's *ranking* accidentally
+correct. Thermal throttling and noisy-neighbour CPU steal slow the CPU
+alone, shifting the CPU/I-O balance point — the re-designed optimum
+genuinely moves, and a model calibrated on the healthy host genuinely
+misranks. That is the drift the closed loop must detect and repair.
+
+Determinism: the probe sequence is a pure function of the fault plan
+(name + seed), and the world is advanced once per epoch including
+replayed ones — a resumed online loop reconstructs the identical
+capacity trajectory by re-advancing from epoch zero, so nothing about
+the world needs journaling.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace as dc_replace
+from typing import List, Optional
+
+from repro.faults.injector import FaultInjector
+from repro.faults.plan import FaultPlan
+from repro.virt.machine import PhysicalMachine
+
+#: Capacity never drops below this fraction of the healthy host — a
+#: fully dead CPU is an availability incident for the watchdog, not a
+#: cost-model drift problem.
+MIN_CAPACITY = 0.05
+
+
+class DegradingWorld:
+    """A host with plan-driven cumulative CPU degradation."""
+
+    def __init__(self, machine: PhysicalMachine, plan: FaultPlan):
+        self._base = machine
+        self._plan = plan
+        self._injector: Optional[FaultInjector] = (
+            None if plan.is_benign else FaultInjector(plan))
+        self._capacity = 1.0
+        self._epoch = -1
+        #: Capacity after each advanced epoch, for reports and sweeps.
+        self.capacity_trajectory: List[float] = []
+
+    @property
+    def epoch(self) -> int:
+        """Last advanced epoch (-1 before the first advance)."""
+        return self._epoch
+
+    @property
+    def capacity(self) -> float:
+        """Current CPU capacity as a fraction of the healthy host."""
+        return self._capacity
+
+    @property
+    def machine(self) -> PhysicalMachine:
+        """The host as it currently performs."""
+        if self._capacity >= 1.0:
+            return self._base
+        return dc_replace(
+            self._base,
+            cpu_units_per_second=self._base.cpu_units_per_second
+            * self._capacity)
+
+    def advance(self) -> float:
+        """Move one epoch forward; returns the new capacity."""
+        self._epoch += 1
+        if self._injector is not None:
+            factor = self._injector.on_host_probe(self._base.name)
+            if factor is not None:
+                self._capacity = max(self._capacity * factor, MIN_CAPACITY)
+        self.capacity_trajectory.append(self._capacity)
+        return self._capacity

@@ -58,6 +58,13 @@ Headline keys
 ``fleet_rounds``               fleet reassignment rounds executed
 ``fleet_moves_accepted``       workload moves that improved total cost
 ``fleet_moves_considered``     candidate moves exactly evaluated
+``drift_epochs``               online epochs supervised by the drift loop
+``drift_observations``         observed-vs-predicted residuals recorded
+``drift_events``               Page–Hinkley alarms raised by the monitor
+``drift_recalibrations``       knots refit after a drift alarm
+``drift_regions_refit``        drifted surrogate regions actually repaired
+``drift_redesigns``            warm-started re-designs after a repair
+``drift_budget_remaining``     recalibration requests left when captured
 =============================  ==============================================
 
 The five resilience keys (``faults_injected`` … ``budget_stops``) were
@@ -67,9 +74,11 @@ in format 3 with the watchdog and run supervisor; the seven surrogate
 keys (backed by the ``surrogate.*`` counters) arrived in format 4 with
 the calibration surrogate and continuous-allocation search; the five
 fleet keys (backed by the ``fleet.*`` counters) arrived in format 5
-with the fleet placement layer. See ``docs/robustness.md``,
-``docs/surrogate.md``, and ``docs/fleet.md`` for the metric names
-behind them.
+with the fleet placement layer; the seven drift keys (backed by the
+``drift.*`` counters and the ``drift.budget_remaining`` gauge) arrived
+in format 6 with the drift-aware online loop. See
+``docs/robustness.md``, ``docs/surrogate.md``, ``docs/fleet.md``, and
+``docs/drift.md`` for the metric names behind them.
 
 Usage
 -----
@@ -97,7 +106,7 @@ from repro.obs.spans import SpanRecorder, get_recorder
 from repro.util.errors import ObservabilityError
 from repro.util.tables import format_table
 
-FORMAT = "repro-run-report/5"
+FORMAT = "repro-run-report/6"
 
 
 def _counter_totals(snapshot: dict, name: str) -> float:
@@ -178,6 +187,17 @@ def summarize(snapshot: dict, span_aggregate: Dict[str, dict],
             snapshot, "fleet.moves_accepted"),
         "fleet_moves_considered": _counter_totals(
             snapshot, "fleet.moves_considered"),
+        "drift_epochs": _counter_totals(snapshot, "drift.epochs"),
+        "drift_observations": _counter_totals(
+            snapshot, "drift.observations"),
+        "drift_events": _counter_totals(snapshot, "drift.events"),
+        "drift_recalibrations": _counter_totals(
+            snapshot, "drift.recalibrations"),
+        "drift_regions_refit": _counter_totals(
+            snapshot, "drift.regions_refit"),
+        "drift_redesigns": _counter_totals(snapshot, "drift.redesigns"),
+        "drift_budget_remaining": _gauge_value(
+            snapshot, "drift.budget_remaining") or 0.0,
     }
 
 
@@ -332,6 +352,25 @@ class RunReport:
                          for axis, count in sorted(refinements.items())])
             sections.append(format_table(
                 ["measure", "value"], rows, title="Surrogate",
+            ))
+
+        if summary.get("drift_epochs", 0):
+            rows = [
+                ["epochs / observations",
+                 f"{summary.get('drift_epochs', 0):.0f} / "
+                 f"{summary.get('drift_observations', 0):.0f}"],
+                ["drift events detected",
+                 f"{summary.get('drift_events', 0):.0f}"],
+                ["knot refits / regions repaired",
+                 f"{summary.get('drift_recalibrations', 0):.0f} / "
+                 f"{summary.get('drift_regions_refit', 0):.0f}"],
+                ["warm re-designs",
+                 f"{summary.get('drift_redesigns', 0):.0f}"],
+                ["repair budget remaining",
+                 f"{summary.get('drift_budget_remaining', 0):.0f}"],
+            ]
+            sections.append(format_table(
+                ["measure", "value"], rows, title="Drift",
             ))
 
         if summary.get("fleet_host_designs", 0):

@@ -17,10 +17,12 @@ from repro.surrogate.polish import (
     PolishOutcome,
     design_continuous,
     polish,
+    warm_start,
 )
 from repro.surrogate.refine import (
     DEFAULT_TOLERANCE,
     RefinementReport,
+    RefitReport,
     SurrogateBuilder,
     design_levels,
     relative_error,
@@ -41,6 +43,7 @@ __all__ = [
     "PolishOutcome",
     "RATIO_NAMES",
     "RefinementReport",
+    "RefitReport",
     "SurrogateBuilder",
     "blend_corners",
     "design_continuous",
@@ -48,4 +51,5 @@ __all__ = [
     "knot_key",
     "polish",
     "relative_error",
+    "warm_start",
 ]

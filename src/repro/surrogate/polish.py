@@ -92,6 +92,64 @@ def _best_neighbor(problem, allocation, model,
     return best[1] if best else None
 
 
+def warm_start(problem, surface: ParameterSurface, start, *,
+               grid: int = 4, fine_factor: int = 8,
+               algorithm_label: str = "warm-start") -> "Design":
+    """Local descent from an incumbent allocation, against *surface*.
+
+    The drift loop's redesign primitive (``docs/drift.md``): after a
+    targeted recalibration the optimum has usually moved only a few
+    fine-grid units, so instead of re-running a cold search from equal
+    shares, descend from *start* by repeated best-single-fine-unit
+    transfers (the polish loop's :func:`_best_neighbor`, same
+    deterministic tie-breaks) until no transfer improves the total.
+    Evaluations are pure surrogate arithmetic. Terminates: the fine
+    lattice is finite and every accepted move strictly decreases cost.
+
+    Returns a full :class:`~repro.core.designer.Design` whose baseline
+    is the problem's equal-share default evaluated under the same
+    surface, so ``predicted_improvement`` stays comparable with cold
+    designs.
+    """
+    from repro.core.cost_model import OptimizerCostModel
+    from repro.core.designer import Design, VirtualizationDesigner
+
+    model = OptimizerCostModel(surface)
+    designer = VirtualizationDesigner(problem, model)
+    fine = grid * fine_factor
+    allocation = start
+    costs = designer.evaluate(allocation)
+    total = sum(costs.values())
+    while True:
+        vectors = _best_neighbor(problem, allocation, model, fine)
+        if vectors is None:
+            break
+        candidate = allocation
+        for name, vector in vectors.items():
+            candidate = candidate.with_vector(name, vector)
+        candidate_costs = designer.evaluate(candidate)
+        candidate_total = sum(candidate_costs.values())
+        if candidate_total >= total - 1e-12:
+            break
+        allocation, costs, total = candidate, candidate_costs, candidate_total
+        metrics.counter("search.step_refinements",
+                        algorithm=algorithm_label).inc()
+    default = problem.default_allocation()
+    default_costs = designer.evaluate(default)
+    return Design(
+        problem=problem,
+        allocation=allocation,
+        predicted_total_cost=total,
+        predicted_costs=costs,
+        default_allocation=default,
+        default_total_cost=sum(default_costs.values()),
+        default_costs=default_costs,
+        algorithm=algorithm_label,
+        evaluations=model.evaluations,
+        stopped=False,
+    )
+
+
 def _candidate_shares(problem, surface: ParameterSurface, candidates
                       ) -> List[Tuple[int, float]]:
     """Distinct (axis, share) targets, clamped to the calibrated hull."""

@@ -54,7 +54,7 @@ from repro.surrogate.surface import (
     blend_corners,
     knot_key,
 )
-from repro.util.errors import SurrogateError
+from repro.util.errors import CalibrationError, SurrogateError
 from repro.virt.resources import ResourceVector
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -148,6 +148,21 @@ class RefinementReport:
     #: (axis name, held-out level, error) per cross-validation score of
     #: the final fit, for reports and tests.
     scores: List[Tuple[str, float, float]] = field(default_factory=list)
+
+
+@dataclass
+class RefitReport:
+    """What one :meth:`SurrogateBuilder.refit` call did."""
+
+    surface: ParameterSurface
+    #: Knots actually overwritten with fresh parameters.
+    refits: int = 0
+    #: Budget requests spent (replays included — see :meth:`refit`).
+    requests: int = 0
+    #: True when the budget ran out before every requested knot.
+    stopped: bool = False
+    #: Knots kept stale after a permanent calibration failure.
+    fallbacks: int = 0
 
 
 class SurrogateBuilder:
@@ -266,6 +281,38 @@ class SurrogateBuilder:
                                                     knots)))
         return scores
 
+    @staticmethod
+    def _knot_uncertainty(axes: List[List[float]],
+                          refinable: Sequence[int],
+                          scores: List[Tuple[int, int, float]],
+                          ) -> Dict[Knot, float]:
+        """Per-knot uncertainty from the final cross-validation scores.
+
+        A held-out plane's error is the fit's own estimate of how wrong
+        interpolation is *around* that level; each knot inherits the
+        worst such error over its three axis levels (boundary levels,
+        which are never held out, inherit their nearest interior
+        level's error). This is the acquisition signal the surface
+        carries for the polish phase and the drift planner.
+        """
+        level_error: List[Dict[float, float]] = [{}, {}, {}]
+        for axis, index, error in scores:
+            level_error[axis][axes[axis][index]] = error
+        for axis in refinable:
+            values = axes[axis]
+            if len(values) >= 3:
+                level_error[axis].setdefault(
+                    values[0], level_error[axis][values[1]])
+                level_error[axis].setdefault(
+                    values[-1], level_error[axis][values[-2]])
+        from itertools import product
+        return {
+            knot_key(coords): max(
+                level_error[axis].get(coords[axis], 0.0)
+                for axis in range(3))
+            for coords in product(*axes)
+        }
+
     # -- the build loop -----------------------------------------------------
 
     def build(self, cpu_levels: Sequence[float],
@@ -355,7 +402,10 @@ class SurrogateBuilder:
         report.worst_error = max(
             (error for _a, _l, error in report.scores), default=0.0)
         report.calibrations = self._spent
-        report.surface = ParameterSurface(knots, tolerance=self._tolerance)
+        report.surface = ParameterSurface(
+            knots, tolerance=self._tolerance,
+            uncertainty=self._knot_uncertainty(axes, refinable,
+                                               final_scores))
         return report
 
     # -- targeted extension (search-in-the-loop polish) ---------------------
@@ -410,9 +460,75 @@ class SurrogateBuilder:
                 "extend() would exceed max_calibrations "
                 f"({self._max_calibrations}); check extension_cost() first")
         knots = {knot: surface.knot_params(knot) for knot in surface.knots}
+        uncertainty = {knot: surface.knot_uncertainty(knot)
+                       for knot in surface.knots}
         for axis, level in new:
             axes[axis] = sorted(axes[axis] + [level])
             self._calibrate_plane(axes, axis, level, knots)
             metrics.counter("surrogate.refinements",
                             axis=AXIS_NAMES[axis]).inc()
-        return ParameterSurface(knots, tolerance=surface.tolerance)
+        # Freshly calibrated knots default to zero uncertainty.
+        return ParameterSurface(knots, tolerance=surface.tolerance,
+                                uncertainty=uncertainty)
+
+    # -- targeted refits (drift repair) -------------------------------------
+
+    def refit(self, surface: ParameterSurface, knots: Sequence[Knot],
+              calibrate=None) -> "RefitReport":
+        """Recalibrate *existing* knots of *surface*, in the given order.
+
+        Where :meth:`extend` grows the lattice, ``refit`` overwrites
+        stale values in place — the drift loop's targeted repair
+        (``docs/drift.md``). It spends one request per knot from the
+        same budget as :meth:`build`/:meth:`extend`, with identical
+        replay semantics: *calibrate* (``knot -> OptimizerParameters``)
+        may answer from a journal replay and the request still counts,
+        so a killed-and-resumed online loop stops refitting at exactly
+        the same knot. Without *calibrate*, knots go through the
+        builder's cache — note a memoizing cache returns the value it
+        already holds, so drift callers supply a fresh-measurement
+        callable.
+
+        Knots beyond the budget are skipped (``stopped=True``) rather
+        than raising: a drift repair applies what it can afford. A knot
+        whose calibration fails permanently (a
+        :class:`~repro.util.errors.CalibrationError` surviving the
+        retry policy) is kept stale and counted as a fallback, matching
+        the cache's graceful-degradation contract.
+        """
+        ordered: List[Knot] = []
+        for knot in knots:
+            key = knot_key(knot)
+            if key not in set(surface.knots):
+                raise SurrogateError(
+                    f"cannot refit {key}: not a knot of this surface")
+            if key not in ordered:
+                ordered.append(key)
+        report = RefitReport(surface=surface)
+        updates: Dict[Knot, OptimizerParameters] = {}
+        for knot in ordered:
+            if not self._budget_allows(1):
+                report.stopped = True
+                break
+            self._spent += 1
+            report.requests += 1
+            metrics.counter("surrogate.calibrations").inc()
+            try:
+                if calibrate is not None:
+                    params = calibrate(knot)
+                else:
+                    params = self._cache.params_for(
+                        ResourceVector.of(cpu=knot[0], memory=knot[1],
+                                          io=knot[2]),
+                        exact=True)
+            except CalibrationError:
+                report.fallbacks += 1
+                metrics.counter("resilience.fallbacks",
+                                kind="stale-knot").inc()
+                continue
+            updates[knot] = params
+            report.refits += 1
+            metrics.counter("surrogate.refits").inc()
+        if updates:
+            report.surface = surface.with_knots(updates)
+        return report

@@ -39,6 +39,18 @@ lands exactly on a knot, ``interpolated`` between knots, ``clamped``
 when an extrapolation guard fired first. The counters surface in run
 reports next to the calibration-cache accounting (see
 ``docs/observability.md``).
+
+Uncertainty
+-----------
+A surface may carry a per-knot *uncertainty* — the leave-one-level-out
+cross-validation error :class:`~repro.surrogate.refine.SurrogateBuilder`
+measured while fitting. It is the shared acquisition signal: the
+builder refines where it is largest, and the drift planner
+(``docs/drift.md``) multiplies it by the observed drift statistic to
+rank regions for recalibration. :meth:`region_of` addresses the cell of
+the lattice an allocation falls in; :meth:`region_uncertainty` is the
+worst corner uncertainty of that cell. Surfaces fitted before
+uncertainty existed load with all-zero uncertainty.
 """
 
 from __future__ import annotations
@@ -65,6 +77,10 @@ RATIO_NAMES = ("random_page_cost", "cpu_tuple_cost",
                "cpu_like_byte_cost")
 
 Knot = Tuple[float, float, float]
+
+#: A lattice cell, addressed by the per-axis index of its lower corner
+#: level (see :meth:`ParameterSurface.region_of`).
+Region = Tuple[int, int, int]
 
 
 def knot_key(shares: Iterable[float]) -> Knot:
@@ -128,7 +144,8 @@ class ParameterSurface:
     FORMAT = "repro-surrogate-fit/1"
 
     def __init__(self, knots: Mapping[Knot, OptimizerParameters],
-                 tolerance: Optional[float] = None):
+                 tolerance: Optional[float] = None,
+                 uncertainty: Optional[Mapping[Knot, float]] = None):
         if not knots:
             raise SurrogateError("a parameter surface needs at least one knot")
         self._knots: Dict[Knot, OptimizerParameters] = {
@@ -153,6 +170,13 @@ class ParameterSurface:
         #: The cross-validation tolerance the fit was refined to (None
         #: when the surface was built without refinement).
         self.tolerance = tolerance
+        self._uncertainty: Dict[Knot, float] = {}
+        for knot, value in (uncertainty or {}).items():
+            key = knot_key(knot)
+            if key not in self._knots:
+                raise SurrogateError(
+                    f"uncertainty for unknown knot {key}")
+            self._uncertainty[key] = max(0.0, float(value))
 
     def _iter_lattice(self):
         from itertools import product
@@ -185,6 +209,86 @@ class ParameterSurface:
             <= self._axes[axis][-1] + 1e-12
             for axis in range(3)
         )
+
+    # -- uncertainty and regions --------------------------------------------
+
+    def knot_uncertainty(self, knot: Iterable[float]) -> float:
+        """The fit's cross-validation uncertainty at a knot (0 when the
+        fit recorded none, or the knot was calibrated exactly)."""
+        key = knot_key(knot)
+        if key not in self._knots:
+            raise SurrogateError(f"no knot at {key}")
+        return self._uncertainty.get(key, 0.0)
+
+    @property
+    def has_uncertainty(self) -> bool:
+        """Whether any knot carries a non-zero uncertainty."""
+        return any(value > 0 for value in self._uncertainty.values())
+
+    def region_of(self, allocation: ResourceVector) -> Region:
+        """The lattice cell *allocation* falls in, as per-axis lower
+        corner indices. Out-of-hull queries clamp onto the boundary
+        cell, mirroring :meth:`params_for`'s extrapolation guard."""
+        target = knot_key(allocation.as_tuple())
+        region = []
+        for axis in range(3):
+            values = self._axes[axis]
+            pos = bisect_left(values, target[axis] + 1e-12) - 1
+            region.append(min(max(pos, 0), max(len(values) - 2, 0)))
+        return tuple(region)
+
+    def region_corners(self, region: Region) -> List[Knot]:
+        """The (up to 8) corner knots of a lattice cell, sorted."""
+        from itertools import product
+        brackets = []
+        for axis in range(3):
+            values = self._axes[axis]
+            lo = region[axis]
+            if not 0 <= lo <= max(len(values) - 2, 0):
+                raise SurrogateError(
+                    f"region {region} is outside the lattice")
+            brackets.append(sorted({values[lo],
+                                    values[min(lo + 1, len(values) - 1)]}))
+        return sorted(product(*brackets))
+
+    def region_uncertainty(self, region: Region) -> float:
+        """Worst corner uncertainty of a lattice cell — the acquisition
+        signal shared by refinement polish and the drift planner."""
+        return max(self.knot_uncertainty(knot)
+                   for knot in self.region_corners(region))
+
+    # -- targeted refits ----------------------------------------------------
+
+    def with_knots(self, updates: Mapping[Knot, OptimizerParameters],
+                   uncertainty: Optional[Mapping[Knot, float]] = None,
+                   ) -> "ParameterSurface":
+        """A new surface with *existing* knots overwritten in place.
+
+        This is the drift loop's targeted-refit primitive: the lattice
+        geometry is untouched (every update must land exactly on a
+        current knot — anything else raises, the hull guard), so all the
+        interpolation invariants — monotonicity clamps, hull-clamped
+        extrapolation — hold over the refreshed values. Overwritten
+        knots drop to zero uncertainty (they were just calibrated)
+        unless *uncertainty* supplies a value.
+        """
+        refreshed = dict(self._knots)
+        new_uncertainty = dict(self._uncertainty)
+        for knot, params in updates.items():
+            key = knot_key(knot)
+            if key not in refreshed:
+                raise SurrogateError(
+                    f"cannot overwrite {key}: not a knot of this surface "
+                    f"(use SurrogateBuilder.extend to grow the lattice)")
+            refreshed[key] = params
+            new_uncertainty[key] = 0.0
+        for knot, value in (uncertainty or {}).items():
+            key = knot_key(knot)
+            if key not in refreshed:
+                raise SurrogateError(f"uncertainty for unknown knot {key}")
+            new_uncertainty[key] = max(0.0, float(value))
+        return ParameterSurface(refreshed, tolerance=self.tolerance,
+                                uncertainty=new_uncertainty)
 
     # -- lookup -------------------------------------------------------------
 
@@ -232,14 +336,20 @@ class ParameterSurface:
 
     def as_dict(self) -> dict:
         """Plain-data form (embedded in calibration cache v3 files)."""
+        entries = []
+        for knot, params in sorted(self._knots.items()):
+            entry = {"allocation": list(knot),
+                     "parameters": params.as_dict()}
+            # Written only when non-zero so fits produced before
+            # uncertainty tracking serialize byte-identically.
+            if self._uncertainty.get(knot, 0.0) > 0.0:
+                entry["uncertainty"] = self._uncertainty[knot]
+            entries.append(entry)
         return {
             "format": self.FORMAT,
             "tolerance": self.tolerance,
             "axes": [list(values) for values in self._axes],
-            "knots": [
-                {"allocation": list(knot), "parameters": params.as_dict()}
-                for knot, params in sorted(self._knots.items())
-            ],
+            "knots": entries,
         }
 
     @classmethod
@@ -252,16 +362,19 @@ class ParameterSurface:
                 f"unrecognized surrogate fit format "
                 f"{payload.get('format')!r}; expected {cls.FORMAT!r}")
         try:
-            knots = {
-                knot_key(entry["allocation"]):
-                    OptimizerParameters.from_dict(entry["parameters"])
-                for entry in payload["knots"]
-            }
+            knots = {}
+            uncertainty = {}
+            for entry in payload["knots"]:
+                key = knot_key(entry["allocation"])
+                knots[key] = OptimizerParameters.from_dict(
+                    entry["parameters"])
+                if "uncertainty" in entry:
+                    uncertainty[key] = float(entry["uncertainty"])
             tolerance = payload.get("tolerance")
         except (KeyError, TypeError, ValueError) as exc:
             raise SurrogateError(
                 f"surrogate fit payload is malformed: {exc!r}") from exc
-        return cls(knots, tolerance=tolerance)
+        return cls(knots, tolerance=tolerance, uncertainty=uncertainty)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         dims = "x".join(str(len(values)) for values in self._axes)

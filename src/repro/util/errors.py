@@ -106,3 +106,11 @@ class RecoveryError(ReproError):
 
 class ObservabilityError(ReproError):
     """Misuse of the metrics/span/report API (kind clash, bad value)."""
+
+
+class DriftError(ReproError):
+    """Misuse of the online drift-monitoring loop (degenerate
+    observation, bad threshold/budget configuration). Distinct from
+    :class:`CalibrationError`: a drift-triggered recalibration that
+    fails permanently degrades gracefully (the stale knot is kept and
+    counted as a fallback) instead of raising."""

@@ -1,0 +1,98 @@
+"""Shared fixtures for the drift-aware online recalibration tests.
+
+Same affordability trick as the recovery suite: one TPC-H query per
+workload, the reduced calibration workbench, a 3-level grid. The fault
+plan cranks the turbulent plan's host-degrade channel up (35% per
+epoch, each event keeping 80% of CPU) so a five-epoch run reliably
+drifts; the Page–Hinkley threshold drops to 0.05 so detection happens
+within the few residuals such a short run produces.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.calibration.synthetic import (
+    HUGE_TABLE,
+    SMALL_TABLE,
+    CalibrationWorkbench,
+)
+from repro.core.problem import VirtualizationDesignProblem, WorkloadSpec
+from repro.drift import OnlineSupervisor
+from repro.faults import FaultPlan
+from repro.virt.machine import laboratory_machine
+from repro.virt.resources import ResourceKind
+from repro.workloads import Workload, build_tpch_database, tpch_query
+
+GRID = 3
+EPOCHS = 5
+DRIFT_THRESHOLD = 0.05
+RECAL_BUDGET = 8
+SURROGATE_BUDGET = 12
+
+
+def tiny_workbench() -> CalibrationWorkbench:
+    return CalibrationWorkbench(rows={
+        SMALL_TABLE: 200,
+        "cal_scan_a": 1_000,
+        "cal_scan_b": 2_000,
+        "cal_scan_c": 3_000,
+        HUGE_TABLE: 4_000,
+    })
+
+
+@pytest.fixture(scope="package")
+def drift_problem() -> VirtualizationDesignProblem:
+    db = build_tpch_database(scale_factor=0.002,
+                             tables=["customer", "orders", "lineitem"])
+    specs = [
+        WorkloadSpec(Workload.repeat("order-audit", tpch_query("Q4"), 1), db),
+        WorkloadSpec(Workload.repeat("cust-report", tpch_query("Q13"), 2), db),
+    ]
+    return VirtualizationDesignProblem(
+        machine=laboratory_machine(), specs=specs,
+        controlled_resources=(ResourceKind.CPU,),
+    )
+
+
+@pytest.fixture(scope="package")
+def degrading_plan() -> FaultPlan:
+    return FaultPlan.named("turbulent").with_overrides(
+        host_degrade_rate=0.35, host_degrade_factor=0.8)
+
+
+def make_supervisor(problem, path, plan, **kwargs) -> OnlineSupervisor:
+    kwargs.setdefault("epochs", EPOCHS)
+    kwargs.setdefault("grid", GRID)
+    kwargs.setdefault("drift_threshold", DRIFT_THRESHOLD)
+    kwargs.setdefault("recal_budget", RECAL_BUDGET)
+    kwargs.setdefault("surrogate_budget", SURROGATE_BUDGET)
+    kwargs.setdefault("workbench", tiny_workbench())
+    return OnlineSupervisor(problem, path, plan=plan, **kwargs)
+
+
+def journal_fingerprint(journal):
+    """Every committed record, in order, as plain data."""
+    return [(record.kind, record.data) for record in journal.records]
+
+
+def design_allocation(design):
+    return {name: design.allocation.vector_for(name).as_tuple()
+            for name in design.allocation.workload_names()}
+
+
+@pytest.fixture(scope="package")
+def baseline(drift_problem, degrading_plan, tmp_path_factory):
+    """One uninterrupted online run, shared by the equivalence tests."""
+    from repro.recovery import RunJournal
+
+    path = tmp_path_factory.mktemp("drift-baseline") / "online.journal"
+    supervisor = make_supervisor(drift_problem, path, degrading_plan)
+    run = supervisor.run()
+    assert run.completed
+    return {
+        "run": run,
+        "supervisor": supervisor,
+        "fingerprint": journal_fingerprint(RunJournal.open(path)),
+        "total_units": run.new_units,
+    }

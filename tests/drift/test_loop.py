@@ -1,0 +1,176 @@
+"""Closed-loop behavior of the online supervisor (and its primitives)."""
+
+import pytest
+
+from repro.drift import DegradingWorld, OnlineSupervisor
+from repro.faults import FaultPlan
+from repro.obs import metrics
+from repro.surrogate import design_continuous, warm_start
+from repro.util.errors import DriftError, RecoveryError
+from repro.virt.machine import laboratory_machine
+
+from tests.drift.conftest import (
+    EPOCHS,
+    GRID,
+    RECAL_BUDGET,
+    design_allocation,
+    make_supervisor,
+    tiny_workbench,
+)
+
+pytestmark = pytest.mark.drift
+
+
+class TestDegradingWorld:
+    def test_benign_plan_never_degrades(self):
+        world = DegradingWorld(laboratory_machine(), FaultPlan(name="none"))
+        for _ in range(10):
+            assert world.advance() == 1.0
+        assert world.machine is world._base
+
+    def test_degradation_is_cumulative_cpu_only_and_floored(self):
+        plan = FaultPlan.named("turbulent").with_overrides(
+            host_degrade_rate=1.0, host_degrade_factor=0.5)
+        base = laboratory_machine()
+        world = DegradingWorld(base, plan)
+        first = world.advance()
+        assert first == pytest.approx(0.5)
+        degraded = world.machine
+        assert (degraded.cpu_units_per_second
+                == pytest.approx(base.cpu_units_per_second * 0.5))
+        # Only the CPU channel moves — I/O stays healthy, so the
+        # optimal share split genuinely shifts.
+        assert degraded.io_seq_mib_per_second == base.io_seq_mib_per_second
+        assert (degraded.io_random_ops_per_second
+                == base.io_random_ops_per_second)
+        for _ in range(20):
+            world.advance()
+        assert world.capacity >= 0.05
+
+    def test_trajectory_is_a_pure_function_of_the_plan(self):
+        plan = FaultPlan.named("turbulent").with_overrides(
+            host_degrade_rate=0.35)
+        runs = []
+        for _ in range(2):
+            world = DegradingWorld(laboratory_machine(), plan)
+            runs.append([world.advance() for _ in range(8)])
+        assert runs[0] == runs[1]
+
+
+class TestWarmStart:
+    def test_descends_from_the_incumbent_deterministically(
+            self, drift_problem, degrading_plan):
+        from repro.calibration import CalibrationCache, CalibrationRunner
+
+        cache = CalibrationCache(CalibrationRunner(
+            laboratory_machine(), workbench=tiny_workbench()))
+        outcome = design_continuous(drift_problem, cache, grid=GRID,
+                                    max_calibrations=12)
+        start = drift_problem.default_allocation()
+        first = warm_start(drift_problem, outcome.surface, start, grid=GRID)
+        second = warm_start(drift_problem, outcome.surface, start, grid=GRID)
+        assert design_allocation(first) == design_allocation(second)
+        assert first.predicted_total_cost == second.predicted_total_cost
+        # Descent never loses to its own starting point.
+        assert (first.predicted_total_cost
+                <= first.default_total_cost + 1e-12)
+        assert first.algorithm == "warm-start"
+
+
+class TestOnlineRun:
+    @pytest.fixture(scope="class")
+    def run(self, baseline):
+        return baseline["run"]
+
+    def test_closed_loop_detects_and_repairs(self, run):
+        assert run.completed
+        assert run.epochs == EPOCHS
+        assert run.events, "the degrading world never tripped the monitor"
+        assert run.recalibrations > 0
+        assert run.redesigns > 0
+        assert run.design is not None
+        assert run.surface is not None
+
+    def test_budget_accounting(self, run):
+        assert 0 < run.budget_spent <= RECAL_BUDGET
+        assert run.budget_remaining == RECAL_BUDGET - run.budget_spent
+
+    def test_trajectory_tracks_every_epoch(self, run):
+        assert [point["epoch"] for point in run.trajectory] \
+            == list(range(EPOCHS))
+        capacities = [point["capacity"] for point in run.trajectory]
+        assert all(later <= earlier + 1e-12 for earlier, later
+                   in zip(capacities, capacities[1:]))
+        assert capacities[-1] < 1.0, "the plan never degraded the host"
+        observed = sum(point["observed_seconds"] for point in run.trajectory)
+        assert observed == pytest.approx(
+            sum(o.observed for o in run.observations.observations))
+
+    def test_repairs_zero_the_refit_knots_uncertainty(self, run):
+        """Refit knots were just calibrated: their uncertainty is 0 on
+        the final surface."""
+        refit_regions = {tuple(event.region) for event in run.events}
+        assert refit_regions
+        # At least the best-ranked drifted region was fully repaired.
+        assert any(run.surface.region_uncertainty(region) == 0.0
+                   for region in refit_regions)
+
+    def test_counters(self, drift_problem, degrading_plan, tmp_path):
+        metrics.reset()
+        supervisor = make_supervisor(
+            drift_problem, tmp_path / "counters.journal", degrading_plan)
+        run = supervisor.run()
+        snapshot = {
+            (entry["name"],): entry["value"]
+            for entry in metrics.get_registry().snapshot()["counters"]
+            if entry["name"].startswith("drift.")
+        }
+        assert snapshot[("drift.epochs",)] == EPOCHS
+        assert snapshot[("drift.observations",)] == EPOCHS * 2
+        assert snapshot[("drift.events",)] == len(run.events)
+        assert snapshot[("drift.redesigns",)] == run.redesigns
+        assert snapshot[("drift.recalibrations",)] == run.recalibrations
+        gauges = {entry["name"]: entry["value"]
+                  for entry in metrics.get_registry().snapshot()["gauges"]}
+        assert gauges["drift.budget_remaining"] == run.budget_remaining
+
+
+class TestContracts:
+    def test_benign_plan_raises_no_alarms(self, drift_problem, tmp_path):
+        supervisor = make_supervisor(
+            drift_problem, tmp_path / "benign.journal",
+            FaultPlan(name="none"), epochs=3,
+            drift_threshold=0.15)
+        run = supervisor.run()
+        assert run.completed
+        assert run.events == []
+        assert run.recalibrations == 0
+        assert run.redesigns == 0
+
+    def test_unit_budget_stops_resumably(self, drift_problem,
+                                         degrading_plan, tmp_path):
+        supervisor = make_supervisor(
+            drift_problem, tmp_path / "stopped.journal", degrading_plan,
+            max_units=5)
+        run = supervisor.run()
+        assert not run.completed
+        assert run.new_units == 5
+
+    def test_resume_identity_is_checked(self, drift_problem,
+                                        degrading_plan, tmp_path):
+        path = tmp_path / "identity.journal"
+        make_supervisor(drift_problem, path, degrading_plan,
+                        max_units=5).run()
+        other = make_supervisor(drift_problem, path, degrading_plan,
+                                drift_threshold=0.42)
+        with pytest.raises(RecoveryError, match="drift_threshold"):
+            other.run(resume=True)
+
+    def test_invalid_configuration_raises(self, drift_problem,
+                                          degrading_plan, tmp_path):
+        with pytest.raises(DriftError):
+            make_supervisor(drift_problem, tmp_path / "x.journal",
+                            degrading_plan, epochs=0)
+        with pytest.raises(DriftError):
+            make_supervisor(drift_problem, tmp_path / "x.journal",
+                            degrading_plan, recal_budget=0)

@@ -1,0 +1,150 @@
+"""Unit tests for the observation log and the Page–Hinkley monitor."""
+
+import math
+
+import pytest
+
+from repro.drift import (
+    DriftMonitor,
+    Observation,
+    ObservationLog,
+    PageHinkley,
+)
+from repro.util.errors import DriftError
+
+pytestmark = pytest.mark.drift
+
+
+def obs(epoch, observed, predicted=1.0, workload="w", alloc=(0.5, 0.5, 0.5)):
+    return Observation(epoch=epoch, workload=workload, allocation=alloc,
+                       predicted=predicted, observed=observed)
+
+
+class TestObservation:
+    def test_residual_is_log_ratio(self):
+        assert obs(0, observed=1.0).residual == 0.0
+        assert obs(0, observed=math.e).residual == pytest.approx(1.0)
+        # Symmetric: over- and under-prediction of the same factor are
+        # equally far from zero.
+        slow = obs(0, observed=1.2).residual
+        fast = obs(0, observed=1 / 1.2).residual
+        assert slow == pytest.approx(-fast)
+
+    def test_residual_is_scale_stable(self):
+        small = obs(0, observed=1.2, predicted=1.0).residual
+        large = obs(0, observed=120.0, predicted=100.0).residual
+        assert small == pytest.approx(large)
+
+    def test_non_positive_times_raise(self):
+        with pytest.raises(DriftError):
+            obs(0, observed=0.0)
+        with pytest.raises(DriftError):
+            obs(0, observed=1.0, predicted=-1.0)
+
+
+class TestObservationLog:
+    def test_record_and_query(self):
+        log = ObservationLog()
+        log.record(obs(0, 1.0, workload="a"))
+        log.record(obs(0, 2.0, workload="b"))
+        log.record(obs(1, 3.0, workload="a"))
+        assert len(log) == 3
+        assert [o.observed for o in log.for_workload("a")] == [1.0, 3.0]
+        assert log.residuals("b") == [pytest.approx(math.log(2.0))]
+        assert log.epoch_total(0) == pytest.approx(3.0)
+        assert log.epoch_total(7) == 0.0
+
+
+class TestPageHinkley:
+    def test_stable_stream_never_alarms(self):
+        test = PageHinkley(threshold=0.1)
+        assert not any(test.update(0.0) for _ in range(100))
+
+    def test_level_shift_alarms_in_both_directions(self):
+        for direction in (+1.0, -1.0):
+            test = PageHinkley(threshold=0.1, delta=0.005)
+            for _ in range(5):
+                assert not test.update(0.0)
+            fired = [test.update(direction * 0.3) for _ in range(10)]
+            assert any(fired), f"no alarm for direction {direction}"
+
+    def test_min_observations_suppresses_early_alarm(self):
+        test = PageHinkley(threshold=0.01, min_observations=5)
+        # A huge residual burst inside the warm-up window stays silent.
+        assert not test.update(0.0)
+        assert not test.update(5.0)
+        assert test.statistic > 0.01
+
+    def test_reset_clears_state(self):
+        test = PageHinkley(threshold=0.1)
+        for _ in range(5):
+            test.update(0.5)
+        test.reset()
+        assert test.observations == 0
+        assert test.statistic == 0.0
+
+    def test_invalid_parameters_raise(self):
+        with pytest.raises(DriftError):
+            PageHinkley(threshold=0.0)
+        with pytest.raises(DriftError):
+            PageHinkley(threshold=0.1, delta=-0.1)
+        with pytest.raises(DriftError):
+            PageHinkley(threshold=0.1, min_observations=0)
+
+
+class TestDriftMonitor:
+    REGION = (0, 0, 0)
+
+    def _drift_region(self, monitor, region, epochs=12):
+        """Feed a stable prefix then a shifted stream; return events."""
+        events = []
+        for epoch in range(epochs):
+            observed = 1.0 if epoch < 4 else 1.5
+            event = monitor.observe(obs(epoch, observed), region)
+            if event is not None:
+                events.append(event)
+        return events
+
+    def test_detects_shift_and_reports_the_region(self):
+        monitor = DriftMonitor(threshold=0.1)
+        events = self._drift_region(monitor, self.REGION)
+        assert events
+        event = events[0]
+        assert event.region == self.REGION
+        assert event.statistic >= event.threshold == 0.1
+        assert event.mean_residual > 0  # the world got slower
+        assert event.observations >= 3
+
+    def test_detection_resets_the_region_test(self):
+        monitor = DriftMonitor(threshold=0.1)
+        self._drift_region(monitor, self.REGION)
+        # After the alarm the test restarted: its statistic is back
+        # below the threshold even though drifted residuals keep coming.
+        assert monitor.signals()[self.REGION] < 0.1
+
+    def test_regions_are_independent(self):
+        monitor = DriftMonitor(threshold=0.1)
+        other = (1, 0, 0)
+        for epoch in range(12):
+            monitor.observe(obs(epoch, 1.0), other)
+        events = self._drift_region(monitor, self.REGION)
+        assert events
+        assert all(event.region == self.REGION for event in events)
+        assert monitor.regions() == sorted([self.REGION, other])
+
+    def test_reset_forgets_everything(self):
+        monitor = DriftMonitor(threshold=0.1)
+        self._drift_region(monitor, self.REGION)
+        monitor.reset()
+        assert monitor.signals() == {}
+        assert monitor.regions() == []
+
+    def test_deterministic_replay(self):
+        """The same observation stream produces identical events —
+        the property that lets a resumed loop re-derive its detection
+        state instead of journaling it."""
+        def run():
+            monitor = DriftMonitor(threshold=0.1)
+            return self._drift_region(monitor, self.REGION)
+
+        assert run() == run()

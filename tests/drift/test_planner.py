@@ -1,0 +1,132 @@
+"""Planner tests: rank by drift signal × uncertainty, repair on budget."""
+
+import pytest
+
+from repro.calibration import CalibrationCache, CalibrationRunner
+from repro.drift import DriftEvent, RecalibrationPlanner
+from repro.surrogate import ParameterSurface, SurrogateBuilder
+from repro.util.errors import CalibrationError, DriftError
+from repro.virt.machine import laboratory_machine
+
+from tests.drift.conftest import tiny_workbench
+
+pytestmark = pytest.mark.drift
+
+
+def params(t_seq=0.001):
+    from repro.optimizer.params import OptimizerParameters
+
+    return OptimizerParameters(
+        seq_page_cost=1.0, random_page_cost=4.0, cpu_tuple_cost=0.01,
+        cpu_index_tuple_cost=0.005, cpu_operator_cost=0.0025,
+        cpu_like_byte_cost=0.001, effective_cache_size=1000,
+        sort_mem_pages=64, seconds_per_seq_page=t_seq)
+
+
+def surface(uncertainty=None):
+    """A 3x1x1 lattice: two CPU regions, one knot column each side."""
+    knots = {(cpu, 0.5, 0.5): params() for cpu in (0.25, 0.5, 0.75)}
+    return ParameterSurface(knots, uncertainty=uncertainty)
+
+
+def event(region, statistic, epoch=0):
+    return DriftEvent(epoch=epoch, region=region, statistic=statistic,
+                      threshold=0.1, mean_residual=0.2, observations=4)
+
+
+def builder(budget=None):
+    cache = CalibrationCache(CalibrationRunner(
+        laboratory_machine(), workbench=tiny_workbench()))
+    return SurrogateBuilder(cache, max_calibrations=budget)
+
+
+class TestPlan:
+    def test_uncertainty_weights_the_drift_signal(self):
+        """Equal drift statistics: the uncertain region outranks the
+        confident one — the budget goes where the fit already knew it
+        was interpolating poorly."""
+        surf = surface(uncertainty={(0.75, 0.5, 0.5): 0.2})
+        planner = RecalibrationPlanner(builder())
+        plan = planner.plan(surf, [event((0, 0, 0), 0.3),
+                                   event((1, 0, 0), 0.3)])
+        assert plan.regions == [(1, 0, 0), (0, 0, 0)]
+        assert plan.scores[(1, 0, 0)] == pytest.approx(0.3 * 0.2)
+        # The confident region is floored, not zeroed.
+        assert plan.scores[(0, 0, 0)] == pytest.approx(0.3 * 0.01)
+
+    def test_knots_are_region_corners_deduplicated(self):
+        surf = surface()
+        planner = RecalibrationPlanner(builder())
+        plan = planner.plan(surf, [event((0, 0, 0), 0.5),
+                                   event((1, 0, 0), 0.2)])
+        # The shared corner column (cpu=0.5) stays at its best rank.
+        assert plan.knots == [(0.25, 0.5, 0.5), (0.5, 0.5, 0.5),
+                              (0.75, 0.5, 0.5)]
+
+    def test_pre_alarm_signals_rank_behind_alarms(self):
+        surf = surface()
+        planner = RecalibrationPlanner(builder())
+        plan = planner.plan(surf, [event((0, 0, 0), 0.5)],
+                            signals={(1, 0, 0): 0.1})
+        assert plan.regions == [(0, 0, 0), (1, 0, 0)]
+
+    def test_no_events_no_plan(self):
+        planner = RecalibrationPlanner(builder())
+        assert planner.plan(surface(), []).is_empty
+
+    def test_invalid_floor_raises(self):
+        with pytest.raises(DriftError):
+            RecalibrationPlanner(builder(), uncertainty_floor=0.0)
+
+
+class TestExecute:
+    def _plan(self, planner, surf):
+        return planner.plan(surf, [event((0, 0, 0), 0.5),
+                                   event((1, 0, 0), 0.2)])
+
+    def test_refits_overwrite_and_spend_budget(self):
+        surf = surface()
+        planner = RecalibrationPlanner(builder(budget=10))
+        fresh = params(t_seq=0.002)
+        report = planner.execute(surf, self._plan(planner, surf),
+                                 lambda knot: fresh)
+        assert report.refits == 3
+        assert not report.stopped
+        assert planner.spent == 3
+        assert planner.remaining == 7
+        for knot in surf.knots:
+            assert (report.surface.knot_params(knot).seconds_per_seq_page
+                    == 0.002)
+
+    def test_budget_stops_mid_plan_best_ranked_first(self):
+        surf = surface()
+        planner = RecalibrationPlanner(builder(budget=2))
+        seen = []
+
+        def calibrate(knot):
+            seen.append(knot)
+            return params(t_seq=0.002)
+
+        report = planner.execute(surf, self._plan(planner, surf), calibrate)
+        assert report.stopped
+        assert report.refits == 2
+        assert planner.remaining == 0
+        # The best-ranked region's corners were repaired first.
+        assert seen == [(0.25, 0.5, 0.5), (0.5, 0.5, 0.5)]
+
+    def test_permanent_failure_keeps_the_stale_knot(self):
+        surf = surface()
+        planner = RecalibrationPlanner(builder(budget=10))
+
+        def calibrate(knot):
+            if knot == (0.5, 0.5, 0.5):
+                raise CalibrationError("host unreachable")
+            return params(t_seq=0.002)
+
+        report = planner.execute(surf, self._plan(planner, surf), calibrate)
+        assert report.fallbacks == 1
+        assert report.refits == 2
+        # Failed knot kept stale; the budget still paid for the attempt.
+        assert (report.surface.knot_params((0.5, 0.5, 0.5))
+                .seconds_per_seq_page == 0.001)
+        assert report.requests == 3

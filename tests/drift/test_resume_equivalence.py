@@ -1,0 +1,94 @@
+"""Crash-recovery equivalence for the online loop: a killed-and-resumed
+run must be **bit-identical** to an uninterrupted one at *every*
+journaled unit boundary.
+
+The online journal interleaves five unit kinds — calibrations of the
+initial fit, per-epoch observations, drift events, recalibrations on
+the degraded host, and redesigns — so the kill sweep exercises every
+transition: mid-fit, between observation and detection, between
+detection and repair, mid-repair (budget partially spent), and between
+repair and redesign. Exact equality on the parsed records is the
+point: resume must not perturb the fault stream, the capacity
+trajectory, the detection state, or a single float.
+"""
+
+import pytest
+
+from repro.recovery import RunJournal
+
+from tests.drift.conftest import (
+    design_allocation,
+    journal_fingerprint,
+    make_supervisor,
+)
+
+pytestmark = pytest.mark.drift
+
+
+class TestOnlineResumeEquivalence:
+    def test_journal_covers_every_unit_kind(self, baseline):
+        kinds = {kind for kind, _data in baseline["fingerprint"]}
+        assert kinds == {"calibration", "observation", "drift",
+                         "recalibration", "redesign", "result"}
+
+    def test_kill_at_every_unit_boundary_then_resume(
+            self, baseline, drift_problem, degrading_plan, tmp_path):
+        """The tentpole property: for every k, kill after k units,
+        resume, and get the baseline journal and design back bit for
+        bit."""
+        total = baseline["total_units"]
+        assert total >= 10
+        base_run = baseline["run"]
+        base_design = design_allocation(base_run.design)
+        for k in range(1, total):
+            path = tmp_path / f"kill-at-{k}.journal"
+            killed = make_supervisor(drift_problem, path, degrading_plan,
+                                     max_units=k).run()
+            assert not killed.completed, f"kill at k={k} did not stop"
+            assert killed.new_units == k
+
+            resumed = make_supervisor(drift_problem, path,
+                                      degrading_plan).run(resume=True)
+            assert resumed.completed, f"resume after k={k} did not finish"
+            assert resumed.replayed_units == k
+
+            fingerprint = journal_fingerprint(RunJournal.open(path))
+            assert fingerprint == baseline["fingerprint"], (
+                f"resumed journal diverged from the uninterrupted run "
+                f"after a kill at unit {k}")
+            assert design_allocation(resumed.design) == base_design
+            assert (resumed.design.predicted_total_cost
+                    == base_run.design.predicted_total_cost)
+            assert resumed.budget_spent == base_run.budget_spent
+            assert [e.region for e in resumed.events] \
+                == [e.region for e in base_run.events]
+
+    def test_torn_tail_resume_is_equivalent(
+            self, baseline, drift_problem, degrading_plan, tmp_path):
+        """A kill mid-append leaves a torn final line; resume truncates
+        it, re-runs that unit, and still matches the baseline."""
+        path = tmp_path / "torn.journal"
+        make_supervisor(drift_problem, path, degrading_plan,
+                        max_units=7).run()
+        with open(path, "a") as handle:
+            handle.write('{"seq": 99, "kind": "observation", "da')
+        resumed = make_supervisor(drift_problem, path,
+                                  degrading_plan).run(resume=True)
+        assert resumed.completed
+        assert resumed.replayed_units == 7
+        fingerprint = journal_fingerprint(RunJournal.open(path))
+        assert fingerprint == baseline["fingerprint"]
+
+    def test_double_resume_is_idempotent(
+            self, baseline, drift_problem, degrading_plan, tmp_path):
+        """Resuming an already-completed run replays everything and
+        commits nothing new."""
+        path = tmp_path / "complete.journal"
+        run = make_supervisor(drift_problem, path, degrading_plan).run()
+        assert run.completed
+        again = make_supervisor(drift_problem, path,
+                                degrading_plan).run(resume=True)
+        assert again.completed
+        assert again.new_units == 0
+        fingerprint = journal_fingerprint(RunJournal.open(path))
+        assert fingerprint == baseline["fingerprint"]

@@ -1,0 +1,158 @@
+"""Surrogate staleness edges: overwriting drifted knots must not
+loosen any interpolation guard, and a partially recalibrated fit must
+survive the v3 cache round trip checksum-intact."""
+
+import pytest
+
+from repro.calibration import CalibrationCache, CalibrationRunner
+from repro.obs import metrics
+from repro.surrogate import ParameterSurface
+from repro.util.errors import SurrogateError
+from repro.virt.machine import laboratory_machine
+from repro.virt.resources import ResourceVector
+
+from tests.drift.conftest import tiny_workbench
+from tests.drift.test_planner import params
+
+pytestmark = pytest.mark.drift
+
+
+def cpu_surface(uncertainty=None):
+    """3 CPU levels x 1 x 1, with per-knot cpu_tuple_cost spreads."""
+    knots = {}
+    for index, cpu in enumerate((0.25, 0.5, 0.75)):
+        p = params(t_seq=0.001 * (index + 1))
+        knots[(cpu, 0.5, 0.5)] = p
+    return ParameterSurface(knots, uncertainty=uncertainty)
+
+
+class TestWithKnots:
+    def test_overwrite_preserves_monotonicity_clamps(self):
+        """After a refit the blended parameters between knots still sit
+        inside the [min, max] range of the *new* corner values."""
+        surf = cpu_surface()
+        refit = surf.with_knots({(0.25, 0.5, 0.5): params(t_seq=0.01)})
+        query = ResourceVector.of(cpu=0.375, memory=0.5, io=0.5)
+        blended = refit.params_for(query)
+        lo = min(0.01, 0.002)
+        hi = max(0.01, 0.002)
+        assert lo <= blended.seconds_per_seq_page <= hi
+        corners = [refit.knot_params((0.25, 0.5, 0.5)),
+                   refit.knot_params((0.5, 0.5, 0.5))]
+        for name in ("random_page_cost", "cpu_tuple_cost"):
+            observed = [c.as_dict()[name] for c in corners]
+            assert (min(observed) <= blended.as_dict()[name]
+                    <= max(observed))
+
+    def test_overwrite_preserves_hull_guards(self):
+        """Out-of-hull lookups still clamp (never extrapolate) after a
+        boundary knot is overwritten with very different values."""
+        surf = cpu_surface().with_knots(
+            {(0.75, 0.5, 0.5): params(t_seq=0.05)})
+        metrics.reset()
+        outside = ResourceVector.of(cpu=0.95, memory=0.5, io=0.5)
+        clamped = surf.params_for(outside)
+        # Clamped onto the refreshed boundary knot, not extrapolated
+        # beyond it.
+        assert clamped.seconds_per_seq_page == 0.05
+        snapshot = metrics.get_registry().snapshot()["counters"]
+        assert any(entry["name"] == "surrogate.lookups"
+                   and entry["labels"].get("result") == "clamped"
+                   for entry in snapshot)
+
+    def test_off_lattice_overwrite_raises(self):
+        surf = cpu_surface()
+        with pytest.raises(SurrogateError):
+            surf.with_knots({(0.3, 0.5, 0.5): params()})
+
+    def test_overwrite_zeroes_uncertainty(self):
+        surf = cpu_surface(uncertainty={(0.5, 0.5, 0.5): 0.3})
+        assert surf.region_uncertainty((0, 0, 0)) == 0.3
+        refit = surf.with_knots({(0.5, 0.5, 0.5): params()})
+        assert refit.knot_uncertainty((0.5, 0.5, 0.5)) == 0.0
+        # The original surface is untouched (refits return new surfaces).
+        assert surf.knot_uncertainty((0.5, 0.5, 0.5)) == 0.3
+
+
+class TestRegionAddressing:
+    def test_region_of_brackets_and_clamps(self):
+        surf = cpu_surface()
+        at = ResourceVector.of
+        assert surf.region_of(at(cpu=0.3, memory=0.5, io=0.5)) == (0, 0, 0)
+        assert surf.region_of(at(cpu=0.6, memory=0.5, io=0.5)) == (1, 0, 0)
+        # Knots belong to the region they start: cpu=0.5 opens cell 1.
+        assert surf.region_of(at(cpu=0.5, memory=0.5, io=0.5)) == (1, 0, 0)
+        # Out-of-hull queries clamp onto the boundary cells.
+        assert surf.region_of(at(cpu=0.05, memory=0.5, io=0.5)) == (0, 0, 0)
+        assert surf.region_of(at(cpu=0.95, memory=0.5, io=0.5)) == (1, 0, 0)
+
+    def test_region_corners_validates(self):
+        surf = cpu_surface()
+        assert surf.region_corners((0, 0, 0)) == [(0.25, 0.5, 0.5),
+                                                  (0.5, 0.5, 0.5)]
+        with pytest.raises(SurrogateError):
+            surf.region_corners((5, 0, 0))
+
+
+class TestCacheRoundTrip:
+    def _cache(self):
+        return CalibrationCache(CalibrationRunner(
+            laboratory_machine(), workbench=tiny_workbench()))
+
+    def test_v3_round_trip_after_partial_recalibration(self, tmp_path):
+        """save → load → targeted refit → save → load: checksums hold
+        and the refreshed values (and uncertainties) survive."""
+        surf = cpu_surface(uncertainty={(0.75, 0.5, 0.5): 0.2})
+        cache = self._cache()
+        cache.attach_surrogate(surf)
+        first = tmp_path / "fit.json"
+        cache.save(first)
+
+        loaded = self._cache()
+        loaded.load(first)
+        restored = loaded.surrogate
+        assert restored.knot_uncertainty((0.75, 0.5, 0.5)) == 0.2
+        assert restored.has_uncertainty
+
+        # A drift repair overwrites one knot of the *loaded* fit.
+        repaired = restored.with_knots(
+            {(0.75, 0.5, 0.5): params(t_seq=0.02)})
+        loaded.attach_surrogate(repaired)
+        second = tmp_path / "repaired.json"
+        loaded.save(second)
+
+        final = self._cache()
+        final.load(second)
+        surface = final.surrogate
+        assert surface.knot_params((0.75, 0.5, 0.5)).seconds_per_seq_page \
+            == 0.02
+        assert surface.knot_uncertainty((0.75, 0.5, 0.5)) == 0.0
+        # Untouched knots round-trip bit-identically.
+        for knot in ((0.25, 0.5, 0.5), (0.5, 0.5, 0.5)):
+            assert (surface.knot_params(knot).as_dict()
+                    == surf.knot_params(knot).as_dict())
+
+    def test_tampered_surrogate_block_is_detected(self, tmp_path):
+        import json
+
+        cache = self._cache()
+        cache.attach_surrogate(cpu_surface())
+        path = tmp_path / "fit.json"
+        cache.save(path)
+        payload = json.loads(path.read_text())
+        payload["surrogate"]["knots"][0]["parameters"][
+            "cpu_tuple_cost"] = 99.0
+        path.write_text(json.dumps(payload))
+        from repro.util.errors import CalibrationError
+
+        with pytest.raises(CalibrationError):
+            self._cache().load(path)
+
+    def test_zero_uncertainty_serializes_like_legacy_fits(self):
+        """Surfaces without uncertainty keep the pre-drift on-disk
+        shape: no per-knot uncertainty fields at all."""
+        payload = cpu_surface().as_dict()
+        assert all("uncertainty" not in entry
+                   for entry in payload["knots"])
+        restored = ParameterSurface.from_dict(payload)
+        assert not restored.has_uncertainty

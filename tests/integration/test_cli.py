@@ -71,7 +71,7 @@ class TestReport:
         assert main(["report", "--scale", "0.002", "--grid", "4",
                      "--algorithm", "greedy", "--json"]) == 0
         payload = json.loads(capsys.readouterr().out)
-        assert payload["format"] == "repro-run-report/5"
+        assert payload["format"] == "repro-run-report/6"
         assert payload["label"] == "design/greedy"
         assert payload["summary"]["cost_model_evaluations"] > 0
         assert payload["summary"]["calibration_experiments"] > 0
@@ -94,7 +94,7 @@ class TestReport:
                      "--stats-json", str(path)]) == 0
         capsys.readouterr()
         payload = json.loads(path.read_text())
-        assert payload["format"] == "repro-run-report/5"
+        assert payload["format"] == "repro-run-report/6"
         assert payload["summary"]["calibration_experiments"] >= 1
 
 
@@ -145,6 +145,44 @@ class TestJournaledChaosRoundTrip:
         # nothing, and prints the same design again.
         assert main(["resume", str(journal)]) == 0
         assert "Design via greedy" in capsys.readouterr().out
+
+
+@pytest.mark.drift
+class TestMonitor:
+    ARGS = ["--scale", "0.002", "--grid", "3", "--algorithm", "greedy",
+            "--surrogate-budget", "10", "--epochs", "3",
+            "--drift-threshold", "0.05", "--recal-budget", "6",
+            "--host-degrade-rate", "0.5", "--host-degrade-factor", "0.8"]
+
+    def test_monitor_prints_trajectory_and_drift_summary(self, capsys):
+        assert main(["monitor", *self.ARGS]) == 0
+        captured = capsys.readouterr()
+        assert "fault plan 'turbulent'" in captured.err
+        assert "Online trajectory" in captured.out
+        assert "cpu capacity" in captured.out
+        assert "Design via" in captured.out
+        assert "recalibration budget:" in captured.out
+
+    def test_monitor_kill_then_resume_round_trip(self, capsys, tmp_path):
+        journal = tmp_path / "online.journal"
+        assert main(["monitor", *self.ARGS, "--journal", str(journal),
+                     "--max-units", "3"]) == 4
+        assert "resumable with: repro resume" in capsys.readouterr().out
+
+        assert main(["resume", str(journal)]) == 0
+        out = capsys.readouterr().out
+        assert "Online trajectory" in out
+        assert "unit(s) replayed" in out
+
+    def test_design_online_delegates_to_the_loop(self, capsys):
+        assert main(["design", "--online", "--scale", "0.002",
+                     "--grid", "3", "--algorithm", "greedy",
+                     "--surrogate-budget", "10", "--epochs", "2",
+                     "--drift-threshold", "0.05",
+                     "--recal-budget", "6"]) == 0
+        out = capsys.readouterr().out
+        assert "Online trajectory" in out
+        assert "Design via" in out
 
 
 class TestExitCodes:

@@ -1,0 +1,57 @@
+"""Marker hygiene: every pytest marker used in tests/ is registered.
+
+An unregistered marker silently selects nothing with ``-m`` — the CI
+chaos job would skip an entire suite without failing. This audit walks
+the test tree for ``pytest.mark.<name>`` uses and checks each against
+the ``[tool.pytest.ini_options] markers`` list in pyproject.toml.
+"""
+
+import re
+import tomllib
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parents[2]
+
+#: Marks pytest ships with; using them unregistered is fine.
+BUILTIN_MARKS = {
+    "parametrize", "skip", "skipif", "xfail", "filterwarnings",
+    "usefixtures",
+}
+
+_MARK_USE = re.compile(r"pytest\.mark\.([A-Za-z_][A-Za-z0-9_]*)")
+
+
+def registered_markers() -> set:
+    payload = tomllib.loads((REPO / "pyproject.toml").read_text())
+    entries = payload["tool"]["pytest"]["ini_options"]["markers"]
+    return {entry.split(":", 1)[0].strip() for entry in entries}
+
+
+def used_markers() -> dict:
+    """marker name -> list of 'path:line' uses across tests/."""
+    uses = {}
+    for path in sorted((REPO / "tests").rglob("*.py")):
+        for number, line in enumerate(path.read_text().splitlines(), 1):
+            for name in _MARK_USE.findall(line):
+                uses.setdefault(name, []).append(
+                    f"{path.relative_to(REPO)}:{number}")
+    return uses
+
+
+class TestMarkerRegistration:
+    def test_every_used_marker_is_registered(self):
+        registered = registered_markers()
+        unknown = {
+            name: sites for name, sites in used_markers().items()
+            if name not in BUILTIN_MARKS and name not in registered
+        }
+        assert not unknown, (
+            "unregistered pytest markers in the test tree (add them to "
+            f"[tool.pytest.ini_options] markers in pyproject.toml): "
+            f"{unknown}")
+
+    def test_the_selectable_suites_are_in_use(self):
+        """The markers CI selects on must actually mark something."""
+        uses = used_markers()
+        for name in ("chaos", "recovery", "drift"):
+            assert uses.get(name), f"marker {name!r} is registered but unused"
