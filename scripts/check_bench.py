@@ -18,9 +18,14 @@ Two jobs, both CI-facing:
    ``suite: "drift"`` files (``scripts/bench_drift.py``) must carry
    one ``open-loop``, one ``closed-loop``, and one ``oracle`` entry,
    a monotone degradation trajectory, and a ``summary`` consistent
-   with the entries. Any ``BENCH_*.json`` under ``benchmarks/results/``
-   with an unregistered suite fails the run outright — even when
-   explicit paths were given.
+   with the entries. ``suite: "serve"`` files
+   (``scripts/bench_serve.py``) must carry one ``rated`` and one
+   ``overload`` entry whose counts conserve
+   (answered + degraded + rejected = requests), record zero untyped
+   errors and zero deadline violations, shed under the overload burst,
+   and report a bit-identical kill/resume probe. Any ``BENCH_*.json``
+   under ``benchmarks/results/`` with an unregistered suite fails the
+   run outright — even when explicit paths were given.
 2. **Regression gates**: the parallel suite's exhaustive benchmark must
    reach ``--min-speedup`` at 4 workers; the surrogate suite must avoid
    ``--min-calibration-ratio`` times the dense calibrations *and* match
@@ -30,7 +35,10 @@ Two jobs, both CI-facing:
    cost through the reroute loop; the drift suite's closed loop must
    beat the open loop (``closed_loop_gain > 0``, always, with at least
    one alarm and one refit) and land within ``--max-reconvergence-gap``
-   of the full-knowledge oracle.
+   of the full-knowledge oracle; the serve suite's rated session must
+   stay under ``--max-serve-p99`` latency, ``--max-shed-rate``, and
+   ``--max-degraded-fraction`` (its liveness, typed-outcome, and
+   resume-identical requirements are hard checks, not gates).
 
 Every violation across every file is collected and reported — the run
 never stops at the first problem. Exit code 0 when everything holds,
@@ -539,14 +547,172 @@ def summarize_drift(payload: dict) -> str:
             f"{summary['recalibrations']} refit(s)")
 
 
+# -- suite: serve ------------------------------------------------------------
+
+SERVE_ENTRY_FIELDS = {
+    "name": str,
+    "requests": int,
+    "rate": (int, float),
+    "answered": int,
+    "degraded": int,
+    "rejected": int,
+    "shed": int,
+    "shed_rate": (int, float),
+    "degraded_fraction": (int, float),
+    "p50_seconds": (int, float),
+    "p99_seconds": (int, float),
+    "deadline_violations": int,
+    "untyped_errors": int,
+    "design_commits": int,
+    "breaker_trips": int,
+    "wall_seconds": (int, float),
+}
+
+
+def check_serve(payload: dict, max_p99: float, max_shed: float,
+                max_degraded: float) -> list:
+    problems = []
+    for field in ("scenario", "plan", "trace_seed", "requests",
+                  "algorithm", "grid", "surrogate_budget", "summary"):
+        if field not in payload:
+            problems.append(f"top level missing field {field!r}")
+    by_name = {}
+    for i, entry in enumerate(payload["entries"]):
+        if not isinstance(entry, dict):
+            problems.append(f"entries[{i}] is not an object")
+            continue
+        prefix = f"entries[{i}]"
+        problems.extend(check_fields(prefix, entry, SERVE_ENTRY_FIELDS))
+        extra = set(entry) - set(SERVE_ENTRY_FIELDS)
+        if extra:
+            problems.append(f"{prefix} has unknown fields {sorted(extra)}")
+        if isinstance(entry.get("name"), str):
+            by_name.setdefault(entry["name"], []).append(entry)
+    for name in ("rated", "overload"):
+        if len(by_name.get(name, [])) != 1:
+            problems.append(
+                f"suite needs exactly one {name!r} entry, found "
+                f"{len(by_name.get(name, []))}")
+    if problems:
+        return problems
+
+    for name in ("rated", "overload"):
+        entry = by_name[name][0]
+        prefix = f"entry {name!r}"
+        served = entry["answered"] + entry["degraded"]
+        # The liveness contract, as recorded data: every request got a
+        # typed outcome, nothing was silently dropped, nothing blew its
+        # deadline, and something was actually served.
+        if served + entry["rejected"] != entry["requests"]:
+            problems.append(
+                f"{prefix}: answered+degraded+rejected = "
+                f"{served + entry['rejected']}, not the {entry['requests']} "
+                f"requests offered — responses were dropped or "
+                f"double-counted")
+        if entry["untyped_errors"] != 0:
+            problems.append(
+                f"{prefix}: {entry['untyped_errors']} rejection(s) without "
+                f"a typed error/reason — the typed-outcome contract "
+                f"regressed")
+        if entry["deadline_violations"] != 0:
+            problems.append(
+                f"{prefix}: {entry['deadline_violations']} response(s) "
+                f"completed after their deadline — the deadline contract "
+                f"regressed")
+        if entry["answered"] < 1:
+            problems.append(f"{prefix}: nothing was answered")
+        if entry["shed"] > entry["rejected"]:
+            problems.append(f"{prefix}: shed exceeds rejected")
+        if entry["wall_seconds"] <= 0:
+            problems.append(f"{prefix}.wall_seconds must be positive")
+        if entry["p50_seconds"] > entry["p99_seconds"] + 1e-9:
+            problems.append(f"{prefix}: p50 exceeds p99")
+        for field, count in (("shed_rate", entry["shed"]),):
+            expected = count / entry["requests"]
+            if abs(entry[field] - expected) > 1e-4:
+                problems.append(
+                    f"{prefix}.{field} is {entry[field]} but the counts "
+                    f"give {expected:.6f}")
+        if served:
+            expected = entry["degraded"] / served
+            if abs(entry["degraded_fraction"] - expected) > 1e-4:
+                problems.append(
+                    f"{prefix}.degraded_fraction is "
+                    f"{entry['degraded_fraction']} but the counts give "
+                    f"{expected:.6f}")
+    rated = by_name["rated"][0]
+    overload = by_name["overload"][0]
+    summary = payload["summary"]
+    if not isinstance(summary, dict):
+        return ["summary is not an object"]
+    problems.extend(check_fields("summary", summary, {
+        "p99_seconds": (int, float),
+        "shed_rate": (int, float),
+        "degraded_fraction": (int, float),
+        "overload_shed_rate": (int, float),
+        "resume_identical": bool,
+        "resume_kill_after": int,
+    }))
+    if problems:
+        return problems
+
+    for key, value in (("p99_seconds", rated["p99_seconds"]),
+                       ("shed_rate", rated["shed_rate"]),
+                       ("degraded_fraction", rated["degraded_fraction"]),
+                       ("overload_shed_rate", overload["shed_rate"])):
+        if abs(summary[key] - value) > 1e-9:
+            problems.append(
+                f"summary.{key} is {summary[key]} but the entries give "
+                f"{value}")
+    # Hard checks: admission control must engage under the burst, and
+    # the kill/resume probe must reproduce the uninterrupted session.
+    if overload["shed_rate"] <= 0:
+        problems.append(
+            "the overload session shed nothing — admission control never "
+            "engaged under a 10x burst")
+    if not summary["resume_identical"]:
+        problems.append(
+            "the resumed session diverged from the uninterrupted one — "
+            "crash recovery regressed")
+    if summary["resume_kill_after"] < 1:
+        problems.append("summary.resume_kill_after must be >= 1")
+    # Tunable gates, all on the rated session.
+    if rated["p99_seconds"] > max_p99:
+        problems.append(
+            f"rated p99 latency {rated['p99_seconds']:.3f}s is above the "
+            f"{max_p99:.3f}s gate — serving latency regressed")
+    if rated["shed_rate"] > max_shed:
+        problems.append(
+            f"rated shed rate {rated['shed_rate']:.1%} is above the "
+            f"{max_shed:.1%} gate — the service sheds at its rated load")
+    if rated["degraded_fraction"] > max_degraded:
+        problems.append(
+            f"rated degraded fraction {rated['degraded_fraction']:.1%} is "
+            f"above the {max_degraded:.1%} gate — answer quality regressed")
+    return problems
+
+
+def summarize_serve(payload: dict) -> str:
+    summary = payload["summary"]
+    return (f"rated p99 {summary['p99_seconds'] * 1e3:.1f} ms, shed "
+            f"{summary['shed_rate']:.1%} rated / "
+            f"{summary['overload_shed_rate']:.1%} overloaded, resume "
+            f"identical: {summary['resume_identical']}")
+
+
 # -- driver ------------------------------------------------------------------
 
+#: suite -> (checker, summarizer, gate keys). Checkers are called as
+#: ``checker(payload, *gates)`` with gate values in the declared order.
 SUITES = {
-    "parallel-speedup": (check_parallel, summarize_parallel, "min_speedup"),
+    "parallel-speedup": (check_parallel, summarize_parallel,
+                         ("min_speedup",)),
     "surrogate": (check_surrogate, summarize_surrogate,
-                  "min_calibration_ratio"),
-    "fleet": (check_fleet, summarize_fleet, "min_reassignment_gain"),
-    "drift": (check_drift, summarize_drift, "max_reconvergence_gap"),
+                  ("min_calibration_ratio",)),
+    "fleet": (check_fleet, summarize_fleet, ("min_reassignment_gain",)),
+    "drift": (check_drift, summarize_drift, ("max_reconvergence_gap",)),
+    "serve": (check_serve, summarize_serve,
+              ("max_serve_p99", "max_shed_rate", "max_degraded_fraction")),
 }
 
 
@@ -596,8 +762,8 @@ def check_file(path: pathlib.Path, gates: dict) -> tuple:
     if suite not in SUITES:
         return ([f"unknown suite {suite!r} (expected one of "
                  f"{sorted(SUITES)})"], None)
-    checker, summarizer, gate_key = SUITES[suite]
-    problems = checker(payload, gates[gate_key])
+    checker, summarizer, gate_keys = SUITES[suite]
+    problems = checker(payload, *(gates[key] for key in gate_keys))
     if problems:
         return (problems, None)
     return ([], f"suite {suite}: {summarizer(payload)}")
@@ -622,6 +788,15 @@ def main(argv=None) -> int:
                         help="gate: how far above the full-knowledge "
                              "oracle the drift suite's closed loop may "
                              "land (default 0.25)")
+    parser.add_argument("--max-serve-p99", type=float, default=2.0,
+                        help="gate: ceiling on the serve suite's rated "
+                             "p99 latency, simulated seconds (default 2.0)")
+    parser.add_argument("--max-shed-rate", type=float, default=0.05,
+                        help="gate: ceiling on the serve suite's shed "
+                             "rate at its rated load (default 0.05)")
+    parser.add_argument("--max-degraded-fraction", type=float, default=0.10,
+                        help="gate: ceiling on the serve suite's degraded "
+                             "fraction at its rated load (default 0.10)")
     args = parser.parse_args(argv)
 
     if args.paths:
@@ -636,7 +811,10 @@ def main(argv=None) -> int:
     gates = {"min_speedup": args.min_speedup,
              "min_calibration_ratio": args.min_calibration_ratio,
              "min_reassignment_gain": args.min_reassignment_gain,
-             "max_reconvergence_gap": args.max_reconvergence_gap}
+             "max_reconvergence_gap": args.max_reconvergence_gap,
+             "max_serve_p99": args.max_serve_p99,
+             "max_shed_rate": args.max_shed_rate,
+             "max_degraded_fraction": args.max_degraded_fraction}
     all_problems = []
     for path in paths:
         problems, ok = check_file(path, gates)

@@ -37,12 +37,16 @@ propagating:
 3. **PostgreSQL defaults** — with an empty cache, the uncalibrated
    :meth:`OptimizerParameters.defaults` keep the pipeline alive.
 
-Every degradation is recorded: a :class:`FallbackEvent` is appended to
-:attr:`CalibrationCache.fallback_log` and the ``resilience.fallbacks``
-counter (labelled ``kind=nearest|default``) is incremented. Fallback
-parameters are remembered separately from calibrated ones, so they are
-never persisted by :meth:`CalibrationCache.save` or used as
-interpolation corners.
+Every tier the chain exercises is recorded: a :class:`FallbackEvent`
+is appended to :attr:`CalibrationCache.fallback_log` and the
+``resilience.fallbacks`` counter (labelled ``kind=retry|nearest|
+default``) is incremented — ``retry`` when a whole-experiment retry
+rescued the lookup (the answer is still a real calibration),
+``nearest``/``default`` when the experiment died for good. Resilience
+report sections render one row per tier, so a run's degradation mix is
+visible at a glance. Fallback parameters are remembered separately
+from calibrated ones, so they are never persisted by
+:meth:`CalibrationCache.save` or used as interpolation corners.
 
 Observability
 -------------
@@ -89,6 +93,7 @@ class FallbackEvent:
     """One recorded degradation of a ``P(R)`` lookup."""
 
     allocation: Tuple[float, float, float]
+    #: ``"retry"`` (a whole-experiment retry rescued the lookup),
     #: ``"nearest"`` (served by another calibrated point) or
     #: ``"default"`` (served by uncalibrated defaults).
     kind: str
@@ -200,12 +205,24 @@ class CalibrationCache:
         last_error: Optional[CalibrationError] = None
         for attempt in range(1, self._max_experiment_attempts + 1):
             try:
-                return self._runner.parameters_for(allocation)
+                params = self._runner.parameters_for(allocation)
             except CalibrationError as error:
                 last_error = error
                 if attempt < self._max_experiment_attempts:
                     metrics.counter("resilience.retries",
                                     site="experiment").inc()
+                continue
+            if attempt > 1:
+                # The first tier of the fallback chain rescued this
+                # lookup: account it like the other tiers so resilience
+                # reports show how often each tier fired.
+                metrics.counter("resilience.fallbacks", kind="retry").inc()
+                self.fallback_log.append(FallbackEvent(
+                    allocation=_key(allocation), kind="retry", source=None,
+                    reason=f"experiment succeeded on attempt {attempt}: "
+                           f"{last_error}",
+                ))
+            return params
         assert last_error is not None
         raise last_error
 

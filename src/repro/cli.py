@@ -17,6 +17,8 @@ Exposes the library's main flows without writing Python::
     python -m repro monitor --plan turbulent --epochs 8 \
         --drift-threshold 0.15 --recal-budget 12 --journal online.journal
     python -m repro design --online --epochs 6
+    python -m repro serve --plan flaky --requests 120 --rate 40 \
+        --journal serve.journal
 
 ``chaos`` runs the paper's design problem with a fault injector active
 (see ``docs/robustness.md``) and prints the design next to a resilience
@@ -56,6 +58,17 @@ warm-starts from the incumbent allocation instead of restarting cold
 event, recalibration and redesign checkpoints, and ``resume``
 continues a killed online run bit-identically. ``design --online`` is
 the same loop under the default ``turbulent`` plan.
+
+``serve`` runs one deterministic session of the always-on design
+service: after a continuous-mode boot fit it drives a seeded open-loop
+request trace (concurrent what-ifs batched into single ``cost_many``
+calls, a design request every ``--design-every``-th arrival) through
+admission control (bounded queue, per-tenant token buckets), deadlines,
+and the degradation ladder (fresh search → warm-start → serve-stale →
+typed refusal), with a circuit breaker around the fault-injected
+calibration path (see ``docs/serve.md``). With ``--journal`` every
+calibration, knot refresh and committed incumbent checkpoints, and
+``resume`` continues a killed session bit-identically.
 
 ``fleet`` scales the design problem from one box to a synthetic
 datacenter: it clusters workloads by cost-curve shape, assigns
@@ -101,6 +114,7 @@ from repro.util.errors import (
     AllocationError,
     CalibrationError,
     RecoveryError,
+    ServeError,
 )
 from repro.util.tables import format_table
 from repro.virt.machine import laboratory_machine
@@ -582,6 +596,129 @@ def _resume_drift(args, meta) -> int:
     return _run_online(plan, problem, args, resume=True)
 
 
+def _print_serve_session(run, plan: FaultPlan) -> None:
+    """Print the serving-session outcome tables."""
+    stats = run.stats
+    rows = [
+        ["requests", f"{stats.requests}"],
+        ["answered", f"{stats.answered}"],
+        ["degraded answers", f"{stats.degraded} "
+                             f"({stats.degraded_fraction:.1%} of served)"],
+        ["typed rejections", f"{stats.rejected}"],
+        ["shed (overload + quota)", f"{stats.shed} "
+                                    f"({stats.shed_rate:.1%} of offered)"],
+        ["p50 latency", f"{stats.p50_seconds * 1000:.1f} ms"],
+        ["p99 latency", f"{stats.p99_seconds * 1000:.1f} ms"],
+        ["designs committed", f"{run.design_seq}"],
+        ["breaker trips", f"{run.breaker_trips}"],
+    ]
+    print(format_table(["measure", "value"], rows,
+                       title=f"Serving session — fault plan {plan.name!r}"))
+    tier_rows = [[tier, f"{count}"]
+                 for tier, count in sorted(stats.by_tier.items())]
+    if tier_rows:
+        print()
+        print(format_table(["tier", "served"], tier_rows,
+                           title="Degradation ladder"))
+    reason_rows = [[reason, f"{count}"]
+                   for reason, count in sorted(stats.by_reason.items())]
+    if reason_rows:
+        print()
+        print(format_table(["reason", "rejected"], reason_rows,
+                           title="Typed rejections"))
+
+
+def _run_serve(plan: FaultPlan, problem, args, resume: bool,
+               scenario=None, config=None) -> int:
+    """Drive a journaled serving session or its resume."""
+    from repro.serve import ServeConfig, ServeScenario, ServeSupervisor
+
+    if scenario is None:
+        scenario = ServeScenario(
+            seed=args.trace_seed, requests=args.requests, rate=args.rate,
+            tenants=args.tenants, design_every=args.design_every)
+    if config is None:
+        config = ServeConfig(
+            max_queue=args.max_queue, max_batch=args.max_batch,
+            quota_capacity=args.quota_capacity,
+            quota_refill_rate=args.quota_refill)
+    supervisor = ServeSupervisor(
+        problem, args.journal, plan=plan,
+        scenario=scenario, config=config,
+        algorithm=args.algorithm, grid=args.grid,
+        fine_factor=args.fine_factor,
+        surrogate_tol=args.surrogate_tol,
+        surrogate_budget=args.surrogate_budget,
+        max_units=args.max_units,
+        extra_meta={"scale": args.scale},
+        workers=args.workers, pool=args.pool)
+    run = supervisor.run(resume=resume)
+    if not run.completed:
+        print(f"Serving session stopped after {run.new_units} new unit(s) "
+              f"({run.replayed_units} replayed); journal {args.journal} "
+              f"is resumable with: repro resume {args.journal}")
+        return 4
+    _print_serve_session(run, plan)
+    print()
+    print(run.design.summary())
+    print()
+    print(f"Journal: {run.replayed_units} unit(s) replayed, "
+          f"{run.new_units} freshly committed -> {args.journal}")
+    _print_chaos_outcome(plan, supervisor.cache)
+    return 0
+
+
+def cmd_serve(args) -> int:
+    """Run one deterministic session of the always-on design service."""
+    obs.reset()
+    plan = _chaos_plan(args)
+    print(f"Serving a {args.requests}-request open-loop trace at "
+          f"{args.rate:g} req/s ({args.tenants} tenant(s), a design "
+          f"request every {args.design_every}) under fault plan "
+          f"{plan.name!r} ...", file=sys.stderr)
+    problem = _chaos_problem(args.scale)
+    if args.journal:
+        return _run_serve(plan, problem, args, resume=False)
+    # No journal requested: the service still checkpoints (the
+    # supervisor is journal-driven), just into a throwaway file.
+    with tempfile.TemporaryDirectory(prefix="repro-serve-") as scratch:
+        args.journal = os.path.join(scratch, "serve.journal")
+        return _run_serve(plan, problem, args, resume=False)
+
+
+def _resume_serve(args, meta) -> int:
+    """Resume a killed serving session purely from its journal meta."""
+    from repro.serve import ServeConfig, ServeScenario
+
+    plan_fields = dict(meta.get("plan") or {})
+    if not plan_fields:
+        raise RecoveryError(
+            f"journal {args.journal} carries no fault plan in its header")
+    plan = FaultPlan(**plan_fields)
+    scenario = ServeScenario.from_dict(dict(meta["scenario"]))
+    config = ServeConfig.from_dict(dict(meta["config"]))
+    resources = tuple(ResourceKind(token)
+                      for token in meta.get("controlled", ["cpu"]))
+    args.scale = float(meta.get("scale", 0.002))
+    args.requests = scenario.requests
+    args.rate = scenario.rate
+    args.tenants = scenario.tenants
+    args.design_every = scenario.design_every
+    args.algorithm = meta.get("algorithm", "greedy")
+    args.grid = int(meta.get("grid", 4))
+    args.fine_factor = int(meta.get("fine_factor", 8))
+    args.surrogate_tol = float(meta.get("surrogate_tol", 0.05))
+    args.surrogate_budget = meta.get("surrogate_budget", 24)
+    if args.workers is None and meta.get("workers") is not None:
+        args.workers = int(meta["workers"])
+    problem = _chaos_problem(args.scale, resources=resources)
+    print(f"Resuming serve journal {args.journal} (plan {plan.name!r}, "
+          f"{scenario.requests} request(s) at {scenario.rate:g} req/s) "
+          f"...", file=sys.stderr)
+    return _run_serve(plan, problem, args, resume=True,
+                      scenario=scenario, config=config)
+
+
 def _print_fleet_design(design, baseline_cost=None) -> None:
     summary = design.summary()
     status = ("converged" if summary["converged"]
@@ -692,7 +829,7 @@ def _resume_fleet(args, meta) -> int:
 
 
 def cmd_resume(args) -> int:
-    """Resume a killed chaos, fleet, or online (drift) run."""
+    """Resume a killed chaos, fleet, online (drift), or serve run."""
     from repro.recovery import read_journal
 
     obs.reset()
@@ -701,6 +838,8 @@ def cmd_resume(args) -> int:
         return _resume_fleet(args, meta)
     if meta.get("run_kind") == "drift":
         return _resume_drift(args, meta)
+    if meta.get("run_kind") == "serve":
+        return _resume_serve(args, meta)
     plan_fields = dict(meta.get("plan") or {})
     if not plan_fields:
         raise RecoveryError(
@@ -983,6 +1122,69 @@ def build_parser() -> argparse.ArgumentParser:
                               "units (journaled runs only)")
     monitor.set_defaults(func=cmd_monitor)
 
+    serve = subparsers.add_parser(
+        "serve", parents=[stats_parent, parallel_parent],
+        help="run the always-on design service: admission control, "
+             "deadlines, graceful degradation over a seeded request trace",
+        epilog="Documentation: docs/serve.md")
+    serve.add_argument("--plan", default="flaky",
+                       choices=sorted(NAMED_PLANS),
+                       help="named fault plan hitting the calibration "
+                            "backend (default flaky)")
+    serve.add_argument("--transient-rate", type=float, default=None,
+                       help="override the plan's transient failure rate")
+    serve.add_argument("--seed", type=int, default=None,
+                       help="override the plan's fault seed")
+    serve.add_argument("--trace-seed", type=int, default=7,
+                       help="request-trace seed (default 7)")
+    serve.add_argument("--requests", type=int, default=120, metavar="N",
+                       help="requests in the open-loop trace (default 120)")
+    serve.add_argument("--rate", type=float, default=40.0,
+                       help="mean offered load, requests per simulated "
+                            "second (default 40)")
+    serve.add_argument("--tenants", type=int, default=4,
+                       help="distinct tenants, Zipf-skewed (default 4)")
+    serve.add_argument("--design-every", type=int, default=25, metavar="N",
+                       help="every N-th request is a design request "
+                            "(default 25)")
+    serve.add_argument("--max-queue", type=int, default=32,
+                       help="bounded request queue depth; beyond it "
+                            "requests shed with Overloaded (default 32)")
+    serve.add_argument("--max-batch", type=int, default=16,
+                       help="max requests merged per batch (default 16)")
+    serve.add_argument("--quota-capacity", type=float, default=8.0,
+                       help="per-tenant token-bucket capacity (default 8)")
+    serve.add_argument("--quota-refill", type=float, default=4.0,
+                       help="per-tenant token refill rate per simulated "
+                            "second (default 4)")
+    serve.add_argument("--scale", type=float, default=0.002,
+                       help="TPC-H scale factor (default 0.002)")
+    serve.add_argument("--grid", type=int, default=4,
+                       help="search discretization (default 4)")
+    serve.add_argument("--algorithm", default="greedy",
+                       choices=["exhaustive", "greedy",
+                                "dynamic-programming"])
+    serve.add_argument("--fine-factor", type=int, default=8, metavar="F",
+                       help="continuous-search resolution multiplier "
+                            "(default 8)")
+    serve.add_argument("--surrogate-tol", type=float, default=0.05,
+                       metavar="TOL",
+                       help="surrogate refinement tolerance for the boot "
+                            "fit (default 0.05)")
+    serve.add_argument("--surrogate-budget", type=int, default=24,
+                       metavar="N",
+                       help="calibration-request budget for the boot fit "
+                            "(default 24)")
+    serve.add_argument("--journal", default=None, metavar="PATH",
+                       help="checkpoint every calibration, knot refresh "
+                            "and committed incumbent to a journal at PATH "
+                            "(the session becomes crash-recoverable; see "
+                            "'repro resume')")
+    serve.add_argument("--max-units", type=int, default=None,
+                       help="simulate a crash after N newly journaled "
+                            "units (journaled runs only)")
+    serve.set_defaults(func=cmd_serve)
+
     fleet = subparsers.add_parser(
         "fleet", parents=[stats_parent, parallel_parent],
         help="place a synthetic fleet: cluster workloads, tune every "
@@ -1021,14 +1223,16 @@ def build_parser() -> argparse.ArgumentParser:
 
     resume = subparsers.add_parser(
         "resume", parents=[stats_parent, parallel_parent],
-        help="resume a killed journaled chaos, fleet, or online run, "
-             "bit-identically",
+        help="resume a killed journaled chaos, fleet, online, or serve "
+             "run, bit-identically",
         epilog="Documentation: docs/robustness.md (chaos runs), "
-               "docs/fleet.md (fleet runs), docs/drift.md (online runs)")
+               "docs/fleet.md (fleet runs), docs/drift.md (online runs), "
+               "docs/serve.md (serving sessions)")
     resume.add_argument("journal", help="journal file written by "
                                         "'repro chaos --journal', "
-                                        "'repro fleet --journal', or "
-                                        "'repro monitor --journal'")
+                                        "'repro fleet --journal', "
+                                        "'repro monitor --journal', or "
+                                        "'repro serve --journal'")
     resume.add_argument("--max-units", type=int, default=None,
                         help="simulate another crash after N new units")
     resume.set_defaults(func=cmd_resume)
@@ -1044,7 +1248,7 @@ def main(argv: Optional[List[str]] = None) -> int:
 
     * ``0`` — success;
     * ``2`` — usage error (argparse's own convention, plus invalid
-      allocations or admission refusals);
+      allocations, admission refusals, or serve-scenario misuse);
     * ``3`` — permanent failure (``CalibrationError``, including
       ``IllConditionedError``, or an unusable recovery journal);
     * ``4`` — a budgeted search stopped early, or a journaled run was
@@ -1053,7 +1257,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     try:
         code = args.func(args)
-    except (AllocationError, AdmissionError) as error:
+    except (AllocationError, AdmissionError, ServeError) as error:
         print(f"error: {error}", file=sys.stderr)
         return 2
     except (CalibrationError, RecoveryError) as error:

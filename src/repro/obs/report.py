@@ -65,6 +65,15 @@ Headline keys
 ``drift_regions_refit``        drifted surrogate regions actually repaired
 ``drift_redesigns``            warm-started re-designs after a repair
 ``drift_budget_remaining``     recalibration requests left when captured
+``serve_requests``             requests offered to the design service
+``serve_answered``             requests answered at full fidelity
+``serve_degraded``             requests answered by a degraded ladder tier
+``serve_rejected``             typed rejections (sheds, refusals, errors)
+``serve_shed``                 overload + quota sheds (subset of rejected)
+``serve_batches``              what-if batches drained by the daemon
+``serve_redesigns``            incremental re-designs committed
+``serve_breaker_trips``        circuit-breaker trips on the calibration path
+``serve_p95_seconds``          p95 served latency, simulated seconds
 =============================  ==============================================
 
 The five resilience keys (``faults_injected`` … ``budget_stops``) were
@@ -76,9 +85,12 @@ the calibration surrogate and continuous-allocation search; the five
 fleet keys (backed by the ``fleet.*`` counters) arrived in format 5
 with the fleet placement layer; the seven drift keys (backed by the
 ``drift.*`` counters and the ``drift.budget_remaining`` gauge) arrived
-in format 6 with the drift-aware online loop. See
-``docs/robustness.md``, ``docs/surrogate.md``, ``docs/fleet.md``, and
-``docs/drift.md`` for the metric names behind them.
+in format 6 with the drift-aware online loop; the nine serve keys
+(backed by the ``serve.*`` counters and the ``serve.latency_seconds``
+histogram) arrived in format 7 with the always-on design service. See
+``docs/robustness.md``, ``docs/surrogate.md``, ``docs/fleet.md``,
+``docs/drift.md``, and ``docs/serve.md`` for the metric names behind
+them.
 
 Usage
 -----
@@ -106,7 +118,7 @@ from repro.obs.spans import SpanRecorder, get_recorder
 from repro.util.errors import ObservabilityError
 from repro.util.tables import format_table
 
-FORMAT = "repro-run-report/6"
+FORMAT = "repro-run-report/7"
 
 
 def _counter_totals(snapshot: dict, name: str) -> float:
@@ -118,6 +130,14 @@ def _gauge_value(snapshot: dict, name: str) -> Optional[float]:
     values = [entry["value"] for entry in snapshot.get("gauges", ())
               if entry["name"] == name]
     return values[-1] if values else None
+
+
+def _histogram_p95(snapshot: dict, name: str) -> float:
+    """Worst p95 across a histogram's label sets (0 when unobserved)."""
+    values = [entry.get("p95", 0.0)
+              for entry in snapshot.get("histograms", ())
+              if entry["name"] == name and entry.get("count", 0)]
+    return max(values) if values else 0.0
 
 
 def _by_label(snapshot: dict, name: str, label: str) -> Dict[str, float]:
@@ -198,6 +218,17 @@ def summarize(snapshot: dict, span_aggregate: Dict[str, dict],
         "drift_redesigns": _counter_totals(snapshot, "drift.redesigns"),
         "drift_budget_remaining": _gauge_value(
             snapshot, "drift.budget_remaining") or 0.0,
+        "serve_requests": _counter_totals(snapshot, "serve.requests"),
+        "serve_answered": _counter_totals(snapshot, "serve.answered"),
+        "serve_degraded": _counter_totals(snapshot, "serve.degraded"),
+        "serve_rejected": _counter_totals(snapshot, "serve.rejected"),
+        "serve_shed": _counter_totals(snapshot, "serve.shed"),
+        "serve_batches": _counter_totals(snapshot, "serve.batches"),
+        "serve_redesigns": _counter_totals(snapshot, "serve.redesigns"),
+        "serve_breaker_trips": _by_label(
+            snapshot, "serve.breaker", "event").get("trip", 0.0),
+        "serve_p95_seconds": _histogram_p95(
+            snapshot, "serve.latency_seconds"),
     }
 
 
@@ -371,6 +402,37 @@ class RunReport:
             ]
             sections.append(format_table(
                 ["measure", "value"], rows, title="Drift",
+            ))
+
+        if summary.get("serve_requests", 0):
+            tiers = _by_label(self.metrics, "serve.answered", "tier")
+            for tier, count in _by_label(self.metrics, "serve.degraded",
+                                         "tier").items():
+                tiers[tier] = tiers.get(tier, 0.0) + count
+            reasons = _by_label(self.metrics, "serve.rejected", "reason")
+            rows = [
+                ["requests (answered / degraded / rejected)",
+                 f"{summary.get('serve_requests', 0):.0f} "
+                 f"({summary.get('serve_answered', 0):.0f} / "
+                 f"{summary.get('serve_degraded', 0):.0f} / "
+                 f"{summary.get('serve_rejected', 0):.0f})"],
+                ["shed (overload + quota)",
+                 f"{summary.get('serve_shed', 0):.0f}"],
+                ["what-if batches drained",
+                 f"{summary.get('serve_batches', 0):.0f}"],
+                ["incremental re-designs",
+                 f"{summary.get('serve_redesigns', 0):.0f}"],
+                ["breaker trips",
+                 f"{summary.get('serve_breaker_trips', 0):.0f}"],
+                ["p95 served latency (sim s)",
+                 f"{summary.get('serve_p95_seconds', 0):.4g}"],
+            ]
+            rows.extend([[f"served ({tier})", f"{count:.0f}"]
+                         for tier, count in sorted(tiers.items())])
+            rows.extend([[f"rejected ({reason})", f"{count:.0f}"]
+                         for reason, count in sorted(reasons.items())])
+            sections.append(format_table(
+                ["measure", "value"], rows, title="Serve",
             ))
 
         if summary.get("fleet_host_designs", 0):

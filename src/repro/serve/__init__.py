@@ -1,0 +1,56 @@
+"""repro.serve — the always-on design service (``docs/serve.md``).
+
+A long-lived asyncio daemon (``repro serve``) holding warm
+:class:`~repro.surrogate.ParameterSurface` fits, the journal-backed v3
+:class:`~repro.calibration.cache.CalibrationCache`, and workload
+statistics in shared immutable-once-fit state, answering concurrent
+what-if and design requests with:
+
+* admission control and backpressure — bounded queue, per-tenant token
+  buckets, typed ``Overloaded`` sheds, what-if batching through
+  ``CostModel.cost_many``;
+* deadlines and a degradation ladder — fresh search → warm-start from
+  the incumbent → serve-stale from the clamped surrogate → typed
+  refusal, with a circuit breaker around the calibration path;
+* incremental re-design — workload deltas warm-start from the
+  incumbent allocation and reuse every valid cached calibration;
+* crash safety — state journals through ``BudgetedJournal``;
+  kill→restart resumes bit-identically.
+"""
+
+from repro.serve.breaker import CircuitBreaker
+from repro.serve.clock import SimulatedClock
+from repro.serve.daemon import ServeDaemon
+from repro.serve.quota import TenantQuotas, TokenBucket
+from repro.serve.requests import (
+    ANSWERED,
+    DEGRADED,
+    REJECTED,
+    DesignRequest,
+    ServeResponse,
+    WhatIfRequest,
+)
+from repro.serve.service import DesignService, ServeConfig
+from repro.serve.supervisor import ServeRun, ServeSupervisor, SessionStats
+from repro.serve.trace import ServeScenario, generate_trace
+
+__all__ = [
+    "ANSWERED",
+    "DEGRADED",
+    "REJECTED",
+    "CircuitBreaker",
+    "DesignRequest",
+    "DesignService",
+    "ServeConfig",
+    "ServeDaemon",
+    "ServeRun",
+    "ServeScenario",
+    "ServeSupervisor",
+    "ServeResponse",
+    "SessionStats",
+    "SimulatedClock",
+    "TenantQuotas",
+    "TokenBucket",
+    "WhatIfRequest",
+    "generate_trace",
+]

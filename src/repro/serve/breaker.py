@@ -1,0 +1,118 @@
+"""Circuit breaker around the calibration path.
+
+The serve degradation ladder's fresh tier re-measures knots through the
+:class:`~repro.calibration.runner.CalibrationRunner`. Under a hostile
+fault plan those measurements fail in bursts; retrying a dead
+calibration backend on every design request would burn each request's
+deadline budget for nothing. The breaker implements the classic three
+states:
+
+* **closed** — calibrations flow; consecutive *transient-rooted*
+  failures are counted (a permanent :class:`CalibrationError` whose
+  ``__cause__`` is a :class:`~repro.util.errors.MeasurementFault`, i.e.
+  the retry budget was exhausted by transient faults — the PR 2
+  contract makes this answerable from the exception alone). After
+  ``trip_after`` consecutive failures the breaker opens.
+* **open** — calibrations are refused without being attempted; the
+  ladder steps straight down to the warm tier. The cooldown reuses
+  PR 2's :meth:`~repro.faults.RetryPolicy.backoff_seconds` schedule on
+  the *simulated* clock: each successive trip backs off exponentially,
+  capped at the policy's maximum.
+* **half-open** — after the cooldown one probe calibration is allowed
+  through. Success closes the breaker and resets the failure count;
+  failure re-opens it with a longer cooldown.
+
+State transitions are a pure function of the (deterministic) failure
+sequence and the simulated clock, so breaker behaviour replays
+bit-identically on resume.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.faults import RetryPolicy
+from repro.obs import metrics
+
+#: Consecutive transient-rooted failures before the breaker opens.
+DEFAULT_TRIP_AFTER = 3
+
+
+class CircuitBreaker:
+    """Trip-after-N / exponential-cooldown / single-probe breaker."""
+
+    CLOSED = "closed"
+    OPEN = "open"
+    HALF_OPEN = "half-open"
+
+    def __init__(self, trip_after: int = DEFAULT_TRIP_AFTER,
+                 retry_policy: Optional[RetryPolicy] = None):
+        self._trip_after = max(1, int(trip_after))
+        self._policy = retry_policy or RetryPolicy.resilient()
+        self._failures = 0          # consecutive, while closed/half-open
+        self._trips = 0             # total trips (drives the cooldown)
+        self._opened_at: Optional[float] = None
+        self._probing = False
+
+    @property
+    def trips(self) -> int:
+        return self._trips
+
+    def state(self, now: float) -> str:
+        if self._opened_at is None:
+            return self.CLOSED
+        if now - self._opened_at >= self._cooldown():
+            return self.HALF_OPEN
+        return self.OPEN
+
+    def _cooldown(self) -> float:
+        # Trip n maps to the retry policy's n-th backoff step: 0.1s,
+        # 0.2s, 0.4s, ... capped at max_backoff_seconds.
+        return self._policy.backoff_seconds(self._trips)
+
+    def allow(self, now: float) -> bool:
+        """May a calibration be attempted at *now*?
+
+        In the half-open state only one probe is allowed until its
+        outcome is recorded; concurrent requests during the probe are
+        refused (they degrade to the warm tier).
+        """
+        state = self.state(now)
+        if state == self.CLOSED:
+            return True
+        if state == self.HALF_OPEN and not self._probing:
+            self._probing = True
+            metrics.counter("serve.breaker", event="probe").inc()
+            return True
+        return False
+
+    def record_success(self) -> None:
+        """A calibration (or the half-open probe) succeeded."""
+        if self._opened_at is not None:
+            metrics.counter("serve.breaker", event="close").inc()
+        self._failures = 0
+        self._opened_at = None
+        self._probing = False
+
+    def record_failure(self, now: float, transient: bool) -> None:
+        """A calibration failed; *transient* per the PR 2 contract.
+
+        Permanent failures (ill-conditioned systems, degenerate
+        allocations) do not indicate a sick backend and never trip the
+        breaker — only transient-rooted exhaustion does.
+        """
+        if not transient:
+            return
+        if self._probing:
+            # Failed probe: re-open with a longer cooldown.
+            self._probing = False
+            self._trips += 1
+            self._opened_at = now
+            metrics.counter("serve.breaker", event="trip").inc()
+            return
+        self._failures += 1
+        if self._opened_at is None and self._failures >= self._trip_after:
+            self._trips += 1
+            self._opened_at = now
+            self._failures = 0
+            metrics.counter("serve.breaker", event="trip").inc()

@@ -1,0 +1,45 @@
+"""The service's simulated clock.
+
+Every latency, deadline, quota refill, and circuit-breaker cooldown in
+:mod:`repro.serve` is measured on a :class:`SimulatedClock` — the same
+discrete-time convention as PR 2's :class:`~repro.faults.RetryPolicy`
+backoff (``robust_seconds`` adds simulated backoff sleeps instead of
+calling ``time.sleep``). The daemon is a discrete-event simulation:
+processing a batch *advances* the clock by the work it charged, and an
+idle service jumps straight to the next arrival. Nothing in the serve
+path reads the wall clock, which is what makes an entire serving
+session — admission decisions, shed requests, deadline refusals,
+breaker trips — a pure function of the trace and the fault plan, and
+therefore bit-identically replayable after a kill→restart.
+"""
+
+from __future__ import annotations
+
+from repro.util.errors import ServeError
+
+
+class SimulatedClock:
+    """A monotonically advancing simulated time, in seconds."""
+
+    __slots__ = ("_now",)
+
+    def __init__(self, start: float = 0.0):
+        self._now = float(start)
+
+    @property
+    def now(self) -> float:
+        """Current simulated time in seconds since session start."""
+        return self._now
+
+    def advance(self, seconds: float) -> float:
+        """Advance by *seconds* (>= 0); returns the new time."""
+        if seconds < 0:
+            raise ServeError(f"cannot advance the clock by {seconds}s")
+        self._now += seconds
+        return self._now
+
+    def advance_to(self, timestamp: float) -> float:
+        """Jump forward to *timestamp*; no-op when already past it."""
+        if timestamp > self._now:
+            self._now = timestamp
+        return self._now

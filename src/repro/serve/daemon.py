@@ -1,0 +1,167 @@
+"""The asyncio daemon: bounded queue, admission control, batcher.
+
+:class:`ServeDaemon` wraps a :class:`~repro.serve.service.DesignService`
+with the concurrency shell of a long-lived server:
+
+* :meth:`submit` — the live API: concurrent client coroutines submit
+  requests; admission control (bounded queue → typed ``Overloaded``,
+  per-tenant token bucket → ``QuotaExceeded``, dead-on-arrival deadline
+  → ``DeadlineExceeded``) answers sheds *immediately*, everything else
+  parks on a future until the batcher resolves it.
+* :meth:`serve_batches` — the batcher task: drains up to
+  ``max_batch`` queued requests per round and hands them to
+  :meth:`~repro.serve.service.DesignService.process_batch` (what-ifs
+  merge into one ``cost_many`` call there).
+* :meth:`run_trace` — the deterministic open-loop driver used by the
+  supervisor, the CLI, and the benchmark: injects a
+  :mod:`repro.serve.trace` trace arrival-by-arrival against the
+  simulated clock. An idle service jumps to the next arrival;
+  processing advances the clock by the work charged.
+
+Scheduling is deterministic by construction: a single-threaded event
+loop, FIFO queues, no wall-clock timers — every await is a pure yield.
+That, plus the simulated clock, is why an entire serving session
+(sheds, batches, breaker trips and all) replays bit-identically after
+a kill→restart.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from collections import deque
+from typing import Any, Deque, List, Optional, Tuple
+
+from repro.obs import metrics
+from repro.serve.quota import DESIGN_TOKENS, WHATIF_TOKENS, TenantQuotas
+from repro.serve.requests import REJECTED, DesignRequest, ServeResponse
+from repro.serve.service import DesignService
+
+
+class ServeDaemon:
+    """Admission control and batching around a :class:`DesignService`."""
+
+    def __init__(self, service: DesignService, *,
+                 max_queue: Optional[int] = None,
+                 max_batch: Optional[int] = None):
+        config = service.config
+        self._service = service
+        self._max_queue = max_queue or config.max_queue
+        self._max_batch = max_batch or config.max_batch
+        self._quotas = TenantQuotas(config.quota_capacity,
+                                    config.quota_refill_rate)
+        self._queue: Deque[Tuple[Any, Optional[asyncio.Future]]] = deque()
+        self._wakeup: Optional[asyncio.Event] = None
+        self._closed = False
+
+    @property
+    def service(self) -> DesignService:
+        return self._service
+
+    @property
+    def queue_depth(self) -> int:
+        return len(self._queue)
+
+    # -- admission ---------------------------------------------------------
+
+    def try_admit(self, request) -> Optional[ServeResponse]:
+        """Admission control; a typed rejection, or ``None`` = admitted.
+
+        Decisions use the request's arrival on the simulated clock:
+        the same trace always sheds the same requests.
+        """
+        now = max(self._service.clock.now, float(request.arrival))
+        rejection = None
+        if request.deadline_seconds <= 0:
+            rejection = ("DeadlineExceeded", "deadline")
+        elif len(self._queue) >= self._max_queue:
+            rejection = ("Overloaded", "overloaded")
+        else:
+            tokens = (DESIGN_TOKENS if isinstance(request, DesignRequest)
+                      else WHATIF_TOKENS)
+            if not self._quotas.try_admit(request.tenant,
+                                          float(request.arrival), tokens):
+                rejection = ("QuotaExceeded", "quota")
+        if rejection is None:
+            return None
+        error, reason = rejection
+        response = ServeResponse(
+            request=request, status=REJECTED, error=error, reason=reason,
+            completed_at=min(now, request.deadline_at))
+        metrics.counter("serve.requests", kind=request.kind).inc()
+        metrics.counter("serve.rejected", reason=reason).inc()
+        if reason in ("overloaded", "quota"):
+            metrics.counter("serve.shed").inc()
+        return response
+
+    # -- the live API ------------------------------------------------------
+
+    async def submit(self, request) -> ServeResponse:
+        """Submit one request; resolves when the batcher answers it."""
+        rejection = self.try_admit(request)
+        if rejection is not None:
+            return rejection
+        future = asyncio.get_running_loop().create_future()
+        self._queue.append((request, future))
+        if self._wakeup is not None:
+            self._wakeup.set()
+        return await future
+
+    async def serve_batches(self) -> None:
+        """The batcher task for the live API; runs until :meth:`close`."""
+        self._wakeup = asyncio.Event()
+        while not self._closed:
+            if not self._queue:
+                self._wakeup.clear()
+                await self._wakeup.wait()
+                continue
+            self._drain_one_batch()
+            # Stay cooperative: let clients enqueue between drains.
+            await asyncio.sleep(0)
+
+    def close(self) -> None:
+        self._closed = True
+        if self._wakeup is not None:
+            self._wakeup.set()
+
+    def _drain_one_batch(self) -> List[ServeResponse]:
+        metrics.gauge("serve.queue_depth").set(len(self._queue))
+        drained = [self._queue.popleft()
+                   for _ in range(min(self._max_batch, len(self._queue)))]
+        requests = [request for request, _ in drained]
+        responses = self._service.process_batch(requests)
+        metrics.counter("serve.batches").inc()
+        metrics.histogram("serve.batch_size").observe(len(requests))
+        for (_, future), response in zip(drained, responses):
+            if future is not None and not future.done():
+                future.set_result(response)
+        return responses
+
+    # -- the deterministic open-loop driver --------------------------------
+
+    async def run_trace(self, trace) -> List[ServeResponse]:
+        """Drive a whole arrival-sorted trace; one response per request.
+
+        The discrete-event loop: inject every arrival the clock has
+        reached (admission happens at arrival), drain one batch if
+        anything is queued (advancing the clock by the work charged),
+        otherwise jump to the next arrival. Terminates when the trace
+        and the queue are both empty — the service can never deadlock
+        on a finite trace.
+        """
+        clock = self._service.clock
+        pending = deque(sorted(trace, key=lambda r: r.arrival))
+        responses: List[ServeResponse] = []
+        while pending or self._queue:
+            while pending and pending[0].arrival <= clock.now + 1e-12:
+                request = pending.popleft()
+                rejection = self.try_admit(request)
+                if rejection is not None:
+                    responses.append(rejection)
+                else:
+                    self._queue.append((request, None))
+            if self._queue:
+                responses.extend(self._drain_one_batch())
+                await asyncio.sleep(0)
+            elif pending:
+                clock.advance_to(pending[0].arrival)
+        return responses

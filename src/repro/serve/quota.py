@@ -1,0 +1,77 @@
+"""Per-tenant admission quotas: lazy-refill token buckets.
+
+Each tenant gets a :class:`TokenBucket` holding at most ``capacity``
+tokens, refilled continuously at ``refill_rate`` tokens per simulated
+second. A what-if costs one token; a design request costs more (it
+occupies the service for orders of magnitude longer), so one tenant
+hammering design requests exhausts its own bucket without starving the
+others — the bounded queue stays available for everyone else.
+
+Refill is computed lazily from the timestamp of the last take, so the
+bucket needs no timer and is a pure function of the (simulated) clock:
+the same trace always sheds the same requests, which the serve chaos
+tests rely on.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.util.errors import ServeError
+
+#: Token cost of a what-if request.
+WHATIF_TOKENS = 1.0
+
+#: Token cost of a design request.
+DESIGN_TOKENS = 4.0
+
+
+class TokenBucket:
+    """One tenant's admission budget."""
+
+    __slots__ = ("capacity", "refill_rate", "_tokens", "_refilled_at")
+
+    def __init__(self, capacity: float, refill_rate: float,
+                 *, now: float = 0.0):
+        if capacity <= 0 or refill_rate < 0:
+            raise ServeError(
+                f"bad token bucket: capacity={capacity} rate={refill_rate}")
+        self.capacity = float(capacity)
+        self.refill_rate = float(refill_rate)
+        self._tokens = float(capacity)
+        self._refilled_at = float(now)
+
+    def tokens(self, now: float) -> float:
+        """Tokens available at *now* (refill applied, not committed)."""
+        elapsed = max(0.0, now - self._refilled_at)
+        return min(self.capacity, self._tokens + elapsed * self.refill_rate)
+
+    def try_take(self, now: float, tokens: float) -> bool:
+        """Take *tokens* if available; False (and no change) otherwise."""
+        available = self.tokens(now)
+        self._refilled_at = max(self._refilled_at, now)
+        self._tokens = available
+        if available + 1e-12 < tokens:
+            return False
+        self._tokens = available - tokens
+        return True
+
+
+class TenantQuotas:
+    """Token buckets keyed by tenant name, created on first sight."""
+
+    def __init__(self, capacity: float, refill_rate: float):
+        self._capacity = capacity
+        self._refill_rate = refill_rate
+        self._buckets: Dict[str, TokenBucket] = {}
+
+    def bucket(self, tenant: str, now: float) -> TokenBucket:
+        bucket = self._buckets.get(tenant)
+        if bucket is None:
+            bucket = TokenBucket(self._capacity, self._refill_rate, now=now)
+            self._buckets[tenant] = bucket
+        return bucket
+
+    def try_admit(self, tenant: str, now: float, tokens: float) -> bool:
+        """Charge *tenant* *tokens*; False when its bucket is empty."""
+        return self.bucket(tenant, now).try_take(now, tokens)

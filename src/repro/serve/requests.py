@@ -1,0 +1,117 @@
+"""Request and response types for the design service.
+
+Two request kinds, mirroring the two questions a tuning service is
+asked (``docs/serve.md``):
+
+* :class:`WhatIfRequest` — "what would workload *W* cost at allocation
+  *R*?" Answered from the warm :class:`~repro.surrogate.ParameterSurface`
+  through the what-if optimizer; cheap, batchable.
+* :class:`DesignRequest` — "the workload changed (queries added /
+  removed); give me a new allocation." Mutates service state (the
+  incumbent) and walks the degradation ladder.
+
+Every request carries a ``tenant`` (for quota accounting) and a
+``deadline_seconds`` budget measured from its ``arrival`` on the
+simulated clock. Every request produces exactly one
+:class:`ServeResponse` whose ``status`` is one of
+
+* ``answered`` — served at the preferred tier;
+* ``degraded`` — served, but a rung (or more) down the ladder: a
+  clamped out-of-hull what-if, a warm-start instead of a fresh search,
+  a stale incumbent, or a budget-capped search;
+* ``rejected`` — a *typed* refusal: ``error`` names the
+  :class:`~repro.util.errors.ServeError` subclass (``Overloaded``,
+  ``QuotaExceeded``, ``DeadlineExceeded``, ``ServeError``) and
+  ``reason`` the admission/ladder rung that refused. The service never
+  returns an untyped error.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional, Tuple
+
+#: Response statuses.
+ANSWERED = "answered"
+DEGRADED = "degraded"
+REJECTED = "rejected"
+
+#: Serving tiers, best to worst (the degradation ladder).
+TIER_FRESH = "fresh"
+TIER_WARM = "warm"
+TIER_STALE = "stale"
+TIER_BATCHED = "batched"
+TIER_CLAMPED = "clamped"
+
+
+@dataclass(frozen=True)
+class WhatIfRequest:
+    """Cost one workload at one allocation, against the warm surface."""
+
+    tenant: str
+    workload: str
+    #: (cpu, memory, io) shares.
+    allocation: Tuple[float, float, float]
+    arrival: float = 0.0
+    deadline_seconds: float = 1.0
+
+    @property
+    def kind(self) -> str:
+        return "whatif"
+
+    @property
+    def deadline_at(self) -> float:
+        return self.arrival + self.deadline_seconds
+
+
+@dataclass(frozen=True)
+class DesignRequest:
+    """Apply a workload delta and produce a new incumbent allocation.
+
+    ``delta`` maps workload names to new repeat counts: 0 removes the
+    workload, a new name (known to the service catalog) adds it.
+    ``prefer_fresh`` asks for the fresh tier (re-calibrated knots +
+    cold search); without it the warm tier is the preferred answer and
+    is *not* counted as degraded.
+    """
+
+    tenant: str
+    delta: Dict[str, int] = field(default_factory=dict)
+    prefer_fresh: bool = False
+    arrival: float = 0.0
+    deadline_seconds: float = 30.0
+
+    @property
+    def kind(self) -> str:
+        return "design"
+
+    @property
+    def deadline_at(self) -> float:
+        return self.arrival + self.deadline_seconds
+
+
+@dataclass
+class ServeResponse:
+    """The service's one-and-only answer shape."""
+
+    request: Any
+    status: str
+    #: Serving tier for answered/degraded responses.
+    tier: Optional[str] = None
+    #: ServeError subclass name for rejections.
+    error: Optional[str] = None
+    #: Admission / ladder rung that refused (rejections only).
+    reason: Optional[str] = None
+    #: Predicted cost (what-ifs: the workload; designs: the total).
+    cost: Optional[float] = None
+    #: Design responses: the new incumbent allocation, per workload.
+    allocation: Optional[Dict[str, Tuple[float, float, float]]] = None
+    completed_at: float = 0.0
+
+    @property
+    def latency_seconds(self) -> float:
+        return max(0.0, self.completed_at - self.request.arrival)
+
+    @property
+    def ok(self) -> bool:
+        return self.status in (ANSWERED, DEGRADED)

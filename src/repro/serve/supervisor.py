@@ -1,0 +1,354 @@
+"""Crash-recoverable serving sessions: boot, serve, journal, resume.
+
+:class:`ServeSupervisor` is the serve counterpart of the drift loop's
+:class:`~repro.drift.loop.OnlineSupervisor`: one complete serving
+session — a continuous-mode boot fit, then a whole open-loop request
+trace driven through the daemon — checkpointed unit by unit into a
+:class:`~repro.recovery.journal.RunJournal`:
+
+* a ``calibration`` record per knot of the boot fit (appended by the
+  :class:`~repro.calibration.cache.CalibrationCache`, exactly as in a
+  supervised offline run);
+* a ``recalibration`` record per knot the fresh tier re-validated,
+  keyed by (design sequence, knot);
+* an ``incumbent`` record per committed design-request answer — the
+  service's state-changing unit;
+* a final ``result`` record.
+
+Everything between journaled units is deterministic arithmetic: the
+trace is a pure function of the scenario, admission and batching run
+on the simulated clock, searches are pure surrogate arithmetic, and
+per-unit fault streams depend only on the plan and the knot. So a
+session killed at *any* unit boundary (the ``BudgetedJournal`` crash
+point — including mid-batch, between a batch's journaled units) and
+resumed produces a bit-identical incumbent trajectory, journal, and
+response stream (asserted in ``tests/serve/test_chaos.py``).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import math
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+from repro.calibration.cache import CalibrationCache
+from repro.calibration.runner import CalibrationRunner
+from repro.core.designer import Design
+from repro.core.problem import VirtualizationDesignProblem
+from repro.faults import FaultInjector, FaultPlan, RetryPolicy
+from repro.parallel import make_engine
+from repro.recovery.journal import (
+    BudgetedJournal,
+    RunJournal,
+    UnitBudgetExceeded,
+)
+from repro.serve.breaker import CircuitBreaker
+from repro.serve.clock import SimulatedClock
+from repro.serve.daemon import ServeDaemon
+from repro.serve.requests import ANSWERED, DEGRADED, REJECTED, ServeResponse
+from repro.serve.service import DesignService, ServeConfig
+from repro.serve.trace import ServeScenario, generate_trace
+from repro.surrogate import design_continuous
+from repro.surrogate.surface import knot_key
+from repro.util.errors import RecoveryError
+
+
+def quantile(sorted_values: List[float], q: float) -> float:
+    """Exact empirical quantile (nearest-rank) of pre-sorted values."""
+    if not sorted_values:
+        return 0.0
+    rank = max(1, math.ceil(q * len(sorted_values)))
+    return sorted_values[min(len(sorted_values), rank) - 1]
+
+
+@dataclass
+class SessionStats:
+    """Aggregate accounting over one session's responses."""
+
+    requests: int = 0
+    answered: int = 0
+    degraded: int = 0
+    rejected: int = 0
+    #: Load-shedding rejections (queue full + quota), a subset of
+    #: ``rejected``.
+    shed: int = 0
+    by_tier: Dict[str, int] = field(default_factory=dict)
+    by_reason: Dict[str, int] = field(default_factory=dict)
+    #: Latency percentiles over served (answered + degraded) requests,
+    #: simulated seconds.
+    p50_seconds: float = 0.0
+    p99_seconds: float = 0.0
+
+    @property
+    def shed_rate(self) -> float:
+        return self.shed / self.requests if self.requests else 0.0
+
+    @property
+    def degraded_fraction(self) -> float:
+        served = self.answered + self.degraded
+        return self.degraded / served if served else 0.0
+
+    @classmethod
+    def from_responses(cls, responses: List[ServeResponse]
+                       ) -> "SessionStats":
+        stats = cls(requests=len(responses))
+        latencies: List[float] = []
+        for response in responses:
+            if response.status == ANSWERED:
+                stats.answered += 1
+            elif response.status == DEGRADED:
+                stats.degraded += 1
+            else:
+                stats.rejected += 1
+                reason = response.reason or "unknown"
+                stats.by_reason[reason] = stats.by_reason.get(reason, 0) + 1
+                if reason in ("overloaded", "quota"):
+                    stats.shed += 1
+            if response.status in (ANSWERED, DEGRADED):
+                tier = response.tier or "unknown"
+                stats.by_tier[tier] = stats.by_tier.get(tier, 0) + 1
+                latencies.append(response.latency_seconds)
+        latencies.sort()
+        stats.p50_seconds = quantile(latencies, 0.50)
+        stats.p99_seconds = quantile(latencies, 0.99)
+        return stats
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "requests": self.requests,
+            "answered": self.answered,
+            "degraded": self.degraded,
+            "rejected": self.rejected,
+            "shed": self.shed,
+            "by_tier": dict(sorted(self.by_tier.items())),
+            "by_reason": dict(sorted(self.by_reason.items())),
+            "p50_seconds": self.p50_seconds,
+            "p99_seconds": self.p99_seconds,
+        }
+
+
+@dataclass
+class ServeRun:
+    """What one :meth:`ServeSupervisor.run` invocation produced."""
+
+    #: The final incumbent design (None when killed during the boot
+    #: fit or before any trace processing).
+    design: Optional[Design]
+    completed: bool = False
+    responses: List[ServeResponse] = field(default_factory=list)
+    stats: Optional[SessionStats] = None
+    #: Design requests committed over the whole session.
+    design_seq: int = 0
+    breaker_trips: int = 0
+    replayed_units: int = 0
+    new_units: int = 0
+    surface: Any = None
+
+
+class ServeSupervisor:
+    """Drives a crash-recoverable serving session."""
+
+    def __init__(self, problem: VirtualizationDesignProblem,
+                 journal_path, plan: Optional[FaultPlan] = None, *,
+                 scenario: Optional[ServeScenario] = None,
+                 config: Optional[ServeConfig] = None,
+                 algorithm: str = "greedy", grid: int = 4,
+                 fine_factor: int = 8, surrogate_tol: float = 0.05,
+                 surrogate_budget: Optional[int] = 24,
+                 retry_policy: Optional[RetryPolicy] = None,
+                 max_units: Optional[int] = None,
+                 extra_meta: Optional[Dict[str, Any]] = None,
+                 workbench=None,
+                 workers: Optional[int] = None, pool: str = "thread"):
+        self._problem = problem
+        self._journal_path = journal_path
+        self._plan = plan or FaultPlan(name="none")
+        self._scenario = scenario or ServeScenario()
+        self._config = config or ServeConfig()
+        self._algorithm = algorithm
+        self._grid = grid
+        self._fine_factor = fine_factor
+        self._surrogate_tol = surrogate_tol
+        self._surrogate_budget = surrogate_budget
+        self._retry_policy = retry_policy or RetryPolicy.resilient()
+        self._max_units = max_units
+        self._extra_meta = dict(extra_meta or {})
+        # Like the other supervisors: workbench and engine shape are
+        # not part of the journal identity.
+        self._workbench = workbench
+        self._workers = workers
+        self._pool = pool
+        #: Populated by :meth:`run`, for inspection.
+        self.cache: Optional[CalibrationCache] = None
+        self.service: Optional[DesignService] = None
+
+    # -- run identity ------------------------------------------------------
+
+    def _meta(self) -> Dict[str, Any]:
+        plan = self._plan
+        meta = {
+            "run_kind": "serve",
+            "plan": {
+                "name": plan.name, "seed": plan.seed,
+                "transient_rate": plan.transient_rate,
+                "outlier_rate": plan.outlier_rate,
+                "hang_rate": plan.hang_rate,
+                "boot_failure_rate": plan.boot_failure_rate,
+                "vm_crash_rate": plan.vm_crash_rate,
+                "host_degrade_rate": plan.host_degrade_rate,
+                "host_degrade_factor": plan.host_degrade_factor,
+                "migration_failure_rate": plan.migration_failure_rate,
+            },
+            "scenario": self._scenario.as_dict(),
+            "config": self._config.as_dict(),
+            "algorithm": self._algorithm,
+            "grid": self._grid,
+            "machine": self._problem.machine.name,
+            "workloads": self._problem.workload_names(),
+            "controlled": [str(kind) for kind
+                           in self._problem.controlled_resources],
+            "workers": self._workers,
+            "fine_factor": self._fine_factor,
+            "surrogate_tol": self._surrogate_tol,
+            "surrogate_budget": self._surrogate_budget,
+        }
+        meta.update(self._extra_meta)
+        return meta
+
+    _IDENTITY_KEYS = ("run_kind", "plan", "scenario", "config",
+                      "algorithm", "grid", "machine", "workloads",
+                      "controlled", "fine_factor", "surrogate_tol",
+                      "surrogate_budget")
+
+    def _check_meta(self, recorded: Dict[str, Any]) -> None:
+        expected = self._meta()
+        mismatched = sorted(
+            key for key in self._IDENTITY_KEYS
+            if key in recorded and recorded[key] != expected[key]
+        )
+        if mismatched:
+            raise RecoveryError(
+                f"journal {self._journal_path} was written by a different "
+                f"run: mismatched {', '.join(mismatched)} (resume must use "
+                f"the same problem, plan, scenario, and service config)")
+
+    # -- the run -----------------------------------------------------------
+
+    def run(self, resume: bool = False) -> ServeRun:
+        """Execute (or resume) the serving session; see module doc."""
+        # Generating the trace is pure and cheap; doing it first means a
+        # misconfigured scenario fails fast (typed, exit code 2) before
+        # any journal is created or calibration spent.
+        trace = generate_trace(self._scenario,
+                               self._problem.workload_names())
+        if resume:
+            journal = RunJournal.open(self._journal_path)
+            self._check_meta(journal.meta)
+        else:
+            journal = RunJournal.create(self._journal_path, self._meta())
+
+        budgeted = BudgetedJournal(journal, self._max_units)
+        injector = (None if self._plan.is_benign
+                    else FaultInjector(self._plan, per_unit=True))
+        engine = make_engine(self._workers, self._pool)
+        runner = CalibrationRunner(
+            self._problem.machine, workbench=self._workbench,
+            injector=injector, retry_policy=self._retry_policy,
+            engine=engine)
+        cache = CalibrationCache(runner, journal=budgeted)
+        self.cache = cache
+
+        replay = self._replay(journal, cache)
+        prior_result = self._prior_result(journal)
+        run = ServeRun(design=None, replayed_units=replay["units"])
+
+        try:
+            outcome = design_continuous(
+                self._problem, cache, algorithm=self._algorithm,
+                grid=self._grid, fine_factor=self._fine_factor,
+                tolerance=self._surrogate_tol,
+                max_calibrations=self._surrogate_budget, engine=engine)
+            service = DesignService(
+                self._problem, outcome.surface, outcome.design,
+                config=self._config, clock=SimulatedClock(),
+                runner=runner, journal=budgeted, replay=replay,
+                engine=engine,
+                breaker=CircuitBreaker(self._config.breaker_trip_after,
+                                       self._retry_policy))
+            service.configure_search(self._algorithm, self._grid,
+                                     self._fine_factor)
+            self.service = service
+            daemon = ServeDaemon(service)
+            run.responses = asyncio.run(daemon.run_trace(trace))
+        except UnitBudgetExceeded:
+            run.new_units = budgeted.new_units
+            return run
+        finally:
+            if engine is not None:
+                engine.close()
+
+        run.design = service.incumbent
+        run.surface = service.surface
+        run.design_seq = service.design_seq
+        run.breaker_trips = service.breaker.trips
+        run.stats = SessionStats.from_responses(run.responses)
+        if prior_result is None:
+            journal.append("result", self._result_record(run))
+        run.completed = True
+        run.new_units = budgeted.new_units
+        return run
+
+    # -- replay ------------------------------------------------------------
+
+    @staticmethod
+    def _replay(journal: RunJournal, cache: CalibrationCache) -> Dict:
+        """Load journaled units into replay maps (and the cache)."""
+        from repro.optimizer.params import OptimizerParameters
+
+        replay: Dict[str, Any] = {
+            "recalibrations": {},  # (design_seq, knot) -> parameters
+            "incumbents": {},      # design_seq -> incumbent record
+            "units": 0,
+        }
+        for record in journal.records:
+            data = record.data
+            if record.kind == "calibration":
+                cache.add_point(
+                    tuple(float(v) for v in data["allocation"]),
+                    OptimizerParameters.from_dict(data["parameters"]))
+            elif record.kind == "recalibration":
+                key = (int(data["design_seq"]),
+                       knot_key(data["allocation"]))
+                replay["recalibrations"][key] = (
+                    OptimizerParameters.from_dict(data["parameters"]))
+            elif record.kind == "incumbent":
+                replay["incumbents"][int(data["design_seq"])] = data
+            elif record.kind == "result":
+                continue
+            else:  # pragma: no cover - future-proofing
+                continue
+            replay["units"] += 1
+        return replay
+
+    @staticmethod
+    def _prior_result(journal: RunJournal) -> Optional[Dict[str, Any]]:
+        results = journal.records_of("result")
+        return results[-1].data if results else None
+
+    def _result_record(self, run: ServeRun) -> Dict[str, Any]:
+        stats = run.stats
+        record: Dict[str, Any] = {
+            "design_seq": run.design_seq,
+            "breaker_trips": run.breaker_trips,
+        }
+        if stats is not None:
+            record.update(stats.as_dict())
+        design = run.design
+        if design is not None:
+            record["allocation"] = {
+                name: list(design.allocation.vector_for(name).as_tuple())
+                for name in design.allocation.workload_names()
+            }
+            record["predicted_total_cost"] = design.predicted_total_cost
+        return record

@@ -1,0 +1,117 @@
+"""Seeded open-loop request traces for the design service.
+
+An *open-loop* load generator emits requests at arrival times drawn
+independently of the service's progress — the honest way to measure
+tail latency and shedding, because a slow service cannot slow the
+offered load down (closed-loop generators hide overload by backing
+off). The whole trace is a pure function of a :class:`ServeScenario`
+(seed included) and the problem's workload catalog, so a resumed
+session regenerates bit-identically the same arrivals, tenants,
+allocations, deltas, and deadlines — the foundation of the serve
+kill→restart equivalence tests.
+
+Composition: mostly what-ifs over a small lattice of allocations (the
+repetition feeds the batching dedup), a design request every
+``design_every``-th request (workload-delta repeats drawn per request),
+tenants skewed by a Zipf draw so one hot tenant exercises the quota
+path, and a deliberate mix of tight and generous deadlines so every
+rung of the degradation ladder is visited.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass
+from typing import Any, Dict, List, Sequence, Union
+
+from repro.serve.requests import DesignRequest, WhatIfRequest
+from repro.util.errors import ServeError
+from repro.util.rng import DeterministicRng
+
+#: What-if allocation share levels the generator samples (eighths, plus
+#: two out-of-hull extremes that force clamped — degraded — answers).
+SHARE_LEVELS = (0.125, 0.25, 0.375, 0.5, 0.625, 0.75, 0.875)
+EXTREME_LEVELS = (0.02, 0.98)
+
+
+@dataclass(frozen=True)
+class ServeScenario:
+    """Everything that determines a serving session's request trace."""
+
+    seed: int = 7
+    #: Total requests in the session.
+    requests: int = 120
+    #: Mean offered load, requests per simulated second.
+    rate: float = 40.0
+    #: Distinct tenants; draws are Zipf-skewed toward tenant-1.
+    tenants: int = 4
+    tenant_skew: float = 1.2
+    #: Every n-th request is a design request.
+    design_every: int = 25
+    #: Base deadline budgets (simulated seconds).
+    whatif_deadline: float = 1.0
+    design_deadline: float = 30.0
+    #: Fraction of requests carrying a 4x-tighter deadline.
+    tight_fraction: float = 0.25
+    #: Workload-delta repeat counts are drawn from [0, max_repeats]
+    #: (0 removes the workload).
+    max_repeats: int = 4
+
+    def as_dict(self) -> Dict[str, Any]:
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "ServeScenario":
+        return cls(**data)
+
+
+def generate_trace(scenario: ServeScenario, workload_names: Sequence[str],
+                   ) -> List[Union[WhatIfRequest, DesignRequest]]:
+    """The deterministic request trace for *scenario*.
+
+    *workload_names* is the service's immutable catalog (what-ifs and
+    deltas only ever name catalog workloads, even ones a prior delta
+    removed — the service answers those with a typed refusal).
+    """
+    if scenario.requests < 1:
+        raise ServeError("a serve scenario needs at least one request")
+    if scenario.rate <= 0:
+        raise ServeError(f"bad arrival rate {scenario.rate}")
+    names = sorted(workload_names)
+    if not names:
+        raise ServeError("a serve scenario needs at least one workload")
+    rng = DeterministicRng(scenario.seed).fork("serve-trace")
+    arrivals = rng.fork("arrivals")
+    tenants = rng.fork("tenants")
+    shapes = rng.fork("shapes")
+    deadlines = rng.fork("deadlines")
+
+    trace: List[Union[WhatIfRequest, DesignRequest]] = []
+    now = 0.0
+    designs = 0
+    for index in range(scenario.requests):
+        now += arrivals.uniform(0.0, 2.0 / scenario.rate)
+        tenant = f"tenant-{tenants.zipf_index(scenario.tenants, scenario.tenant_skew) + 1}"
+        tight = deadlines.uniform(0.0, 1.0) < scenario.tight_fraction
+        if (index + 1) % scenario.design_every == 0:
+            designs += 1
+            name = shapes.choice(names)
+            delta = {name: shapes.randint(0, scenario.max_repeats)}
+            deadline = scenario.design_deadline * (0.25 if tight else 1.0)
+            trace.append(DesignRequest(
+                tenant=tenant, delta=delta,
+                prefer_fresh=(designs % 2 == 1),
+                arrival=round(now, 6),
+                deadline_seconds=deadline))
+        else:
+            name = shapes.choice(names)
+            if shapes.uniform(0.0, 1.0) < 0.05:
+                share = shapes.choice(list(EXTREME_LEVELS))
+            else:
+                share = shapes.choice(list(SHARE_LEVELS))
+            deadline = scenario.whatif_deadline * (0.25 if tight else 1.0)
+            trace.append(WhatIfRequest(
+                tenant=tenant, workload=name,
+                allocation=(share, 0.5, 0.5),
+                arrival=round(now, 6),
+                deadline_seconds=deadline))
+    return trace

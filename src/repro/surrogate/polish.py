@@ -94,7 +94,8 @@ def _best_neighbor(problem, allocation, model,
 
 def warm_start(problem, surface: ParameterSurface, start, *,
                grid: int = 4, fine_factor: int = 8,
-               algorithm_label: str = "warm-start") -> "Design":
+               algorithm_label: str = "warm-start",
+               max_evaluations: Optional[int] = None) -> "Design":
     """Local descent from an incumbent allocation, against *surface*.
 
     The drift loop's redesign primitive (``docs/drift.md``): after a
@@ -105,6 +106,13 @@ def warm_start(problem, surface: ParameterSurface, start, *,
     deterministic tie-breaks) until no transfer improves the total.
     Evaluations are pure surrogate arithmetic. Terminates: the fine
     lattice is finite and every accepted move strictly decreases cost.
+
+    ``max_evaluations`` caps the surrogate evaluations spent (checked
+    at descent-step boundaries, the PR 2 budget convention): the serve
+    layer derives the cap from a request's remaining deadline budget,
+    so a warm-tier answer can never blow its deadline mid-descent. A
+    capped descent returns the best allocation so far with
+    ``stopped=True``.
 
     Returns a full :class:`~repro.core.designer.Design` whose baseline
     is the problem's equal-share default evaluated under the same
@@ -120,7 +128,16 @@ def warm_start(problem, surface: ParameterSurface, start, *,
     allocation = start
     costs = designer.evaluate(allocation)
     total = sum(costs.values())
+    stopped = False
+    # Each descent step costs one _best_neighbor sweep plus one
+    # candidate evaluation; both are len(names)-sized batches of
+    # surrogate lookups counted by the model.
+    step_cost = _descent_step_cost(problem, allocation)
     while True:
+        if (max_evaluations is not None
+                and model.evaluations + step_cost > max_evaluations):
+            stopped = True
+            break
         vectors = _best_neighbor(problem, allocation, model, fine)
         if vectors is None:
             break
@@ -146,8 +163,19 @@ def warm_start(problem, surface: ParameterSurface, start, *,
         default_costs=default_costs,
         algorithm=algorithm_label,
         evaluations=model.evaluations,
-        stopped=False,
+        stopped=stopped,
     )
+
+
+def _descent_step_cost(problem, allocation) -> int:
+    """Worst-case model evaluations one descent step can spend."""
+    names = sorted(allocation.workload_names())
+    moves = 0
+    for _ in problem.controlled_resources:
+        moves += len(names) * (len(names) - 1)
+    # Every candidate move scores len(names) specs, plus the accepted
+    # candidate's designer.evaluate.
+    return (moves + 1) * len(names)
 
 
 def _candidate_shares(problem, surface: ParameterSurface, candidates

@@ -104,6 +104,30 @@ class RecoveryError(ReproError):
     """A recovery journal is unusable (corrupt record, format mismatch)."""
 
 
+class ServeError(ReproError):
+    """Misuse of the always-on design service, or a typed refusal the
+    degradation ladder issues when every serving tier is exhausted
+    (see :mod:`repro.serve`). Requests never end in an untyped error:
+    the service converts every failure into a response that names one
+    of these classes."""
+
+
+class Overloaded(ServeError):
+    """The service shed the request under load: the bounded queue was
+    full. A typed, retryable rejection — the client should back off
+    and retry, exactly like a transient measurement fault."""
+
+
+class QuotaExceeded(Overloaded):
+    """The tenant's token bucket was empty (per-tenant admission
+    control); other tenants' requests are still being served."""
+
+
+class DeadlineExceeded(ServeError):
+    """The request's deadline budget cannot cover even the cheapest
+    serving tier, so the service refuses instead of answering late."""
+
+
 class ObservabilityError(ReproError):
     """Misuse of the metrics/span/report API (kind clash, bad value)."""
 

@@ -178,3 +178,36 @@ class TestFallbackChain:
         cache.params_for(alloc())
         after = metrics.get_registry().total("resilience.fallbacks")
         assert after - before == 1
+
+    def test_rescued_retry_counts_as_fallback_tier(self):
+        # A whole-experiment retry that succeeds is the chain's first
+        # tier: it must count on resilience.fallbacks{kind=retry} and
+        # log an event, while the answer stays a real calibration.
+        from repro.optimizer.params import OptimizerParameters
+
+        class _FlakyOnceRunner:
+            def __init__(self):
+                self.calls = 0
+
+            def parameters_for(self, allocation):
+                self.calls += 1
+                if self.calls == 1:
+                    raise CalibrationError("died once")
+                return OptimizerParameters.defaults()
+
+        registry = metrics.get_registry()
+        before = registry.total("resilience.fallbacks")
+        cache = CalibrationCache(_FlakyOnceRunner(),
+                                 max_experiment_attempts=2)
+        cache.params_for(alloc())
+        assert registry.total("resilience.fallbacks") - before == 1
+        assert [e.kind for e in cache.fallback_log] == ["retry"]
+        assert "attempt 2" in cache.fallback_log[0].reason
+        # The rescued point is calibrated, not degraded: it persists
+        # and interpolates like any other.
+        assert cache.n_calibrations == 1
+
+    def test_clean_experiment_logs_no_fallback(self, calibration_runner):
+        cache = CalibrationCache(calibration_runner)
+        cache.params_for(alloc())
+        assert cache.fallback_log == []

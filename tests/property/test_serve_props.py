@@ -1,0 +1,125 @@
+"""Property tests: what-if batching never changes an answer.
+
+The serve daemon merges concurrent what-ifs into single ``cost_many``
+batches, sheds under load, and lets clients retry — none of which may
+change a single float of any answer. Hypothesis draws request mixes
+and seeded interleavings (batch partitions, orderings, duplicated
+retries) and asserts that
+
+* serial (one request per batch), batched (arbitrary partitions), and
+  shed-and-retried (re-submitted later, after other traffic) sessions
+  produce **bit-identical** costs and statuses per request; and
+* every response stays typed and inside its deadline, whatever the
+  interleaving.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings, strategies as st
+
+from repro.serve import ServeConfig, WhatIfRequest
+from repro.serve.requests import ANSWERED, DEGRADED
+
+from tests.serve.conftest import build_problem, make_service, tiny_workbench
+
+SHARES = (0.02, 0.125, 0.25, 0.375, 0.5, 0.625, 0.75, 0.875, 0.98)
+
+_STATE: dict = {}
+
+
+def booted():
+    """One shared boot fit (module-level: hypothesis re-calls the test)."""
+    if not _STATE:
+        from repro.calibration import CalibrationCache, CalibrationRunner
+        from repro.surrogate import design_continuous
+
+        problem = build_problem()
+        runner = CalibrationRunner(problem.machine,
+                                   workbench=tiny_workbench())
+        outcome = design_continuous(
+            problem, CalibrationCache(runner), algorithm="greedy",
+            grid=3, tolerance=0.05, max_calibrations=12)
+        _STATE["problem"] = problem
+        _STATE["booted"] = {"surface": outcome.surface,
+                            "incumbent": outcome.design, "runner": runner}
+    return _STATE["problem"], _STATE["booted"]
+
+
+def fresh_service():
+    problem, boot = booted()
+    return make_service(problem, boot, config=ServeConfig())
+
+
+shapes = st.lists(
+    st.tuples(st.sampled_from(["order-audit", "cust-report"]),
+              st.sampled_from(SHARES)),
+    min_size=1, max_size=12)
+
+
+def requests_from(shape_list):
+    return [WhatIfRequest(tenant=f"t{i % 3}", workload=name,
+                          allocation=(share, 0.5, 0.5), arrival=0.0,
+                          deadline_seconds=30.0)
+            for i, (name, share) in enumerate(shape_list)]
+
+
+def answers(service, batches):
+    """(workload, allocation) -> (status, cost) over processed batches."""
+    out = {}
+    for batch in batches:
+        for response in service.process_batch(batch):
+            request = response.request
+            key = (request.workload, request.allocation)
+            assert response.status in (ANSWERED, DEGRADED)
+            assert response.completed_at <= request.deadline_at
+            previous = out.get(key)
+            if previous is not None:
+                # A repeated shape answers identically within a session.
+                assert previous == (response.status, response.cost)
+            out[key] = (response.status, response.cost)
+    return out
+
+
+def partition(items, cuts):
+    batches, start = [], 0
+    for cut in sorted(cuts):
+        if start < cut < len(items):
+            batches.append(items[start:cut])
+            start = cut
+    batches.append(items[start:])
+    return [batch for batch in batches if batch]
+
+
+@given(shapes, st.sets(st.integers(min_value=1, max_value=11), max_size=4),
+       st.randoms(use_true_random=False))
+@settings(max_examples=20, deadline=None)
+def test_serial_batched_and_retried_answers_are_bit_identical(
+        shape_list, cuts, rng):
+    requests = requests_from(shape_list)
+
+    serial = answers(fresh_service(), [[r] for r in requests])
+
+    batched = answers(fresh_service(), partition(requests, cuts))
+
+    # Shed-and-retried: a seeded interleaving where some requests are
+    # "shed" in round one and retried after the rest of the traffic.
+    shed = [r for r in requests if rng.random() < 0.4]
+    kept = [r for r in requests if r not in shed]
+    retried = answers(fresh_service(),
+                      [batch for batch in (kept, shed, shed) if batch])
+
+    assert serial == batched == retried
+
+
+@given(shapes)
+@settings(max_examples=10, deadline=None)
+def test_batch_charge_is_bounded_by_unique_shapes(shape_list):
+    # The whole point of batching: duplicates collapse, so the
+    # simulated charge scales with unique shapes, not request count.
+    requests = requests_from(shape_list)
+    service = fresh_service()
+    config = service.config
+    service.process_batch(requests)
+    unique = len({(r.workload, r.allocation) for r in requests})
+    assert service.clock.now <= (config.batch_overhead_seconds
+                                 + unique * config.eval_seconds + 1e-12)

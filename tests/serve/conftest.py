@@ -1,0 +1,120 @@
+"""Shared fixtures for the always-on design service tests.
+
+Same affordability trick as the drift suite: one TPC-H query unit per
+workload, the reduced calibration workbench, a 3-level grid. The boot
+fit (surface + incumbent) is expensive, so it is computed once per
+package and every test builds a cheap fresh :class:`DesignService`
+around the shared immutable fit.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.calibration import CalibrationCache, CalibrationRunner
+from repro.calibration.synthetic import (
+    HUGE_TABLE,
+    SMALL_TABLE,
+    CalibrationWorkbench,
+)
+from repro.core.problem import VirtualizationDesignProblem, WorkloadSpec
+from repro.serve import (
+    DesignService,
+    ServeConfig,
+    ServeScenario,
+    ServeSupervisor,
+    SimulatedClock,
+)
+from repro.surrogate import design_continuous
+from repro.virt.machine import laboratory_machine
+from repro.virt.resources import ResourceKind
+from repro.workloads import Workload, build_tpch_database, tpch_query
+
+GRID = 3
+SURROGATE_BUDGET = 12
+
+
+def tiny_workbench() -> CalibrationWorkbench:
+    return CalibrationWorkbench(rows={
+        SMALL_TABLE: 200,
+        "cal_scan_a": 1_000,
+        "cal_scan_b": 2_000,
+        "cal_scan_c": 3_000,
+        HUGE_TABLE: 4_000,
+    })
+
+
+def build_problem() -> VirtualizationDesignProblem:
+    db = build_tpch_database(scale_factor=0.002,
+                             tables=["customer", "orders", "lineitem"])
+    specs = [
+        WorkloadSpec(Workload.repeat("order-audit", tpch_query("Q4"), 1), db),
+        WorkloadSpec(Workload.repeat("cust-report", tpch_query("Q13"), 2), db),
+    ]
+    return VirtualizationDesignProblem(
+        machine=laboratory_machine(), specs=specs,
+        controlled_resources=(ResourceKind.CPU,),
+    )
+
+
+@pytest.fixture(scope="package")
+def serve_problem() -> VirtualizationDesignProblem:
+    return build_problem()
+
+
+@pytest.fixture(scope="package")
+def booted(serve_problem):
+    """One fault-free boot fit (surface + incumbent), shared read-only."""
+    runner = CalibrationRunner(serve_problem.machine,
+                               workbench=tiny_workbench())
+    cache = CalibrationCache(runner)
+    outcome = design_continuous(
+        serve_problem, cache, algorithm="greedy", grid=GRID,
+        tolerance=0.05, max_calibrations=SURROGATE_BUDGET)
+    return {"surface": outcome.surface, "incumbent": outcome.design,
+            "runner": runner}
+
+
+def make_service(problem, booted, *, config=None, runner=None,
+                 breaker=None, journal=None, replay=None) -> DesignService:
+    """A fresh service around the shared boot fit, clock at zero."""
+    service = DesignService(
+        problem, booted["surface"], booted["incumbent"],
+        config=config or ServeConfig(), clock=SimulatedClock(),
+        runner=runner, journal=journal, replay=replay, breaker=breaker)
+    service.configure_search("greedy", GRID, 8)
+    return service
+
+
+#: Chaos-sweep settings (mirrored by the baseline fixture): generous
+#: quotas so design requests actually run, a short dense trace, and the
+#: turbulent plan hitting the fresh tier's calibrations.
+CHAOS_SCENARIO = ServeScenario(seed=3, requests=60, rate=50.0,
+                               design_every=6, design_deadline=20.0)
+CHAOS_CONFIG = ServeConfig(quota_capacity=40.0, quota_refill_rate=40.0)
+
+
+def make_supervisor(problem, path, plan, **kwargs) -> ServeSupervisor:
+    kwargs.setdefault("scenario", CHAOS_SCENARIO)
+    kwargs.setdefault("config", CHAOS_CONFIG)
+    kwargs.setdefault("grid", GRID)
+    kwargs.setdefault("surrogate_budget", SURROGATE_BUDGET)
+    kwargs.setdefault("workbench", tiny_workbench())
+    return ServeSupervisor(problem, path, plan=plan, **kwargs)
+
+
+def journal_fingerprint(journal):
+    """Every committed record, in order, as plain data."""
+    return [(record.kind, record.data) for record in journal.records]
+
+
+def design_allocation(design):
+    return {name: design.allocation.vector_for(name).as_tuple()
+            for name in design.allocation.workload_names()}
+
+
+def response_stream(responses):
+    """The order-sensitive, comparison-friendly view of a session."""
+    return [(type(r.request).__name__, r.request.tenant, r.status,
+             r.tier, r.error, r.reason, r.cost, r.completed_at)
+            for r in responses]

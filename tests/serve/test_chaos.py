@@ -1,0 +1,104 @@
+"""Chaos: kill the serving session at every unit boundary, resume, compare.
+
+The serve counterpart of ``tests/drift/test_resume_equivalence.py`` and
+the acceptance test for the service's crash-safety story: a session
+killed after *any* number of journaled units (boot-fit calibrations,
+fresh-tier recalibrations, committed incumbents — including kills
+landing mid-batch, between a batch's journaled units) and resumed must
+reproduce the uninterrupted session bit-identically — the same journal,
+the same final incumbent allocation, and the same response stream
+(statuses, tiers, costs, and completion timestamps included).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import obs
+from repro.faults import FaultPlan
+from repro.recovery import RunJournal
+
+from tests.serve.conftest import (
+    design_allocation,
+    journal_fingerprint,
+    make_supervisor,
+    response_stream,
+)
+
+pytestmark = pytest.mark.serve
+
+
+@pytest.fixture(scope="module")
+def turbulent_plan() -> FaultPlan:
+    return FaultPlan.named("turbulent")
+
+
+@pytest.fixture(scope="module")
+def baseline(serve_problem, turbulent_plan, tmp_path_factory):
+    """One uninterrupted serving session, shared by the sweep."""
+    obs.reset()
+    path = tmp_path_factory.mktemp("serve-baseline") / "serve.journal"
+    supervisor = make_supervisor(serve_problem, path, turbulent_plan)
+    run = supervisor.run()
+    assert run.completed
+    return {
+        "run": run,
+        "fingerprint": journal_fingerprint(RunJournal.open(path)),
+        "allocation": design_allocation(run.design),
+        "stream": response_stream(run.responses),
+        "total_units": run.new_units,
+    }
+
+
+class TestKillResumeEquivalence:
+    def test_baseline_exercises_the_interesting_paths(self, baseline):
+        run = baseline["run"]
+        # The sweep only proves something if the session actually
+        # journals designs and walks several ladder tiers.
+        assert run.design_seq >= 3
+        assert baseline["total_units"] >= 10
+        assert run.stats.rejected > 0
+        assert len(run.stats.by_tier) >= 2
+
+    def test_kill_at_every_unit_boundary_resumes_bit_identically(
+            self, serve_problem, turbulent_plan, baseline, tmp_path):
+        for kill_after in range(1, baseline["total_units"]):
+            path = tmp_path / f"kill-{kill_after}.journal"
+            obs.reset()
+            killed = make_supervisor(serve_problem, path, turbulent_plan,
+                                     max_units=kill_after)
+            partial = killed.run()
+            assert not partial.completed
+            assert partial.new_units == kill_after
+
+            obs.reset()
+            resumed = make_supervisor(serve_problem, path, turbulent_plan)
+            run = resumed.run(resume=True)
+            assert run.completed, f"resume after {kill_after} units failed"
+            assert run.replayed_units == kill_after
+
+            assert journal_fingerprint(RunJournal.open(path)) == \
+                baseline["fingerprint"], f"journal diverged at {kill_after}"
+            assert design_allocation(run.design) == baseline["allocation"]
+            assert response_stream(run.responses) == baseline["stream"]
+
+    def test_double_resume_is_idempotent(self, serve_problem,
+                                         turbulent_plan, baseline,
+                                         tmp_path):
+        path = tmp_path / "twice.journal"
+        obs.reset()
+        make_supervisor(serve_problem, path, turbulent_plan,
+                        max_units=7).run()
+        obs.reset()
+        first = make_supervisor(serve_problem, path,
+                                turbulent_plan).run(resume=True)
+        assert first.completed
+        obs.reset()
+        second = make_supervisor(serve_problem, path,
+                                 turbulent_plan).run(resume=True)
+        assert second.completed
+        # Everything replays; nothing is recommitted, result included.
+        assert second.new_units == 0
+        assert journal_fingerprint(RunJournal.open(path)) == \
+            baseline["fingerprint"]
+        assert response_stream(second.responses) == baseline["stream"]

@@ -1,0 +1,137 @@
+"""Tests for the daemon shell: admission, live batching, trace driving."""
+
+from __future__ import annotations
+
+import asyncio
+
+import pytest
+
+from repro.obs import metrics
+from repro.serve import (
+    DesignRequest,
+    ServeConfig,
+    ServeDaemon,
+    ServeScenario,
+    WhatIfRequest,
+    generate_trace,
+)
+from repro.serve.requests import ANSWERED, REJECTED
+
+from tests.serve.conftest import make_service
+
+
+def whatif(tenant="t1", share=0.5, arrival=0.0, deadline=5.0):
+    return WhatIfRequest(tenant=tenant, workload="cust-report",
+                         allocation=(share, 0.5, 0.5), arrival=arrival,
+                         deadline_seconds=deadline)
+
+
+class TestAdmission:
+    def test_dead_on_arrival_deadline(self, serve_problem, booted):
+        daemon = ServeDaemon(make_service(serve_problem, booted))
+        rejection = daemon.try_admit(whatif(deadline=0.0))
+        assert rejection.status == REJECTED
+        assert rejection.error == "DeadlineExceeded"
+        assert rejection.reason == "deadline"
+
+    def test_full_queue_sheds_overloaded(self, serve_problem, booted):
+        config = ServeConfig(max_queue=2, quota_capacity=100.0)
+        daemon = ServeDaemon(make_service(serve_problem, booted,
+                                          config=config))
+        assert daemon.try_admit(whatif()) is None
+        daemon._queue.append((whatif(), None))
+        daemon._queue.append((whatif(), None))
+        rejection = daemon.try_admit(whatif())
+        assert rejection.error == "Overloaded"
+        assert rejection.reason == "overloaded"
+
+    def test_empty_bucket_sheds_quota(self, serve_problem, booted):
+        config = ServeConfig(quota_capacity=2.0, quota_refill_rate=0.0)
+        daemon = ServeDaemon(make_service(serve_problem, booted,
+                                          config=config))
+        before = metrics.get_registry().total("serve.shed")
+        assert daemon.try_admit(whatif()) is None
+        assert daemon.try_admit(whatif()) is None
+        rejection = daemon.try_admit(whatif())
+        assert rejection.error == "QuotaExceeded"
+        assert rejection.reason == "quota"
+        # Another tenant is unaffected by the hot tenant's bucket.
+        assert daemon.try_admit(whatif(tenant="t2")) is None
+        assert metrics.get_registry().total("serve.shed") - before == 1
+
+    def test_design_requests_cost_more_tokens(self, serve_problem, booted):
+        config = ServeConfig(quota_capacity=5.0, quota_refill_rate=0.0)
+        daemon = ServeDaemon(make_service(serve_problem, booted,
+                                          config=config))
+        request = DesignRequest(tenant="t1", delta={"cust-report": 2})
+        assert daemon.try_admit(request) is None      # 4 tokens
+        rejection = daemon.try_admit(request)         # 1 token left
+        assert rejection.error == "QuotaExceeded"
+
+
+class TestLiveBatcher:
+    def test_concurrent_submits_resolve_through_one_batcher(
+            self, serve_problem, booted):
+        config = ServeConfig(quota_capacity=100.0, quota_refill_rate=100.0)
+        daemon = ServeDaemon(make_service(serve_problem, booted,
+                                          config=config))
+
+        async def session():
+            batcher = asyncio.ensure_future(daemon.serve_batches())
+            requests = [whatif(tenant=f"t{i % 3}", share=0.25 + 0.125 * (i % 5))
+                        for i in range(12)]
+            responses = await asyncio.gather(
+                *(daemon.submit(request) for request in requests))
+            daemon.close()
+            await batcher
+            return requests, responses
+
+        requests, responses = asyncio.run(session())
+        assert [r.request for r in responses] == requests
+        assert all(r.status == ANSWERED for r in responses)
+        assert daemon.queue_depth == 0
+
+    def test_submit_returns_shed_immediately(self, serve_problem, booted):
+        config = ServeConfig(quota_capacity=1.0, quota_refill_rate=0.0)
+        daemon = ServeDaemon(make_service(serve_problem, booted,
+                                          config=config))
+
+        async def session():
+            # No batcher running: the shed answer must not need one.
+            first = asyncio.ensure_future(daemon.submit(whatif()))
+            await asyncio.sleep(0)
+            shed = await daemon.submit(whatif())
+            first.cancel()
+            return shed
+
+        shed = asyncio.run(session())
+        assert shed.status == REJECTED
+        assert shed.error == "QuotaExceeded"
+
+
+class TestRunTrace:
+    def test_one_response_per_request_no_deadlock(self, serve_problem,
+                                                  booted):
+        scenario = ServeScenario(seed=5, requests=40, rate=60.0,
+                                 design_every=10)
+        service = make_service(
+            serve_problem, booted,
+            config=ServeConfig(quota_capacity=30.0, quota_refill_rate=30.0))
+        daemon = ServeDaemon(service)
+        trace = generate_trace(scenario, serve_problem.workload_names())
+        responses = asyncio.run(daemon.run_trace(trace))
+        assert len(responses) == len(trace)
+        assert {id(r.request) for r in responses} == {id(r) for r in trace}
+        for response in responses:
+            assert response.completed_at <= response.request.deadline_at
+            if response.status == REJECTED:
+                assert response.error is not None
+
+    def test_clock_jumps_across_idle_gaps(self, serve_problem, booted):
+        service = make_service(serve_problem, booted)
+        daemon = ServeDaemon(service)
+        late = whatif(arrival=100.0)
+        responses = asyncio.run(daemon.run_trace([late]))
+        assert responses[0].status == ANSWERED
+        assert service.clock.now >= 100.0
+        assert responses[0].latency_seconds < 1.0

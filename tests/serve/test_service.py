@@ -1,0 +1,187 @@
+"""Tests for the design service core: batching, ladder, deadlines."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.serve import CircuitBreaker, DesignRequest, ServeConfig, WhatIfRequest
+from repro.serve.requests import (
+    ANSWERED,
+    DEGRADED,
+    REJECTED,
+    TIER_BATCHED,
+    TIER_CLAMPED,
+    TIER_FRESH,
+    TIER_STALE,
+    TIER_WARM,
+)
+
+from tests.serve.conftest import make_service
+
+
+def whatif(share=0.5, workload="cust-report", tenant="t1", arrival=0.0,
+           deadline=1.0):
+    return WhatIfRequest(tenant=tenant, workload=workload,
+                         allocation=(share, 0.5, 0.5), arrival=arrival,
+                         deadline_seconds=deadline)
+
+
+class TestWhatIfBatches:
+    def test_batch_answers_all_members(self, serve_problem, booted):
+        service = make_service(serve_problem, booted)
+        batch = [whatif(0.25), whatif(0.5, workload="order-audit"),
+                 whatif(0.75)]
+        responses = service.process_batch(batch)
+        assert [r.request for r in responses] == batch
+        assert all(r.status == ANSWERED and r.tier == TIER_BATCHED
+                   for r in responses)
+        assert all(r.cost > 0 for r in responses)
+
+    def test_duplicates_collapse_to_one_evaluation(self, serve_problem,
+                                                   booted):
+        config = ServeConfig()
+        service = make_service(serve_problem, booted, config=config)
+        batch = [whatif(0.5) for _ in range(6)]
+        responses = service.process_batch(batch)
+        costs = {r.cost for r in responses}
+        assert len(costs) == 1
+        # Simulated charge covers one fresh evaluation, not six.
+        assert service.clock.now == pytest.approx(
+            config.batch_overhead_seconds + config.eval_seconds)
+
+    def test_unknown_workload_is_typed(self, serve_problem, booted):
+        service = make_service(serve_problem, booted)
+        [response] = service.process_batch([whatif(workload="nope")])
+        assert response.status == REJECTED
+        assert response.error == "ServeError"
+        assert response.reason == "unknown-workload"
+
+    def test_out_of_hull_is_degraded_clamped(self, serve_problem, booted):
+        service = make_service(serve_problem, booted)
+        [response] = service.process_batch([whatif(0.02)])
+        assert response.status == DEGRADED
+        assert response.tier == TIER_CLAMPED
+        assert response.cost > 0
+
+    def test_expired_while_queued_abandoned_at_deadline(self, serve_problem,
+                                                        booted):
+        service = make_service(serve_problem, booted)
+        service.clock.advance(5.0)
+        request = whatif(arrival=0.0, deadline=1.0)
+        [response] = service.process_batch([request])
+        assert response.status == REJECTED
+        assert response.error == "DeadlineExceeded"
+        assert response.completed_at == request.deadline_at
+
+    def test_unguaranteeable_deadline_refused_before_running(
+            self, serve_problem, booted):
+        config = ServeConfig(eval_seconds=1.0, batch_overhead_seconds=1.0)
+        service = make_service(serve_problem, booted, config=config)
+        # Worst case is 2s of simulated work; a 1s budget cannot make it.
+        [response] = service.process_batch([whatif(deadline=1.0)])
+        assert response.status == REJECTED
+        assert response.reason == "deadline"
+        assert response.completed_at <= response.request.deadline_at
+
+
+def design(tenant="t1", delta=None, prefer_fresh=False, arrival=0.0,
+           deadline=30.0):
+    return DesignRequest(tenant=tenant, delta=delta or {},
+                         prefer_fresh=prefer_fresh, arrival=arrival,
+                         deadline_seconds=deadline)
+
+
+class TestDesignLadder:
+    def test_warm_tier_is_the_default_answer(self, serve_problem, booted):
+        service = make_service(serve_problem, booted)
+        [response] = service.process_batch(
+            [design(delta={"cust-report": 3})])
+        assert response.tier == TIER_WARM
+        assert response.ok
+        assert service.design_seq == 1
+        assert set(response.allocation) == {"cust-report", "order-audit"}
+        # The answer became the incumbent.
+        assert response.cost == service.incumbent.predicted_total_cost
+
+    def test_fresh_tier_runs_when_preferred_and_affordable(
+            self, serve_problem, booted):
+        service = make_service(serve_problem, booted,
+                               runner=booted["runner"])
+        [response] = service.process_batch(
+            [design(delta={"cust-report": 1}, prefer_fresh=True,
+                    deadline=60.0)])
+        assert response.tier == TIER_FRESH
+        assert response.ok
+
+    def test_open_breaker_degrades_to_warm(self, serve_problem, booted):
+        breaker = CircuitBreaker(trip_after=1)
+        breaker.record_failure(0.0, transient=True)
+        service = make_service(serve_problem, booted,
+                               runner=booted["runner"], breaker=breaker)
+        [response] = service.process_batch(
+            [design(delta={"cust-report": 1}, prefer_fresh=True,
+                    deadline=60.0)])
+        assert response.tier == TIER_WARM
+        assert response.status == DEGRADED  # a rung below the preference
+
+    def test_tight_budget_serves_stale(self, serve_problem, booted):
+        config = ServeConfig()
+        service = make_service(serve_problem, booted, config=config)
+        # Enough for the stale evaluation, far below the warm floor.
+        deadline = (config.batch_overhead_seconds
+                    + 4 * config.eval_seconds)
+        [response] = service.process_batch(
+            [design(delta={"cust-report": 3}, deadline=deadline)])
+        assert response.tier == TIER_STALE
+        assert response.status == DEGRADED
+        assert response.completed_at <= response.request.deadline_at
+
+    def test_hopeless_budget_is_refused_in_deadline(self, serve_problem,
+                                                    booted):
+        service = make_service(serve_problem, booted)
+        [response] = service.process_batch(
+            [design(delta={"cust-report": 3}, deadline=1e-4)])
+        assert response.status == REJECTED
+        assert response.error == "DeadlineExceeded"
+        assert response.reason == "refused"
+        assert response.completed_at <= response.request.deadline_at
+        # A refusal commits nothing.
+        assert service.design_seq == 0
+
+    def test_bad_delta_is_typed(self, serve_problem, booted):
+        service = make_service(serve_problem, booted)
+        for delta in ({"nope": 2}, {"cust-report": -1},
+                      {"cust-report": 0, "order-audit": 0}):
+            [response] = service.process_batch([design(delta=delta)])
+            assert response.status == REJECTED
+            assert response.reason in ("bad-delta",)
+        assert service.design_seq == 0
+
+    def test_delta_removes_and_projection_renormalizes(self, serve_problem,
+                                                       booted):
+        service = make_service(serve_problem, booted)
+        [response] = service.process_batch(
+            [design(delta={"order-audit": 0})])
+        assert response.ok
+        assert set(response.allocation) == {"cust-report"}
+        # A later delta can resurrect the removed catalog workload.
+        [back] = service.process_batch(
+            [design(delta={"order-audit": 2}, arrival=service.clock.now)])
+        assert back.ok
+        assert set(back.allocation) == {"cust-report", "order-audit"}
+
+    def test_every_response_is_typed_and_in_deadline(self, serve_problem,
+                                                     booted):
+        service = make_service(serve_problem, booted)
+        batch = [
+            whatif(0.25), whatif(0.98), whatif(workload="nope"),
+            design(delta={"cust-report": 2}),
+            design(delta={"bogus": 1}),
+            design(deadline=1e-5),
+        ]
+        for response in service.process_batch(batch):
+            assert response.status in (ANSWERED, DEGRADED, REJECTED)
+            if response.status == REJECTED:
+                assert response.error is not None
+                assert response.reason is not None
+            assert response.completed_at <= response.request.deadline_at

@@ -1,0 +1,98 @@
+"""Tests for the serve supervisor: journaling, stats, typed outcomes."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import obs
+from repro.faults import FaultPlan
+from repro.recovery import RunJournal
+from repro.serve import SessionStats
+from repro.serve.requests import ANSWERED, DEGRADED, REJECTED, ServeResponse, WhatIfRequest
+from repro.serve.supervisor import quantile
+from repro.util.errors import RecoveryError
+
+from tests.serve.conftest import CHAOS_SCENARIO, make_supervisor
+
+
+class TestQuantile:
+    def test_nearest_rank(self):
+        values = [1.0, 2.0, 3.0, 4.0]
+        assert quantile(values, 0.50) == 2.0
+        assert quantile(values, 0.99) == 4.0
+        assert quantile(values, 0.25) == 1.0
+        assert quantile([], 0.5) == 0.0
+        assert quantile([7.0], 0.99) == 7.0
+
+
+def response(status, reason=None, tier=None, latency=0.0):
+    request = WhatIfRequest(tenant="t", workload="w",
+                            allocation=(0.5, 0.5, 0.5), arrival=1.0)
+    return ServeResponse(request=request, status=status, tier=tier,
+                         reason=reason, completed_at=1.0 + latency)
+
+
+class TestSessionStats:
+    def test_accounting(self):
+        responses = [
+            response(ANSWERED, tier="batched", latency=0.010),
+            response(ANSWERED, tier="batched", latency=0.020),
+            response(DEGRADED, tier="clamped", latency=0.030),
+            response(REJECTED, reason="quota"),
+            response(REJECTED, reason="overloaded"),
+            response(REJECTED, reason="deadline"),
+        ]
+        stats = SessionStats.from_responses(responses)
+        assert stats.requests == 6
+        assert (stats.answered, stats.degraded, stats.rejected) == (2, 1, 3)
+        assert stats.shed == 2                 # quota + overloaded only
+        assert stats.shed_rate == pytest.approx(2 / 6)
+        assert stats.degraded_fraction == pytest.approx(1 / 3)
+        assert stats.by_tier == {"batched": 2, "clamped": 1}
+        assert stats.by_reason == {"quota": 1, "overloaded": 1,
+                                   "deadline": 1}
+        # Percentiles cover served requests only.
+        assert stats.p50_seconds == pytest.approx(0.020)
+        assert stats.p99_seconds == pytest.approx(0.030)
+        assert stats.as_dict()["requests"] == 6
+
+
+@pytest.mark.serve
+class TestSupervisedSession:
+    def test_benign_session_completes_with_typed_responses(
+            self, serve_problem, tmp_path):
+        obs.reset()
+        supervisor = make_supervisor(serve_problem,
+                                     tmp_path / "serve.journal",
+                                     FaultPlan(name="none"))
+        run = supervisor.run()
+        assert run.completed
+        assert len(run.responses) == CHAOS_SCENARIO.requests
+        assert run.stats.requests == CHAOS_SCENARIO.requests
+        assert (run.stats.answered + run.stats.degraded
+                + run.stats.rejected) == run.stats.requests
+        for r in run.responses:
+            assert r.status in (ANSWERED, DEGRADED, REJECTED)
+            assert r.completed_at <= r.request.deadline_at
+            if r.status == REJECTED:
+                assert r.error is not None and r.reason is not None
+        # The journal ends in exactly one result record.
+        journal = RunJournal.open(tmp_path / "serve.journal")
+        results = journal.records_of("result")
+        assert len(results) == 1
+        assert results[0].data["design_seq"] == run.design_seq
+        assert run.design is not None
+        assert run.design_seq > 0
+
+    def test_resume_requires_matching_identity(self, serve_problem,
+                                               tmp_path):
+        obs.reset()
+        path = tmp_path / "serve.journal"
+        supervisor = make_supervisor(serve_problem, path,
+                                     FaultPlan(name="none"), max_units=2)
+        run = supervisor.run()
+        assert not run.completed
+        mismatched = make_supervisor(serve_problem, path,
+                                     FaultPlan(name="flaky"))
+        with pytest.raises(RecoveryError, match="plan"):
+            mismatched.run(resume=True)

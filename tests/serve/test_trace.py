@@ -1,0 +1,73 @@
+"""Tests for the seeded open-loop trace generator."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.serve import DesignRequest, ServeScenario, WhatIfRequest, generate_trace
+from repro.util.errors import ServeError
+
+NAMES = ["cust-report", "order-audit"]
+
+
+class TestGenerateTrace:
+    def test_pure_function_of_scenario(self):
+        scenario = ServeScenario(seed=11, requests=50)
+        a = generate_trace(scenario, NAMES)
+        b = generate_trace(scenario, list(reversed(NAMES)))
+        assert a == b
+
+    def test_seed_changes_the_trace(self):
+        base = ServeScenario(seed=1, requests=50)
+        other = ServeScenario(seed=2, requests=50)
+        assert generate_trace(base, NAMES) != generate_trace(other, NAMES)
+
+    def test_arrivals_sorted_and_positive(self):
+        trace = generate_trace(ServeScenario(requests=80), NAMES)
+        arrivals = [r.arrival for r in trace]
+        assert arrivals == sorted(arrivals)
+        assert all(a > 0 for a in arrivals)
+
+    def test_design_requests_every_nth(self):
+        scenario = ServeScenario(requests=60, design_every=10)
+        trace = generate_trace(scenario, NAMES)
+        for index, request in enumerate(trace):
+            if (index + 1) % 10 == 0:
+                assert isinstance(request, DesignRequest)
+            else:
+                assert isinstance(request, WhatIfRequest)
+
+    def test_requests_name_catalog_workloads_only(self):
+        trace = generate_trace(ServeScenario(requests=100), NAMES)
+        for request in trace:
+            if isinstance(request, WhatIfRequest):
+                assert request.workload in NAMES
+            else:
+                assert set(request.delta) <= set(NAMES)
+                assert all(count >= 0 for count in request.delta.values())
+
+    def test_tenants_and_deadlines_in_range(self):
+        scenario = ServeScenario(requests=100, tenants=3,
+                                 whatif_deadline=1.0, design_deadline=30.0,
+                                 tight_fraction=0.5)
+        trace = generate_trace(scenario, NAMES)
+        tenants = {r.tenant for r in trace}
+        assert tenants <= {"tenant-1", "tenant-2", "tenant-3"}
+        assert len(tenants) > 1  # the Zipf draw spreads at this size
+        for request in trace:
+            if isinstance(request, WhatIfRequest):
+                assert request.deadline_seconds in (1.0, 0.25)
+            else:
+                assert request.deadline_seconds in (30.0, 7.5)
+
+    def test_bad_scenarios_are_typed(self):
+        with pytest.raises(ServeError):
+            generate_trace(ServeScenario(requests=0), NAMES)
+        with pytest.raises(ServeError):
+            generate_trace(ServeScenario(rate=0.0), NAMES)
+        with pytest.raises(ServeError):
+            generate_trace(ServeScenario(), [])
+
+    def test_roundtrips_through_dict(self):
+        scenario = ServeScenario(seed=5, requests=33, rate=17.5)
+        assert ServeScenario.from_dict(scenario.as_dict()) == scenario

@@ -1,0 +1,110 @@
+"""Unit tests: simulated clock, token buckets, circuit breaker."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.faults import RetryPolicy
+from repro.serve import CircuitBreaker, SimulatedClock, TenantQuotas, TokenBucket
+from repro.util.errors import ServeError
+
+
+class TestSimulatedClock:
+    def test_advances_monotonically(self):
+        clock = SimulatedClock()
+        assert clock.now == 0.0
+        assert clock.advance(1.5) == 1.5
+        assert clock.advance(0.0) == 1.5
+        assert clock.advance_to(3.0) == 3.0
+        # advance_to never goes backwards.
+        assert clock.advance_to(2.0) == 3.0
+
+    def test_negative_advance_is_typed(self):
+        with pytest.raises(ServeError):
+            SimulatedClock().advance(-0.1)
+
+
+class TestTokenBucket:
+    def test_starts_full_and_refills_lazily(self):
+        bucket = TokenBucket(4.0, 2.0)
+        assert bucket.tokens(0.0) == 4.0
+        for _ in range(4):
+            assert bucket.try_take(0.0, 1.0)
+        assert not bucket.try_take(0.0, 1.0)
+        # 0.5 simulated seconds later one token has refilled.
+        assert bucket.try_take(0.5, 1.0)
+        assert not bucket.try_take(0.5, 1.0)
+
+    def test_refill_caps_at_capacity(self):
+        bucket = TokenBucket(2.0, 10.0)
+        assert bucket.try_take(0.0, 2.0)
+        assert bucket.tokens(100.0) == 2.0
+
+    def test_failed_take_charges_nothing(self):
+        bucket = TokenBucket(2.0, 0.0)
+        assert not bucket.try_take(0.0, 3.0)
+        assert bucket.tokens(0.0) == 2.0
+
+    def test_bad_parameters_are_typed(self):
+        with pytest.raises(ServeError):
+            TokenBucket(0.0, 1.0)
+        with pytest.raises(ServeError):
+            TokenBucket(1.0, -1.0)
+
+    def test_quotas_isolate_tenants(self):
+        quotas = TenantQuotas(2.0, 0.0)
+        assert quotas.try_admit("a", 0.0, 2.0)
+        assert not quotas.try_admit("a", 0.0, 1.0)
+        # Tenant b has its own untouched bucket.
+        assert quotas.try_admit("b", 0.0, 2.0)
+
+
+def policy() -> RetryPolicy:
+    return RetryPolicy(backoff_base_seconds=1.0, backoff_multiplier=2.0,
+                       max_backoff_seconds=8.0)
+
+
+class TestCircuitBreaker:
+    def test_trips_after_consecutive_transient_failures(self):
+        breaker = CircuitBreaker(trip_after=3, retry_policy=policy())
+        for _ in range(2):
+            breaker.record_failure(0.0, transient=True)
+        assert breaker.state(0.0) == CircuitBreaker.CLOSED
+        breaker.record_failure(0.0, transient=True)
+        assert breaker.state(0.0) == CircuitBreaker.OPEN
+        assert breaker.trips == 1
+        assert not breaker.allow(0.5)
+
+    def test_success_resets_the_count(self):
+        breaker = CircuitBreaker(trip_after=2, retry_policy=policy())
+        breaker.record_failure(0.0, transient=True)
+        breaker.record_success()
+        breaker.record_failure(0.0, transient=True)
+        assert breaker.state(0.0) == CircuitBreaker.CLOSED
+
+    def test_permanent_failures_never_trip(self):
+        breaker = CircuitBreaker(trip_after=1, retry_policy=policy())
+        for _ in range(5):
+            breaker.record_failure(0.0, transient=False)
+        assert breaker.state(0.0) == CircuitBreaker.CLOSED
+
+    def test_half_open_allows_one_probe(self):
+        breaker = CircuitBreaker(trip_after=1, retry_policy=policy())
+        breaker.record_failure(0.0, transient=True)
+        assert breaker.state(0.5) == CircuitBreaker.OPEN
+        # Cooldown after trip 1 is backoff_seconds(1) = 1.0s.
+        assert breaker.state(1.0) == CircuitBreaker.HALF_OPEN
+        assert breaker.allow(1.0)          # the single probe slot
+        assert not breaker.allow(1.0)      # concurrent probe refused
+        breaker.record_success()
+        assert breaker.state(1.0) == CircuitBreaker.CLOSED
+
+    def test_failed_probe_reopens_with_longer_cooldown(self):
+        breaker = CircuitBreaker(trip_after=1, retry_policy=policy())
+        breaker.record_failure(0.0, transient=True)
+        assert breaker.allow(1.0)
+        breaker.record_failure(1.0, transient=True)
+        assert breaker.trips == 2
+        # Cooldown is now backoff_seconds(2) = 2.0s from the re-open.
+        assert breaker.state(2.5) == CircuitBreaker.OPEN
+        assert breaker.state(3.0) == CircuitBreaker.HALF_OPEN

@@ -53,5 +53,5 @@ class TestMarkerRegistration:
     def test_the_selectable_suites_are_in_use(self):
         """The markers CI selects on must actually mark something."""
         uses = used_markers()
-        for name in ("chaos", "recovery", "drift"):
+        for name in ("chaos", "recovery", "drift", "serve"):
             assert uses.get(name), f"marker {name!r} is registered but unused"
