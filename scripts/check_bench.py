@@ -23,9 +23,20 @@ Two jobs, both CI-facing:
    ``overload`` entry whose counts conserve
    (answered + degraded + rejected = requests), record zero untyped
    errors and zero deadline violations, shed under the overload burst,
-   and report a bit-identical kill/resume probe. Any ``BENCH_*.json``
-   under ``benchmarks/results/`` with an unregistered suite fails the
-   run outright — even when explicit paths were given.
+   and report a bit-identical kill/resume probe. ``suite: "hotpath"``
+   files (``scripts/bench_hotpath.py``) must carry fast and scalar
+   calibration rows, a full-planning design baseline plus recost rows
+   at 1/2/4 workers with equal evaluation counts, a ``baseline`` block
+   matching the committed ``BENCH_surrogate.json`` dense-grid run, and
+   a ``summary`` re-derivable from the entries; both identity flags
+   (fast-vs-scalar calibration, recost-vs-full-planning design) are
+   hard requirements. Any ``BENCH_*.json`` under
+   ``benchmarks/results/`` with an unregistered suite fails the run
+   outright — even when explicit paths were given — and every
+   registered suite must name the CI workflow job that regenerates
+   its committed result file; the job must exist in the named
+   workflow (an orphan benchmark nobody re-runs is a silent gap in
+   coverage).
 2. **Regression gates**: the parallel suite's exhaustive benchmark must
    reach ``--min-speedup`` at 4 workers; the surrogate suite must avoid
    ``--min-calibration-ratio`` times the dense calibrations *and* match
@@ -38,7 +49,13 @@ Two jobs, both CI-facing:
    of the full-knowledge oracle; the serve suite's rated session must
    stay under ``--max-serve-p99`` latency, ``--max-shed-rate``, and
    ``--max-degraded-fraction`` (its liveness, typed-outcome, and
-   resume-identical requirements are hard checks, not gates).
+   resume-identical requirements are hard checks, not gates); the
+   hotpath suite's single-threaded calibration rate must beat the
+   committed surrogate dense-grid baseline by
+   ``--min-calibration-speedup``, and on hosts recording at least
+   4 CPUs its 4-worker grid search must beat the full-planning serial
+   baseline by ``--min-grid-speedup`` (identity flags and
+   fast-not-slower-than-scalar are hard checks).
 
 Every violation across every file is collected and reported — the run
 never stops at the first problem. Exit code 0 when everything holds,
@@ -53,10 +70,12 @@ from __future__ import annotations
 import argparse
 import json
 import pathlib
+import re
 import sys
 
 REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
 RESULTS_DIR = REPO_ROOT / "benchmarks" / "results"
+WORKFLOWS_DIR = REPO_ROOT / ".github" / "workflows"
 
 #: The parallel-suite benchmark the speedup gate applies to (its batched
 #: strategy is where PR 4 claims its win); other entries are
@@ -700,20 +719,304 @@ def summarize_serve(payload: dict) -> str:
             f"identical: {summary['resume_identical']}")
 
 
+# -- suite: hotpath ----------------------------------------------------------
+
+HOTPATH_CALIBRATION_FIELDS = {
+    "name": str,
+    "mode": str,
+    "calibrations": int,
+    "wall_seconds": (int, float),
+    "seconds_per_calibration": (int, float),
+}
+HOTPATH_GRID_FIELDS = {
+    "name": str,
+    "mode": str,
+    "grid": int,
+    "workers": (int, type(None)),
+    "wall_seconds": (int, float),
+    "evaluations": int,
+    "speedup": (int, float),
+}
+HOTPATH_BASELINE_FIELDS = {
+    "source": str,
+    "calibrations": int,
+    "wall_seconds": (int, float),
+    "seconds_per_calibration": (int, float),
+}
+
+
+def check_hotpath(payload: dict, min_calibration_speedup: float,
+                  min_grid_speedup: float) -> list:
+    problems = []
+    for field in ("baseline", "identity", "summary"):
+        if field not in payload or not isinstance(payload[field], dict):
+            problems.append(f"top level missing object field {field!r}")
+    if problems:
+        return problems
+
+    calibration = {}
+    grid_rows = {}
+    for i, entry in enumerate(payload["entries"]):
+        if not isinstance(entry, dict):
+            problems.append(f"entries[{i}] is not an object")
+            continue
+        prefix = f"entries[{i}]"
+        name = entry.get("name")
+        if name == "calibration":
+            fields = HOTPATH_CALIBRATION_FIELDS
+        elif name == "exhaustive-grid":
+            fields = HOTPATH_GRID_FIELDS
+        else:
+            problems.append(f"{prefix} has unknown name {name!r}")
+            continue
+        row_problems = check_fields(prefix, entry, fields)
+        extra = set(entry) - set(fields)
+        if extra:
+            row_problems.append(
+                f"{prefix} has unknown fields {sorted(extra)}")
+        problems.extend(row_problems)
+        if row_problems:
+            continue
+        if entry["wall_seconds"] <= 0:
+            problems.append(f"{prefix}.wall_seconds must be positive")
+        if name == "calibration":
+            if entry["calibrations"] <= 0:
+                problems.append(f"{prefix}.calibrations must be positive")
+            per = entry["wall_seconds"] / entry["calibrations"]
+            if abs(entry["seconds_per_calibration"] - per) > 1e-3:
+                problems.append(
+                    f"{prefix}.seconds_per_calibration is "
+                    f"{entry['seconds_per_calibration']} but "
+                    f"wall/calibrations gives {per:.6f}")
+            calibration.setdefault(entry["mode"], []).append(entry)
+        else:
+            if entry["evaluations"] <= 0:
+                problems.append(f"{prefix}.evaluations must be positive")
+            if entry["speedup"] <= 0:
+                problems.append(f"{prefix}.speedup must be positive")
+            grid_rows.setdefault((entry["mode"], entry["workers"]),
+                                 []).append(entry)
+    for mode in ("fast", "scalar"):
+        if len(calibration.get(mode, [])) != 1:
+            problems.append(
+                f"suite needs exactly one {mode!r} calibration row, found "
+                f"{len(calibration.get(mode, []))}")
+    expected_rows = [("full-planning", None), ("recost", None),
+                     ("recost", 1), ("recost", 2), ("recost", 4)]
+    for key in expected_rows:
+        if len(grid_rows.get(key, [])) != 1:
+            problems.append(
+                f"suite needs exactly one exhaustive-grid row for "
+                f"(mode, workers) = {key!r}, found "
+                f"{len(grid_rows.get(key, []))}")
+    unexpected = set(grid_rows) - set(expected_rows)
+    if unexpected:
+        problems.append(
+            f"unexpected exhaustive-grid rows {sorted(unexpected, key=str)}")
+    if problems:
+        return problems
+
+    fast = calibration["fast"][0]
+    scalar = calibration["scalar"][0]
+    base = grid_rows[("full-planning", None)][0]
+    if fast["calibrations"] != scalar["calibrations"]:
+        problems.append(
+            f"fast row calibrated {fast['calibrations']} allocation(s), "
+            f"scalar calibrated {scalar['calibrations']} — not comparable")
+    if base["speedup"] != 1.0:
+        problems.append("the full-planning row is the baseline but its "
+                        f"speedup is {base['speedup']}, not 1.0")
+    for key in expected_rows[1:]:
+        row = grid_rows[key][0]
+        if row["evaluations"] != base["evaluations"]:
+            problems.append(
+                f"exhaustive-grid {key!r} spent {row['evaluations']} "
+                f"evaluations, the full-planning baseline spent "
+                f"{base['evaluations']} — search determinism regressed")
+        if row["grid"] != base["grid"]:
+            problems.append(f"exhaustive-grid {key!r} ran grid "
+                            f"{row['grid']}, baseline ran {base['grid']}")
+        ratio = base["wall_seconds"] / row["wall_seconds"]
+        if abs(row["speedup"] - ratio) > 0.02 * ratio + 1e-3:
+            problems.append(
+                f"exhaustive-grid {key!r} records speedup "
+                f"{row['speedup']} but the walls give {ratio:.3f}")
+
+    baseline = payload["baseline"]
+    problems.extend(check_fields("baseline", baseline,
+                                 HOTPATH_BASELINE_FIELDS))
+    identity = payload["identity"]
+    problems.extend(check_fields("identity", identity, {
+        "calibration_identical": bool,
+        "design_identical": bool,
+    }))
+    summary = payload["summary"]
+    problems.extend(check_fields("summary", summary, {
+        "calibration_speedup": (int, float),
+        "calibration_speedup_vs_baseline": (int, float),
+        "recost_speedup": (int, float),
+        "grid_speedup_4_workers": (int, float),
+    }))
+    if problems:
+        return problems
+
+    # The baseline block must be the committed surrogate dense-grid run,
+    # not a number the benchmark made up.
+    source = RESULTS_DIR / "BENCH_surrogate.json"
+    if baseline["source"] != source.name:
+        problems.append(f"baseline.source is {baseline['source']!r}, "
+                        f"expected {source.name!r}")
+    elif not source.exists():
+        problems.append(f"baseline source {source.name} is not committed "
+                        f"under {RESULTS_DIR.name}/")
+    else:
+        dense = [e for e in json.loads(source.read_text())["entries"]
+                 if e.get("name") == "dense-grid"]
+        if len(dense) != 1:
+            problems.append(f"{source.name} carries {len(dense)} "
+                            f"dense-grid entries, expected 1")
+        else:
+            for field in ("calibrations", "wall_seconds"):
+                if baseline[field] != dense[0][field]:
+                    problems.append(
+                        f"baseline.{field} is {baseline[field]} but the "
+                        f"committed {source.name} records "
+                        f"{dense[0][field]}")
+    per = baseline["wall_seconds"] / baseline["calibrations"]
+    if abs(baseline["seconds_per_calibration"] - per) > 1e-3:
+        problems.append(
+            f"baseline.seconds_per_calibration is "
+            f"{baseline['seconds_per_calibration']} but "
+            f"wall/calibrations gives {per:.6f}")
+    if problems:
+        return problems
+
+    checks = (
+        ("calibration_speedup",
+         scalar["wall_seconds"] / fast["wall_seconds"]),
+        ("calibration_speedup_vs_baseline",
+         baseline["seconds_per_calibration"]
+         / fast["seconds_per_calibration"]),
+        ("recost_speedup", grid_rows[("recost", None)][0]["speedup"]),
+        ("grid_speedup_4_workers", grid_rows[("recost", 4)][0]["speedup"]),
+    )
+    for key, value in checks:
+        if abs(summary[key] - value) > 0.02 * abs(value) + 1e-3:
+            problems.append(
+                f"summary.{key} is {summary[key]} but the entries give "
+                f"{value:.3f}")
+
+    # Hard checks: the fast paths must be bit-identical to their scalar
+    # fallbacks, and never slower than them.
+    if not identity["calibration_identical"]:
+        problems.append(
+            "fast-path calibration parameters diverged from the scalar "
+            "fallback — vectorization identity regressed")
+    if not identity["design_identical"]:
+        problems.append(
+            "recost design search diverged from full planning — the "
+            "plan-shape cache replayed a wrong cost")
+    if summary["calibration_speedup"] < 1.0:
+        problems.append(
+            f"the fast calibration path is {summary['calibration_speedup']}"
+            f"x the scalar fallback — slower than the code it replaced")
+    # Tunable gates.
+    if summary["calibration_speedup_vs_baseline"] < min_calibration_speedup:
+        problems.append(
+            f"single-threaded calibration is only "
+            f"{summary['calibration_speedup_vs_baseline']}x the committed "
+            f"surrogate dense-grid rate, below the "
+            f"{min_calibration_speedup}x gate — the hot-path work "
+            f"regressed")
+    if payload["host_cpus"] >= 4 and \
+            summary["grid_speedup_4_workers"] < min_grid_speedup:
+        problems.append(
+            f"the 4-worker grid search is only "
+            f"{summary['grid_speedup_4_workers']}x the full-planning "
+            f"serial baseline, below the {min_grid_speedup}x gate on a "
+            f"{payload['host_cpus']}-CPU host")
+    return problems
+
+
+def summarize_hotpath(payload: dict) -> str:
+    summary = payload["summary"]
+    return (f"calibration {summary['calibration_speedup_vs_baseline']}x vs "
+            f"baseline ({summary['calibration_speedup']}x vs scalar), "
+            f"recost {summary['recost_speedup']}x, 4-worker grid "
+            f"{summary['grid_speedup_4_workers']}x, identity ok")
+
+
 # -- driver ------------------------------------------------------------------
 
-#: suite -> (checker, summarizer, gate keys). Checkers are called as
-#: ``checker(payload, *gates)`` with gate values in the declared order.
+#: suite -> (checker, summarizer, gate keys, regen job). Checkers are
+#: called as ``checker(payload, *gates)`` with gate values in the
+#: declared order. The regen job is ``(workflow file, job name)`` — the
+#: CI job that regenerates the suite's committed result file; the audit
+#: fails when the named job does not exist, so no benchmark can go
+#: orphan (committed results nobody re-runs drift silently).
 SUITES = {
     "parallel-speedup": (check_parallel, summarize_parallel,
-                         ("min_speedup",)),
+                         ("min_speedup",), ("nightly.yml", "bench-full")),
     "surrogate": (check_surrogate, summarize_surrogate,
-                  ("min_calibration_ratio",)),
-    "fleet": (check_fleet, summarize_fleet, ("min_reassignment_gain",)),
-    "drift": (check_drift, summarize_drift, ("max_reconvergence_gap",)),
+                  ("min_calibration_ratio",),
+                  ("nightly.yml", "bench-full")),
+    "fleet": (check_fleet, summarize_fleet, ("min_reassignment_gain",),
+              ("nightly.yml", "bench-full")),
+    "drift": (check_drift, summarize_drift, ("max_reconvergence_gap",),
+              ("nightly.yml", "bench-full")),
     "serve": (check_serve, summarize_serve,
-              ("max_serve_p99", "max_shed_rate", "max_degraded_fraction")),
+              ("max_serve_p99", "max_shed_rate", "max_degraded_fraction"),
+              ("nightly.yml", "bench-full")),
+    "hotpath": (check_hotpath, summarize_hotpath,
+                ("min_calibration_speedup", "min_grid_speedup"),
+                ("nightly.yml", "bench-full")),
 }
+
+
+def workflow_jobs(filename: str):
+    """Job names defined in ``.github/workflows/<filename>``, or None.
+
+    A two-space-indented ``name:`` line inside the top-level ``jobs:``
+    block is a job definition — that is all of YAML this audit needs.
+    """
+    path = WORKFLOWS_DIR / filename
+    if not path.exists():
+        return None
+    jobs = []
+    in_jobs = False
+    for line in path.read_text().splitlines():
+        if line.rstrip() == "jobs:":
+            in_jobs = True
+            continue
+        if in_jobs:
+            if line and not line.startswith(" ") and not line.startswith("#"):
+                break
+            match = re.match(r"^  ([A-Za-z0-9_-]+):\s*$", line)
+            if match:
+                jobs.append(match.group(1))
+    return jobs
+
+
+def audit_regen_jobs() -> list:
+    """Every registered suite must name a real CI job that regenerates
+    its committed result file — renaming or deleting the job without
+    updating the registry fails the build immediately.
+    """
+    problems = []
+    for suite, (_checker, _summarizer, _gates, regen) in sorted(
+            SUITES.items()):
+        workflow, job = regen
+        jobs = workflow_jobs(workflow)
+        if jobs is None:
+            problems.append(
+                f"suite {suite!r}: regen workflow {workflow!r} does not "
+                f"exist under {WORKFLOWS_DIR.relative_to(REPO_ROOT)}/")
+        elif job not in jobs:
+            problems.append(
+                f"suite {suite!r}: regen job {job!r} not found in "
+                f"{workflow} (jobs: {jobs}) — the registry must name the "
+                f"workflow job that regenerates the committed result")
+    return problems
 
 
 def audit_results_dir(checked) -> list:
@@ -762,7 +1065,7 @@ def check_file(path: pathlib.Path, gates: dict) -> tuple:
     if suite not in SUITES:
         return ([f"unknown suite {suite!r} (expected one of "
                  f"{sorted(SUITES)})"], None)
-    checker, summarizer, gate_keys = SUITES[suite]
+    checker, summarizer, gate_keys, _regen = SUITES[suite]
     problems = checker(payload, *(gates[key] for key in gate_keys))
     if problems:
         return (problems, None)
@@ -797,6 +1100,15 @@ def main(argv=None) -> int:
     parser.add_argument("--max-degraded-fraction", type=float, default=0.10,
                         help="gate: ceiling on the serve suite's degraded "
                              "fraction at its rated load (default 0.10)")
+    parser.add_argument("--min-calibration-speedup", type=float, default=1.0,
+                        help="gate: minimum single-threaded calibration "
+                             "speedup vs the committed surrogate "
+                             "dense-grid baseline (default 1.0)")
+    parser.add_argument("--min-grid-speedup", type=float, default=1.0,
+                        help="gate: minimum 4-worker exhaustive-grid "
+                             "speedup vs the full-planning serial "
+                             "baseline; applies only when the recorded "
+                             "host has >= 4 CPUs (default 1.0)")
     args = parser.parse_args(argv)
 
     if args.paths:
@@ -814,7 +1126,9 @@ def main(argv=None) -> int:
              "max_reconvergence_gap": args.max_reconvergence_gap,
              "max_serve_p99": args.max_serve_p99,
              "max_shed_rate": args.max_shed_rate,
-             "max_degraded_fraction": args.max_degraded_fraction}
+             "max_degraded_fraction": args.max_degraded_fraction,
+             "min_calibration_speedup": args.min_calibration_speedup,
+             "min_grid_speedup": args.min_grid_speedup}
     all_problems = []
     for path in paths:
         problems, ok = check_file(path, gates)
@@ -824,6 +1138,7 @@ def main(argv=None) -> int:
             print(f"check_bench: OK: {path.name}: {ok}")
     all_problems.extend(
         audit_results_dir({path.resolve() for path in paths}))
+    all_problems.extend(audit_regen_jobs())
     if all_problems:
         for problem in all_problems:
             print(f"check_bench: {problem}", file=sys.stderr)

@@ -21,6 +21,22 @@ Measured repetitions run against a cache primed by one unmeasured
 execution, so times reflect the steady-state behaviour the optimizer's
 cost formulas model.
 
+Execute once, replay many
+-------------------------
+A measurement's engine work is a pure function of the database state
+(buffer-pool capacity and sort memory, both set by the booted VM's
+memory share) and the query: the runner cold-restarts and re-primes the
+pool before every measurement, so nothing else leaks in. The runner
+therefore memoizes each query's executed work — the design row and the
+:class:`WorkTrace` — per (pool capacity, sort pages, query, repetition
+count) and replays it on later calibrations instead of re-executing,
+sharing the buffer-pool warmup across all calibrations that land on the
+same pool size. Only the *execution* is shared: every calibration still
+times the trace through its own allocation's :class:`VMPerfModel` with
+its own noise and fault streams, so calibrated parameters are
+bit-identical with the cache on or off (``reuse_traces=False`` disables
+it). Replays count on the ``calibration.trace_cache_hits`` counter.
+
 Resilience: measurements run under a :class:`repro.faults.RetryPolicy`.
 Each repetition takes ``policy.trials`` trials, rejects outlier trials
 by MAD filtering, and reports the median of the survivors; a trial that
@@ -59,7 +75,7 @@ accumulate into ``sim.seconds`` (``source=backoff``).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Callable, Dict, List, Optional, TypeVar
+from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Tuple, TypeVar
 
 from repro.calibration.solver import CalibrationSolution, solve_parameters
 from repro.calibration.synthetic import CalibrationWorkbench
@@ -139,7 +155,8 @@ class CalibrationRunner:
                  noise_sigma: float = 0.0, seed: int = 1234,
                  injector: Optional[FaultInjector] = None,
                  retry_policy: Optional[RetryPolicy] = None,
-                 engine: Optional["EvaluationEngine"] = None):
+                 engine: Optional["EvaluationEngine"] = None,
+                 reuse_traces: bool = True):
         if method not in ("sequential", "lstsq"):
             raise CalibrationError(f"unknown calibration method {method!r}")
         self._machine = machine
@@ -150,6 +167,12 @@ class CalibrationRunner:
         self._injector = injector
         self._policy = retry_policy or RetryPolicy()
         self._engine = engine
+        self._reuse_traces = reuse_traces
+        # (pool capacity, sort pages, query, repetitions) -> the
+        # executed work of each repetition; see "Execute once, replay
+        # many" in the module docstring. Entries are treated read-only.
+        self._trace_cache: Dict[
+            tuple, List[Tuple[List[float], WorkTrace]]] = {}
         #: Simulated seconds spent waiting in retry backoff.
         self.backoff_seconds_total = 0.0
         # The synthetic database is allocation-independent; build once
@@ -221,12 +244,18 @@ class CalibrationRunner:
                                   attempt_boot)
 
     def _timed_trial(self, perf: VMPerfModel, name: str,
-                     trace: WorkTrace) -> float:
-        """One trial's elapsed seconds, retried through transient faults."""
+                     total: float) -> float:
+        """One trial's elapsed seconds, retried through transient faults.
+
+        *total* is the repetition's precomputed noise-free time
+        (:meth:`VMPerfModel.noise_free_seconds`); each trial — and each
+        retry attempt — applies its own noise and fault draws to it,
+        consuming the streams exactly as ``perf.elapsed`` would.
+        """
         deadline = self._policy.measurement_deadline_seconds
 
         def attempt_trial() -> float:
-            seconds = perf.elapsed(trace)
+            seconds = perf.finalize_seconds(total)
             if seconds > deadline:
                 raise MeasurementTimeout(
                     f"measurement {name!r} took {seconds:.3g}s simulated, "
@@ -239,7 +268,7 @@ class CalibrationRunner:
     # -- batched trials ------------------------------------------------------
 
     def _one_trial(self, vm: VirtualMachine, name: str, label: str,
-                   trace: WorkTrace) -> _TrialOutcome:
+                   total: float) -> _TrialOutcome:
         """One hermetic trial: forked streams, local retry accounting.
 
         Runs inside an engine worker. The perf model is rebuilt around
@@ -261,7 +290,7 @@ class CalibrationRunner:
         retries = 0
         for attempt in range(1, policy.max_attempts + 1):
             try:
-                seconds = perf.elapsed(trace)
+                seconds = perf.finalize_seconds(total)
                 if seconds > deadline:
                     raise MeasurementTimeout(
                         f"measurement {name!r} took {seconds:.3g}s "
@@ -283,7 +312,7 @@ class CalibrationRunner:
         raise AssertionError("unreachable")  # pragma: no cover
 
     def _batched_trials(self, vm: VirtualMachine, name: str, label_base: str,
-                        trace: WorkTrace) -> List[float]:
+                        total: float) -> List[float]:
         """All of a repetition's trials as one engine batch.
 
         Labels enumerate the trials of this (query, repetition), so the
@@ -296,7 +325,7 @@ class CalibrationRunner:
         labels = [f"{label_base}:trial{t}"
                   for t in range(self._policy.trials)]
         outcomes = self._engine.map(
-            lambda label: self._one_trial(vm, name, label, trace), labels)
+            lambda label: self._one_trial(vm, name, label, total), labels)
         for outcome in outcomes:
             if outcome.retries:
                 self.backoff_seconds_total += outcome.backoff_seconds
@@ -317,20 +346,38 @@ class CalibrationRunner:
         trials are rejected by MAD filtering and the median of the
         survivors is the repetition's measured time, so an injected
         outlier (or a noise spike) cannot poison the design row.
+
+        With ``reuse_traces`` on, the execution phase (cold restart,
+        priming run, measured runs) happens only the first time this
+        (pool size, query) combination is seen; later calibrations
+        replay the recorded design rows and traces and pay only for the
+        per-allocation timing.
         """
         db = self._database
-        db.cold_restart()
-        db.run_plan(build_plan(db))  # unmeasured priming execution
+        key = (db.buffer_pool.capacity, db.sort_mem_pages, name, repetitions)
+        executions = self._trace_cache.get(key) if self._reuse_traces else None
+        if executions is None:
+            db.cold_restart()
+            db.run_plan(build_plan(db))  # unmeasured priming execution
+            executions = []
+            for _repetition in range(repetitions):
+                plan = build_plan(db)
+                result = db.run_plan(plan)
+                executions.append(
+                    (self._design_row(plan, result.trace, db), result.trace))
+            if self._reuse_traces:
+                self._trace_cache[key] = executions
+        else:
+            metrics.counter("calibration.trace_cache_hits").inc()
         measurement: Optional[CalibrationMeasurement] = None
-        for repetition in range(repetitions):
-            plan = build_plan(db)
-            result = db.run_plan(plan)
+        for repetition, (design_row, trace) in enumerate(executions):
+            total = perf.noise_free_seconds(trace)
             if self._engine is not None:
                 trials = self._batched_trials(
-                    perf.vm, name, f"{name}#{repetition}", result.trace)
+                    perf.vm, name, f"{name}#{repetition}", total)
             else:
                 trials = [
-                    self._timed_trial(perf, name, result.trace)
+                    self._timed_trial(perf, name, total)
                     for _trial in range(self._policy.trials)
                 ]
             seconds, n_rejected = robust_seconds(
@@ -341,9 +388,9 @@ class CalibrationRunner:
             metrics.counter("sim.seconds", source="calibration").inc(seconds)
             measurement = CalibrationMeasurement(
                 query_name=f"{name}#{repetition}",
-                design_row=self._design_row(plan, result.trace, db),
+                design_row=design_row,
                 measured_seconds=seconds,
-                trace=result.trace,
+                trace=trace,
             )
             report.measurements.append(measurement)
         assert measurement is not None

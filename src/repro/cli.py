@@ -19,6 +19,12 @@ Exposes the library's main flows without writing Python::
     python -m repro design --online --epochs 6
     python -m repro serve --plan flaky --requests 120 --rate 40 \
         --journal serve.journal
+    python -m repro profile --scenario design --smoke
+
+``profile`` runs the deterministic cProfile harness over the seeded
+hot flows (calibration, design search, workload execution) and writes
+span-aligned hot-frame reports plus flamegraph-style folded stacks
+(see ``docs/profiling.md``).
 
 ``chaos`` runs the paper's design problem with a fault injector active
 (see ``docs/robustness.md``) and prints the design next to a resilience
@@ -587,8 +593,7 @@ def _resume_drift(args, meta) -> int:
     args.fine_factor = int(meta.get("fine_factor", 8))
     args.surrogate_tol = float(meta.get("surrogate_tol", 0.05))
     args.surrogate_budget = meta.get("surrogate_budget", 24)
-    if args.workers is None and meta.get("workers") is not None:
-        args.workers = int(meta["workers"])
+    _resolve_resume_workers(args, meta)
     problem = _chaos_problem(args.scale, resources=resources)
     print(f"Resuming online journal {args.journal} (plan {plan.name!r}, "
           f"{args.epochs} epoch(s), drift threshold "
@@ -709,8 +714,7 @@ def _resume_serve(args, meta) -> int:
     args.fine_factor = int(meta.get("fine_factor", 8))
     args.surrogate_tol = float(meta.get("surrogate_tol", 0.05))
     args.surrogate_budget = meta.get("surrogate_budget", 24)
-    if args.workers is None and meta.get("workers") is not None:
-        args.workers = int(meta["workers"])
+    _resolve_resume_workers(args, meta)
     problem = _chaos_problem(args.scale, resources=resources)
     print(f"Resuming serve journal {args.journal} (plan {plan.name!r}, "
           f"{scenario.requests} request(s) at {scenario.rate:g} req/s) "
@@ -819,13 +823,53 @@ def _resume_fleet(args, meta) -> int:
     args.clusters = meta.get("clusters")
     args.algorithm = meta.get("algorithm", "greedy")
     args.rounds = int(meta.get("max_rounds", 8))
-    if args.workers is None and meta.get("workers") is not None:
-        args.workers = int(meta["workers"])
+    _resolve_resume_workers(args, meta)
     print(f"Resuming fleet journal {args.journal} "
           f"({scenario['n_hosts']} host(s), "
           f"{scenario['n_workloads']} workload(s), "
           f"{args.algorithm}) ...", file=sys.stderr)
     return _run_fleet_supervised(problem, dict(scenario), args, resume=True)
+
+
+def cmd_profile(args) -> int:
+    """Profile the hot flows under cProfile and emit the artifacts."""
+    from repro.profiling import SCENARIOS, profile_scenario
+
+    names = sorted(SCENARIOS) if args.scenario == "all" else [args.scenario]
+    os.makedirs(args.output_dir, exist_ok=True)
+    for name in names:
+        report = profile_scenario(name, smoke=args.smoke, top=args.top)
+        print(report.to_text())
+        base = os.path.join(args.output_dir, name)
+        with open(base + ".txt", "w") as handle:
+            handle.write(report.to_text())
+        with open(base + ".json", "w") as handle:
+            handle.write(report.to_json() + "\n")
+        with open(base + ".folded", "w") as handle:
+            handle.write(report.folded())
+        print(f"Wrote {base}.txt, {base}.json, {base}.folded",
+              file=sys.stderr)
+    return 0
+
+
+def _resolve_resume_workers(args, meta) -> None:
+    """Honor the journal's worker count, warning when a flag disagrees.
+
+    The journal records the original run's execution shape, and the
+    resumed run always follows it. Results are bit-identical across
+    worker counts (``docs/parallelism.md``), so a differing
+    ``--workers`` is harmless — but silently discarding it would hide
+    that the flag had no effect, so say so on stderr.
+    """
+    journaled = meta.get("workers")
+    if journaled is None:
+        return
+    journaled = int(journaled)
+    if args.workers is not None and int(args.workers) != journaled:
+        print(f"warning: journal records workers={journaled}; "
+              f"ignoring --workers {int(args.workers)} "
+              "(results are identical either way)", file=sys.stderr)
+    args.workers = journaled
 
 
 def cmd_resume(args) -> int:
@@ -856,11 +900,7 @@ def cmd_resume(args) -> int:
     args.fine_factor = int(meta.get("fine_factor", 8))
     args.surrogate_tol = float(meta.get("surrogate_tol", 0.05))
     args.surrogate_budget = meta.get("surrogate_budget", 24)
-    if args.workers is None and meta.get("workers") is not None:
-        # Default to the original run's worker count; --workers N
-        # overrides it, which is legitimate because results are
-        # bit-identical across worker counts.
-        args.workers = int(meta["workers"])
+    _resolve_resume_workers(args, meta)
     print(f"Resuming {args.journal} (plan {plan.name!r}, "
           f"{args.algorithm}, grid {args.grid}) ...", file=sys.stderr)
     return _run_supervised(plan, args, resume=True)
@@ -1236,6 +1276,27 @@ def build_parser() -> argparse.ArgumentParser:
     resume.add_argument("--max-units", type=int, default=None,
                         help="simulate another crash after N new units")
     resume.set_defaults(func=cmd_resume)
+
+    profile = subparsers.add_parser(
+        "profile", parents=[stats_parent],
+        help="run the deterministic cProfile harness over the hot flows "
+             "and write hot-frame + flamegraph artifacts",
+        epilog="Documentation: docs/profiling.md")
+    profile.add_argument(
+        "--scenario", default="all",
+        choices=["all", "calibration", "design", "workload"],
+        help="which seeded flow to profile (default: all of them)")
+    profile.add_argument(
+        "--smoke", action="store_true",
+        help="shrink every scenario for CI smoke runs (seconds, not minutes)")
+    profile.add_argument(
+        "--top", type=int, default=25, metavar="N",
+        help="hot frames to keep per section (default 25)")
+    profile.add_argument(
+        "--output-dir", default="benchmarks/profiles", metavar="DIR",
+        help="where to write <scenario>.txt/.json/.folded artifacts "
+             "(default benchmarks/profiles)")
+    profile.set_defaults(func=cmd_profile)
 
     return parser
 

@@ -109,6 +109,33 @@ class Catalog:
                 return index_info
         return None
 
+    # -- identity ----------------------------------------------------------------
+
+    def fingerprint(self) -> tuple:
+        """A hashable summary of everything planning depends on.
+
+        Covers, per table: the row/page population, whether statistics
+        are present (and how many rows they describe), and the index
+        set. Cached plans and compiled recost programs key on this —
+        any DDL, load, or ``analyze`` that could change a plan changes
+        the fingerprint (see :mod:`repro.optimizer.recost`).
+        """
+        tables = []
+        for name in self.table_names():
+            info = self._tables[name]
+            stats = info.stats
+            tables.append((
+                name,
+                info.heap.n_rows,
+                info.heap.n_pages,
+                None if stats is None else (stats.n_rows, stats.n_pages),
+                tuple(sorted(
+                    (idx.name, idx.column_name, idx.unique)
+                    for idx in info.indexes.values()
+                )),
+            ))
+        return tuple(tables)
+
     # -- statistics --------------------------------------------------------------
 
     def analyze(self, table_name: Optional[str] = None) -> None:

@@ -15,8 +15,9 @@ is cheaper than iterator plumbing and makes the accounting exact.
 from __future__ import annotations
 
 import math
+from contextlib import contextmanager
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Dict, Iterator, List, Optional
 
 from repro.engine.bufferpool import BufferPool
 from repro.engine.catalog import Catalog
@@ -53,6 +54,32 @@ from repro.engine.types import Value
 from repro.obs import metrics
 from repro.util.errors import PlanningError
 from repro.util.units import PAGE_SIZE
+
+#: When true (the default), operators charge per-tuple CPU work in
+#: batches — one multiply per page/input instead of one addition per
+#: row — whenever :meth:`WorkTrace.can_batch_cpu` guarantees the batch
+#: lands on the identical float. The scalar path is kept both as the
+#: exactness fallback and as the reference the property tests compare
+#: against (see :func:`scalar_fallback`).
+FAST_PATH = True
+
+
+@contextmanager
+def scalar_fallback() -> Iterator[None]:
+    """Force per-row (unbatched) trace charging within the block.
+
+    Used by the bit-identity property tests and the hot-path benchmark
+    to run the reference scalar executor; restores the previous mode on
+    exit. Affects this process only — parallel workers inherit the
+    default.
+    """
+    global FAST_PATH
+    previous = FAST_PATH
+    FAST_PATH = False
+    try:
+        yield
+    finally:
+        FAST_PATH = previous
 
 
 @dataclass
@@ -196,14 +223,25 @@ class Executor:
         predicate = _bind_optional(plan.filter_expr, plan.layout)
         eval_ctx = EvalContext()
         out: List[tuple] = []
+        batched = FAST_PATH and trace.can_batch_cpu()
         for page in heap.pages():
             pool.access(heap.file_id, page.page_no, trace,
                         sequential=True, bypass=use_ring)
             trace.add_cpu(CPU_PAGE_PROCESS_UNITS)
-            for row in page.rows:
-                trace.add_tuples(1, CPU_TUPLE_UNITS)
-                if predicate is None or predicate.eval(row, eval_ctx) is True:
-                    out.append(row)
+            rows = page.rows
+            if batched:
+                trace.add_tuples(len(rows), CPU_TUPLE_UNITS)
+                if predicate is None:
+                    out.extend(rows)
+                else:
+                    for row in rows:
+                        if predicate.eval(row, eval_ctx) is True:
+                            out.append(row)
+            else:
+                for row in rows:
+                    trace.add_tuples(1, CPU_TUPLE_UNITS)
+                    if predicate is None or predicate.eval(row, eval_ctx) is True:
+                        out.append(row)
         self._ctx.charge_eval(eval_ctx)
         return out
 
@@ -221,6 +259,9 @@ class Executor:
         predicate = _bind_optional(plan.filter_expr, plan.layout)
         eval_ctx = EvalContext()
         out: List[tuple] = []
+        per_tuple_units = CPU_INDEX_TUPLE_UNITS + CPU_TUPLE_UNITS
+        batched = FAST_PATH and trace.can_batch_cpu()
+        fetched = 0
 
         for page_no in tree.descend_pages(plan.low):
             pool.access(tree.file_id, page_no, trace, sequential=False)
@@ -232,11 +273,17 @@ class Executor:
                 pool.access(tree.file_id, leaf_page, trace, sequential=False)
                 last_leaf = leaf_page
             pool.access(heap.file_id, rid.page_no, trace, sequential=False)
-            trace.add_tuples(1, CPU_INDEX_TUPLE_UNITS + CPU_TUPLE_UNITS)
-            trace.index_tuples += 1
+            if batched:
+                fetched += 1
+            else:
+                trace.add_tuples(1, per_tuple_units)
+                trace.index_tuples += 1
             row = heap.fetch(rid)
             if predicate is None or predicate.eval(row, eval_ctx) is True:
                 out.append(row)
+        if batched and fetched:
+            trace.add_tuples(fetched, per_tuple_units)
+            trace.index_tuples += fetched
         self._ctx.charge_eval(eval_ctx)
         return out
 
@@ -258,11 +305,17 @@ class Executor:
             else plan.outer.layout.concat(plan.inner.layout),
         )
 
+        batched = FAST_PATH and trace.can_batch_cpu()
+        if batched:
+            trace.add_cpu((len(inner_rows) + len(outer_rows)) * CPU_HASH_UNITS)
+        match_steps = 0
+
         # Build phase on the inner side.
         table: Dict[tuple, List[tuple]] = {}
         for row in inner_rows:
             key = tuple(k.eval(row, eval_ctx) for k in inner_keys)
-            trace.add_cpu(CPU_HASH_UNITS)
+            if not batched:
+                trace.add_cpu(CPU_HASH_UNITS)
             if any(part is None for part in key):
                 continue  # NULL keys never join
             table.setdefault(key, []).append(row)
@@ -271,11 +324,15 @@ class Executor:
         out: List[tuple] = []
         for row in outer_rows:
             key = tuple(k.eval(row, eval_ctx) for k in outer_keys)
-            trace.add_cpu(CPU_HASH_UNITS)
+            if not batched:
+                trace.add_cpu(CPU_HASH_UNITS)
             matches = [] if any(part is None for part in key) else table.get(key, [])
             matched = False
             for inner_row in matches:
-                trace.add_cpu(CPU_OPERATOR_UNITS)
+                if batched:
+                    match_steps += 1
+                else:
+                    trace.add_cpu(CPU_OPERATOR_UNITS)
                 if residual is not None:
                     combined = row + inner_row
                     if residual.eval(combined, eval_ctx) is not True:
@@ -291,6 +348,8 @@ class Executor:
                 out.append(row)
             elif plan.join_type is JoinType.LEFT and not matched:
                 out.append(row + null_inner)
+        if batched and match_steps:
+            trace.add_cpu(match_steps * CPU_OPERATOR_UNITS)
         self._ctx.charge_eval(eval_ctx)
         return out
 
@@ -304,10 +363,15 @@ class Executor:
         predicate = _bind_optional(plan.predicate, combined_layout)
         null_inner = (None,) * len(plan.inner.layout)
         out: List[tuple] = []
+        batched = FAST_PATH and trace.can_batch_cpu()
+        pairs_examined = 0
         for row in outer_rows:
             matched = False
             for inner_row in inner_rows:
-                trace.add_cpu(CPU_OPERATOR_UNITS)
+                if batched:
+                    pairs_examined += 1
+                else:
+                    trace.add_cpu(CPU_OPERATOR_UNITS)
                 combined = row + inner_row
                 if predicate is not None and predicate.eval(combined, eval_ctx) is not True:
                     continue
@@ -322,6 +386,8 @@ class Executor:
                 out.append(row)
             elif plan.join_type is JoinType.LEFT and not matched:
                 out.append(row + null_inner)
+        if batched and pairs_examined:
+            trace.add_cpu(pairs_examined * CPU_OPERATOR_UNITS)
         self._ctx.charge_eval(eval_ctx)
         return out
 
@@ -337,10 +403,15 @@ class Executor:
         out: List[tuple] = []
         i = j = 0
         n_outer, n_inner = len(outer_rows), len(inner_rows)
+        batched = FAST_PATH and trace.can_batch_cpu()
+        steps = 0
         while i < n_outer and j < n_inner:
             ok = outer_key.eval(outer_rows[i], eval_ctx)
             ik = inner_key.eval(inner_rows[j], eval_ctx)
-            trace.add_cpu(CPU_OPERATOR_UNITS)
+            if batched:
+                steps += 1
+            else:
+                trace.add_cpu(CPU_OPERATOR_UNITS)
             if ok is None:
                 i += 1
                 continue
@@ -365,11 +436,16 @@ class Executor:
                     if k != ok:
                         break
                     for jj in range(j, j_end):
-                        trace.add_cpu(CPU_OPERATOR_UNITS)
+                        if batched:
+                            steps += 1
+                        else:
+                            trace.add_cpu(CPU_OPERATOR_UNITS)
                         out.append(outer_rows[i_run] + inner_rows[jj])
                     i_run += 1
                 i = i_run
                 j = j_end
+        if batched and steps:
+            trace.add_cpu(steps * CPU_OPERATOR_UNITS)
         self._ctx.charge_eval(eval_ctx)
         return out
 
@@ -416,20 +492,39 @@ class Executor:
             for spec in plan.aggregates
         ]
 
+        per_row_units = (CPU_HASH_UNITS
+                         + CPU_AGG_TRANSITION_UNITS * max(1, len(plan.aggregates)))
+        batched = FAST_PATH and trace.can_batch_cpu()
+        if batched and rows:
+            trace.add_cpu(len(rows) * per_row_units)
+
         groups: Dict[tuple, List[_AggState]] = {}
         order: List[tuple] = []
-        for row in rows:
-            key = tuple(k.eval(row, eval_ctx) for k in group_keys)
-            trace.add_cpu(CPU_HASH_UNITS + CPU_AGG_TRANSITION_UNITS * max(1, len(plan.aggregates)))
-            states = groups.get(key)
-            if states is None:
-                states = [_AggState(spec.func, spec.distinct)
-                          for spec in plan.aggregates]
-                groups[key] = states
-                order.append(key)
-            for state, arg in zip(states, agg_args):
-                value = arg.eval(row, eval_ctx) if arg is not None else None
-                state.update(value)
+        if (batched and rows and not group_keys
+                and all(spec.func is AggFunc.COUNT_STAR
+                        for spec in plan.aggregates)):
+            # Global COUNT(*) fast path: no keys to evaluate, no args to
+            # feed — the whole input collapses to one count per state.
+            states = [_AggState(spec.func, spec.distinct)
+                      for spec in plan.aggregates]
+            for state in states:
+                state.count = len(rows)
+            groups[()] = states
+            order.append(())
+        else:
+            for row in rows:
+                key = tuple(k.eval(row, eval_ctx) for k in group_keys)
+                if not batched:
+                    trace.add_cpu(per_row_units)
+                states = groups.get(key)
+                if states is None:
+                    states = [_AggState(spec.func, spec.distinct)
+                              for spec in plan.aggregates]
+                    groups[key] = states
+                    order.append(key)
+                for state, arg in zip(states, agg_args):
+                    value = arg.eval(row, eval_ctx) if arg is not None else None
+                    state.update(value)
 
         if not group_keys and not groups:
             # Global aggregate over an empty input still yields one row.
@@ -455,10 +550,17 @@ class Executor:
         eval_ctx = EvalContext()
         predicate = plan.predicate.bind(plan.input.layout)
         out = []
-        for row in rows:
-            trace.add_cpu(CPU_OPERATOR_UNITS)
-            if predicate.eval(row, eval_ctx) is True:
-                out.append(row)
+        if FAST_PATH and trace.can_batch_cpu():
+            if rows:
+                trace.add_cpu(len(rows) * CPU_OPERATOR_UNITS)
+            for row in rows:
+                if predicate.eval(row, eval_ctx) is True:
+                    out.append(row)
+        else:
+            for row in rows:
+                trace.add_cpu(CPU_OPERATOR_UNITS)
+                if predicate.eval(row, eval_ctx) is True:
+                    out.append(row)
         self._ctx.charge_eval(eval_ctx)
         return out
 

@@ -48,6 +48,10 @@ CPU_BUFFER_HIT_UNITS = 25.0
 #: (page header parsing, slot iteration).
 CPU_PAGE_PROCESS_UNITS = 180.0
 
+#: Ceiling under which double-precision floats represent every integer
+#: exactly; batched CPU charging is only used below it.
+EXACT_CPU_LIMIT = float(2**53)
+
 
 @dataclass
 class WorkTrace:
@@ -79,6 +83,19 @@ class WorkTrace:
         if units < 0:
             raise ValueError("cannot charge negative CPU work")
         self.cpu_units += units
+
+    def can_batch_cpu(self) -> bool:
+        """Whether charging ``n * units`` once equals ``n`` unit charges.
+
+        Every unit constant in this module is an integer-valued float,
+        so as long as the accumulator holds an exact integer below
+        :data:`EXACT_CPU_LIMIT`, a single multiply-and-add lands on the
+        same double as the per-row addition sequence. Sort comparison
+        charges are the one non-integral source; after one of those the
+        executor's batched fast paths fall back to scalar charging so
+        traces stay bit-identical either way.
+        """
+        return self.cpu_units < EXACT_CPU_LIMIT and self.cpu_units.is_integer()
 
     def add_tuples(self, n: int, units_per_tuple: float = CPU_TUPLE_UNITS) -> None:
         """Charge per-tuple CPU work for *n* tuples."""

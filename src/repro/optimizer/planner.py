@@ -67,6 +67,7 @@ from repro.engine.sql.binder import (
 from repro.engine.statistics import TableStats
 from repro.obs import metrics
 from repro.optimizer import cost as costf
+from repro.optimizer import recost
 from repro.optimizer.params import OptimizerParameters
 from repro.optimizer.selectivity import SelectivityEstimator
 from repro.util.errors import PlanningError
@@ -86,6 +87,8 @@ class _SubPlan:
     aliases: FrozenSet[str]
     rows: float
     cost: float
+    #: Replayable cost expression for this subtree (recording mode only).
+    node: Optional[recost.CostNode] = None
 
 
 class Planner:
@@ -101,27 +104,39 @@ class Planner:
 
     # -- entry points ------------------------------------------------------
 
-    def plan_sql(self, sql: str) -> PlanNode:
+    def plan_sql(self, sql: str,
+                 recorder: Optional[recost.PlanCostRecorder] = None) -> PlanNode:
         query = Binder(self._catalog).bind_sql(sql)
-        return self.plan_query(query)
+        return self.plan_query(query, recorder)
 
-    def plan_query(self, query: LogicalQuery) -> PlanNode:
+    def plan_query(self, query: LogicalQuery,
+                   recorder: Optional[recost.PlanCostRecorder] = None) -> PlanNode:
+        """Plan *query*; with a *recorder*, also capture its cost program.
+
+        The recorder collects a replayable cost DAG (see
+        :mod:`repro.optimizer.recost`) and receives the root node via
+        :meth:`~repro.optimizer.recost.PlanCostRecorder.deposit_root`
+        when the build finishes — claim it with ``take_root()``.
+        """
         metrics.counter("optimizer.plans").inc()
         with metrics.timer("optimizer.plan_seconds"):
-            state = _PlanState(self, query)
+            state = _PlanState(self, query, recorder)
             return state.build()
 
 
 class _PlanState:
     """Planning state for one query."""
 
-    def __init__(self, planner: Planner, query: LogicalQuery):
+    def __init__(self, planner: Planner, query: LogicalQuery,
+                 recorder: Optional[recost.PlanCostRecorder] = None):
         self._planner = planner
         self._params = planner.params
         self._catalog = planner._catalog
         self._query = query
+        self._recorder = recorder
         self._stats_by_alias: Dict[str, Optional[TableStats]] = {}
         self._derived_plans: Dict[str, PlanNode] = {}
+        self._derived_cost_nodes: Dict[str, Optional[recost.CostNode]] = {}
         self._collect_stats(query.from_tree)
         self._estimator = SelectivityEstimator(self._stats_by_alias)
 
@@ -137,7 +152,17 @@ class _PlanState:
                 info = self._catalog.table(node.table)
             self._stats_by_alias[node.alias] = info.stats
         elif isinstance(node, LogicalDerived):
-            subplan = Planner(self._catalog, self._params).plan_query(node.query)
+            recorder = self._recorder
+            subplan = Planner(self._catalog, self._params).plan_query(
+                node.query, recorder
+            )
+            if recorder is not None:
+                root = recorder.take_root()
+                if root is None:
+                    recorder.mark_uncompilable(
+                        f"derived table {node.alias!r} produced no cost node"
+                    )
+                self._derived_cost_nodes[node.alias] = root
             subplan.layout = RowLayout(
                 [(node.alias, name) for name in node.column_names]
             )
@@ -151,31 +176,44 @@ class _PlanState:
 
     def build(self) -> PlanNode:
         query = self._query
-        subplans = self._plan_scalar_subqueries()
+        recorder = self._recorder
+        subplans, subplan_nodes = self._plan_scalar_subqueries()
         pool = _ConjunctPool(query.where)
-        plan = self._plan_tree(query.from_tree, pool)
-        plan = self._apply_leftover(plan, pool, frozenset(query.from_tree.aliases()))
+        sub = self._plan_tree(query.from_tree, pool)
+        plan, node = self._apply_leftover(
+            sub, pool, frozenset(query.from_tree.aliases())
+        )
         if pool.remaining():
             leftover = [str(c) for c in pool.remaining()]
             raise PlanningError(f"unplaced WHERE conjuncts: {leftover}")
 
         if query.is_aggregated:
-            plan = self._add_aggregate(plan)
-        plan = self._add_project(plan)
+            plan, node = self._add_aggregate(plan, node)
+        plan, node = self._add_project(plan, node)
         if query.distinct:
-            plan = self._add_distinct(plan)
+            plan, node = self._add_distinct(plan, node)
         if query.order_by:
-            plan = self._add_sort(plan, query.order_by)
+            plan, node = self._add_sort(plan, query.order_by, node)
         if query.limit is not None:
             limited = Limit(input=plan, count=query.limit)
             limited.est_rows = min(plan.est_rows, float(query.limit))
             limited.est_total_cost = plan.est_total_cost
-            plan = limited
+            plan = limited  # cost passthrough: the node carries over
         # Each scalar subquery executes exactly once per outer execution.
         plan.est_total_cost += sum(sp.plan.est_total_cost for sp in subplans)
+        if recorder is not None:
+            if node is None:
+                recorder.mark_uncompilable("plan root produced no cost node")
+                recorder.deposit_root(None)
+            else:
+                recorder.deposit_root(
+                    recost.Sum(node, tuple(subplan_nodes))
+                )
         return plan
 
-    def _plan_scalar_subqueries(self) -> List[SubplanExpr]:
+    def _plan_scalar_subqueries(
+        self,
+    ) -> Tuple[List[SubplanExpr], List[recost.CostNode]]:
         """Plan every uncorrelated scalar subquery under this query."""
         query = self._query
         exprs: List[Expr] = list(query.where) + list(query.select_exprs)
@@ -197,11 +235,21 @@ class _PlanState:
         subplans: List[SubplanExpr] = []
         for expr in exprs:
             subplans.extend(_find_subplans(expr))
+        recorder = self._recorder
+        nodes: List[recost.CostNode] = []
         for subplan in subplans:
             subplan.plan = Planner(self._catalog, self._params).plan_query(
-                subplan.logical
+                subplan.logical, recorder
             )
-        return subplans
+            if recorder is not None:
+                root = recorder.take_root()
+                if root is None:
+                    recorder.mark_uncompilable(
+                        "scalar subquery produced no cost node"
+                    )
+                else:
+                    nodes.append(root)
+        return subplans, nodes
 
     # -- FROM tree ------------------------------------------------------------------
 
@@ -267,7 +315,8 @@ class _PlanState:
             plan = self._derived_plans[node.alias]
             rows = max(1.0, plan.est_rows)
             return _SubPlan(plan=plan, aliases=frozenset([node.alias]),
-                            rows=rows, cost=plan.est_total_cost)
+                            rows=rows, cost=plan.est_total_cost,
+                            node=self._derived_cost_nodes.get(node.alias))
         assert isinstance(node, LogicalRelation)
         local = pool.take_single_alias(node.alias)
         return self._best_access_path(node, local)
@@ -296,21 +345,34 @@ class _PlanState:
         )
         best_plan: PlanNode = seq
         best_cost = seq.est_total_cost
+        recording = self._recorder is not None
+        path_nodes: List[recost.CostNode] = []
+        if recording:
+            path_nodes.append(recost.Call(costf.seq_scan_cost, (
+                stats.n_pages, stats.n_rows, self._pred_node(filter_expr),
+            )))
 
         for index_info in info.indexes.values():
-            candidate = self._index_path(node, info, index_info, stats,
-                                         local_conjuncts, layout, out_rows)
-            if candidate is not None and candidate.est_total_cost < best_cost:
+            indexed = self._index_path(node, info, index_info, stats,
+                                       local_conjuncts, layout, out_rows)
+            if indexed is None:
+                continue
+            candidate, candidate_node = indexed
+            if recording:
+                path_nodes.append(candidate_node)
+            if candidate.est_total_cost < best_cost:
                 best_plan = candidate
                 best_cost = candidate.est_total_cost
 
         return _SubPlan(plan=best_plan, aliases=frozenset([node.alias]),
-                        rows=out_rows, cost=best_cost)
+                        rows=out_rows, cost=best_cost,
+                        node=recost.Min(tuple(path_nodes)) if recording else None)
 
-    def _index_path(self, node: LogicalRelation, info: TableInfo,
-                    index_info: IndexInfo, stats: TableStats,
-                    local_conjuncts: List[Expr], layout: RowLayout,
-                    out_rows: float) -> Optional[IndexScan]:
+    def _index_path(
+        self, node: LogicalRelation, info: TableInfo,
+        index_info: IndexInfo, stats: TableStats,
+        local_conjuncts: List[Expr], layout: RowLayout, out_rows: float,
+    ) -> Optional[Tuple[IndexScan, Optional[recost.CostNode]]]:
         column = index_info.column_name
         low = high = None
         low_inc = high_inc = True
@@ -354,7 +416,29 @@ class _PlanState:
             params, tree.height, leaf_pages, tuples_fetched,
             stats.n_pages, per_tuple,
         )
-        return scan
+        scan_node = None
+        if self._recorder is not None:
+            scan_node = recost.Call(costf.index_scan_cost, (
+                tree.height, leaf_pages, tuples_fetched,
+                stats.n_pages, self._pred_node(residual_expr),
+            ))
+        return scan, scan_node
+
+    def _pred_node(self, expr: Optional[Expr]) -> Optional[recost.Pred]:
+        """The :class:`~repro.optimizer.recost.Pred` replaying *expr*'s cost.
+
+        Mirrors :func:`repro.optimizer.cost.predicate_cpu_cost`: the
+        operator count and expected LIKE bytes are ``P``-independent,
+        so freezing them reproduces the cost bit-identically under any
+        parameter set.
+        """
+        if self._recorder is None:
+            return None
+        if expr is None:
+            return recost.Pred(0, 0.0)
+        return recost.Pred(
+            expr.op_count(), costf.expr_like_bytes(expr, self._estimator)
+        )
 
     # -- join ordering --------------------------------------------------------------------
 
@@ -380,6 +464,7 @@ class _PlanState:
                 continue
             mask_aliases = aliases_of(mask)
             candidate: Optional[_SubPlan] = None
+            mask_nodes: List[recost.CostNode] = []
             sub = (mask - 1) & mask
             while sub:
                 other = mask ^ sub
@@ -394,10 +479,17 @@ class _PlanState:
                         for joined in self._join_candidates(
                             left_best, right_best, cross
                         ):
+                            if joined.node is not None:
+                                mask_nodes.append(joined.node)
                             if candidate is None or joined.cost < candidate.cost:
                                 candidate = joined
                 sub = (sub - 1) & mask
             if candidate is not None:
+                if self._recorder is not None:
+                    # The replay must re-decide this subset's winner under
+                    # the new P, over every candidate in comparison order
+                    # — not just replay the winner chosen under this P.
+                    candidate.node = recost.Min(tuple(mask_nodes))
                 best[mask] = candidate
         result = best.get(full)
         if result is None:
@@ -406,6 +498,12 @@ class _PlanState:
 
     def _greedy_join(self, subplans: List[_SubPlan],
                      join_conjuncts: List[Expr]) -> _SubPlan:
+        if self._recorder is not None:
+            # Greedy ordering prunes by cost, so the *structure* of the
+            # search depends on P — no replayable program exists.
+            self._recorder.mark_uncompilable(
+                f"greedy join ordering over {len(subplans)} relations"
+            )
         work = list(subplans)
         while len(work) > 1:
             best_pair: Optional[Tuple[int, int, _SubPlan]] = None
@@ -438,6 +536,7 @@ class _PlanState:
     def _make_join(self, outer: _SubPlan, inner: _SubPlan,
                    join_type: JoinType, cond: List[Expr]) -> _SubPlan:
         params = self._params
+        recording = self._recorder is not None
         aliases = outer.aliases | inner.aliases
         equi, residual = _split_equi(cond, outer.aliases, inner.aliases)
 
@@ -455,6 +554,7 @@ class _PlanState:
             result_rows = max(1.0, outer.rows * (1.0 - match_prob))
 
         candidates: List[PlanNode] = []
+        cand_nodes: List[recost.CostNode] = []
         if equi:
             outer_keys = [e[0] for e in equi]
             inner_keys = [e[1] for e in equi]
@@ -473,6 +573,11 @@ class _PlanState:
                 inner_join_rows, residual_cost,
             )
             candidates.append(hash_join)
+            if recording:
+                cand_nodes.append(recost.Call(costf.hash_join_cost, (
+                    outer.node, inner.node, outer.rows, inner.rows,
+                    inner_join_rows, self._pred_node(residual_expr),
+                )))
 
             if len(equi) == 1 and join_type is JoinType.INNER and not residual:
                 outer_sorted = self._sorted(outer, equi[0][0])
@@ -487,6 +592,11 @@ class _PlanState:
                     outer.rows, inner.rows, inner_join_rows,
                 )
                 candidates.append(merge)
+                if recording:
+                    cand_nodes.append(recost.Call(costf.merge_join_cost, (
+                        outer_sorted.node, inner_sorted.node,
+                        outer.rows, inner.rows, inner_join_rows,
+                    )))
 
         predicate = and_together(cond)
         pred_cost = costf.predicate_cpu_cost(predicate, params, self._estimator)
@@ -500,10 +610,16 @@ class _PlanState:
             inner_join_rows, pred_cost,
         )
         candidates.append(nested)
+        if recording:
+            cand_nodes.append(recost.Call(costf.nested_loop_cost, (
+                outer.node, inner.node, outer.rows, inner.rows,
+                inner_join_rows, self._pred_node(predicate),
+            )))
 
         best = min(candidates, key=lambda plan: plan.est_total_cost)
         return _SubPlan(plan=best, aliases=aliases, rows=result_rows,
-                        cost=best.est_total_cost)
+                        cost=best.est_total_cost,
+                        node=recost.Min(tuple(cand_nodes)) if recording else None)
 
     def _sorted(self, sub: _SubPlan, key: Expr) -> _SubPlan:
         sort = Sort(input=sub.plan, keys=[SortKey(key, True)])
@@ -512,15 +628,20 @@ class _PlanState:
         sort.est_total_cost = costf.sort_cost(
             self._params, sub.cost, sub.rows, width, 1
         )
+        node = None
+        if self._recorder is not None:
+            node = recost.Call(costf.sort_cost, (sub.node, sub.rows, width, 1))
         return _SubPlan(plan=sort, aliases=sub.aliases, rows=sub.rows,
-                        cost=sort.est_total_cost)
+                        cost=sort.est_total_cost, node=node)
 
     # -- leftover predicates -------------------------------------------------------------
 
-    def _apply_leftover(self, sub: _SubPlan, pool: "_ConjunctPool",
-                        aliases: FrozenSet[str]) -> PlanNode:
+    def _apply_leftover(
+        self, sub: _SubPlan, pool: "_ConjunctPool", aliases: FrozenSet[str],
+    ) -> Tuple[PlanNode, Optional[recost.CostNode]]:
         applicable = pool.take_covered(aliases)
         plan = sub.plan
+        cost_node = sub.node
         if applicable:
             predicate = and_together(applicable)
             sel = self._estimator.estimate_conjuncts(applicable)
@@ -530,8 +651,12 @@ class _PlanState:
                 self._params, sub.cost, sub.rows,
                 costf.predicate_cpu_cost(predicate, self._params, self._estimator),
             )
+            if self._recorder is not None:
+                cost_node = recost.Call(costf.filter_cost, (
+                    cost_node, sub.rows, self._pred_node(predicate),
+                ))
             plan = node
-        return plan
+        return plan, cost_node
 
     def _apply_leftover_sub(self, sub: _SubPlan, pool: "_ConjunctPool") -> _SubPlan:
         applicable = pool.take_covered(sub.aliases)
@@ -545,12 +670,19 @@ class _PlanState:
             self._params, sub.cost, sub.rows,
             costf.predicate_cpu_cost(predicate, self._params, self._estimator),
         )
+        cost_node = None
+        if self._recorder is not None:
+            cost_node = recost.Call(costf.filter_cost, (
+                sub.node, sub.rows, self._pred_node(predicate),
+            ))
         return _SubPlan(plan=node, aliases=sub.aliases, rows=node.est_rows,
-                        cost=node.est_total_cost)
+                        cost=node.est_total_cost, node=cost_node)
 
     # -- upper plan -------------------------------------------------------------------------
 
-    def _add_aggregate(self, plan: PlanNode) -> PlanNode:
+    def _add_aggregate(
+        self, plan: PlanNode, input_node: Optional[recost.CostNode],
+    ) -> Tuple[PlanNode, Optional[recost.CostNode]]:
         query = self._query
         params = self._params
         n_groups = self._estimate_groups(query.group_keys, plan.est_rows)
@@ -571,7 +703,17 @@ class _PlanState:
             params, plan.est_total_cost, plan.est_rows, n_groups,
             len(query.aggregates), arg_cost,
         )
-        return node
+        cost_node = None
+        if self._recorder is not None:
+            arg_node = recost.PredSum(tuple(
+                self._pred_node(spec.arg)
+                for spec in query.aggregates if spec.arg is not None
+            ))
+            cost_node = recost.Call(costf.aggregate_cost, (
+                input_node, plan.est_rows, n_groups,
+                len(query.aggregates), arg_node,
+            ))
+        return node, cost_node
 
     def _estimate_groups(self, group_keys: Sequence[Expr], input_rows: float) -> float:
         if not group_keys:
@@ -585,7 +727,9 @@ class _PlanState:
                 total *= DEFAULT_GROUPS
         return max(1.0, min(total, input_rows))
 
-    def _add_project(self, plan: PlanNode) -> PlanNode:
+    def _add_project(
+        self, plan: PlanNode, input_node: Optional[recost.CostNode],
+    ) -> Tuple[PlanNode, Optional[recost.CostNode]]:
         query = self._query
         params = self._params
         expr_cost = sum(
@@ -598,9 +742,19 @@ class _PlanState:
         node.est_total_cost = costf.project_cost(
             params, plan.est_total_cost, plan.est_rows, expr_cost
         )
-        return node
+        cost_node = None
+        if self._recorder is not None:
+            expr_node = recost.PredSum(tuple(
+                self._pred_node(e) for e in query.select_exprs
+            ))
+            cost_node = recost.Call(costf.project_cost, (
+                input_node, plan.est_rows, expr_node,
+            ))
+        return node, cost_node
 
-    def _add_distinct(self, plan: PlanNode) -> PlanNode:
+    def _add_distinct(
+        self, plan: PlanNode, input_node: Optional[recost.CostNode],
+    ) -> Tuple[PlanNode, Optional[recost.CostNode]]:
         names = [column for _alias, column in plan.layout.slots]
         keys: List[Expr] = [ColumnRef("_out", name) for name in names]
         agg = Aggregate(input=plan, group_keys=keys, aggregates=[],
@@ -617,16 +771,30 @@ class _PlanState:
         )
         rename.est_rows = agg.est_rows
         rename.est_total_cost = agg.est_total_cost
-        return rename
+        cost_node = None
+        if self._recorder is not None:
+            # The rename Project is a cost passthrough of the Aggregate.
+            cost_node = recost.Call(costf.aggregate_cost, (
+                input_node, plan.est_rows, agg.est_rows, 0, 0.0,
+            ))
+        return rename, cost_node
 
-    def _add_sort(self, plan: PlanNode, keys: List[SortKey]) -> PlanNode:
+    def _add_sort(
+        self, plan: PlanNode, keys: List[SortKey],
+        input_node: Optional[recost.CostNode],
+    ) -> Tuple[PlanNode, Optional[recost.CostNode]]:
         node = Sort(input=plan, keys=list(keys))
         width = 24.0 + 8.0 * len(plan.layout)
         node.est_rows = plan.est_rows
         node.est_total_cost = costf.sort_cost(
             self._params, plan.est_total_cost, plan.est_rows, width, len(keys)
         )
-        return node
+        cost_node = None
+        if self._recorder is not None:
+            cost_node = recost.Call(costf.sort_cost, (
+                input_node, plan.est_rows, width, len(keys),
+            ))
+        return node, cost_node
 
 
 # -- helpers ------------------------------------------------------------------------

@@ -1,0 +1,217 @@
+"""Optimize once, re-cost many: compiled cost programs.
+
+Design search evaluates the same workload under dozens of calibrated
+parameter sets ``P`` — one per candidate allocation — and the planner
+re-derives the *same* candidate plan shapes every time, because
+everything structural (access-path candidates, the dpsize join lattice,
+row and selectivity estimates) depends only on the catalog, never on
+``P``. Only the cost arithmetic and the argmin decisions vary.
+
+A :class:`CostProgram` captures that split. While the planner builds a
+plan it can record, at every costing site, a small expression node:
+
+* :class:`Call` — one cost-formula invocation, holding the formula and
+  its ``P``-independent quantities, with child nodes where the formula
+  consumes another plan's cost;
+* :class:`Pred` — a predicate's ``(operator count, LIKE bytes)``, the
+  two quantities :func:`repro.optimizer.cost.predicate_cpu_cost`
+  prices;
+* :class:`PredSum` — an ordered sum of predicate costs (aggregate
+  arguments, projection expressions);
+* :class:`Min` — one planner decision: the candidates, in the exact
+  order the planner compared them, resolved by first minimum under
+  strict ``<`` (Python's ``min`` tie-break);
+* :class:`Sum` — the final plan cost plus its scalar-subquery costs.
+
+Evaluating the program under a new ``P`` replays the identical
+arithmetic — the :class:`Call` nodes invoke the *same* cost functions
+in the same argument order — so the result is bit-identical to
+re-running the planner under that ``P``, at a fraction of the work.
+The dynamic-programming join order makes the nodes a DAG (each subset's
+:class:`Min` is shared by every larger subset that splits through it);
+evaluation memoizes per node.
+
+Programs are only valid for the catalog they were compiled against:
+:class:`CostProgram.fingerprint` holds
+:meth:`repro.engine.catalog.Catalog.fingerprint` from compile time, and
+:class:`repro.optimizer.whatif.WhatIfOptimizer` refuses to replay a
+program whose fingerprint no longer matches. Queries whose structure
+*does* depend on ``P`` (join regions past the DP limit use greedy
+ordering, which prunes by cost) are flagged non-compilable at recording
+time and keep the full re-planning path.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional, Tuple, Union
+
+from repro.optimizer.params import OptimizerParameters
+
+
+class CostNode:
+    """Base class for cost-expression nodes."""
+
+    __slots__ = ()
+
+    def evaluate(self, params: OptimizerParameters,
+                 memo: Dict[int, float]) -> float:
+        raise NotImplementedError
+
+
+#: A recorded argument: either a replayable node or a frozen quantity.
+Arg = Union[CostNode, float, int]
+
+
+class Num(CostNode):
+    """A ``P``-independent constant (rarely needed; args are inlined)."""
+
+    __slots__ = ("value",)
+
+    def __init__(self, value: float):
+        self.value = value
+
+    def evaluate(self, params, memo):
+        return self.value
+
+
+class Pred(CostNode):
+    """Replay of ``predicate_cpu_cost``: priced operator and LIKE work."""
+
+    __slots__ = ("ops", "like_bytes")
+
+    def __init__(self, ops: int, like_bytes: float):
+        self.ops = ops
+        self.like_bytes = like_bytes
+
+    def evaluate(self, params, memo):
+        # Mirrors predicate_cpu_cost's arithmetic order exactly.
+        ops_cost = self.ops * params.cpu_operator_cost
+        like_cost = self.like_bytes * params.cpu_like_byte_cost
+        return ops_cost + like_cost
+
+
+class PredSum(CostNode):
+    """Ordered sum of predicate costs (``sum`` starting from ``0``)."""
+
+    __slots__ = ("preds",)
+
+    def __init__(self, preds: Tuple[Pred, ...]):
+        self.preds = preds
+
+    def evaluate(self, params, memo):
+        return sum(p.evaluate(params, memo) for p in self.preds)
+
+
+class Call(CostNode):
+    """One cost-formula invocation with frozen quantities."""
+
+    __slots__ = ("fn", "args")
+
+    def __init__(self, fn: Callable[..., float], args: Tuple[Arg, ...]):
+        self.fn = fn
+        self.args = args
+
+    def evaluate(self, params, memo):
+        resolved = [
+            evaluate(arg, params, memo) if isinstance(arg, CostNode) else arg
+            for arg in self.args
+        ]
+        return self.fn(params, *resolved)
+
+
+class Min(CostNode):
+    """One planner decision: first minimum over ordered candidates."""
+
+    __slots__ = ("candidates",)
+
+    def __init__(self, candidates: Tuple[CostNode, ...]):
+        if not candidates:
+            raise ValueError("a decision needs at least one candidate")
+        self.candidates = candidates
+
+    def evaluate(self, params, memo):
+        best = evaluate(self.candidates[0], params, memo)
+        for candidate in self.candidates[1:]:
+            value = evaluate(candidate, params, memo)
+            if value < best:
+                best = value
+        return best
+
+
+class Sum(CostNode):
+    """Plan cost plus scalar-subquery costs (``base + sum(parts)``)."""
+
+    __slots__ = ("base", "parts")
+
+    def __init__(self, base: CostNode, parts: Tuple[CostNode, ...]):
+        self.base = base
+        self.parts = parts
+
+    def evaluate(self, params, memo):
+        base = evaluate(self.base, params, memo)
+        return base + sum(evaluate(p, params, memo) for p in self.parts)
+
+
+def evaluate(node: CostNode, params: OptimizerParameters,
+             memo: Dict[int, float]) -> float:
+    """Evaluate *node* under *params*, memoized per DAG node."""
+    key = id(node)
+    cached = memo.get(key)
+    if cached is None:
+        cached = node.evaluate(params, memo)
+        memo[key] = cached
+    return cached
+
+
+class CostProgram:
+    """A compiled query: replayable cost DAG plus validity metadata."""
+
+    __slots__ = ("root", "fingerprint", "est_rows")
+
+    def __init__(self, root: CostNode, fingerprint: tuple, est_rows: float):
+        self.root = root
+        self.fingerprint = fingerprint
+        self.est_rows = est_rows
+
+    def cost(self, params: OptimizerParameters) -> float:
+        """Total plan cost under *params* — bit-identical to replanning."""
+        return evaluate(self.root, params, {})
+
+
+class PlanCostRecorder:
+    """Collects the cost DAG while :class:`~repro.optimizer.planner.Planner` runs.
+
+    One recorder accompanies one top-level ``plan_query`` call,
+    including its nested calls for derived tables and scalar
+    subqueries: each nested build deposits its root here and the caller
+    claims it immediately with :meth:`take_root`. If any build hits a
+    structurally ``P``-dependent path it calls :meth:`mark_uncompilable`
+    and the whole query keeps full re-planning.
+    """
+
+    __slots__ = ("compilable", "reason", "_root")
+
+    def __init__(self):
+        self.compilable = True
+        self.reason: Optional[str] = None
+        self._root: Optional[CostNode] = None
+
+    def mark_uncompilable(self, reason: str) -> None:
+        self.compilable = False
+        self.reason = reason
+
+    def deposit_root(self, node: Optional[CostNode]) -> None:
+        self._root = node
+
+    def take_root(self) -> Optional[CostNode]:
+        node, self._root = self._root, None
+        return node
+
+    def program(self, fingerprint: tuple,
+                est_rows: float) -> Optional[CostProgram]:
+        """The compiled program, or ``None`` if recording bailed out."""
+        root = self.take_root()
+        if not self.compilable or root is None:
+            return None
+        return CostProgram(root=root, fingerprint=fingerprint,
+                           est_rows=est_rows)

@@ -8,33 +8,87 @@ unchanged; only ``P`` varies, exactly as Section 4 of the paper
 prescribes. Estimates are intended for *ranking* alternatives, not as
 absolute predictions.
 
-Observability: computed estimates increment
-``optimizer.whatif.estimates``; estimates answered from the shared
-(query, ``P``) plan cache increment ``optimizer.whatif.cache_hits``.
-The difference is how much re-optimization the what-if mode actually
-performs across a design run.
+Optimize once, re-cost many: the first time a query is optimized, the
+planner also records a :class:`~repro.optimizer.recost.CostProgram` —
+a replayable cost expression whose structure (candidate plan shapes,
+join lattice, row estimates) is ``P``-independent. Subsequent
+estimates of the same query under *different* parameter sets replay
+the program instead of re-planning, producing bit-identical costs at a
+fraction of the work. Design search sweeps dozens of allocations over
+one workload, so this turns its optimizer bill from
+``O(queries x allocations)`` plans into ``O(queries)`` plans plus
+cheap re-costs. Programs are guarded by the catalog fingerprint: any
+DDL, data load, or ``analyze`` changes the fingerprint and invalidates
+them.
+
+Observability: full optimizations increment
+``optimizer.whatif.estimates``; program replays increment
+``optimizer.whatif.recosts``; estimates answered from the shared
+(query, ``P``, catalog) cache increment
+``optimizer.whatif.cache_hits``. Together they show how much true
+re-optimization the what-if mode performs across a design run.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence
+import contextlib
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence
 
 from repro.engine.catalog import Catalog
 from repro.engine.plans import PlanNode
 from repro.obs import metrics
 from repro.optimizer.params import OptimizerParameters
 from repro.optimizer.planner import Planner
+from repro.optimizer.recost import CostProgram, PlanCostRecorder
+
+#: Module-level switch for the optimize-once/re-cost-many fast path.
+#: With it off, every estimate plans fully and no program is compiled
+#: or replayed — the reference path the fast path must match bit for
+#: bit. Flip it through :func:`full_planning_fallback`, not directly.
+FAST_PATH = True
+
+
+@contextlib.contextmanager
+def full_planning_fallback():
+    """Run with program compilation and replay disabled.
+
+    The benchmark harness (``scripts/bench_hotpath.py``) and the
+    property suite use this to prove the replayed costs are
+    bit-identical to full re-planning; it is not a tuning knob.
+    """
+    global FAST_PATH
+    prior = FAST_PATH
+    FAST_PATH = False
+    try:
+        yield
+    finally:
+        FAST_PATH = prior
 
 
 @dataclass
 class QueryEstimate:
-    """What-if estimate for one query."""
+    """What-if estimate for one query.
+
+    Estimates produced by program replay carry no materialized plan —
+    re-costing is the point of skipping plan construction — but
+    :attr:`plan` stays available: accessing it plans the query on
+    demand under the estimate's parameter set.
+    """
 
     sql: str
-    plan: PlanNode
     cost_units: float
     estimated_seconds: float
+    _plan: Optional[PlanNode] = field(default=None, repr=False)
+    _plan_factory: Optional[Callable[[], PlanNode]] = field(
+        default=None, repr=False, compare=False
+    )
+
+    @property
+    def plan(self) -> Optional[PlanNode]:
+        if self._plan is None and self._plan_factory is not None:
+            self._plan = self._plan_factory()
+        return self._plan
 
 
 class WhatIfOptimizer:
@@ -44,6 +98,9 @@ class WhatIfOptimizer:
         self._catalog = catalog
         self._params = params or OptimizerParameters.defaults()
         self._plan_cache: Dict[tuple, QueryEstimate] = {}
+        #: (sql, catalog fingerprint) -> compiled program, or None when
+        #: the query's plan structure depends on P (not replayable).
+        self._programs: Dict[tuple, Optional[CostProgram]] = {}
 
     @property
     def params(self) -> OptimizerParameters:
@@ -52,32 +109,61 @@ class WhatIfOptimizer:
     def with_params(self, params: OptimizerParameters) -> "WhatIfOptimizer":
         """A what-if instance for a different environment ``P``.
 
-        The catalog (access paths, statistics) and the plan cache are
-        shared — changing ``P`` must never touch the database itself,
-        and estimates are keyed by (query, P) so alternating between
-        parameter sets stays cheap.
+        The catalog (access paths, statistics), the estimate cache, and
+        the compiled cost programs are shared — changing ``P`` must
+        never touch the database itself, and programs are exactly the
+        artifact that makes alternating between parameter sets cheap.
         """
         other = WhatIfOptimizer(self._catalog, params)
         other._plan_cache = self._plan_cache
+        other._programs = self._programs
         return other
 
     # -- estimation ---------------------------------------------------------
 
     def estimate_query(self, sql: str) -> QueryEstimate:
         """Optimize *sql* under the current ``P`` and estimate its time."""
-        key = (sql, self._params)
+        fingerprint = self._catalog.fingerprint()
+        key = (sql, self._params, fingerprint)
         cached = self._plan_cache.get(key)
         if cached is not None:
             metrics.counter("optimizer.whatif.cache_hits").inc()
             return cached
+
+        program_key = (sql, fingerprint)
+        program = self._programs.get(program_key) if FAST_PATH else None
+        if program is not None:
+            # Replay the recorded cost expression under the current P —
+            # bit-identical to re-planning, without building a plan.
+            metrics.counter("optimizer.whatif.recosts").inc()
+            params = self._params
+            cost = program.cost(params)
+            catalog = self._catalog
+            estimate = QueryEstimate(
+                sql=sql,
+                cost_units=cost,
+                estimated_seconds=params.cost_to_seconds(cost),
+                _plan_factory=lambda: Planner(catalog, params).plan_sql(sql),
+            )
+            self._plan_cache[key] = estimate
+            return estimate
+
         metrics.counter("optimizer.whatif.estimates").inc()
         planner = Planner(self._catalog, self._params)
-        plan = planner.plan_sql(sql)
+        if not FAST_PATH or program_key in self._programs:
+            # Fallback mode, or known non-compilable: plan fully.
+            plan = planner.plan_sql(sql)
+        else:
+            recorder = PlanCostRecorder()
+            plan = planner.plan_sql(sql, recorder)
+            self._programs[program_key] = recorder.program(
+                fingerprint, plan.est_rows
+            )
         estimate = QueryEstimate(
             sql=sql,
-            plan=plan,
             cost_units=plan.est_total_cost,
             estimated_seconds=self._params.cost_to_seconds(plan.est_total_cost),
+            _plan=plan,
         )
         self._plan_cache[key] = estimate
         return estimate

@@ -1,0 +1,26 @@
+"""Profiling harness: deterministic cProfile runs over the hot flows.
+
+See :mod:`repro.profiling.harness` for the full story and
+``docs/profiling.md`` for how to read the reports. The CLI front end is
+``repro profile`` (``python -m repro profile --scenario design``).
+"""
+
+from repro.profiling.harness import (
+    DEFAULT_TOP,
+    HotFrame,
+    ProfileReport,
+    SCENARIOS,
+    Scenario,
+    folded_spans,
+    profile_scenario,
+)
+
+__all__ = [
+    "DEFAULT_TOP",
+    "HotFrame",
+    "ProfileReport",
+    "SCENARIOS",
+    "Scenario",
+    "folded_spans",
+    "profile_scenario",
+]

@@ -1,0 +1,322 @@
+"""Deterministic cProfile harness over the reproduction's hot flows.
+
+``cProfile`` is Python's *deterministic* (tracing) profiler: it hooks
+every call and return, so two runs of the same seeded scenario attribute
+time to the same frames — no sampling variance. The harness wraps three
+canonical scenarios behind one entry point:
+
+* ``calibration`` — run the synthetic calibration suite for a few
+  allocations through :class:`~repro.calibration.CalibrationRunner`,
+  the single-threaded inner loop that dominates design-time cost;
+* ``design`` — an exhaustive-grid allocation search over a small TPC-H
+  problem, the optimize-once/re-cost-many what-if path;
+* ``workload`` — plain TPC-H query execution, the engine's per-tuple
+  and perf-model arithmetic.
+
+Each run produces a :class:`ProfileReport` holding three aligned views
+of the same execution:
+
+* **hot frames** — per-function self/cumulative time from ``pstats``,
+  split into repro code and everything else, ranked by self time (the
+  frames worth attacking);
+* **span aggregates** — host seconds per :mod:`repro.obs.spans` name
+  recorded *during the profiled run*, so frame-level cost can be read
+  against the phase structure (calibrate vs search vs run_plan);
+* **folded stacks** — the span trees flattened into
+  ``root;child;leaf <microseconds>`` lines, the flamegraph interchange
+  format (`flamegraph.pl`, speedscope, and most viewers read it
+  directly).
+
+Reports are plain data: ``to_text()`` for the terminal, ``to_json()``
+for CI artifacts, ``folded()`` for the flamegraph file. See
+``docs/profiling.md`` for how to read and regenerate them.
+"""
+
+from __future__ import annotations
+
+import cProfile
+import io
+import json
+import pstats
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro import obs
+from repro.obs.spans import SpanRecorder, get_recorder
+
+#: Frames below this share of total self time are noise, not targets.
+DEFAULT_TOP = 25
+
+
+@dataclass
+class HotFrame:
+    """One function's share of a profiled run."""
+
+    path: str
+    line: int
+    func: str
+    calls: int
+    self_seconds: float
+    cum_seconds: float
+
+    @property
+    def location(self) -> str:
+        return f"{self.path}:{self.line}:{self.func}"
+
+    def as_dict(self) -> dict:
+        return {
+            "path": self.path, "line": self.line, "func": self.func,
+            "calls": self.calls, "self_seconds": self.self_seconds,
+            "cum_seconds": self.cum_seconds,
+        }
+
+
+@dataclass
+class ProfileReport:
+    """Everything one profiled scenario run produced."""
+
+    scenario: str
+    smoke: bool
+    wall_seconds: float
+    total_calls: int
+    hot_frames: List[HotFrame]          # repro code, by self time
+    other_frames: List[HotFrame]        # stdlib & friends, by self time
+    span_aggregate: Dict[str, Dict[str, float]]
+    folded_lines: List[str] = field(default_factory=list)
+    scenario_meta: Dict[str, object] = field(default_factory=dict)
+
+    def folded(self) -> str:
+        """Folded-stack text (one ``path;to;span <usec>`` line each)."""
+        return "\n".join(self.folded_lines) + ("\n" if self.folded_lines else "")
+
+    def to_json(self) -> str:
+        return json.dumps({
+            "scenario": self.scenario,
+            "smoke": self.smoke,
+            "wall_seconds": self.wall_seconds,
+            "total_calls": self.total_calls,
+            "hot_frames": [f.as_dict() for f in self.hot_frames],
+            "other_frames": [f.as_dict() for f in self.other_frames],
+            "span_aggregate": self.span_aggregate,
+            "scenario_meta": self.scenario_meta,
+        }, indent=2, sort_keys=True)
+
+    def to_text(self) -> str:
+        out = io.StringIO()
+        mode = " (smoke)" if self.smoke else ""
+        print(f"profile: {self.scenario}{mode}", file=out)
+        print(f"  wall {self.wall_seconds:.3f}s over "
+              f"{self.total_calls} call(s)", file=out)
+        for key, value in sorted(self.scenario_meta.items()):
+            print(f"  {key}: {value}", file=out)
+        print(file=out)
+        print("spans (host seconds during the profiled run):", file=out)
+        for name, stats in self.span_aggregate.items():
+            print(f"  {name:<28} {stats['seconds']:>9.3f}s "
+                  f"x{int(stats['count'])}", file=out)
+        print(file=out)
+        print("hot frames, repro code (by self time):", file=out)
+        _frame_table(out, self.hot_frames)
+        print(file=out)
+        print("hot frames, elsewhere (by self time):", file=out)
+        _frame_table(out, self.other_frames)
+        return out.getvalue()
+
+
+def _frame_table(out, frames: List[HotFrame]) -> None:
+    if not frames:
+        print("  (none)", file=out)
+        return
+    print(f"  {'self s':>9} {'cum s':>9} {'calls':>9}  location", file=out)
+    for frame in frames:
+        print(f"  {frame.self_seconds:>9.4f} {frame.cum_seconds:>9.4f} "
+              f"{frame.calls:>9}  {frame.location}", file=out)
+
+
+# -- scenarios ---------------------------------------------------------------
+
+
+@dataclass
+class Scenario:
+    """One profiled flow: a seeded callable plus its description."""
+
+    name: str
+    description: str
+    run: Callable[[bool], Dict[str, object]]
+
+
+def _scenario_calibration(smoke: bool) -> Dict[str, object]:
+    from repro.calibration import CalibrationCache, CalibrationRunner
+    from repro.virt.machine import laboratory_machine
+    from repro.virt.resources import ResourceVector
+
+    cache = CalibrationCache(CalibrationRunner(laboratory_machine()))
+    shares = [0.5] if smoke else [0.25, 0.5, 0.75]
+    for share in shares:
+        cache.params_for(ResourceVector.of(cpu=share, memory=share, io=share))
+    return {"calibrations": len(shares)}
+
+
+def _scenario_design(smoke: bool) -> Dict[str, object]:
+    from repro.calibration import CalibrationCache, CalibrationRunner
+    from repro.core import (
+        OptimizerCostModel,
+        VirtualizationDesigner,
+        VirtualizationDesignProblem,
+        WorkloadSpec,
+    )
+    from repro.virt.machine import laboratory_machine
+    from repro.workloads import build_tpch_database, tpch_query
+    from repro.workloads.workload import Workload
+
+    scale = 0.002
+    db = build_tpch_database(scale_factor=scale,
+                             tables=["customer", "orders", "lineitem"])
+    specs = [
+        WorkloadSpec(Workload.repeat("order-audit", tpch_query("Q4"), 3), db),
+        WorkloadSpec(Workload.repeat("cust-report", tpch_query("Q13"), 9), db),
+    ]
+    problem = VirtualizationDesignProblem(
+        machine=laboratory_machine(), specs=specs,
+    )
+    cache = CalibrationCache(CalibrationRunner(laboratory_machine()))
+    designer = VirtualizationDesigner(problem, OptimizerCostModel(cache))
+    grid = 2 if smoke else 4
+    design = designer.design("exhaustive", grid=grid)
+    return {
+        "grid": grid,
+        "scale": scale,
+        "predicted_total_cost": design.predicted_total_cost,
+    }
+
+
+def _scenario_workload(smoke: bool) -> Dict[str, object]:
+    from repro.workloads import build_tpch_database, tpch_query
+
+    db = build_tpch_database(scale_factor=0.002 if smoke else 0.01,
+                             tables=["customer", "orders", "lineitem"])
+    queries = ["Q4", "Q13"] if smoke else ["Q1", "Q3", "Q4", "Q6", "Q13"]
+    rows = 0
+    for name in queries:
+        rows += len(db.run_sql(tpch_query(name)).rows)
+    return {"queries": len(queries), "result_rows": rows}
+
+
+SCENARIOS: Dict[str, Scenario] = {
+    "calibration": Scenario(
+        "calibration",
+        "synthetic calibration suite across allocations",
+        _scenario_calibration,
+    ),
+    "design": Scenario(
+        "design",
+        "exhaustive-grid allocation search over small TPC-H",
+        _scenario_design,
+    ),
+    "workload": Scenario(
+        "workload",
+        "TPC-H query execution on the simulated engine",
+        _scenario_workload,
+    ),
+}
+
+
+# -- the harness -------------------------------------------------------------
+
+
+def _split_frames(stats: pstats.Stats,
+                  top: int) -> Tuple[List[HotFrame], List[HotFrame], int]:
+    """Top frames by self time, split into repro code vs the rest."""
+    repro_frames: List[HotFrame] = []
+    other_frames: List[HotFrame] = []
+    total_calls = 0
+    for (path, line, func), (_cc, ncalls, tottime, cumtime, _callers) \
+            in stats.stats.items():  # type: ignore[attr-defined]
+        total_calls += ncalls
+        frame = HotFrame(path=_trim_path(path), line=line, func=func,
+                         calls=ncalls, self_seconds=tottime,
+                         cum_seconds=cumtime)
+        if "/repro/" in path.replace("\\", "/"):
+            repro_frames.append(frame)
+        else:
+            other_frames.append(frame)
+    key = lambda f: (-f.self_seconds, -f.cum_seconds, f.location)  # noqa: E731
+    repro_frames.sort(key=key)
+    other_frames.sort(key=key)
+    return repro_frames[:top], other_frames[:top], total_calls
+
+
+def _trim_path(path: str) -> str:
+    normalized = path.replace("\\", "/")
+    marker = "/repro/"
+    index = normalized.rfind(marker)
+    if index >= 0:
+        return "repro/" + normalized[index + len(marker):]
+    return normalized.rsplit("/", 1)[-1] if "/" in normalized else normalized
+
+
+def folded_spans(recorder: SpanRecorder) -> List[str]:
+    """Span trees as folded-stack lines (microsecond self-time weights).
+
+    Each line is ``root;child;...;node <usec>`` where the weight is the
+    node's *self* time — its duration minus its children's — so the
+    flamegraph's widths add up exactly to the run's span-covered time.
+    Zero-weight frames are kept when they anchor children, dropped when
+    they are leaves (a flamegraph cell of width zero is invisible
+    anyway).
+    """
+    weights: Dict[str, int] = {}
+
+    def walk(node: dict, prefix: str) -> None:
+        path = f"{prefix};{node['name']}" if prefix else node["name"]
+        child_seconds = sum(c["seconds"] for c in node["children"])
+        self_usec = int(round(max(0.0, node["seconds"] - child_seconds) * 1e6))
+        if self_usec > 0 or not node["children"]:
+            weights[path] = weights.get(path, 0) + self_usec
+        for child in node["children"]:
+            walk(child, path)
+
+    for root in recorder.as_dicts():
+        walk(root, "")
+    return [f"{path} {usec}" for path, usec in sorted(weights.items())
+            if usec > 0]
+
+
+def profile_scenario(name: str, smoke: bool = False,
+                     top: int = DEFAULT_TOP) -> ProfileReport:
+    """Run scenario *name* under cProfile and report where time went.
+
+    Resets the process-wide observability state first so the span
+    aggregates and folded stacks cover exactly the profiled run.
+    """
+    try:
+        scenario = SCENARIOS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown profile scenario {name!r}; "
+            f"choose from {sorted(SCENARIOS)}"
+        ) from None
+    obs.reset()
+    profiler = cProfile.Profile()
+    start = time.perf_counter()
+    profiler.enable()
+    try:
+        meta = scenario.run(smoke)
+    finally:
+        profiler.disable()
+    wall = time.perf_counter() - start
+    stats = pstats.Stats(profiler)
+    hot, other, total_calls = _split_frames(stats, top)
+    recorder = get_recorder()
+    return ProfileReport(
+        scenario=name,
+        smoke=smoke,
+        wall_seconds=wall,
+        total_calls=total_calls,
+        hot_frames=hot,
+        other_frames=other,
+        span_aggregate=recorder.aggregate(),
+        folded_lines=folded_spans(recorder),
+        scenario_meta=dict(meta),
+    )

@@ -104,6 +104,30 @@ class VMPerfModel:
             overlap_seconds=overlap,
         )
 
+    def noise_free_seconds(self, trace: WorkTrace) -> float:
+        """The deterministic part of :meth:`elapsed` for *trace*.
+
+        Repeated trials over one trace share this value — the
+        calibration runner computes it once per repetition and routes
+        each trial through :meth:`finalize_seconds`, which is where the
+        per-trial noise and fault streams apply.
+        """
+        return self.breakdown(trace).total_seconds
+
+    def finalize_seconds(self, total: float) -> float:
+        """Apply noise and fault injection to a precomputed total.
+
+        Consumes exactly the random draws :meth:`elapsed` would, so a
+        caller that hoists :meth:`noise_free_seconds` out of its trial
+        loop observes bit-identical timings.
+        """
+        if self._noise_rng is not None and self._noise_sigma > 0:
+            total *= self._noise_rng.noise_factor(self._noise_sigma)
+        if self._injector is not None:
+            total = self._injector.on_measurement(
+                self._vm.shares.as_tuple(), total)
+        return total
+
     def elapsed(self, trace: WorkTrace) -> float:
         """Simulated elapsed seconds for *trace*, with optional noise.
 
@@ -112,10 +136,4 @@ class VMPerfModel:
         perturbed (outlier / hung) timing; callers on the resilient
         path retry under their :class:`~repro.faults.RetryPolicy`.
         """
-        total = self.breakdown(trace).total_seconds
-        if self._noise_rng is not None and self._noise_sigma > 0:
-            total *= self._noise_rng.noise_factor(self._noise_sigma)
-        if self._injector is not None:
-            total = self._injector.on_measurement(
-                self._vm.shares.as_tuple(), total)
-        return total
+        return self.finalize_seconds(self.breakdown(trace).total_seconds)

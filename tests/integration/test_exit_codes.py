@@ -100,6 +100,11 @@ CONTRACT = {
         (0, lambda a: ["resume", a["stopped"]]),
         (3, lambda a: ["resume", a["missing"]]),
     ),
+    "profile": (
+        (0, lambda a: ["profile", "--scenario", "workload", "--smoke",
+                       "--output-dir", a["tmp"] / "profiles"]),
+        (2, lambda a: ["profile", "--scenario", "no-such-flow"]),
+    ),
 }
 
 
@@ -108,6 +113,38 @@ def subcommands() -> set:
         if isinstance(action, argparse._SubParsersAction):
             return set(action.choices)
     raise AssertionError("the CLI parser has no subcommands")
+
+
+class TestResumeWorkerFlag:
+    """The journal's worker count wins over --workers, with a warning.
+
+    Results are bit-identical across worker counts, so following the
+    journal is safe — but the flag must not be *silently* discarded.
+    """
+
+    @pytest.fixture(scope="class")
+    def journal(self, tmp_path_factory):
+        path = tmp_path_factory.mktemp("resume-workers") / "chaos.journal"
+        code = exit_code(["chaos", "--plan", "none", "--scale", 0.002,
+                          "--grid", 3, "--algorithm", "greedy",
+                          "--workers", 2, "--journal", path,
+                          "--max-units", 0])
+        assert code == 4, "fixture chaos run should stop early, resumable"
+        return path
+
+    def test_differing_flag_warns_and_is_overridden(self, journal, capsys):
+        assert exit_code(["resume", journal, "--workers", 1]) == 0
+        err = capsys.readouterr().err
+        assert "warning: journal records workers=2" in err
+        assert "ignoring --workers 1" in err
+
+    def test_matching_flag_is_silent(self, journal, capsys):
+        assert exit_code(["resume", journal, "--workers", 2]) == 0
+        assert "warning" not in capsys.readouterr().err
+
+    def test_absent_flag_follows_journal_silently(self, journal, capsys):
+        assert exit_code(["resume", journal]) == 0
+        assert "warning" not in capsys.readouterr().err
 
 
 class TestContractTable:

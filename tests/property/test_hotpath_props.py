@@ -1,0 +1,142 @@
+"""Property tests for the raw-speed pass's fast paths.
+
+Three contracts, each against generated tables (the "seeds"):
+
+* the executor's batched inner loops produce the same rows *and* the
+  same :class:`WorkTrace` as the per-tuple scalar fallback;
+* a compiled re-cost program replays the same cost full re-planning
+  computes, under arbitrary parameter perturbations;
+* the what-if plan-shape cache never serves a program or plan across a
+  catalog change — loads, new indexes, and fresh statistics all move
+  the fingerprint, and post-change estimates match a fresh planner.
+"""
+
+import dataclasses
+
+from hypothesis import given, settings, strategies as st
+
+from repro.engine import executor
+from repro.engine.database import Database
+from repro.engine.schema import Column, ColumnType, TableSchema
+from repro.optimizer import whatif as whatif_module
+from repro.optimizer.params import OptimizerParameters
+from repro.optimizer.planner import Planner
+from repro.optimizer.recost import PlanCostRecorder
+from repro.optimizer.whatif import WhatIfOptimizer, full_planning_fallback
+
+
+def build_db(rows, with_index=False):
+    db = Database("prop", memory_pages=256)
+    db.create_table(TableSchema("t", [
+        Column("a", ColumnType.INT),
+        Column("b", ColumnType.INT),
+        Column("c", ColumnType.TEXT),
+    ]))
+    db.load_rows("t", rows)
+    if with_index:
+        db.create_index("t_a_idx", "t", "a")
+    db.analyze()
+    return db
+
+
+rows_strategy = st.lists(
+    st.tuples(st.integers(min_value=-50, max_value=50),
+              st.integers(min_value=0, max_value=5),
+              st.text(alphabet="abxyz", min_size=0, max_size=8)),
+    min_size=0, max_size=120,
+)
+
+#: Queries covering the batched operators: scan+filter, aggregation,
+#: sort+limit, LIKE byte-matching, and a hash/merge join.
+SQLS = (
+    "select count(*) as n from t where a < 10",
+    "select b, count(*) as n, sum(a) as s from t group by b order by b",
+    "select a from t order by a desc limit 7",
+    "select count(*) as n from t where c like '%ab%'",
+    "select count(*) as n from t t1, t t2 where t1.b = t2.b",
+)
+
+
+@given(rows_strategy)
+@settings(max_examples=25, deadline=None)
+def test_executor_fast_path_bit_identical_to_scalar(rows):
+    """Rows and work traces match exactly, query by query."""
+    fast_db = build_db(rows)
+    scalar_db = build_db(rows)
+    for sql in SQLS:
+        fast = fast_db.run_sql(sql)
+        with executor.scalar_fallback():
+            scalar = scalar_db.run_sql(sql)
+        assert fast.rows == scalar.rows, sql
+        assert fast.trace == scalar.trace, sql
+
+
+scale_strategy = st.floats(min_value=0.01, max_value=150.0,
+                           allow_nan=False, allow_infinity=False)
+
+
+@given(rows_strategy,
+       st.tuples(scale_strategy, scale_strategy, scale_strategy,
+                 scale_strategy))
+@settings(max_examples=25, deadline=None)
+def test_recost_program_matches_full_replanning(rows, scales):
+    """Replayed program cost == full re-plan cost under perturbed P."""
+    db = build_db(rows, with_index=True)
+    base = OptimizerParameters.defaults()
+    perturbed = dataclasses.replace(
+        base,
+        cpu_tuple_cost=base.cpu_tuple_cost * scales[0],
+        cpu_operator_cost=base.cpu_operator_cost * scales[1],
+        random_page_cost=base.random_page_cost * scales[2],
+        cpu_like_byte_cost=base.cpu_like_byte_cost * scales[3],
+    )
+    for sql in SQLS:
+        recorder = PlanCostRecorder()
+        plan = Planner(db.catalog, base).plan_sql(sql, recorder)
+        program = recorder.program(db.catalog.fingerprint(), plan.est_rows)
+        assert program is not None, (sql, recorder.reason)
+        for params in (base, perturbed):
+            replayed = program.cost(params)
+            full = Planner(db.catalog, params).plan_sql(sql).est_total_cost
+            assert replayed == full, (sql, params)
+
+
+@given(rows_strategy,
+       st.lists(st.tuples(st.integers(min_value=-50, max_value=50),
+                          st.integers(min_value=0, max_value=5),
+                          st.text(alphabet="abxyz", max_size=8)),
+                min_size=1, max_size=30))
+@settings(max_examples=25, deadline=None)
+def test_fingerprint_never_serves_stale_program(rows, extra):
+    """Catalog mutations invalidate programs, plans, and estimates."""
+    db = build_db(rows)
+    optimizer = WhatIfOptimizer(db.catalog)
+    sql = "select count(*) as n from t where a < 10"
+    optimizer.estimate_query(sql)  # compiles and caches the program
+
+    before = db.catalog.fingerprint()
+    db.load_rows("t", extra)
+    assert db.catalog.fingerprint() != before, \
+        "loading rows must move the fingerprint"
+    db.analyze()
+    db.create_index("t_b_idx", "t", "b")
+    after = db.catalog.fingerprint()
+    assert after != before
+
+    # Whatever path answers now (fresh program or fresh plan), it must
+    # agree with a from-scratch planner over the mutated catalog.
+    estimate = optimizer.estimate_query(sql)
+    fresh = Planner(db.catalog, optimizer.params).plan_sql(sql)
+    assert estimate.cost_units == fresh.est_total_cost
+    # And the fallback path agrees too: the program compiled for the
+    # new fingerprint replays the same cost planning computes.
+    with full_planning_fallback():
+        fallback = WhatIfOptimizer(db.catalog).estimate_query(sql)
+    assert fallback.cost_units == estimate.cost_units
+
+
+def test_full_planning_fallback_restores_flag():
+    assert whatif_module.FAST_PATH is True
+    with full_planning_fallback():
+        assert whatif_module.FAST_PATH is False
+    assert whatif_module.FAST_PATH is True
