@@ -30,7 +30,12 @@ Two jobs, both CI-facing:
    matching the committed ``BENCH_surrogate.json`` dense-grid run, and
    a ``summary`` re-derivable from the entries; both identity flags
    (fast-vs-scalar calibration, recost-vs-full-planning design) are
-   hard requirements. Any ``BENCH_*.json`` under
+   hard requirements. ``suite: "codesign"`` files
+   (``scripts/bench_codesign.py``) must carry one ``allocation-only``
+   and one ``codesign`` entry, a monotonically non-increasing
+   half-step trajectory, per-VM page spending within the storage
+   budget, and a ``summary`` consistent with the entries.
+   Any ``BENCH_*.json`` under
    ``benchmarks/results/`` with an unregistered suite fails the run
    outright — even when explicit paths were given — and every
    registered suite must name the CI workflow job that regenerates
@@ -55,7 +60,11 @@ Two jobs, both CI-facing:
    ``--min-calibration-speedup``, and on hosts recording at least
    4 CPUs its 4-worker grid search must beat the full-planning serial
    baseline by ``--min-grid-speedup`` (identity flags and
-   fast-not-slower-than-scalar are hard checks).
+   fast-not-slower-than-scalar are hard checks); the codesign suite
+   must beat the best allocation-only design (``improvement > 0``,
+   always) by at least ``--min-codesign-improvement``, with its
+   monotone trajectory and bit-identical kill/resume probe as hard
+   checks.
 
 Every violation across every file is collected and reported — the run
 never stops at the first problem. Exit code 0 when everything holds,
@@ -946,6 +955,160 @@ def summarize_hotpath(payload: dict) -> str:
             f"{summary['grid_speedup_4_workers']}x, identity ok")
 
 
+# -- suite: codesign ---------------------------------------------------------
+
+CODESIGN_BASE_FIELDS = {
+    "name": str,
+    "cost": (int, float),
+    "allocation": dict,
+    "wall_seconds": (int, float),
+}
+CODESIGN_EXTRA_FIELDS = {
+    "initial_cost": (int, float),
+    "indexes": dict,
+    "pages_used": dict,
+    "storage_budget": int,
+    "rounds": int,
+    "converged": bool,
+    "trajectory": list,
+    "candidates_evaluated": int,
+}
+
+
+def check_codesign(payload: dict, min_improvement: float) -> list:
+    problems = []
+    for field in ("scenario", "algorithm", "grid", "storage_budget",
+                  "max_rounds", "summary"):
+        if field not in payload:
+            problems.append(f"top level missing field {field!r}")
+    by_name = {}
+    for i, entry in enumerate(payload["entries"]):
+        if not isinstance(entry, dict):
+            problems.append(f"entries[{i}] is not an object")
+            continue
+        prefix = f"entries[{i}]"
+        fields = dict(CODESIGN_BASE_FIELDS)
+        if entry.get("name") == "codesign":
+            fields.update(CODESIGN_EXTRA_FIELDS)
+        problems.extend(check_fields(prefix, entry, fields))
+        extra = set(entry) - set(fields)
+        if extra:
+            problems.append(f"{prefix} has unknown fields {sorted(extra)}")
+        if isinstance(entry.get("name"), str):
+            by_name.setdefault(entry["name"], []).append(entry)
+        for field in ("cost", "wall_seconds"):
+            value = entry.get(field)
+            if isinstance(value, (int, float)) and not isinstance(
+                    value, bool) and value <= 0:
+                problems.append(f"{prefix}.{field} must be positive")
+    for name in ("allocation-only", "codesign"):
+        if len(by_name.get(name, [])) != 1:
+            problems.append(
+                f"suite needs exactly one {name!r} entry, found "
+                f"{len(by_name.get(name, []))}")
+    if problems:
+        return problems
+
+    alloc_only = by_name["allocation-only"][0]
+    codesign = by_name["codesign"][0]
+    summary = payload["summary"]
+    if not isinstance(summary, dict):
+        return ["summary is not an object"]
+    problems.extend(check_fields("summary", summary, {
+        "improvement": (int, float),
+        "monotone": bool,
+        "indexes_selected": int,
+        "resume_identical": bool,
+        "resume_kill_after": int,
+    }))
+    if problems:
+        return problems
+
+    trajectory = codesign["trajectory"]
+    if len(trajectory) < 3:
+        problems.append("codesign trajectory needs at least 3 points "
+                        "(initial + one round's two half-steps)")
+        return problems
+    if any(not isinstance(v, (int, float)) or isinstance(v, bool)
+           for v in trajectory):
+        problems.append("codesign trajectory must be numeric")
+        return problems
+    # The monotone contract, as recorded data: every half-step either
+    # improved the total or left it unchanged.
+    for a, b in zip(trajectory, trajectory[1:]):
+        if b > a + 1e-9:
+            problems.append(
+                f"codesign trajectory increased ({a:.6f} -> {b:.6f}) — a "
+                f"half-step accepted a worsening design")
+            break
+    if abs(trajectory[0] - codesign["initial_cost"]) > 1e-6:
+        problems.append(
+            f"codesign.initial_cost is {codesign['initial_cost']} but the "
+            f"trajectory starts at {trajectory[0]}")
+    if abs(trajectory[-1] - codesign["cost"]) > 1e-6:
+        problems.append(
+            f"codesign.cost is {codesign['cost']} but the trajectory ends "
+            f"at {trajectory[-1]}")
+    n_indexes = sum(len(v) for v in codesign["indexes"].values())
+    if summary["indexes_selected"] != n_indexes:
+        problems.append(
+            f"summary.indexes_selected is {summary['indexes_selected']} "
+            f"but the codesign entry carries {n_indexes} index(es)")
+    for name, pages in sorted(codesign["pages_used"].items()):
+        if not isinstance(pages, int) or isinstance(pages, bool):
+            problems.append(f"codesign.pages_used[{name!r}] must be an int")
+            continue
+        if pages > codesign["storage_budget"]:
+            problems.append(
+                f"codesign spent {pages} page(s) on {name!r}, over the "
+                f"{codesign['storage_budget']}-page budget — the selection "
+                f"loop overspent")
+        chosen = codesign["indexes"].get(name, [])
+        chosen_pages = sum(int(c.get("pages", 0)) for c in chosen)
+        if chosen_pages != pages:
+            problems.append(
+                f"codesign.pages_used[{name!r}] is {pages} but its chosen "
+                f"indexes sum to {chosen_pages}")
+    improvement = 1.0 - codesign["cost"] / alloc_only["cost"]
+    if abs(summary["improvement"] - improvement) > 1e-4:
+        problems.append(
+            f"summary.improvement is {summary['improvement']} but the "
+            f"entries give {improvement:.6f}")
+    if not summary["monotone"]:
+        problems.append("summary.monotone is false — the recorded run "
+                        "violated the monotone-trajectory contract")
+    # Hard checks: beating the best allocation-only design is why the
+    # codesign layer exists, and the kill/resume probe must reproduce
+    # the uninterrupted run bit for bit.
+    if improvement <= 0:
+        problems.append(
+            f"codesign costs {codesign['cost']:.6f}, not better than the "
+            f"best allocation-only design's {alloc_only['cost']:.6f} — "
+            f"joint tuning regressed")
+    if not summary["resume_identical"]:
+        problems.append(
+            "the resumed co-tuning run diverged from the uninterrupted "
+            "one — crash recovery regressed")
+    if summary["resume_kill_after"] < 1:
+        problems.append("summary.resume_kill_after must be >= 1")
+    # Tunable gate on how much the second axis must earn.
+    if improvement < min_improvement:
+        problems.append(
+            f"co-design is only {improvement:.1%} cheaper than "
+            f"allocation-only, below the {min_improvement:.1%} gate — the "
+            f"index-selection pass regressed")
+    return problems
+
+
+def summarize_codesign(payload: dict) -> str:
+    summary = payload["summary"]
+    codesign = [e for e in payload["entries"] if e["name"] == "codesign"][0]
+    return (f"{summary['improvement']:.1%} vs allocation-only, "
+            f"{summary['indexes_selected']} index(es) in "
+            f"{codesign['rounds']} round(s), resume identical: "
+            f"{summary['resume_identical']}")
+
+
 # -- driver ------------------------------------------------------------------
 
 #: suite -> (checker, summarizer, gate keys, regen job). Checkers are
@@ -970,6 +1133,9 @@ SUITES = {
     "hotpath": (check_hotpath, summarize_hotpath,
                 ("min_calibration_speedup", "min_grid_speedup"),
                 ("nightly.yml", "bench-full")),
+    "codesign": (check_codesign, summarize_codesign,
+                 ("min_codesign_improvement",),
+                 ("nightly.yml", "bench-full")),
 }
 
 
@@ -1109,6 +1275,12 @@ def main(argv=None) -> int:
                              "speedup vs the full-planning serial "
                              "baseline; applies only when the recorded "
                              "host has >= 4 CPUs (default 1.0)")
+    parser.add_argument("--min-codesign-improvement", type=float,
+                        default=0.0,
+                        help="gate: minimum fraction by which co-design "
+                             "must beat the best allocation-only design "
+                             "(beating it at all is a hard check; "
+                             "default 0.0)")
     args = parser.parse_args(argv)
 
     if args.paths:
@@ -1128,7 +1300,8 @@ def main(argv=None) -> int:
              "max_shed_rate": args.max_shed_rate,
              "max_degraded_fraction": args.max_degraded_fraction,
              "min_calibration_speedup": args.min_calibration_speedup,
-             "min_grid_speedup": args.min_grid_speedup}
+             "min_grid_speedup": args.min_grid_speedup,
+             "min_codesign_improvement": args.min_codesign_improvement}
     all_problems = []
     for path in paths:
         problems, ok = check_file(path, gates)

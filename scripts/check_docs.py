@@ -102,7 +102,8 @@ def _check_artifact_refs(path: pathlib.Path, text: str,
 #: Pages whose dotted `repro.*` mentions must exist under src/.
 _MODULE_CHECKED_PAGES = ("architecture.md", "parallelism.md",
                          "surrogate.md", "fleet.md", "benchmarks.md",
-                         "drift.md", "serve.md", "profiling.md")
+                         "drift.md", "serve.md", "profiling.md",
+                         "codesign.md")
 
 
 def _check_module_refs(errors: List[str]) -> None:

@@ -1,0 +1,123 @@
+#!/usr/bin/env python
+"""Audit pytest markers across the test tree and the CI workflows.
+
+An unregistered marker silently selects nothing with ``-m``, and a
+registered-but-unused one makes a CI job green while running zero
+tests — either way an entire suite can vanish from CI without a
+failure. Three checks keep that honest:
+
+* every ``pytest.mark.<name>`` used under ``tests/`` is registered in
+  ``[tool.pytest.ini_options] markers`` in pyproject.toml (built-in
+  marks like ``parametrize`` are exempt);
+* every marker named in a ``pytest ... -m "<expr>"`` expression in any
+  ``.github/workflows/*.yml`` file is registered — a workflow cannot
+  select on a marker pytest does not know about;
+* every such workflow-selected marker actually marks at least one test,
+  so the selection is non-empty.
+
+Stdlib only (``re`` + ``tomllib``), so the CI lint job can run it with
+no test dependencies installed. Run with
+``python scripts/check_markers.py``; exits non-zero and prints one line
+per problem when anything is broken.
+"""
+
+from __future__ import annotations
+
+import pathlib
+import re
+import sys
+import tomllib
+from typing import Dict, List, Set
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+
+#: Marks pytest ships with; using them unregistered is fine.
+BUILTIN_MARKS = {
+    "parametrize", "skip", "skipif", "xfail", "filterwarnings",
+    "usefixtures",
+}
+
+_MARK_USE = re.compile(r"pytest\.mark\.([A-Za-z_][A-Za-z0-9_]*)")
+#: A ``-m <expr>`` selection in a workflow run line; the expression is
+#: either quoted (may contain ``or``/``and``/``not``) or a bare word.
+_WORKFLOW_SELECT = re.compile(
+    r"(?:python\s+-m\s+)?pytest\s[^\n]*?-m\s+(?:\"([^\"]+)\"|'([^']+)'"
+    r"|([A-Za-z_][A-Za-z0-9_]*))")
+_MARKER_WORD = re.compile(r"[A-Za-z_][A-Za-z0-9_]*")
+_EXPR_KEYWORDS = {"or", "and", "not"}
+
+
+def registered_markers() -> Set[str]:
+    payload = tomllib.loads((REPO_ROOT / "pyproject.toml").read_text())
+    entries = payload["tool"]["pytest"]["ini_options"]["markers"]
+    return {entry.split(":", 1)[0].strip() for entry in entries}
+
+
+def used_markers() -> Dict[str, List[str]]:
+    """marker name -> list of 'path:line' uses across tests/."""
+    uses: Dict[str, List[str]] = {}
+    for path in sorted((REPO_ROOT / "tests").rglob("*.py")):
+        for number, line in enumerate(path.read_text().splitlines(), 1):
+            for name in _MARK_USE.findall(line):
+                uses.setdefault(name, []).append(
+                    f"{path.relative_to(REPO_ROOT)}:{number}")
+    return uses
+
+
+def workflow_selections() -> Dict[str, List[str]]:
+    """marker name -> list of 'workflow:line' ``-m`` selections."""
+    selections: Dict[str, List[str]] = {}
+    workflows = sorted((REPO_ROOT / ".github" / "workflows").glob("*.yml"))
+    for path in workflows:
+        for number, line in enumerate(path.read_text().splitlines(), 1):
+            for match in _WORKFLOW_SELECT.finditer(line):
+                expr = next(g for g in match.groups() if g)
+                for word in _MARKER_WORD.findall(expr):
+                    if word in _EXPR_KEYWORDS:
+                        continue
+                    selections.setdefault(word, []).append(
+                        f"{path.relative_to(REPO_ROOT)}:{number}")
+    return selections
+
+
+def audit() -> List[str]:
+    errors: List[str] = []
+    registered = registered_markers()
+    uses = used_markers()
+    selections = workflow_selections()
+
+    for name, sites in sorted(uses.items()):
+        if name in BUILTIN_MARKS or name in registered:
+            continue
+        errors.append(
+            f"{sites[0]}: marker {name!r} is not registered in "
+            f"[tool.pytest.ini_options] markers (pyproject.toml)")
+
+    for name, sites in sorted(selections.items()):
+        if name not in registered:
+            errors.append(
+                f"{sites[0]}: workflow selects -m on {name!r}, which is "
+                f"not registered in pyproject.toml")
+        if not uses.get(name):
+            errors.append(
+                f"{sites[0]}: workflow selects -m on {name!r}, but no "
+                f"test in tests/ carries that marker — the job would "
+                f"run zero tests")
+    return errors
+
+
+def main() -> int:
+    errors = audit()
+    for error in errors:
+        print(error, file=sys.stderr)
+    uses = used_markers()
+    selected = workflow_selections()
+    if not errors:
+        print(f"check_markers: OK — {len(uses)} marker(s) in tests/, "
+              f"{len(selected)} selected by workflows, all registered "
+              f"and non-empty")
+    return 1 if errors else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

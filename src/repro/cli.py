@@ -17,6 +17,8 @@ Exposes the library's main flows without writing Python::
     python -m repro monitor --plan turbulent --epochs 8 \
         --drift-threshold 0.15 --recal-budget 12 --journal online.journal
     python -m repro design --online --epochs 6
+    python -m repro design --co-tune --storage-budget 64 \
+        --journal codesign.journal
     python -m repro serve --plan flaky --requests 120 --rate 40 \
         --journal serve.journal
     python -m repro profile --scenario design --smoke
@@ -75,6 +77,16 @@ typed refusal), with a circuit breaker around the fault-injected
 calibration path (see ``docs/serve.md``). With ``--journal`` every
 calibration, knot refresh and committed incumbent checkpoints, and
 ``resume`` continues a killed session bit-identically.
+
+``design --co-tune`` opens the paper's second axis — physical design:
+Extend-style greedy index selection (hypothetical single-column
+indexes seeded from the workload's own predicates, best what-if
+benefit per storage page first, under ``--storage-budget`` pages per
+VM) alternating with the allocation search to a fixed point. The
+total-cost trajectory is monotone by construction. With ``--journal``
+every calibration and what-if evaluation checkpoints, and ``resume``
+continues a killed co-tuning run to a bit-identical co-design (see
+``docs/codesign.md``).
 
 ``fleet`` scales the design problem from one box to a synthetic
 datacenter: it clusters workloads by cost-curve shape, assigns
@@ -181,7 +193,82 @@ def _design_continuous(cache, problem, args, engine=None):
     return outcome
 
 
+def _codesign_problem(scale: float,
+                      resources=(ResourceKind.CPU,)
+                      ) -> VirtualizationDesignProblem:
+    """The co-tuning design problem: the paper's two workloads, each on
+    its **own** database with **no** secondary indexes.
+
+    Per-spec databases because index selection mutates the spec's
+    catalog (hypothetical DDL) — a shared catalog would leak one
+    workload's what-if indexes into the other's plans. No baked-in
+    indexes because the physical design is the axis being tuned; the
+    selection pass starts from the paper's bare tables.
+    """
+    machine = laboratory_machine()
+
+    def make_db(name: str):
+        return build_tpch_database(
+            scale_factor=scale, tables=["customer", "orders", "lineitem"],
+            with_indexes=False, name=name)
+
+    specs = [
+        WorkloadSpec(Workload.repeat("order-audit", tpch_query("Q4"), 3),
+                     make_db("tpch-order-audit")),
+        WorkloadSpec(Workload.repeat("cust-report", tpch_query("Q13"), 9),
+                     make_db("tpch-cust-report")),
+    ]
+    return VirtualizationDesignProblem(
+        machine=machine, specs=specs,
+        controlled_resources=tuple(resources),
+    )
+
+
+def _run_codesign(problem, args, resume: bool) -> int:
+    """Drive a journaled joint index + allocation co-tuning run."""
+    from repro.codesign import CodesignSupervisor
+
+    supervisor = CodesignSupervisor(
+        problem, args.journal,
+        storage_budget=args.storage_budget,
+        algorithm=args.algorithm, grid=args.grid,
+        max_rounds=args.max_rounds,
+        max_units=args.max_units,
+        scenario={"scale": args.scale},
+        workers=args.workers, pool=args.pool)
+    run = supervisor.run(resume=resume)
+    if not run.completed:
+        print(f"Co-tuning run stopped after {run.new_units} new unit(s) "
+              f"({run.replayed_units} replayed); journal {args.journal} "
+              f"is resumable with: repro resume {args.journal}")
+        return 4
+    print(run.design.summary())
+    print()
+    print("Trajectory (total predicted seconds per half-step): "
+          + " -> ".join(f"{t:.4f}" for t in run.design.trajectory))
+    print(f"Journal: {run.replayed_units} unit(s) replayed, "
+          f"{run.new_units} freshly committed -> {args.journal}")
+    return 0
+
+
 def cmd_design(args) -> int:
+    if args.co_tune:
+        if args.continuous or args.online:
+            print("error: --co-tune cannot combine with --continuous "
+                  "or --online", file=sys.stderr)
+            return 2
+        obs.reset()
+        print(f"Co-tuning indexes + allocation (storage budget "
+              f"{args.storage_budget} page(s)/VM, {args.algorithm}, "
+              f"grid {args.grid}) ...", file=sys.stderr)
+        problem = _codesign_problem(args.scale)
+        if args.journal:
+            return _run_codesign(problem, args, resume=False)
+        # No journal requested: the co-tuner still checkpoints (the
+        # supervisor is journal-driven), just into a throwaway file.
+        with tempfile.TemporaryDirectory(prefix="repro-codesign-") as scratch:
+            args.journal = os.path.join(scratch, "codesign.journal")
+            return _run_codesign(problem, args, resume=False)
     machine = laboratory_machine()
     print(f"Loading TPC-H (scale factor {args.scale}) ...", file=sys.stderr)
     db = build_tpch_database(scale_factor=args.scale,
@@ -872,12 +959,37 @@ def _resolve_resume_workers(args, meta) -> None:
     args.workers = journaled
 
 
+def _resume_codesign(args, meta) -> int:
+    """Resume a killed co-tuning run purely from its journal meta."""
+    scenario = meta.get("scenario")
+    if not scenario:
+        raise RecoveryError(
+            f"journal {args.journal} carries no co-tuning scenario in its "
+            f"header; only scenario-built co-tuning runs are CLI-resumable")
+    resources = tuple(ResourceKind(token)
+                      for token in meta.get("controlled", ["cpu"]))
+    args.scale = float(scenario["scale"])
+    args.storage_budget = int(meta["storage_budget"])
+    args.algorithm = meta.get("algorithm", "greedy")
+    args.grid = int(meta.get("grid", 4))
+    args.max_rounds = int(meta.get("max_rounds", 6))
+    _resolve_resume_workers(args, meta)
+    problem = _codesign_problem(args.scale, resources=resources)
+    print(f"Resuming co-tuning journal {args.journal} "
+          f"(storage budget {args.storage_budget} page(s)/VM, "
+          f"{args.algorithm}, grid {args.grid}) ...", file=sys.stderr)
+    return _run_codesign(problem, args, resume=True)
+
+
 def cmd_resume(args) -> int:
-    """Resume a killed chaos, fleet, online (drift), or serve run."""
+    """Resume a killed chaos, fleet, online (drift), serve, or
+    co-tuning run."""
     from repro.recovery import read_journal
 
     obs.reset()
     meta, _records, _tail = read_journal(args.journal)
+    if meta.get("run_kind") == "codesign":
+        return _resume_codesign(args, meta)
     if meta.get("run_kind") == "fleet":
         return _resume_fleet(args, meta)
     if meta.get("run_kind") == "drift":
@@ -1009,6 +1121,27 @@ def build_parser() -> argparse.ArgumentParser:
     design.add_argument("--recal-budget", type=int, default=12, metavar="N",
                         help="--online: calibration-request budget for "
                              "drift repairs (default 12)")
+    design.add_argument("--co-tune", action="store_true",
+                        help="jointly tune per-VM index configurations and "
+                             "the allocation: Extend-style greedy index "
+                             "selection under --storage-budget alternating "
+                             "with the allocation search to a fixed point "
+                             "(see docs/codesign.md)")
+    design.add_argument("--storage-budget", type=int, default=64,
+                        metavar="N",
+                        help="--co-tune: storage pages each VM may spend on "
+                             "selected indexes (default 64)")
+    design.add_argument("--max-rounds", type=int, default=6, metavar="N",
+                        help="--co-tune: cap on selection/search alternation "
+                             "rounds (default 6)")
+    design.add_argument("--journal", default=None, metavar="PATH",
+                        help="--co-tune: checkpoint every calibration and "
+                             "what-if evaluation to a journal at PATH (the "
+                             "run becomes crash-recoverable; see "
+                             "'repro resume')")
+    design.add_argument("--max-units", type=int, default=None,
+                        help="--co-tune: simulate a crash after N newly "
+                             "journaled units (journaled runs only)")
     design.add_argument("--load", help="preload a saved calibration cache")
     design.add_argument("--save", help="write the calibration cache (and any "
                                        "surrogate fit) to a JSON file")
@@ -1263,16 +1396,18 @@ def build_parser() -> argparse.ArgumentParser:
 
     resume = subparsers.add_parser(
         "resume", parents=[stats_parent, parallel_parent],
-        help="resume a killed journaled chaos, fleet, online, or serve "
-             "run, bit-identically",
+        help="resume a killed journaled chaos, fleet, online, serve, or "
+             "co-tuning run, bit-identically",
         epilog="Documentation: docs/robustness.md (chaos runs), "
                "docs/fleet.md (fleet runs), docs/drift.md (online runs), "
-               "docs/serve.md (serving sessions)")
+               "docs/serve.md (serving sessions), docs/codesign.md "
+               "(co-tuning runs)")
     resume.add_argument("journal", help="journal file written by "
                                         "'repro chaos --journal', "
                                         "'repro fleet --journal', "
-                                        "'repro monitor --journal', or "
-                                        "'repro serve --journal'")
+                                        "'repro monitor --journal', "
+                                        "'repro serve --journal', or "
+                                        "'repro design --co-tune --journal'")
     resume.add_argument("--max-units", type=int, default=None,
                         help="simulate another crash after N new units")
     resume.set_defaults(func=cmd_resume)

@@ -1,0 +1,31 @@
+"""Joint physical-design + allocation co-tuning.
+
+The paper calls virtualization "a new frontier for database tuning
+*and physical design*"; this package opens the physical-design axis:
+Extend-style greedy index selection under a per-VM storage-page
+budget, alternating with the allocation search to a fixed point. See
+``docs/codesign.md``.
+"""
+
+from repro.codesign.candidates import IndexCandidate, candidate_indexes
+from repro.codesign.designer import CoDesign, CodesignDesigner, IndexChoice
+from repro.codesign.supervisor import (
+    CodesignRun,
+    CodesignSupervisor,
+    JournalingCodesignModel,
+    choices_from_record,
+    replay_result,
+)
+
+__all__ = [
+    "IndexCandidate",
+    "candidate_indexes",
+    "CoDesign",
+    "CodesignDesigner",
+    "IndexChoice",
+    "CodesignRun",
+    "CodesignSupervisor",
+    "JournalingCodesignModel",
+    "choices_from_record",
+    "replay_result",
+]

@@ -1,0 +1,162 @@
+"""Index-candidate generation from workload predicates.
+
+The Extend-style selection pass (see :mod:`repro.codesign.designer`)
+needs a seed set of single-column candidates per workload. This module
+derives them from the workload's own SQL, bound against the catalog:
+
+* sargable restrictions — ``alias.column <op> literal`` conjuncts for
+  the operators the planner's index path can match (see
+  ``repro.optimizer.planner._extract_bound``), either orientation;
+* equality-join columns — ``a.x = b.y`` with both sides column
+  references, which index-nested-loop-style plans and future multi-pass
+  selections benefit from.
+
+Candidates are deduplicated, restricted to base-table columns, sorted,
+and columns already covered by a *real* index are dropped — there is
+nothing left to gain from hypothesizing them. The walk recurses into
+derived tables and scalar subqueries, and covers join conditions
+produced by the binder's subquery decorrelation (EXISTS/IN become
+semi/anti joins whose conditions carry the correlation columns).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Set, Tuple
+
+from repro.engine.catalog import Catalog
+from repro.engine.expr import (
+    BinaryOp,
+    ColumnRef,
+    Expr,
+    Literal,
+    SubplanExpr,
+    conjuncts,
+    map_children,
+)
+from repro.engine.sql.binder import (
+    Binder,
+    LogicalDerived,
+    LogicalJoin,
+    LogicalNode,
+    LogicalQuery,
+    LogicalRelation,
+)
+from repro.workloads.workload import Workload
+
+#: Comparison operators the planner's index access path can bound.
+_SARGABLE_OPS = ("=", "<", "<=", ">", ">=")
+
+
+@dataclass(frozen=True, order=True)
+class IndexCandidate:
+    """One single-column index candidate."""
+
+    table: str
+    column: str
+
+    @property
+    def index_name(self) -> str:
+        return f"cdx_{self.table}_{self.column}"
+
+    def __str__(self) -> str:
+        return f"{self.table}.{self.column}"
+
+
+def candidate_indexes(workload: Workload,
+                      catalog: Catalog) -> List[IndexCandidate]:
+    """Seed candidates for *workload* against *catalog*, sorted.
+
+    Each distinct statement is bound once; columns already carrying a
+    real (materialized) index are excluded.
+    """
+    found: Set[IndexCandidate] = set()
+    for sql in dict.fromkeys(workload.statements):
+        query = Binder(catalog).bind_sql(sql)
+        _collect_query(query, found)
+    out = []
+    for cand in sorted(found):
+        existing = catalog.index_on_column(cand.table, cand.column)
+        if existing is not None and not existing.hypothetical:
+            continue
+        out.append(cand)
+    return out
+
+
+# -- the walk -----------------------------------------------------------------
+
+
+def _collect_query(query: LogicalQuery, found: Set[IndexCandidate]) -> None:
+    alias_tables: Dict[str, str] = {}
+    exprs: List[Expr] = list(query.where)
+    _collect_tree(query.from_tree, alias_tables, exprs, found)
+    for conjunct_source in exprs:
+        for conjunct in conjuncts(conjunct_source):
+            _classify(conjunct, alias_tables, found)
+    # Scalar subqueries can hide anywhere an expression can.
+    everything: List[Expr] = list(exprs) + list(query.select_exprs)
+    everything.extend(query.group_keys)
+    if query.having is not None:
+        everything.append(query.having)
+    for spec in query.aggregates:
+        if spec.arg is not None:
+            everything.append(spec.arg)
+    for expr in everything:
+        for sub in _subplans(expr):
+            _collect_query(sub.logical, found)
+
+
+def _collect_tree(node, alias_tables: Dict[str, str],
+                  exprs: List[Expr], found: Set[IndexCandidate]) -> None:
+    if node is None:
+        return
+    if isinstance(node, LogicalRelation):
+        alias_tables[node.alias] = node.table
+    elif isinstance(node, LogicalDerived):
+        _collect_query(node.query, found)
+    elif isinstance(node, LogicalJoin):
+        _collect_tree(node.left, alias_tables, exprs, found)
+        _collect_tree(node.right, alias_tables, exprs, found)
+        if node.condition is not None:
+            exprs.append(node.condition)
+
+
+def _classify(expr: Expr, alias_tables: Dict[str, str],
+              found: Set[IndexCandidate]) -> None:
+    if not isinstance(expr, BinaryOp) or expr.op not in _SARGABLE_OPS:
+        return
+    left, right = expr.left, expr.right
+    if isinstance(left, ColumnRef) and isinstance(right, Literal):
+        _add(left, alias_tables, found)
+    elif isinstance(left, Literal) and isinstance(right, ColumnRef):
+        _add(right, alias_tables, found)
+    elif (expr.op == "=" and isinstance(left, ColumnRef)
+          and isinstance(right, ColumnRef) and left.alias != right.alias):
+        _add(left, alias_tables, found)
+        _add(right, alias_tables, found)
+
+
+def _add(ref: ColumnRef, alias_tables: Dict[str, str],
+         found: Set[IndexCandidate]) -> None:
+    table = alias_tables.get(ref.alias)
+    if table is not None:  # derived-table columns are not indexable
+        found.add(IndexCandidate(table=table, column=ref.column))
+
+
+def _subplans(expr: Expr) -> List[SubplanExpr]:
+    out: List[SubplanExpr] = []
+
+    def visit(node: Expr) -> Expr:
+        if isinstance(node, SubplanExpr):
+            out.append(node)
+        else:
+            map_children(node, visit)
+        return node
+
+    visit(expr)
+    return out
+
+
+def candidate_key(cand: IndexCandidate) -> Tuple[str, str]:
+    """Stable sort/identity key for a candidate."""
+    return (cand.table, cand.column)

@@ -1,0 +1,340 @@
+"""Joint physical-design + allocation co-tuning (the paper's frontier).
+
+Every earlier pass tunes only the resource-allocation axis. This module
+opens the second axis the paper's title promises: per-VM index
+configurations, selected jointly with the allocation matrix.
+
+The structure is block-coordinate descent over the two axes:
+
+1. **Index selection** (Extend-style greedy): given the incumbent
+   allocation, seed single-column candidates from the workload's own
+   predicates (:mod:`repro.codesign.candidates`), then repeatedly add
+   the hypothetical index with the best what-if benefit per storage
+   page, under a per-VM storage-page budget. Every candidate is costed
+   through the what-if optimizer against the spec's real catalog with
+   the candidate hypothesized in — hypothetical DDL changes
+   ``Catalog.fingerprint()``, so compiled recost programs and memo
+   entries invalidate instead of serving stale costs.
+2. **Allocation search**: re-solve the allocation for the new per-VM
+   cost models with the existing search algorithms
+   (:mod:`repro.core.search`), batched through ``cost_many`` and an
+   optional :class:`~repro.parallel.EvaluationEngine`.
+
+Alternate until the (indexes, allocation) pair reaches a fixed point.
+The total-cost trajectory is **monotone non-increasing by
+construction**: an index is only accepted on a strict cost reduction at
+the incumbent allocation, and a searched allocation is only accepted
+when strictly cheaper than the incumbent. The trajectory carries one
+entry per half-step (selection, then allocation) so the invariant is
+checkable record by record — ``scripts/check_bench.py`` hard-fails on
+any increase.
+
+Observability: ``codesign.rounds``, ``codesign.candidates_evaluated``,
+``codesign.indexes_selected``, ``codesign.pages_used``, and
+``codesign.converged`` counters feed the Codesign section of the run
+report.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Dict, List, Optional
+
+from repro.codesign.candidates import IndexCandidate, candidate_indexes
+from repro.core.cost_model import CostModel
+from repro.core.problem import (
+    AllocationMatrix,
+    VirtualizationDesignProblem,
+    WorkloadSpec,
+)
+from repro.core.search import make_algorithm
+from repro.obs import metrics
+from repro.obs.spans import span
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.parallel.engine import EvaluationEngine
+
+
+@dataclass(frozen=True)
+class IndexChoice:
+    """One accepted index in a co-design."""
+
+    name: str
+    table: str
+    column: str
+    pages: int
+    #: Alternation round (1-based) the index was accepted in.
+    round: int
+
+    def as_dict(self) -> Dict[str, object]:
+        return {"name": self.name, "table": self.table,
+                "column": self.column, "pages": self.pages,
+                "round": self.round}
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "IndexChoice":
+        return cls(name=str(data["name"]), table=str(data["table"]),
+                   column=str(data["column"]), pages=int(data["pages"]),
+                   round=int(data["round"]))
+
+
+@dataclass
+class CoDesign:
+    """A joint (indexes, allocation) design."""
+
+    problem: VirtualizationDesignProblem
+    allocation: AllocationMatrix
+    total_cost: float
+    per_workload_costs: Dict[str, float]
+    #: Accepted indexes per workload, in acceptance order.
+    indexes: Dict[str, List[IndexChoice]]
+    #: Hypothetical pages spent per workload (<= storage_budget each).
+    pages_used: Dict[str, int]
+    storage_budget: int
+    #: Total cost after each half-step: [initial, sel_1, alloc_1, ...].
+    trajectory: List[float]
+    rounds: int
+    converged: bool
+    algorithm: str
+    #: Fresh what-if evaluations paid (selection + allocation search).
+    evaluations: int
+    candidates_evaluated: int
+
+    @property
+    def initial_total_cost(self) -> float:
+        return self.trajectory[0]
+
+    @property
+    def predicted_improvement(self) -> float:
+        if self.initial_total_cost <= 0:
+            return 0.0
+        return 1.0 - self.total_cost / self.initial_total_cost
+
+    def index_names(self) -> Dict[str, List[str]]:
+        return {name: [choice.name for choice in choices]
+                for name, choices in self.indexes.items()}
+
+    def summary(self) -> str:
+        lines = [
+            f"Co-design via {self.algorithm} "
+            f"({self.rounds} rounds, "
+            f"{'converged' if self.converged else 'round limit'}, "
+            f"{self.evaluations} cost evaluations)",
+        ]
+        for name in self.allocation.workload_names():
+            vec = self.allocation.vector_for(name)
+            chosen = self.indexes.get(name, [])
+            idx = (", ".join(f"{c.table}.{c.column}" for c in chosen)
+                   or "none")
+            lines.append(
+                f"  {name}: cpu={vec.cpu:.2f} mem={vec.memory:.2f} "
+                f"io={vec.io:.2f}  indexes [{idx}] "
+                f"({self.pages_used.get(name, 0)}/{self.storage_budget} pages)"
+                f"  predicted={self.per_workload_costs[name]:.3f}s"
+            )
+        lines.append(
+            f"  total predicted {self.total_cost:.3f}s vs initial "
+            f"{self.initial_total_cost:.3f}s "
+            f"({100 * self.predicted_improvement:.1f}% better)"
+        )
+        return "\n".join(lines)
+
+
+@dataclass
+class _SpecState:
+    """Per-workload selection state carried across rounds."""
+
+    spec: WorkloadSpec
+    candidates: List[IndexCandidate]
+    chosen: List[IndexChoice] = field(default_factory=list)
+    pages_used: int = 0
+
+
+class CodesignDesigner:
+    """Alternates Extend-style index selection with allocation search.
+
+    The cost model must key its memo on the catalog configuration
+    (``OptimizerCostModel(..., config_aware=True)`` or the journaling
+    wrapper around it) — with plain (workload, allocation) keys a
+    hypothetical CREATE INDEX would be invisible to the memo and every
+    candidate would score zero.
+    """
+
+    def __init__(self, problem: VirtualizationDesignProblem,
+                 cost_model: CostModel, *,
+                 storage_budget: int,
+                 algorithm: str = "greedy", grid: int = 4,
+                 max_rounds: int = 6,
+                 max_evaluations: Optional[int] = None,
+                 engine: Optional["EvaluationEngine"] = None):
+        if storage_budget < 0:
+            raise ValueError("storage_budget must be >= 0 pages")
+        if max_rounds < 1:
+            raise ValueError("max_rounds must be >= 1")
+        self._problem = problem
+        self._cost_model = cost_model
+        self._storage_budget = storage_budget
+        self._algorithm = algorithm
+        self._grid = grid
+        self._max_rounds = max_rounds
+        self._max_evaluations = max_evaluations
+        self._engine = engine
+        self._fresh = 0
+        self._candidates_evaluated = 0
+
+    # -- cost plumbing -----------------------------------------------------
+
+    def _cost_one(self, spec: WorkloadSpec, vector) -> float:
+        outcome = self._cost_model.cost_many([(spec, vector)],
+                                             engine=self._engine)
+        self._fresh += outcome.fresh
+        return outcome.costs[0]
+
+    def _evaluate(self, allocation: AllocationMatrix) -> Dict[str, float]:
+        pairs = [(spec, allocation.vector_for(spec.name))
+                 for spec in self._problem.specs]
+        outcome = self._cost_model.cost_many(pairs, engine=self._engine)
+        self._fresh += outcome.fresh
+        return {spec.name: cost
+                for spec, cost in zip(self._problem.specs, outcome.costs)}
+
+    # -- index selection ---------------------------------------------------
+
+    def _select_round(self, state: _SpecState, vector,
+                      round_no: int) -> bool:
+        """One greedy selection pass for one spec at one allocation.
+
+        Adds indexes (mutating the spec's catalog with hypothetical
+        DDL) while some candidate strictly reduces the what-if cost and
+        fits the remaining page budget; returns whether anything was
+        accepted. Candidates are probed in sorted order and the best
+        benefit-per-page wins (first wins ties), so the pass is
+        deterministic.
+        """
+        catalog = state.spec.database.catalog
+        accepted = False
+        current = self._cost_one(state.spec, vector)
+        while state.candidates:
+            remaining_pages = self._storage_budget - state.pages_used
+            if remaining_pages <= 0:
+                break
+            best_score = 0.0
+            best: Optional[tuple] = None
+            for cand in state.candidates:
+                info = catalog.create_hypothetical_index(
+                    cand.index_name, cand.table, cand.column)
+                pages = info.index.n_pages
+                if pages > remaining_pages:
+                    catalog.drop_index(cand.index_name)
+                    continue
+                cost_with = self._cost_one(state.spec, vector)
+                catalog.drop_index(cand.index_name)
+                self._candidates_evaluated += 1
+                metrics.counter("codesign.candidates_evaluated").inc()
+                benefit = current - cost_with
+                if benefit <= 0.0:
+                    continue
+                score = benefit / pages
+                if score > best_score:
+                    best_score = score
+                    best = (cand, pages, cost_with)
+            if best is None:
+                break
+            cand, pages, cost_with = best
+            catalog.create_hypothetical_index(
+                cand.index_name, cand.table, cand.column)
+            state.chosen.append(IndexChoice(
+                name=cand.index_name, table=cand.table,
+                column=cand.column, pages=pages, round=round_no))
+            state.candidates.remove(cand)
+            state.pages_used += pages
+            current = cost_with
+            accepted = True
+            metrics.counter("codesign.indexes_selected").inc()
+            metrics.counter("codesign.pages_used").inc(pages)
+        return accepted
+
+    # -- the alternation ---------------------------------------------------
+
+    def design(self) -> CoDesign:
+        """Run the alternation to a fixed point (or the round limit)."""
+        metrics.counter("codesign.runs").inc()
+        with span("codesign", algorithm=self._algorithm,
+                  storage_budget=self._storage_budget):
+            return self._design()
+
+    def _design(self) -> CoDesign:
+        problem = self._problem
+        states = [
+            _SpecState(spec=spec,
+                       candidates=candidate_indexes(
+                           spec.workload, spec.database.catalog))
+            for spec in problem.specs
+        ]
+
+        allocation = problem.default_allocation()
+        costs = self._evaluate(allocation)
+        total = sum(costs.values())
+        trajectory = [total]
+        rounds = 0
+        converged = False
+
+        for round_no in range(1, self._max_rounds + 1):
+            rounds = round_no
+            metrics.counter("codesign.rounds").inc()
+
+            # Half-step 1: index selection at the incumbent allocation.
+            changed_indexes = False
+            for state in states:
+                vector = allocation.vector_for(state.spec.name)
+                if self._select_round(state, vector, round_no):
+                    changed_indexes = True
+            costs = self._evaluate(allocation)
+            total = sum(costs.values())
+            trajectory.append(total)
+
+            # Half-step 2: re-solve the allocation for the new models.
+            search = make_algorithm(
+                self._algorithm, self._grid,
+                max_evaluations=self._max_evaluations,
+                engine=self._engine)
+            result = search.search(problem, self._cost_model)
+            self._fresh += result.evaluations
+            changed_allocation = False
+            if result.allocation != allocation:
+                # Accept on the *re-evaluated* total, not the
+                # search-internal one: the two can disagree (the search
+                # may score off-grid incumbents it cannot represent),
+                # and only the re-evaluated comparison keeps the
+                # trajectory monotone by construction.
+                cand_costs = self._evaluate(result.allocation)
+                cand_total = sum(cand_costs.values())
+                if cand_total < total:
+                    allocation = result.allocation
+                    costs = cand_costs
+                    total = cand_total
+                    changed_allocation = True
+            trajectory.append(total)
+
+            if not changed_indexes and not changed_allocation:
+                converged = True
+                metrics.counter("codesign.converged").inc()
+                break
+
+        return CoDesign(
+            problem=problem,
+            allocation=allocation,
+            total_cost=total,
+            per_workload_costs=costs,
+            indexes={state.spec.name: list(state.chosen)
+                     for state in states},
+            pages_used={state.spec.name: state.pages_used
+                        for state in states},
+            storage_budget=self._storage_budget,
+            trajectory=trajectory,
+            rounds=rounds,
+            converged=converged,
+            algorithm=self._algorithm,
+            evaluations=self._fresh,
+            candidates_evaluated=self._candidates_evaluated,
+        )

@@ -1,0 +1,352 @@
+"""Crash-recoverable co-tuning runs.
+
+A co-tuning run interleaves calibrations, candidate what-ifs, and
+allocation searches; :class:`CodesignSupervisor` journals each paid-for
+unit into a :class:`~repro.recovery.journal.RunJournal` so a killed run
+resumes without repeating work — and, because the alternation is
+deterministic, resumes to a **bit-identical** co-design (asserted by
+``tests/codesign/test_supervisor.py`` at every unit boundary, the same
+way the single-host and fleet equivalence suites assert it).
+
+Units of work:
+
+* a ``calibration`` record per freshly calibrated allocation (appended
+  by :class:`~repro.calibration.cache.CalibrationCache`);
+* an ``evaluation`` record per fresh what-if evaluation, carrying the
+  workload, the allocation, **and the index configuration** it was
+  costed under — the configuration is part of the replay key, so a
+  cost measured with a hypothetical index in place can never be
+  replayed into a different configuration (the memo analogue of the
+  ``Catalog.fingerprint()`` invalidation the optimizer caches use).
+
+Replay seeds the journaling model's memo; the resumed run re-walks the
+deterministic alternation, hits the memo for every journaled unit, and
+continues at exactly the unit the killed run stopped at. Worker count
+and pool kind are recorded for observability but are not identity: a
+run journaled at 4 workers resumes serially bit for bit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional
+
+from repro.calibration.cache import CalibrationCache
+from repro.calibration.runner import CalibrationRunner
+from repro.codesign.designer import CodesignDesigner, CoDesign, IndexChoice
+from repro.core.cost_model import (
+    BatchOutcome,
+    CostModel,
+    OptimizerCostModel,
+    _allocation_key,
+)
+from repro.core.problem import VirtualizationDesignProblem
+from repro.parallel import make_engine
+from repro.recovery.journal import (
+    BudgetedJournal,
+    RunJournal,
+    UnitBudgetExceeded,
+)
+from repro.util.errors import RecoveryError
+
+
+def _config_of(spec) -> tuple:
+    """The spec's current index configuration, as a stable tuple.
+
+    Every index — real or hypothetical — participates: what-if costs
+    depend on all of them. Sorted, so the key is independent of DDL
+    order.
+    """
+    catalog = spec.database.catalog
+    config = []
+    for table_name in catalog.table_names():
+        for idx in catalog.table(table_name).indexes.values():
+            config.append((idx.name, idx.table_name, idx.column_name,
+                           bool(idx.hypothetical)))
+    return tuple(sorted(config))
+
+
+class JournalingCodesignModel(CostModel):
+    """Journals fresh what-if evaluations keyed by (workload, allocation,
+    index configuration).
+
+    The configuration must be in the key: the co-tuning loop evaluates
+    the *same* (workload, allocation) pair under many hypothetical
+    index sets, and replay happens before any DDL has been re-applied —
+    a configuration-blind key would seed one configuration's cost into
+    all of them.
+    """
+
+    kind = "codesign-journaling"
+
+    def __init__(self, inner: CostModel, journal):
+        super().__init__()
+        self._inner = inner
+        self._journal = journal
+
+    def _key(self, spec, allocation) -> tuple:
+        return (spec.name, _allocation_key(allocation), _config_of(spec))
+
+    def seed_record(self, data: Dict[str, Any]) -> None:
+        """Seed one journaled evaluation (replay path)."""
+        config = tuple(
+            (str(n), str(t), str(c), bool(h))
+            for n, t, c, h in data["config"]
+        )
+        shares = data["allocation"]
+        key = (data["workload"],
+               tuple(round(float(s), 6) for s in shares),
+               config)
+        with self._memo_lock:
+            self._memo[key] = float(data["cost"])
+
+    def _journal_unit(self, spec, allocation, value: float) -> None:
+        self._journal.append("evaluation", {
+            "workload": spec.name,
+            "allocation": list(allocation.as_tuple()),
+            "config": [list(entry) for entry in _config_of(spec)],
+            "cost": value,
+        })
+
+    def cost(self, spec, allocation) -> float:
+        key = self._key(spec, allocation)
+        cached = self._memo.get(key)
+        if cached is not None:
+            return cached
+        value = self._inner.cost(spec, allocation)
+        self._journal_unit(spec, allocation, value)
+        self._memo[key] = value
+        self.evaluations += 1
+        return value
+
+    def cost_many(self, pairs, engine=None) -> BatchOutcome:
+        """Batched evaluation with per-result journaling.
+
+        Misses go through the inner model's batch API (which may fan
+        out over *engine*); each result then journals in
+        first-appearance order, so a kill mid-batch commits a
+        deterministic prefix and resume re-runs exactly the uncommitted
+        tail.
+        """
+        pairs = list(pairs)
+        keys = [self._key(spec, allocation) for spec, allocation in pairs]
+        values: Dict[tuple, float] = {}
+        todo = []
+        todo_keys: List[tuple] = []
+        pending = set()
+        for key, pair in zip(keys, pairs):
+            if key in values or key in pending:
+                continue
+            cached = self._memo.get(key)
+            if cached is not None:
+                values[key] = cached
+            else:
+                todo.append(pair)
+                todo_keys.append(key)
+                pending.add(key)
+        hits = len(pairs) - len(todo)
+        fresh = 0
+        if todo:
+            inner = self._inner.cost_many(todo, engine=engine)
+            for key, (spec, allocation), value in zip(todo_keys, todo,
+                                                      inner.costs):
+                self._journal_unit(spec, allocation, value)
+                self._memo[key] = value
+                self.evaluations += 1
+                fresh += 1
+                values[key] = value
+        return BatchOutcome(costs=[values[key] for key in keys],
+                            fresh=fresh, hits=hits)
+
+    def _cost(self, spec, allocation) -> float:  # pragma: no cover
+        return self._inner.cost(spec, allocation)
+
+
+@dataclass
+class CodesignRun:
+    """What one :meth:`CodesignSupervisor.run` invocation produced."""
+
+    #: The finished co-design, or ``None`` when the run was killed.
+    design: Optional[CoDesign]
+    #: True when the run finished (a ``result`` record is journaled).
+    completed: bool = False
+    #: Units (calibrations + evaluations) replayed from the journal.
+    replayed_units: int = 0
+    #: Units freshly computed and committed by this invocation.
+    new_units: int = 0
+
+
+class CodesignSupervisor:
+    """Drives a journaled, resumable co-tuning run."""
+
+    def __init__(self, problem: VirtualizationDesignProblem, journal_path,
+                 *, storage_budget: int,
+                 algorithm: str = "greedy", grid: int = 4,
+                 max_rounds: int = 6,
+                 max_evaluations: Optional[int] = None,
+                 max_units: Optional[int] = None,
+                 scenario: Optional[Dict[str, Any]] = None,
+                 workbench=None,
+                 workers: Optional[int] = None, pool: str = "thread",
+                 extra_meta: Optional[Dict[str, Any]] = None):
+        self._problem = problem
+        self._journal_path = journal_path
+        self._storage_budget = storage_budget
+        self._algorithm = algorithm
+        self._grid = grid
+        self._max_rounds = max_rounds
+        self._max_evaluations = max_evaluations
+        self._max_units = max_units
+        #: Scenario parameters that rebuilt *problem*, if any; recorded
+        #: so ``repro resume`` can reconstruct the problem alone.
+        self._scenario = dict(scenario) if scenario else None
+        self._workbench = workbench
+        self._workers = workers
+        self._pool = pool
+        self._extra_meta = dict(extra_meta or {})
+        #: Populated by :meth:`run` for parameter inspection.
+        self.cache: Optional[CalibrationCache] = None
+
+    # -- run identity ------------------------------------------------------
+
+    def _meta(self) -> Dict[str, Any]:
+        meta = {
+            "run_kind": "codesign",
+            "machine": self._problem.machine.name,
+            "workloads": self._problem.workload_names(),
+            "controlled": [str(kind) for kind
+                           in self._problem.controlled_resources],
+            "algorithm": self._algorithm,
+            "grid": self._grid,
+            "storage_budget": self._storage_budget,
+            "max_rounds": self._max_rounds,
+            "workers": self._workers,
+        }
+        if self._scenario is not None:
+            meta["scenario"] = dict(self._scenario)
+        meta.update(self._extra_meta)
+        return meta
+
+    _IDENTITY_KEYS = ("run_kind", "machine", "workloads", "controlled",
+                      "algorithm", "grid", "storage_budget", "max_rounds")
+
+    def _check_meta(self, recorded: Dict[str, Any]) -> None:
+        expected = self._meta()
+        mismatched = sorted(
+            key for key in self._IDENTITY_KEYS
+            if key in recorded and recorded[key] != expected[key]
+        )
+        if mismatched:
+            raise RecoveryError(
+                f"journal {self._journal_path} was written by a different "
+                f"co-tuning run: mismatched {', '.join(mismatched)} "
+                f"(resume must use the same problem, budget, and search)")
+
+    # -- the run -----------------------------------------------------------
+
+    def run(self, resume: bool = False) -> CodesignRun:
+        """Execute (or resume) the co-tuning run."""
+        if resume:
+            journal = RunJournal.open(self._journal_path)
+            self._check_meta(journal.meta)
+        else:
+            journal = RunJournal.create(self._journal_path, self._meta())
+
+        budgeted = BudgetedJournal(journal, self._max_units)
+        engine = make_engine(self._workers, self._pool)
+        runner = CalibrationRunner(
+            self._problem.machine, workbench=self._workbench, engine=engine)
+        cache = CalibrationCache(runner, journal=budgeted)
+        cost_model = JournalingCodesignModel(
+            OptimizerCostModel(cache, config_aware=True), budgeted)
+        self.cache = cache
+
+        replayed = self._replay(journal, cache, cost_model)
+        prior_result = journal.records_of("result")
+
+        try:
+            designer = CodesignDesigner(
+                self._problem, cost_model,
+                storage_budget=self._storage_budget,
+                algorithm=self._algorithm, grid=self._grid,
+                max_rounds=self._max_rounds,
+                max_evaluations=self._max_evaluations,
+                engine=engine)
+            design = designer.design()
+        except UnitBudgetExceeded:
+            return CodesignRun(design=None, completed=False,
+                               replayed_units=replayed,
+                               new_units=budgeted.new_units)
+        finally:
+            if engine is not None:
+                engine.close()
+
+        if not prior_result:
+            # The result commits to the raw journal: it is the finish
+            # line, not a unit the kill simulation may interrupt.
+            journal.append("result", self._result_record(design))
+        return CodesignRun(design=design, completed=True,
+                           replayed_units=replayed,
+                           new_units=budgeted.new_units)
+
+    # -- replay ------------------------------------------------------------
+
+    def _replay(self, journal: RunJournal, cache: CalibrationCache,
+                cost_model: JournalingCodesignModel) -> int:
+        from repro.optimizer.params import OptimizerParameters
+
+        known = set(self._problem.workload_names())
+        replayed = 0
+        for record in journal.records:
+            if record.kind == "calibration":
+                cache.add_point(
+                    tuple(float(v) for v in record.data["allocation"]),
+                    OptimizerParameters.from_dict(record.data["parameters"]))
+                replayed += 1
+            elif record.kind == "evaluation":
+                name = record.data["workload"]
+                if name not in known:
+                    raise RecoveryError(
+                        f"journal evaluation names unknown workload {name!r}")
+                cost_model.seed_record(record.data)
+                replayed += 1
+        return replayed
+
+    @staticmethod
+    def _result_record(design: CoDesign) -> Dict[str, Any]:
+        return {
+            "algorithm": design.algorithm,
+            "total_cost": design.total_cost,
+            "initial_cost": design.initial_total_cost,
+            "rounds": design.rounds,
+            "converged": design.converged,
+            "trajectory": list(design.trajectory),
+            "storage_budget": design.storage_budget,
+            "allocation": {
+                name: list(design.allocation.vector_for(name).as_tuple())
+                for name in design.allocation.workload_names()
+            },
+            "indexes": {
+                name: [choice.as_dict() for choice in choices]
+                for name, choices in sorted(design.indexes.items())
+            },
+            "pages_used": dict(sorted(design.pages_used.items())),
+            # Deliberately no evaluation count: fresh-work accounting is
+            # invocation-relative (a resumed run pays fewer evaluations),
+            # and the result record must be bit-identical either way.
+        }
+
+
+def replay_result(journal_path) -> Optional[Dict[str, Any]]:
+    """The journaled result record of a finished run, if any."""
+    journal = RunJournal.open(journal_path)
+    results = journal.records_of("result")
+    return results[-1].data if results else None
+
+
+def choices_from_record(data: Dict[str, Any]) -> Dict[str, List[IndexChoice]]:
+    """Decode a result record's per-workload index choices."""
+    return {
+        name: [IndexChoice.from_dict(entry) for entry in entries]
+        for name, entries in data.get("indexes", {}).items()
+    }

@@ -105,18 +105,29 @@ class CostModel(ABC):
     parallel_safe = False
 
     def __init__(self):
-        self._memo: Dict[Tuple[str, int, Tuple[float, float, float]], float] = {}
+        self._memo: Dict[tuple, float] = {}
         self._memo_lock = threading.Lock()
         self.evaluations = 0
+
+    def _key(self, spec: WorkloadSpec, allocation: ResourceVector) -> tuple:
+        """The memo key for one evaluation (overridable).
+
+        The default keys on (workload, allocation) via :func:`memo_key`.
+        Models whose costs also depend on mutable per-spec configuration
+        — the co-design model, where index DDL changes what-if costs —
+        override this to fold that configuration in, so a stale value
+        is never served across a configuration change.
+        """
+        return memo_key(spec, allocation)
 
     def seed(self, spec: WorkloadSpec, allocation: ResourceVector,
              value: float) -> None:
         """Pre-load the memo with a known evaluation (journal replay)."""
         with self._memo_lock:
-            self._memo[memo_key(spec, allocation)] = value
+            self._memo[self._key(spec, allocation)] = value
 
     def cost(self, spec: WorkloadSpec, allocation: ResourceVector) -> float:
-        key = memo_key(spec, allocation)
+        key = self._key(spec, allocation)
         with self._memo_lock:
             cached = self._memo.get(key)
         if cached is not None:
@@ -144,7 +155,7 @@ class CostModel(ABC):
         pairs = list(pairs)
         metrics.histogram("cost_model.batch_size",
                           model=self.kind).observe(len(pairs))
-        keys = [memo_key(spec, allocation) for spec, allocation in pairs]
+        keys = [self._key(spec, allocation) for spec, allocation in pairs]
         values: Dict[tuple, float] = {}
         todo: List[Tuple[WorkloadSpec, ResourceVector]] = []
         todo_keys: List[tuple] = []
@@ -225,11 +236,23 @@ class OptimizerCostModel(CostModel):
     #: calibrated parameters, so distinct pairs may evaluate concurrently.
     parallel_safe = True
 
-    def __init__(self, calibration: CalibrationCache):
+    def __init__(self, calibration: CalibrationCache,
+                 config_aware: bool = False):
         super().__init__()
         self._calibration = calibration
         self._whatif: Dict[str, WhatIfOptimizer] = {}
         self._prepare_lock = threading.Lock()
+        #: Fold each spec's catalog fingerprint into memo keys, so index
+        #: DDL between evaluations invalidates instead of serving stale
+        #: costs. Off by default: allocation-only searches never touch
+        #: the catalog mid-search, and the narrower key is cheaper.
+        self._config_aware = config_aware
+
+    def _key(self, spec: WorkloadSpec, allocation: ResourceVector) -> tuple:
+        base = memo_key(spec, allocation)
+        if not self._config_aware:
+            return base
+        return base + (spec.database.catalog.fingerprint(),)
 
     def parameters_for(self, allocation: ResourceVector) -> OptimizerParameters:
         return self._calibration.params_for(allocation)

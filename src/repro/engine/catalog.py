@@ -5,7 +5,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
-from repro.engine.index import BPlusTreeIndex
+from repro.engine.index import BPlusTreeIndex, HypotheticalIndex
 from repro.engine.schema import TableSchema
 from repro.engine.statistics import TableStats, analyze_table
 from repro.engine.storage import HeapFile
@@ -14,13 +14,15 @@ from repro.util.errors import CatalogError
 
 @dataclass
 class IndexInfo:
-    """Catalog entry for one index."""
+    """Catalog entry for one index (real or hypothetical)."""
 
     name: str
     table_name: str
     column_name: str
     index: BPlusTreeIndex
     unique: bool = False
+    #: What-if entry: costed by the planner, unreadable by the executor.
+    hypothetical: bool = False
 
 
 @dataclass
@@ -99,6 +101,59 @@ class Catalog:
         info.indexes[index_name] = index_info
         return index_info
 
+    def create_hypothetical_index(self, index_name: str, table_name: str,
+                                  column_name: str,
+                                  unique: bool = False) -> IndexInfo:
+        """Register a what-if index: costed by planning, never built.
+
+        Geometry (pages, height, fanout) is estimated from the table's
+        statistics with the same arithmetic a real bulk load uses, so
+        what-if plans price it like the materialized tree would. Shows
+        up in :meth:`fingerprint` like real DDL — cached plans and
+        compiled recost programs invalidate on create *and* drop.
+        """
+        info = self.table(table_name)
+        if not info.schema.has_column(column_name):
+            raise CatalogError(
+                f"table {table_name!r} has no column {column_name!r}"
+            )
+        for table in self._tables.values():
+            if index_name in table.indexes:
+                raise CatalogError(f"index {index_name!r} already exists")
+        if info.stats is None:
+            self.analyze(table_name)
+        stats = info.stats
+        assert stats is not None
+        col_pos = info.schema.column_index(column_name)
+        key_width = info.schema.columns[col_pos].avg_width
+        col_stats = stats.column(column_name)
+        if col_stats is not None:
+            n_entries = round(stats.n_rows * (1.0 - col_stats.null_fraction))
+            n_keys = round(col_stats.n_distinct)
+        else:
+            n_entries = stats.n_rows
+            n_keys = stats.n_rows
+        tree = HypotheticalIndex(
+            index_name, table_name, column_name,
+            n_entries=n_entries, n_keys=n_keys,
+            key_width=key_width, unique=unique,
+        )
+        index_info = IndexInfo(
+            name=index_name, table_name=table_name,
+            column_name=column_name, index=tree, unique=unique,
+            hypothetical=True,
+        )
+        info.indexes[index_name] = index_info
+        return index_info
+
+    def drop_index(self, index_name: str) -> None:
+        """Drop an index (real or hypothetical) by name."""
+        for table in self._tables.values():
+            if index_name in table.indexes:
+                del table.indexes[index_name]
+                return
+        raise CatalogError(f"unknown index {index_name!r}")
+
     def indexes_on(self, table_name: str) -> List[IndexInfo]:
         return list(self.table(table_name).indexes.values())
 
@@ -130,7 +185,7 @@ class Catalog:
                 info.heap.n_pages,
                 None if stats is None else (stats.n_rows, stats.n_pages),
                 tuple(sorted(
-                    (idx.name, idx.column_name, idx.unique)
+                    (idx.name, idx.column_name, idx.unique, idx.hypothetical)
                     for idx in info.indexes.values()
                 )),
             ))

@@ -252,6 +252,11 @@ class Executor:
             raise PlanningError(
                 f"table {plan.table_name!r} has no index {plan.index_name!r}"
             )
+        if index_info.hypothetical:
+            raise PlanningError(
+                f"index {plan.index_name!r} is hypothetical (what-if only); "
+                f"materialize it with Catalog.create_index before executing"
+            )
         tree = index_info.index
         heap = info.heap
         pool = self._ctx.buffer_pool

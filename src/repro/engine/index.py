@@ -305,3 +305,80 @@ def _subtree_min(node: _Node) -> Value:
     if not node.keys:
         raise StorageError("empty leaf in bulk-loaded tree")
     return node.keys[0]
+
+
+class HypotheticalIndex:
+    """A what-if index: B+-tree geometry without the tree.
+
+    Exposes the same ``fanout``/``height``/``n_pages``/``n_entries``
+    surface the planner and storage accounting read from
+    :class:`BPlusTreeIndex`, derived from table statistics with the
+    same arithmetic :meth:`BPlusTreeIndex.bulk_load` uses (distinct
+    keys per ~90%-filled leaf, internal levels grouped bottom-up), so
+    a what-if cost matches what materializing the index would cost.
+    Any attempt to actually read it raises :class:`StorageError`.
+    """
+
+    def __init__(self, name: str, table_name: str, column_name: str,
+                 n_entries: int, n_keys: int, key_width: int = 8,
+                 unique: bool = False):
+        self.name = name
+        self.table_name = table_name
+        self.column_name = column_name
+        self.unique = unique
+        self._fanout = _fanout(key_width)
+        self._n_entries = max(0, int(n_entries))
+        n_keys = max(0, min(int(n_keys), self._n_entries))
+        fill = max(2, int(self._fanout * 0.9))
+        # Mirror bulk_load: one (key, rid-list) slot per distinct key,
+        # `fill` slots per leaf, then internal levels in groups of `fill`.
+        leaves = max(1, -(-n_keys // fill))
+        pages, height, level = leaves, 1, leaves
+        while level > 1:
+            level = -(-level // fill)
+            pages += level
+            height += 1
+        self._n_pages = pages
+        self._height = height
+
+    @property
+    def n_pages(self) -> int:
+        return self._n_pages
+
+    @property
+    def n_entries(self) -> int:
+        return self._n_entries
+
+    @property
+    def fanout(self) -> int:
+        return self._fanout
+
+    @property
+    def height(self) -> int:
+        return self._height
+
+    def _unreadable(self) -> StorageError:
+        return StorageError(
+            f"hypothetical index {self.name!r} cannot be read; "
+            f"materialize it with Catalog.create_index first"
+        )
+
+    def search(self, key: Value):
+        raise self._unreadable()
+
+    def range_scan(self, *args, **kwargs):
+        raise self._unreadable()
+
+    def descend_pages(self, key: Value):
+        raise self._unreadable()
+
+    def items(self):
+        raise self._unreadable()
+
+    def __repr__(self) -> str:
+        return (
+            f"HypotheticalIndex({self.name!r} on "
+            f"{self.table_name}.{self.column_name}, "
+            f"entries={self._n_entries}, pages={self._n_pages}, "
+            f"height={self._height})"
+        )

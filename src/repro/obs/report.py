@@ -74,6 +74,12 @@ Headline keys
 ``serve_redesigns``            incremental re-designs committed
 ``serve_breaker_trips``        circuit-breaker trips on the calibration path
 ``serve_p95_seconds``          p95 served latency, simulated seconds
+``codesign_runs``              co-tuning alternations driven end to end
+``codesign_rounds``            selection+search rounds executed
+``codesign_candidates``        hypothetical index candidates what-if costed
+``codesign_indexes_selected``  index candidates accepted into a co-design
+``codesign_pages_used``        storage pages spent on accepted indexes
+``codesign_converged``         alternations that reached a fixed point
 =============================  ==============================================
 
 The five resilience keys (``faults_injected`` … ``budget_stops``) were
@@ -87,10 +93,12 @@ with the fleet placement layer; the seven drift keys (backed by the
 ``drift.*`` counters and the ``drift.budget_remaining`` gauge) arrived
 in format 6 with the drift-aware online loop; the nine serve keys
 (backed by the ``serve.*`` counters and the ``serve.latency_seconds``
-histogram) arrived in format 7 with the always-on design service. See
+histogram) arrived in format 7 with the always-on design service; the
+six codesign keys (backed by the ``codesign.*`` counters) arrived in
+format 8 with joint index + allocation co-tuning. See
 ``docs/robustness.md``, ``docs/surrogate.md``, ``docs/fleet.md``,
-``docs/drift.md``, and ``docs/serve.md`` for the metric names behind
-them.
+``docs/drift.md``, ``docs/serve.md``, and ``docs/codesign.md`` for the
+metric names behind them.
 
 Usage
 -----
@@ -118,7 +126,7 @@ from repro.obs.spans import SpanRecorder, get_recorder
 from repro.util.errors import ObservabilityError
 from repro.util.tables import format_table
 
-FORMAT = "repro-run-report/7"
+FORMAT = "repro-run-report/8"
 
 
 def _counter_totals(snapshot: dict, name: str) -> float:
@@ -229,6 +237,16 @@ def summarize(snapshot: dict, span_aggregate: Dict[str, dict],
             snapshot, "serve.breaker", "event").get("trip", 0.0),
         "serve_p95_seconds": _histogram_p95(
             snapshot, "serve.latency_seconds"),
+        "codesign_runs": _counter_totals(snapshot, "codesign.runs"),
+        "codesign_rounds": _counter_totals(snapshot, "codesign.rounds"),
+        "codesign_candidates": _counter_totals(
+            snapshot, "codesign.candidates_evaluated"),
+        "codesign_indexes_selected": _counter_totals(
+            snapshot, "codesign.indexes_selected"),
+        "codesign_pages_used": _counter_totals(
+            snapshot, "codesign.pages_used"),
+        "codesign_converged": _counter_totals(
+            snapshot, "codesign.converged"),
     }
 
 
@@ -433,6 +451,24 @@ class RunReport:
                          for reason, count in sorted(reasons.items())])
             sections.append(format_table(
                 ["measure", "value"], rows, title="Serve",
+            ))
+
+        if summary.get("codesign_runs", 0):
+            rows = [
+                ["co-tuning runs / rounds",
+                 f"{summary.get('codesign_runs', 0):.0f} / "
+                 f"{summary.get('codesign_rounds', 0):.0f}"],
+                ["candidates what-if costed",
+                 f"{summary.get('codesign_candidates', 0):.0f}"],
+                ["indexes selected",
+                 f"{summary.get('codesign_indexes_selected', 0):.0f}"],
+                ["storage pages spent",
+                 f"{summary.get('codesign_pages_used', 0):.0f}"],
+                ["converged to a fixed point",
+                 f"{summary.get('codesign_converged', 0):.0f}"],
+            ]
+            sections.append(format_table(
+                ["measure", "value"], rows, title="Codesign",
             ))
 
         if summary.get("fleet_host_designs", 0):

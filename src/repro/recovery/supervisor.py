@@ -43,7 +43,6 @@ from repro.core.cost_model import (
     BatchOutcome,
     CostModel,
     OptimizerCostModel,
-    memo_key,
 )
 from repro.core.designer import Design, VirtualizationDesigner
 from repro.core.problem import VirtualizationDesignProblem
@@ -82,8 +81,19 @@ class JournalingCostModel(CostModel):
         self._inner = inner
         self._journal = journal
 
+    def _key(self, spec, allocation) -> tuple:
+        # Mirror the inner model's keying (e.g. a config-aware
+        # optimizer model folds the catalog fingerprint in), so the
+        # wrapper never serves a value the inner model would recompute.
+        # Inner models outside the CostModel hierarchy (test doubles)
+        # fall back to the default (workload, allocation) key.
+        inner_key = getattr(self._inner, "_key", None)
+        if inner_key is not None:
+            return inner_key(spec, allocation)
+        return super()._key(spec, allocation)
+
     def cost(self, spec, allocation) -> float:
-        key = memo_key(spec, allocation)
+        key = self._key(spec, allocation)
         cached = self._memo.get(key)
         if cached is not None:
             return cached
@@ -109,7 +119,7 @@ class JournalingCostModel(CostModel):
         memoized but the journal never recorded still gets a record.
         """
         pairs = list(pairs)
-        keys = [memo_key(spec, allocation) for spec, allocation in pairs]
+        keys = [self._key(spec, allocation) for spec, allocation in pairs]
         values: Dict[tuple, float] = {}
         todo = []
         todo_keys = []

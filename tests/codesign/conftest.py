@@ -1,0 +1,70 @@
+"""Shared fixtures for the co-tuning (codesign) tests.
+
+Same shape as the recovery suite's problem — two TPC-H workloads
+competing for CPU on the laboratory machine at scale 0.002 — but every
+spec gets its **own** database with **no** secondary indexes: index
+selection mutates the spec's catalog with hypothetical DDL, so sharing
+a catalog between workloads (or between tests) would leak what-if
+indexes across runs. ``make_problem`` therefore builds fresh.
+
+Calibration runs on the reduced synthetic workbench, whose measured
+machine calibrates ``random_page_cost`` to ~1 (SSD-like) — the regime
+where index paths can win. The real laboratory runner calibrates ~100
+(spinning disk) and the optimizer correctly never picks an index scan
+at this scale; see ``scripts/bench_codesign.py``.
+"""
+
+from __future__ import annotations
+
+from repro.calibration import CalibrationCache, CalibrationRunner
+from repro.calibration.synthetic import (
+    HUGE_TABLE,
+    SMALL_TABLE,
+    CalibrationWorkbench,
+)
+from repro.core import OptimizerCostModel
+from repro.core.problem import VirtualizationDesignProblem, WorkloadSpec
+from repro.virt.machine import laboratory_machine
+from repro.virt.resources import ResourceKind
+from repro.workloads import Workload, build_tpch_database, tpch_query
+
+#: Grid used everywhere here. Must be even: equal shares (0.5, 0.5) are
+#: then on the grid, which the zero-budget degeneracy test relies on.
+GRID = 4
+SCALE = 0.002
+STORAGE_BUDGET = 64
+
+
+def tiny_workbench() -> CalibrationWorkbench:
+    return CalibrationWorkbench(rows={
+        SMALL_TABLE: 200,
+        "cal_scan_a": 1_000,
+        "cal_scan_b": 2_000,
+        "cal_scan_c": 3_000,
+        HUGE_TABLE: 4_000,
+    })
+
+
+def make_db(name: str):
+    return build_tpch_database(
+        scale_factor=SCALE, tables=["customer", "orders", "lineitem"],
+        with_indexes=False, name=name)
+
+
+def make_problem() -> VirtualizationDesignProblem:
+    specs = [
+        WorkloadSpec(Workload.repeat("order-audit", tpch_query("Q4"), 1),
+                     make_db("tpch-order-audit")),
+        WorkloadSpec(Workload.repeat("cust-report", tpch_query("Q13"), 2),
+                     make_db("tpch-cust-report")),
+    ]
+    return VirtualizationDesignProblem(
+        machine=laboratory_machine(), specs=specs,
+        controlled_resources=(ResourceKind.CPU,),
+    )
+
+
+def make_cost_model(problem, *, config_aware: bool) -> OptimizerCostModel:
+    runner = CalibrationRunner(problem.machine, workbench=tiny_workbench())
+    return OptimizerCostModel(CalibrationCache(runner),
+                              config_aware=config_aware)

@@ -1,0 +1,63 @@
+"""Candidate extraction: predicates in, single-column candidates out."""
+
+from __future__ import annotations
+
+from repro.codesign.candidates import (
+    IndexCandidate,
+    candidate_indexes,
+    candidate_key,
+)
+from repro.workloads import Workload, build_tpch_database, tpch_query
+
+from .conftest import SCALE, make_db
+
+
+class TestCandidateExtraction:
+    def test_q4_yields_join_and_restriction_columns(self):
+        """Q4's date restriction and EXISTS correlation both surface."""
+        workload = Workload.repeat("w", tpch_query("Q4"), 1)
+        found = candidate_indexes(workload, make_db("t").catalog)
+        assert [str(c) for c in found] == [
+            "lineitem.l_orderkey", "orders.o_orderdate", "orders.o_orderkey",
+        ]
+
+    def test_q13_yields_the_outer_join_columns(self):
+        workload = Workload.repeat("w", tpch_query("Q13"), 1)
+        found = candidate_indexes(workload, make_db("t").catalog)
+        assert [str(c) for c in found] == [
+            "customer.c_custkey", "orders.o_custkey",
+        ]
+
+    def test_candidates_are_sorted_and_deduplicated(self):
+        """Repeating the statement adds nothing; order is stable."""
+        once = Workload.repeat("w", tpch_query("Q4"), 1)
+        thrice = Workload.repeat("w", tpch_query("Q4"), 3)
+        catalog = make_db("t").catalog
+        assert (candidate_indexes(once, catalog)
+                == candidate_indexes(thrice, catalog))
+
+    def test_real_indexes_suppress_their_candidates(self):
+        """A column already carrying a materialized index has no
+        remaining what-if upside; the stock TPC-H indexes cover every
+        Q4 candidate column."""
+        db = build_tpch_database(
+            scale_factor=SCALE, tables=["customer", "orders", "lineitem"],
+            with_indexes=True, name="indexed")
+        workload = Workload.repeat("w", tpch_query("Q4"), 1)
+        assert candidate_indexes(workload, db.catalog) == []
+
+    def test_hypothetical_indexes_do_not_suppress(self):
+        """Only *real* coverage removes a candidate: the selection pass
+        itself creates hypothetical indexes mid-run and must still see
+        the column as a candidate when re-seeding."""
+        db = make_db("t")
+        db.catalog.create_hypothetical_index(
+            "cdx_orders_o_orderdate", "orders", "o_orderdate")
+        workload = Workload.repeat("w", tpch_query("Q4"), 1)
+        found = {str(c) for c in candidate_indexes(workload, db.catalog)}
+        assert "orders.o_orderdate" in found
+
+    def test_index_name_and_key_are_stable(self):
+        cand = IndexCandidate(table="orders", column="o_orderdate")
+        assert cand.index_name == "cdx_orders_o_orderdate"
+        assert candidate_key(cand) == ("orders", "o_orderdate")

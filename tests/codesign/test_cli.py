@@ -1,0 +1,38 @@
+"""CLI surface for co-tuning: exit codes, resume dispatch, output."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import main
+
+ARGS = ["design", "--co-tune", "--scale", "0.002", "--grid", "4",
+        "--algorithm", "greedy", "--storage-budget", "8"]
+
+
+class TestCoTuneFlag:
+    def test_co_tune_prints_the_codesign_summary(self, capsys):
+        assert main(ARGS) == 0
+        out = capsys.readouterr().out
+        assert "Co-design via greedy" in out
+        assert "Trajectory (total predicted seconds per half-step):" in out
+        assert "Journal:" in out
+
+    def test_co_tune_rejects_continuous_and_online(self, capsys):
+        assert main([*ARGS, "--continuous"]) == 2
+        assert "--co-tune cannot combine" in capsys.readouterr().err
+        assert main([*ARGS, "--online"]) == 2
+
+    @pytest.mark.recovery
+    def test_kill_then_resume_round_trip(self, capsys, tmp_path):
+        journal = tmp_path / "codesign.journal"
+        assert main([*ARGS, "--journal", str(journal),
+                     "--max-units", "4"]) == 4
+        out = capsys.readouterr().out
+        assert "resumable with: repro resume" in out
+        assert journal.exists()
+
+        assert main(["resume", str(journal)]) == 0
+        out = capsys.readouterr().out
+        assert "Co-design via greedy" in out
+        assert "4 unit(s) replayed" in out

@@ -1,0 +1,129 @@
+"""CodesignDesigner: budget accounting, monotonicity, degeneracy."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.codesign import CodesignDesigner
+from repro.core import VirtualizationDesigner
+
+from .conftest import GRID, STORAGE_BUDGET, make_cost_model, make_problem
+
+
+def run_codesign(storage_budget, algorithm="greedy", max_rounds=6):
+    problem = make_problem()
+    model = make_cost_model(problem, config_aware=True)
+    designer = CodesignDesigner(
+        problem, model, storage_budget=storage_budget,
+        algorithm=algorithm, grid=GRID, max_rounds=max_rounds)
+    return designer.design()
+
+
+class TestZeroBudgetDegeneracy:
+    """With no pages to spend, co-tuning IS the allocation-only
+    designer — same allocation, same cost, bit for bit.
+
+    GRID is even, so the equal-share default allocation is on the
+    search grid and both sides score the same incumbent; see the
+    conftest note.
+    """
+
+    @pytest.mark.parametrize("algorithm", ["greedy", "exhaustive"])
+    def test_degenerates_to_allocation_only(self, algorithm):
+        codesign = run_codesign(0, algorithm=algorithm)
+        baseline_problem = make_problem()
+        baseline = VirtualizationDesigner(
+            baseline_problem,
+            make_cost_model(baseline_problem, config_aware=False),
+        ).design(algorithm, grid=GRID)
+
+        assert codesign.indexes == {"order-audit": [], "cust-report": []}
+        assert codesign.pages_used == {"order-audit": 0, "cust-report": 0}
+        for name in ("order-audit", "cust-report"):
+            assert (codesign.allocation.vector_for(name).as_tuple()
+                    == baseline.allocation.vector_for(name).as_tuple())
+        assert codesign.total_cost == baseline.predicted_total_cost
+
+
+class TestBudgetedSelection:
+    def test_selects_indexes_and_beats_the_initial_design(self):
+        design = run_codesign(STORAGE_BUDGET)
+        chosen = [c for choices in design.indexes.values() for c in choices]
+        assert chosen, "the SSD-regime scenario must select something"
+        assert design.total_cost < design.initial_total_cost
+        assert design.predicted_improvement > 0
+        assert design.converged
+
+    def test_budget_and_page_accounting_hold(self):
+        design = run_codesign(STORAGE_BUDGET)
+        for name, choices in design.indexes.items():
+            assert design.pages_used[name] == sum(c.pages for c in choices)
+            assert design.pages_used[name] <= design.storage_budget
+        # Chosen indexes are left hypothesized in the spec's catalog so
+        # the caller can inspect (or materialize) the configuration.
+        for spec in design.problem.specs:
+            for choice in design.indexes[spec.name]:
+                info = spec.database.catalog.index_on_column(
+                    choice.table, choice.column)
+                assert info is not None and info.hypothetical
+
+    def test_trajectory_is_monotone_and_bookended(self):
+        design = run_codesign(STORAGE_BUDGET)
+        trajectory = design.trajectory
+        # One initial entry plus two half-steps per round.
+        assert len(trajectory) == 1 + 2 * design.rounds
+        assert trajectory[0] == design.initial_total_cost
+        assert trajectory[-1] == design.total_cost
+        assert all(b <= a for a, b in zip(trajectory, trajectory[1:]))
+
+    def test_tiny_budget_respected(self):
+        """A 1-page budget cannot fit any TPC-H index at this scale."""
+        design = run_codesign(1)
+        assert design.pages_used == {"order-audit": 0, "cust-report": 0}
+
+    def test_summary_names_the_choices(self):
+        design = run_codesign(STORAGE_BUDGET)
+        text = design.summary()
+        assert "Co-design via greedy" in text
+        assert f"/{STORAGE_BUDGET} pages" in text
+        assert "total predicted" in text
+
+
+class TestValidation:
+    def test_negative_budget_rejected(self):
+        problem = make_problem()
+        model = make_cost_model(problem, config_aware=True)
+        with pytest.raises(ValueError, match="storage_budget"):
+            CodesignDesigner(problem, model, storage_budget=-1)
+
+    def test_zero_rounds_rejected(self):
+        problem = make_problem()
+        model = make_cost_model(problem, config_aware=True)
+        with pytest.raises(ValueError, match="max_rounds"):
+            CodesignDesigner(problem, model, storage_budget=0, max_rounds=0)
+
+
+class TestParallelEquivalence:
+    def test_threaded_codesign_is_bit_identical_to_serial(self):
+        """Candidate what-ifs and search evaluations batch through
+        cost_many; fanning the batches over an engine must not change
+        a single bit of the design."""
+        from repro.parallel import make_engine
+
+        serial = run_codesign(STORAGE_BUDGET)
+        problem = make_problem()
+        engine = make_engine(2, "thread")
+        try:
+            threaded = CodesignDesigner(
+                problem, make_cost_model(problem, config_aware=True),
+                storage_budget=STORAGE_BUDGET, algorithm="greedy",
+                grid=GRID, engine=engine).design()
+        finally:
+            engine.close()
+        assert threaded.trajectory == serial.trajectory
+        assert threaded.indexes == serial.indexes
+        assert threaded.pages_used == serial.pages_used
+        for name in ("order-audit", "cust-report"):
+            assert (threaded.allocation.vector_for(name).as_tuple()
+                    == serial.allocation.vector_for(name).as_tuple())
+        assert threaded.total_cost == serial.total_cost

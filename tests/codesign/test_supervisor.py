@@ -1,0 +1,127 @@
+"""CodesignSupervisor: journaled runs, kill/resume equivalence, identity.
+
+The equivalence test is the co-tuning analogue of
+``tests/recovery/test_resume_equivalence.py``: one uninterrupted
+baseline run, then a kill at **every** unit boundary followed by a
+resume, each required to leave a journal bit-identical to the
+baseline's.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.codesign import (
+    CodesignSupervisor,
+    choices_from_record,
+    replay_result,
+)
+from repro.recovery.journal import RunJournal
+from repro.util.errors import RecoveryError
+
+from .conftest import GRID, STORAGE_BUDGET, make_problem, tiny_workbench
+
+
+def make_supervisor(path, **kwargs):
+    kwargs.setdefault("storage_budget", STORAGE_BUDGET)
+    kwargs.setdefault("grid", GRID)
+    kwargs.setdefault("workbench", tiny_workbench())
+    return CodesignSupervisor(make_problem(), path, **kwargs)
+
+
+def journal_fingerprint(path):
+    """Everything a run commits, as plain data (bit-identical or bust)."""
+    journal = RunJournal.open(path)
+    return [
+        (record.kind, sorted((k, repr(v)) for k, v in record.data.items()))
+        for record in journal.records
+    ]
+
+
+@pytest.fixture(scope="module")
+def baseline(tmp_path_factory):
+    path = tmp_path_factory.mktemp("baseline") / "codesign.journal"
+    run = make_supervisor(path).run()
+    assert run.completed
+    return {"run": run, "path": path,
+            "fingerprint": journal_fingerprint(path),
+            "total_units": run.new_units}
+
+
+@pytest.mark.recovery
+class TestResumeEquivalence:
+    def test_killed_then_resumed_is_bit_identical_everywhere(
+            self, baseline, tmp_path):
+        """Kill at every unit boundary; the resumed journal must match
+        the uninterrupted one record for record."""
+        total = baseline["total_units"]
+        assert total >= 4, "problem too small to exercise resume"
+        for kill_after in range(1, total):
+            path = tmp_path / f"killed-{kill_after}.journal"
+            killed = make_supervisor(path, max_units=kill_after).run()
+            assert not killed.completed
+            assert killed.design is None
+            assert killed.new_units == kill_after
+
+            resumed = make_supervisor(path).run(resume=True)
+            assert resumed.completed
+            assert resumed.replayed_units == kill_after
+            assert resumed.new_units == total - kill_after
+            assert journal_fingerprint(path) == baseline["fingerprint"], (
+                f"journal diverged when killed after {kill_after} "
+                f"of {total} units")
+
+    def test_resumed_design_matches_the_baseline(self, baseline, tmp_path):
+        run = baseline["run"]
+        path = tmp_path / "halfway.journal"
+        make_supervisor(path, max_units=baseline["total_units"] // 2).run()
+        resumed = make_supervisor(path).run(resume=True)
+        assert resumed.design.trajectory == run.design.trajectory
+        assert resumed.design.indexes == run.design.indexes
+        assert (resumed.design.allocation.as_dict()
+                == run.design.allocation.as_dict())
+
+    def test_resuming_a_finished_run_replays_everything(self, baseline):
+        resumed = make_supervisor(baseline["path"]).run(resume=True)
+        assert resumed.completed
+        assert resumed.new_units == 0
+        assert resumed.replayed_units == baseline["total_units"]
+        # Still exactly one result record.
+        journal = RunJournal.open(baseline["path"])
+        assert len(journal.records_of("result")) == 1
+
+
+@pytest.mark.recovery
+class TestRunIdentity:
+    def test_meta_mismatch_is_refused(self, baseline, tmp_path):
+        import shutil
+
+        path = tmp_path / "copy.journal"
+        shutil.copy(baseline["path"], path)
+        with pytest.raises(RecoveryError, match="storage_budget"):
+            make_supervisor(path, storage_budget=STORAGE_BUDGET + 1).run(
+                resume=True)
+        with pytest.raises(RecoveryError, match="algorithm"):
+            make_supervisor(path, algorithm="exhaustive").run(resume=True)
+
+    def test_meta_records_the_run_kind(self, baseline):
+        meta = RunJournal.open(baseline["path"]).meta
+        assert meta["run_kind"] == "codesign"
+        assert meta["storage_budget"] == STORAGE_BUDGET
+        assert meta["workloads"] == ["order-audit", "cust-report"]
+
+
+class TestResultRecord:
+    def test_replay_result_round_trips_the_choices(self, baseline):
+        record = replay_result(baseline["path"])
+        assert record is not None
+        design = baseline["run"].design
+        assert record["total_cost"] == design.total_cost
+        assert record["trajectory"] == design.trajectory
+        decoded = choices_from_record(record)
+        assert decoded == design.indexes
+
+    def test_no_result_before_completion(self, tmp_path):
+        path = tmp_path / "unfinished.journal"
+        make_supervisor(path, max_units=2).run()
+        assert replay_result(path) is None

@@ -71,7 +71,7 @@ class TestReport:
         assert main(["report", "--scale", "0.002", "--grid", "4",
                      "--algorithm", "greedy", "--json"]) == 0
         payload = json.loads(capsys.readouterr().out)
-        assert payload["format"] == "repro-run-report/7"
+        assert payload["format"] == "repro-run-report/8"
         assert payload["label"] == "design/greedy"
         assert payload["summary"]["cost_model_evaluations"] > 0
         assert payload["summary"]["calibration_experiments"] > 0
@@ -94,7 +94,7 @@ class TestReport:
                      "--stats-json", str(path)]) == 0
         capsys.readouterr()
         payload = json.loads(path.read_text())
-        assert payload["format"] == "repro-run-report/7"
+        assert payload["format"] == "repro-run-report/8"
         assert payload["summary"]["calibration_experiments"] >= 1
 
 

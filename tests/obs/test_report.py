@@ -168,3 +168,35 @@ class TestTextRendering:
         text = RunReport.capture(registry=registry,
                                  recorder=recorder).to_text()
         assert "faults injected" not in text
+
+
+class TestCodesignSection:
+    @staticmethod
+    def _codesign_registry():
+        registry = MetricsRegistry()
+        registry.counter("codesign.runs").inc()
+        registry.counter("codesign.rounds").inc(2)
+        registry.counter("codesign.candidates_evaluated").inc(11)
+        registry.counter("codesign.indexes_selected").inc()
+        registry.counter("codesign.pages_used").inc(6)
+        registry.counter("codesign.converged").inc()
+        return registry
+
+    def test_summary_carries_the_codesign_keys(self):
+        registry = self._codesign_registry()
+        summary = summarize(registry.snapshot(), {}, 0.0)
+        assert summary["codesign_runs"] == 1
+        assert summary["codesign_rounds"] == 2
+        assert summary["codesign_candidates"] == 11
+        assert summary["codesign_indexes_selected"] == 1
+        assert summary["codesign_pages_used"] == 6
+        assert summary["codesign_converged"] == 1
+
+    def test_text_section_appears_only_after_a_run(self, populated):
+        text = RunReport.capture(registry=self._codesign_registry(),
+                                 recorder=SpanRecorder()).to_text()
+        assert "Codesign" in text
+        registry, recorder = populated
+        without = RunReport.capture(registry=registry,
+                                    recorder=recorder).to_text()
+        assert "Codesign" not in without

@@ -1,0 +1,86 @@
+"""Tier-1 shim around scripts/check_markers.py.
+
+Runs the marker audit (every marker used in tests/ registered, every
+workflow ``-m`` selection registered AND non-empty) as part of the
+regular suite so marker rot cannot slip past a local run. The script
+stays independently runnable (``python scripts/check_markers.py``) and
+is the version CI's lint job enforces.
+"""
+
+import importlib.util
+import pathlib
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent.parent
+SCRIPT = REPO_ROOT / "scripts" / "check_markers.py"
+
+
+def _load_checker():
+    spec = importlib.util.spec_from_file_location("check_markers", SCRIPT)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+def test_marker_audit_passes(capsys):
+    checker = _load_checker()
+    code = checker.main()
+    output = capsys.readouterr().err
+    assert code == 0, f"marker audit failed:\n{output}"
+
+
+def test_workflows_select_the_expected_suites():
+    """The chaos job's four suites must all be seen by the audit."""
+    checker = _load_checker()
+    selections = checker.workflow_selections()
+    assert {"chaos", "recovery", "drift", "serve"} <= set(selections)
+
+
+def test_audit_detects_unregistered_workflow_marker(tmp_path, monkeypatch):
+    """The audit must actually fail on a bad selection, not vacuously pass."""
+    checker = _load_checker()
+    workflows = tmp_path / ".github" / "workflows"
+    workflows.mkdir(parents=True)
+    (workflows / "ci.yml").write_text(
+        "      - run: PYTHONPATH=src python -m pytest -q "
+        '-m "chaos or no_such_suite"\n')
+    tests = tmp_path / "tests"
+    tests.mkdir()
+    # Built by concatenation so this file's own source never contains
+    # a scannable marker-use literal (the audit greps all of tests/).
+    mark = "@pytest" + ".mark."
+    (tests / "test_x.py").write_text(
+        "import pytest\n\n"
+        f"{mark}chaos\n"
+        f"{mark}rogue\n"
+        "def test_x():\n    pass\n")
+    (tmp_path / "pyproject.toml").write_text(
+        "[tool.pytest.ini_options]\n"
+        'markers = ["chaos: x", "empty_suite: y"]\n')
+    monkeypatch.setattr(checker, "REPO_ROOT", tmp_path)
+    errors = "\n".join(checker.audit())
+    # A test-tree marker missing from pyproject.toml.
+    assert "'rogue' is not registered" in errors
+    # A workflow selection on a marker pytest does not know about.
+    assert "'no_such_suite', which is not registered" in errors
+    # A registered selection that matches nothing must also fail.
+    (workflows / "nightly.yml").write_text(
+        "      - run: PYTHONPATH=src python -m pytest -q -m empty_suite\n")
+    errors = "\n".join(checker.audit())
+    assert "'empty_suite', but no test" in errors
+    assert checker.main() == 1
+
+
+def test_audit_parses_quoted_and_bare_expressions(tmp_path, monkeypatch):
+    checker = _load_checker()
+    workflows = tmp_path / ".github" / "workflows"
+    workflows.mkdir(parents=True)
+    (workflows / "ci.yml").write_text(
+        "      - run: pytest -m 'drift and not serve'\n"
+        "      - run: pytest -q -m chaos\n")
+    (tmp_path / "tests").mkdir()
+    (tmp_path / "pyproject.toml").write_text(
+        "[tool.pytest.ini_options]\nmarkers = []\n")
+    monkeypatch.setattr(checker, "REPO_ROOT", tmp_path)
+    selections = checker.workflow_selections()
+    # ``or``/``and``/``not`` are expression keywords, never markers.
+    assert set(selections) == {"drift", "serve", "chaos"}
